@@ -1,0 +1,333 @@
+//! The constraint graph: nodes, union-find representatives and copy edges.
+//!
+//! Nodes cover both top-level variables and abstract memory objects; the
+//! solver ([`crate::solve`]) merges cycle members through the union-find and
+//! propagates points-to sets along copy edges in topological order (wave
+//! propagation, Pereira & Berlin, the paper's pre-analysis implementation
+//! choice in §4.2).
+
+use fsam_ir::VarId;
+use fsam_pts::{MemId, PtsSet};
+
+/// A constraint-graph node: a top-level variable or a memory object.
+///
+/// Encoded densely: variables first, then memory objects (which can grow as
+/// field objects are interned).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cg{}", self.0)
+    }
+}
+
+/// The constraint graph state shared by the solver passes.
+#[derive(Debug)]
+pub struct ConstraintGraph {
+    var_count: u32,
+    /// Union-find parent; `rep[i] == i` for representatives.
+    rep: Vec<u32>,
+    /// Copy successors, stored at representatives.
+    succs: Vec<Vec<u32>>,
+    /// Points-to sets, stored at representatives.
+    pts: Vec<PtsSet>,
+    /// Nodes merged through a positive-weight cycle: gep constraints whose
+    /// pointer lands here collapse their base objects.
+    pwc: Vec<bool>,
+}
+
+impl ConstraintGraph {
+    /// Creates a graph for `var_count` variables and `mem_count` initial
+    /// memory objects.
+    pub fn new(var_count: u32, mem_count: u32) -> Self {
+        let n = (var_count + mem_count) as usize;
+        Self {
+            var_count,
+            rep: (0..n as u32).collect(),
+            succs: vec![Vec::new(); n],
+            pts: vec![PtsSet::new(); n],
+            pwc: vec![false; n],
+        }
+    }
+
+    /// The node of a top-level variable.
+    pub fn var_node(&self, v: VarId) -> NodeId {
+        NodeId(v.raw())
+    }
+
+    /// The node of a memory object, growing the graph if the object was
+    /// interned after construction.
+    pub fn mem_node(&mut self, m: MemId) -> NodeId {
+        let idx = self.var_count + m.raw();
+        while self.rep.len() <= idx as usize {
+            let i = self.rep.len() as u32;
+            self.rep.push(i);
+            self.succs.push(Vec::new());
+            self.pts.push(PtsSet::new());
+            self.pwc.push(false);
+        }
+        NodeId(idx)
+    }
+
+    /// The memory object of a node, if it is a memory node.
+    pub fn node_mem(&self, n: NodeId) -> Option<MemId> {
+        (n.0 >= self.var_count).then(|| MemId::new(n.0 - self.var_count))
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.rep.is_empty()
+    }
+
+    /// Representative of `n` (path-halving union-find).
+    pub fn find(&mut self, n: NodeId) -> NodeId {
+        let mut x = n.0;
+        while self.rep[x as usize] != x {
+            let parent = self.rep[x as usize];
+            self.rep[x as usize] = self.rep[parent as usize];
+            x = self.rep[x as usize];
+        }
+        NodeId(x)
+    }
+
+    /// Representative without path compression (for immutable access).
+    pub fn find_imm(&self, n: NodeId) -> NodeId {
+        let mut x = n.0;
+        while self.rep[x as usize] != x {
+            x = self.rep[x as usize];
+        }
+        NodeId(x)
+    }
+
+    /// Merges `b` into `a`'s class (both are resolved to reps first).
+    /// Returns the surviving representative.
+    pub fn merge(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return a;
+        }
+        // Keep the node with more successors as rep to move less data.
+        let (keep, gone) =
+            if self.succs[a.index()].len() >= self.succs[b.index()].len() { (a, b) } else { (b, a) };
+        self.rep[gone.0 as usize] = keep.0;
+        let moved = std::mem::take(&mut self.succs[gone.index()]);
+        self.succs[keep.index()].extend(moved);
+        let moved_pts = std::mem::take(&mut self.pts[gone.index()]);
+        self.pts[keep.index()].union_in_place(&moved_pts);
+        if self.pwc[gone.index()] {
+            self.pwc[keep.index()] = true;
+        }
+        keep
+    }
+
+    /// Adds a copy edge `from -> to` (at representatives). Returns `true` if
+    /// the edge is new.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        let from = self.find(from);
+        let to = self.find(to);
+        if from == to {
+            return false;
+        }
+        if self.succs[from.index()].contains(&to.0) {
+            return false;
+        }
+        self.succs[from.index()].push(to.0);
+        true
+    }
+
+    /// Copy successors of representative `n` (unresolved raw ids; resolve
+    /// through [`ConstraintGraph::find`] before use).
+    pub fn raw_succs(&self, n: NodeId) -> &[u32] {
+        &self.succs[n.index()]
+    }
+
+    /// Deduplicates successor lists after merges, resolving stale ids.
+    pub fn compact_succs(&mut self) {
+        for i in 0..self.rep.len() {
+            if self.rep[i] != i as u32 {
+                continue;
+            }
+            let mut resolved: Vec<u32> = std::mem::take(&mut self.succs[i])
+                .into_iter()
+                .map(|s| self.find(NodeId(s)).0)
+                .filter(|&s| s != i as u32)
+                .collect();
+            resolved.sort_unstable();
+            resolved.dedup();
+            self.succs[i] = resolved;
+        }
+    }
+
+    /// Points-to set of `n`'s representative.
+    pub fn pts(&mut self, n: NodeId) -> &PtsSet {
+        let r = self.find(n);
+        &self.pts[r.index()]
+    }
+
+    /// Points-to set without path compression.
+    pub fn pts_imm(&self, n: NodeId) -> &PtsSet {
+        let r = self.find_imm(n);
+        &self.pts[r.index()]
+    }
+
+    /// Inserts `m` into `n`'s points-to set; returns `true` if new.
+    pub fn insert_pts(&mut self, n: NodeId, m: MemId) -> bool {
+        let r = self.find(n);
+        self.pts[r.index()].insert(m)
+    }
+
+    /// Unions `set` into `n`'s points-to set; returns `true` if it grew.
+    pub fn union_pts(&mut self, n: NodeId, set: &PtsSet) -> bool {
+        let r = self.find(n);
+        self.pts[r.index()].union_in_place(set)
+    }
+
+    /// Unions the points-to set of `src` into `dst` (used on edges). Returns
+    /// `true` if `dst` grew.
+    pub fn flow(&mut self, src: NodeId, dst: NodeId) -> bool {
+        let s = self.find(src);
+        let d = self.find(dst);
+        if s == d {
+            return false;
+        }
+        // Split-borrow via clone of the (shared) source set only when needed:
+        // cheap path first.
+        if self.pts[s.index()].is_empty() {
+            return false;
+        }
+        let (a, b) = (s.index(), d.index());
+        if a < b {
+            let (left, right) = self.pts.split_at_mut(b);
+            right[0].union_in_place(&left[a])
+        } else {
+            let (left, right) = self.pts.split_at_mut(a);
+            left[b].union_in_place(&right[0])
+        }
+    }
+
+    /// Marks `n`'s representative as part of a positive-weight cycle.
+    pub fn mark_pwc(&mut self, n: NodeId) {
+        let r = self.find(n);
+        self.pwc[r.index()] = true;
+    }
+
+    /// Whether `n`'s representative is part of a positive-weight cycle.
+    pub fn is_pwc(&mut self, n: NodeId) -> bool {
+        let r = self.find(n);
+        self.pwc[r.index()]
+    }
+
+    /// All current representatives.
+    pub fn reps(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.rep.len() as u32).filter(|&i| self.rep[i as usize] == i).map(NodeId)
+    }
+
+    /// Heap bytes held by all points-to sets (for the memory meter).
+    pub fn pts_bytes(&self) -> usize {
+        self.pts.iter().map(PtsSet::heap_bytes).sum()
+    }
+
+    /// Total number of points-to pairs (for statistics).
+    pub fn pts_entries(&self) -> usize {
+        self.pts.iter().map(PtsSet::len).sum()
+    }
+
+    /// Total number of copy edges (for statistics).
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> MemId {
+        MemId::new(i)
+    }
+
+    #[test]
+    fn var_and_mem_nodes_are_disjoint() {
+        let mut g = ConstraintGraph::new(3, 2);
+        let v = g.var_node(VarId::new(1));
+        let o = g.mem_node(m(0));
+        assert_ne!(v, o);
+        assert_eq!(g.node_mem(v), None);
+        assert_eq!(g.node_mem(o), Some(m(0)));
+    }
+
+    #[test]
+    fn mem_node_grows_graph() {
+        let mut g = ConstraintGraph::new(1, 1);
+        assert_eq!(g.len(), 2);
+        let late = g.mem_node(m(5));
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.node_mem(late), Some(m(5)));
+    }
+
+    #[test]
+    fn merge_unions_pts_and_succs() {
+        let mut g = ConstraintGraph::new(4, 0);
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        g.insert_pts(a, m(1));
+        g.insert_pts(b, m(2));
+        g.add_edge(b, c);
+        let rep = g.merge(a, b);
+        assert_eq!(g.find(a), rep);
+        assert_eq!(g.find(b), rep);
+        assert!(g.pts(a).contains(m(1)));
+        assert!(g.pts(a).contains(m(2)));
+        assert_eq!(g.raw_succs(rep).len(), 1);
+        // Merging again is a no-op.
+        assert_eq!(g.merge(a, b), rep);
+    }
+
+    #[test]
+    fn flow_propagates_and_reports_change() {
+        let mut g = ConstraintGraph::new(2, 0);
+        let (a, b) = (NodeId(0), NodeId(1));
+        g.insert_pts(a, m(3));
+        assert!(g.flow(a, b));
+        assert!(!g.flow(a, b));
+        assert!(g.pts(b).contains(m(3)));
+        // Flow within one class is a no-op.
+        g.merge(a, b);
+        assert!(!g.flow(a, b));
+    }
+
+    #[test]
+    fn compact_resolves_stale_edges() {
+        let mut g = ConstraintGraph::new(4, 0);
+        let (a, b, c, d) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.merge(b, c); // now a has two edges to the same class
+        g.add_edge(d, a);
+        g.compact_succs();
+        let rep_a = g.find(a);
+        assert_eq!(g.raw_succs(rep_a).len(), 1);
+    }
+
+    #[test]
+    fn pwc_flag_survives_merge() {
+        let mut g = ConstraintGraph::new(2, 0);
+        let (a, b) = (NodeId(0), NodeId(1));
+        g.mark_pwc(a);
+        g.merge(b, a);
+        assert!(g.is_pwc(b));
+    }
+}

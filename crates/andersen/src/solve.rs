@@ -1,0 +1,1016 @@
+//! The inclusion-based (Andersen) solver — FSAM's pre-analysis.
+//!
+//! Flow- and context-insensitive, field-sensitive, with an on-the-fly call
+//! graph. The solve loop is wave propagation (Pereira & Berlin, cited as the
+//! paper's pre-analysis implementation, §4.2):
+//!
+//! 1. detect and collapse cycles in the copy graph (treating `gep` edges as
+//!    weighted edges so positive-weight cycles are found and the affected
+//!    objects collapsed to field-insensitive treatment);
+//! 2. propagate points-to sets along copy edges in topological order;
+//! 3. process the complex constraints (loads, stores, geps, indirect
+//!    calls/forks) against the points-to deltas, adding copy edges and call
+//!    edges;
+//!
+//! repeating until nothing changes.
+
+use std::time::Instant;
+
+use fsam_ir::callgraph::CallGraph;
+use fsam_ir::stmt::{Callee, StmtKind, Terminator};
+use fsam_ir::{FuncId, Module, StmtId, VarId};
+use fsam_pts::{MemId, ObjectModel, PtsSet};
+
+use crate::graph::{ConstraintGraph, NodeId};
+
+/// Statistics of one pre-analysis run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AndersenStats {
+    /// Wave-propagation rounds until fixpoint.
+    pub rounds: usize,
+    /// Constraint-graph nodes at the end.
+    pub nodes: usize,
+    /// Copy edges at the end.
+    pub copy_edges: usize,
+    /// Total points-to pairs at the end.
+    pub pts_entries: usize,
+    /// Nodes merged by cycle collapsing.
+    pub scc_merges: usize,
+    /// Indirect call/fork targets resolved.
+    pub indirect_resolved: usize,
+    /// Objects collapsed due to positive-weight cycles or offset overflow.
+    pub pwc_collapses: usize,
+    /// Wall-clock microseconds spent solving.
+    pub solve_micros: u128,
+}
+
+#[derive(Debug)]
+struct LoadC {
+    ptr: VarId,
+    dst: VarId,
+    processed: PtsSet,
+}
+
+#[derive(Debug)]
+struct StoreC {
+    ptr: VarId,
+    src: VarId,
+    processed: PtsSet,
+}
+
+#[derive(Debug)]
+struct GepC {
+    base: VarId,
+    dst: VarId,
+    field: u32,
+    processed: PtsSet,
+}
+
+#[derive(Debug)]
+struct CallC {
+    site: StmtId,
+    caller: FuncId,
+    fptr: VarId,
+    args: Vec<VarId>,
+    dst: Option<VarId>,
+    is_fork: bool,
+    processed: PtsSet,
+}
+
+/// The result of running Andersen's analysis on a module.
+///
+/// This is the paper's *pre-analysis* (Figure 2): it over-approximates
+/// points-to information, resolves function pointers (and hence fork
+/// targets), and supplies the aliasing information that the memory-SSA and
+/// thread-interference phases consume.
+#[derive(Debug)]
+pub struct PreAnalysis {
+    pt_vars: Vec<PtsSet>,
+    pt_mems: Vec<PtsSet>,
+    om: ObjectModel,
+    cg: CallGraph,
+    /// Solver statistics.
+    pub stats: AndersenStats,
+}
+
+impl PreAnalysis {
+    /// Runs the pre-analysis on `module`.
+    pub fn run(module: &Module) -> PreAnalysis {
+        Solver::new(module).solve()
+    }
+
+    /// Points-to set of a top-level variable.
+    pub fn pt_var(&self, v: VarId) -> &PtsSet {
+        &self.pt_vars[v.index()]
+    }
+
+    /// Points-to set of a memory object (what the object *contains*).
+    pub fn pt_mem(&self, m: MemId) -> &PtsSet {
+        static EMPTY: PtsSet = PtsSet::new();
+        self.pt_mems.get(m.index()).unwrap_or(&EMPTY)
+    }
+
+    /// The object model (with all interned field objects).
+    pub fn objects(&self) -> &ObjectModel {
+        &self.om
+    }
+
+    /// The resolved, finalized call graph.
+    pub fn call_graph(&self) -> &CallGraph {
+        &self.cg
+    }
+
+    /// `AS(*p, *q)`: the objects pointed to by both `p` and `q`
+    /// (paper rule `THREAD-VF`).
+    pub fn alias_set(&self, p: VarId, q: VarId) -> PtsSet {
+        self.pt_var(p).intersection(self.pt_var(q))
+    }
+
+    /// Whether `*p` and `*q` may alias.
+    pub fn may_alias(&self, p: VarId, q: VarId) -> bool {
+        self.pt_var(p).intersects(self.pt_var(q))
+    }
+
+    /// Functions a variable may point to.
+    pub fn functions_of(&self, v: VarId) -> Vec<FuncId> {
+        self.pt_var(v).iter().filter_map(|m| self.om.as_function(m)).collect()
+    }
+
+    /// Fork sites whose thread handle `v` may hold.
+    pub fn thread_handles_of(&self, v: VarId) -> Vec<StmtId> {
+        let mut out: Vec<StmtId> =
+            self.pt_var(v).iter().filter_map(|m| self.om.as_thread_handle(m)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The unique singleton lock object `v` must point to, if any — the
+    /// paper's must-alias condition `l ≡ l'` for lock correlation (§3.3.3).
+    pub fn must_lock_obj(&self, v: VarId) -> Option<MemId> {
+        let m = self.pt_var(v).as_singleton()?;
+        self.om.is_singleton(m).then_some(m)
+    }
+
+    /// Heap bytes of all final points-to sets (memory metering).
+    pub fn pts_bytes(&self) -> usize {
+        self.pt_vars.iter().chain(self.pt_mems.iter()).map(PtsSet::heap_bytes).sum()
+    }
+}
+
+struct Solver<'m> {
+    module: &'m Module,
+    om: ObjectModel,
+    g: ConstraintGraph,
+    cg: CallGraph,
+    loads: Vec<LoadC>,
+    stores: Vec<StoreC>,
+    geps: Vec<GepC>,
+    calls: Vec<CallC>,
+    /// Cache of each function's returned variables.
+    returns: Vec<Option<Vec<VarId>>>,
+    /// (site, callee) pairs already bound, to avoid re-binding.
+    bound: std::collections::HashSet<(StmtId, FuncId)>,
+    stats: AndersenStats,
+}
+
+impl<'m> Solver<'m> {
+    fn new(module: &'m Module) -> Self {
+        let om = ObjectModel::from_module(module);
+        let g = ConstraintGraph::new(
+            u32::try_from(module.var_count()).expect("too many variables"),
+            om.base_count(),
+        );
+        let cg = CallGraph::new(module.func_count());
+        Solver {
+            module,
+            om,
+            g,
+            cg,
+            loads: Vec::new(),
+            stores: Vec::new(),
+            geps: Vec::new(),
+            calls: Vec::new(),
+            returns: vec![None; module.func_count()],
+            bound: std::collections::HashSet::new(),
+            stats: AndersenStats::default(),
+        }
+    }
+
+    fn returns_of(&mut self, f: FuncId) -> Vec<VarId> {
+        if self.returns[f.index()].is_none() {
+            let mut out = Vec::new();
+            for (_, block) in self.module.func(f).blocks() {
+                if let Terminator::Ret(Some(v)) = block.term {
+                    out.push(v);
+                }
+            }
+            self.returns[f.index()] = Some(out);
+        }
+        self.returns[f.index()].clone().expect("just cached")
+    }
+
+    /// Binds a call site to a resolved callee: argument, return and call
+    /// graph edges. Returns `true` if anything was new.
+    fn bind_call(
+        &mut self,
+        site: StmtId,
+        caller: FuncId,
+        callee: FuncId,
+        args: &[VarId],
+        dst: Option<VarId>,
+        is_fork: bool,
+    ) -> bool {
+        if !self.bound.insert((site, callee)) {
+            return false;
+        }
+        let mut changed = if is_fork {
+            self.cg.add_fork(caller, site, callee)
+        } else {
+            self.cg.add_call(caller, site, callee)
+        };
+        let params = self.module.func(callee).params.clone();
+        for (&a, &p) in args.iter().zip(params.iter()) {
+            changed |= self.g.add_edge(self.g.var_node(a), self.g.var_node(p));
+        }
+        if let Some(d) = dst {
+            if !self.module.func(callee).is_external {
+                for r in self.returns_of(callee) {
+                    changed |= self.g.add_edge(self.g.var_node(r), self.g.var_node(d));
+                }
+            }
+        }
+        changed
+    }
+
+    fn generate(&mut self) {
+        for (sid, stmt) in self.module.stmts() {
+            match &stmt.kind {
+                StmtKind::Addr { dst, obj } => {
+                    let m = self.om.base(*obj);
+                    let n = self.g.var_node(*dst);
+                    self.g.insert_pts(n, m);
+                }
+                StmtKind::Copy { dst, src } => {
+                    self.g.add_edge(self.g.var_node(*src), self.g.var_node(*dst));
+                }
+                StmtKind::Phi { dst, arms } => {
+                    for arm in arms {
+                        self.g.add_edge(self.g.var_node(arm.var), self.g.var_node(*dst));
+                    }
+                }
+                StmtKind::Load { dst, ptr } => {
+                    self.loads.push(LoadC { ptr: *ptr, dst: *dst, processed: PtsSet::new() });
+                }
+                StmtKind::Store { ptr, val } => {
+                    self.stores.push(StoreC { ptr: *ptr, src: *val, processed: PtsSet::new() });
+                }
+                StmtKind::Gep { dst, base, field } => {
+                    self.geps.push(GepC {
+                        base: *base,
+                        dst: *dst,
+                        field: *field,
+                        processed: PtsSet::new(),
+                    });
+                }
+                StmtKind::Call { callee, args, dst } => match callee {
+                    Callee::Direct(f) => {
+                        self.bind_call(sid, stmt.func, *f, args, *dst, false);
+                    }
+                    Callee::Indirect(v) => {
+                        self.calls.push(CallC {
+                            site: sid,
+                            caller: stmt.func,
+                            fptr: *v,
+                            args: args.clone(),
+                            dst: *dst,
+                            is_fork: false,
+                            processed: PtsSet::new(),
+                        });
+                    }
+                },
+                StmtKind::Fork { dst, callee, arg, handle_obj } => {
+                    let m = self.om.base(*handle_obj);
+                    let n = self.g.var_node(*dst);
+                    self.g.insert_pts(n, m);
+                    let args: Vec<VarId> = arg.iter().copied().collect();
+                    match callee {
+                        Callee::Direct(f) => {
+                            self.bind_call(sid, stmt.func, *f, &args, None, true);
+                        }
+                        Callee::Indirect(v) => {
+                            self.calls.push(CallC {
+                                site: sid,
+                                caller: stmt.func,
+                                fptr: *v,
+                                args,
+                                dst: None,
+                                is_fork: true,
+                                processed: PtsSet::new(),
+                            });
+                        }
+                    }
+                }
+                StmtKind::Join { .. } | StmtKind::Lock { .. } | StmtKind::Unlock { .. } => {}
+            }
+        }
+    }
+
+    /// Collapses `root` to field-insensitive treatment and merges its field
+    /// objects' constraint nodes into the root node.
+    fn collapse_object(&mut self, root: MemId) {
+        let root = self.om.root(root);
+        if !self.om.is_collapsed(root) {
+            self.om.collapse(root);
+            self.stats.pwc_collapses += 1;
+        }
+        let fields = self.om.fields_of(root);
+        let root_node = self.g.mem_node(root);
+        for f in fields {
+            let fnode = self.g.mem_node(f);
+            if self.g.find(fnode) != self.g.find(root_node) {
+                self.g.merge(root_node, fnode);
+                self.stats.scc_merges += 1;
+            }
+        }
+    }
+
+    /// `field(o, f)` with node-merging on collapse.
+    fn field_of(&mut self, o: MemId, field: u32) -> MemId {
+        let root = self.om.root(o);
+        let was_collapsed = self.om.is_collapsed(root);
+        let result = self.om.field(o, field);
+        if !was_collapsed && self.om.is_collapsed(root) {
+            self.collapse_object(root);
+            return self.om.root(o);
+        }
+        // Make sure the node exists.
+        let _ = self.g.mem_node(result);
+        result
+    }
+
+    /// Step 1: cycle detection over copy edges + weighted gep edges.
+    /// Copy-only cycles merge; cycles through a gep edge additionally mark
+    /// their representative as PWC.
+    fn collapse_cycles(&mut self) {
+        self.g.compact_succs();
+        let n = self.g.len();
+        // Build the edge list over representatives, with a weighted flag.
+        let mut adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); n];
+        for rep in self.g.reps().collect::<Vec<_>>() {
+            for &s in self.g.raw_succs(rep).to_vec().iter() {
+                let t = self.g.find(NodeId(s));
+                if t != rep {
+                    adj[rep.index()].push((t.0, false));
+                }
+            }
+        }
+        // Weighted edges from gep constraints (base -> dst), field > 0.
+        let gep_edges: Vec<(VarId, VarId, u32)> =
+            self.geps.iter().map(|g| (g.base, g.dst, g.field)).collect();
+        for (base, dst, field) in gep_edges {
+            if field == 0 {
+                continue;
+            }
+            let b = self.g.find(self.g.var_node(base));
+            let d = self.g.find(self.g.var_node(dst));
+            if b != d {
+                adj[b.index()].push((d.0, true));
+            } else {
+                // Self-loop through a gep: immediate PWC.
+                self.g.mark_pwc(b);
+            }
+        }
+
+        // Iterative Tarjan over representatives.
+        let mut index = vec![u32::MAX; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next = 0u32;
+        let mut sccs: Vec<Vec<u32>> = Vec::new();
+        let is_rep: Vec<bool> = {
+            let mut v = vec![false; n];
+            for r in self.g.reps() {
+                v[r.index()] = true;
+            }
+            v
+        };
+        enum Frame {
+            Enter(u32),
+            Resume(u32, usize),
+        }
+        for root in 0..n as u32 {
+            if !is_rep[root as usize] || index[root as usize] != u32::MAX {
+                continue;
+            }
+            let mut frames = vec![Frame::Enter(root)];
+            while let Some(frame) = frames.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        index[v as usize] = next;
+                        low[v as usize] = next;
+                        next += 1;
+                        stack.push(v);
+                        on_stack[v as usize] = true;
+                        frames.push(Frame::Resume(v, 0));
+                    }
+                    Frame::Resume(v, mut i) => {
+                        let mut descended = false;
+                        while i < adj[v as usize].len() {
+                            let (w, _) = adj[v as usize][i];
+                            i += 1;
+                            if index[w as usize] == u32::MAX {
+                                frames.push(Frame::Resume(v, i));
+                                frames.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            } else if on_stack[w as usize] {
+                                low[v as usize] = low[v as usize].min(index[w as usize]);
+                            }
+                        }
+                        if descended {
+                            continue;
+                        }
+                        if low[v as usize] == index[v as usize] {
+                            let mut scc = Vec::new();
+                            loop {
+                                let w = stack.pop().expect("tarjan stack");
+                                on_stack[w as usize] = false;
+                                scc.push(w);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            if scc.len() > 1 {
+                                sccs.push(scc);
+                            }
+                        }
+                        if let Some(Frame::Resume(p, _)) = frames.last() {
+                            let p = *p;
+                            low[p as usize] = low[p as usize].min(low[v as usize]);
+                        }
+                    }
+                }
+            }
+        }
+
+        for scc in sccs {
+            let in_scc: std::collections::HashSet<u32> = scc.iter().copied().collect();
+            // Does the SCC contain a weighted internal edge?
+            let mut weighted = false;
+            for &v in &scc {
+                for &(w, wt) in &adj[v as usize] {
+                    if wt && in_scc.contains(&w) {
+                        weighted = true;
+                    }
+                }
+            }
+            let mut rep = NodeId(scc[0]);
+            for &v in &scc[1..] {
+                rep = self.g.merge(rep, NodeId(v));
+                self.stats.scc_merges += 1;
+            }
+            if weighted {
+                self.g.mark_pwc(rep);
+            }
+        }
+        self.g.compact_succs();
+    }
+
+    /// Step 2: one topological wave over the (acyclic) copy graph.
+    fn propagate(&mut self) -> bool {
+        // Topo order of reps via DFS post-order.
+        let n = self.g.len();
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut state = vec![0u8; n];
+        let reps: Vec<NodeId> = self.g.reps().collect();
+        for &r in &reps {
+            if state[r.index()] != 0 {
+                continue;
+            }
+            let mut stack = vec![(r, 0usize)];
+            state[r.index()] = 1;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                let succs = self.g.raw_succs(v);
+                if *i < succs.len() {
+                    let w = self.g.find_imm(NodeId(succs[*i]));
+                    *i += 1;
+                    if state[w.index()] == 0 {
+                        state[w.index()] = 1;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    state[v.index()] = 2;
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        order.reverse();
+
+        let mut changed = false;
+        // A single pass in topo order reaches the copy-edge fixpoint on a DAG;
+        // residual cycles (possible if edges were added since the last
+        // collapse) are handled by iterating until stable.
+        loop {
+            let mut pass_changed = false;
+            for &v in &order {
+                let succs: Vec<u32> = self.g.raw_succs(v).to_vec();
+                for s in succs {
+                    pass_changed |= self.g.flow(v, NodeId(s));
+                }
+            }
+            changed |= pass_changed;
+            if !pass_changed {
+                break;
+            }
+        }
+        changed
+    }
+
+    /// Step 3: process complex constraints against points-to deltas.
+    fn process_complex(&mut self) -> bool {
+        let mut changed = false;
+
+        // Loads: dst ⊇ *ptr.
+        for i in 0..self.loads.len() {
+            let (ptr, dst) = (self.loads[i].ptr, self.loads[i].dst);
+            let pts = self.g.pts(self.g.var_node(ptr)).clone();
+            for o in pts.iter() {
+                if self.loads[i].processed.contains(o) {
+                    continue;
+                }
+                self.loads[i].processed.insert(o);
+                let on = self.g.mem_node(o);
+                changed |= self.g.add_edge(on, self.g.var_node(dst));
+                changed |= self.g.flow(on, self.g.var_node(dst));
+            }
+        }
+
+        // Stores: *ptr ⊇ src.
+        for i in 0..self.stores.len() {
+            let (ptr, src) = (self.stores[i].ptr, self.stores[i].src);
+            let pts = self.g.pts(self.g.var_node(ptr)).clone();
+            for o in pts.iter() {
+                if self.stores[i].processed.contains(o) {
+                    continue;
+                }
+                self.stores[i].processed.insert(o);
+                let on = self.g.mem_node(o);
+                changed |= self.g.add_edge(self.g.var_node(src), on);
+                changed |= self.g.flow(self.g.var_node(src), on);
+            }
+        }
+
+        // Geps: dst ⊇ {field(o, f) | o ∈ pt(base)}.
+        for i in 0..self.geps.len() {
+            let (base, dst, field) = (self.geps[i].base, self.geps[i].dst, self.geps[i].field);
+            let base_node = self.g.var_node(base);
+            let in_pwc = self.g.is_pwc(base_node) || {
+                let d = self.g.var_node(dst);
+                self.g.find(base_node) == self.g.find(d) && field > 0
+            };
+            let pts = self.g.pts(base_node).clone();
+            for o in pts.iter() {
+                if self.geps[i].processed.contains(o) {
+                    continue;
+                }
+                self.geps[i].processed.insert(o);
+                let fo = if in_pwc {
+                    self.collapse_object(o);
+                    self.om.root(o)
+                } else {
+                    self.field_of(o, field)
+                };
+                changed |= self.g.insert_pts(self.g.var_node(dst), fo);
+            }
+        }
+
+        // Indirect calls and forks: bind as function objects arrive.
+        for i in 0..self.calls.len() {
+            let fptr = self.calls[i].fptr;
+            let pts = self.g.pts(self.g.var_node(fptr)).clone();
+            for o in pts.iter() {
+                if self.calls[i].processed.contains(o) {
+                    continue;
+                }
+                self.calls[i].processed.insert(o);
+                if let Some(callee) = self.om.as_function(o) {
+                    let (site, caller, dst, is_fork) = (
+                        self.calls[i].site,
+                        self.calls[i].caller,
+                        self.calls[i].dst,
+                        self.calls[i].is_fork,
+                    );
+                    let args = self.calls[i].args.clone();
+                    if self.bind_call(site, caller, callee, &args, dst, is_fork) {
+                        changed = true;
+                        self.stats.indirect_resolved += 1;
+                    }
+                }
+            }
+        }
+
+        changed
+    }
+
+    fn solve(mut self) -> PreAnalysis {
+        let start = Instant::now();
+        self.generate();
+        loop {
+            self.stats.rounds += 1;
+            self.collapse_cycles();
+            let p = self.propagate();
+            let c = self.process_complex();
+            if !p && !c {
+                break;
+            }
+            // Safety valve: the analysis is monotone over a finite lattice,
+            // but guard against implementation bugs in debug runs.
+            debug_assert!(self.stats.rounds < 10_000, "andersen failed to converge");
+        }
+        self.cg.finalize();
+        {
+            // Demote locals of recursive functions from singleton status.
+            let cg = &self.cg;
+            self.om.demote_recursive_locals(self.module, |f| cg.in_cycle(f));
+        }
+
+        // Extract final points-to sets, canonicalizing members whose base
+        // was collapsed after they were interned: a field object of a
+        // collapsed base denotes the same memory as the base, and keeping
+        // both ids in result sets would make equal abstractions compare
+        // unequal downstream.
+        let canonicalize = |om: &ObjectModel, set: &PtsSet| -> PtsSet {
+            let needs = set.iter().any(|m| om.is_collapsed(m) && om.root(m) != m);
+            if !needs {
+                return set.clone();
+            }
+            set.iter()
+                .map(|m| if om.is_collapsed(m) { om.root(m) } else { m })
+                .collect()
+        };
+        let mut pt_vars = Vec::with_capacity(self.module.var_count());
+        for v in self.module.var_ids() {
+            let set = self.g.pts_imm(self.g.var_node(v)).clone();
+            pt_vars.push(canonicalize(&self.om, &set));
+        }
+        let mem_count = self.om.len();
+        let mut pt_mems = Vec::with_capacity(mem_count);
+        for m in self.om.mem_ids() {
+            let node = self.g.mem_node(m);
+            let set = self.g.pts_imm(node).clone();
+            pt_mems.push(canonicalize(&self.om, &set));
+        }
+
+        self.stats.nodes = self.g.len();
+        self.stats.copy_edges = self.g.edge_count();
+        self.stats.pts_entries = self.g.pts_entries();
+        self.stats.solve_micros = start.elapsed().as_micros();
+
+        PreAnalysis { pt_vars, pt_mems, om: self.om, cg: self.cg, stats: self.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::parse::parse_module;
+
+    fn pt_names(pa: &PreAnalysis, m: &Module, func: &str, var: &str) -> Vec<String> {
+        let v = m
+            .var_ids()
+            .find(|&v| m.var(v).name == var && m.func(m.var(v).func).name == func)
+            .unwrap_or_else(|| panic!("no var {func}::{var}"));
+        let mut names: Vec<String> =
+            pa.pt_var(v).iter().map(|o| pa.objects().display_name(m, o)).collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn addr_copy_load_store() {
+        let m = parse_module(
+            r#"
+            global x
+            global y
+            func main() {
+            entry:
+              p = &x
+              q = &y
+              store p, q    // x = &y
+              c = load p    // c = x  => {y}
+              d = p         // copy   => {x}
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        assert_eq!(pt_names(&pa, &m, "main", "p"), vec!["x"]);
+        assert_eq!(pt_names(&pa, &m, "main", "c"), vec!["y"]);
+        assert_eq!(pt_names(&pa, &m, "main", "d"), vec!["x"]);
+    }
+
+    #[test]
+    fn phi_merges() {
+        let m = parse_module(
+            r#"
+            global a
+            global b
+            func main() {
+            entry:
+              br ?, l, r
+            l:
+              p = &a
+              br done
+            r:
+              q = &b
+              br done
+            done:
+              c = phi [l: p, r: q]
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        assert_eq!(pt_names(&pa, &m, "main", "c"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn interprocedural_params_and_returns() {
+        let m = parse_module(
+            r#"
+            global g
+            func id(x) {
+            entry:
+              ret x
+            }
+            func main() {
+            entry:
+              p = &g
+              q = call id(p)
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        assert_eq!(pt_names(&pa, &m, "id", "x"), vec!["g"]);
+        assert_eq!(pt_names(&pa, &m, "main", "q"), vec!["g"]);
+    }
+
+    #[test]
+    fn indirect_call_resolved_on_the_fly() {
+        let m = parse_module(
+            r#"
+            global g
+            func target(x) {
+            entry:
+              ret x
+            }
+            func main() {
+            entry:
+              fp = &target
+              p = &g
+              r = call *fp(p)
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        assert_eq!(pt_names(&pa, &m, "main", "r"), vec!["g"]);
+        let main = m.entry().unwrap();
+        let call_site = m
+            .stmts()
+            .find(|(_, s)| s.func == main && matches!(s.kind, StmtKind::Call { .. }))
+            .unwrap()
+            .0;
+        let target = m.func_by_name("target").unwrap();
+        assert!(pa.call_graph().targets(call_site).any(|f| f == target));
+        assert_eq!(pa.stats.indirect_resolved, 1);
+    }
+
+    #[test]
+    fn fork_handle_and_arg_binding() {
+        let m = parse_module(
+            r#"
+            global g
+            func worker(w) {
+            entry:
+              v = load w
+              ret
+            }
+            func main() {
+            entry:
+              p = &g
+              t = fork worker(p)
+              join t
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        // worker's parameter receives main's p.
+        assert_eq!(pt_names(&pa, &m, "worker", "w"), vec!["g"]);
+        // The handle points to exactly one fork site.
+        let t = m
+            .var_ids()
+            .find(|&v| m.var(v).name == "t")
+            .unwrap();
+        assert_eq!(pa.thread_handles_of(t).len(), 1);
+        // Fork edge in the call graph.
+        let main = m.entry().unwrap();
+        let worker = m.func_by_name("worker").unwrap();
+        assert!(pa.call_graph().forked_from(main).any(|f| f == worker));
+    }
+
+    #[test]
+    fn load_store_through_heap() {
+        let m = parse_module(
+            r#"
+            global g
+            func main() {
+            entry:
+              h = alloc "cell"
+              p = &g
+              store h, p    // cell = &g
+              c = load h    // c = {g}
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        assert_eq!(pt_names(&pa, &m, "main", "c"), vec!["g"]);
+    }
+
+    #[test]
+    fn field_sensitivity_distinguishes_fields() {
+        let m = parse_module(
+            r#"
+            global s
+            global a
+            global b
+            func main() {
+            entry:
+              p = &s
+              f1 = gep p, 1
+              f2 = gep p, 2
+              pa = &a
+              pb = &b
+              store f1, pa   // s.f1 = &a
+              store f2, pb   // s.f2 = &b
+              c1 = load f1
+              c2 = load f2
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        assert_eq!(pt_names(&pa, &m, "main", "c1"), vec!["a"]);
+        assert_eq!(pt_names(&pa, &m, "main", "c2"), vec!["b"]);
+    }
+
+    #[test]
+    fn arrays_are_monolithic() {
+        let m = parse_module(
+            r#"
+            global array arr
+            global a
+            global b
+            func main() {
+            entry:
+              p = &arr
+              f1 = gep p, 1
+              f2 = gep p, 2
+              pa = &a
+              pb = &b
+              store f1, pa
+              store f2, pb
+              c1 = load f1
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        // Both stores land on the same monolithic array object.
+        assert_eq!(pt_names(&pa, &m, "main", "c1"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn positive_weight_cycle_collapses() {
+        // p = &s; loop { p = gep p, 1 } — a positive-weight cycle: p's
+        // points-to must terminate by collapsing s.
+        let m = parse_module(
+            r#"
+            global s
+            func main() {
+            entry:
+              p0 = &s
+              br header
+            header:
+              p = phi [entry: p0, body: p1]
+              br ?, body, exit
+            body:
+              p1 = gep p, 1
+              br header
+            exit:
+              c = load p
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        assert!(pa.stats.pwc_collapses >= 1);
+        // p still points to (the collapsed) s.
+        let names = pt_names(&pa, &m, "main", "p");
+        assert!(names.contains(&"s".to_owned()), "{names:?}");
+    }
+
+    #[test]
+    fn copy_cycles_are_merged() {
+        let m = parse_module(
+            r#"
+            global g
+            func main() {
+            entry:
+              a0 = &g
+              br header
+            header:
+              a = phi [entry: a0, body: b]
+              br ?, body, exit
+            body:
+              b = a
+              br header
+            exit:
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        assert!(pa.stats.scc_merges >= 1);
+        assert_eq!(pt_names(&pa, &m, "main", "b"), vec!["g"]);
+    }
+
+    #[test]
+    fn alias_queries() {
+        let m = parse_module(
+            r#"
+            global x
+            global y
+            func main() {
+            entry:
+              p = &x
+              q = &x
+              r = &y
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        let var = |name: &str| m.var_ids().find(|&v| m.var(v).name == name).unwrap();
+        assert!(pa.may_alias(var("p"), var("q")));
+        assert!(!pa.may_alias(var("p"), var("r")));
+        assert_eq!(pa.alias_set(var("p"), var("q")).len(), 1);
+        // x is a singleton global: must-lock candidate.
+        assert!(pa.must_lock_obj(var("p")).is_some());
+    }
+
+    #[test]
+    fn recursion_collapses_context_and_demotes_locals() {
+        let m = parse_module(
+            r#"
+            func rec(x) {
+            local slot
+            entry:
+              p = &slot
+              r = call rec(p)
+              ret p
+            }
+            func main() {
+            entry:
+              q = alloc "seed"
+              t = call rec(q)
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pa = PreAnalysis::run(&m);
+        let rec = m.func_by_name("rec").unwrap();
+        assert!(pa.call_graph().in_cycle(rec));
+        // `slot` is a local of a recursive function: not a singleton.
+        let slot = m.objs().find(|(_, o)| o.name == "slot").unwrap().0;
+        assert!(!pa.objects().is_singleton(pa.objects().base(slot)));
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks: one per pipeline phase (the stages of the
+//! paper's Figure 2), on a mid-size benchmark program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsam_andersen::PreAnalysis;
+use fsam_ir::context::ContextTable;
+use fsam_ir::icfg::Icfg;
+use fsam_mssa::Svfg;
+use fsam_suite::{Program, Scale};
+use fsam_threads::{Interleaving, LockAnalysis, ThreadModel};
+
+fn phases(c: &mut Criterion) {
+    let module = Program::Radiosity.generate(Scale(0.15));
+    let mut group = c.benchmark_group("phases");
+    group.sample_size(10);
+
+    group.bench_function("pre_analysis", |b| {
+        b.iter(|| PreAnalysis::run(&module));
+    });
+
+    let pre = PreAnalysis::run(&module);
+    group.bench_function("icfg_and_thread_model", |b| {
+        b.iter(|| {
+            let icfg = Icfg::build(&module, pre.call_graph());
+            ThreadModel::build(&module, &pre, &icfg)
+        });
+    });
+
+    let icfg = Icfg::build(&module, pre.call_graph());
+    let tm = ThreadModel::build(&module, &pre, &icfg);
+    group.bench_function("svfg", |b| {
+        b.iter(|| Svfg::build(&module, &pre, &tm));
+    });
+
+    group.bench_function("interleaving", |b| {
+        b.iter(|| {
+            let mut ctxs = ContextTable::new();
+            Interleaving::compute(&module, &icfg, &pre, &tm, &mut ctxs)
+        });
+    });
+
+    group.bench_function("lock_analysis", |b| {
+        b.iter(|| {
+            let mut ctxs = ContextTable::new();
+            LockAnalysis::compute(&module, &icfg, &pre, &tm, &mut ctxs)
+        });
+    });
+
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| fsam::Fsam::analyze(&module));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, phases);
+criterion_main!(benches);

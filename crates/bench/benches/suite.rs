@@ -1,0 +1,32 @@
+//! Criterion end-to-end benchmarks: FSAM vs. the NonSparse baseline per
+//! benchmark program (the Table 2 comparison at bench-friendly scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsam::{nonsparse, Fsam};
+use fsam_suite::{Program, Scale};
+
+const BENCH_SCALE: Scale = Scale(0.08);
+
+fn fsam_vs_nonsparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite");
+    group.sample_size(10);
+    for p in [
+        Program::WordCount,
+        Program::Radiosity,
+        Program::Ferret,
+        Program::Bodytrack,
+    ] {
+        let module = p.generate(BENCH_SCALE);
+        group.bench_with_input(BenchmarkId::new("fsam", p.name()), &module, |b, m| {
+            b.iter(|| Fsam::analyze(m));
+        });
+        let fsam = Fsam::analyze(&module);
+        group.bench_with_input(BenchmarkId::new("nonsparse", p.name()), &module, |b, m| {
+            b.iter(|| nonsparse::run(m, &fsam.pre, &fsam.icfg, &fsam.tm, None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fsam_vs_nonsparse);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates the paper's Figure 12: the slowdown of FSAM when each of the
+//! three thread-interference phases is disabled.
+//!
+//! ```text
+//! cargo run --release -p fsam-bench --bin figure12 [-- --scale 0.3]
+//! ```
+//!
+//! For every program, FSAM runs in four configurations — full,
+//! *No-Interleaving* (PCG-style procedure-level MHP instead of §3.3.1),
+//! *No-Value-Flow* (`o ∈ AS(*p,*q)` disregarded, §3.3.2) and *No-Lock*
+//! (no Definition 6 filtering, §3.3.3) — and the slowdown relative to the
+//! full configuration is printed. The default scale is reduced because the
+//! No-Value-Flow configuration is deliberately expensive (that cost is the
+//! point of the ablation; the paper's worst case is 19.7x).
+
+use std::time::Instant;
+
+use fsam::{Fsam, PhaseConfig};
+use fsam_suite::{Program, Scale};
+
+fn main() {
+    let scale = Scale(arg_value("--scale").unwrap_or(0.3));
+
+    println!(
+        "Figure 12: slowdown of FSAM with each interference phase disabled (scale {:.2})",
+        scale.0
+    );
+    println!(
+        "{:<14} {:>9} {:>8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}   (slowdown = time vs full; edge-x = thread-aware edges vs full)",
+        "Program", "FSAM (s)", "edges", "NoInt", "NoVF", "NoLock", "NoInt-ex", "NoVF-ex", "NoLock-ex"
+    );
+
+    for p in Program::all() {
+        let module = p.generate(scale);
+        let run = |cfg: PhaseConfig| {
+            let t0 = Instant::now();
+            let result = Fsam::analyze_with(&module, cfg);
+            (t0.elapsed().as_secs_f64(), result.vf_stats.edges)
+        };
+        let (full, full_e) = run(PhaseConfig::full());
+        let (no_inter, ni_e) = run(PhaseConfig::no_interleaving());
+        let (no_vf, nv_e) = run(PhaseConfig::no_value_flow());
+        let (no_lock, nl_e) = run(PhaseConfig::no_lock());
+        let ex = |e: usize| e as f64 / (full_e.max(1)) as f64;
+        println!(
+            "{:<14} {:>9.3} {:>8} | {:>8.1}x {:>8.1}x {:>8.1}x | {:>8.1}x {:>8.1}x {:>8.1}x",
+            p.name(),
+            full,
+            full_e,
+            no_inter / full,
+            no_vf / full,
+            no_lock / full,
+            ex(ni_e),
+            ex(nv_e),
+            ex(nl_e)
+        );
+    }
+}
+
+fn arg_value(flag: &str) -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

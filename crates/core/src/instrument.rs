@@ -1,0 +1,237 @@
+//! Instrumentation planning for dynamic race detectors.
+//!
+//! The paper's §6 proposes combining FSAM "with some dynamic analysis tools
+//! such as Google's ThreadSanitizer to reduce their instrumentation
+//! overhead". This module implements that client: a memory access needs
+//! dynamic instrumentation only if the static analysis cannot prove it
+//! race-free. An access is *provably race-free* when
+//!
+//! * every object it may touch is thread-private (escape analysis), or
+//! * it participates in no MHP store/access pair on a shared object, or
+//! * every such pair is consistently protected by a common lock.
+//!
+//! The planner returns the set of accesses to instrument; everything else
+//! can run uninstrumented, which is where the overhead reduction comes
+//! from. The plan errs toward instrumenting (any statically-unprovable
+//! access stays instrumented), so the dynamic tool loses no coverage.
+
+use std::collections::{HashMap, HashSet};
+
+use fsam_ir::{Module, StmtId, StmtKind};
+use fsam_pts::MemId;
+use fsam_threads::mhp::MhpOracle;
+use fsam_threads::SharedObjects;
+
+use crate::pipeline::Fsam;
+
+/// The instrumentation plan for one module.
+#[derive(Debug)]
+pub struct InstrumentationPlan {
+    /// Accesses (loads and stores) that must be instrumented.
+    pub instrument: Vec<StmtId>,
+    /// Accesses proven race-free (skippable).
+    pub skip: Vec<StmtId>,
+}
+
+impl InstrumentationPlan {
+    /// Fraction of memory accesses that can skip instrumentation.
+    pub fn reduction(&self) -> f64 {
+        let total = self.instrument.len() + self.skip.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.skip.len() as f64 / total as f64
+    }
+}
+
+/// Computes the plan from the pipeline's results.
+pub fn plan(module: &Module, fsam: &Fsam) -> InstrumentationPlan {
+    let oracle: Option<&dyn MhpOracle> = match (&fsam.interleaving, &fsam.pcg) {
+        (Some(i), _) => Some(i),
+        (None, Some(p)) => Some(p),
+        (None, None) => None,
+    };
+    let shared = SharedObjects::compute(module, &fsam.pre);
+
+    // Shared-object access sets (flow-sensitive pointer results keep the
+    // sets tight, which is exactly the precision argument of §1).
+    let mut stores_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+    let mut accesses_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+    let mut all_accesses: Vec<StmtId> = Vec::new();
+    for (sid, stmt) in module.stmts() {
+        match stmt.kind {
+            StmtKind::Store { ptr, .. } => {
+                all_accesses.push(sid);
+                for o in fsam.result.pt_var(ptr).iter() {
+                    if shared.is_shared(&fsam.pre, o) {
+                        stores_of.entry(o).or_default().push(sid);
+                        accesses_of.entry(o).or_default().push(sid);
+                    }
+                }
+            }
+            StmtKind::Load { ptr, .. } => {
+                all_accesses.push(sid);
+                for o in fsam.result.pt_var(ptr).iter() {
+                    if shared.is_shared(&fsam.pre, o) {
+                        accesses_of.entry(o).or_default().push(sid);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // An access is racy-capable if some MHP store/access pair on a common
+    // shared object is not consistently lock-protected.
+    let mut needs: HashSet<StmtId> = HashSet::new();
+    if let Some(oracle) = oracle {
+        for (&o, stores) in &stores_of {
+            let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
+            for &s in stores {
+                for &a in accesses {
+                    if needs.contains(&s) && needs.contains(&a) {
+                        continue;
+                    }
+                    if !oracle.mhp_stmt(s, a) {
+                        continue;
+                    }
+                    let protected = instances_protected(fsam, oracle, s, a);
+                    if !protected {
+                        needs.insert(s);
+                        needs.insert(a);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut instrument = Vec::new();
+    let mut skip = Vec::new();
+    for sid in all_accesses {
+        if needs.contains(&sid) {
+            instrument.push(sid);
+        } else {
+            skip.push(sid);
+        }
+    }
+    InstrumentationPlan { instrument, skip }
+}
+
+/// Whether every MHP instance pair of `(s, a)` holds a common lock.
+fn instances_protected(fsam: &Fsam, oracle: &dyn MhpOracle, s: StmtId, a: StmtId) -> bool {
+    let Some(lock) = &fsam.lock else { return false };
+    for &(t1, c1) in &oracle.instances(s) {
+        for &(t2, c2) in &oracle.instances(a) {
+            let i1 = (t1, c1, s);
+            let i2 = (t2, c2, a);
+            if oracle.mhp_instances(&fsam.icfg, i1, i2)
+                && !lock.commonly_protected(&fsam.icfg, i1, i2)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::parse::parse_module;
+
+    fn plan_for(src: &str) -> (Module, Fsam, InstrumentationPlan) {
+        let m = parse_module(src).unwrap();
+        let fsam = Fsam::analyze(&m);
+        let p = plan(&m, &fsam);
+        (m, fsam, p)
+    }
+
+    #[test]
+    fn sequential_program_needs_no_instrumentation() {
+        let (_, _, p) = plan_for(
+            r#"
+            global g
+            func main() {
+            entry:
+              q = &g
+              store q, q
+              c = load q
+              ret
+            }
+        "#,
+        );
+        assert!(p.instrument.is_empty());
+        assert_eq!(p.reduction(), 1.0);
+    }
+
+    #[test]
+    fn racy_accesses_are_instrumented_private_ones_skipped() {
+        let (m, _, p) = plan_for(
+            r#"
+            global counter
+            func worker() {
+            local scratch
+            entry:
+              q = &counter
+              s = &scratch
+              v = load s          // private: skip
+              store s, v          // private: skip
+              store q, q          // races with main's read
+              ret
+            }
+            func main() {
+            entry:
+              q = &counter
+              t = fork worker()
+              c = load q          // races with worker's store
+              join t
+              ret
+            }
+        "#,
+        );
+        // The two racy accesses are instrumented; the private ones skip.
+        assert_eq!(p.instrument.len(), 2, "{:?}", render(&m, &p.instrument));
+        assert!(p.skip.len() >= 2);
+        assert!(p.reduction() > 0.0 && p.reduction() < 1.0);
+    }
+
+    #[test]
+    fn consistently_locked_accesses_are_skipped() {
+        let (_, _, p) = plan_for(
+            r#"
+            global counter
+            global mu
+            func worker() {
+            entry:
+              q = &counter
+              l = &mu
+              lock l
+              v = load q
+              store q, v
+              unlock l
+              ret
+            }
+            func main() {
+            entry:
+              q = &counter
+              l = &mu
+              t = fork worker()
+              lock l
+              c = load q
+              unlock l
+              join t
+              ret
+            }
+        "#,
+        );
+        assert!(
+            p.instrument.is_empty(),
+            "locked accesses need no dynamic checking: {:?}",
+            p.instrument
+        );
+    }
+
+    fn render(m: &Module, stmts: &[StmtId]) -> Vec<String> {
+        stmts.iter().map(|&s| m.describe_stmt(s)).collect()
+    }
+}

@@ -1,0 +1,629 @@
+//! The FSAM pipeline — paper Figure 2.
+//!
+//! `pre-analysis → thread model → thread-oblivious SVFG → interleaving →
+//! value-flow → lock → sparse flow-sensitive resolution`, with per-phase
+//! wall-clock times, memory accounting, and the phase toggles used by the
+//! Figure 12 ablation (*No-Interleaving*, *No-Value-Flow*, *No-Lock*).
+
+use std::time::{Duration, Instant};
+
+use fsam_andersen::PreAnalysis;
+use fsam_ir::context::ContextTable;
+use fsam_ir::icfg::Icfg;
+use fsam_ir::{Module, VarId};
+use fsam_mssa::Svfg;
+use fsam_pts::{MemoryMeter, PtsSet};
+use fsam_threads::interleave::Interleaving;
+use fsam_threads::lock::LockAnalysis;
+use fsam_threads::mhp::{MhpOracle, ProcMhp};
+use fsam_threads::valueflow::{self, ValueFlowStats};
+use fsam_threads::ThreadModel;
+
+use crate::solver::{self, SparseResult};
+
+/// Which thread-interference phases run (the Figure 12 ablation knobs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PhaseConfig {
+    /// §3.3.1 interleaving analysis; when off, the PCG-style procedure-level
+    /// MHP is used instead (*No-Interleaving*).
+    pub interleaving: bool,
+    /// §3.3.2 value-flow analysis; when off, the aliasing condition of
+    /// `[THREAD-VF]` is disregarded (*No-Value-Flow*).
+    pub value_flow: bool,
+    /// §3.3.3 lock analysis; when off, no non-interference filtering
+    /// (*No-Lock*).
+    pub lock: bool,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig { interleaving: true, value_flow: true, lock: true }
+    }
+}
+
+impl PhaseConfig {
+    /// All phases on (the full FSAM configuration).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// The *No-Interleaving* ablation.
+    pub fn no_interleaving() -> Self {
+        PhaseConfig { interleaving: false, ..Self::default() }
+    }
+
+    /// The *No-Value-Flow* ablation.
+    pub fn no_value_flow() -> Self {
+        PhaseConfig { value_flow: false, ..Self::default() }
+    }
+
+    /// The *No-Lock* ablation.
+    pub fn no_lock() -> Self {
+        PhaseConfig { lock: false, ..Self::default() }
+    }
+}
+
+/// Wall-clock time of each pipeline phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimes {
+    /// Andersen pre-analysis.
+    pub pre_analysis: Duration,
+    /// ICFG + thread model construction.
+    pub thread_model: Duration,
+    /// Thread-oblivious SVFG (memory SSA).
+    pub svfg: Duration,
+    /// Interleaving (or PCG) analysis.
+    pub interleaving: Duration,
+    /// Lock analysis.
+    pub lock: Duration,
+    /// Value-flow analysis + edge insertion.
+    pub value_flow: Duration,
+    /// Sparse flow-sensitive resolution.
+    pub sparse_solve: Duration,
+}
+
+impl PhaseTimes {
+    /// Total analysis time.
+    pub fn total(&self) -> Duration {
+        self.pre_analysis
+            + self.thread_model
+            + self.svfg
+            + self.interleaving
+            + self.lock
+            + self.value_flow
+            + self.sparse_solve
+    }
+}
+
+/// The complete output of an FSAM run.
+#[derive(Debug)]
+pub struct Fsam {
+    /// The pre-analysis (Andersen) results.
+    pub pre: PreAnalysis,
+    /// The interprocedural CFG.
+    pub icfg: Icfg,
+    /// The static thread model.
+    pub tm: ThreadModel,
+    /// The (thread-aware) sparse value-flow graph.
+    pub svfg: Svfg,
+    /// The interleaving analysis (present unless *No-Interleaving*).
+    pub interleaving: Option<Interleaving>,
+    /// The PCG-style fallback oracle (present in *No-Interleaving* runs).
+    pub pcg: Option<ProcMhp>,
+    /// The lock analysis (present unless *No-Lock*).
+    pub lock: Option<LockAnalysis>,
+    /// The shared context table.
+    pub ctxs: ContextTable,
+    /// Value-flow phase statistics.
+    pub vf_stats: ValueFlowStats,
+    /// The sparse solver output.
+    pub result: SparseResult,
+    /// Per-phase wall-clock times.
+    pub times: PhaseTimes,
+    /// The configuration that ran.
+    pub config: PhaseConfig,
+}
+
+impl Fsam {
+    /// Runs the full FSAM pipeline on `module`.
+    pub fn analyze(module: &Module) -> Fsam {
+        Self::analyze_with(module, PhaseConfig::full())
+    }
+
+    /// Runs the pipeline with a specific phase configuration.
+    pub fn analyze_with(module: &Module, config: PhaseConfig) -> Fsam {
+        let mut times = PhaseTimes::default();
+
+        let t0 = Instant::now();
+        let pre = PreAnalysis::run(module);
+        times.pre_analysis = t0.elapsed();
+
+        let t0 = Instant::now();
+        let icfg = Icfg::build(module, pre.call_graph());
+        let tm = ThreadModel::build(module, &pre, &icfg);
+        times.thread_model = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut svfg = Svfg::build(module, &pre, &tm);
+        times.svfg = t0.elapsed();
+
+        let mut ctxs = ContextTable::new();
+
+        let t0 = Instant::now();
+        let (interleaving, pcg) = if config.interleaving {
+            (Some(Interleaving::compute(module, &icfg, &pre, &tm, &mut ctxs)), None)
+        } else {
+            (None, Some(ProcMhp::build(module, &icfg, &tm)))
+        };
+        times.interleaving = t0.elapsed();
+
+        let t0 = Instant::now();
+        let lock = config
+            .lock
+            .then(|| LockAnalysis::compute(module, &icfg, &pre, &tm, &mut ctxs));
+        times.lock = t0.elapsed();
+
+        let t0 = Instant::now();
+        let oracle: &dyn MhpOracle = match (&interleaving, &pcg) {
+            (Some(i), _) => i,
+            (None, Some(p)) => p,
+            (None, None) => unreachable!("one oracle always exists"),
+        };
+        let vf = valueflow::compute(
+            module,
+            &icfg,
+            &pre,
+            oracle,
+            lock.as_ref(),
+            !config.value_flow,
+        );
+        // Insert the thread-aware flows, grouping complete store×access
+        // products per object through a junction node (identical results,
+        // linear instead of quadratic edge count).
+        {
+            use std::collections::{BTreeMap, BTreeSet};
+            let mut by_obj: BTreeMap<_, Vec<(fsam_ir::StmtId, fsam_ir::StmtId)>> = BTreeMap::new();
+            for &(s, a, o) in &vf.edges {
+                by_obj.entry(o).or_default().push((s, a));
+            }
+            for (o, pairs) in by_obj {
+                // Partition stores by their exact access set; each class is
+                // a complete bipartite product and can share one junction.
+                let mut access_sets: BTreeMap<fsam_ir::StmtId, BTreeSet<fsam_ir::StmtId>> =
+                    BTreeMap::new();
+                for &(s, a) in &pairs {
+                    access_sets.entry(s).or_default().insert(a);
+                }
+                let mut classes: BTreeMap<Vec<fsam_ir::StmtId>, Vec<fsam_ir::StmtId>> =
+                    BTreeMap::new();
+                for (s, accs) in access_sets {
+                    let key: Vec<_> = accs.into_iter().collect();
+                    classes.entry(key).or_default().push(s);
+                }
+                for (accesses, stores) in classes {
+                    svfg.add_thread_group(&stores, &accesses, o);
+                }
+            }
+        }
+        times.value_flow = t0.elapsed();
+
+        let t0 = Instant::now();
+        let result = solver::solve(module, &pre, &svfg);
+        times.sparse_solve = t0.elapsed();
+
+        Fsam {
+            pre,
+            icfg,
+            tm,
+            svfg,
+            interleaving,
+            pcg,
+            lock,
+            ctxs,
+            vf_stats: vf.stats,
+            result,
+            times,
+            config,
+        }
+    }
+
+    /// The flow-sensitive points-to set of variable `var` in function
+    /// `func`, by name (convenience for tests and examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such variable exists.
+    pub fn pt_of(&self, module: &Module, func: &str, var: &str) -> &PtsSet {
+        let v = Self::var_named(module, func, var);
+        self.result.pt_var(v)
+    }
+
+    /// The names of the objects `func::var` points to, sorted.
+    pub fn pt_names(&self, module: &Module, func: &str, var: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .pt_of(module, func, var)
+            .iter()
+            .map(|o| self.pre.objects().display_name(module, o))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Looks up `func::var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such variable exists.
+    pub fn var_named(module: &Module, func: &str, var: &str) -> VarId {
+        module
+            .var_ids()
+            .find(|&v| {
+                module.var(v).name == var && module.func(module.var(v).func).name == func
+            })
+            .unwrap_or_else(|| panic!("no variable {func}::{var}"))
+    }
+
+    /// Memory held by analysis state, broken down by category (the Table 2
+    /// memory column).
+    pub fn memory(&self) -> MemoryMeter {
+        let mut m = MemoryMeter::new();
+        m.add("pre-analysis", self.pre.pts_bytes());
+        m.add("sparse-points-to", self.result.pts_bytes());
+        m
+    }
+
+    /// Whether `*p` and `*q` may alias under the flow-sensitive results
+    /// (client-facing alias query).
+    pub fn may_alias(&self, p: VarId, q: VarId) -> bool {
+        self.result.pt_var(p).intersects(self.result.pt_var(q))
+    }
+
+    /// A human-readable summary of the run: per-phase times and the key
+    /// statistics of every stage.
+    pub fn report(&self, module: &Module) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "FSAM analysis report");
+        let _ = writeln!(
+            out,
+            "  program: {} stmts, {} functions, {} objects, {} variables",
+            module.stmt_count(),
+            module.func_count(),
+            module.obj_count(),
+            module.var_count()
+        );
+        let _ = writeln!(out, "  threads: {} abstract threads", self.tm.len());
+        let _ = writeln!(
+            out,
+            "  pre-analysis:  {:>10.2?}  ({} rounds, {} pts entries)",
+            self.times.pre_analysis, self.pre.stats.rounds, self.pre.stats.pts_entries
+        );
+        let _ = writeln!(
+            out,
+            "  thread model:  {:>10.2?}",
+            self.times.thread_model
+        );
+        let _ = writeln!(
+            out,
+            "  memory SSA:    {:>10.2?}  ({} nodes, {} edges, {} mem-phis)",
+            self.times.svfg, self.svfg.stats.nodes, self.svfg.stats.edges, self.svfg.stats.mem_phis
+        );
+        let mhp_kind = if self.config.interleaving { "interleaving" } else { "PCG" };
+        let _ = writeln!(
+            out,
+            "  MHP ({mhp_kind}): {:>8.2?}",
+            self.times.interleaving
+        );
+        let _ = writeln!(
+            out,
+            "  lock analysis: {:>10.2?}  ({} spans)",
+            self.times.lock,
+            self.lock.as_ref().map_or(0, |l| l.span_count)
+        );
+        let _ = writeln!(
+            out,
+            "  value flow:    {:>10.2?}  ({} shared objects, {} MHP pairs, {} lock-filtered, {} edges)",
+            self.times.value_flow,
+            self.vf_stats.shared_objects,
+            self.vf_stats.mhp_pairs,
+            self.vf_stats.lock_filtered,
+            self.vf_stats.edges
+        );
+        let _ = writeln!(
+            out,
+            "  sparse solve:  {:>10.2?}  ({} items, {} strong / {} weak updates)",
+            self.times.sparse_solve,
+            self.result.stats.processed,
+            self.result.stats.strong_updates,
+            self.result.stats.weak_updates
+        );
+        let _ = writeln!(out, "  total:         {:>10.2?}", self.times.total());
+        let _ = writeln!(out, "  memory:        {}", self.memory());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::parse::parse_module;
+
+    /// Paper Figure 1(a): interleaving soundness — pt(c) = {y, z}.
+    #[test]
+    fn figure_1a() {
+        let m = parse_module(
+            r#"
+            global x
+            global y
+            global z
+            func foo() {
+            entry:
+              p2 = &x
+              q = &y
+              store p2, q      // *p = q (in thread t)
+              ret
+            }
+            func main() {
+            entry:
+              p = &x
+              r = &z
+              t = fork foo()
+              store p, r       // *p = r
+              c = load p       // c = *p
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let fsam = Fsam::analyze(&m);
+        assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y", "z"]);
+    }
+
+    /// Paper Figure 1(c): fork/join precision with a strong update —
+    /// pt(c) = {y} only.
+    #[test]
+    fn figure_1c() {
+        let m = parse_module(
+            r#"
+            global x
+            global y
+            global z
+            func foo() {
+            entry:
+              p2 = &x
+              q = &y
+              store p2, q      // *p = q (strong update under thread order)
+              ret
+            }
+            func main() {
+            entry:
+              p = &x
+              r = &z
+              store p, r       // *p = r
+              t = fork foo()
+              join t
+              c = load p       // c = *p — after the join
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let fsam = Fsam::analyze(&m);
+        assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y"]);
+    }
+
+    /// Paper Figure 1(d): sparsity — *x and *p don't alias, so the store to
+    /// x never pollutes c. pt(c) = {y}.
+    #[test]
+    fn figure_1d() {
+        let m = parse_module(
+            r#"
+            global x
+            global y
+            global a
+            func foo() {
+            entry:
+              p2 = &x
+              q = &y
+              xv = load p2     // x was set to &a in main; *x = r writes a
+              store xv, xv     // *x = r stand-in: writes object a, not x
+              store p2, q      // *p = q
+              ret
+            }
+            func main() {
+            entry:
+              p = &x
+              aa = &a
+              store p, aa      // x = &a
+              t = fork foo()
+              c = load p       // c = *p
+              join t
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let fsam = Fsam::analyze(&m);
+        let names = fsam.pt_names(&m, "main", "c");
+        assert!(names.contains(&"y".to_owned()));
+        assert!(!names.contains(&"x".to_owned()), "{names:?}");
+    }
+
+    /// Sequential strong updates still work end to end.
+    #[test]
+    fn sequential_strong_update() {
+        let m = parse_module(
+            r#"
+            global x
+            global y
+            global z
+            func main() {
+            entry:
+              p = &x
+              r = &z
+              q = &y
+              store p, r       // x = &z
+              store p, q       // x = &y (kills &z)
+              c = load p       // c = {y}
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let fsam = Fsam::analyze(&m);
+        assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y"]);
+        assert!(fsam.result.stats.strong_updates > 0);
+    }
+
+    /// Weak update on a heap object (never a singleton).
+    #[test]
+    fn heap_updates_are_weak() {
+        let m = parse_module(
+            r#"
+            global y
+            global z
+            func main() {
+            entry:
+              h = alloc "cell"
+              r = &z
+              q = &y
+              store h, r
+              store h, q       // weak: heap objects are not singletons
+              c = load h
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let fsam = Fsam::analyze(&m);
+        assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y", "z"]);
+    }
+
+    /// FSAM refines the pre-analysis: every sparse points-to set is a subset
+    /// of Andersen's.
+    #[test]
+    fn sparse_refines_andersen() {
+        let m = parse_module(
+            r#"
+            global x
+            global y
+            global z
+            func worker(w) {
+            entry:
+              v = load w
+              store w, v
+              ret
+            }
+            func main() {
+            entry:
+              p = &x
+              r = &z
+              q = &y
+              store p, r
+              t = fork worker(p)
+              store p, q
+              c = load p
+              join t
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let fsam = Fsam::analyze(&m);
+        for v in m.var_ids() {
+            assert!(
+                fsam.result.pt_var(v).is_subset(fsam.pre.pt_var(v)),
+                "sparse pt({}) ⊄ andersen",
+                m.var_name(v)
+            );
+        }
+    }
+
+    #[test]
+    fn alias_queries_and_report() {
+        let m = parse_module(
+            r#"
+            global x
+            global y
+            func main() {
+            entry:
+              p = &x
+              q = &x
+              r = &y
+              store p, r
+              c = load q
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let fsam = Fsam::analyze(&m);
+        let p = Fsam::var_named(&m, "main", "p");
+        let q = Fsam::var_named(&m, "main", "q");
+        let r = Fsam::var_named(&m, "main", "r");
+        assert!(fsam.may_alias(p, q));
+        assert!(!fsam.may_alias(p, r));
+        let report = fsam.report(&m);
+        assert!(report.contains("sparse solve"), "{report}");
+        assert!(report.contains("abstract threads"), "{report}");
+        assert!(report.contains("strong"), "{report}");
+    }
+
+    /// Ablations run and produce sound (superset-or-equal) results.
+    #[test]
+    fn ablations_are_sound_but_no_more_precise() {
+        let src = r#"
+            global o
+            global lk
+            global y
+            global z
+            func a() {
+            entry:
+              p = &o
+              l = &lk
+              zz = &z
+              lock l
+              store p, zz
+              yy = &y
+              store p, yy
+              unlock l
+              ret
+            }
+            func b() {
+            entry:
+              q = &o
+              l = &lk
+              lock l
+              c = load q
+              unlock l
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork a()
+              t2 = fork b()
+              join t1
+              join t2
+              p = &o
+              after = load p
+              ret
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        let full = Fsam::analyze(&m);
+        for cfg in [
+            PhaseConfig::no_interleaving(),
+            PhaseConfig::no_value_flow(),
+            PhaseConfig::no_lock(),
+        ] {
+            let ablated = Fsam::analyze_with(&m, cfg);
+            for v in m.var_ids() {
+                assert!(
+                    full.result.pt_var(v).is_subset(ablated.result.pt_var(v)),
+                    "ablation {cfg:?} lost soundness on {}",
+                    m.var_name(v)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The sparse flow-sensitive points-to solver — paper §3.4, Figure 10.
+//!
+//! Points-to facts propagate **only along the pre-computed def-use chains**:
+//! top-level variables through the partial-SSA def-use maps (rules
+//! `P-ADDR`/`P-COPY`/`P-PHI`), address-taken objects through the SVFG's
+//! indirect edges (`P-LOAD`/`P-STORE`), with strong updates at stores whose
+//! pointer resolves to a unique singleton object (`P-SU/WU` and the `kill`
+//! function). Thread-aware edges appended by the interference phases are
+//! ordinary indirect edges here — which is exactly why a strong update
+//! remains sound: `[THREAD-VF]` added a direct edge from every MHP store to
+//! every MHP access, so a kill at one store cannot hide another thread's
+//! write.
+//!
+//! # Recompute semantics
+//!
+//! Strong updates make the transfer functions non-monotone in the points-to
+//! state itself (a store's output *shrinks* when its pointer's points-to set
+//! becomes a known singleton). The solver therefore **recomputes and
+//! replaces** each definition from its inputs instead of accumulating:
+//! every top-level variable's set is re-evaluated from its complete source
+//! list (its unique SSA definition, or all argument/return bindings), and
+//! every object definition from its reaching definitions. The inputs that
+//! drive the strong/weak decision (`pt(p)`) only flip a bounded number of
+//! times (∅ → singleton → larger), after which everything is monotone, so
+//! the fixpoint exists and the worklist terminates.
+
+use std::collections::HashMap;
+
+use fsam_andersen::PreAnalysis;
+use fsam_ir::stmt::{StmtKind, Terminator};
+use fsam_ir::{Module, StmtId, VarId};
+use fsam_mssa::{NodeId as VfNodeId, NodeKind as VfNodeKind, Svfg};
+use fsam_pts::{MemId, PtsSet};
+
+/// Solver statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Worklist items processed.
+    pub processed: usize,
+    /// Store evaluations that applied a strong update.
+    pub strong_updates: usize,
+    /// Store evaluations that applied a weak update.
+    pub weak_updates: usize,
+    /// Final points-to pairs over top-level variables.
+    pub var_pts_entries: usize,
+    /// Final points-to pairs at object definitions.
+    pub def_pts_entries: usize,
+}
+
+/// The result of the sparse flow-sensitive analysis.
+#[derive(Debug)]
+pub struct SparseResult {
+    pt_vars: Vec<PtsSet>,
+    pt_defs: HashMap<(VfNodeId, MemId), PtsSet>,
+    /// Statistics.
+    pub stats: SolverStats,
+}
+
+impl SparseResult {
+    /// Flow-sensitive points-to set of a top-level variable (its unique SSA
+    /// definition makes one set per variable flow-sensitive).
+    pub fn pt_var(&self, v: VarId) -> &PtsSet {
+        &self.pt_vars[v.index()]
+    }
+
+    /// Points-to set of object `o` immediately after its definition at SVFG
+    /// node `n` (`pt(s, o)` of Figure 10).
+    pub fn pt_def(&self, n: VfNodeId, o: MemId) -> &PtsSet {
+        static EMPTY: PtsSet = PtsSet::new();
+        self.pt_defs.get(&(n, o)).unwrap_or(&EMPTY)
+    }
+
+    /// Heap bytes held by the final points-to state (memory metering).
+    pub fn pts_bytes(&self) -> usize {
+        self.pt_vars.iter().map(PtsSet::heap_bytes).sum::<usize>()
+            + self.pt_defs.values().map(PtsSet::heap_bytes).sum::<usize>()
+            + self.pt_defs.len() * std::mem::size_of::<((VfNodeId, MemId), PtsSet)>()
+    }
+}
+
+/// Runs the sparse solver over the (thread-aware) SVFG.
+pub fn solve(module: &Module, pre: &PreAnalysis, svfg: &Svfg) -> SparseResult {
+    Solver::new(module, pre, svfg).run()
+}
+
+/// Where a top-level variable's values come from.
+#[derive(Clone, Debug)]
+enum VarSource {
+    /// `v = &obj` (also the fork handle).
+    Obj(MemId),
+    /// `v ⊇ src` (copy, phi arm, argument or return binding).
+    Var(VarId),
+    /// `v = *ptr` at the given load.
+    LoadAt(StmtId, VarId),
+    /// `v = gep base, field`.
+    Gep(VarId, u32),
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum Item {
+    Stmt(StmtId),
+    /// A store whose incoming definition of one object changed.
+    StoreObj(StmtId, MemId),
+    MemNode(VfNodeId),
+    Var(VarId),
+}
+
+struct Solver<'a> {
+    module: &'a Module,
+    pre: &'a PreAnalysis,
+    svfg: &'a Svfg,
+    pt_vars: Vec<PtsSet>,
+    pt_defs: HashMap<(VfNodeId, MemId), PtsSet>,
+    var_sources: Vec<Vec<VarSource>>,
+    /// Statements to reprocess when a variable changes (syntactic uses plus
+    /// synthetic uses: call sites consuming a return variable).
+    var_dependents: Vec<Vec<Item>>,
+    /// Reaching-definition predecessors indexed by (node, object): avoids
+    /// rescanning a node's full predecessor list per object.
+    preds_by_obj: HashMap<(VfNodeId, MemId), Vec<VfNodeId>>,
+    work: Vec<Item>,
+    queued: HashMap<Item, ()>,
+    stats: SolverStats,
+}
+
+impl<'a> Solver<'a> {
+    fn new(module: &'a Module, pre: &'a PreAnalysis, svfg: &'a Svfg) -> Self {
+        let mut preds_by_obj: HashMap<(VfNodeId, MemId), Vec<VfNodeId>> = HashMap::new();
+        for n in svfg.node_ids() {
+            for &(pred, o) in svfg.preds(n) {
+                preds_by_obj.entry((n, o)).or_default().push(pred);
+            }
+        }
+        let mut solver = Solver {
+            module,
+            pre,
+            svfg,
+            pt_vars: vec![PtsSet::new(); module.var_count()],
+            pt_defs: HashMap::new(),
+            var_sources: vec![Vec::new(); module.var_count()],
+            var_dependents: vec![Vec::new(); module.var_count()],
+            preds_by_obj,
+            work: Vec::new(),
+            queued: HashMap::new(),
+            stats: SolverStats::default(),
+        };
+        solver.build_sources();
+        solver
+    }
+
+    /// Collects the complete source list per variable and the dependency
+    /// edges that drive recomputation.
+    fn build_sources(&mut self) {
+        // Syntactic uses: a statement re-evaluates when an operand changes.
+        for (sid, stmt) in self.module.stmts() {
+            for u in stmt.uses() {
+                self.var_dependents[u.index()].push(Item::Stmt(sid));
+            }
+        }
+        let cg = self.pre.call_graph();
+        // Per-function return variables.
+        let returns: Vec<Vec<VarId>> = self
+            .module
+            .funcs()
+            .map(|f| {
+                f.blocks()
+                    .filter_map(|(_, b)| match b.term {
+                        Terminator::Ret(Some(v)) => Some(v),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        for (sid, stmt) in self.module.stmts() {
+            match &stmt.kind {
+                StmtKind::Addr { dst, obj } => {
+                    let m = self.pre.objects().base(*obj);
+                    self.var_sources[dst.index()].push(VarSource::Obj(m));
+                }
+                StmtKind::Copy { dst, src } => {
+                    self.var_sources[dst.index()].push(VarSource::Var(*src));
+                }
+                StmtKind::Phi { dst, arms } => {
+                    for arm in arms {
+                        self.var_sources[dst.index()].push(VarSource::Var(arm.var));
+                    }
+                }
+                StmtKind::Load { dst, ptr } => {
+                    self.var_sources[dst.index()].push(VarSource::LoadAt(sid, *ptr));
+                }
+                StmtKind::Gep { dst, base, field } => {
+                    self.var_sources[dst.index()].push(VarSource::Gep(*base, *field));
+                }
+                StmtKind::Call { args, dst, .. } => {
+                    for callee in cg.targets(sid) {
+                        let params = &self.module.func(callee).params;
+                        for (&a, &p) in args.iter().zip(params.iter()) {
+                            self.var_sources[p.index()].push(VarSource::Var(a));
+                            self.var_dependents[a.index()].push(Item::Var(p));
+                        }
+                        if let Some(d) = dst {
+                            if !self.module.func(callee).is_external {
+                                for &r in &returns[callee.index()] {
+                                    self.var_sources[d.index()].push(VarSource::Var(r));
+                                    self.var_dependents[r.index()].push(Item::Var(*d));
+                                }
+                            }
+                        }
+                    }
+                }
+                StmtKind::Fork { dst, arg, handle_obj, .. } => {
+                    let m = self.pre.objects().base(*handle_obj);
+                    self.var_sources[dst.index()].push(VarSource::Obj(m));
+                    for callee in cg.targets(sid) {
+                        let params = &self.module.func(callee).params;
+                        if let (Some(&a), Some(&p)) = (arg.as_ref(), params.first()) {
+                            self.var_sources[p.index()].push(VarSource::Var(a));
+                            self.var_dependents[a.index()].push(Item::Var(p));
+                        }
+                    }
+                }
+                StmtKind::Store { .. }
+                | StmtKind::Join { .. }
+                | StmtKind::Lock { .. }
+                | StmtKind::Unlock { .. } => {}
+            }
+        }
+    }
+
+    fn push(&mut self, item: Item) {
+        if self.queued.insert(item, ()).is_none() {
+            self.work.push(item);
+        }
+    }
+
+    /// Merge of the reaching definitions of `o` at node `n`.
+    fn pt_in(&self, n: VfNodeId, o: MemId) -> PtsSet {
+        let mut set = PtsSet::new();
+        if let Some(preds) = self.preds_by_obj.get(&(n, o)) {
+            for &pred in preds {
+                if let Some(p) = self.pt_defs.get(&(pred, o)) {
+                    set.union_in_place(p);
+                }
+            }
+        }
+        set
+    }
+
+    /// Re-evaluates `v` from its full source list and replaces its set.
+    fn recompute_var(&mut self, v: VarId) {
+        let mut new = PtsSet::new();
+        for source in self.var_sources[v.index()].clone() {
+            match source {
+                VarSource::Obj(m) => {
+                    new.insert(m);
+                }
+                VarSource::Var(src) => {
+                    new.union_in_place(&self.pt_vars[src.index()]);
+                }
+                VarSource::LoadAt(sid, ptr) => {
+                    if let Some(node) = self.svfg.stmt_node(sid) {
+                        for o in self.pt_vars[ptr.index()].clone().iter() {
+                            new.union_in_place(&self.pt_in(node, o));
+                        }
+                    }
+                }
+                VarSource::Gep(base, field) => {
+                    for o in self.pt_vars[base.index()].clone().iter() {
+                        new.insert(self.pre.objects().field_existing(o, field));
+                    }
+                }
+            }
+        }
+        if new != self.pt_vars[v.index()] {
+            self.pt_vars[v.index()] = new;
+            for dep in self.var_dependents[v.index()].clone() {
+                self.push(dep);
+            }
+        }
+    }
+
+    /// Replaces `pt(n, o)`; on change, pushes the `o`-successors.
+    fn set_def(&mut self, n: VfNodeId, o: MemId, new: PtsSet) {
+        let changed = match self.pt_defs.get(&(n, o)) {
+            Some(old) => *old != new,
+            None => !new.is_empty(),
+        };
+        if !changed {
+            return;
+        }
+        self.pt_defs.insert((n, o), new);
+        let succs: Vec<VfNodeId> = self
+            .svfg
+            .succs(n)
+            .iter()
+            .filter(|&&(_, label)| label == o)
+            .map(|&(s, _)| s)
+            .collect();
+        for s in succs {
+            match self.svfg.kind(s) {
+                VfNodeKind::Stmt(stmt) => {
+                    if matches!(self.module.stmt(stmt).kind, StmtKind::Store { .. }) {
+                        self.push(Item::StoreObj(stmt, o));
+                    } else {
+                        self.push(Item::Stmt(stmt));
+                    }
+                }
+                _ => self.push(Item::MemNode(s)),
+            }
+        }
+    }
+
+    fn process_stmt(&mut self, sid: StmtId) {
+        let stmt = self.module.stmt(sid);
+        match &stmt.kind {
+            // [P-STORE] + [P-SU/WU].
+            StmtKind::Store { .. } => {
+                let chi: Vec<MemId> = self.svfg.annotations().chi(sid).iter().collect();
+                for o in chi {
+                    self.process_store_obj(sid, o);
+                }
+            }
+            // [P-LOAD], [P-ADDR], [P-COPY], [P-PHI], gep and call/fork
+            // bindings: all funnel through the defined variables' sources.
+            StmtKind::Call { args, dst, .. } => {
+                let targets: Vec<_> = self.pre.call_graph().targets(sid).collect();
+                let _ = args;
+                for callee in targets {
+                    for p in self.module.func(callee).params.clone() {
+                        self.recompute_var(p);
+                    }
+                }
+                if let Some(d) = dst {
+                    self.recompute_var(*d);
+                }
+            }
+            StmtKind::Fork { dst, .. } => {
+                let targets: Vec<_> = self.pre.call_graph().targets(sid).collect();
+                for callee in targets {
+                    for p in self.module.func(callee).params.clone() {
+                        self.recompute_var(p);
+                    }
+                }
+                self.recompute_var(*dst);
+            }
+            _ => {
+                if let Some(d) = stmt.def() {
+                    self.recompute_var(d);
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates one object's outgoing definition at a store
+    /// ([P-STORE] + [P-SU/WU] for a single `o`).
+    fn process_store_obj(&mut self, sid: StmtId, o: MemId) {
+        let StmtKind::Store { ptr, val } = self.module.stmt(sid).kind else { return };
+        let Some(node) = self.svfg.stmt_node(sid) else { return };
+        let ptr_pts = &self.pt_vars[ptr.index()];
+        let written = ptr_pts.contains(o);
+        let strong = ptr_pts
+            .as_singleton()
+            .is_some_and(|s| self.pre.objects().is_singleton(s));
+        let out = if written && strong {
+            // kill(s, p) = {o}: the old contents die.
+            self.stats.strong_updates += 1;
+            self.pt_vars[val.index()].clone()
+        } else {
+            let mut out = self.pt_in(node, o);
+            if written {
+                self.stats.weak_updates += 1;
+                out.union_in_place(&self.pt_vars[val.index()].clone());
+            }
+            out
+        };
+        self.set_def(node, o, out);
+    }
+
+    /// Intermediate SVFG nodes replace their value with the merge of their
+    /// reaching definitions.
+    fn process_mem_node(&mut self, n: VfNodeId) {
+        let obj = match self.svfg.kind(n) {
+            VfNodeKind::MemPhi { obj, .. }
+            | VfNodeKind::FormalIn { obj, .. }
+            | VfNodeKind::FormalOut { obj, .. }
+            | VfNodeKind::ActualOut { obj, .. }
+            | VfNodeKind::ThreadJunction { obj } => obj,
+            VfNodeKind::Stmt(_) => return,
+        };
+        let incoming = self.pt_in(n, obj);
+        self.set_def(n, obj, incoming);
+    }
+
+    fn run(mut self) -> SparseResult {
+        for sid in self.module.stmt_ids() {
+            self.push(Item::Stmt(sid));
+        }
+        // Termination backstop: the recompute semantics converge after the
+        // bounded strong/weak flips, but the bound is generous; a blow-out
+        // indicates an implementation bug and should fail loudly rather
+        // than spin forever.
+        let limit = 50_000usize
+            .saturating_mul(self.module.stmt_count() + self.svfg.node_count() + 64);
+        while let Some(item) = self.work.pop() {
+            self.queued.remove(&item);
+            self.stats.processed += 1;
+            assert!(
+                self.stats.processed <= limit,
+                "sparse solver failed to converge after {limit} items"
+            );
+            match item {
+                Item::Stmt(s) => self.process_stmt(s),
+                Item::StoreObj(s, o) => self.process_store_obj(s, o),
+                Item::MemNode(n) => self.process_mem_node(n),
+                Item::Var(v) => self.recompute_var(v),
+            }
+        }
+        self.stats.var_pts_entries = self.pt_vars.iter().map(PtsSet::len).sum();
+        self.stats.def_pts_entries = self.pt_defs.values().map(PtsSet::len).sum();
+        SparseResult { pt_vars: self.pt_vars, pt_defs: self.pt_defs, stats: self.stats }
+    }
+}

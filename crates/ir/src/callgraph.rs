@@ -1,0 +1,287 @@
+//! The program call graph.
+//!
+//! Built *on the fly* by the Andersen pre-analysis (paper §4.2): direct call
+//! edges are added immediately, indirect call and fork targets are added as
+//! function objects flow into the points-to sets of function pointers.
+//!
+//! The graph distinguishes plain call edges from fork edges: recursion (and
+//! hence the context-insensitive treatment of cyclic call sites, §3.1) is
+//! defined over call edges only, while reachability queries can optionally
+//! traverse fork edges.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ids::{FuncId, StmtId};
+
+/// Call graph with per-callsite target sets.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    n_funcs: usize,
+    targets: HashMap<StmtId, BTreeSet<FuncId>>,
+    call_edges: Vec<BTreeSet<FuncId>>,
+    fork_edges: Vec<BTreeSet<FuncId>>,
+    /// SCC id per function over call edges; computed by [`CallGraph::finalize`].
+    scc_id: Vec<u32>,
+    /// Whether the function's SCC has more than one member or a self loop.
+    in_cycle: Vec<bool>,
+    finalized: bool,
+}
+
+impl CallGraph {
+    /// Creates an empty call graph for a module with `n_funcs` functions.
+    pub fn new(n_funcs: usize) -> Self {
+        Self {
+            n_funcs,
+            targets: HashMap::new(),
+            call_edges: vec![BTreeSet::new(); n_funcs],
+            fork_edges: vec![BTreeSet::new(); n_funcs],
+            scc_id: Vec::new(),
+            in_cycle: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// Records that call site `site` in `caller` may invoke `callee`.
+    /// Returns `true` if the edge is new.
+    pub fn add_call(&mut self, caller: FuncId, site: StmtId, callee: FuncId) -> bool {
+        self.finalized = false;
+        let fresh = self.targets.entry(site).or_default().insert(callee);
+        self.call_edges[caller.index()].insert(callee);
+        fresh
+    }
+
+    /// Records that fork site `site` in `spawner` may start `routine`.
+    /// Returns `true` if the edge is new.
+    pub fn add_fork(&mut self, spawner: FuncId, site: StmtId, routine: FuncId) -> bool {
+        self.finalized = false;
+        let fresh = self.targets.entry(site).or_default().insert(routine);
+        self.fork_edges[spawner.index()].insert(routine);
+        fresh
+    }
+
+    /// Resolved targets of a call or fork site.
+    pub fn targets(&self, site: StmtId) -> impl Iterator<Item = FuncId> + '_ {
+        self.targets.get(&site).into_iter().flatten().copied()
+    }
+
+    /// Whether the site has at least one resolved target.
+    pub fn has_targets(&self, site: StmtId) -> bool {
+        self.targets.get(&site).is_some_and(|t| !t.is_empty())
+    }
+
+    /// Direct+indirect callees of `f` (call edges only).
+    pub fn callees_of(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.call_edges[f.index()].iter().copied()
+    }
+
+    /// Routines forked from within `f`.
+    pub fn forked_from(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.fork_edges[f.index()].iter().copied()
+    }
+
+    /// Functions reachable from `roots` via call edges (and fork edges if
+    /// `through_forks`), including the roots themselves.
+    pub fn reachable(&self, roots: &[FuncId], through_forks: bool) -> Vec<FuncId> {
+        let mut seen = vec![false; self.n_funcs];
+        let mut work: Vec<FuncId> = Vec::new();
+        for &r in roots {
+            if !seen[r.index()] {
+                seen[r.index()] = true;
+                work.push(r);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(f) = work.pop() {
+            out.push(f);
+            let fork_count = if through_forks { usize::MAX } else { 0 };
+            let next = self.call_edges[f.index()]
+                .iter()
+                .chain(self.fork_edges[f.index()].iter().take(fork_count));
+            for &g in next {
+                if !seen[g.index()] {
+                    seen[g.index()] = true;
+                    work.push(g);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Computes SCCs over call edges (Tarjan). Must be called after the last
+    /// edge insertion and before [`CallGraph::in_cycle`] / [`CallGraph::scc_id`].
+    pub fn finalize(&mut self) {
+        let n = self.n_funcs;
+        let mut index = vec![u32::MAX; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut scc_id = vec![u32::MAX; n];
+        let mut scc_size: Vec<u32> = Vec::new();
+
+        // Iterative Tarjan to avoid stack overflow on deep call chains.
+        enum Frame {
+            Enter(u32),
+            Continue(u32, usize),
+        }
+        for root in 0..n as u32 {
+            if index[root as usize] != u32::MAX {
+                continue;
+            }
+            let mut frames = vec![Frame::Enter(root)];
+            while let Some(frame) = frames.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        index[v as usize] = next_index;
+                        low[v as usize] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v as usize] = true;
+                        frames.push(Frame::Continue(v, 0));
+                    }
+                    Frame::Continue(v, mut i) => {
+                        let succs: Vec<u32> = self.call_edges[v as usize]
+                            .iter()
+                            .map(|f| f.raw())
+                            .collect();
+                        let mut descended = false;
+                        while i < succs.len() {
+                            let w = succs[i];
+                            i += 1;
+                            if index[w as usize] == u32::MAX {
+                                frames.push(Frame::Continue(v, i));
+                                frames.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            } else if on_stack[w as usize] {
+                                low[v as usize] = low[v as usize].min(index[w as usize]);
+                            }
+                        }
+                        if descended {
+                            continue;
+                        }
+                        if low[v as usize] == index[v as usize] {
+                            let id = scc_size.len() as u32;
+                            let mut size = 0;
+                            loop {
+                                let w = stack.pop().expect("tarjan stack");
+                                on_stack[w as usize] = false;
+                                scc_id[w as usize] = id;
+                                size += 1;
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            scc_size.push(size);
+                        }
+                        // Propagate low to parent.
+                        if let Some(Frame::Continue(p, _)) = frames.last() {
+                            let p = *p;
+                            low[p as usize] = low[p as usize].min(low[v as usize]);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.in_cycle = (0..n)
+            .map(|f| {
+                let id = scc_id[f];
+                scc_size[id as usize] > 1
+                    || self.call_edges[f].contains(&FuncId::from_usize(f))
+            })
+            .collect();
+        self.scc_id = scc_id;
+        self.finalized = true;
+    }
+
+    /// Whether `f` participates in call-graph recursion. Call sites whose
+    /// caller and callee share an SCC are analyzed context-insensitively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`CallGraph::finalize`] has not been called.
+    pub fn in_cycle(&self, f: FuncId) -> bool {
+        assert!(self.finalized, "call graph not finalized");
+        self.in_cycle[f.index()]
+    }
+
+    /// SCC id of `f` over call edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`CallGraph::finalize`] has not been called.
+    pub fn scc_id(&self, f: FuncId) -> u32 {
+        assert!(self.finalized, "call graph not finalized");
+        self.scc_id[f.index()]
+    }
+
+    /// Whether pushing `site` (a call from `caller` to `callee`) should be
+    /// context-sensitive: sites within a call-graph cycle are not pushed
+    /// (paper §3.1).
+    pub fn push_context(&self, caller: FuncId, callee: FuncId) -> bool {
+        self.scc_id(caller) != self.scc_id(callee)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FuncId {
+        FuncId::new(i)
+    }
+    fn s(i: u32) -> StmtId {
+        StmtId::new(i)
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut cg = CallGraph::new(3);
+        assert!(cg.add_call(f(0), s(0), f(1)));
+        assert!(!cg.add_call(f(0), s(0), f(1))); // duplicate
+        assert!(cg.add_fork(f(0), s(1), f(2)));
+        assert_eq!(cg.targets(s(0)).collect::<Vec<_>>(), vec![f(1)]);
+        assert_eq!(cg.callees_of(f(0)).collect::<Vec<_>>(), vec![f(1)]);
+        assert_eq!(cg.forked_from(f(0)).collect::<Vec<_>>(), vec![f(2)]);
+        assert!(cg.has_targets(s(1)));
+        assert!(!cg.has_targets(s(9)));
+    }
+
+    #[test]
+    fn reachability_with_and_without_forks() {
+        let mut cg = CallGraph::new(4);
+        cg.add_call(f(0), s(0), f(1));
+        cg.add_fork(f(1), s(1), f(2));
+        cg.add_call(f(2), s(2), f(3));
+        assert_eq!(cg.reachable(&[f(0)], false), vec![f(0), f(1)]);
+        assert_eq!(cg.reachable(&[f(0)], true), vec![f(0), f(1), f(2), f(3)]);
+    }
+
+    #[test]
+    fn scc_detection() {
+        let mut cg = CallGraph::new(4);
+        // 0 -> 1 <-> 2, 3 self-recursive
+        cg.add_call(f(0), s(0), f(1));
+        cg.add_call(f(1), s(1), f(2));
+        cg.add_call(f(2), s(2), f(1));
+        cg.add_call(f(3), s(3), f(3));
+        cg.finalize();
+        assert!(!cg.in_cycle(f(0)));
+        assert!(cg.in_cycle(f(1)));
+        assert!(cg.in_cycle(f(2)));
+        assert!(cg.in_cycle(f(3)));
+        assert_eq!(cg.scc_id(f(1)), cg.scc_id(f(2)));
+        assert_ne!(cg.scc_id(f(0)), cg.scc_id(f(1)));
+        assert!(cg.push_context(f(0), f(1)));
+        assert!(!cg.push_context(f(1), f(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not finalized")]
+    fn in_cycle_requires_finalize() {
+        let cg = CallGraph::new(1);
+        let _ = cg.in_cycle(f(0));
+    }
+}

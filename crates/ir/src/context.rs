@@ -1,0 +1,215 @@
+//! Interned calling contexts.
+//!
+//! A context is a stack of call sites `[cs0, …, csn]` from an analysis root
+//! (the entry of `main`, or a thread's start procedure) to the current
+//! statement (paper §3.1). Contexts are interned in a parent-pointer tree so
+//! pushing and popping are O(1) and contexts can be compared by id.
+//!
+//! Call sites inside call-graph cycles are analyzed context-insensitively
+//! (paper §3.1); callers enforce this by not pushing such sites — see
+//! [`CallGraph::in_cycle`](crate::callgraph::CallGraph::in_cycle). A depth
+//! cap provides a safety net against runaway recursion in ill-formed inputs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::StmtId;
+
+/// An interned calling context. `CtxId::EMPTY` is the empty stack.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(u32);
+
+impl CtxId {
+    /// The empty context `[]`.
+    pub const EMPTY: CtxId = CtxId(0);
+
+    /// Raw index (for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+impl fmt::Display for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CtxNode {
+    parent: CtxId,
+    callsite: StmtId,
+    depth: u32,
+}
+
+/// Interner for calling contexts.
+#[derive(Debug)]
+pub struct ContextTable {
+    nodes: Vec<Option<CtxNode>>, // nodes[0] = empty context
+    intern: HashMap<(CtxId, StmtId), CtxId>,
+    max_depth: u32,
+}
+
+impl Default for ContextTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The default safety cap on context depth.
+pub const DEFAULT_MAX_CTX_DEPTH: u32 = 32;
+
+impl ContextTable {
+    /// Creates a table with the default depth cap.
+    pub fn new() -> Self {
+        Self::with_max_depth(DEFAULT_MAX_CTX_DEPTH)
+    }
+
+    /// Creates a table that refuses to grow contexts beyond `max_depth`
+    /// frames; pushes beyond the cap return the context unchanged (degrading
+    /// to context-insensitivity rather than diverging).
+    pub fn with_max_depth(max_depth: u32) -> Self {
+        Self { nodes: vec![None], intern: HashMap::new(), max_depth }
+    }
+
+    /// Number of interned contexts (including the empty context).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The depth cap this table was created with.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Whether only the empty context exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Pushes `callsite` onto `ctx`, interning the result.
+    ///
+    /// Returns `ctx` unchanged if the depth cap is reached or the callsite is
+    /// already on the stack (recursion collapsed to context-insensitivity).
+    pub fn push(&mut self, ctx: CtxId, callsite: StmtId) -> CtxId {
+        if self.depth(ctx) >= self.max_depth || self.contains(ctx, callsite) {
+            return ctx;
+        }
+        if let Some(&id) = self.intern.get(&(ctx, callsite)) {
+            return id;
+        }
+        let id = CtxId(u32::try_from(self.nodes.len()).expect("too many contexts"));
+        let depth = self.depth(ctx) + 1;
+        self.nodes.push(Some(CtxNode { parent: ctx, callsite, depth }));
+        self.intern.insert((ctx, callsite), id);
+        id
+    }
+
+    /// Pops the innermost frame: returns `(parent, callsite)`, or `None` for
+    /// the empty context.
+    pub fn pop(&self, ctx: CtxId) -> Option<(CtxId, StmtId)> {
+        self.nodes[ctx.index()].as_ref().map(|n| (n.parent, n.callsite))
+    }
+
+    /// The innermost call site of `ctx`, if any.
+    pub fn peek(&self, ctx: CtxId) -> Option<StmtId> {
+        self.nodes[ctx.index()].as_ref().map(|n| n.callsite)
+    }
+
+    /// Stack depth of `ctx`.
+    pub fn depth(&self, ctx: CtxId) -> u32 {
+        self.nodes[ctx.index()].as_ref().map_or(0, |n| n.depth)
+    }
+
+    /// Whether `callsite` appears anywhere in `ctx`.
+    pub fn contains(&self, ctx: CtxId, callsite: StmtId) -> bool {
+        let mut cur = ctx;
+        while let Some(node) = self.nodes[cur.index()].as_ref() {
+            if node.callsite == callsite {
+                return true;
+            }
+            cur = node.parent;
+        }
+        false
+    }
+
+    /// The context as a bottom-to-top callsite list (outermost first).
+    pub fn frames(&self, ctx: CtxId) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        let mut cur = ctx;
+        while let Some(node) = self.nodes[cur.index()].as_ref() {
+            out.push(node.callsite);
+            cur = node.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Renders `ctx` like the paper, e.g. `[s1, s4]`.
+    pub fn display(&self, ctx: CtxId) -> String {
+        let frames: Vec<String> = self.frames(ctx).iter().map(|s| s.to_string()).collect();
+        format!("[{}]", frames.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_context() {
+        let t = ContextTable::new();
+        assert_eq!(t.depth(CtxId::EMPTY), 0);
+        assert_eq!(t.pop(CtxId::EMPTY), None);
+        assert!(t.frames(CtxId::EMPTY).is_empty());
+        assert_eq!(t.display(CtxId::EMPTY), "[]");
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut t = ContextTable::new();
+        let s1 = StmtId::new(1);
+        let s2 = StmtId::new(2);
+        let c1 = t.push(CtxId::EMPTY, s1);
+        let c2 = t.push(c1, s2);
+        assert_eq!(t.depth(c2), 2);
+        assert_eq!(t.pop(c2), Some((c1, s2)));
+        assert_eq!(t.peek(c2), Some(s2));
+        assert_eq!(t.frames(c2), vec![s1, s2]);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = ContextTable::new();
+        let s = StmtId::new(7);
+        let a = t.push(CtxId::EMPTY, s);
+        let b = t.push(CtxId::EMPTY, s);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn recursion_collapses() {
+        let mut t = ContextTable::new();
+        let s = StmtId::new(3);
+        let c1 = t.push(CtxId::EMPTY, s);
+        let c2 = t.push(c1, s); // same callsite again: collapse
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn depth_cap_stops_growth() {
+        let mut t = ContextTable::with_max_depth(2);
+        let mut c = CtxId::EMPTY;
+        for i in 0..10 {
+            c = t.push(c, StmtId::new(i));
+        }
+        assert_eq!(t.depth(c), 2);
+    }
+}

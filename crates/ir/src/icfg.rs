@@ -1,0 +1,549 @@
+//! The interprocedural control-flow graph (ICFG).
+//!
+//! Following the paper (§3.1), every statement is a node, call sites are
+//! split into a *call node* and a *return node*, and three kinds of edges are
+//! distinguished: intra-procedural edges, interprocedural call edges
+//! `s --call_i--> entry(callee)` and return edges `exit(callee) --ret_i--> s'`.
+//!
+//! Fork and join sites have no interprocedural edges (each thread has its own
+//! ICFG); the fork-to-start-routine relation is recorded separately in
+//! [`Icfg::fork_edges`] for the thread analyses.
+//!
+//! The ICFG is built after the Andersen pre-analysis, which resolves function
+//! pointers (the paper resolves them the same way).
+
+use std::collections::HashMap;
+
+use crate::callgraph::CallGraph;
+use crate::ids::{BlockId, FuncId, StmtId};
+use crate::module::Module;
+use crate::stmt::{StmtKind, Terminator};
+
+/// Identifies an ICFG node.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Raw index for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What an ICFG node represents.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Function entry.
+    Entry(FuncId),
+    /// Function exit (all returns funnel here).
+    Exit(FuncId),
+    /// A statement (for calls: the *call node*).
+    Stmt(StmtId),
+    /// The *return node* of a call site.
+    CallRet(StmtId),
+    /// A placeholder for a basic block with no statements. Keeping empty
+    /// blocks as nodes preserves the block structure of paths (loop
+    /// membership of edges matters to the interleaving analysis).
+    Skip(FuncId, BlockId),
+}
+
+/// Edge classification (paper §3.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Intra-procedural control flow.
+    Intra,
+    /// Interprocedural call edge at the given call site.
+    Call(StmtId),
+    /// Interprocedural return edge at the given call site.
+    Ret(StmtId),
+}
+
+/// The interprocedural CFG.
+#[derive(Clone, Debug)]
+pub struct Icfg {
+    nodes: Vec<NodeKind>,
+    succs: Vec<Vec<(NodeId, EdgeKind)>>,
+    preds: Vec<Vec<(NodeId, EdgeKind)>>,
+    entry_node: Vec<NodeId>,         // per func
+    exit_node: Vec<NodeId>,          // per func
+    stmt_node: Vec<NodeId>,          // per stmt
+    callret_node: HashMap<StmtId, NodeId>,
+    /// `(fork site, start routine)` pairs, resolved via the call graph.
+    pub fork_edges: Vec<(StmtId, FuncId)>,
+    func_of: Vec<FuncId>,            // per node
+}
+
+impl Icfg {
+    /// Builds the ICFG for `module` using the (pre-analysis-resolved) call
+    /// graph `cg`.
+    pub fn build(module: &Module, cg: &CallGraph) -> Icfg {
+        let mut b = Builder {
+            module,
+            cg,
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            entry_node: Vec::new(),
+            exit_node: Vec::new(),
+            stmt_node: vec![NodeId(u32::MAX); module.stmt_count()],
+            callret_node: HashMap::new(),
+            skip_node: HashMap::new(),
+            fork_edges: Vec::new(),
+            func_of: Vec::new(),
+        };
+        b.run();
+        Icfg {
+            nodes: b.nodes,
+            succs: b.succs,
+            preds: b.preds,
+            entry_node: b.entry_node,
+            exit_node: b.exit_node,
+            stmt_node: b.stmt_node,
+            callret_node: b.callret_node,
+            fork_edges: b.fork_edges,
+            func_of: b.func_of,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.index()]
+    }
+
+    /// The function a node belongs to.
+    pub fn func_of(&self, n: NodeId) -> FuncId {
+        self.func_of[n.index()]
+    }
+
+    /// Successor edges.
+    pub fn succs(&self, n: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.succs[n.index()]
+    }
+
+    /// Predecessor edges.
+    pub fn preds(&self, n: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.preds[n.index()]
+    }
+
+    /// Entry node of a function.
+    pub fn entry(&self, f: FuncId) -> NodeId {
+        self.entry_node[f.index()]
+    }
+
+    /// Exit node of a function.
+    pub fn exit(&self, f: FuncId) -> NodeId {
+        self.exit_node[f.index()]
+    }
+
+    /// The node of a statement (for calls: the call node).
+    pub fn stmt_node(&self, s: StmtId) -> NodeId {
+        let n = self.stmt_node[s.index()];
+        assert_ne!(n.0, u32::MAX, "statement {s} has no ICFG node");
+        n
+    }
+
+    /// The return node of a call site, if `s` is a call.
+    pub fn callret_node(&self, s: StmtId) -> Option<NodeId> {
+        self.callret_node.get(&s).copied()
+    }
+
+    /// The first statement executed by `f` (paper `Entry(S_t)`), if any.
+    pub fn first_stmt(&self, f: FuncId) -> Option<StmtId> {
+        let mut seen = vec![false; self.node_count()];
+        let mut work = vec![self.entry(f)];
+        while let Some(n) = work.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            if let NodeKind::Stmt(s) = self.kind(n) {
+                return Some(s);
+            }
+            for &(succ, kind) in self.succs(n) {
+                if kind == EdgeKind::Intra {
+                    work.push(succ);
+                }
+            }
+        }
+        None
+    }
+
+    /// Intra-procedural forward reachability from `from` to `to`, staying in
+    /// one function (no call/ret edges traversed; call sites are crossed via
+    /// their call-return fallthrough only when present).
+    pub fn intra_reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let mut seen = vec![false; self.node_count()];
+        let mut work = vec![from];
+        while let Some(n) = work.pop() {
+            if n == to {
+                return true;
+            }
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            // Cross call sites through the matched call-return pair.
+            if let NodeKind::Stmt(s) = self.kind(n) {
+                if let Some(ret) = self.callret_node(s) {
+                    work.push(ret);
+                }
+            }
+            for &(succ, kind) in self.succs(n) {
+                if kind == EdgeKind::Intra {
+                    work.push(succ);
+                }
+            }
+        }
+        false
+    }
+}
+
+struct Builder<'a> {
+    module: &'a Module,
+    cg: &'a CallGraph,
+    nodes: Vec<NodeKind>,
+    succs: Vec<Vec<(NodeId, EdgeKind)>>,
+    preds: Vec<Vec<(NodeId, EdgeKind)>>,
+    entry_node: Vec<NodeId>,
+    exit_node: Vec<NodeId>,
+    stmt_node: Vec<NodeId>,
+    callret_node: HashMap<StmtId, NodeId>,
+    skip_node: HashMap<(FuncId, BlockId), NodeId>,
+    fork_edges: Vec<(StmtId, FuncId)>,
+    func_of: Vec<FuncId>,
+}
+
+impl<'a> Builder<'a> {
+    fn add_node(&mut self, kind: NodeKind, func: FuncId) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many ICFG nodes"));
+        self.nodes.push(kind);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.func_of.push(func);
+        id
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        if self.succs[from.index()].iter().any(|&(t, k)| t == to && k == kind) {
+            return;
+        }
+        self.succs[from.index()].push((to, kind));
+        self.preds[to.index()].push((from, kind));
+    }
+
+    fn run(&mut self) {
+        // Pass 1: create entry/exit and statement nodes.
+        for func in self.module.funcs() {
+            let entry = self.add_node(NodeKind::Entry(func.id), func.id);
+            let exit = self.add_node(NodeKind::Exit(func.id), func.id);
+            self.entry_node.push(entry);
+            self.exit_node.push(exit);
+            if func.is_external {
+                // External functions: entry flows straight to exit.
+                self.add_edge(entry, exit, EdgeKind::Intra);
+                continue;
+            }
+            for (_, block) in func.blocks() {
+                for &s in &block.stmts {
+                    let n = self.add_node(NodeKind::Stmt(s), func.id);
+                    self.stmt_node[s.index()] = n;
+                    if self.module.stmt(s).is_call() {
+                        let r = self.add_node(NodeKind::CallRet(s), func.id);
+                        self.callret_node.insert(s, r);
+                    }
+                }
+            }
+        }
+
+        // Pass 2: wire edges.
+        for func in self.module.funcs() {
+            if func.is_external {
+                continue;
+            }
+            let entry = self.entry_node[func.id.index()];
+            let exit = self.exit_node[func.id.index()];
+
+            // Entry -> first node of entry block.
+            let first = self.block_first(func.id, BlockId::ENTRY);
+            self.add_edge(entry, first, EdgeKind::Intra);
+
+            for (bid, block) in self.module.func(func.id).blocks() {
+                // Chain statements within the block; an empty block's chain
+                // is its skip node.
+                let mut prev_out: Option<NodeId> = None;
+                for &s in &block.stmts {
+                    let node = self.stmt_node[s.index()];
+                    if let Some(p) = prev_out {
+                        self.add_edge(p, node, EdgeKind::Intra);
+                    }
+                    prev_out = Some(self.wire_stmt(s, node));
+                }
+                let last = match prev_out {
+                    Some(p) => p,
+                    None => self.skip(func.id, bid),
+                };
+                // Last node of block -> terminator targets.
+                let targets: Vec<NodeId> = match &block.term {
+                    Terminator::Jump(t) => vec![self.block_first(func.id, *t)],
+                    Terminator::Branch(t, e) => {
+                        vec![self.block_first(func.id, *t), self.block_first(func.id, *e)]
+                    }
+                    Terminator::Ret(_) => vec![exit],
+                };
+                for &t in &targets {
+                    self.add_edge(last, t, EdgeKind::Intra);
+                }
+            }
+        }
+    }
+
+    /// The placeholder node of an empty block.
+    fn skip(&mut self, func: FuncId, block: BlockId) -> NodeId {
+        if let Some(&n) = self.skip_node.get(&(func, block)) {
+            return n;
+        }
+        let n = self.add_node(NodeKind::Skip(func, block), func);
+        self.skip_node.insert((func, block), n);
+        n
+    }
+
+    /// Wires the interprocedural edges of statement `s` and returns the node
+    /// from which control continues (the call-return node for calls).
+    fn wire_stmt(&mut self, s: StmtId, node: NodeId) -> NodeId {
+        let stmt = self.module.stmt(s);
+        match &stmt.kind {
+            StmtKind::Call { .. } => {
+                let ret = self.callret_node[&s];
+                let mut has_body_callee = false;
+                let targets: Vec<FuncId> = self.cg.targets(s).collect();
+                for callee in targets {
+                    if self.module.func(callee).is_external {
+                        continue;
+                    }
+                    has_body_callee = true;
+                    let ce = self.entry_node[callee.index()];
+                    let cx = self.exit_node[callee.index()];
+                    self.add_edge(node, ce, EdgeKind::Call(s));
+                    self.add_edge(cx, ret, EdgeKind::Ret(s));
+                }
+                if !has_body_callee {
+                    self.add_edge(node, ret, EdgeKind::Intra);
+                }
+                ret
+            }
+            StmtKind::Fork { .. } => {
+                for routine in self.cg.targets(s) {
+                    self.fork_edges.push((s, routine));
+                }
+                node
+            }
+            _ => node,
+        }
+    }
+
+    /// The first node of `block`: its first statement, or its skip node if
+    /// it is empty.
+    fn block_first(&mut self, func: FuncId, block: BlockId) -> NodeId {
+        let blk = &self.module.func(func).blocks[block];
+        match blk.stmts.first() {
+            Some(&s) => self.stmt_node[s.index()],
+            None => self.skip(func, block),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    fn two_funcs() -> (Module, FuncId, FuncId, StmtId) {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let callee = mb.declare_func("callee", &["x"]);
+        let mut f = mb.define_func(callee);
+        let p = f.param(0);
+        f.store(p, p);
+        f.ret(None);
+        f.finish();
+        let mut f = mb.func("main", &[]);
+        let p = f.addr("p", g);
+        let call = f.call(None, callee, &[p]);
+        f.store(p, p);
+        f.ret(None);
+        f.finish();
+        let m = mb.build();
+        let main = m.entry().unwrap();
+        (m, main, callee, call)
+    }
+
+    #[test]
+    fn call_site_is_split() {
+        let (m, main, callee, call) = two_funcs();
+        let mut cg = CallGraph::new(m.func_count());
+        cg.add_call(main, call, callee);
+        let icfg = Icfg::build(&m, &cg);
+        let call_node = icfg.stmt_node(call);
+        let ret_node = icfg.callret_node(call).unwrap();
+        // Call node has a call edge to callee entry, no direct fallthrough.
+        assert!(icfg
+            .succs(call_node)
+            .iter()
+            .any(|&(t, k)| t == icfg.entry(callee) && k == EdgeKind::Call(call)));
+        assert!(!icfg.succs(call_node).iter().any(|&(t, _)| t == ret_node));
+        // Callee exit returns to the return node.
+        assert!(icfg
+            .succs(icfg.exit(callee))
+            .iter()
+            .any(|&(t, k)| t == ret_node && k == EdgeKind::Ret(call)));
+    }
+
+    #[test]
+    fn unresolved_call_falls_through() {
+        let (m, _, _, call) = two_funcs();
+        let cg = CallGraph::new(m.func_count()); // no targets resolved
+        let icfg = Icfg::build(&m, &cg);
+        let call_node = icfg.stmt_node(call);
+        let ret_node = icfg.callret_node(call).unwrap();
+        assert!(icfg
+            .succs(call_node)
+            .iter()
+            .any(|&(t, k)| t == ret_node && k == EdgeKind::Intra));
+    }
+
+    #[test]
+    fn fork_has_no_call_edge_but_is_recorded() {
+        let mut mb = ModuleBuilder::new();
+        let worker = mb.declare_func("worker", &[]);
+        let mut f = mb.define_func(worker);
+        f.ret(None);
+        f.finish();
+        let mut f = mb.func("main", &[]);
+        let t = f.fork("t", worker, None);
+        f.join(t);
+        f.ret(None);
+        f.finish();
+        let m = mb.build();
+        let fork_stmt = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Fork { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut cg = CallGraph::new(m.func_count());
+        cg.add_fork(m.entry().unwrap(), fork_stmt, worker);
+        let icfg = Icfg::build(&m, &cg);
+        let fork_node = icfg.stmt_node(fork_stmt);
+        // No interprocedural edges out of the fork node.
+        assert!(icfg.succs(fork_node).iter().all(|&(_, k)| k == EdgeKind::Intra));
+        assert_eq!(icfg.fork_edges, vec![(fork_stmt, worker)]);
+        // Control continues to the join.
+        assert_eq!(icfg.succs(fork_node).len(), 1);
+    }
+
+    #[test]
+    fn first_stmt_and_reachability() {
+        let (m, main, callee, call) = two_funcs();
+        let mut cg = CallGraph::new(m.func_count());
+        cg.add_call(main, call, callee);
+        let icfg = Icfg::build(&m, &cg);
+        let first = icfg.first_stmt(main).unwrap();
+        assert!(matches!(m.stmt(first).kind, StmtKind::Addr { .. }));
+        // The store after the call is intra-reachable from the first stmt.
+        let store_after = m
+            .stmts()
+            .filter(|(_, s)| s.func == main && matches!(s.kind, StmtKind::Store { .. }))
+            .map(|(id, _)| id)
+            .next()
+            .unwrap();
+        assert!(icfg.intra_reaches(icfg.stmt_node(first), icfg.stmt_node(store_after)));
+        // But not backwards.
+        assert!(!icfg.intra_reaches(icfg.stmt_node(store_after), icfg.stmt_node(first)));
+    }
+
+    #[test]
+    fn empty_blocks_get_skip_nodes_preserving_block_identity() {
+        // entry -> loop_h(empty) -> body | out(empty) -> tail
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        let loop_h = f.block("loop_h");
+        let body = f.block("body");
+        let out = f.block("out");
+        let tail = f.block("tail");
+        f.jump(loop_h);
+        f.switch_to(loop_h);
+        f.branch(body, out);
+        f.switch_to(body);
+        let p = f.addr("p", g);
+        let _ = p;
+        f.jump(loop_h);
+        f.switch_to(out);
+        f.jump(tail);
+        f.switch_to(tail);
+        f.addr("q", g);
+        f.ret(None);
+        f.finish();
+        let m = mb.build();
+        let cg = CallGraph::new(m.func_count());
+        let icfg = Icfg::build(&m, &cg);
+        let main = m.entry().unwrap();
+        // The empty blocks appear as Skip nodes with their block identity.
+        let skips: Vec<_> = icfg
+            .node_ids()
+            .filter_map(|n| match icfg.kind(n) {
+                NodeKind::Skip(f, b) => Some((f, b)),
+                _ => None,
+            })
+            .collect();
+        assert!(skips.contains(&(main, loop_h)));
+        assert!(skips.contains(&(main, out)));
+        // The path from body back to tail passes through the loop header's
+        // skip node — no direct body -> tail edge exists.
+        let body_stmt = m.stmts().find(|(_, s)| s.block == body).unwrap().0;
+        let tail_stmt = m.stmts().find(|(_, s)| s.block == tail).unwrap().0;
+        let body_node = icfg.stmt_node(body_stmt);
+        let tail_node = icfg.stmt_node(tail_stmt);
+        assert!(!icfg.succs(body_node).iter().any(|&(t, _)| t == tail_node));
+        assert!(icfg.intra_reaches(body_node, tail_node));
+    }
+
+    #[test]
+    fn empty_blocks_are_skipped() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        let empty = f.block("empty");
+        let tail = f.block("tail");
+        f.jump(empty);
+        f.switch_to(empty);
+        f.jump(tail);
+        f.switch_to(tail);
+        let p = f.addr("p", g);
+        let _ = p;
+        f.ret(None);
+        f.finish();
+        let m = mb.build();
+        let cg = CallGraph::new(m.func_count());
+        let icfg = Icfg::build(&m, &cg);
+        let main = m.entry().unwrap();
+        // Entry connects (through the empty blocks) straight to the addr stmt.
+        let first = icfg.first_stmt(main).unwrap();
+        assert!(matches!(m.stmt(first).kind, StmtKind::Addr { .. }));
+    }
+}

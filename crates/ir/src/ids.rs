@@ -1,0 +1,251 @@
+//! Strongly-typed index newtypes used throughout the IR and the analyses.
+//!
+//! Every entity in a [`Module`](crate::Module) — functions, basic blocks,
+//! statements, top-level variables and abstract objects — is identified by a
+//! dense `u32` index wrapped in a dedicated newtype ([C-NEWTYPE]). Dense ids
+//! let the analyses use plain vectors instead of hash maps on their hottest
+//! paths.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+/// Defines a `u32`-backed index newtype with the common trait surface.
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `raw` does not fit in `u32`.
+            #[inline]
+            pub fn from_usize(raw: usize) -> Self {
+                Self(u32::try_from(raw).expect("index overflows u32"))
+            }
+
+            /// Returns the raw `u32` index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the index as a `usize`, suitable for vector indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id! {
+    /// Identifies a function within a [`Module`](crate::Module).
+    FuncId, "fn"
+}
+
+define_id! {
+    /// Identifies a basic block *within its owning function*.
+    ///
+    /// Block ids are function-local: `BlockId::new(0)` is the entry block of
+    /// every function.
+    BlockId, "bb"
+}
+
+define_id! {
+    /// Identifies a statement. Statement ids are global across the module so
+    /// that module-wide analyses can key dense side tables by statement.
+    StmtId, "s"
+}
+
+define_id! {
+    /// Identifies a top-level (SSA) variable, the set `T` of the paper's
+    /// partial-SSA form (§2.1). Top-level variables are kept in registers,
+    /// have a unique definition and are never accessed indirectly.
+    VarId, "%"
+}
+
+define_id! {
+    /// Identifies an abstract memory object, the set `A` of the paper's
+    /// partial-SSA form (§2.1): address-taken locals/globals, heap allocation
+    /// sites, functions (for function pointers) and thread handles.
+    ObjId, "@"
+}
+
+impl BlockId {
+    /// The entry block of every function.
+    pub const ENTRY: BlockId = BlockId::new(0);
+}
+
+/// A dense map from an id type to values, backed by a `Vec`.
+///
+/// This is a thin convenience wrapper: it panics on out-of-bounds access just
+/// like slice indexing, and supports growing with a default value.
+#[derive(Clone, PartialEq, Eq)]
+pub struct IdVec<I, T> {
+    raw: Vec<T>,
+    _marker: std::marker::PhantomData<fn(I)>,
+}
+
+impl<I, T: fmt::Debug> fmt::Debug for IdVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.raw.iter()).finish()
+    }
+}
+
+impl<I, T> Default for IdVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I, T> IdVec<I, T> {
+    /// Creates an empty map.
+    pub const fn new() -> Self {
+        Self { raw: Vec::new(), _marker: std::marker::PhantomData }
+    }
+}
+
+impl<I: Into<usize> + Copy, T> IdVec<I, T> {
+    /// Creates a map with `n` copies of `value`.
+    pub fn from_elem(value: T, n: usize) -> Self
+    where
+        T: Clone,
+    {
+        Self { raw: vec![value; n], _marker: std::marker::PhantomData }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Appends a value, returning nothing; callers mint ids separately.
+    pub fn push(&mut self, value: T) {
+        self.raw.push(value);
+    }
+
+    /// Ensures index `i` exists, filling gaps with `default`.
+    pub fn grow_to(&mut self, n: usize, default: T)
+    where
+        T: Clone,
+    {
+        if self.raw.len() < n {
+            self.raw.resize(n, default);
+        }
+    }
+
+    /// Immutable iteration over values.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Mutable iteration over values.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Returns the value at `id`, if present.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.raw.get(id.into())
+    }
+}
+
+impl<I: Into<usize> + Copy, T> std::ops::Index<I> for IdVec<I, T> {
+    type Output = T;
+
+    fn index(&self, id: I) -> &T {
+        &self.raw[id.into()]
+    }
+}
+
+impl<I: Into<usize> + Copy, T> std::ops::IndexMut<I> for IdVec<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.raw[id.into()]
+    }
+}
+
+impl<I: Into<usize> + Copy, T> FromIterator<T> for IdVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        Self { raw: iter.into_iter().collect(), _marker: std::marker::PhantomData }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let v = VarId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v}"), "%42");
+        assert_eq!(format!("{v:?}"), "%42");
+    }
+
+    #[test]
+    fn id_ordering_follows_index() {
+        assert!(StmtId::new(1) < StmtId::new(2));
+        assert_eq!(FuncId::from_usize(7), FuncId::new(7));
+    }
+
+    #[test]
+    fn idvec_push_and_index() {
+        let mut m: IdVec<VarId, &str> = IdVec::new();
+        m.push("a");
+        m.push("b");
+        assert_eq!(m[VarId::new(1)], "b");
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn idvec_grow_to_fills_defaults() {
+        let mut m: IdVec<BlockId, u32> = IdVec::new();
+        m.grow_to(3, 9);
+        assert_eq!(m[BlockId::new(2)], 9);
+        m.grow_to(2, 0); // no shrink
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn id_from_usize_overflow_panics() {
+        let _ = VarId::from_usize(u32::MAX as usize + 1);
+    }
+}

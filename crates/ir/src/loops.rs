@@ -1,0 +1,197 @@
+//! Natural-loop detection.
+//!
+//! The thread model needs to know whether a fork or join site sits inside a
+//! loop: a fork in a loop spawns a *multi-forked* abstract thread (paper
+//! Definition 1), and the symmetric fork/join loop pattern of Figure 11 is
+//! recognized by correlating the loops of a fork site and a join site.
+
+use crate::dom::DomTree;
+use crate::ids::{BlockId, IdVec};
+use crate::module::Function;
+
+/// A natural loop: a back edge `latch -> header` plus the body blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// Loop header (dominates all body blocks).
+    pub header: BlockId,
+    /// Blocks in the loop body (including header and latches), sorted.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Loop information for one function.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+    /// Innermost loop of each block, if any (index into `loops`).
+    innermost: IdVec<BlockId, Option<u32>>,
+}
+
+impl LoopInfo {
+    /// Detects the natural loops of `func` using its dominator tree.
+    pub fn compute(func: &Function, dom: &DomTree) -> LoopInfo {
+        let n = func.blocks.len();
+        let preds = func.predecessors();
+        // Collect back edges: succ dominates pred.
+        let mut headers: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for (bid, block) in func.blocks() {
+            if !dom.is_reachable(bid) {
+                continue;
+            }
+            for succ in block.term.successors() {
+                if dom.dominates(succ, bid) {
+                    match headers.iter_mut().find(|(h, _)| *h == succ) {
+                        Some((_, latches)) => latches.push(bid),
+                        None => headers.push((succ, vec![bid])),
+                    }
+                }
+            }
+        }
+        // For each header, flood backwards from latches until the header.
+        let mut loops = Vec::new();
+        for (header, latches) in headers {
+            let mut in_body = vec![false; n];
+            in_body[header.index()] = true;
+            let mut work: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if !in_body[l.index()] {
+                    in_body[l.index()] = true;
+                    work.push(l);
+                }
+            }
+            while let Some(b) = work.pop() {
+                for &p in &preds[b] {
+                    if dom.is_reachable(p) && !in_body[p.index()] {
+                        in_body[p.index()] = true;
+                        work.push(p);
+                    }
+                }
+            }
+            let mut blocks: Vec<BlockId> = (0..n as u32)
+                .map(BlockId::new)
+                .filter(|b| in_body[b.index()])
+                .collect();
+            blocks.sort();
+            loops.push(Loop { header, blocks });
+        }
+        // Sort loops by size descending so that assigning in order leaves the
+        // *innermost* (smallest) loop per block.
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+        let mut innermost: IdVec<BlockId, Option<u32>> = IdVec::from_elem(None, n);
+        let mut order: Vec<usize> = (0..loops.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(loops[i].blocks.len()));
+        for (rank, &i) in order.iter().enumerate() {
+            let _ = rank;
+            for &b in &loops[i].blocks {
+                innermost[b] = Some(i as u32);
+            }
+        }
+        LoopInfo { loops, innermost }
+    }
+
+    /// All loops (outermost first by size; order otherwise unspecified).
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Whether `b` is inside any loop.
+    pub fn in_loop(&self, b: BlockId) -> bool {
+        self.innermost.get(b).is_some_and(|x| x.is_some())
+    }
+
+    /// Index of the innermost loop containing `b`, if any.
+    pub fn innermost_loop(&self, b: BlockId) -> Option<u32> {
+        self.innermost.get(b).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::module::Module;
+
+    fn single_loop() -> Module {
+        // entry -> header; header -> body | exit; body -> header
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main", &[]);
+        let header = f.block("header");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        f.jump(header);
+        f.switch_to(header);
+        f.branch(body, exit);
+        f.switch_to(body);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.build()
+    }
+
+    #[test]
+    fn detects_single_loop() {
+        let m = single_loop();
+        let func = m.func(m.entry().unwrap());
+        let dom = DomTree::compute(func);
+        let li = LoopInfo::compute(func, &dom);
+        assert_eq!(li.loops().len(), 1);
+        let l = &li.loops()[0];
+        assert_eq!(l.header, BlockId::new(1));
+        assert_eq!(l.blocks, vec![BlockId::new(1), BlockId::new(2)]);
+        assert!(li.in_loop(BlockId::new(2)));
+        assert!(!li.in_loop(BlockId::new(0)));
+        assert!(!li.in_loop(BlockId::new(3)));
+    }
+
+    #[test]
+    fn nested_loops_innermost_wins() {
+        // entry -> h1; h1 -> h2 | exit; h2 -> b2 | l1latch; b2 -> h2; l1latch -> h1
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main", &[]);
+        let h1 = f.block("h1");
+        let h2 = f.block("h2");
+        let b2 = f.block("b2");
+        let l1latch = f.block("l1latch");
+        let exit = f.block("exit");
+        f.jump(h1);
+        f.switch_to(h1);
+        f.branch(h2, exit);
+        f.switch_to(h2);
+        f.branch(b2, l1latch);
+        f.switch_to(b2);
+        f.jump(h2);
+        f.switch_to(l1latch);
+        f.jump(h1);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        let m = mb.build();
+        let func = m.func(m.entry().unwrap());
+        let dom = DomTree::compute(func);
+        let li = LoopInfo::compute(func, &dom);
+        assert_eq!(li.loops().len(), 2);
+        // b2 belongs to the inner loop headed at h2.
+        let inner = li.innermost_loop(b2).unwrap();
+        assert_eq!(li.loops()[inner as usize].header, h2);
+        // l1latch belongs only to the outer loop headed at h1.
+        let outer = li.innermost_loop(l1latch).unwrap();
+        assert_eq!(li.loops()[outer as usize].header, h1);
+        assert_ne!(inner, outer);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        let p = f.addr("p", g);
+        f.store(p, p);
+        f.ret(None);
+        f.finish();
+        let m = mb.build();
+        let func = m.func(m.entry().unwrap());
+        let dom = DomTree::compute(func);
+        let li = LoopInfo::compute(func, &dom);
+        assert!(li.loops().is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! The [`Module`]: the arena that owns functions, blocks, statements,
+//! top-level variables and abstract objects.
+
+use std::collections::HashMap;
+
+use crate::ids::{BlockId, FuncId, IdVec, ObjId, StmtId, VarId};
+use crate::stmt::{Stmt, StmtKind, Terminator};
+
+/// What an abstract object is. The kind drives singleton classification
+/// (strong updates, paper Fig. 10) and the thread/lock models.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// A global variable (address-taken).
+    Global,
+    /// A stack variable of `func` (address-taken local).
+    Stack(FuncId),
+    /// A heap allocation site (one abstract object per site, §4.2).
+    Heap,
+    /// A function, pointed to by function pointers.
+    Func(FuncId),
+    /// The opaque thread handle produced by the fork at `StmtId`.
+    Thread(StmtId),
+}
+
+/// Metadata of an abstract object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjInfo {
+    /// Human-readable name (unique within the module for globals/functions).
+    pub name: String,
+    /// Object kind.
+    pub kind: ObjKind,
+    /// Whether the object is an array. Arrays are monolithic: field accesses
+    /// collapse to the object itself, and arrays are never singletons.
+    pub is_array: bool,
+}
+
+/// Metadata of a top-level variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Name as written in the source (unique within its function).
+    pub name: String,
+    /// Owning function.
+    pub func: FuncId,
+}
+
+/// A basic block: an ordered list of statements plus a terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Label as written in the source.
+    pub name: String,
+    /// Statements, in program order.
+    pub stmts: Vec<StmtId>,
+    /// Control-flow terminator.
+    pub term: Terminator,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// This function's id.
+    pub id: FuncId,
+    /// Formal parameters, in order.
+    pub params: Vec<VarId>,
+    /// Basic blocks; `blocks[0]` is the entry block.
+    pub blocks: IdVec<BlockId, Block>,
+    /// Address-taken stack objects declared in this function.
+    pub locals: Vec<ObjId>,
+    /// The function object used when this function's address is taken.
+    pub func_obj: ObjId,
+    /// Whether this is only a declaration (external function with no body).
+    pub is_external: bool,
+}
+
+impl Function {
+    /// Iterates over `(BlockId, &Block)` pairs in definition order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::from_usize(i), b))
+    }
+
+    /// Predecessor lists for each block.
+    pub fn predecessors(&self) -> IdVec<BlockId, Vec<BlockId>> {
+        let mut preds: IdVec<BlockId, Vec<BlockId>> =
+            IdVec::from_elem(Vec::new(), self.blocks.len());
+        for (bid, block) in self.blocks() {
+            for succ in block.term.successors() {
+                preds[succ].push(bid);
+            }
+        }
+        preds
+    }
+}
+
+/// A whole program in partial-SSA form.
+///
+/// `Module` is an append-only arena: construction goes through
+/// [`ModuleBuilder`](crate::builder::ModuleBuilder) (or the
+/// [FIR parser](crate::parse)), after which the module is immutable and the
+/// analyses key dense side tables by its ids.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    pub(crate) funcs: Vec<Function>,
+    pub(crate) func_by_name: HashMap<String, FuncId>,
+    pub(crate) vars: Vec<VarInfo>,
+    pub(crate) objs: Vec<ObjInfo>,
+    pub(crate) stmts: Vec<Stmt>,
+}
+
+impl Module {
+    /// Creates an empty module. Prefer [`ModuleBuilder`] for construction.
+    ///
+    /// [`ModuleBuilder`]: crate::builder::ModuleBuilder
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- functions ----------------------------------------------------
+
+    /// Number of functions.
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// All function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.funcs.len() as u32).map(FuncId::new)
+    }
+
+    /// The function with the given id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.func_by_name.get(name).copied()
+    }
+
+    /// The program entry point (`main`), if defined.
+    pub fn entry(&self) -> Option<FuncId> {
+        self.func_by_name("main")
+    }
+
+    /// Iterates over all functions.
+    pub fn funcs(&self) -> impl Iterator<Item = &Function> {
+        self.funcs.iter()
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    /// Number of statements.
+    pub fn stmt_count(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// The statement with the given id.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.stmts[id.index()]
+    }
+
+    /// All statement ids.
+    pub fn stmt_ids(&self) -> impl Iterator<Item = StmtId> {
+        (0..self.stmts.len() as u32).map(StmtId::new)
+    }
+
+    /// Iterates over `(StmtId, &Stmt)` pairs.
+    pub fn stmts(&self) -> impl Iterator<Item = (StmtId, &Stmt)> {
+        self.stmts.iter().enumerate().map(|(i, s)| (StmtId::from_usize(i), s))
+    }
+
+    // ---- variables ----------------------------------------------------
+
+    /// Number of top-level variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Metadata of a top-level variable.
+    pub fn var(&self, id: VarId) -> &VarInfo {
+        &self.vars[id.index()]
+    }
+
+    /// All variable ids.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.vars.len() as u32).map(VarId::new)
+    }
+
+    /// The display name of a variable (e.g. `main::p`).
+    pub fn var_name(&self, id: VarId) -> String {
+        let info = self.var(id);
+        format!("{}::{}", self.func(info.func).name, info.name)
+    }
+
+    // ---- objects ------------------------------------------------------
+
+    /// Number of abstract objects.
+    pub fn obj_count(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Metadata of an abstract object.
+    pub fn obj(&self, id: ObjId) -> &ObjInfo {
+        &self.objs[id.index()]
+    }
+
+    /// All object ids.
+    pub fn obj_ids(&self) -> impl Iterator<Item = ObjId> {
+        (0..self.objs.len() as u32).map(ObjId::new)
+    }
+
+    /// Iterates over `(ObjId, &ObjInfo)` pairs.
+    pub fn objs(&self) -> impl Iterator<Item = (ObjId, &ObjInfo)> {
+        self.objs.iter().enumerate().map(|(i, o)| (ObjId::from_usize(i), o))
+    }
+
+    /// Looks a global object up by name.
+    pub fn global_by_name(&self, name: &str) -> Option<ObjId> {
+        self.objs().find(|(_, o)| o.kind == ObjKind::Global && o.name == name).map(|(id, _)| id)
+    }
+
+    // ---- convenience queries -------------------------------------------
+
+    /// Statements of `func` in block order (the order used for intra-block
+    /// position comparisons).
+    pub fn func_stmts(&self, func: FuncId) -> impl Iterator<Item = StmtId> + '_ {
+        self.func(func).blocks.iter().flat_map(|b| b.stmts.iter().copied())
+    }
+
+    /// The statement's position within its block (index into
+    /// `Block::stmts`). Linear scan; used only in diagnostics and tests.
+    pub fn stmt_pos(&self, id: StmtId) -> usize {
+        let s = self.stmt(id);
+        self.func(s.func).blocks[s.block]
+            .stmts
+            .iter()
+            .position(|&x| x == id)
+            .expect("statement listed in its block")
+    }
+
+    /// The direct callees named in the program text (ignores indirect
+    /// calls). Used before the pre-analysis has resolved function pointers.
+    pub fn direct_callees(&self, id: StmtId) -> Option<FuncId> {
+        match &self.stmt(id).kind {
+            StmtKind::Call { callee, .. } | StmtKind::Fork { callee, .. } => callee.as_direct(),
+            _ => None,
+        }
+    }
+
+    /// Renders a statement for diagnostics, e.g. `main.bb0: store p, q`.
+    pub fn describe_stmt(&self, id: StmtId) -> String {
+        let s = self.stmt(id);
+        format!("{}.{}: {}", self.func(s.func).name, s.block, crate::print::stmt_to_string(self, id))
+    }
+}

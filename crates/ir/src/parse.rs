@@ -1,0 +1,1020 @@
+//! Textual frontend: the FIR language.
+//!
+//! FIR is a compact partial-SSA syntax for writing analysis inputs by hand —
+//! the paper's example programs (Figures 1, 6, 8, 9, 11) are included as FIR
+//! sources in the integration tests. The pretty printer
+//! ([`crate::print::module_to_string`]) emits FIR that parses back to an
+//! equivalent module.
+//!
+//! # Grammar
+//!
+//! ```text
+//! module  := item*
+//! item    := 'global' 'array'? NAME
+//!          | 'extern' 'func' NAME '(' params? ')'
+//!          | 'func' NAME '(' params? ')' '{' local* block+ '}'
+//! local   := 'local' 'array'? NAME
+//! block   := NAME ':' stmt* term
+//! stmt    := NAME '=' rhs
+//!          | 'store' NAME ',' NAME
+//!          | 'call' callee '(' args? ')'
+//!          | 'join' NAME | 'lock' NAME | 'unlock' NAME
+//! rhs     := '&' NAME | 'alloc' STRING? | 'load' NAME
+//!          | 'gep' NAME ',' INT
+//!          | 'phi' '[' NAME ':' NAME (',' NAME ':' NAME)* ']'
+//!          | 'call' callee '(' args? ')'
+//!          | 'fork' callee '(' NAME? ')'
+//!          | NAME
+//! term    := 'br' NAME | 'br' ('?' | NAME) ',' NAME ',' NAME | 'ret' NAME?
+//! callee  := NAME | '*' NAME
+//! ```
+//!
+//! `&NAME` resolves to a local of the current function, then a global, then
+//! a function (function pointer). Line comments start with `//`.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! global x
+//! global y
+//!
+//! func foo() {
+//! entry:
+//!   q = &y
+//!   ret
+//! }
+//!
+//! func main() {
+//! entry:
+//!   p = &x
+//!   t = fork foo()
+//!   join t
+//!   c = load p
+//!   ret
+//! }
+//! "#;
+//! let module = fsam_ir::parse::parse_module(src)?;
+//! assert_eq!(module.func_count(), 2);
+//! # Ok::<(), fsam_ir::parse::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::builder::{FunctionBuilder, ModuleBuilder};
+use crate::ids::{BlockId, FuncId, ObjId, VarId};
+use crate::module::Module;
+
+/// A parse failure with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------- lexer ---
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    Str(String),
+    Int(u32),
+    Punct(char), // = & , ( ) { } [ ] : * ?
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            col = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(ParseError {
+                        line: tl,
+                        col: tc,
+                        message: "unexpected `/` (comments are `//`)".into(),
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some('\n') | None => {
+                            return Err(ParseError {
+                                line: tl,
+                                col: tc,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(ch) => {
+                            col += 1;
+                            s.push(ch);
+                        }
+                    }
+                }
+                out.push(SpannedTok { tok: Tok::Str(s), line: tl, col: tc });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let value = n.parse::<u32>().map_err(|_| ParseError {
+                    line: tl,
+                    col: tc,
+                    message: format!("integer `{n}` out of range"),
+                })?;
+                out.push(SpannedTok { tok: Tok::Int(value), line: tl, col: tc });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '.' || d == '$' {
+                        s.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok { tok: Tok::Name(s), line: tl, col: tc });
+            }
+            '=' | '&' | ',' | '(' | ')' | '{' | '}' | '[' | ']' | ':' | '*' | '?' => {
+                chars.next();
+                col += 1;
+                out.push(SpannedTok { tok: Tok::Punct(c), line: tl, col: tc });
+            }
+            other => {
+                return Err(ParseError {
+                    line: tl,
+                    col: tc,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser ---
+
+/// Parses FIR source text into a [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column on malformed input. Note that
+/// semantic SSA violations are *not* caught here; run
+/// [`verify_module`](crate::verify::verify_module) afterwards.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, mb: ModuleBuilder::new() };
+    p.module()?;
+    Ok(p.mb.build())
+}
+
+const KEYWORDS: &[&str] = &[
+    "global", "array", "extern", "func", "local", "store", "call", "join", "lock", "unlock",
+    "alloc", "load", "gep", "phi", "fork", "br", "ret",
+];
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    mb: ModuleBuilder,
+}
+
+/// A deferred function body: token range to parse in the second pass.
+struct PendingBody {
+    func: FuncId,
+    start: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn here(&self) -> (u32, u32) {
+        (self.toks[self.pos].line, self.toks[self.pos].col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError { line, col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(p) if *p == c => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Name(n) if n == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Name(n) if n == kw)
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Name(n) => {
+                if KEYWORDS.contains(&n.as_str()) {
+                    return Err(self.error(format!("`{n}` is a keyword, not a name")));
+                }
+                self.bump();
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<(), ParseError> {
+        // Pass 1: globals + function signatures; remember body token ranges.
+        let mut pending: Vec<PendingBody> = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Name(n) if n == "global" => {
+                    self.bump();
+                    let is_array = self.is_keyword("array");
+                    if is_array {
+                        self.bump();
+                    }
+                    let name = self.name()?;
+                    if is_array {
+                        self.mb.global_array(&name);
+                    } else {
+                        self.mb.global(&name);
+                    }
+                }
+                Tok::Name(n) if n == "extern" => {
+                    self.bump();
+                    self.eat_keyword("func")?;
+                    let (name, params) = self.signature()?;
+                    let params_ref: Vec<&str> = params.iter().map(String::as_str).collect();
+                    if self.mb.module().func_by_name(&name).is_some() {
+                        return Err(self.error(format!("function `{name}` defined twice")));
+                    }
+                    self.mb.extern_func(&name, &params_ref);
+                }
+                Tok::Name(n) if n == "func" => {
+                    self.bump();
+                    let (name, params) = self.signature()?;
+                    let params_ref: Vec<&str> = params.iter().map(String::as_str).collect();
+                    if self.mb.module().func_by_name(&name).is_some() {
+                        return Err(self.error(format!("function `{name}` defined twice")));
+                    }
+                    let id = self.mb.declare_func(&name, &params_ref);
+                    self.eat_punct('{')?;
+                    let start = self.pos;
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.peek() {
+                            Tok::Punct('{') => depth += 1,
+                            Tok::Punct('}') => depth -= 1,
+                            Tok::Eof => return Err(self.error("unterminated function body")),
+                            _ => {}
+                        }
+                        if depth > 0 {
+                            self.bump();
+                        }
+                    }
+                    let end = self.pos;
+                    self.eat_punct('}')?;
+                    pending.push(PendingBody { func: id, start, end });
+                }
+                other => return Err(self.error(format!("expected an item, found {other:?}"))),
+            }
+        }
+        // Pass 2: bodies.
+        let final_pos = self.pos;
+        for body in pending {
+            self.pos = body.start;
+            self.body(body.func, body.end)?;
+        }
+        self.pos = final_pos;
+        Ok(())
+    }
+
+    fn signature(&mut self) -> Result<(String, Vec<String>), ParseError> {
+        let name = self.name()?;
+        self.eat_punct('(')?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::Punct(')')) {
+            loop {
+                params.push(self.name()?);
+                if matches!(self.peek(), Tok::Punct(',')) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(')')?;
+        Ok((name, params))
+    }
+
+    fn body(&mut self, func: FuncId, end: usize) -> Result<(), ParseError> {
+        // Locals.
+        let mut f = self.mb.define_func(func);
+        let mut locals: HashMap<String, ObjId> = HashMap::new();
+        // We interleave borrows of self.mb (through `f`) with token access;
+        // token access only touches self.toks/self.pos, which is fine since
+        // `f` borrows `self.mb` only. To satisfy the borrow checker we drive
+        // everything through a helper struct.
+        let mut ctx = BodyCtx {
+            toks: &self.toks,
+            pos: self.pos,
+            end,
+            f: &mut f,
+            locals: &mut locals,
+            labels: HashMap::new(),
+        };
+        ctx.parse()?;
+        self.pos = ctx.pos;
+        f.finish();
+        Ok(())
+    }
+}
+
+struct BodyCtx<'a, 'm> {
+    toks: &'a [SpannedTok],
+    pos: usize,
+    end: usize,
+    f: &'a mut FunctionBuilder<'m>,
+    locals: &'a mut HashMap<String, ObjId>,
+    labels: HashMap<String, BlockId>,
+}
+
+impl BodyCtx<'_, '_> {
+    fn peek(&self) -> &Tok {
+        if self.pos >= self.end {
+            &Tok::Eof
+        } else {
+            &self.toks[self.pos].tok
+        }
+    }
+
+    fn peek2(&self) -> &Tok {
+        if self.pos + 1 >= self.end {
+            &Tok::Eof
+        } else {
+            &self.toks[self.pos + 1].tok
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let t = &self.toks[self.pos.min(self.toks.len() - 1)];
+        ParseError { line: t.line, col: t.col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos < self.end {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(p) if *p == c => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Name(n) if n == kw)
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Name(n) => {
+                if KEYWORDS.contains(&n.as_str()) {
+                    return Err(self.error(format!("`{n}` is a keyword, not a name")));
+                }
+                self.bump();
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<(), ParseError> {
+        // Locals first.
+        while self.is_keyword("local") {
+            self.bump();
+            let is_array = self.is_keyword("array");
+            if is_array {
+                self.bump();
+            }
+            let name = self.name()?;
+            let obj =
+                if is_array { self.f.local_array(&name) } else { self.f.local(&name) };
+            self.locals.insert(name, obj);
+        }
+        // Pre-scan labels: a label is NAME ':' at statement position. We scan
+        // the token stream for `Name ':'` pairs that are not phi arms (phi
+        // arms appear inside brackets).
+        let mut depth = 0;
+        let mut i = self.pos;
+        let mut first = true;
+        while i < self.end {
+            match &self.toks[i].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                Tok::Name(n) if depth == 0
+                    && i + 1 < self.end && self.toks[i + 1].tok == Tok::Punct(':') => {
+                        let label = n.clone();
+                        if self.labels.contains_key(&label) {
+                            return Err(ParseError {
+                                line: self.toks[i].line,
+                                col: self.toks[i].col,
+                                message: format!("duplicate label `{label}`"),
+                            });
+                        }
+                        let bid = if first {
+                            first = false;
+                            self.f.rename_block(BlockId::ENTRY, &label);
+                            BlockId::ENTRY
+                        } else {
+                            self.f.block(&label)
+                        };
+                        self.labels.insert(label, bid);
+                        i += 1; // skip ':' too
+                    }
+                _ => {}
+            }
+            i += 1;
+        }
+        if self.labels.is_empty() {
+            return Err(self.error("function body has no blocks"));
+        }
+
+        // Parse blocks.
+        while self.pos < self.end {
+            let label = self.name()?;
+            self.eat_punct(':')?;
+            let bid = self.labels[&label];
+            self.f.switch_to(bid);
+            self.block_body()?;
+        }
+        Ok(())
+    }
+
+    fn lookup_label(&self, label: &str) -> Result<BlockId, ParseError> {
+        self.labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| self.error(format!("unknown label `{label}`")))
+    }
+
+    /// Resolves `&name`: local, then global, then function.
+    fn resolve_addr(&mut self, name: &str) -> Result<AddrTarget, ParseError> {
+        if let Some(&obj) = self.locals.get(name) {
+            return Ok(AddrTarget::Obj(obj));
+        }
+        if let Some(obj) = self.f.module_globals_lookup(name) {
+            return Ok(AddrTarget::Obj(obj));
+        }
+        if let Some(func) = self.f.module_func_lookup(name) {
+            return Ok(AddrTarget::Func(func));
+        }
+        Err(self.error(format!("`&{name}` does not name a local, global or function")))
+    }
+
+    fn callee(&mut self) -> Result<CalleeSpec, ParseError> {
+        if matches!(self.peek(), Tok::Punct('*')) {
+            self.bump();
+            let v = self.name()?;
+            Ok(CalleeSpec::Indirect(self.f.named(&v)))
+        } else {
+            let name = self.name()?;
+            let func = self
+                .f
+                .module_func_lookup(&name)
+                .ok_or_else(|| self.error(format!("unknown function `{name}`")))?;
+            Ok(CalleeSpec::Direct(func))
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<VarId>, ParseError> {
+        self.eat_punct('(')?;
+        let mut out = Vec::new();
+        if !matches!(self.peek(), Tok::Punct(')')) {
+            loop {
+                let a = self.name()?;
+                out.push(self.f.named(&a));
+                if matches!(self.peek(), Tok::Punct(',')) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(')')?;
+        Ok(out)
+    }
+
+    fn block_body(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek().clone() {
+                Tok::Name(n) if n == "br" => {
+                    self.bump();
+                    // `br label` or `br cond, l1, l2`
+                    let first = match self.peek().clone() {
+                        Tok::Punct('?') => {
+                            self.bump();
+                            None
+                        }
+                        Tok::Name(_) => Some(self.name()?),
+                        other => return Err(self.error(format!("expected branch target, found {other:?}"))),
+                    };
+                    if matches!(self.peek(), Tok::Punct(',')) {
+                        self.bump();
+                        let t = self.name()?;
+                        self.eat_punct(',')?;
+                        let e = self.name()?;
+                        let (t, e) = (self.lookup_label(&t)?, self.lookup_label(&e)?);
+                        // A named condition variable is opaque; just reference it
+                        // so typos in cond names surface through the verifier.
+                        if let Some(c) = first {
+                            if self.labels.contains_key(&c) {
+                                return Err(self.error(format!(
+                                    "`{c}` is a label; conditions must be `?` or a variable"
+                                )));
+                            }
+                            let _ = self.f.named(&c);
+                        }
+                        self.f.branch(t, e);
+                    } else {
+                        let label = first
+                            .ok_or_else(|| self.error("`br ?` needs two targets"))?;
+                        let t = self.lookup_label(&label)?;
+                        self.f.jump(t);
+                    }
+                    return Ok(());
+                }
+                Tok::Name(n) if n == "ret" => {
+                    self.bump();
+                    let val = match self.peek().clone() {
+                        Tok::Name(v) if !KEYWORDS.contains(&v.as_str()) => {
+                            // Could be the next block's label (`ret` + `label:`)?
+                            // Only treat as value if not followed by ':'.
+                            if self.peek2() == &Tok::Punct(':') {
+                                None
+                            } else {
+                                let v = self.name()?;
+                                Some(self.f.named(&v))
+                            }
+                        }
+                        _ => None,
+                    };
+                    self.f.ret(val);
+                    return Ok(());
+                }
+                Tok::Name(n) if n == "store" => {
+                    self.bump();
+                    let p = self.name()?;
+                    self.eat_punct(',')?;
+                    let v = self.name()?;
+                    let (p, v) = (self.f.named(&p), self.f.named(&v));
+                    self.f.store(p, v);
+                }
+                Tok::Name(n) if n == "call" => {
+                    self.bump();
+                    let callee = self.callee()?;
+                    let args = self.args()?;
+                    match callee {
+                        CalleeSpec::Direct(func) => {
+                            self.f.call(None, func, &args);
+                        }
+                        CalleeSpec::Indirect(v) => {
+                            self.f.call_indirect(None, v, &args);
+                        }
+                    }
+                }
+                Tok::Name(n) if n == "join" => {
+                    self.bump();
+                    let h = self.name()?;
+                    let h = self.f.named(&h);
+                    self.f.join(h);
+                }
+                Tok::Name(n) if n == "lock" => {
+                    self.bump();
+                    let l = self.name()?;
+                    let l = self.f.named(&l);
+                    self.f.lock(l);
+                }
+                Tok::Name(n) if n == "unlock" => {
+                    self.bump();
+                    let l = self.name()?;
+                    let l = self.f.named(&l);
+                    self.f.unlock(l);
+                }
+                Tok::Name(_) => {
+                    // Either `label:` (end of this block) or `dst = rhs`.
+                    if self.peek2() == &Tok::Punct(':') {
+                        // Block fell through without a terminator: default ret.
+                        self.f.ret(None);
+                        return Ok(());
+                    }
+                    let dst = self.name()?;
+                    self.eat_punct('=')?;
+                    self.rhs(&dst)?;
+                }
+                Tok::Eof => {
+                    self.f.ret(None);
+                    return Ok(());
+                }
+                other => return Err(self.error(format!("expected a statement, found {other:?}"))),
+            }
+        }
+    }
+
+    fn rhs(&mut self, dst: &str) -> Result<(), ParseError> {
+        match self.peek().clone() {
+            Tok::Punct('&') => {
+                self.bump();
+                let name = self.name()?;
+                match self.resolve_addr(&name)? {
+                    AddrTarget::Obj(obj) => {
+                        self.f.addr(dst, obj);
+                    }
+                    AddrTarget::Func(func) => {
+                        self.f.addr_of_func(dst, func);
+                    }
+                }
+            }
+            Tok::Name(n) if n == "alloc" => {
+                self.bump();
+                let obj_name = match self.peek().clone() {
+                    Tok::Str(s) => {
+                        self.bump();
+                        s
+                    }
+                    _ => format!("{dst}.heap"),
+                };
+                self.f.alloc(dst, &obj_name);
+            }
+            Tok::Name(n) if n == "load" => {
+                self.bump();
+                let p = self.name()?;
+                let p = self.f.named(&p);
+                self.f.load(dst, p);
+            }
+            Tok::Name(n) if n == "gep" => {
+                self.bump();
+                let base = self.name()?;
+                self.eat_punct(',')?;
+                let field = match self.bump() {
+                    Tok::Int(i) => i,
+                    other => return Err(self.error(format!("expected field index, found {other:?}"))),
+                };
+                let base = self.f.named(&base);
+                self.f.gep(dst, base, field);
+            }
+            Tok::Name(n) if n == "phi" => {
+                self.bump();
+                self.eat_punct('[')?;
+                let mut arms = Vec::new();
+                loop {
+                    let label = self.name()?;
+                    self.eat_punct(':')?;
+                    let var = self.name()?;
+                    let pred = self.lookup_label(&label)?;
+                    arms.push((pred, self.f.named(&var)));
+                    if matches!(self.peek(), Tok::Punct(',')) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.eat_punct(']')?;
+                self.f.phi(dst, &arms);
+            }
+            Tok::Name(n) if n == "call" => {
+                self.bump();
+                let callee = self.callee()?;
+                let args = self.args()?;
+                match callee {
+                    CalleeSpec::Direct(func) => {
+                        self.f.call(Some(dst), func, &args);
+                    }
+                    CalleeSpec::Indirect(v) => {
+                        self.f.call_indirect(Some(dst), v, &args);
+                    }
+                }
+            }
+            Tok::Name(n) if n == "fork" => {
+                self.bump();
+                let callee = self.callee()?;
+                let args = self.args()?;
+                if args.len() > 1 {
+                    return Err(self.error("fork takes at most one argument"));
+                }
+                let arg = args.first().copied();
+                match callee {
+                    CalleeSpec::Direct(func) => {
+                        self.f.fork(dst, func, arg);
+                    }
+                    CalleeSpec::Indirect(v) => {
+                        self.f.fork_indirect(dst, v, arg);
+                    }
+                }
+            }
+            Tok::Name(_) => {
+                let src = self.name()?;
+                let src = self.f.named(&src);
+                self.f.copy(dst, src);
+            }
+            other => return Err(self.error(format!("expected an expression, found {other:?}"))),
+        }
+        Ok(())
+    }
+}
+
+enum AddrTarget {
+    Obj(ObjId),
+    Func(FuncId),
+}
+
+enum CalleeSpec {
+    Direct(FuncId),
+    Indirect(VarId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ObjKind;
+    use crate::stmt::StmtKind;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn parse_minimal_main() {
+        let m = parse_module("func main() {\nentry:\n  ret\n}").unwrap();
+        assert_eq!(m.func_count(), 1);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn parse_figure_1a() {
+        let src = r#"
+            global x
+            global y
+            global z
+            func foo() {
+            entry:
+              q = &y
+              p2 = &x
+              store p2, q      // *p = q
+              ret
+            }
+            func main() {
+            entry:
+              p = &x
+              r = &z
+              t = fork foo()
+              store p, r       // *p = r
+              c = load p       // c = *p
+              ret
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        verify_module(&m).unwrap();
+        assert_eq!(m.func_count(), 2);
+        assert!(m.global_by_name("x").is_some());
+        let forks = m.stmts().filter(|(_, s)| matches!(s.kind, StmtKind::Fork { .. })).count();
+        assert_eq!(forks, 1);
+    }
+
+    #[test]
+    fn parse_branches_and_phi() {
+        let src = r#"
+            global g
+            func main() {
+            entry:
+              br ?, l, r
+            l:
+              p = &g
+              br merge
+            r:
+              q = &g
+              br merge
+            merge:
+              m = phi [l: p, r: q]
+              ret m
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        verify_module(&m).unwrap();
+        let phis = m.stmts().filter(|(_, s)| matches!(s.kind, StmtKind::Phi { .. })).count();
+        assert_eq!(phis, 1);
+    }
+
+    #[test]
+    fn parse_locals_arrays_and_alloc() {
+        let src = r#"
+            global array tids
+            func main() {
+            local buf
+            local array cache
+            entry:
+              p = &buf
+              q = &cache
+              h = alloc "obj"
+              t = &tids
+              ret
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        verify_module(&m).unwrap();
+        let heap = m.objs().filter(|(_, o)| o.kind == ObjKind::Heap).count();
+        assert_eq!(heap, 1);
+        let arrays = m.objs().filter(|(_, o)| o.is_array).count();
+        assert_eq!(arrays, 2);
+    }
+
+    #[test]
+    fn parse_locks_and_indirect_calls() {
+        let src = r#"
+            global l1
+            func handler(x) {
+            entry:
+              ret
+            }
+            func main() {
+            entry:
+              l = &l1
+              fp = &handler
+              lock l
+              call *fp(l)
+              unlock l
+              r = call handler(l)
+              ret
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        verify_module(&m).unwrap();
+        let locks = m.stmts().filter(|(_, s)| matches!(s.kind, StmtKind::Lock { .. })).count();
+        assert_eq!(locks, 1);
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse_module("func main() {\nentry:\n  p = load\n  ret\n}").unwrap_err();
+        assert_eq!(err.line, 4); // `ret` is where the bad operand shows up
+        assert!(err.message.contains("keyword"));
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let err = parse_module("func main() {\nentry:\n  call nope()\n  ret\n}").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn unknown_label_is_rejected() {
+        let err = parse_module("func main() {\nentry:\n  br nowhere\n}").unwrap_err();
+        assert!(err.message.contains("unknown label"));
+    }
+
+    #[test]
+    fn duplicate_function_is_rejected() {
+        let err =
+            parse_module("func f() {\ne:\n ret\n}\nfunc f() {\ne:\n ret\n}").unwrap_err();
+        assert!(err.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn roundtrip_through_printer() {
+        let src = r#"
+            global x
+            global array arr
+            extern func ext(a)
+            func worker(w) {
+            entry:
+              v = load w
+              store w, v
+              f = gep v, 3
+              br ?, one, two
+            one:
+              a = &x
+              br done
+            two:
+              b = &x
+              br done
+            done:
+              m = phi [one: a, two: b]
+              ret m
+            }
+            func main() {
+            local slot
+            entry:
+              p = &slot
+              t = fork worker(p)
+              join t
+              lock p
+              unlock p
+              h = alloc "blob"
+              r = call worker(h)
+              call ext(r)
+              ret
+            }
+        "#;
+        let m1 = parse_module(src).unwrap();
+        verify_module(&m1).unwrap();
+        let printed = crate::print::module_to_string(&m1);
+        let m2 = parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        verify_module(&m2).unwrap();
+        // Same shape: counts of everything match.
+        assert_eq!(m1.func_count(), m2.func_count());
+        assert_eq!(m1.stmt_count(), m2.stmt_count());
+        assert_eq!(m1.var_count(), m2.var_count());
+        assert_eq!(m1.obj_count(), m2.obj_count());
+        // And printing again is a fixed point.
+        assert_eq!(printed, crate::print::module_to_string(&m2));
+    }
+}

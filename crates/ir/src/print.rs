@@ -1,0 +1,176 @@
+//! Pretty-printing of modules in FIR textual syntax.
+//!
+//! The output of [`module_to_string`] parses back with
+//! [`parse_module`](crate::parse::parse_module); round-tripping is covered by
+//! property tests in the parser module.
+
+use std::fmt::Write as _;
+
+use crate::ids::{FuncId, ObjId, StmtId, VarId};
+use crate::module::{Function, Module, ObjKind};
+use crate::stmt::{Callee, StmtKind, Terminator};
+
+/// Renders a whole module as FIR source text.
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    for (_, obj) in m.objs() {
+        match obj.kind {
+            ObjKind::Global if obj.is_array => {
+                let _ = writeln!(out, "global array {}", obj.name);
+            }
+            ObjKind::Global => {
+                let _ = writeln!(out, "global {}", obj.name);
+            }
+            _ => {}
+        }
+    }
+    if m.objs().any(|(_, o)| o.kind == ObjKind::Global) {
+        out.push('\n');
+    }
+    for func in m.funcs() {
+        print_func(m, func, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_func(m: &Module, func: &Function, out: &mut String) {
+    let params: Vec<&str> =
+        func.params.iter().map(|&p| m.var(p).name.as_str()).collect();
+    if func.is_external {
+        let _ = writeln!(out, "extern func {}({})", func.name, params.join(", "));
+        return;
+    }
+    let _ = writeln!(out, "func {}({}) {{", func.name, params.join(", "));
+    for &local in &func.locals {
+        let obj = m.obj(local);
+        if obj.is_array {
+            let _ = writeln!(out, "  local array {}", obj.name);
+        } else {
+            let _ = writeln!(out, "  local {}", obj.name);
+        }
+    }
+    for (bid, block) in func.blocks() {
+        let _ = writeln!(out, "{}:", block.name);
+        for &s in &block.stmts {
+            let _ = writeln!(out, "  {}", stmt_to_string(m, s));
+        }
+        let term = match &block.term {
+            Terminator::Jump(t) => format!("br {}", func.blocks[*t].name),
+            Terminator::Branch(t, e) => {
+                format!("br ?, {}, {}", func.blocks[*t].name, func.blocks[*e].name)
+            }
+            Terminator::Ret(Some(v)) => format!("ret {}", m.var(*v).name),
+            Terminator::Ret(None) => "ret".to_owned(),
+        };
+        let _ = writeln!(out, "  {term}");
+        let _ = bid;
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn var(m: &Module, v: VarId) -> &str {
+    &m.var(v).name
+}
+
+fn obj_ref(m: &Module, o: ObjId) -> String {
+    let info = m.obj(o);
+    match info.kind {
+        ObjKind::Func(_) => format!("&{}", info.name),
+        _ => format!("&{}", info.name),
+    }
+}
+
+fn callee(m: &Module, c: &Callee) -> String {
+    match c {
+        Callee::Direct(f) => m.func(*f).name.clone(),
+        Callee::Indirect(v) => format!("*{}", var(m, *v)),
+    }
+}
+
+fn func_name(m: &Module, f: FuncId) -> &str {
+    &m.func(f).name
+}
+
+/// Renders one statement in FIR syntax (without trailing newline).
+pub fn stmt_to_string(m: &Module, id: StmtId) -> String {
+    let s = m.stmt(id);
+    let blocks = &m.func(s.func).blocks;
+    match &s.kind {
+        StmtKind::Addr { dst, obj } => {
+            let info = m.obj(*obj);
+            match info.kind {
+                ObjKind::Heap => format!("{} = alloc \"{}\"", var(m, *dst), info.name),
+                ObjKind::Func(f) => format!("{} = &{}", var(m, *dst), func_name(m, f)),
+                _ => format!("{} = {}", var(m, *dst), obj_ref(m, *obj)),
+            }
+        }
+        StmtKind::Copy { dst, src } => format!("{} = {}", var(m, *dst), var(m, *src)),
+        StmtKind::Phi { dst, arms } => {
+            let arms: Vec<String> = arms
+                .iter()
+                .map(|a| format!("{}: {}", blocks[a.pred].name, var(m, a.var)))
+                .collect();
+            format!("{} = phi [{}]", var(m, *dst), arms.join(", "))
+        }
+        StmtKind::Load { dst, ptr } => format!("{} = load {}", var(m, *dst), var(m, *ptr)),
+        StmtKind::Store { ptr, val } => format!("store {}, {}", var(m, *ptr), var(m, *val)),
+        StmtKind::Gep { dst, base, field } => {
+            format!("{} = gep {}, {}", var(m, *dst), var(m, *base), field)
+        }
+        StmtKind::Call { callee: c, args, dst } => {
+            let args: Vec<&str> = args.iter().map(|&a| var(m, a)).collect();
+            let call = format!("call {}({})", callee(m, c), args.join(", "));
+            match dst {
+                Some(d) => format!("{} = {}", var(m, *d), call),
+                None => call,
+            }
+        }
+        StmtKind::Fork { dst, callee: c, arg, .. } => {
+            let arg = arg.map(|a| var(m, a).to_owned()).unwrap_or_default();
+            format!("{} = fork {}({})", var(m, *dst), callee(m, c), arg)
+        }
+        StmtKind::Join { handle } => format!("join {}", var(m, *handle)),
+        StmtKind::Lock { lock } => format!("lock {}", var(m, *lock)),
+        StmtKind::Unlock { lock } => format!("unlock {}", var(m, *lock)),
+    }
+}
+
+impl std::fmt::Display for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&module_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn prints_readable_text() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let worker = mb.declare_func("worker", &["w"]);
+        let mut f = mb.define_func(worker);
+        let p = f.param(0);
+        let v = f.load("v", p);
+        f.store(p, v);
+        f.ret(None);
+        f.finish();
+        let mut f = mb.func("main", &[]);
+        let p = f.addr("p", g);
+        let t = f.fork("t", worker, Some(p));
+        f.join(t);
+        f.lock(p);
+        f.unlock(p);
+        f.ret(None);
+        f.finish();
+        let text = mb.build().to_string();
+        assert!(text.contains("global g"));
+        assert!(text.contains("func worker(w) {"));
+        assert!(text.contains("v = load w"));
+        assert!(text.contains("t = fork worker(p)"));
+        assert!(text.contains("join t"));
+        assert!(text.contains("lock p"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Statement and terminator definitions of the partial-SSA IR.
+//!
+//! The instruction set mirrors what the paper's analyses consume after SVF's
+//! lowering of LLVM IR (§2.1): the five canonical forms `AddrOf`, `Copy`,
+//! `Phi`, `Load`, `Store`, plus `Gep` for field-sensitivity, calls/returns,
+//! and the four Pthreads intrinsics `Fork`, `Join`, `Lock`, `Unlock` that the
+//! thread interference analyses reason about (§3).
+
+use crate::ids::{BlockId, FuncId, ObjId, VarId};
+
+/// The target of a call or fork: either a known function or a function
+/// pointer held in a top-level variable (resolved by the pre-analysis).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A direct call to a named function.
+    Direct(FuncId),
+    /// An indirect call through a function pointer.
+    Indirect(VarId),
+}
+
+impl Callee {
+    /// Returns the function id of a direct callee.
+    pub fn as_direct(self) -> Option<FuncId> {
+        match self {
+            Callee::Direct(f) => Some(f),
+            Callee::Indirect(_) => None,
+        }
+    }
+}
+
+/// One incoming arm of a [`StmtKind::Phi`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PhiArm {
+    /// Predecessor block the value flows in from.
+    pub pred: BlockId,
+    /// Value selected when control arrives from `pred`.
+    pub var: VarId,
+}
+
+/// The operation a statement performs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing (dst/src/ptr/val/...)
+pub enum StmtKind {
+    /// `dst = &obj` — an allocation site (A DDRO F in the paper). `obj` may be
+    /// a stack or global variable, a heap allocation site, or a function (for
+    /// function pointers).
+    Addr { dst: VarId, obj: ObjId },
+    /// `dst = src` (C OPY).
+    Copy { dst: VarId, src: VarId },
+    /// `dst = phi(arm, ...)` (P HI) — confluence of top-level values.
+    Phi { dst: VarId, arms: Vec<PhiArm> },
+    /// `dst = *ptr` (L OAD).
+    Load { dst: VarId, ptr: VarId },
+    /// `*ptr = val` (S TORE).
+    Store { ptr: VarId, val: VarId },
+    /// `dst = &base->field` — field address computation. Arrays are treated
+    /// monolithically by the analyses (§4.2), so there is no index form.
+    Gep { dst: VarId, base: VarId, field: u32 },
+    /// A function call. `dst` receives the callee's return value, if any.
+    Call { callee: Callee, args: Vec<VarId>, dst: Option<VarId> },
+    /// `dst = fork callee(arg)` — `pthread_create`. `dst` receives an opaque
+    /// thread handle (modelled as a pointer to the per-fork-site thread
+    /// object `handle_obj`); handles can be stored into arrays and loaded
+    /// back, as in the paper's Figure 11.
+    Fork { dst: VarId, callee: Callee, arg: Option<VarId>, handle_obj: ObjId },
+    /// `join handle` — `pthread_join`. Which fork sites the handle may refer
+    /// to is resolved by the pre-analysis through `handle`'s points-to set.
+    Join { handle: VarId },
+    /// `lock l` — `pthread_mutex_lock` on the mutex objects `l` points to.
+    Lock { lock: VarId },
+    /// `unlock l` — `pthread_mutex_unlock`.
+    Unlock { lock: VarId },
+}
+
+/// A statement together with its location in the module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stmt {
+    /// The operation.
+    pub kind: StmtKind,
+    /// Owning function.
+    pub func: FuncId,
+    /// Owning basic block (function-local id).
+    pub block: BlockId,
+}
+
+impl Stmt {
+    /// The top-level variable this statement defines, if any.
+    pub fn def(&self) -> Option<VarId> {
+        match &self.kind {
+            StmtKind::Addr { dst, .. }
+            | StmtKind::Copy { dst, .. }
+            | StmtKind::Phi { dst, .. }
+            | StmtKind::Load { dst, .. }
+            | StmtKind::Gep { dst, .. }
+            | StmtKind::Fork { dst, .. } => Some(*dst),
+            StmtKind::Call { dst, .. } => *dst,
+            StmtKind::Store { .. }
+            | StmtKind::Join { .. }
+            | StmtKind::Lock { .. }
+            | StmtKind::Unlock { .. } => None,
+        }
+    }
+
+    /// Appends the top-level variables this statement uses to `out`.
+    pub fn uses_into(&self, out: &mut Vec<VarId>) {
+        match &self.kind {
+            StmtKind::Addr { .. } => {}
+            StmtKind::Copy { src, .. } => out.push(*src),
+            StmtKind::Phi { arms, .. } => out.extend(arms.iter().map(|a| a.var)),
+            StmtKind::Load { ptr, .. } => out.push(*ptr),
+            StmtKind::Store { ptr, val } => {
+                out.push(*ptr);
+                out.push(*val);
+            }
+            StmtKind::Gep { base, .. } => out.push(*base),
+            StmtKind::Call { callee, args, .. } => {
+                if let Callee::Indirect(v) = callee {
+                    out.push(*v);
+                }
+                out.extend(args.iter().copied());
+            }
+            StmtKind::Fork { callee, arg, .. } => {
+                if let Callee::Indirect(v) = callee {
+                    out.push(*v);
+                }
+                if let Some(a) = arg {
+                    out.push(*a);
+                }
+            }
+            StmtKind::Join { handle } => out.push(*handle),
+            StmtKind::Lock { lock } | StmtKind::Unlock { lock } => out.push(*lock),
+        }
+    }
+
+    /// The top-level variables this statement uses.
+    pub fn uses(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.uses_into(&mut out);
+        out
+    }
+
+    /// Whether this statement is a call-like node in the ICFG (has a
+    /// call/return node split): plain calls only. Forks transfer no control
+    /// to the spawnee in the spawner's own CFG (§3.1).
+    pub fn is_call(&self) -> bool {
+        matches!(self.kind, StmtKind::Call { .. })
+    }
+
+    /// Whether this is a memory access (load or store) — the statements that
+    /// can participate in thread interference.
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self.kind, StmtKind::Load { .. } | StmtKind::Store { .. })
+    }
+}
+
+/// How a basic block transfers control.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch. The condition is irrelevant to pointer analysis and
+    /// is therefore opaque; both successors are always considered feasible.
+    Branch(BlockId, BlockId),
+    /// Function return, optionally yielding a top-level value.
+    Ret(Option<VarId>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match self {
+            Terminator::Jump(t) => (Some(*t), None),
+            Terminator::Branch(t, e) => (Some(*t), Some(*e)),
+            Terminator::Ret(_) => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// The returned variable for `Ret`, if any.
+    pub fn ret_val(&self) -> Option<VarId> {
+        match self {
+            Terminator::Ret(v) => *v,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(kind: StmtKind) -> Stmt {
+        Stmt { kind, func: FuncId::new(0), block: BlockId::ENTRY }
+    }
+
+    #[test]
+    fn def_and_uses_of_store() {
+        let s = stmt(StmtKind::Store { ptr: VarId::new(1), val: VarId::new(2) });
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![VarId::new(1), VarId::new(2)]);
+        assert!(s.is_memory_access());
+    }
+
+    #[test]
+    fn def_and_uses_of_phi() {
+        let s = stmt(StmtKind::Phi {
+            dst: VarId::new(0),
+            arms: vec![
+                PhiArm { pred: BlockId::new(0), var: VarId::new(1) },
+                PhiArm { pred: BlockId::new(1), var: VarId::new(2) },
+            ],
+        });
+        assert_eq!(s.def(), Some(VarId::new(0)));
+        assert_eq!(s.uses(), vec![VarId::new(1), VarId::new(2)]);
+    }
+
+    #[test]
+    fn indirect_call_uses_function_pointer() {
+        let s = stmt(StmtKind::Call {
+            callee: Callee::Indirect(VarId::new(9)),
+            args: vec![VarId::new(3)],
+            dst: Some(VarId::new(4)),
+        });
+        assert_eq!(s.def(), Some(VarId::new(4)));
+        assert_eq!(s.uses(), vec![VarId::new(9), VarId::new(3)]);
+        assert!(s.is_call());
+    }
+
+    #[test]
+    fn fork_defines_handle_and_uses_arg() {
+        let s = stmt(StmtKind::Fork {
+            dst: VarId::new(0),
+            callee: Callee::Direct(FuncId::new(1)),
+            arg: Some(VarId::new(5)),
+            handle_obj: ObjId::new(7),
+        });
+        assert_eq!(s.def(), Some(VarId::new(0)));
+        assert_eq!(s.uses(), vec![VarId::new(5)]);
+        assert!(!s.is_call());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Branch(BlockId::new(1), BlockId::new(2));
+        let succs: Vec<_> = t.successors().collect();
+        assert_eq!(succs, vec![BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(Terminator::Ret(Some(VarId::new(3))).ret_val(), Some(VarId::new(3)));
+        assert_eq!(Terminator::Jump(BlockId::new(1)).successors().count(), 1);
+    }
+}

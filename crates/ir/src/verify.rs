@@ -1,0 +1,458 @@
+//! Structural and SSA well-formedness checks.
+//!
+//! The builders and the parser are permissive; [`verify_module`] enforces the
+//! partial-SSA discipline the analyses rely on (§2.1 of the paper):
+//! every top-level variable has exactly one definition that dominates all its
+//! uses, phis are grouped at block heads with one arm per predecessor, and
+//! direct calls pass the right number of arguments.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::dom::DomTree;
+use crate::ids::{BlockId, FuncId, StmtId, VarId};
+use crate::module::Module;
+use crate::stmt::{Callee, StmtKind};
+
+/// A well-formedness violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the violation occurred, if attributable.
+    pub func: Option<FuncId>,
+    /// Offending statement, if attributable.
+    pub stmt: Option<StmtId>,
+    /// Violation category.
+    pub kind: VerifyErrorKind,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The category of a [`VerifyError`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// A variable has zero or multiple definitions.
+    SsaDef,
+    /// A use is not dominated by its definition.
+    SsaDominance,
+    /// Phi arms don't match block predecessors or phi is misplaced.
+    Phi,
+    /// Wrong argument count at a direct call/fork.
+    Arity,
+    /// A variable is used in a function it does not belong to.
+    VarScope,
+    /// No `main` function.
+    NoEntry,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies the whole module. Returns all violations found.
+///
+/// # Errors
+///
+/// Returns `Err` with every violation if the module is ill-formed.
+pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+
+    if module.entry().is_none() {
+        errors.push(VerifyError {
+            func: None,
+            stmt: None,
+            kind: VerifyErrorKind::NoEntry,
+            message: "module has no `main` function".to_owned(),
+        });
+    }
+
+    // Definition sites per variable.
+    let mut defs: HashMap<VarId, Vec<StmtId>> = HashMap::new();
+    for (sid, stmt) in module.stmts() {
+        if let Some(d) = stmt.def() {
+            defs.entry(d).or_default().push(sid);
+        }
+    }
+
+    for v in module.var_ids() {
+        let info = module.var(v);
+        let is_param = module.func(info.func).params.contains(&v);
+        let n_defs = defs.get(&v).map_or(0, |d| d.len());
+        if is_param && n_defs > 0 {
+            errors.push(VerifyError {
+                func: Some(info.func),
+                stmt: defs[&v].first().copied(),
+                kind: VerifyErrorKind::SsaDef,
+                message: format!("parameter `{}` is redefined", module.var_name(v)),
+            });
+        } else if !is_param && n_defs == 0 {
+            // Used-but-never-defined is only an error if it is actually used.
+            let used = module.stmts().any(|(_, s)| s.uses().contains(&v));
+            if used {
+                errors.push(VerifyError {
+                    func: Some(info.func),
+                    stmt: None,
+                    kind: VerifyErrorKind::SsaDef,
+                    message: format!("variable `{}` is used but never defined", module.var_name(v)),
+                });
+            }
+        } else if n_defs > 1 {
+            errors.push(VerifyError {
+                func: Some(info.func),
+                stmt: defs[&v].get(1).copied(),
+                kind: VerifyErrorKind::SsaDef,
+                message: format!(
+                    "variable `{}` has {} definitions (SSA requires one)",
+                    module.var_name(v),
+                    n_defs
+                ),
+            });
+        }
+    }
+
+    // Per-function checks.
+    for func in module.funcs() {
+        if func.is_external {
+            continue;
+        }
+        let dom = DomTree::compute(func);
+        let preds = func.predecessors();
+
+        // Positions of statements within blocks, for same-block dominance.
+        let mut pos: HashMap<StmtId, usize> = HashMap::new();
+        for (_, block) in func.blocks() {
+            for (i, &s) in block.stmts.iter().enumerate() {
+                pos.insert(s, i);
+            }
+        }
+
+        for (bid, block) in func.blocks() {
+            if !dom.is_reachable(bid) {
+                continue;
+            }
+            let mut seen_non_phi = false;
+            for &sid in &block.stmts {
+                let stmt = module.stmt(sid);
+                match &stmt.kind {
+                    StmtKind::Phi { arms, .. } => {
+                        if seen_non_phi {
+                            errors.push(VerifyError {
+                                func: Some(func.id),
+                                stmt: Some(sid),
+                                kind: VerifyErrorKind::Phi,
+                                message: format!(
+                                    "phi `{}` is not at the head of its block",
+                                    module.describe_stmt(sid)
+                                ),
+                            });
+                        }
+                        let mut arm_preds: Vec<BlockId> = arms.iter().map(|a| a.pred).collect();
+                        arm_preds.sort();
+                        let mut block_preds: Vec<BlockId> =
+                            preds[bid].iter().copied().filter(|&p| dom.is_reachable(p)).collect();
+                        block_preds.sort();
+                        block_preds.dedup();
+                        if arm_preds != block_preds {
+                            errors.push(VerifyError {
+                                func: Some(func.id),
+                                stmt: Some(sid),
+                                kind: VerifyErrorKind::Phi,
+                                message: format!(
+                                    "phi arms {:?} don't match predecessors {:?} of {}",
+                                    arm_preds, block_preds, bid
+                                ),
+                            });
+                        }
+                        // Phi uses must dominate the corresponding predecessor.
+                        for arm in arms {
+                            check_use_dominated(
+                                module, func.id, &dom, &pos, &defs, arm.var, sid,
+                                UsePoint::EndOfBlock(arm.pred), &mut errors,
+                            );
+                        }
+                    }
+                    _ => {
+                        seen_non_phi = true;
+                        for u in stmt.uses() {
+                            check_use_dominated(
+                                module, func.id, &dom, &pos, &defs, u, sid,
+                                UsePoint::At(bid), &mut errors,
+                            );
+                        }
+                    }
+                }
+
+                // Variable scope: all operands belong to this function.
+                let mut operands = stmt.uses();
+                if let Some(d) = stmt.def() {
+                    operands.push(d);
+                }
+                for v in operands {
+                    if module.var(v).func != func.id {
+                        errors.push(VerifyError {
+                            func: Some(func.id),
+                            stmt: Some(sid),
+                            kind: VerifyErrorKind::VarScope,
+                            message: format!(
+                                "`{}` used outside its function in {}",
+                                module.var_name(v),
+                                module.describe_stmt(sid)
+                            ),
+                        });
+                    }
+                }
+
+                // Arity of direct calls/forks.
+                match &stmt.kind {
+                    StmtKind::Call { callee: Callee::Direct(f), args, .. } => {
+                        let want = module.func(*f).params.len();
+                        if args.len() != want {
+                            errors.push(VerifyError {
+                                func: Some(func.id),
+                                stmt: Some(sid),
+                                kind: VerifyErrorKind::Arity,
+                                message: format!(
+                                    "call to `{}` passes {} args, expected {}",
+                                    module.func(*f).name,
+                                    args.len(),
+                                    want
+                                ),
+                            });
+                        }
+                    }
+                    StmtKind::Fork { callee: Callee::Direct(f), arg, .. } => {
+                        let want = module.func(*f).params.len();
+                        let got = usize::from(arg.is_some());
+                        if got != want {
+                            errors.push(VerifyError {
+                                func: Some(func.id),
+                                stmt: Some(sid),
+                                kind: VerifyErrorKind::Arity,
+                                message: format!(
+                                    "fork of `{}` passes {} args, expected {}",
+                                    module.func(*f).name,
+                                    got,
+                                    want
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+enum UsePoint {
+    /// Ordinary use at the statement's own block.
+    At(BlockId),
+    /// Phi use, conceptually at the end of the predecessor block.
+    EndOfBlock(BlockId),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_use_dominated(
+    module: &Module,
+    func: FuncId,
+    dom: &DomTree,
+    pos: &HashMap<StmtId, usize>,
+    defs: &HashMap<VarId, Vec<StmtId>>,
+    var: VarId,
+    use_stmt: StmtId,
+    point: UsePoint,
+    errors: &mut Vec<VerifyError>,
+) {
+    if module.var(var).func != func {
+        return; // reported as VarScope elsewhere
+    }
+    if module.func(func).params.contains(&var) {
+        return; // params dominate everything
+    }
+    let Some(def_sites) = defs.get(&var) else {
+        return; // reported as SsaDef elsewhere
+    };
+    let [def_site] = def_sites.as_slice() else {
+        return; // multiple defs reported elsewhere
+    };
+    let def_stmt = module.stmt(*def_site);
+    if def_stmt.func != func {
+        return;
+    }
+    let def_block = def_stmt.block;
+    let dominated = match point {
+        UsePoint::At(use_block) => {
+            if def_block == use_block {
+                pos[def_site] < pos[&use_stmt]
+            } else {
+                dom.dominates(def_block, use_block)
+            }
+        }
+        // A phi use must be available at the end of the predecessor block:
+        // the def block must dominate the predecessor (reflexively).
+        UsePoint::EndOfBlock(pred) => dom.dominates(def_block, pred),
+    };
+    if !dominated {
+        errors.push(VerifyError {
+            func: Some(func),
+            stmt: Some(use_stmt),
+            kind: VerifyErrorKind::SsaDominance,
+            message: format!(
+                "use of `{}` in `{}` is not dominated by its definition",
+                module.var_name(var),
+                module.describe_stmt(use_stmt)
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn well_formed_module_passes() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        let p = f.addr("p", g);
+        let q = f.copy("q", p);
+        f.store(q, p);
+        f.ret(None);
+        f.finish();
+        assert!(verify_module(&mb.build()).is_ok());
+    }
+
+    #[test]
+    fn double_definition_is_rejected() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        f.addr("p", g);
+        f.addr("p", g); // redefines p
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs.iter().any(|e| e.kind == VerifyErrorKind::SsaDef));
+    }
+
+    #[test]
+    fn use_before_def_is_rejected() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        let q = f.named("q"); // forward reference, never defined before use
+        f.store(q, q);
+        f.addr("q2", g);
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs.iter().any(|e| e.kind == VerifyErrorKind::SsaDef));
+    }
+
+    #[test]
+    fn def_in_one_branch_does_not_dominate_merge() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        let l = f.block("l");
+        let r = f.block("r");
+        let merge = f.block("merge");
+        f.branch(l, r);
+        f.switch_to(l);
+        let p = f.addr("p", g);
+        f.jump(merge);
+        f.switch_to(r);
+        f.jump(merge);
+        f.switch_to(merge);
+        f.store(p, p); // p does not dominate merge
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs.iter().any(|e| e.kind == VerifyErrorKind::SsaDominance));
+    }
+
+    #[test]
+    fn phi_arms_must_match_preds() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        let l = f.block("l");
+        let r = f.block("r");
+        let merge = f.block("merge");
+        f.branch(l, r);
+        f.switch_to(l);
+        let p = f.addr("p", g);
+        f.jump(merge);
+        f.switch_to(r);
+        f.jump(merge);
+        f.switch_to(merge);
+        f.phi("m", &[(l, p)]); // missing arm for r
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs.iter().any(|e| e.kind == VerifyErrorKind::Phi));
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let mut mb = ModuleBuilder::new();
+        let callee = mb.declare_func("callee", &["a", "b"]);
+        let mut f = mb.define_func(callee);
+        f.ret(None);
+        f.finish();
+        let mut f = mb.func("main", &[]);
+        let g = f.local("l");
+        let p = f.addr("p", g);
+        f.call(None, callee, &[p]); // one arg, needs two
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs.iter().any(|e| e.kind == VerifyErrorKind::Arity));
+    }
+
+    #[test]
+    fn missing_main_is_reported() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("not_main", &[]);
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs.iter().any(|e| e.kind == VerifyErrorKind::NoEntry));
+    }
+
+    #[test]
+    fn loop_phi_with_back_edge_is_accepted() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        let header = f.block("header");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        let entry = f.current_block();
+        let init = f.addr("init", g);
+        f.jump(header);
+        f.switch_to(header);
+        let next = f.named("next"); // forward ref, defined in body
+        f.phi("cur", &[(entry, init), (body, next)]);
+        f.branch(body, exit);
+        f.switch_to(body);
+        let cur = f.named("cur");
+        f.copy("next", cur);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        verify_module(&mb.build()).unwrap();
+    }
+}

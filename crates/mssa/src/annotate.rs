@@ -1,0 +1,205 @@
+//! Per-statement `mu`/`chi` annotation (paper §2.2, Figure 4).
+//!
+//! Using the pre-analysis points-to sets, each load is annotated with
+//! `mu(o)` for every object it may read, each store with `o = chi(o)` for
+//! every object it may write, and each call site with the mu/chi of its
+//! callees' mod/ref summaries. Fork sites are annotated like calls to the
+//! start routine (the `Pseq` view of §3.2); join sites get a `chi` over the
+//! joined routine's mods, making the thread's side effects visible at the
+//! join (step 3 of §3.2).
+
+use std::collections::HashMap;
+
+use fsam_andersen::PreAnalysis;
+use fsam_ir::{Module, StmtId, StmtKind};
+use fsam_pts::PtsSet;
+use fsam_threads::ThreadModel;
+
+use crate::modref::ModRef;
+
+/// The mu/chi maps for a module.
+#[derive(Debug, Default)]
+pub struct Annotations {
+    mu: HashMap<StmtId, PtsSet>,
+    chi: HashMap<StmtId, PtsSet>,
+}
+
+impl Annotations {
+    /// Computes mu/chi for every statement.
+    pub fn compute(
+        module: &Module,
+        pre: &PreAnalysis,
+        tm: &ThreadModel,
+        mr: &ModRef,
+    ) -> Annotations {
+        let mut mu: HashMap<StmtId, PtsSet> = HashMap::new();
+        let mut chi: HashMap<StmtId, PtsSet> = HashMap::new();
+        let cg = pre.call_graph();
+
+        for (sid, stmt) in module.stmts() {
+            match &stmt.kind {
+                StmtKind::Load { ptr, .. } => {
+                    let pts = pre.pt_var(*ptr).clone();
+                    if !pts.is_empty() {
+                        mu.insert(sid, pts);
+                    }
+                }
+                StmtKind::Store { ptr, .. } => {
+                    let pts = pre.pt_var(*ptr).clone();
+                    if !pts.is_empty() {
+                        chi.insert(sid, pts);
+                    }
+                }
+                StmtKind::Call { .. } | StmtKind::Fork { .. } => {
+                    let mut m = PtsSet::new();
+                    let mut c = PtsSet::new();
+                    for callee in cg.targets(sid) {
+                        m.union_in_place(mr.refs(callee));
+                        c.union_in_place(mr.mods(callee));
+                    }
+                    if !m.is_empty() {
+                        mu.insert(sid, m);
+                    }
+                    if !c.is_empty() {
+                        chi.insert(sid, c);
+                    }
+                }
+                StmtKind::Join { .. } => {
+                    let mut c = PtsSet::new();
+                    for entry in tm.joins_at(sid) {
+                        c.union_in_place(mr.mods(tm.info(entry.thread).routine));
+                    }
+                    if !c.is_empty() {
+                        chi.insert(sid, c);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        Annotations { mu, chi }
+    }
+
+    /// Objects statement `s` may use indirectly (its `mu` set).
+    pub fn mu(&self, s: StmtId) -> &PtsSet {
+        static EMPTY: PtsSet = PtsSet::new();
+        self.mu.get(&s).unwrap_or(&EMPTY)
+    }
+
+    /// Objects statement `s` may define indirectly (its `chi` set).
+    pub fn chi(&self, s: StmtId) -> &PtsSet {
+        static EMPTY: PtsSet = PtsSet::new();
+        self.chi.get(&s).unwrap_or(&EMPTY)
+    }
+
+    /// Number of annotated statements (for statistics).
+    pub fn annotated_count(&self) -> usize {
+        self.mu.len() + self.chi.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::icfg::Icfg;
+    use fsam_ir::parse::parse_module;
+
+    fn annotate(src: &str) -> (Module, PreAnalysis, Annotations) {
+        let m = parse_module(src).unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        let mr = ModRef::compute(&m, &pre, &tm);
+        let ann = Annotations::compute(&m, &pre, &tm, &mr);
+        (m, pre, ann)
+    }
+
+    #[test]
+    fn loads_get_mu_stores_get_chi() {
+        let (m, pre, ann) = annotate(
+            r#"
+            global g
+            func main() {
+            entry:
+              p = &g
+              store p, p
+              c = load p
+              ret
+            }
+        "#,
+        );
+        let store = m.stmts().find(|(_, s)| matches!(s.kind, StmtKind::Store { .. })).unwrap().0;
+        let load = m.stmts().find(|(_, s)| matches!(s.kind, StmtKind::Load { .. })).unwrap().0;
+        let g = pre.objects().base(m.global_by_name("g").unwrap());
+        assert!(ann.chi(store).contains(g));
+        assert!(ann.mu(store).is_empty());
+        assert!(ann.mu(load).contains(g));
+        assert!(ann.chi(load).is_empty());
+    }
+
+    #[test]
+    fn callsites_carry_callee_summaries() {
+        let (m, pre, ann) = annotate(
+            r#"
+            global g
+            func w() {
+            entry:
+              p = &g
+              store p, p
+              ret
+            }
+            func main() {
+            entry:
+              call w()
+              c2 = call load2()
+              ret
+            }
+            func load2() {
+            entry:
+              q = &g
+              c = load q
+              ret c
+            }
+        "#,
+        );
+        let g = pre.objects().base(m.global_by_name("g").unwrap());
+        let main = m.entry().unwrap();
+        let calls: Vec<StmtId> = m
+            .stmts()
+            .filter(|(_, s)| s.func == main && matches!(s.kind, StmtKind::Call { .. }))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(calls.len(), 2);
+        assert!(ann.chi(calls[0]).contains(g), "call w() mods g");
+        assert!(ann.mu(calls[1]).contains(g), "call load2() refs g");
+        assert!(!ann.chi(calls[1]).contains(g));
+    }
+
+    #[test]
+    fn fork_and_join_sites_are_annotated() {
+        let (m, pre, ann) = annotate(
+            r#"
+            global g
+            func worker() {
+            entry:
+              p = &g
+              store p, p
+              c = load p
+              ret
+            }
+            func main() {
+            entry:
+              t = fork worker()
+              join t
+              ret
+            }
+        "#,
+        );
+        let g = pre.objects().base(m.global_by_name("g").unwrap());
+        let fork = m.stmts().find(|(_, s)| matches!(s.kind, StmtKind::Fork { .. })).unwrap().0;
+        let join = m.stmts().find(|(_, s)| matches!(s.kind, StmtKind::Join { .. })).unwrap().0;
+        assert!(ann.chi(fork).contains(g), "fork behaves like a call in Pseq");
+        assert!(ann.mu(fork).contains(g));
+        assert!(ann.chi(join).contains(g), "join exposes thread side effects");
+    }
+}

@@ -1,0 +1,271 @@
+//! Interprocedural mod/ref summaries.
+//!
+//! For every function we compute the sets of abstract objects it may read
+//! (*ref*) and write (*mod*), transitively through callees — and, because
+//! the thread-oblivious def-use chains are built over the sequentialized
+//! program `Pseq` (paper §3.2), also through fork sites (a fork behaves like
+//! a call to the start routine in `Pseq`) and through the join sites
+//! resolved by the thread model (a join makes the joined routine's side
+//! effects visible, step 3 of §3.2).
+
+use fsam_andersen::PreAnalysis;
+use fsam_ir::{FuncId, Module, StmtKind};
+use fsam_pts::PtsSet;
+use fsam_threads::ThreadModel;
+
+/// Per-function mod/ref sets.
+#[derive(Debug)]
+pub struct ModRef {
+    mods: Vec<PtsSet>,
+    refs: Vec<PtsSet>,
+}
+
+impl ModRef {
+    /// Computes summaries to a fixpoint over the call graph (call edges,
+    /// fork edges, and resolved join edges).
+    pub fn compute(module: &Module, pre: &PreAnalysis, tm: &ThreadModel) -> ModRef {
+        let n = module.func_count();
+        let mut mods = vec![PtsSet::new(); n];
+        let mut refs = vec![PtsSet::new(); n];
+        let cg = pre.call_graph();
+
+        // Local effects.
+        for (_, stmt) in module.stmts() {
+            match &stmt.kind {
+                StmtKind::Load { ptr, .. } => {
+                    refs[stmt.func.index()].union_in_place(pre.pt_var(*ptr));
+                }
+                StmtKind::Store { ptr, .. } => {
+                    mods[stmt.func.index()].union_in_place(pre.pt_var(*ptr));
+                }
+                _ => {}
+            }
+        }
+
+        // Summary edges: (from, to) means `from`'s summary flows into `to`.
+        let mut edges: Vec<(FuncId, FuncId)> = Vec::new();
+        for (sid, stmt) in module.stmts() {
+            match &stmt.kind {
+                StmtKind::Call { .. } | StmtKind::Fork { .. } => {
+                    for callee in cg.targets(sid) {
+                        edges.push((callee, stmt.func));
+                    }
+                }
+                StmtKind::Join { .. } => {
+                    for entry in tm.joins_at(sid) {
+                        let routine = tm.info(entry.thread).routine;
+                        edges.push((routine, stmt.func));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Fixpoint (the graph is small; simple iteration suffices).
+        loop {
+            let mut changed = false;
+            for &(from, to) in &edges {
+                if from == to {
+                    continue;
+                }
+                let (fi, ti) = (from.index(), to.index());
+                let from_mods = mods[fi].clone();
+                let from_refs = refs[fi].clone();
+                changed |= mods[ti].union_in_place(&from_mods);
+                changed |= refs[ti].union_in_place(&from_refs);
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        ModRef { mods, refs }
+    }
+
+    /// Objects `f` may write (including callees and forked/joined routines).
+    pub fn mods(&self, f: FuncId) -> &PtsSet {
+        &self.mods[f.index()]
+    }
+
+    /// Objects `f` may read.
+    pub fn refs(&self, f: FuncId) -> &PtsSet {
+        &self.refs[f.index()]
+    }
+
+    /// `mods(f) ∪ refs(f)` — the renaming domain of `f`.
+    pub fn domain(&self, f: FuncId) -> PtsSet {
+        let mut d = self.mods[f.index()].clone();
+        d.union_in_place(&self.refs[f.index()]);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::icfg::Icfg;
+    use fsam_ir::parse::parse_module;
+
+    fn compute(src: &str) -> (Module, PreAnalysis, ModRef) {
+        let m = parse_module(src).unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        let mr = ModRef::compute(&m, &pre, &tm);
+        (m, pre, mr)
+    }
+
+    fn obj_in(pre: &PreAnalysis, m: &Module, set: &PtsSet, name: &str) -> bool {
+        set.iter().any(|o| pre.objects().display_name(m, o) == name)
+    }
+
+    #[test]
+    fn local_effects() {
+        let (m, pre, mr) = compute(
+            r#"
+            global g
+            func main() {
+            entry:
+              p = &g
+              store p, p
+              c = load p
+              ret
+            }
+        "#,
+        );
+        let main = m.entry().unwrap();
+        assert!(obj_in(&pre, &m, mr.mods(main), "g"));
+        assert!(obj_in(&pre, &m, mr.refs(main), "g"));
+    }
+
+    #[test]
+    fn transitive_through_calls() {
+        let (m, pre, mr) = compute(
+            r#"
+            global g
+            func writer(p) {
+            entry:
+              store p, p
+              ret
+            }
+            func caller() {
+            entry:
+              q = &g
+              call writer(q)
+              ret
+            }
+            func main() {
+            entry:
+              call caller()
+              ret
+            }
+        "#,
+        );
+        let main = m.entry().unwrap();
+        let caller = m.func_by_name("caller").unwrap();
+        let writer = m.func_by_name("writer").unwrap();
+        assert!(obj_in(&pre, &m, mr.mods(writer), "g"));
+        assert!(obj_in(&pre, &m, mr.mods(caller), "g"));
+        assert!(obj_in(&pre, &m, mr.mods(main), "g"));
+        assert!(!obj_in(&pre, &m, mr.refs(main), "g"));
+    }
+
+    #[test]
+    fn fork_contributes_to_spawner() {
+        let (m, pre, mr) = compute(
+            r#"
+            global g
+            func worker() {
+            entry:
+              p = &g
+              store p, p
+              ret
+            }
+            func main() {
+            entry:
+              t = fork worker()
+              join t
+              ret
+            }
+        "#,
+        );
+        let main = m.entry().unwrap();
+        assert!(obj_in(&pre, &m, mr.mods(main), "g"), "fork side effects in Pseq");
+    }
+
+    #[test]
+    fn join_contributes_to_joining_function() {
+        // Fork in one helper, join in another: the joiner's summary must
+        // carry the thread's side effects.
+        let (m, pre, mr) = compute(
+            r#"
+            global g
+            global array slot
+            func worker() {
+            entry:
+              p = &g
+              store p, p
+              ret
+            }
+            func forker() {
+            entry:
+              s = &slot
+              t = fork worker()
+              store s, t
+              ret
+            }
+            func joiner() {
+            entry:
+              s = &slot
+              h = load s
+              join h
+              ret
+            }
+            func main() {
+            entry:
+              call forker()
+              call joiner()
+              ret
+            }
+        "#,
+        );
+        let joiner = m.func_by_name("joiner").unwrap();
+        // Note: worker is forked by main (through forker) — the thread model
+        // attributes the join to the spawner thread; either way, joiner's
+        // summary must include worker's mods if the join resolved.
+        let resolved = m
+            .stmts()
+            .filter(|(_, s)| matches!(s.kind, StmtKind::Join { .. }))
+            .count();
+        assert_eq!(resolved, 1);
+        // The handle flows through an array; the pre-analysis still finds it.
+        assert!(obj_in(&pre, &m, mr.mods(joiner), "g") || {
+            // If the model rejected the join (multi-fork heuristics), mods
+            // won't include g — but this program has a straight-line fork.
+            false
+        });
+    }
+
+    #[test]
+    fn domain_is_union() {
+        let (m, _, mr) = compute(
+            r#"
+            global a
+            global b
+            func main() {
+            entry:
+              p = &a
+              q = &b
+              store p, q
+              c = load q
+              ret
+            }
+        "#,
+        );
+        let main = m.entry().unwrap();
+        let d = mr.domain(main);
+        assert!(mr.mods(main).is_subset(&d));
+        assert!(mr.refs(main).is_subset(&d));
+        assert_eq!(d.len(), 2);
+    }
+}

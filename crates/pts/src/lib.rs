@@ -1,0 +1,35 @@
+//! # fsam-pts — points-to sets, object model and memory accounting
+//!
+//! Shared data structures for every pointer analysis in the FSAM
+//! reproduction:
+//!
+//! * [`PtsSet`] — hybrid sorted-vector/bitmap points-to sets with
+//!   change-reporting union (drives the solver worklists);
+//! * [`ObjectModel`] — base and field abstract objects, array/PWC collapsing
+//!   and the singleton classification that gates strong updates
+//!   (paper Fig. 10);
+//! * [`MemoryMeter`] — byte accounting behind the Table 2 memory column.
+//!
+//! ## Example
+//!
+//! ```
+//! use fsam_pts::{MemId, PtsSet};
+//!
+//! let mut pt_p = PtsSet::new();
+//! pt_p.insert(MemId::new(3));
+//! let mut pt_q = PtsSet::singleton(MemId::new(7));
+//! assert!(pt_q.union_in_place(&pt_p)); // q ⊇ p, grew
+//! assert!(!pt_q.union_in_place(&pt_p)); // fixpoint
+//! assert_eq!(pt_q.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meter;
+pub mod objects;
+pub mod set;
+
+pub use meter::MemoryMeter;
+pub use objects::{MemId, MemKind, ObjectModel};
+pub use set::PtsSet;

@@ -1,0 +1,109 @@
+//! Model-based property tests: `PtsSet` against a `BTreeSet<u32>` oracle,
+//! across the small-vector and bitmap representations (the spill threshold
+//! sits at 16 elements, so ids up to a few hundred exercise both).
+
+use std::collections::BTreeSet;
+
+use fsam_pts::{MemId, PtsSet};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Clear,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            6 => (0u32..400).prop_map(Op::Insert),
+            2 => (0u32..400).prop_map(Op::Remove),
+            1 => Just(Op::Clear),
+        ],
+        0..120,
+    )
+}
+
+fn apply(ops: &[Op]) -> (PtsSet, BTreeSet<u32>) {
+    let mut set = PtsSet::new();
+    let mut model = BTreeSet::new();
+    for op in ops {
+        match *op {
+            Op::Insert(x) => {
+                let a = set.insert(MemId::new(x));
+                let b = model.insert(x);
+                assert_eq!(a, b, "insert({x}) change disagreed");
+            }
+            Op::Remove(x) => {
+                let a = set.remove(MemId::new(x));
+                let b = model.remove(&x);
+                assert_eq!(a, b, "remove({x}) change disagreed");
+            }
+            Op::Clear => {
+                set.clear();
+                model.clear();
+            }
+        }
+    }
+    (set, model)
+}
+
+proptest! {
+    #[test]
+    fn matches_model(ops in ops()) {
+        let (set, model) = apply(&ops);
+        prop_assert_eq!(set.len(), model.len());
+        let elems: Vec<u32> = set.iter().map(|m| m.raw()).collect();
+        let expected: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(elems, expected, "iteration order/content");
+        for x in 0..400u32 {
+            prop_assert_eq!(set.contains(MemId::new(x)), model.contains(&x));
+        }
+    }
+
+    #[test]
+    fn union_matches_model(a in ops(), b in ops()) {
+        let (mut sa, ma) = apply(&a);
+        let (sb, mb) = apply(&b);
+        let grew = sa.union_in_place(&sb);
+        let mut mu = ma.clone();
+        mu.extend(mb.iter().copied());
+        prop_assert_eq!(grew, mu.len() > ma.len());
+        let elems: Vec<u32> = sa.iter().map(|m| m.raw()).collect();
+        let expected: Vec<u32> = mu.iter().copied().collect();
+        prop_assert_eq!(elems, expected);
+        // Union is idempotent.
+        prop_assert!(!sa.union_in_place(&sb));
+    }
+
+    #[test]
+    fn intersection_matches_model(a in ops(), b in ops()) {
+        let (sa, ma) = apply(&a);
+        let (sb, mb) = apply(&b);
+        let inter = sa.intersection(&sb);
+        let expected: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let got: Vec<u32> = inter.iter().map(|m| m.raw()).collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(sa.intersects(&sb), !inter.is_empty());
+    }
+
+    #[test]
+    fn subset_and_singleton_match_model(a in ops(), b in ops()) {
+        let (sa, ma) = apply(&a);
+        let (sb, mb) = apply(&b);
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(
+            sa.as_singleton().map(|m| m.raw()),
+            if ma.len() == 1 { ma.iter().next().copied() } else { None }
+        );
+    }
+
+    #[test]
+    fn from_iterator_roundtrip(xs in proptest::collection::btree_set(0u32..1000, 0..60)) {
+        let set: PtsSet = xs.iter().map(|&x| MemId::new(x)).collect();
+        prop_assert_eq!(set.len(), xs.len());
+        let back: BTreeSet<u32> = set.iter().map(|m| m.raw()).collect();
+        prop_assert_eq!(back, xs);
+    }
+}

@@ -1,0 +1,73 @@
+//! # fsam-suite — the synthetic benchmark suite
+//!
+//! Generators for the ten multithreaded programs of the paper's Table 1
+//! (Phoenix-2.0, Parsec-3.0 and three open-source applications). Each
+//! generator reproduces the program's documented concurrency skeleton —
+//! master/slave with symmetric fork/join loops, lock-protected task queues,
+//! pipelines, servers, deep engines with partial joins — at a size
+//! proportional to the paper's LOC column, deterministically.
+//!
+//! ## Example
+//!
+//! ```
+//! use fsam_suite::{Program, Scale};
+//!
+//! let module = Program::WordCount.generate(Scale::SMOKE);
+//! fsam_ir::verify::verify_module(&module).unwrap();
+//! assert!(module.stmt_count() > 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mill;
+pub mod programs;
+pub mod scale;
+pub mod stats;
+
+pub use programs::Program;
+pub use scale::Scale;
+pub use stats::{table1, ProgramStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::verify::verify_module;
+
+    #[test]
+    fn all_programs_generate_valid_modules() {
+        for p in Program::all() {
+            let m = p.generate(Scale::SMOKE);
+            verify_module(&m).unwrap_or_else(|e| {
+                panic!("{} is ill-formed: {:?}", p.name(), &e[..e.len().min(3)])
+            });
+            assert!(m.entry().is_some(), "{} has no main", p.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for p in [Program::WordCount, Program::X264] {
+            let a = p.generate(Scale::SMOKE).to_string();
+            let b = p.generate(Scale::SMOKE).to_string();
+            assert_eq!(a, b, "{} generation not deterministic", p.name());
+        }
+    }
+
+    #[test]
+    fn sizes_are_proportional_to_paper_loc() {
+        let small = Program::WordCount.generate(Scale::SMOKE).stmt_count();
+        let large = Program::X264.generate(Scale::SMOKE).stmt_count();
+        assert!(
+            large > small * 4,
+            "x264 ({large}) should dwarf word_count ({small})"
+        );
+    }
+
+    #[test]
+    fn scale_grows_programs() {
+        let s1 = Program::Kmeans.generate(Scale(0.05)).stmt_count();
+        let s2 = Program::Kmeans.generate(Scale(0.2)).stmt_count();
+        assert!(s2 > s1 * 2, "scale 0.2 ({s2}) vs 0.05 ({s1})");
+    }
+}

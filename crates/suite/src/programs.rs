@@ -1,0 +1,861 @@
+//! The ten benchmark programs of the paper's Table 1, as synthetic
+//! generators.
+//!
+//! No public source tree of the exact Phoenix-2.0 / Parsec-3.0 builds can be
+//! compiled here (see DESIGN.md, substitution 1), so each generator
+//! reproduces the program's documented *concurrency skeleton* — the aspect
+//! the paper's analyses actually exercise — at a size proportional to its
+//! LOC:
+//!
+//! * `word_count`, `kmeans` — Phoenix map-reduce master/slave with the
+//!   symmetric fork/join loops of Figure 11;
+//! * `radiosity` — a global task queue with enqueue/dequeue under a common
+//!   lock (Figure 13), worked by a pool of threads;
+//! * `automount` — service threads with lock-heavy mutation of shared
+//!   tables;
+//! * `ferret` — pipeline parallelism with lock-protected stage queues and
+//!   heavy thread-local pointer traffic;
+//! * `bodytrack` — a worker pool plus a large sequential pointer-intensive
+//!   core (the paper's best FSAM speedup);
+//! * `httpd_server`, `mt_daapd` — master/slave servers with shared
+//!   configuration and post-join processing;
+//! * `raytrace`, `x264` — the two largest: deep call graphs, partially
+//!   joined threads, field-heavy structures (NonSparse goes out-of-time).
+
+use fsam_ir::builder::ModuleBuilder;
+use fsam_ir::{FuncId, Module, ObjId};
+
+use crate::mill::{mixed_body, Mill};
+use crate::scale::Scale;
+
+/// The ten benchmark programs (paper Table 1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Program {
+    WordCount,
+    Kmeans,
+    Radiosity,
+    Automount,
+    Ferret,
+    Bodytrack,
+    HttpdServer,
+    MtDaapd,
+    Raytrace,
+    X264,
+}
+
+impl Program {
+    /// All programs, in the paper's Table 1 order.
+    pub fn all() -> [Program; 10] {
+        [
+            Program::WordCount,
+            Program::Kmeans,
+            Program::Radiosity,
+            Program::Automount,
+            Program::Ferret,
+            Program::Bodytrack,
+            Program::HttpdServer,
+            Program::MtDaapd,
+            Program::Raytrace,
+            Program::X264,
+        ]
+    }
+
+    /// The benchmark's name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Program::WordCount => "word_count",
+            Program::Kmeans => "kmeans",
+            Program::Radiosity => "radiosity",
+            Program::Automount => "automount",
+            Program::Ferret => "ferret",
+            Program::Bodytrack => "bodytrack",
+            Program::HttpdServer => "httpd_server",
+            Program::MtDaapd => "mt_daapd",
+            Program::Raytrace => "raytrace",
+            Program::X264 => "x264",
+        }
+    }
+
+    /// The paper's Table 1 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Program::WordCount => "Word counter based on map-reduce",
+            Program::Kmeans => "Iterative clustering of 3-D points",
+            Program::Radiosity => "Graphics",
+            Program::Automount => "Manage autofs mount points",
+            Program::Ferret => "Content similarity search server",
+            Program::Bodytrack => "Body tracking of a person",
+            Program::HttpdServer => "Http server",
+            Program::MtDaapd => "Multi-threaded DAAP Daemon",
+            Program::Raytrace => "Real-time raytracing",
+            Program::X264 => "Media processing",
+        }
+    }
+
+    /// The paper's Table 1 LOC.
+    pub fn paper_loc(self) -> usize {
+        match self {
+            Program::WordCount => 6330,
+            Program::Kmeans => 6008,
+            Program::Radiosity => 12781,
+            Program::Automount => 13170,
+            Program::Ferret => 15735,
+            Program::Bodytrack => 19063,
+            Program::HttpdServer => 52616,
+            Program::MtDaapd => 57102,
+            Program::Raytrace => 84373,
+            Program::X264 => 113481,
+        }
+    }
+
+    /// Generates the benchmark module at the given scale.
+    pub fn generate(self, scale: Scale) -> Module {
+        match self {
+            Program::WordCount => map_reduce(scale, 0x5EED_0001, 6330, 8, 2),
+            Program::Kmeans => map_reduce(scale, 0x5EED_0002, 6008, 8, 4),
+            Program::Radiosity => task_queue(scale, 0x5EED_0003, 12781, 6, 10),
+            Program::Automount => lock_daemon(scale, 0x5EED_0004, 13170, 4, 14),
+            Program::Ferret => pipeline(scale, 0x5EED_0005, 15735, 6),
+            Program::Bodytrack => worker_pool_core(scale, 0x5EED_0006, 19063, 8),
+            Program::HttpdServer => server(scale, 0x5EED_0007, 52616, 12, true),
+            Program::MtDaapd => server(scale, 0x5EED_0008, 57102, 10, true),
+            Program::Raytrace => deep_engine(scale, 0x5EED_0009, 84373, 4, 5, false),
+            Program::X264 => deep_engine(scale, 0x5EED_000A, 113481, 5, 6, true),
+        }
+    }
+}
+
+/// Statement budget per paper LOC: roughly one IR statement per 8 C lines
+/// keeps the full-scale suite analyzable in minutes while preserving the
+/// relative sizes.
+fn budget(scale: Scale, loc: usize) -> usize {
+    scale.at_least(loc / 8, 40)
+}
+
+/// A set of shared globals (some arrays) plus a couple of locks.
+fn shared_state(mb: &mut ModuleBuilder, prefix: &str, globals: usize, locks: usize) -> (Vec<ObjId>, Vec<ObjId>) {
+    let gs: Vec<ObjId> = (0..globals)
+        .map(|i| {
+            if i % 4 == 3 {
+                mb.global_array(&format!("{prefix}_arr{i}"))
+            } else {
+                mb.global(&format!("{prefix}_g{i}"))
+            }
+        })
+        .collect();
+    let ls: Vec<ObjId> = (0..locks).map(|i| mb.global(&format!("{prefix}_lock{i}"))).collect();
+    (gs, ls)
+}
+
+/// A layer of leaf compute functions over the shared state, plus a driver
+/// that calls them all. Returns the driver.
+fn compute_layer(
+    mb: &mut ModuleBuilder,
+    prefix: &str,
+    shared: &[ObjId],
+    count: usize,
+    stmts_each: usize,
+    seed: u64,
+) -> FuncId {
+    let mut leaves = Vec::new();
+    for i in 0..count {
+        let name = format!("{prefix}_leaf{i}");
+        let id = mb.declare_func(&name, &["in"]);
+        let mut f = mb.define_func(id);
+        let local = f.local(&format!("{prefix}_buf{i}"));
+        let param = f.param(0);
+        {
+            let shared_objs = if shared.is_empty() {
+                Vec::new()
+            } else {
+                vec![shared[i % shared.len()]]
+            };
+            let param_is_shared = !shared.is_empty();
+            let mut mill = Mill::new(&mut f, shared_objs, vec![local], seed + i as u64, "c");
+            if param_is_shared {
+                mill.seed_shared_var(param);
+            } else {
+                // A layer with no shared state treats its argument as local
+                // working data (e.g. radiosity's task processing).
+                mill.seed_var(param);
+            }
+            mixed_body(&mut mill, stmts_each, seed ^ ((i as u64) << 3));
+        }
+        let ret = f.copy("cret_v", param);
+        f.ret(Some(ret));
+        f.finish();
+        leaves.push(id);
+    }
+    let driver_name = format!("{prefix}_driver");
+    let driver = mb.declare_func(&driver_name, &["din"]);
+    let mut f = mb.define_func(driver);
+    let p = f.param(0);
+    let mut last = p;
+    for (i, &leaf) in leaves.iter().enumerate() {
+        last = {
+            let dst = format!("dr{i}");
+            f.call(Some(&dst), leaf, &[last]);
+            f.named(&dst)
+        };
+    }
+    f.ret(Some(last));
+    f.finish();
+    driver
+}
+
+/// Symmetric fork/join loops over a handle array (Figure 11), with the
+/// worker taking a shared pointer argument; `post` statements of sequential
+/// post-processing after the join loop.
+fn symmetric_master(
+    mb: &mut ModuleBuilder,
+    worker: FuncId,
+    shared: &[ObjId],
+    post: usize,
+    seed: u64,
+) {
+    let tids = mb.global_array("tids");
+    let mut f = mb.func("main", &[]);
+    let ta = f.addr("ta", tids);
+    let arg = f.addr("work_arg", shared[0]);
+
+    let fork_header = f.block("fork_h");
+    let fork_body = f.block("fork_b");
+    let join_header = f.block("join_h");
+    let join_body = f.block("join_b");
+    let post_bb = f.block("post");
+
+    f.jump(fork_header);
+    f.switch_to(fork_header);
+    f.branch(fork_body, join_header);
+    f.switch_to(fork_body);
+    let t = f.fork("t", worker, Some(arg));
+    f.store(ta, t);
+    f.jump(fork_header);
+
+    // Do-while join loop: at least one join executes on the way to the
+    // post-processing code (joining waits for the whole fork site, so one
+    // executed join means every slave has finished).
+    f.switch_to(join_header);
+    f.jump(join_body);
+    f.switch_to(join_body);
+    let h = f.load("h", ta);
+    f.join(h);
+    f.branch(join_body, post_bb);
+
+    f.switch_to(post_bb);
+    {
+        let mut mill = Mill::new(&mut f, shared.to_vec(), vec![], seed, "post");
+        mixed_body(&mut mill, post, seed ^ 0xF00D);
+    }
+    f.ret(None);
+    f.finish();
+}
+
+/// Phoenix-style map-reduce: symmetric master/slave (word_count, kmeans).
+/// `rounds` models kmeans' repeated map phases (extra compute layers).
+fn map_reduce(scale: Scale, seed: u64, loc: usize, _workers: usize, rounds: usize) -> Module {
+    let total = budget(scale, loc);
+    let mut mb = ModuleBuilder::new();
+    let n_globals = (total / 60).max(12);
+    let (shared, _locks) = shared_state(&mut mb, "mr", n_globals, 0);
+
+    // Slave compute: `rounds` layers of leaves; the worker maps over shared
+    // input and accumulates locally.
+    let per_layer = total / (2 * rounds.max(1));
+    let mut drivers = Vec::new();
+    for r in 0..rounds {
+        let leaves = (per_layer / 250).max(3);
+        drivers.push(compute_layer(
+            &mut mb,
+            &format!("map{r}"),
+            &shared,
+            leaves,
+            per_layer / leaves,
+            seed + r as u64,
+        ));
+    }
+
+    let worker = mb.declare_func("slave", &["task"]);
+    let mut f = mb.define_func(worker);
+    let local = f.local("slave_acc");
+    let p = f.param(0);
+    let mut cur = p;
+    for (i, &d) in drivers.iter().enumerate() {
+        cur = {
+            let dst = format!("w{i}");
+            f.call(Some(&dst), d, &[cur]);
+            f.named(&dst)
+        };
+    }
+    {
+        let mut mill = Mill::new(&mut f, vec![shared[1]], vec![local], seed ^ 0xA, "w");
+        mill.seed_shared_var(cur);
+        mixed_body(&mut mill, total / 4, seed ^ 0xB);
+    }
+    f.ret(None);
+    f.finish();
+
+    // Master with symmetric fork/join and heavy sequential reduce phase.
+    symmetric_master(&mut mb, worker, &shared, total / 4, seed ^ 0xC);
+    mb.build()
+}
+
+/// The radiosity shape: task queues protected by locks (Figure 13) worked by
+/// a pool of threads.
+fn task_queue(scale: Scale, seed: u64, loc: usize, workers: usize, queues: usize) -> Module {
+    let total = budget(scale, loc);
+    let queues = queues.max(total / 120);
+    let mut mb = ModuleBuilder::new();
+    let (shared, locks) = shared_state(&mut mb, "rad", queues + 4, queues);
+
+    // enqueue/dequeue per queue — each a pair of lock-release spans over the
+    // same lock, accessing the same task storage (Fig 13).
+    let mut enqueues = Vec::new();
+    let mut dequeues = Vec::new();
+    let span_body = (total / (3 * queues)).max(6);
+    for q in 0..queues {
+        let storage = shared[q];
+        let lock_obj = locks[q];
+        let enq = mb.declare_func(&format!("enqueue_task{q}"), &["task"]);
+        let mut f = mb.define_func(enq);
+        let l = f.addr("tq", lock_obj);
+        let p = f.param(0);
+        let sp = f.addr("slot", storage);
+        f.lock(l);
+        f.store(sp, p); // publish the task into the queue
+        {
+            let mut mill = Mill::new(&mut f, vec![storage], vec![], seed + q as u64, "e");
+            mill.churn_shared(span_body);
+        }
+        f.unlock(l);
+        f.ret(None);
+        f.finish();
+        enqueues.push(enq);
+
+        let deq = mb.declare_func(&format!("dequeue_task{q}"), &[]);
+        let mut f = mb.define_func(deq);
+        let l = f.addr("tq", lock_obj);
+        let sp = f.addr("slot", storage);
+        f.lock(l);
+        let r = f.load("task_out", sp); // take a task out of the queue
+        {
+            let mut mill = Mill::new(&mut f, vec![storage], vec![], seed + 100 + q as u64, "d");
+            mill.churn_shared(span_body);
+        }
+        f.unlock(l);
+        f.ret(Some(r));
+        f.finish();
+        dequeues.push(deq);
+    }
+
+    // Worker: loop over dequeue → process → enqueue.
+    // Task processing is local to the worker (radiosity computes on the
+    // dequeued task); the shared traffic is the lock-protected queues. The
+    // heavy compute runs over worker-private state: `process` is a thin
+    // wrapper that reads the task and hands its own scratch buffer to the
+    // compute layer.
+    let proc_leaves = (total / 600).max(3);
+    let compute = compute_layer(&mut mb, "proc", &[], proc_leaves, total / (4 * proc_leaves), seed ^ 0x33);
+    let process = {
+        let id = mb.declare_func("process_task", &["task"]);
+        let mut f = mb.define_func(id);
+        let scratch = f.local("task_scratch");
+        let t = f.param(0);
+        let field = f.gep("tfield", t, 1);
+        let v1 = f.load("tv1", t);
+        let v2 = f.load("tv2", field);
+        let sp = f.addr("sp", scratch);
+        f.store(sp, v1);
+        f.store(sp, v2);
+        let r = f.call(Some("pres"), compute, &[sp]);
+        let _ = r;
+        let out = f.named("pres");
+        f.ret(Some(out));
+        f.finish();
+        id
+    };
+    let worker = mb.declare_func("task_worker", &["arg"]);
+    let mut f = mb.define_func(worker);
+    let header = f.block("h");
+    let body = f.block("b");
+    let exit = f.block("x");
+    f.jump(header);
+    f.switch_to(header);
+    f.branch(body, exit);
+    f.switch_to(body);
+    for q in 0..queues.min(4) {
+        let t = {
+            let dst = format!("task{q}");
+            f.call(Some(&dst), dequeues[q], &[]);
+            f.named(&dst)
+        };
+        let processed = {
+            let dst = format!("done{q}");
+            f.call(Some(&dst), process, &[t]);
+            f.named(&dst)
+        };
+        let (fresh, _) = f.alloc(&format!("newtask{q}"), &format!("task_obj{q}"));
+        let _ = processed;
+        f.call(None, enqueues[q], &[fresh]);
+    }
+    f.jump(header);
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish();
+
+    // Main: fork the pool individually (radiosity forks a fixed pool), join
+    // all, then output.
+    let mut f = mb.func("main", &[]);
+    let arg = f.addr("pool_arg", shared[queues]);
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        handles.push(f.fork(&format!("t{w}"), worker, Some(arg)));
+    }
+    for &h in &handles {
+        f.join(h);
+    }
+    {
+        let mut mill = Mill::new(&mut f, shared, vec![], seed ^ 0x44, "out");
+        mixed_body(&mut mill, total / 6, seed ^ 0x45);
+    }
+    f.ret(None);
+    f.finish();
+    mb.build()
+}
+
+/// The automount shape: a handful of service threads, many small functions
+/// mutating shared tables under fine-grained locks.
+fn lock_daemon(scale: Scale, seed: u64, loc: usize, services: usize, tables: usize) -> Module {
+    let total = budget(scale, loc);
+    let tables = tables.max(total / 100);
+    let mut mb = ModuleBuilder::new();
+    let (shared, locks) = shared_state(&mut mb, "am", tables, tables);
+
+    // Table mutators: lock → mutate → unlock; called from service bodies.
+    let mut mutators = Vec::new();
+    let span = (total / (2 * tables)).max(6);
+    for t in 0..tables {
+        let m = mb.declare_func(&format!("mutate_table{t}"), &["ent"]);
+        let mut f = mb.define_func(m);
+        let l = f.addr("tl", locks[t]);
+        let p = f.param(0);
+        {
+            let mut mill = Mill::new(&mut f, vec![shared[t]], vec![], seed + t as u64, "mu");
+            mill.seed_var(p);
+            mill.churn(3);
+            mill.locked_region(l, span);
+            mill.churn(2);
+        }
+        f.ret(None);
+        f.finish();
+        mutators.push(m);
+    }
+
+    let service = mb.declare_func("service", &["cfg"]);
+    let mut f = mb.define_func(service);
+    let header = f.block("h");
+    let body = f.block("b");
+    let exit = f.block("x");
+    let p = f.param(0);
+    f.jump(header);
+    f.switch_to(header);
+    f.branch(body, exit);
+    f.switch_to(body);
+    for &m in mutators.iter() {
+        f.call(None, m, &[p]);
+    }
+    {
+        let mut mill = Mill::new(&mut f, vec![], vec![], seed ^ 0x7, "sv");
+        mill.seed_shared_var(p);
+        mill.churn(total / (6 * services.max(1)));
+    }
+    f.jump(header);
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish();
+
+    let mut f = mb.func("main", &[]);
+    let cfg = f.addr("cfg", shared[1]);
+    let mut handles = Vec::new();
+    for s in 0..services {
+        handles.push(f.fork(&format!("svc{s}"), service, Some(cfg)));
+    }
+    // Main also mutates tables (through the other half of the mutators).
+    for (i, &m) in mutators.iter().enumerate() {
+        if i % 2 == 1 {
+            f.call(None, m, &[cfg]);
+        }
+    }
+    for &h in &handles {
+        f.join(h);
+    }
+    f.ret(None);
+    f.finish();
+    mb.build()
+}
+
+/// The ferret shape: pipeline stages chained by lock-protected queues, with
+/// heavy thread-local pointer traffic inside each stage.
+fn pipeline(scale: Scale, seed: u64, loc: usize, stages: usize) -> Module {
+    let total = budget(scale, loc);
+    let stages = stages.max(total / 300);
+    let mut mb = ModuleBuilder::new();
+    let (queues, locks) = shared_state(&mut mb, "fer", stages + 1, stages + 1);
+
+    let mut stage_funcs = Vec::new();
+    let per_stage = total / stages.max(1);
+    for s in 0..stages {
+        let func = mb.declare_func(&format!("stage{s}"), &["ctx"]);
+        let mut f = mb.define_func(func);
+        let local = f.local(&format!("stage{s}_scratch"));
+        let local2 = f.local_array(&format!("stage{s}_window"));
+        let qin = f.addr("qin", queues[s]);
+        let qout = f.addr("qout", queues[s + 1]);
+        let lin = f.addr("lin", locks[s]);
+        let lout = f.addr("lout", locks[s + 1]);
+        let header = f.block("h");
+        let body = f.block("b");
+        let exit = f.block("x");
+        f.jump(header);
+        f.switch_to(header);
+        f.branch(body, exit);
+        f.switch_to(body);
+        {
+            // Dequeue from the input queue.
+            let mut mill = Mill::new(&mut f, vec![queues[s]], vec![], seed + s as u64, "in");
+            mill.seed_var(qin);
+            mill.locked_region(lin, 4);
+        }
+        {
+            // The dominant cost: local-only pointer traffic (the paper notes
+            // ferret's threads "manipulate not only global variables but
+            // also their local variables frequently" — value-flow analysis
+            // avoids propagating these, §4.4).
+            let mut mill = Mill::new(&mut f, vec![], vec![local, local2], seed + 50 + s as u64, "lo");
+            mixed_body(&mut mill, (per_stage * 4) / 5, seed ^ (s as u64));
+        }
+        {
+            // Enqueue to the output queue.
+            let mut mill = Mill::new(&mut f, vec![queues[s + 1]], vec![], seed + 90 + s as u64, "ou");
+            mill.seed_var(qout);
+            mill.locked_region(lout, 4);
+        }
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        stage_funcs.push(func);
+    }
+
+    let mut f = mb.func("main", &[]);
+    let ctx = f.addr("pipe_ctx", queues[0]);
+    let mut handles = Vec::new();
+    for (s, &func) in stage_funcs.iter().enumerate() {
+        handles.push(f.fork(&format!("st{s}"), func, Some(ctx)));
+    }
+    for &h in &handles {
+        f.join(h);
+    }
+    f.ret(None);
+    f.finish();
+    mb.build()
+}
+
+/// The bodytrack shape: a worker pool plus a very large sequential
+/// pointer-intensive core in the master.
+fn worker_pool_core(scale: Scale, seed: u64, loc: usize, _workers: usize) -> Module {
+    let total = budget(scale, loc);
+    let mut mb = ModuleBuilder::new();
+    let n_globals = (total / 60).max(16);
+    let (shared, _) = shared_state(&mut mb, "bt", n_globals, 0);
+
+    let pu_leaves = (total / 500).max(4);
+    let particle_update = compute_layer(&mut mb, "particle", &shared, pu_leaves, total / (5 * pu_leaves), seed);
+    let worker = mb.declare_func("pool_worker", &["w"]);
+    let mut f = mb.define_func(worker);
+    let p = f.param(0);
+    let header = f.block("h");
+    let body = f.block("b");
+    let exit = f.block("x");
+    f.jump(header);
+    f.switch_to(header);
+    f.branch(body, exit);
+    f.switch_to(body);
+    f.call(Some("pw"), particle_update, &[p]);
+    f.jump(header);
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish();
+
+    // Sequential core: several large layers called from main.
+    let core_leaves = (total / 400).max(4);
+    let core1 = compute_layer(&mut mb, "track", &shared, core_leaves, total / (4 * core_leaves), seed ^ 0x1);
+    let core2 = compute_layer(&mut mb, "filter", &shared, core_leaves, total / (4 * core_leaves), seed ^ 0x2);
+
+    symmetric_master_with_core(&mut mb, worker, &[core1, core2], &shared, total / 8, seed ^ 0x3);
+    mb.build()
+}
+
+/// Like [`symmetric_master`], but the post-join phase calls big sequential
+/// core layers.
+fn symmetric_master_with_core(
+    mb: &mut ModuleBuilder,
+    worker: FuncId,
+    cores: &[FuncId],
+    shared: &[ObjId],
+    post: usize,
+    seed: u64,
+) {
+    let tids = mb.global_array("tids");
+    let mut f = mb.func("main", &[]);
+    let ta = f.addr("ta", tids);
+    let arg = f.addr("work_arg", shared[0]);
+
+    let fork_header = f.block("fork_h");
+    let fork_body = f.block("fork_b");
+    let join_header = f.block("join_h");
+    let join_body = f.block("join_b");
+    let post_bb = f.block("post");
+
+    f.jump(fork_header);
+    f.switch_to(fork_header);
+    f.branch(fork_body, join_header);
+    f.switch_to(fork_body);
+    let t = f.fork("t", worker, Some(arg));
+    f.store(ta, t);
+    f.jump(fork_header);
+
+    // Do-while join loop (see symmetric_master).
+    f.switch_to(join_header);
+    f.jump(join_body);
+    f.switch_to(join_body);
+    let h = f.load("h", ta);
+    f.join(h);
+    f.branch(join_body, post_bb);
+
+    f.switch_to(post_bb);
+    let mut cur = arg;
+    for (i, &core) in cores.iter().enumerate() {
+        cur = {
+            let dst = format!("core{i}");
+            f.call(Some(&dst), core, &[cur]);
+            f.named(&dst)
+        };
+    }
+    {
+        let mut mill = Mill::new(&mut f, shared.to_vec(), vec![], seed, "post");
+        mill.seed_shared_var(cur);
+        mixed_body(&mut mill, post, seed ^ 0xF00D);
+    }
+    f.ret(None);
+    f.finish();
+}
+
+/// The httpd_server / mt_daapd shape: master/slave server — connection
+/// handlers over shared config and session tables, master post-processes
+/// after joining the slaves.
+fn server(scale: Scale, seed: u64, loc: usize, handlers: usize, locked_sessions: bool) -> Module {
+    let total = budget(scale, loc);
+    let mut mb = ModuleBuilder::new();
+    let n_globals = (total / 40).max(24);
+    let (shared, locks) = shared_state(&mut mb, "srv", n_globals, 8);
+
+    // Request-parsing helpers (sequential, called by handlers).
+    let svc_leaves = (total / 350).max(4);
+    let parse = compute_layer(&mut mb, "parse", &shared, svc_leaves, total / (3 * svc_leaves), seed);
+    let respond = compute_layer(&mut mb, "respond", &shared, svc_leaves, total / (3 * svc_leaves), seed ^ 0x9);
+
+    let handler = mb.declare_func("handler", &["conn"]);
+    let mut f = mb.define_func(handler);
+    let conn = f.param(0);
+    let session = f.local("session");
+    let header = f.block("h");
+    let body = f.block("b");
+    let exit = f.block("x");
+    f.jump(header);
+    f.switch_to(header);
+    f.branch(body, exit);
+    f.switch_to(body);
+    let req = {
+        f.call(Some("req"), parse, &[conn]);
+        f.named("req")
+    };
+    if locked_sessions {
+        let l = f.addr("sl", locks[0]);
+        let sp = f.addr("sp", shared[2]);
+        f.lock(l);
+        f.store(sp, req);
+        let got = f.load("got", sp);
+        let _ = got;
+        f.unlock(l);
+    }
+    {
+        let mut mill = Mill::new(&mut f, vec![shared[1]], vec![session], seed ^ 0x21, "hb");
+        mill.seed_shared_var(req);
+        mill.churn(total / (8 * handlers.max(1)));
+    }
+    f.call(None, respond, &[req]);
+    f.jump(header);
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish();
+
+    let _ = handlers;
+    // Master: symmetric accept/join loops, then statistics post-processing
+    // (the master-slave precision case the paper highlights for
+    // httpd_server/mt_daapd in §4.4).
+    symmetric_master(&mut mb, handler, &shared, total / 5, seed ^ 0x31);
+    mb.build()
+}
+
+/// The raytrace / x264 shape: the two largest programs — a deep grid call
+/// graph with field-heavy structures, worker threads forked in a loop and
+/// only partially joined. NonSparse times out on these at full scale.
+fn deep_engine(
+    scale: Scale,
+    seed: u64,
+    loc: usize,
+    depth: usize,
+    width: usize,
+    field_heavy: bool,
+) -> Module {
+    let total = budget(scale, loc);
+    let width = width.max(total / (depth * 250));
+    let mut mb = ModuleBuilder::new();
+    let n_globals = (depth * width).max(24);
+    let (shared, locks) = shared_state(&mut mb, "eng", n_globals, 2);
+
+    // Grid of functions: level i calls 2 functions of level i+1.
+    let per_func = total / (depth * width).max(1);
+    let mut levels: Vec<Vec<FuncId>> = Vec::new();
+    for d in (0..depth).rev() {
+        let mut level = Vec::new();
+        for w in 0..width {
+            let name = format!("eng_d{d}_w{w}");
+            let id = mb.declare_func(&name, &["n"]);
+            let mut f = mb.define_func(id);
+            let local = f.local(&format!("eng_l{d}_{w}"));
+            let local2 = f.local(&format!("eng_m{d}_{w}"));
+            let local3 = f.local_array(&format!("eng_t{d}_{w}"));
+            let p = f.param(0);
+            {
+                let mut mill = Mill::new(
+                    &mut f,
+                    vec![shared[(d * width + w) % shared.len()]],
+                    vec![local, local2, local3],
+                    seed + (d * 31 + w) as u64,
+                    "e",
+                );
+                mill.seed_shared_var(p);
+                if field_heavy {
+                    // Extra gep pressure (x264's struct-heavy encoder).
+                    for i in 0..4 {
+                        let g = mill.builder().gep(&format!("fld{i}"), p, i + 1);
+                        mill.seed_shared_var(g);
+                    }
+                }
+                mixed_body(&mut mill, per_func, seed ^ ((d * 7 + w) as u64));
+            }
+            // Call two children of the next level.
+            let mut cur = p;
+            if let Some(children) = levels.last() {
+                for (i, &c) in children.iter().take(2).enumerate() {
+                    cur = {
+                        let dst = format!("sub{i}");
+                        f.call(Some(&dst), c, &[cur]);
+                        f.named(&dst)
+                    };
+                }
+            }
+            f.ret(Some(cur));
+            f.finish();
+            level.push(id);
+        }
+        levels.push(level);
+    }
+    let top = levels.last().expect("depth >= 1").clone();
+
+    // Worker thread: runs the engine top level repeatedly.
+    let worker = mb.declare_func("engine_worker", &["job"]);
+    let mut f = mb.define_func(worker);
+    let p = f.param(0);
+    let header = f.block("h");
+    let body = f.block("b");
+    let exit = f.block("x");
+    f.jump(header);
+    f.switch_to(header);
+    f.branch(body, exit);
+    f.switch_to(body);
+    let mut cur = p;
+    for (i, &t) in top.iter().take(3).enumerate() {
+        cur = {
+            let dst = format!("j{i}");
+            f.call(Some(&dst), t, &[cur]);
+            f.named(&dst)
+        };
+    }
+    let l = f.addr("el", locks[0]);
+    f.lock(l);
+    let sp = f.addr("frame_slot", shared[0]);
+    f.store(sp, cur);
+    f.unlock(l);
+    // Frame bookkeeping: the worker reads and updates a slice of the shared
+    // frame state every iteration (reference frames, rate-control state, ...)
+    // -- the cross-thread traffic that makes the largest programs so hard
+    // for the per-program-point baseline.
+    {
+        let frame_state: Vec<ObjId> =
+            (0..8.min(shared.len())).map(|i| shared[i]).collect();
+        let mut mill = Mill::new(&mut f, frame_state, vec![], seed ^ 0x77, "fs");
+        mill.churn_shared(24);
+    }
+    f.jump(header);
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish();
+
+    // Scene/context construction before the frame loop and the sequential
+    // encode/output phase after it: long chains of small functions over
+    // disjoint state — cheap for the sparse analysis, brutal for a baseline
+    // that materializes a points-to map at every program point.
+    let scene_leaves = (total / 220).max(6);
+    let scene = compute_layer(&mut mb, "scene", &shared, scene_leaves, total / (4 * scene_leaves), seed ^ 0x66);
+    let out_leaves = (total / 500).max(4);
+    let output = compute_layer(&mut mb, "output", &shared, out_leaves, total / (5 * out_leaves), seed ^ 0x55);
+
+    // Main: frame loop forking workers, joined only on one path (partial
+    // join: a thread may outlive the loop, §1.1).
+    let mut f = mb.func("main", &[]);
+    let job = f.addr("job", shared[1]);
+    f.call(Some("scene_ctx"), scene, &[job]);
+    let fh = f.block("frame_h");
+    let fb = f.block("frame_b");
+    let maybe_join = f.block("maybe_join");
+    let skip = f.block("skip");
+    let cont = f.block("cont");
+    let out = f.block("out");
+    f.jump(fh);
+    f.switch_to(fh);
+    f.branch(fb, out);
+    f.switch_to(fb);
+    let t = f.fork("t", worker, Some(job));
+    f.branch(maybe_join, skip);
+    f.switch_to(maybe_join);
+    f.join(t);
+    f.jump(cont);
+    f.switch_to(skip);
+    f.jump(cont);
+    f.switch_to(cont);
+    f.jump(fh);
+    f.switch_to(out);
+    f.call(Some("final"), output, &[job]);
+    f.ret(None);
+    f.finish();
+    mb.build()
+}
+
+/// Convenience: generate by enum.
+pub fn generate(p: Program, scale: Scale) -> Module {
+    p.generate(scale)
+}

@@ -1,0 +1,45 @@
+//! Benchmark scaling.
+
+/// A multiplier on every generated program's size. `Scale::FULL` (1.0)
+/// produces statement counts proportional to the paper's Table 1 LOC
+/// column; smaller scales are used by tests.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// The evaluation scale used by the Table 2 / Figure 12 harnesses.
+    pub const FULL: Scale = Scale(1.0);
+
+    /// A small scale for smoke tests.
+    pub const SMOKE: Scale = Scale(0.05);
+
+    /// Applies the scale to a size, keeping at least 1.
+    pub fn apply(self, n: usize) -> usize {
+        ((n as f64) * self.0).round().max(1.0) as usize
+    }
+
+    /// Applies the scale with a floor.
+    pub fn at_least(self, n: usize, floor: usize) -> usize {
+        self.apply(n).max(floor)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_scales_and_floors() {
+        assert_eq!(Scale(0.5).apply(10), 5);
+        assert_eq!(Scale(0.001).apply(10), 1);
+        assert_eq!(Scale(2.0).apply(10), 20);
+        assert_eq!(Scale(0.01).at_least(100, 4), 4);
+        assert_eq!(Scale::default(), Scale::FULL);
+    }
+}

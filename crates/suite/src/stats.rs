@@ -1,0 +1,135 @@
+//! Program statistics (the paper's Table 1).
+
+use fsam_ir::{Module, ObjKind, StmtKind};
+
+use crate::programs::Program;
+use crate::scale::Scale;
+
+/// Statistics for one generated benchmark.
+#[derive(Clone, Debug)]
+pub struct ProgramStats {
+    /// The benchmark.
+    pub program: Program,
+    /// The paper's LOC (Table 1).
+    pub paper_loc: usize,
+    /// IR statements generated.
+    pub stmts: usize,
+    /// Functions.
+    pub funcs: usize,
+    /// Abstract objects (globals, locals, heap, functions, handles).
+    pub objects: usize,
+    /// Fork sites.
+    pub forks: usize,
+    /// Join sites.
+    pub joins: usize,
+    /// Lock sites.
+    pub locks: usize,
+    /// Load statements.
+    pub loads: usize,
+    /// Store statements.
+    pub stores: usize,
+}
+
+impl ProgramStats {
+    /// Computes statistics for a generated module.
+    pub fn collect(program: Program, module: &Module) -> ProgramStats {
+        let mut forks = 0;
+        let mut joins = 0;
+        let mut locks = 0;
+        let mut loads = 0;
+        let mut stores = 0;
+        for (_, s) in module.stmts() {
+            match s.kind {
+                StmtKind::Fork { .. } => forks += 1,
+                StmtKind::Join { .. } => joins += 1,
+                StmtKind::Lock { .. } => locks += 1,
+                StmtKind::Load { .. } => loads += 1,
+                StmtKind::Store { .. } => stores += 1,
+                _ => {}
+            }
+        }
+        let objects = module
+            .objs()
+            .filter(|(_, o)| !matches!(o.kind, ObjKind::Func(_)))
+            .count();
+        ProgramStats {
+            program,
+            paper_loc: program.paper_loc(),
+            stmts: module.stmt_count(),
+            funcs: module.func_count(),
+            objects,
+            forks,
+            joins,
+            locks,
+            loads,
+            stores,
+        }
+    }
+
+    /// Generates the module and collects its statistics.
+    pub fn generate(program: Program, scale: Scale) -> ProgramStats {
+        let module = program.generate(scale);
+        Self::collect(program, &module)
+    }
+}
+
+/// Renders Table 1 (program statistics) for the whole suite.
+pub fn table1(scale: Scale) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: Program statistics (synthetic suite, scale {:.2})", scale.0);
+    let _ = writeln!(
+        out,
+        "{:<14} {:<38} {:>8} {:>8} {:>7} {:>7} {:>6} {:>6} {:>6}",
+        "Benchmark", "Description", "LOC", "IR-stmts", "funcs", "objs", "forks", "joins", "locks"
+    );
+    let mut total_loc = 0;
+    let mut total_stmts = 0;
+    for p in Program::all() {
+        let s = ProgramStats::generate(p, scale);
+        total_loc += s.paper_loc;
+        total_stmts += s.stmts;
+        let _ = writeln!(
+            out,
+            "{:<14} {:<38} {:>8} {:>8} {:>7} {:>7} {:>6} {:>6} {:>6}",
+            p.name(),
+            p.description(),
+            s.paper_loc,
+            s.stmts,
+            s.funcs,
+            s.objects,
+            s.forks,
+            s.joins,
+            s.locks
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:<38} {:>8} {:>8}",
+        "Total", "", total_loc, total_stmts
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_reflect_structure() {
+        let s = ProgramStats::generate(Program::Radiosity, Scale::SMOKE);
+        assert!(s.forks >= 2, "radiosity forks a pool: {s:?}");
+        assert!(s.joins >= 1);
+        assert!(s.locks >= 4, "radiosity is lock-heavy: {s:?}");
+        assert!(s.stmts > 100);
+    }
+
+    #[test]
+    fn table1_lists_all_programs() {
+        let t = table1(Scale::SMOKE);
+        for p in Program::all() {
+            assert!(t.contains(p.name()), "missing {}", p.name());
+        }
+        assert!(t.contains("380659") || t.contains("Total"));
+    }
+}

@@ -1,0 +1,308 @@
+//! A generic, context-sensitive forward data-flow driver over per-thread
+//! ICFGs.
+//!
+//! Both the interleaving analysis (paper Figure 7) and the lock analyses
+//! (§3.3.3) are forward data-flow problems solved per thread, with calls and
+//! returns matched context-sensitively ([I-CALL]/[I-RET]) and call sites in
+//! call-graph cycles analyzed context-insensitively (§3.1). This module
+//! factors the shared machinery: state keyed by `(thread, context, node)`,
+//! the worklist, and the context transitions on call/return edges — so each
+//! analysis only supplies its lattice and transfer function.
+
+use std::collections::HashMap;
+
+use fsam_ir::callgraph::CallGraph;
+use fsam_ir::context::{ContextTable, CtxId};
+use fsam_ir::icfg::{EdgeKind, Icfg, NodeId, NodeKind};
+use fsam_ir::Module;
+
+use crate::model::{ThreadId, ThreadModel};
+
+/// A forward data-flow problem over per-thread ICFGs.
+pub trait ForwardProblem {
+    /// The data-flow fact attached to each `(thread, context, node)` state.
+    type Fact: Clone;
+
+    /// The fact at a thread's entry node.
+    fn entry_fact(&mut self, t: ThreadId) -> Self::Fact;
+
+    /// OUT = transfer(IN) at `node` (contexts are available for analyses
+    /// that need instance identity).
+    fn transfer(
+        &mut self,
+        t: ThreadId,
+        ctx: CtxId,
+        node: NodeId,
+        fact: &Self::Fact,
+    ) -> Self::Fact;
+
+    /// Merges `incoming` into `current`; returns `true` if `current` grew
+    /// (union for may-analyses, intersection via `Option` tops for
+    /// must-analyses).
+    fn merge(&mut self, current: &mut Self::Fact, incoming: &Self::Fact) -> bool;
+
+    /// Transforms the OUT fact as it flows along a specific edge. The
+    /// default is the identity; the interleaving analysis overrides this to
+    /// kill symmetrically-joined threads on join-loop exit edges (Fig. 11).
+    fn edge_transfer(
+        &mut self,
+        t: ThreadId,
+        ctx: CtxId,
+        from: NodeId,
+        to: NodeId,
+        fact: Self::Fact,
+    ) -> Self::Fact {
+        let _ = (t, ctx, from, to);
+        fact
+    }
+}
+
+/// The computed IN facts: `(thread, context, node) -> fact`.
+pub type FlowState<F> = HashMap<(ThreadId, CtxId, NodeId), F>;
+
+/// The context in which `succ` executes when control flows from `node`
+/// (context `ctx`) along an edge of kind `kind` ([I-CALL]/[I-RET]/[I-INTRA],
+/// paper Figure 7). Returns `None` for infeasible call/return pairings.
+pub fn succ_context(
+    icfg: &Icfg,
+    cg: &CallGraph,
+    ctxs: &mut ContextTable,
+    ctx: CtxId,
+    node: NodeId,
+    succ: NodeId,
+    kind: EdgeKind,
+) -> Option<CtxId> {
+    match kind {
+        EdgeKind::Intra => Some(ctx),
+        EdgeKind::Call(site) => {
+            let caller = icfg.func_of(node);
+            let callee = icfg.func_of(succ);
+            if cg.push_context(caller, callee) {
+                Some(ctxs.push(ctx, site))
+            } else {
+                Some(ctx)
+            }
+        }
+        EdgeKind::Ret(site) => {
+            let callee = icfg.func_of(node);
+            let caller = icfg.func_of(succ);
+            if ctxs.peek(ctx) == Some(site) {
+                Some(ctxs.pop(ctx).expect("peeked frame").0)
+            } else if !cg.push_context(caller, callee)
+                || ctxs.contains(ctx, site)
+                || ctxs.depth(ctx) >= ctxs.max_depth()
+            {
+                // The call was analyzed context-insensitively (cycle,
+                // recursion collapse, or depth cap): return with the
+                // context unchanged.
+                Some(ctx)
+            } else {
+                // Context mismatch: infeasible call/return pairing.
+                None
+            }
+        }
+    }
+}
+
+/// Runs `problem` to a fixpoint over every thread's ICFG.
+///
+/// The shared `ctxs` table keeps context ids consistent across analyses run
+/// on the same module.
+pub fn run_forward<P: ForwardProblem>(
+    module: &Module,
+    icfg: &Icfg,
+    cg: &CallGraph,
+    tm: &ThreadModel,
+    ctxs: &mut ContextTable,
+    problem: &mut P,
+) -> FlowState<P::Fact> {
+    let mut state: FlowState<P::Fact> = HashMap::new();
+    let mut work: Vec<(ThreadId, CtxId, NodeId)> = Vec::new();
+
+    for ti in tm.threads() {
+        let entry = icfg.entry(ti.routine);
+        let fact = problem.entry_fact(ti.id);
+        state.insert((ti.id, CtxId::EMPTY, entry), fact);
+        work.push((ti.id, CtxId::EMPTY, entry));
+    }
+
+    while let Some((t, ctx, node)) = work.pop() {
+        let in_fact = state.get(&(t, ctx, node)).expect("queued state exists").clone();
+        let out = problem.transfer(t, ctx, node, &in_fact);
+
+        for &(succ, kind) in icfg.succs(node) {
+            let Some(succ_ctx) = succ_context(icfg, cg, ctxs, ctx, node, succ, kind) else {
+                continue;
+            };
+            let _ = module;
+            let edge_out = problem.edge_transfer(t, ctx, node, succ, out.clone());
+            let key = (t, succ_ctx, succ);
+            match state.get_mut(&key) {
+                Some(cur) => {
+                    if problem.merge(cur, &edge_out) {
+                        work.push(key);
+                    }
+                }
+                None => {
+                    state.insert(key, edge_out);
+                    work.push(key);
+                }
+            }
+        }
+        // Exit nodes of thread routines have no successors; nothing to do.
+        let _ = NodeKind::Exit(icfg.func_of(node));
+    }
+
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_andersen::PreAnalysis;
+    use fsam_ir::parse::parse_module;
+    use fsam_ir::StmtKind;
+
+    /// A trivial reaching-"mark" analysis: the fact is a counter of how many
+    /// lock statements were passed; used to exercise call/return matching.
+    struct LockCounter;
+
+    impl ForwardProblem for LockCounter {
+        type Fact = u32;
+
+        fn entry_fact(&mut self, _t: ThreadId) -> u32 {
+            0
+        }
+
+        fn transfer(&mut self, _t: ThreadId, _c: CtxId, node: NodeId, fact: &u32) -> u32 {
+            let _ = node;
+            *fact
+        }
+
+        fn merge(&mut self, current: &mut u32, incoming: &u32) -> bool {
+            if *incoming > *current {
+                *current = *incoming;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_all_nodes_of_all_threads() {
+        let m = parse_module(
+            r#"
+            func helper() {
+            entry:
+              ret
+            }
+            func worker() {
+            entry:
+              call helper()
+              ret
+            }
+            func main() {
+            entry:
+              t = fork worker()
+              call helper()
+              join t
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        let mut ctxs = ContextTable::new();
+        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &mut ctxs, &mut LockCounter);
+
+        // helper's entry is visited under two different contexts for main
+        // (its callsite) and one for worker.
+        let helper = m.func_by_name("helper").unwrap();
+        let entries: Vec<_> = state
+            .keys()
+            .filter(|(_, _, n)| *n == icfg.entry(helper))
+            .collect();
+        assert!(entries.len() >= 2, "helper entry visited by both threads: {entries:?}");
+        // The join statement is reached in the main thread.
+        let join = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Join { .. }))
+            .unwrap()
+            .0;
+        assert!(state
+            .keys()
+            .any(|&(t, _, n)| t == ThreadId::MAIN && n == icfg.stmt_node(join)));
+    }
+
+    #[test]
+    fn contexts_distinguish_callsites() {
+        let m = parse_module(
+            r#"
+            func leaf() {
+            entry:
+              ret
+            }
+            func main() {
+            entry:
+              call leaf()
+              call leaf()
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        let mut ctxs = ContextTable::new();
+        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &mut ctxs, &mut LockCounter);
+        let leaf = m.func_by_name("leaf").unwrap();
+        let leaf_ctxs: Vec<CtxId> = state
+            .keys()
+            .filter(|(_, _, n)| *n == icfg.entry(leaf))
+            .map(|&(_, c, _)| c)
+            .collect();
+        assert_eq!(leaf_ctxs.len(), 2, "one context per callsite");
+        // Both calls return: main's exit is reached under the empty context.
+        let main = m.entry().unwrap();
+        assert!(state.contains_key(&(ThreadId::MAIN, CtxId::EMPTY, icfg.exit(main))));
+    }
+
+    #[test]
+    fn recursion_is_context_insensitive_but_terminates() {
+        let m = parse_module(
+            r#"
+            func rec() {
+            entry:
+              br ?, again, out
+            again:
+              call rec()
+              br out
+            out:
+              ret
+            }
+            func main() {
+            entry:
+              call rec()
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        let mut ctxs = ContextTable::new();
+        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &mut ctxs, &mut LockCounter);
+        // Terminates, and rec's entry has at most two contexts (from main's
+        // callsite; the recursive call is collapsed).
+        let rec = m.func_by_name("rec").unwrap();
+        let n = state.keys().filter(|(_, _, n)| *n == icfg.entry(rec)).count();
+        assert!(n <= 2, "recursive contexts collapsed, got {n}");
+        let main = m.entry().unwrap();
+        assert!(state.contains_key(&(ThreadId::MAIN, CtxId::EMPTY, icfg.exit(main))));
+    }
+}

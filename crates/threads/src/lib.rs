@@ -1,0 +1,27 @@
+//! # fsam-threads — thread model and interference analyses
+//!
+//! The paper's §3.1 and §3.3: the static thread model (abstract threads,
+//! fork/join relations, multi-forked threads, happens-before), the flow- and
+//! context-sensitive interleaving (MHP) analysis of Figure 7, the
+//! `[THREAD-VF]` value-flow analysis producing thread-aware def-use edges,
+//! and the lock analysis (Definitions 3–6) that filters non-interference
+//! pairs. [`ProcMhp`] is the coarse PCG-style baseline used by the
+//! *No-Interleaving* ablation and the NonSparse comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod interleave;
+pub mod lock;
+pub mod mhp;
+pub mod model;
+pub mod shared;
+pub mod valueflow;
+
+pub use interleave::{Interleaving, ThreadSet};
+pub use lock::LockAnalysis;
+pub use valueflow::{ThreadValueFlow, ValueFlowStats};
+pub use mhp::{MhpOracle, ProcMhp};
+pub use model::{JoinEntry, ThreadId, ThreadInfo, ThreadModel};
+pub use shared::SharedObjects;

@@ -1,0 +1,632 @@
+//! The lock analysis — paper §3.3.3, Definitions 3–6, Figure 9.
+//!
+//! Two pieces, both flow- and context-sensitive:
+//!
+//! 1. a **must-held-locks** data-flow (over the shared
+//!    [`flow`](crate::flow) driver): the set of singleton lock objects that
+//!    are certainly held at each `(thread, context, node)` instance — the
+//!    paper's must-alias condition `l ≡ l'` is realized by tracking only
+//!    locks whose pointer has a singleton points-to set;
+//! 2. **lock-release spans** (Definition 3): from each context-sensitive
+//!    acquisition instance we walk forward (matching calls and returns)
+//!    until the corresponding release, collecting member instances; within
+//!    each span we compute the *head* accesses (Definition 4: no in-span
+//!    store reaches them) and *tail* stores (Definition 5: no in-span store
+//!    follows them) per object.
+//!
+//! A candidate thread-aware def-use edge is a *non-interference pair*
+//! (Definition 6) — and is therefore filtered — when both instances hold a
+//! common lock and the store is not a span tail or the access is not a span
+//! head: mutual exclusion then guarantees the value is overwritten or
+//! already redefined before the other span can observe it.
+
+use std::collections::{HashMap, HashSet};
+
+use fsam_andersen::PreAnalysis;
+use fsam_ir::context::{ContextTable, CtxId};
+use fsam_ir::icfg::{Icfg, NodeId, NodeKind};
+use fsam_ir::{Module, StmtId, StmtKind};
+use fsam_pts::MemId;
+
+use crate::flow::{run_forward, succ_context, FlowState, ForwardProblem};
+use crate::model::{ThreadId, ThreadModel};
+
+/// A sorted set of singleton lock objects (small).
+pub type LockSet = Vec<MemId>;
+
+fn lockset_insert(set: &mut LockSet, l: MemId) -> bool {
+    match set.binary_search(&l) {
+        Ok(_) => false,
+        Err(i) => {
+            set.insert(i, l);
+            true
+        }
+    }
+}
+
+fn lockset_remove(set: &mut LockSet, l: MemId) -> bool {
+    match set.binary_search(&l) {
+        Ok(i) => {
+            set.remove(i);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+struct MustHeld<'a> {
+    module: &'a Module,
+    pre: &'a PreAnalysis,
+    icfg: &'a Icfg,
+}
+
+impl ForwardProblem for MustHeld<'_> {
+    type Fact = LockSet;
+
+    fn entry_fact(&mut self, _t: ThreadId) -> LockSet {
+        Vec::new()
+    }
+
+    fn transfer(&mut self, _t: ThreadId, _c: CtxId, node: NodeId, fact: &LockSet) -> LockSet {
+        let mut out = fact.clone();
+        if let NodeKind::Stmt(s) = self.icfg.kind(node) {
+            match self.module.stmt(s).kind {
+                StmtKind::Lock { lock } => {
+                    if let Some(l) = self.pre.must_lock_obj(lock) {
+                        lockset_insert(&mut out, l);
+                    }
+                    // A lock through an unresolved pointer adds nothing:
+                    // must-information may only shrink.
+                }
+                StmtKind::Unlock { lock } => match self.pre.must_lock_obj(lock) {
+                    Some(l) => {
+                        lockset_remove(&mut out, l);
+                    }
+                    None => {
+                        // Unknown release: conservatively drop everything.
+                        out.clear();
+                    }
+                },
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn merge(&mut self, current: &mut LockSet, incoming: &LockSet) -> bool {
+        // Must-analysis: intersect.
+        let before = current.len();
+        current.retain(|l| incoming.binary_search(l).is_ok());
+        current.len() != before
+    }
+}
+
+/// One lock-release span (Definition 3).
+#[derive(Debug)]
+struct Span {
+    /// The singleton lock object protecting the span.
+    lock: MemId,
+    /// Head accesses per object (Definition 4), as `(ctx, stmt)` instances.
+    hd: HashMap<MemId, HashSet<(CtxId, StmtId)>>,
+    /// Tail stores per object (Definition 5).
+    tl: HashMap<MemId, HashSet<(CtxId, StmtId)>>,
+}
+
+/// The combined lock analysis result.
+#[derive(Debug)]
+pub struct LockAnalysis {
+    held: FlowState<LockSet>,
+    spans: Vec<Span>,
+    /// `(thread, ctx, stmt)` → indices of spans containing the instance.
+    membership: HashMap<(ThreadId, CtxId, StmtId), Vec<u32>>,
+    /// Statistics: number of spans discovered.
+    pub span_count: usize,
+}
+
+/// Cap on the number of member states explored per span (degenerate spans
+/// are dropped — never filtering is always sound).
+const MAX_SPAN_STATES: usize = 100_000;
+
+impl LockAnalysis {
+    /// Runs the lock analysis. `ctxs` must be the same shared context table
+    /// used by the interleaving analysis so instance ids agree.
+    pub fn compute(
+        module: &Module,
+        icfg: &Icfg,
+        pre: &PreAnalysis,
+        tm: &ThreadModel,
+        ctxs: &mut ContextTable,
+    ) -> LockAnalysis {
+        let mut problem = MustHeld { module, pre, icfg };
+        let held = run_forward(module, icfg, pre.call_graph(), tm, ctxs, &mut problem);
+
+        let mut analysis = LockAnalysis {
+            held,
+            spans: Vec::new(),
+            membership: HashMap::new(),
+            span_count: 0,
+        };
+        analysis.enumerate_spans(module, icfg, pre, ctxs);
+        analysis.span_count = analysis.spans.len();
+        analysis
+    }
+
+    /// The singleton locks certainly held when instance `(t, c, s)` executes.
+    pub fn held_at(&self, icfg: &Icfg, t: ThreadId, c: CtxId, s: StmtId) -> &[MemId] {
+        self.held
+            .get(&(t, c, icfg.stmt_node(s)))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether both instances certainly hold at least one common lock
+    /// (lockset discipline; used by the race-detection client).
+    pub fn commonly_protected(
+        &self,
+        icfg: &Icfg,
+        i1: (ThreadId, CtxId, StmtId),
+        i2: (ThreadId, CtxId, StmtId),
+    ) -> bool {
+        let h1 = self.held_at(icfg, i1.0, i1.1, i1.2);
+        let h2 = self.held_at(icfg, i2.0, i2.1, i2.2);
+        h1.iter().any(|l| h2.binary_search(l).is_ok())
+    }
+
+    /// Definition 6: whether the MHP pair `(store i1, access i2)` on object
+    /// `o` is a *non-interference* pair — both instances protected by a
+    /// common lock, and the store is not a span tail or the access is not a
+    /// span head. Such pairs need no thread-aware def-use edge.
+    pub fn non_interference(
+        &self,
+        icfg: &Icfg,
+        i1: (ThreadId, CtxId, StmtId),
+        i2: (ThreadId, CtxId, StmtId),
+        o: MemId,
+    ) -> bool {
+        let (t1, c1, s1) = i1;
+        let (t2, c2, s2) = i2;
+        let held1 = self.held_at(icfg, t1, c1, s1);
+        let held2 = self.held_at(icfg, t2, c2, s2);
+        let spans1 = self.membership.get(&(t1, c1, s1));
+        let spans2 = self.membership.get(&(t2, c2, s2));
+        let (Some(spans1), Some(spans2)) = (spans1, spans2) else { return false };
+        for &sp1 in spans1 {
+            let span1 = &self.spans[sp1 as usize];
+            let l = span1.lock;
+            if held1.binary_search(&l).is_err() {
+                continue; // membership without must-protection: ignore
+            }
+            for &sp2 in spans2 {
+                let span2 = &self.spans[sp2 as usize];
+                if span2.lock != l || held2.binary_search(&l).is_err() {
+                    continue;
+                }
+                let s1_is_tail =
+                    span1.tl.get(&o).is_some_and(|set| set.contains(&(c1, s1)));
+                let s2_is_head =
+                    span2.hd.get(&o).is_some_and(|set| set.contains(&(c2, s2)));
+                if !s1_is_tail || !s2_is_head {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Walks every context-sensitive acquisition instance and builds spans.
+    fn enumerate_spans(
+        &mut self,
+        module: &Module,
+        icfg: &Icfg,
+        pre: &PreAnalysis,
+        ctxs: &mut ContextTable,
+    ) {
+        let cg = pre.call_graph();
+        // Acquisition instances: states at Lock statements with a singleton
+        // lock object.
+        let acquisitions: Vec<(ThreadId, CtxId, NodeId, MemId)> = self
+            .held
+            .keys()
+            .filter_map(|&(t, c, n)| {
+                if let NodeKind::Stmt(s) = icfg.kind(n) {
+                    if let StmtKind::Lock { lock } = module.stmt(s).kind {
+                        return pre.must_lock_obj(lock).map(|l| (t, c, n, l));
+                    }
+                }
+                None
+            })
+            .collect();
+
+        for (t, ctx, lock_node, l) in acquisitions {
+            let Some(span) = self.walk_span(module, icfg, pre, ctxs, cg, t, ctx, lock_node, l)
+            else {
+                continue;
+            };
+            let idx = u32::try_from(self.spans.len()).expect("span count");
+            for &(c, s) in &span.member_stmts {
+                self.membership.entry((t, c, s)).or_default().push(idx);
+            }
+            self.spans.push(Span { lock: l, hd: span.hd, tl: span.tl });
+        }
+    }
+
+    /// DFS from the acquisition until releases of the same lock; computes
+    /// members and per-object head/tail sets.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_span(
+        &self,
+        module: &Module,
+        icfg: &Icfg,
+        pre: &PreAnalysis,
+        ctxs: &mut ContextTable,
+        cg: &fsam_ir::callgraph::CallGraph,
+        _t: ThreadId,
+        lock_ctx: CtxId,
+        lock_node: NodeId,
+        l: MemId,
+    ) -> Option<SpanWalk> {
+        // Collect the span subgraph: states reachable from the acquisition
+        // without passing a release of `l`.
+        let mut members: HashSet<(CtxId, NodeId)> = HashSet::new();
+        let mut work: Vec<(CtxId, NodeId)> = vec![(lock_ctx, lock_node)];
+        let mut seen: HashSet<(CtxId, NodeId)> = HashSet::new();
+        seen.insert((lock_ctx, lock_node));
+        while let Some((c, n)) = work.pop() {
+            if seen.len() > MAX_SPAN_STATES {
+                return None; // degenerate span: drop (sound)
+            }
+            let is_release = match icfg.kind(n) {
+                NodeKind::Stmt(s) => match module.stmt(s).kind {
+                    StmtKind::Unlock { lock } => pre.must_lock_obj(lock) == Some(l),
+                    _ => false,
+                },
+                _ => false,
+            };
+            if n != lock_node {
+                members.insert((c, n));
+            }
+            if is_release {
+                continue; // the span ends here
+            }
+            for &(succ, kind) in icfg.succs(n) {
+                if let Some(sc) = succ_context(icfg, cg, ctxs, c, n, succ, kind) {
+                    if seen.insert((sc, succ)) {
+                        work.push((sc, succ));
+                    }
+                }
+            }
+        }
+
+        // Member statements and the per-object access sets. Only *must*
+        // writes (singleton points-to set, singleton object) can kill a
+        // value within a span: a may-aliased later store might dynamically
+        // write a different object, leaving the earlier value live at the
+        // release — treating it as a killer would unsoundly filter the
+        // interference edge (caught by the dynamic-validation oracle).
+        let mut member_stmts: Vec<(CtxId, StmtId)> = Vec::new();
+        let mut stores: HashMap<MemId, Vec<(CtxId, StmtId, NodeId)>> = HashMap::new();
+        let mut must_stores: HashMap<MemId, Vec<(CtxId, StmtId, NodeId)>> = HashMap::new();
+        let mut accesses: HashMap<MemId, Vec<(CtxId, StmtId, NodeId)>> = HashMap::new();
+        for &(c, n) in &members {
+            let NodeKind::Stmt(s) = icfg.kind(n) else { continue };
+            member_stmts.push((c, s));
+            match module.stmt(s).kind {
+                StmtKind::Store { ptr, .. } => {
+                    let pts = pre.pt_var(ptr);
+                    let must = pts
+                        .as_singleton()
+                        .is_some_and(|o| pre.objects().is_singleton(o));
+                    for o in pts.iter() {
+                        stores.entry(o).or_default().push((c, s, n));
+                        if must {
+                            must_stores.entry(o).or_default().push((c, s, n));
+                        }
+                        accesses.entry(o).or_default().push((c, s, n));
+                    }
+                }
+                StmtKind::Load { ptr, .. } => {
+                    for o in pre.pt_var(ptr).iter() {
+                        accesses.entry(o).or_default().push((c, s, n));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Head/tail sets per object. Forward reachability within the span:
+        // an access *reached by* a must-store is not a head; a store that
+        // *reaches* a must-store occurrence (other than the same occurrence
+        // with no cycle) is not a tail.
+        let mut hd: HashMap<MemId, HashSet<(CtxId, StmtId)>> = HashMap::new();
+        let mut tl: HashMap<MemId, HashSet<(CtxId, StmtId)>> = HashMap::new();
+        let no_musts: Vec<(CtxId, StmtId, NodeId)> = Vec::new();
+        let span_reach = |from_c: CtxId, from_n: NodeId, ctxs: &mut ContextTable| {
+            let mut reach: HashSet<(CtxId, NodeId)> = HashSet::new();
+            let mut work = vec![(from_c, from_n)];
+            while let Some((c, n)) = work.pop() {
+                for &(succ, kind) in icfg.succs(n) {
+                    if let Some(nc) = succ_context(icfg, cg, ctxs, c, n, succ, kind) {
+                        if members.contains(&(nc, succ)) && reach.insert((nc, succ)) {
+                            work.push((nc, succ));
+                        }
+                    }
+                }
+            }
+            reach
+        };
+        for (&o, obj_stores) in &stores {
+            let obj_accesses = accesses.get(&o).expect("stores are accesses");
+            let obj_must = must_stores.get(&o).unwrap_or(&no_musts);
+            // Forward reach of all must-stores (kills heads downstream).
+            let mut reached_by_must: HashSet<(CtxId, NodeId)> = HashSet::new();
+            for &(sc, _ss, sn) in obj_must {
+                reached_by_must.extend(span_reach(sc, sn, ctxs));
+            }
+            let must_nodes: HashSet<(CtxId, NodeId)> =
+                obj_must.iter().map(|&(c, _, n)| (c, n)).collect();
+            let heads: HashSet<(CtxId, StmtId)> = obj_accesses
+                .iter()
+                .filter(|&&(c, _, n)| !reached_by_must.contains(&(c, n)))
+                .map(|&(c, s, _)| (c, s))
+                .collect();
+            // A store is a tail unless some must-store occurrence lies
+            // strictly ahead of it within the span.
+            let tails: HashSet<(CtxId, StmtId)> = obj_stores
+                .iter()
+                .filter(|&&(c, _, n)| {
+                    let reach = span_reach(c, n, ctxs);
+                    !must_nodes.iter().any(|mn| reach.contains(mn))
+                })
+                .map(|&(c, s, _)| (c, s))
+                .collect();
+            hd.insert(o, heads);
+            tl.insert(o, tails);
+        }
+        // Objects accessed but never stored in the span: all accesses are
+        // heads (nothing redefines them in-span).
+        for (&o, obj_accesses) in &accesses {
+            hd.entry(o).or_insert_with(|| {
+                obj_accesses.iter().map(|&(c, s, _)| (c, s)).collect()
+            });
+        }
+
+        Some(SpanWalk { member_stmts, hd, tl })
+    }
+}
+
+struct SpanWalk {
+    member_stmts: Vec<(CtxId, StmtId)>,
+    hd: HashMap<MemId, HashSet<(CtxId, StmtId)>>,
+    tl: HashMap<MemId, HashSet<(CtxId, StmtId)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::Interleaving;
+    use crate::mhp::MhpOracle;
+    use fsam_ir::parse::parse_module;
+
+    fn analyze(src: &str) -> (Module, Icfg, ThreadModel, Interleaving, LockAnalysis) {
+        let m = parse_module(src).unwrap();
+        fsam_ir::verify::verify_module(&m).unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        let mut ctxs = ContextTable::new();
+        let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &mut ctxs);
+        let lock = LockAnalysis::compute(&m, &icfg, &pre, &tm, &mut ctxs);
+        (m, icfg, tm, inter, lock)
+    }
+
+    fn nth_stmt(m: &Module, f: &str, pred: impl Fn(&StmtKind) -> bool, n: usize) -> StmtId {
+        let fid = m.func_by_name(f).unwrap();
+        m.stmts()
+            .filter(|(_, s)| s.func == fid && pred(&s.kind))
+            .nth(n)
+            .unwrap_or_else(|| panic!("no stmt #{n} in {f}"))
+            .0
+    }
+
+    /// The paper's Figure 9 (structure): two threads, two lock-release
+    /// spans over the same lock; s2 (an intermediate store) must not leak
+    /// to s4 (the head access of the other span), but s3 (the tail) must.
+    const FIG9: &str = r#"
+        global o
+        global lk
+        func bar() {
+        entry:
+          q = &o
+          s4 = load q        // s4: ... = *q
+          ret
+        }
+        func foo1() {
+        entry:
+          p = &o
+          l1 = &lk
+          store p, p         // s1 (outside the span)
+          lock l1
+          store p, p         // s2 (intermediate: killed by s3 in-span)
+          store p, p         // s3 (tail of the span)
+          unlock l1
+          ret
+        }
+        func foo2() {
+        entry:
+          l2 = &lk
+          lock l2
+          call bar()         // cs4: s4 runs inside the span
+          unlock l2
+          ret
+        }
+        func main() {
+        entry:
+          t1 = fork foo1()
+          t2 = fork foo2()
+          join t1
+          join t2
+          ret
+        }
+    "#;
+
+    #[test]
+    fn figure9_spans_and_heads_tails() {
+        let (m, icfg, _, inter, lock) = analyze(FIG9);
+        assert_eq!(lock.span_count, 2);
+
+        let s2 = nth_stmt(&m, "foo1", |k| matches!(k, StmtKind::Store { .. }), 1);
+        let s3 = nth_stmt(&m, "foo1", |k| matches!(k, StmtKind::Store { .. }), 2);
+        let s4 = nth_stmt(&m, "bar", |k| matches!(k, StmtKind::Load { .. }), 0);
+
+        // All three MHP (threads are siblings without HB).
+        assert!(inter.mhp_stmt(s2, s4));
+        assert!(inter.mhp_stmt(s3, s4));
+
+        // Instance-level filtering per Definition 6.
+        let o = {
+            let pre = fsam_andersen::PreAnalysis::run(&m);
+            pre.objects().base(m.global_by_name("o").unwrap())
+        };
+        let i2 = inter.instances(s2);
+        let i3 = inter.instances(s3);
+        let i4 = inter.instances(s4);
+        // s2 -> s4 is non-interference (s2 is not the span tail).
+        let filtered_s2 = i2.iter().all(|&(t1, c1)| {
+            i4.iter().all(|&(t2, c2)| {
+                !inter.mhp_instances(&icfg, (t1, c1, s2), (t2, c2, s4))
+                    || lock.non_interference(&icfg, (t1, c1, s2), (t2, c2, s4), o)
+            })
+        });
+        assert!(filtered_s2, "spurious s2 -> s4 edge is filtered (Fig 9)");
+        // s3 -> s4 interferes (tail to head).
+        let kept_s3 = i3.iter().any(|&(t1, c1)| {
+            i4.iter().any(|&(t2, c2)| {
+                inter.mhp_instances(&icfg, (t1, c1, s3), (t2, c2, s4))
+                    && !lock.non_interference(&icfg, (t1, c1, s3), (t2, c2, s4), o)
+            })
+        });
+        assert!(kept_s3, "tail-to-head edge s3 -> s4 must remain");
+    }
+
+    #[test]
+    fn unprotected_access_is_never_filtered() {
+        let (m, icfg, _, inter, lock) = analyze(
+            r#"
+            global o
+            global lk
+            func a() {
+            entry:
+              p = &o
+              l = &lk
+              lock l
+              store p, p     // protected store
+              unlock l
+              ret
+            }
+            func b() {
+            entry:
+              q = &o
+              c = load q     // unprotected load
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork a()
+              t2 = fork b()
+              join t1
+              join t2
+              ret
+            }
+        "#,
+        );
+        let store = nth_stmt(&m, "a", |k| matches!(k, StmtKind::Store { .. }), 0);
+        let load = nth_stmt(&m, "b", |k| matches!(k, StmtKind::Load { .. }), 0);
+        let pre = fsam_andersen::PreAnalysis::run(&m);
+        let o = pre.objects().base(m.global_by_name("o").unwrap());
+        assert!(inter.mhp_stmt(store, load));
+        for &(t1, c1) in &inter.instances(store) {
+            for &(t2, c2) in &inter.instances(load) {
+                assert!(
+                    !lock.non_interference(&icfg, (t1, c1, store), (t2, c2, load), o),
+                    "no common lock: the edge must not be filtered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_locks_do_not_filter() {
+        let (m, icfg, _, inter, lock) = analyze(
+            r#"
+            global o
+            global lk1
+            global lk2
+            func a() {
+            entry:
+              p = &o
+              l = &lk1
+              lock l
+              store p, p
+              unlock l
+              ret
+            }
+            func b() {
+            entry:
+              q = &o
+              l = &lk2
+              lock l
+              c = load q
+              unlock l
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork a()
+              t2 = fork b()
+              join t1
+              join t2
+              ret
+            }
+        "#,
+        );
+        assert_eq!(lock.span_count, 2);
+        let store = nth_stmt(&m, "a", |k| matches!(k, StmtKind::Store { .. }), 0);
+        let load = nth_stmt(&m, "b", |k| matches!(k, StmtKind::Load { .. }), 0);
+        let pre = fsam_andersen::PreAnalysis::run(&m);
+        let o = pre.objects().base(m.global_by_name("o").unwrap());
+        for &(t1, c1) in &inter.instances(store) {
+            for &(t2, c2) in &inter.instances(load) {
+                assert!(!lock.non_interference(&icfg, (t1, c1, store), (t2, c2, load), o));
+            }
+        }
+    }
+
+    #[test]
+    fn must_held_is_flow_sensitive() {
+        let (m, icfg, _, inter, lock) = analyze(
+            r#"
+            global o
+            global lk
+            func main() {
+            entry:
+              p = &o
+              l = &lk
+              before = load p
+              lock l
+              during = load p
+              unlock l
+              after = load p
+              ret
+            }
+        "#,
+        );
+        let _ = inter;
+        let before = nth_stmt(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
+        let during = nth_stmt(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 1);
+        let after = nth_stmt(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 2);
+        let t = ThreadId::MAIN;
+        let c = CtxId::EMPTY;
+        assert!(lock.held_at(&icfg, t, c, before).is_empty());
+        assert_eq!(lock.held_at(&icfg, t, c, during).len(), 1);
+        assert!(lock.held_at(&icfg, t, c, after).is_empty());
+    }
+}

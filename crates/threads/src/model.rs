@@ -1,0 +1,903 @@
+//! The static thread model (paper §3.1).
+//!
+//! An *abstract thread* is a fork site executed by a spawner thread
+//! (`pthread_create` resolved through the pre-analysis). The model
+//! enumerates abstract threads from `main`, classifies *multi-forked*
+//! threads (Definition 1: fork in a loop, in recursion, reachable more than
+//! once, or spawned by a multi-forked thread), resolves join sites through
+//! the thread-handle points-to sets ([T-JOIN]), recognizes the symmetric
+//! fork/join loop pattern of Figure 11 (the paper uses LLVM's SCEV for this;
+//! we use a structural loop-correlation check), distinguishes full from
+//! partial joins, and derives the happens-before relation for sibling
+//! threads (Definition 2).
+
+use std::collections::{HashMap, HashSet};
+
+use fsam_andersen::PreAnalysis;
+use fsam_ir::icfg::{Icfg, NodeId};
+use fsam_ir::loops::LoopInfo;
+use fsam_ir::{dom::DomTree, FuncId, Module, StmtId, StmtKind};
+
+/// Identifies an abstract thread. `ThreadId::MAIN` is the main thread.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main (root) thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Metadata of one abstract thread.
+#[derive(Clone, Debug)]
+pub struct ThreadInfo {
+    /// This thread's id.
+    pub id: ThreadId,
+    /// The thread that forked this one (`None` for main).
+    pub spawner: Option<ThreadId>,
+    /// The fork statement (`None` for main).
+    pub fork_site: Option<StmtId>,
+    /// The start routine (for main: `main` itself).
+    pub routine: FuncId,
+    /// Whether this abstract thread may represent more than one runtime
+    /// thread (Definition 1).
+    pub multi_forked: bool,
+}
+
+/// One resolved join: at some join site, `spawner` joins `thread`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinEntry {
+    /// The thread executing the join site.
+    pub spawner: ThreadId,
+    /// The spawnee being joined.
+    pub thread: ThreadId,
+    /// Whether the join is *full*: it is executed on every path from the
+    /// fork site to the spawner routine's exit ([T-JOIN] transitivity needs
+    /// this), including the symmetric multi-fork pattern of Figure 11.
+    pub full: bool,
+    /// Whether this join was recognized through the symmetric fork/join
+    /// loop pattern (Figure 11). Symmetric joins kill the (multi-forked)
+    /// thread only once the join *loop* exits, not at the join statement —
+    /// inside the loop, other runtime instances are still alive.
+    pub symmetric: bool,
+}
+
+/// The static thread model.
+#[derive(Debug)]
+pub struct ThreadModel {
+    threads: Vec<ThreadInfo>,
+    /// Functions reachable (via call edges) from each thread's routine.
+    reach: Vec<Vec<FuncId>>,
+    /// Valid joins per join statement.
+    joins: HashMap<StmtId, Vec<JoinEntry>>,
+    /// Per join site: the set of threads certainly dead after it executes
+    /// (the joined threads closed under full joins).
+    dead_after: HashMap<StmtId, Vec<ThreadId>>,
+    /// Transitive spawn descendants per thread (excluding self).
+    descendants: Vec<HashSet<ThreadId>>,
+    /// `t -> threads t fully joins somewhere` (for per-spawner closures).
+    fully_joins: HashMap<ThreadId, Vec<ThreadId>>,
+}
+
+impl ThreadModel {
+    /// Builds the model. Requires the pre-analysis (for fork targets and
+    /// handle points-to sets) and the ICFG (for path-sensitive join checks).
+    pub fn build(module: &Module, pre: &PreAnalysis, icfg: &Icfg) -> ThreadModel {
+        Builder { module, pre, icfg }.run()
+    }
+
+    /// All abstract threads; index 0 is main.
+    pub fn threads(&self) -> &[ThreadInfo] {
+        &self.threads
+    }
+
+    /// Number of abstract threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether only the main thread exists (a sequential program).
+    pub fn is_empty(&self) -> bool {
+        self.threads.len() <= 1
+    }
+
+    /// A thread's metadata.
+    pub fn info(&self, t: ThreadId) -> &ThreadInfo {
+        &self.threads[t.index()]
+    }
+
+    /// Functions that `t` may execute (call-edge reachability from its
+    /// routine).
+    pub fn funcs_of(&self, t: ThreadId) -> &[FuncId] {
+        &self.reach[t.index()]
+    }
+
+    /// Threads that may execute statements of `f`.
+    pub fn threads_executing(&self, f: FuncId) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|ti| self.reach[ti.id.index()].binary_search(&f).is_ok())
+            .map(|ti| ti.id)
+            .collect()
+    }
+
+    /// Whether `a` is a spawn-ancestor of `b` (strict).
+    pub fn is_ancestor(&self, a: ThreadId, b: ThreadId) -> bool {
+        self.descendants[a.index()].contains(&b)
+    }
+
+    /// Whether `a` and `b` are siblings ([T-SIBLING]): distinct and neither
+    /// is an ancestor of the other.
+    pub fn are_siblings(&self, a: ThreadId, b: ThreadId) -> bool {
+        a != b && !self.is_ancestor(a, b) && !self.is_ancestor(b, a)
+    }
+
+    /// The valid joins resolved at join statement `jn`.
+    pub fn joins_at(&self, jn: StmtId) -> &[JoinEntry] {
+        self.joins.get(&jn).map_or(&[], Vec::as_slice)
+    }
+
+    /// Threads certainly dead once the join at `jn` has executed
+    /// (joined threads closed under full joins).
+    pub fn dead_after(&self, jn: StmtId) -> &[ThreadId] {
+        self.dead_after.get(&jn).map_or(&[], Vec::as_slice)
+    }
+
+    /// Threads certainly dead after the join at `jn` *when executed by
+    /// `spawner`*: the spawner's own joined threads, closed under full joins
+    /// (the [I-JOIN] kill set of the interleaving analysis).
+    pub fn dead_after_for(&self, jn: StmtId, spawner: ThreadId) -> Vec<ThreadId> {
+        let mut dead: HashSet<ThreadId> = HashSet::new();
+        let mut work: Vec<ThreadId> = self
+            .joins_at(jn)
+            .iter()
+            .filter(|e| e.spawner == spawner)
+            .map(|e| e.thread)
+            .collect();
+        while let Some(t) = work.pop() {
+            if dead.insert(t) {
+                if let Some(children) = self.fully_joins.get(&t) {
+                    work.extend(children.iter().copied());
+                }
+            }
+        }
+        let mut dead: Vec<ThreadId> = dead.into_iter().collect();
+        dead.sort();
+        dead
+    }
+
+    /// Closes a seed set of threads under "is fully joined by": if `t` is in
+    /// the set and `t` fully joins `t'` somewhere, `t'` is added
+    /// ([T-JOIN] transitivity).
+    pub fn close_under_full_joins(&self, seed: impl IntoIterator<Item = ThreadId>) -> Vec<ThreadId> {
+        let mut dead: HashSet<ThreadId> = HashSet::new();
+        let mut work: Vec<ThreadId> = seed.into_iter().collect();
+        while let Some(t) = work.pop() {
+            if dead.insert(t) {
+                if let Some(children) = self.fully_joins.get(&t) {
+                    work.extend(children.iter().copied());
+                }
+            }
+        }
+        let mut dead: Vec<ThreadId> = dead.into_iter().collect();
+        dead.sort();
+        dead
+    }
+
+    /// `t` together with all its spawn-descendants (the threads created
+    /// through `t`'s fork subtree).
+    pub fn subtree(&self, t: ThreadId) -> Vec<ThreadId> {
+        let mut out: Vec<ThreadId> = self.descendants[t.index()].iter().copied().collect();
+        out.push(t);
+        out.sort();
+        out
+    }
+
+    /// The threads `spawner` creates at fork site `fork` (one per resolved
+    /// start routine).
+    pub fn children_at(&self, spawner: ThreadId, fork: StmtId) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|ti| ti.spawner == Some(spawner) && ti.fork_site == Some(fork))
+            .map(|ti| ti.id)
+            .collect()
+    }
+
+    /// All join sites that (directly or transitively) kill `t`.
+    pub fn join_sites_killing(&self, t: ThreadId) -> Vec<StmtId> {
+        let mut out: Vec<StmtId> = self
+            .dead_after
+            .iter()
+            .filter(|(_, dead)| dead.contains(&t))
+            .map(|(&jn, _)| jn)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The happens-before relation for sibling threads (Definition 2):
+    /// `a > b` iff every path (in their common ancestor's region) to `b`'s
+    /// fork chain passes a join that kills `a`.
+    ///
+    /// `icfg` must be the same graph the model was built from.
+    pub fn happens_before(&self, icfg: &Icfg, a: ThreadId, b: ThreadId) -> bool {
+        if a == b || !self.are_siblings(a, b) {
+            return false;
+        }
+        // Find the lowest common spawn-ancestor `anc` and the child of `anc`
+        // on each side's chain.
+        let chain = |mut t: ThreadId| {
+            let mut c = vec![t];
+            while let Some(s) = self.threads[t.index()].spawner {
+                c.push(s);
+                t = s;
+            }
+            c.reverse();
+            c // root-first
+        };
+        let ca = chain(a);
+        let cb = chain(b);
+        let mut common = 0;
+        while common < ca.len() && common < cb.len() && ca[common] == cb[common] {
+            common += 1;
+        }
+        debug_assert!(common > 0, "all chains share main");
+        let anc = ca[common - 1];
+        let _child_a = ca[common]; // subtree containing a
+        let child_b = cb[common]; // subtree containing b
+        let fork_b = self.threads[child_b.index()].fork_site.expect("non-root child");
+
+        // `a` must be certainly dead: every path from anc's routine entry to
+        // fork(child_b) passes a join site killing `a`. (`a` itself must be
+        // transitively covered, which `dead_after` encodes.)
+        let kill_nodes: HashSet<NodeId> = self
+            .join_sites_killing(a)
+            .into_iter()
+            .filter(|jn| {
+                // Only joins executed by `anc` count on paths inside anc.
+                self.joins_at(*jn).iter().any(|e| e.spawner == anc)
+            })
+            .map(|jn| icfg.stmt_node(jn))
+            .collect();
+        if kill_nodes.is_empty() {
+            return false;
+        }
+        // Also `child_a`'s own lifetime: if a == child_a this is the direct
+        // case; if a is deeper, dead_after's closure already required full
+        // joins down the chain.
+        let entry = icfg.entry(self.threads[anc.index()].routine);
+        let target = icfg.stmt_node(fork_b);
+        !reaches_avoiding(icfg, entry, target, &kill_nodes)
+    }
+}
+
+/// Forward reachability over intra+call+ret edges, refusing to pass through
+/// `avoid` nodes.
+fn reaches_avoiding(icfg: &Icfg, from: NodeId, to: NodeId, avoid: &HashSet<NodeId>) -> bool {
+    if avoid.contains(&from) {
+        return false;
+    }
+    let mut seen = vec![false; icfg.node_count()];
+    let mut work = vec![from];
+    seen[from.index()] = true;
+    while let Some(n) = work.pop() {
+        if n == to {
+            return true;
+        }
+        for &(succ, _) in icfg.succs(n) {
+            if !seen[succ.index()] && !avoid.contains(&succ) {
+                seen[succ.index()] = true;
+                work.push(succ);
+            }
+        }
+    }
+    false
+}
+
+struct Builder<'a> {
+    module: &'a Module,
+    pre: &'a PreAnalysis,
+    icfg: &'a Icfg,
+}
+
+/// Safety cap on abstract-thread enumeration.
+const MAX_THREADS: usize = 4096;
+
+impl Builder<'_> {
+    fn run(self) -> ThreadModel {
+        let cg = self.pre.call_graph();
+        let Some(main) = self.module.entry() else {
+            // No entry: treat the module as a single (empty) main thread over
+            // the first function, or an empty model.
+            return ThreadModel {
+                threads: Vec::new(),
+                reach: Vec::new(),
+                joins: HashMap::new(),
+                dead_after: HashMap::new(),
+                descendants: Vec::new(),
+                fully_joins: HashMap::new(),
+            };
+        };
+
+        // Per-function loop info and "multi-instance" call analysis.
+        let mut loop_info: HashMap<FuncId, LoopInfo> = HashMap::new();
+        for func in self.module.funcs() {
+            if !func.is_external {
+                let dom = DomTree::compute(func);
+                loop_info.insert(func.id, LoopInfo::compute(func, &dom));
+            }
+        }
+        let in_loop = |s: StmtId| -> bool {
+            let stmt = self.module.stmt(s);
+            loop_info.get(&stmt.func).is_some_and(|li| li.in_loop(stmt.block))
+        };
+
+        // Enumerate threads breadth-first.
+        let mut threads = vec![ThreadInfo {
+            id: ThreadId::MAIN,
+            spawner: None,
+            fork_site: None,
+            routine: main,
+            multi_forked: false,
+        }];
+        let mut reach: Vec<Vec<FuncId>> = vec![cg.reachable(&[main], false)];
+        let mut queue = vec![ThreadId::MAIN];
+        let mut seen: HashSet<(ThreadId, StmtId, FuncId)> = HashSet::new();
+
+        while let Some(t) = queue.pop() {
+            let funcs = reach[t.index()].clone();
+            // A function executes multiple times within `t` if it is reached
+            // through a loop callsite, through recursion, or via several
+            // callsites. Fork sites in such functions are multi-forked.
+            let multi_inst = self.multi_instance_funcs(&funcs, &loop_info);
+            for &f in &funcs {
+                for s in self.module.func_stmts(f) {
+                    if !matches!(self.module.stmt(s).kind, StmtKind::Fork { .. }) {
+                        continue;
+                    }
+                    for routine in cg.targets(s) {
+                        if threads.len() >= MAX_THREADS {
+                            continue;
+                        }
+                        if !seen.insert((t, s, routine)) {
+                            continue;
+                        }
+                        let id = ThreadId(u32::try_from(threads.len()).expect("thread count"));
+                        let multi_forked = threads[t.index()].multi_forked
+                            || in_loop(s)
+                            || cg.in_cycle(f)
+                            || multi_inst.contains(&f);
+                        threads.push(ThreadInfo {
+                            id,
+                            spawner: Some(t),
+                            fork_site: Some(s),
+                            routine,
+                            multi_forked,
+                        });
+                        reach.push(cg.reachable(&[routine], false));
+                        queue.push(id);
+                    }
+                }
+            }
+        }
+
+        // Spawn-descendant closure.
+        let mut descendants: Vec<HashSet<ThreadId>> = vec![HashSet::new(); threads.len()];
+        for ti in threads.iter().skip(1) {
+            let mut anc = ti.spawner;
+            while let Some(a) = anc {
+                descendants[a.index()].insert(ti.id);
+                anc = threads[a.index()].spawner;
+            }
+        }
+
+        // Resolve joins.
+        let mut joins: HashMap<StmtId, Vec<JoinEntry>> = HashMap::new();
+        for (jn, stmt) in self.module.stmts() {
+            let StmtKind::Join { handle } = stmt.kind else { continue };
+            let fork_sites = self.pre.thread_handles_of(handle);
+            if fork_sites.is_empty() {
+                continue;
+            }
+            // Which threads execute this join?
+            for spawner in threads
+                .iter()
+                .filter(|ti| reach[ti.id.index()].binary_search(&stmt.func).is_ok())
+                .map(|ti| ti.id)
+                .collect::<Vec<_>>()
+            {
+                for spawnee in threads
+                    .iter()
+                    .filter(|ti| {
+                        ti.spawner == Some(spawner)
+                            && ti.fork_site.is_some_and(|fs| fork_sites.contains(&fs))
+                    })
+                    .map(|ti| ti.id)
+                    .collect::<Vec<_>>()
+                {
+                    let fork_site =
+                        threads[spawnee.index()].fork_site.expect("spawnee has fork site");
+                    let symmetric = self.is_symmetric_pair(fork_site, jn, &loop_info, handle);
+                    if threads[spawnee.index()].multi_forked && !symmetric {
+                        // The handle may denote many runtime threads
+                        // ([T-JOIN] requires t' ∉ M); ignore this join.
+                        continue;
+                    }
+                    // Symmetric pairs are full by construction: the join loop
+                    // iterates once per forked handle (the paper establishes
+                    // this with SCEV; our recognizer requires the same
+                    // structure). Otherwise check path coverage in the ICFG.
+                    let full = symmetric
+                        || self.is_full_join(
+                            fork_site,
+                            jn,
+                            threads[spawner.index()].routine,
+                            &fork_sites,
+                            handle,
+                        );
+                    joins
+                        .entry(jn)
+                        .or_default()
+                        .push(JoinEntry { spawner, thread: spawnee, full, symmetric });
+                }
+            }
+        }
+
+        // Close `dead_after` under full joins: a join killing t also kills
+        // every thread t fully joins somewhere.
+        let fully_joins: HashMap<ThreadId, Vec<ThreadId>> = {
+            let mut m: HashMap<ThreadId, Vec<ThreadId>> = HashMap::new();
+            for entries in joins.values() {
+                for e in entries {
+                    if e.full {
+                        m.entry(e.spawner).or_default().push(e.thread);
+                    }
+                }
+            }
+            m
+        };
+        let mut dead_after: HashMap<StmtId, Vec<ThreadId>> = HashMap::new();
+        for (&jn, entries) in &joins {
+            let mut dead: HashSet<ThreadId> = HashSet::new();
+            let mut work: Vec<ThreadId> = entries.iter().map(|e| e.thread).collect();
+            while let Some(t) = work.pop() {
+                if dead.insert(t) {
+                    if let Some(children) = fully_joins.get(&t) {
+                        work.extend(children.iter().copied());
+                    }
+                }
+            }
+            let mut dead: Vec<ThreadId> = dead.into_iter().collect();
+            dead.sort();
+            dead_after.insert(jn, dead);
+        }
+
+        ThreadModel { threads, reach, joins, dead_after, descendants, fully_joins }
+    }
+
+    /// Functions of the thread-reachable set that may execute more than once
+    /// per thread activation: reached through a loop callsite, recursion, or
+    /// more than one callsite (conservative).
+    fn multi_instance_funcs(
+        &self,
+        funcs: &[FuncId],
+        loop_info: &HashMap<FuncId, LoopInfo>,
+    ) -> HashSet<FuncId> {
+        let cg = self.pre.call_graph();
+        let in_set: HashSet<FuncId> = funcs.iter().copied().collect();
+        // Count call sites per callee within the thread's region; remember
+        // whether any callsite sits in a loop.
+        let mut call_count: HashMap<FuncId, usize> = HashMap::new();
+        let mut loop_called: HashSet<FuncId> = HashSet::new();
+        for &f in funcs {
+            let li = loop_info.get(&f);
+            for s in self.module.func_stmts(f) {
+                if !matches!(self.module.stmt(s).kind, StmtKind::Call { .. }) {
+                    continue;
+                }
+                let block = self.module.stmt(s).block;
+                for callee in cg.targets(s) {
+                    if !in_set.contains(&callee) {
+                        continue;
+                    }
+                    *call_count.entry(callee).or_insert(0) += 1;
+                    if li.is_some_and(|li| li.in_loop(block)) {
+                        loop_called.insert(callee);
+                    }
+                }
+            }
+        }
+        // Fixpoint: multi if recursion, loop-called, >1 callsite, or caller multi.
+        let mut multi: HashSet<FuncId> = funcs
+            .iter()
+            .copied()
+            .filter(|&f| {
+                cg.in_cycle(f)
+                    || loop_called.contains(&f)
+                    || call_count.get(&f).copied().unwrap_or(0) > 1
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for &f in funcs {
+                if multi.contains(&f) {
+                    continue;
+                }
+                // f is multi if any of its in-region callers is multi.
+                let caller_multi = funcs.iter().any(|&g| {
+                    multi.contains(&g) && cg.callees_of(g).any(|c| c == f)
+                });
+                if caller_multi {
+                    multi.insert(f);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        multi
+    }
+
+    /// Figure 11: a fork in one loop and a join in a later, disjoint loop of
+    /// the same function, correlated through the thread-handle points-to
+    /// set. The paper uses LLVM's SCEV to correlate the fork/join pair; we
+    /// check the same structure syntactically.
+    fn is_symmetric_pair(
+        &self,
+        fork: StmtId,
+        join: StmtId,
+        loop_info: &HashMap<FuncId, LoopInfo>,
+        handle: fsam_ir::VarId,
+    ) -> bool {
+        let fs = self.module.stmt(fork);
+        let js = self.module.stmt(join);
+        if fs.func != js.func {
+            return false;
+        }
+        let Some(li) = loop_info.get(&fs.func) else { return false };
+        let (Some(lf), Some(lj)) = (li.innermost_loop(fs.block), li.innermost_loop(js.block))
+        else {
+            return false;
+        };
+        if lf == lj {
+            return false; // fork and join in the same loop: not symmetric
+        }
+        // The fork loop must strictly precede the join loop.
+        let fork_node = self.icfg.stmt_node(fork);
+        let join_node = self.icfg.stmt_node(join);
+        if !self.icfg.intra_reaches(fork_node, join_node)
+            || self.icfg.intra_reaches(join_node, fork_node)
+        {
+            return false;
+        }
+        // The join handle must be correlated with this fork only: every
+        // handle object it may hold stems from fork sites in the fork loop.
+        self.pre.thread_handles_of(handle).iter().all(|&site| {
+            let s = self.module.stmt(site);
+            s.func == fs.func && li.innermost_loop(s.block) == Some(lf)
+        })
+    }
+
+    /// Whether the join at `jn` covers every path from `fork` to the exit of
+    /// the spawner's routine: unreachable(exit, avoiding all join sites of
+    /// the same handle group).
+    fn is_full_join(
+        &self,
+        fork: StmtId,
+        jn: StmtId,
+        spawner_routine: FuncId,
+        fork_sites: &[StmtId],
+        handle: fsam_ir::VarId,
+    ) -> bool {
+        let _ = (jn, handle);
+        // Avoid set: all join statements that join this fork site (same
+        // handle flow). Conservatively: join statements whose handle may
+        // point to `fork`'s handle object.
+        let mut avoid: HashSet<NodeId> = HashSet::new();
+        for (s, stmt) in self.module.stmts() {
+            if let StmtKind::Join { handle: h } = stmt.kind {
+                let sites = self.pre.thread_handles_of(h);
+                if sites.contains(&fork) {
+                    avoid.insert(self.icfg.stmt_node(s));
+                }
+            }
+        }
+        let _ = fork_sites;
+        let from = self.icfg.stmt_node(fork);
+        let exit = self.icfg.exit(spawner_routine);
+        !reaches_avoiding(self.icfg, from, exit, &avoid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::parse::parse_module;
+
+    fn build(src: &str) -> (Module, PreAnalysis, Icfg, ThreadModel) {
+        let m = parse_module(src).unwrap();
+        fsam_ir::verify::verify_module(&m).unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        (m, pre, icfg, tm)
+    }
+
+    /// The paper's Figure 8 program.
+    const FIG8: &str = r#"
+        func bar() {
+        s5:
+          ret
+        }
+        func foo2() {
+        entry:
+          call bar()    // cs4
+          ret
+        }
+        func foo1() {
+        fk3:
+          t3 = fork bar()
+          join t3       // jn3
+          ret
+        }
+        func main() {
+        s1:
+          t1 = fork foo1()   // fk1
+          join t1            // jn1 (after s2 in the paper; order simplified)
+          t2 = fork foo2()   // fk2
+          join t2            // jn2
+          ret
+        }
+    "#;
+
+    #[test]
+    fn fig8_thread_enumeration() {
+        let (_, _, _, tm) = build(FIG8);
+        // t0 = main, plus t1 (foo1), t2 (foo2), t3 (bar).
+        assert_eq!(tm.len(), 4);
+        let routines: Vec<&str> = tm
+            .threads()
+            .iter()
+            .map(|t| match t.id {
+                ThreadId::MAIN => "main",
+                _ => "spawned",
+            })
+            .collect();
+        assert_eq!(routines[0], "main");
+        assert!(tm.threads().iter().all(|t| !t.multi_forked));
+    }
+
+    #[test]
+    fn fig8_spawn_relations() {
+        let (m, _, _, tm) = build(FIG8);
+        let by_routine = |name: &str| -> ThreadId {
+            let f = m.func_by_name(name).unwrap();
+            tm.threads().iter().find(|t| t.routine == f && t.id != ThreadId::MAIN).unwrap().id
+        };
+        let (t1, t2, t3) = (by_routine("foo1"), by_routine("foo2"), by_routine("bar"));
+        assert!(tm.is_ancestor(ThreadId::MAIN, t1));
+        assert!(tm.is_ancestor(ThreadId::MAIN, t3)); // transitive
+        assert!(tm.is_ancestor(t1, t3));
+        assert!(!tm.is_ancestor(t2, t3));
+        assert!(tm.are_siblings(t1, t2));
+        assert!(tm.are_siblings(t3, t2)); // share ancestor main
+        assert!(!tm.are_siblings(t1, t3));
+    }
+
+    #[test]
+    fn fig8_joins_and_happens_before() {
+        let (m, _, icfg, tm) = build(FIG8);
+        let by_routine = |name: &str| -> ThreadId {
+            let f = m.func_by_name(name).unwrap();
+            tm.threads().iter().find(|t| t.routine == f && t.id != ThreadId::MAIN).unwrap().id
+        };
+        let (t1, t2, t3) = (by_routine("foo1"), by_routine("foo2"), by_routine("bar"));
+        // jn1 (main's first join) kills t1 and, transitively, t3.
+        let jn1 = m
+            .stmts()
+            .find(|(_, s)| {
+                s.func == m.entry().unwrap() && matches!(s.kind, StmtKind::Join { .. })
+            })
+            .unwrap()
+            .0;
+        let dead = tm.dead_after(jn1);
+        assert!(dead.contains(&t1), "{dead:?}");
+        assert!(dead.contains(&t3), "t3 joined indirectly: {dead:?}");
+        // Paper Fig 8(b): t1 > t2 and t3 > t2.
+        assert!(tm.happens_before(&icfg, t1, t2));
+        assert!(tm.happens_before(&icfg, t3, t2));
+        assert!(!tm.happens_before(&icfg, t2, t1));
+        assert!(!tm.happens_before(&icfg, t2, t3));
+    }
+
+    #[test]
+    fn fork_in_loop_is_multi_forked() {
+        let (_, _, _, tm) = build(
+            r#"
+            func worker() {
+            entry:
+              ret
+            }
+            func main() {
+            entry:
+              br header
+            header:
+              br ?, body, exit
+            body:
+              t = fork worker()
+              br header
+            exit:
+              ret
+            }
+        "#,
+        );
+        assert_eq!(tm.len(), 2);
+        assert!(tm.threads()[1].multi_forked);
+    }
+
+    #[test]
+    fn multi_forked_join_without_symmetry_is_ignored() {
+        let (m, _, _, tm) = build(
+            r#"
+            func worker() {
+            entry:
+              ret
+            }
+            func main() {
+            entry:
+              br header
+            header:
+              br ?, body, exit
+            body:
+              t = fork worker()
+              join t      // same loop: unsound to treat as full join
+              br header
+            exit:
+              ret
+            }
+        "#,
+        );
+        let jn = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Join { .. }))
+            .unwrap()
+            .0;
+        assert!(tm.joins_at(jn).is_empty());
+    }
+
+    #[test]
+    fn symmetric_fork_join_loops_are_recognized() {
+        // The word_count pattern (paper Fig 11): fork loop, then join loop
+        // over the same handle array.
+        let (m, _, _, tm) = build(
+            r#"
+            global array tids
+            func worker() {
+            entry:
+              ret
+            }
+            func main() {
+            entry:
+              ta = &tids
+              br fh
+            fh:
+              br ?, fbody, jh
+            fbody:
+              t = fork worker()
+              store ta, t
+              br fh
+            jh:
+              br ?, jbody, exit
+            jbody:
+              h = load ta
+              join h
+              br jh
+            exit:
+              ret
+            }
+        "#,
+        );
+        assert_eq!(tm.len(), 2);
+        assert!(tm.threads()[1].multi_forked);
+        let jn = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Join { .. }))
+            .unwrap()
+            .0;
+        let entries = tm.joins_at(jn);
+        assert_eq!(entries.len(), 1, "symmetric join recognized");
+        assert!(entries[0].full);
+        assert_eq!(entries[0].thread, tm.threads()[1].id);
+    }
+
+    #[test]
+    fn partial_join_detected() {
+        let (m, _, _, tm) = build(
+            r#"
+            func worker() {
+            entry:
+              ret
+            }
+            func main() {
+            entry:
+              t = fork worker()
+              br ?, dojoin, skip
+            dojoin:
+              join t
+              br out
+            skip:
+              br out
+            out:
+              ret
+            }
+        "#,
+        );
+        let jn = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Join { .. }))
+            .unwrap()
+            .0;
+        let entries = tm.joins_at(jn);
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].full, "join on only one path is partial");
+    }
+
+    #[test]
+    fn threads_executing_shared_function() {
+        let (m, _, _, tm) = build(
+            r#"
+            func shared() {
+            entry:
+              ret
+            }
+            func worker() {
+            entry:
+              call shared()
+              ret
+            }
+            func main() {
+            entry:
+              t = fork worker()
+              call shared()
+              join t
+              ret
+            }
+        "#,
+        );
+        let shared = m.func_by_name("shared").unwrap();
+        let ts = tm.threads_executing(shared);
+        assert_eq!(ts.len(), 2, "both main and worker execute shared()");
+    }
+
+    #[test]
+    fn sequential_program_has_main_only() {
+        let (_, _, _, tm) = build(
+            r#"
+            func main() {
+            entry:
+              ret
+            }
+        "#,
+        );
+        assert!(tm.is_empty());
+        assert_eq!(tm.len(), 1);
+        assert_eq!(tm.info(ThreadId::MAIN).spawner, None);
+    }
+}

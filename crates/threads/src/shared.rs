@@ -1,0 +1,185 @@
+//! Thread-escape analysis: which abstract objects can be *shared memory*.
+//!
+//! The value-flow analysis (§3.3.2) exists to keep the sparse solver from
+//! "propagating blindly a lot of points-to information for **non-shared
+//! memory locations**" (§4.4, ferret/automount/mt_daapd discussion). A stack
+//! or heap object whose address never escapes the creating frame cannot be
+//! accessed by another runtime thread — even when our abstraction conflates
+//! all runtime instances of a multi-forked thread's locals into one abstract
+//! object, cross-instance def-use edges on such objects are spurious.
+//!
+//! An object *escapes* iff it is reachable, through the pre-analysis
+//! points-to relation, from
+//!
+//! * a global variable (any thread can name a global), or
+//! * a fork argument (state explicitly handed to a thread).
+//!
+//! Escape is tracked at root-object granularity (field objects share their
+//! root's memory).
+
+use fsam_andersen::PreAnalysis;
+use fsam_ir::{Module, ObjKind, StmtKind};
+use fsam_pts::{MemId, PtsSet};
+
+/// The set of objects that may be shared between runtime threads.
+#[derive(Debug)]
+pub struct SharedObjects {
+    escaped_roots: PtsSet,
+}
+
+impl SharedObjects {
+    /// Computes the escape closure for `module`.
+    pub fn compute(module: &Module, pre: &PreAnalysis) -> SharedObjects {
+        let om = pre.objects();
+        let mut escaped_roots = PtsSet::new();
+        let mut work: Vec<MemId> = Vec::new();
+
+        let seed = |o: MemId, work: &mut Vec<MemId>, escaped: &mut PtsSet| {
+            let root = om.root(o);
+            if escaped.insert(root) {
+                work.push(root);
+            }
+        };
+
+        // Globals (including locks and arrays).
+        for (oid, info) in module.objs() {
+            if matches!(info.kind, ObjKind::Global) {
+                seed(om.base(oid), &mut work, &mut escaped_roots);
+            }
+        }
+        // Fork arguments.
+        for (_, stmt) in module.stmts() {
+            if let StmtKind::Fork { arg: Some(a), .. } = stmt.kind {
+                for o in pre.pt_var(a).iter() {
+                    seed(o, &mut work, &mut escaped_roots);
+                }
+            }
+        }
+
+        // Closure: anything an escaped object (or its fields) points to
+        // escapes too.
+        while let Some(root) = work.pop() {
+            let mut member_objs: Vec<MemId> = vec![root];
+            member_objs.extend(om.fields_of(root));
+            for m in member_objs {
+                for target in pre.pt_mem(m).iter() {
+                    seed(target, &mut work, &mut escaped_roots);
+                }
+            }
+        }
+
+        SharedObjects { escaped_roots }
+    }
+
+    /// Whether `o` may be visible to more than one runtime thread.
+    pub fn is_shared(&self, pre: &PreAnalysis, o: MemId) -> bool {
+        self.escaped_roots.contains(pre.objects().root(o))
+    }
+
+    /// Number of escaped roots (statistics).
+    pub fn escaped_count(&self) -> usize {
+        self.escaped_roots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::parse::parse_module;
+
+    fn analyze(src: &str) -> (Module, PreAnalysis, SharedObjects) {
+        let m = parse_module(src).unwrap();
+        let pre = PreAnalysis::run(&m);
+        let shared = SharedObjects::compute(&m, &pre);
+        (m, pre, shared)
+    }
+
+    fn obj(m: &Module, pre: &PreAnalysis, name: &str) -> MemId {
+        let oid = m.objs().find(|(_, o)| o.name == name).unwrap().0;
+        pre.objects().base(oid)
+    }
+
+    #[test]
+    fn globals_are_shared() {
+        let (m, pre, sh) = analyze(
+            r#"
+            global g
+            func main() {
+            entry:
+              p = &g
+              ret
+            }
+        "#,
+        );
+        assert!(sh.is_shared(&pre, obj(&m, &pre, "g")));
+    }
+
+    #[test]
+    fn private_locals_and_heap_do_not_escape() {
+        let (m, pre, sh) = analyze(
+            r#"
+            func worker(a) {
+            local scratch
+            entry:
+              p = &scratch
+              h = alloc "private"
+              store p, h
+              ret
+            }
+            func main() {
+            local arg_slot
+            entry:
+              q = &arg_slot
+              t = fork worker(q)
+              ret
+            }
+        "#,
+        );
+        assert!(!sh.is_shared(&pre, obj(&m, &pre, "scratch")));
+        assert!(!sh.is_shared(&pre, obj(&m, &pre, "private")));
+        // But the fork argument escapes.
+        assert!(sh.is_shared(&pre, obj(&m, &pre, "arg_slot")));
+    }
+
+    #[test]
+    fn publication_through_a_global_escapes() {
+        let (m, pre, sh) = analyze(
+            r#"
+            global queue
+            func main() {
+            local item
+            entry:
+              q = &queue
+              i = &item
+              store q, i    // queue = &item: item escapes
+              h = alloc "payload"
+              store i, h    // item -> payload: payload escapes transitively
+              ret
+            }
+        "#,
+        );
+        assert!(sh.is_shared(&pre, obj(&m, &pre, "item")));
+        assert!(sh.is_shared(&pre, obj(&m, &pre, "payload")));
+    }
+
+    #[test]
+    fn field_escape_is_root_granular() {
+        let (m, pre, sh) = analyze(
+            r#"
+            global s
+            func main() {
+            local priv
+            entry:
+              p = &s
+              f = gep p, 2
+              h = alloc "through_field"
+              store f, h   // s.f2 -> heap: escapes via the global root
+              z = &priv
+              ret
+            }
+        "#,
+        );
+        assert!(sh.is_shared(&pre, obj(&m, &pre, "through_field")));
+        assert!(!sh.is_shared(&pre, obj(&m, &pre, "priv")));
+    }
+}

@@ -1,0 +1,368 @@
+//! The value-flow analysis — paper §3.3.2, rule `[THREAD-VF]`.
+//!
+//! For every MHP store-load and store-store pair whose pointers share a
+//! pointed-to object (`o ∈ AS(*p, *q)` from the pre-analysis), a
+//! thread-aware def-use edge is produced; the lock analysis (Definition 6)
+//! filters the pairs whose every MHP instance pair is a non-interference
+//! pair. The surviving edges are appended to the SVFG by the pipeline.
+//!
+//! The *No-Value-Flow* ablation of Figure 12 disregards the aliasing
+//! condition (`blind` mode): every MHP store/access pair gets edges for all
+//! of the store's target objects, flooding the sparse solver with
+//! unnecessary value flows — exactly the behaviour whose cost §4.4
+//! quantifies.
+
+use std::collections::HashMap;
+
+use fsam_andersen::PreAnalysis;
+use fsam_ir::icfg::Icfg;
+use fsam_ir::{Module, StmtId, StmtKind};
+use fsam_pts::MemId;
+
+use crate::lock::LockAnalysis;
+use crate::mhp::MhpOracle;
+use crate::shared::SharedObjects;
+
+/// Statistics of the value-flow phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ValueFlowStats {
+    /// Objects with accesses from more than one thread.
+    pub shared_objects: usize,
+    /// Store/access pairs with a common object (candidate `aliased pairs`).
+    pub aliased_pairs: usize,
+    /// Candidates that may happen in parallel.
+    pub mhp_pairs: usize,
+    /// Pairs removed by the lock analysis (Definition 6).
+    pub lock_filtered: usize,
+    /// Thread-aware def-use edges produced.
+    pub edges: usize,
+}
+
+/// The thread-aware def-use edges to append to the SVFG.
+#[derive(Debug, Default)]
+pub struct ThreadValueFlow {
+    /// `(store, access, object)` triples.
+    pub edges: Vec<(StmtId, StmtId, MemId)>,
+    /// Phase statistics.
+    pub stats: ValueFlowStats,
+}
+
+/// Computes the thread-aware def-use edges.
+///
+/// * `oracle` supplies MHP facts (the interleaving analysis, or the PCG
+///   baseline in the *No-Interleaving* configuration);
+/// * `lock` enables Definition 6 filtering (`None` in the *No-Lock*
+///   configuration);
+/// * `blind` disregards the aliasing condition (*No-Value-Flow*).
+pub fn compute(
+    module: &Module,
+    icfg: &Icfg,
+    pre: &PreAnalysis,
+    oracle: &dyn MhpOracle,
+    lock: Option<&LockAnalysis>,
+    blind: bool,
+) -> ThreadValueFlow {
+    let mut out = ThreadValueFlow::default();
+
+    // The sharedness half of the value-flow analysis: objects that never
+    // escape their creating frame cannot interfere across threads (§4.4:
+    // "non-shared memory locations"). Disregarded in blind mode, like the
+    // aliasing condition.
+    let shared = SharedObjects::compute(module, pre);
+
+    // Per object: the stores that may write it and the loads/stores that may
+    // access it. Only store/load statements participate in [THREAD-VF].
+    let mut stores_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+    let mut accesses_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+    for (sid, stmt) in module.stmts() {
+        match stmt.kind {
+            StmtKind::Store { ptr, .. } => {
+                for o in pre.pt_var(ptr).iter() {
+                    stores_of.entry(o).or_default().push(sid);
+                    accesses_of.entry(o).or_default().push(sid);
+                }
+            }
+            StmtKind::Load { ptr, .. } => {
+                for o in pre.pt_var(ptr).iter() {
+                    accesses_of.entry(o).or_default().push(sid);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if blind {
+        // No-Value-Flow: pair every store with every MHP access, no
+        // aliasing requirement — the edge still needs an object label to
+        // exist in the graph; we use all of the store's targets.
+        let all_accesses: Vec<StmtId> = {
+            let mut v: Vec<StmtId> = accesses_of.values().flatten().copied().collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let all_stores: Vec<StmtId> = {
+            let mut v: Vec<StmtId> = stores_of.values().flatten().copied().collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for &s in &all_stores {
+            for &a in &all_accesses {
+                if s == a || !oracle.mhp_stmt(s, a) {
+                    continue;
+                }
+                out.stats.mhp_pairs += 1;
+                if let StmtKind::Store { ptr, .. } = module.stmt(s).kind {
+                    for o in pre.pt_var(ptr).iter() {
+                        out.edges.push((s, a, o));
+                        out.stats.edges += 1;
+                    }
+                }
+            }
+        }
+        return out;
+    }
+
+    let mut objects: Vec<MemId> = stores_of.keys().copied().collect();
+    objects.sort();
+    for o in objects {
+        let stores = &stores_of[&o];
+        let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
+        if accesses.len() < 2 {
+            continue;
+        }
+        // Sharedness prefilter: thread-private objects produce no
+        // thread-aware edges.
+        if !shared.is_shared(pre, o) {
+            continue;
+        }
+        out.stats.shared_objects += 1;
+        for &s in stores {
+            for &a in accesses {
+                if s == a {
+                    // A store can interfere with another runtime instance of
+                    // itself only in a multi-forked thread; the oracle
+                    // handles that below via mhp_stmt(s, s).
+                    if !oracle.mhp_stmt(s, s) {
+                        continue;
+                    }
+                } else {
+                    out.stats.aliased_pairs += 1;
+                }
+                if !oracle.mhp_stmt(s, a) {
+                    continue;
+                }
+                out.stats.mhp_pairs += 1;
+                if let Some(lock) = lock {
+                    if all_instances_non_interfering(icfg, oracle, lock, s, a, o) {
+                        out.stats.lock_filtered += 1;
+                        continue;
+                    }
+                }
+                out.edges.push((s, a, o));
+                out.stats.edges += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether *every* MHP instance pair of `(store, access)` is a
+/// non-interference pair (Definition 6) — only then may the edge be dropped.
+fn all_instances_non_interfering(
+    icfg: &Icfg,
+    oracle: &dyn MhpOracle,
+    lock: &LockAnalysis,
+    store: StmtId,
+    access: StmtId,
+    o: MemId,
+) -> bool {
+    let is1 = oracle.instances(store);
+    let is2 = oracle.instances(access);
+    for &(t1, c1) in &is1 {
+        for &(t2, c2) in &is2 {
+            let i1 = (t1, c1, store);
+            let i2 = (t2, c2, access);
+            if !oracle.mhp_instances(icfg, i1, i2) {
+                continue;
+            }
+            if !lock.non_interference(icfg, i1, i2, o) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::Interleaving;
+    use crate::lock::LockAnalysis;
+    use crate::model::ThreadModel;
+    use fsam_ir::context::ContextTable;
+    use fsam_ir::parse::parse_module;
+
+    struct World {
+        m: Module,
+        icfg: Icfg,
+        pre: PreAnalysis,
+        inter: Interleaving,
+        lock: LockAnalysis,
+    }
+
+    fn analyze(src: &str) -> World {
+        let m = parse_module(src).unwrap();
+        fsam_ir::verify::verify_module(&m).unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        let mut ctxs = ContextTable::new();
+        let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &mut ctxs);
+        let lock = LockAnalysis::compute(&m, &icfg, &pre, &tm, &mut ctxs);
+        World { m, icfg, pre, inter, lock }
+    }
+
+    fn nth_stmt(m: &Module, f: &str, pred: impl Fn(&StmtKind) -> bool, n: usize) -> StmtId {
+        let fid = m.func_by_name(f).unwrap();
+        m.stmts()
+            .filter(|(_, s)| s.func == fid && pred(&s.kind))
+            .nth(n)
+            .unwrap()
+            .0
+    }
+
+    /// Paper Figure 1(d): *x = r and c = *p don't alias — no edge.
+    #[test]
+    fn non_aliased_mhp_pair_gets_no_edge() {
+        let w = analyze(
+            r#"
+            global xobj
+            global pobj
+            func foo() {
+            entry:
+              p2 = &pobj
+              x = &xobj
+              store p2, p2     // *p = q
+              store x, x       // *x = r — different object
+              ret
+            }
+            func main() {
+            entry:
+              p = &pobj
+              t = fork foo()
+              c = load p       // c = *p
+              join t
+              ret
+            }
+        "#,
+        );
+        let vf = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
+        let store_x = nth_stmt(&w.m, "foo", |k| matches!(k, StmtKind::Store { .. }), 1);
+        let load = nth_stmt(&w.m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
+        assert!(
+            !vf.edges.iter().any(|&(s, a, _)| s == store_x && a == load),
+            "*x and *p don't alias: no thread-aware edge (Fig 1(d))"
+        );
+        let store_p = nth_stmt(&w.m, "foo", |k| matches!(k, StmtKind::Store { .. }), 0);
+        assert!(
+            vf.edges.iter().any(|&(s, a, _)| s == store_p && a == load),
+            "*p in foo does interfere with c = *p"
+        );
+    }
+
+    #[test]
+    fn blind_mode_floods_edges() {
+        let w = analyze(
+            r#"
+            global xobj
+            global pobj
+            func foo() {
+            entry:
+              x = &xobj
+              store x, x
+              ret
+            }
+            func main() {
+            entry:
+              p = &pobj
+              t = fork foo()
+              c = load p
+              join t
+              ret
+            }
+        "#,
+        );
+        let precise = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
+        let blind = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), true);
+        assert!(blind.stats.edges > precise.stats.edges, "blind mode adds spurious edges");
+    }
+
+    #[test]
+    fn sequential_program_has_no_thread_edges() {
+        let w = analyze(
+            r#"
+            global g
+            func main() {
+            entry:
+              p = &g
+              store p, p
+              c = load p
+              ret
+            }
+        "#,
+        );
+        let vf = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
+        assert!(vf.edges.is_empty());
+        assert_eq!(vf.stats.mhp_pairs, 0);
+    }
+
+    /// Paper Figure 1(e)/Figure 9: lock correlation removes spurious edges.
+    #[test]
+    fn lock_filter_reduces_edges() {
+        let src = r#"
+            global o
+            global lk
+            func a() {
+            entry:
+              p = &o
+              l = &lk
+              lock l
+              store p, p     // intermediate
+              store p, p     // tail
+              unlock l
+              ret
+            }
+            func b() {
+            entry:
+              q = &o
+              l = &lk
+              lock l
+              c = load q
+              unlock l
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork a()
+              t2 = fork b()
+              join t1
+              join t2
+              ret
+            }
+        "#;
+        let w = analyze(src);
+        let with_lock = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
+        let without = compute(&w.m, &w.icfg, &w.pre, &w.inter, None, false);
+        assert!(with_lock.stats.lock_filtered >= 1, "{:?}", with_lock.stats);
+        assert!(with_lock.stats.edges < without.stats.edges);
+        // The tail store -> head load edge must survive.
+        let tail = nth_stmt(&w.m, "a", |k| matches!(k, StmtKind::Store { .. }), 1);
+        let head = nth_stmt(&w.m, "b", |k| matches!(k, StmtKind::Load { .. }), 0);
+        assert!(with_lock.edges.iter().any(|&(s, a, _)| s == tail && a == head));
+        // The intermediate store -> head edge is filtered.
+        let mid = nth_stmt(&w.m, "a", |k| matches!(k, StmtKind::Store { .. }), 0);
+        assert!(!with_lock.edges.iter().any(|&(s, a, _)| s == mid && a == head));
+    }
+}

@@ -1,0 +1,112 @@
+//! FSAM vs. the NonSparse baseline on one generated benchmark — a single
+//! row of the paper's Table 2.
+//!
+//! ```text
+//! cargo run --release --example compare_nonsparse [program] [scale]
+//! ```
+//!
+//! `program` is a Table 1 name (default `bodytrack`); `scale` is a size
+//! multiplier (default 0.3). Prints analysis time and analysis-state memory
+//! for both analyses, plus the precision relation (FSAM must be at least as
+//! precise as the baseline on every variable).
+
+use std::time::{Duration, Instant};
+
+use fsam::{nonsparse, Fsam, NonSparseOutcome};
+use fsam_suite::{Program, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bodytrack".to_owned());
+    let scale = Scale(
+        std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.3),
+    );
+    let program = Program::all()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown program `{name}`; use one of:");
+            for p in Program::all() {
+                eprintln!("  {}", p.name());
+            }
+            std::process::exit(1);
+        });
+
+    println!("generating {} at scale {:.2}...", program.name(), scale.0);
+    let module = program.generate(scale);
+    println!("  {} IR statements, {} functions", module.stmt_count(), module.func_count());
+
+    let t0 = Instant::now();
+    let fsam = Fsam::analyze(&module);
+    let fsam_time = t0.elapsed();
+    let fsam_mem = fsam.memory();
+
+    let t0 = Instant::now();
+    let outcome = nonsparse::run(
+        &module,
+        &fsam.pre,
+        &fsam.icfg,
+        &fsam.tm,
+        Some(Duration::from_secs(300)),
+    );
+    let ns_time = t0.elapsed();
+
+    println!("\n{:<12} {:>12} {:>14}", "", "time", "memory");
+    println!(
+        "{:<12} {:>12.2?} {:>11.2} MiB",
+        "FSAM",
+        fsam_time,
+        fsam_mem.total_mib()
+    );
+    match outcome {
+        NonSparseOutcome::Done(res) => {
+            println!(
+                "{:<12} {:>12.2?} {:>11.2} MiB",
+                "NonSparse",
+                ns_time,
+                res.pts_bytes() as f64 / (1024.0 * 1024.0)
+            );
+            println!(
+                "\nspeedup: {:.1}x   memory ratio: {:.1}x",
+                ns_time.as_secs_f64() / fsam_time.as_secs_f64(),
+                res.pts_bytes() as f64 / fsam_mem.total_bytes() as f64
+            );
+            // Precision: both refine Andersen; report the average set sizes
+            // (on multithreaded programs neither flow-sensitive analysis
+            // dominates the other pointwise — see DESIGN.md).
+            let mut fsam_total = 0usize;
+            let mut ns_total = 0usize;
+            for v in module.var_ids() {
+                assert!(
+                    fsam.result.pt_var(v).is_subset(fsam.pre.pt_var(v)),
+                    "FSAM must refine Andersen on {}",
+                    module.var_name(v)
+                );
+                assert!(
+                    res.pt_var(v).is_subset(fsam.pre.pt_var(v)),
+                    "NonSparse must refine Andersen on {}",
+                    module.var_name(v)
+                );
+                fsam_total += fsam.result.pt_var(v).len();
+                ns_total += res.pt_var(v).len();
+            }
+            println!(
+                "precision: avg |pt(v)| = {:.2} (FSAM) vs {:.2} (NonSparse) over {} variables",
+                fsam_total as f64 / module.var_count() as f64,
+                ns_total as f64 / module.var_count() as f64,
+                module.var_count()
+            );
+        }
+        NonSparseOutcome::OutOfTime { elapsed, bytes, .. } => {
+            println!(
+                "{:<12} {:>12} {:>11.2} MiB   (gave up after {:.1?})",
+                "NonSparse",
+                "OOT",
+                bytes as f64 / (1024.0 * 1024.0),
+                elapsed
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # fsam-repro — facade crate for the FSAM reproduction workspace
+//!
+//! Re-exports the public API of every workspace crate; the repository-level
+//! integration tests and examples build against this crate.
+
+#![forbid(unsafe_code)]
+
+pub use fsam;
+pub use fsam_andersen as andersen;
+pub use fsam_ir as ir;
+pub use fsam_mssa as mssa;
+pub use fsam_pts as pts;
+pub use fsam_suite as suite;
+pub use fsam_threads as threads;

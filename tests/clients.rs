@@ -1,0 +1,89 @@
+//! Integration coverage of the client analyses (§6 of the paper) over the
+//! benchmark suite: race detection, deadlock detection, and the dynamic
+//! instrumentation planner.
+
+use fsam::{detect_deadlocks, detect_races, plan_instrumentation, Fsam};
+use fsam_ir::StmtKind;
+use fsam_suite::{Program, Scale};
+
+#[test]
+fn clients_run_on_every_benchmark() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        let fsam = Fsam::analyze(&module);
+
+        let races = detect_races(&module, &fsam);
+        let deadlocks = detect_deadlocks(&module, &fsam);
+        let plan = plan_instrumentation(&module, &fsam);
+
+        // Structural invariants.
+        let accesses = module
+            .stmts()
+            .filter(|(_, s)| s.is_memory_access())
+            .count();
+        assert_eq!(
+            plan.instrument.len() + plan.skip.len(),
+            accesses,
+            "{}: plan must classify every access",
+            p.name()
+        );
+        // Every racy access pair's members must be in the instrument set:
+        // the planner may not skip an access the race detector flags.
+        for r in &races {
+            assert!(
+                plan.instrument.contains(&r.store),
+                "{}: racy store skipped by the planner: {}",
+                p.name(),
+                module.describe_stmt(r.store)
+            );
+            assert!(
+                plan.instrument.contains(&r.access),
+                "{}: racy access skipped by the planner: {}",
+                p.name(),
+                module.describe_stmt(r.access)
+            );
+        }
+        // Race endpoints must actually be loads/stores.
+        for r in &races {
+            assert!(matches!(module.stmt(r.store).kind, StmtKind::Store { .. }));
+            assert!(module.stmt(r.access).is_memory_access());
+        }
+        // Deadlock reports must name two distinct singleton locks.
+        for d in &deadlocks {
+            assert_ne!(d.lock_a, d.lock_b, "{}", p.name());
+            assert!(fsam.pre.objects().is_singleton(d.lock_a));
+            assert!(fsam.pre.objects().is_singleton(d.lock_b));
+        }
+    }
+}
+
+#[test]
+fn lock_heavy_programs_have_substantial_skippable_fraction() {
+    // The ferret pipeline's heavy local traffic should be mostly skippable
+    // (the paper's §6 TSan-overhead argument).
+    let module = Program::Ferret.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+    let plan = plan_instrumentation(&module, &fsam);
+    assert!(
+        plan.reduction() > 0.5,
+        "ferret should skip most accesses, got {:.2}",
+        plan.reduction()
+    );
+}
+
+#[test]
+fn consistently_ordered_suite_locks_produce_no_deadlocks() {
+    // The generators acquire locks in consistent orders; the deadlock
+    // detector must stay quiet on all of them.
+    for p in [Program::Radiosity, Program::Automount, Program::Ferret] {
+        let module = p.generate(Scale::SMOKE);
+        let fsam = Fsam::analyze(&module);
+        let deadlocks = detect_deadlocks(&module, &fsam);
+        assert!(
+            deadlocks.is_empty(),
+            "{}: unexpected deadlocks {:?}",
+            p.name(),
+            deadlocks
+        );
+    }
+}

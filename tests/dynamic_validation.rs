@@ -1,0 +1,172 @@
+//! Dynamic soundness validation: concrete executions under many randomized
+//! schedules must observe only points-to facts the static analyses report
+//! (`observed(v) ⊆ pt(v)`). This reproduces the role of the paper
+//! artifact's "micro-benchmarks to validate pointer analysis results".
+
+use fsam::{nonsparse, Fsam, NonSparseOutcome};
+use fsam_ir::interp::{self, InterpConfig};
+use fsam_ir::Module;
+use fsam_suite::{Program, Scale};
+use proptest::prelude::*;
+
+fn validate(module: &Module, seeds: std::ops::Range<u64>) {
+    let fsam = Fsam::analyze(module);
+    let ns = match nonsparse::run(module, &fsam.pre, &fsam.icfg, &fsam.tm, None) {
+        NonSparseOutcome::Done(r) => Some(r),
+        NonSparseOutcome::OutOfTime { .. } => None,
+    };
+    // The interpreter tracks base objects (fields share their base's
+    // runtime storage), so the comparison happens at root-object
+    // granularity: a static set covers an observed base object if it
+    // contains the base or any of its field objects.
+    let om = fsam.pre.objects();
+    let covers = |set: &fsam_pts::PtsSet, base: fsam_pts::MemId| {
+        set.iter().any(|m| om.root(m) == base)
+    };
+    for seed in seeds {
+        let obs = interp::run(module, InterpConfig { seed, ..Default::default() });
+        for (&v, objs) in &obs.var_points_to {
+            for &obj in objs {
+                let base = om.base(obj);
+                assert!(
+                    covers(fsam.result.pt_var(v), base),
+                    "seed {seed}: FSAM missed observed fact {} -> {} (static: {:?})",
+                    module.var_name(v),
+                    module.obj(obj).name,
+                    fsam.result.pt_var(v),
+                );
+                assert!(
+                    covers(fsam.pre.pt_var(v), base),
+                    "seed {seed}: Andersen missed observed fact {} -> {}",
+                    module.var_name(v),
+                    module.obj(obj).name,
+                );
+                if let Some(ns) = &ns {
+                    assert!(
+                        covers(ns.pt_var(v), base),
+                        "seed {seed}: NonSparse missed observed fact {} -> {}",
+                        module.var_name(v),
+                        module.obj(obj).name,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The paper's Figure 1(a)/(c) programs under 64 schedules each.
+#[test]
+fn figure_programs_validate_dynamically() {
+    for src in [
+        r#"
+        global x
+        global y
+        global z
+        func foo() {
+        entry:
+          p2 = &x
+          q = &y
+          store p2, q
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          r = &z
+          t = fork foo()
+          store p, r
+          c = load p
+          join t
+          d = load p
+          ret
+        }
+        "#,
+        r#"
+        global x
+        global y
+        global z
+        func foo() {
+        entry:
+          p2 = &x
+          q = &y
+          store p2, q
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          r = &z
+          store p, r
+          t = fork foo()
+          join t
+          c = load p
+          ret
+        }
+        "#,
+    ] {
+        let module = fsam_ir::parse::parse_module(src).unwrap();
+        validate(&module, 0..64);
+    }
+}
+
+/// Every suite benchmark, executed under a handful of schedules.
+#[test]
+fn suite_programs_validate_dynamically() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        validate(&module, 0..6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random mill programs with fork/join/locks validate dynamically.
+    #[test]
+    fn random_programs_validate_dynamically(
+        seed in any::<u64>(),
+        body in 10usize..50,
+        workers in 1usize..3,
+    ) {
+        use fsam_ir::ModuleBuilder;
+        use fsam_suite::mill::{mixed_body, Mill};
+
+        let mut mb = ModuleBuilder::new();
+        let g1 = mb.global("g1");
+        let g2 = mb.global("g2");
+        let lk = mb.global("lk");
+        let mut ids = Vec::new();
+        for w in 0..workers {
+            let id = mb.declare_func(&format!("worker{w}"), &["arg"]);
+            let mut f = mb.define_func(id);
+            let local = f.local(&format!("scratch{w}"));
+            let lptr = f.addr("l", lk);
+            {
+                let mut mill = Mill::new(&mut f, vec![g1, g2], vec![local], seed ^ w as u64, "w");
+                mill.locked_region(lptr, 3);
+                mixed_body(&mut mill, body, seed.wrapping_add(w as u64));
+            }
+            f.ret(None);
+            f.finish();
+            ids.push(id);
+        }
+        let mut f = mb.func("main", &[]);
+        let arg = f.addr("arg", g1);
+        let mut handles = Vec::new();
+        for (w, &id) in ids.iter().enumerate() {
+            handles.push(f.fork(&format!("t{w}"), id, Some(arg)));
+        }
+        for &h in &handles {
+            f.join(h);
+        }
+        {
+            let mut mill = Mill::new(&mut f, vec![g1, g2], vec![], seed ^ 0xAB, "m");
+            mixed_body(&mut mill, body / 2, seed ^ 0xCD);
+        }
+        f.ret(None);
+        f.finish();
+        let module = mb.build();
+        fsam_ir::verify::verify_module(&module).unwrap();
+        validate(&module, 0..4);
+    }
+}

@@ -1,0 +1,357 @@
+//! End-to-end reproductions of the paper's worked examples (Figures 1, 6,
+//! 8, 9 and 11), checked through the full FSAM pipeline.
+
+use fsam::{Fsam, PhaseConfig};
+use fsam_ir::parse::parse_module;
+use fsam_ir::Module;
+
+fn analyze(src: &str) -> (Module, Fsam) {
+    let module = parse_module(src).expect("figure program parses");
+    fsam_ir::verify::verify_module(&module).expect("figure program is well-formed");
+    let fsam = Fsam::analyze(&module);
+    (module, fsam)
+}
+
+/// Figure 1(a): `c = *p` can observe the store in the same thread *and* the
+/// store in the parallel thread — pt(c) = {y, z}.
+#[test]
+fn figure_1a_interleaving() {
+    let (m, fsam) = analyze(
+        r#"
+        global x
+        global y
+        global z
+        func foo() {
+        entry:
+          p2 = &x
+          q = &y
+          store p2, q
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          r = &z
+          t = fork foo()
+          store p, r
+          c = load p
+          ret
+        }
+    "#,
+    );
+    assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y", "z"]);
+}
+
+/// Figure 1(b): thread t2 outlives its spawner t1 (t1 is joined, t2 is
+/// not), so `*p = r` in main still interferes with t2's statements —
+/// pt(c) = {y, z} at t2's load.
+#[test]
+fn figure_1b_escaping_thread() {
+    let (m, fsam) = analyze(
+        r#"
+        global x
+        global y
+        global z
+        func bar() {
+        entry:
+          p3 = &x
+          q = &y
+          store p3, q      // *p = q in t2
+          c = load p3      // c = *p in t2
+          ret
+        }
+        func foo() {
+        entry:
+          t2 = fork bar()  // t2 outlives foo (never joined)
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          r = &z
+          t1 = fork foo()
+          join t1          // t1 dies; t2 lives on
+          store p, r       // *p = r: interferes with t2
+          ret
+        }
+    "#,
+    );
+    let names = fsam.pt_names(&m, "bar", "c");
+    assert!(names.contains(&"y".to_owned()), "{names:?}");
+    assert!(names.contains(&"z".to_owned()), "unjoined grandchild must see the store: {names:?}");
+}
+
+/// Figure 1(c): `*p = r`, `*p = q` and `c = *p` execute serially (fork +
+/// full join); the strong update at `*p = q` kills `&z` — pt(c) = {y}.
+#[test]
+fn figure_1c_strong_update_with_thread_ordering() {
+    let (m, fsam) = analyze(
+        r#"
+        global x
+        global y
+        global z
+        func foo() {
+        entry:
+          p2 = &x
+          q = &y
+          store p2, q
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          r = &z
+          store p, r
+          t = fork foo()
+          join t
+          c = load p
+          ret
+        }
+    "#,
+    );
+    assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y"]);
+}
+
+/// Figure 1(d): `*x` and `*p` are not aliases, so the parallel store
+/// through x's contents never reaches `c = *p` — pt(c) = {y} (+ main's own
+/// store).
+#[test]
+fn figure_1d_sparsity() {
+    let (m, fsam) = analyze(
+        r#"
+        global x
+        global y
+        global a
+        func foo() {
+        entry:
+          p2 = &x
+          q = &y
+          xv = load p2
+          store xv, xv   // *x = ... : writes object a, not x
+          store p2, q    // *p = q
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          aa = &a
+          store p, aa    // x = &a
+          t = fork foo()
+          c = load p
+          join t
+          ret
+        }
+    "#,
+    );
+    let names = fsam.pt_names(&m, "main", "c");
+    assert!(names.contains(&"y".to_owned()), "{names:?}");
+    assert!(!names.contains(&"x".to_owned()), "non-aliased store must not leak: {names:?}");
+}
+
+/// Figure 1(e): l1 and l2 must-alias the same lock; the spurious def-use
+/// from `*u = v` (in the other span, not the tail) to `c = *p` is avoided:
+/// pt(c) = {y, z} but NOT {v}.
+#[test]
+fn figure_1e_lock_analysis() {
+    let (m, fsam) = analyze(
+        r#"
+        global x
+        global y
+        global z
+        global vobj
+        global lk
+        func foo() {
+        entry:
+          p2 = &x
+          u = alloc "uobj"
+          vv = &vobj
+          l2 = &lk
+          lock l2
+          store u, vv    // *u = v : different object, inside the span
+          q = &y
+          store p2, q    // *p = q : the span's tail store of x
+          unlock l2
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          r = &z
+          l1 = &lk
+          t = fork foo()
+          store p, r     // *p = r
+          lock l1
+          c = load p     // c = *p, protected by the same lock
+          unlock l1
+          ret
+        }
+    "#,
+    );
+    let names = fsam.pt_names(&m, "main", "c");
+    assert!(names.contains(&"y".to_owned()), "{names:?}");
+    assert!(names.contains(&"z".to_owned()), "{names:?}");
+    assert!(!names.contains(&"vobj".to_owned()), "spurious *u flow: {names:?}");
+}
+
+/// Figure 6: the thread-oblivious def-use chains over Pseq — checked here
+/// end-to-end through points-to results (the SVFG-level edges are unit
+/// tests in fsam-mssa).
+#[test]
+fn figure_6_thread_oblivious_flow() {
+    let (m, fsam) = analyze(
+        r#"
+        global o
+        global v1
+        global v2
+        func foo() {
+        entry:
+          q = &o
+          w2 = &v2
+          store q, w2      // s4: *q = &v2
+          c5 = load q      // s5
+          ret
+        }
+        func main() {
+        entry:
+          p = &o
+          w1 = &v1
+          store p, w1      // s1: *p = &v1
+          t = fork foo()
+          join t           // join makes s4 visible
+          c3 = load p      // s3
+          ret
+        }
+    "#,
+    );
+    // s5 (inside foo) follows the strong update at s4: it sees exactly v2
+    // (main's v1 flowed in at the fork, but s4 killed it — the def-use
+    // chain s1 -> s4 of Fig 6(b) carried it there).
+    let c5 = fsam.pt_names(&m, "foo", "c5");
+    assert_eq!(c5, vec!["v2"]);
+    // s3 (after the join) sees the thread's store.
+    let c3 = fsam.pt_names(&m, "main", "c3");
+    assert!(c3.contains(&"v2".to_owned()), "join side effect: {c3:?}");
+}
+
+/// Figure 11: the word_count pattern — slaves forked in one loop, joined in
+/// a symmetric loop; master code after the join loop is *not* parallel with
+/// the slaves, so the master's post-join load needs no interference edges.
+#[test]
+fn figure_11_symmetric_fork_join() {
+    let (m, fsam) = analyze(
+        r#"
+        global array tids
+        global data
+        global v1
+        global v2
+        func slave(w) {
+        entry:
+          q = &data
+          s = &v2
+          store q, s        // slave writes data
+          ret
+        }
+        func main() {
+        entry:
+          ta = &tids
+          d = &data
+          s1 = &v1
+          store d, s1       // master init
+          br fh
+        fh:
+          br ?, fb, jh
+        fb:
+          t = fork slave(d)
+          store ta, t
+          br fh
+        jh:
+          br ?, jb, post
+        jb:
+          h = load ta
+          join h
+          br jh
+        post:
+          c = load d
+          ret
+        }
+    "#,
+    );
+    // The post-join load sees both values (init + slave writes)...
+    let c = fsam.pt_names(&m, "main", "c");
+    assert!(c.contains(&"v1".to_owned()) && c.contains(&"v2".to_owned()), "{c:?}");
+    // ...and the interleaving analysis proved the slaves dead after the
+    // join loop (no MHP between slave stores and the post-join load).
+    let inter = fsam.interleaving.as_ref().expect("full config");
+    use fsam_ir::StmtKind;
+    use fsam_threads::mhp::MhpOracle;
+    let slave_store = m
+        .stmts()
+        .find(|(_, s)| {
+            s.func == m.func_by_name("slave").unwrap()
+                && matches!(s.kind, StmtKind::Store { .. })
+        })
+        .unwrap()
+        .0;
+    let c_load = m
+        .stmts()
+        .filter(|(_, s)| {
+            s.func == m.entry().unwrap() && matches!(s.kind, StmtKind::Load { .. })
+        })
+        .last()
+        .unwrap()
+        .0;
+    assert!(!inter.mhp_stmt(slave_store, c_load), "post-join master code is sequential");
+    assert!(inter.mhp_stmt(slave_store, slave_store), "slaves are mutually parallel");
+}
+
+/// The ablation configurations stay sound on the figure programs: every
+/// ablated result over-approximates the full result.
+#[test]
+fn ablations_remain_sound_on_figures() {
+    let src = r#"
+        global x
+        global y
+        global z
+        global lk
+        func foo() {
+        entry:
+          p2 = &x
+          q = &y
+          l = &lk
+          lock l
+          store p2, q
+          unlock l
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          r = &z
+          l = &lk
+          t = fork foo()
+          lock l
+          store p, r
+          c = load p
+          unlock l
+          join t
+          c2 = load p
+          ret
+        }
+    "#;
+    let m = parse_module(src).unwrap();
+    let full = Fsam::analyze(&m);
+    for cfg in [
+        PhaseConfig::no_interleaving(),
+        PhaseConfig::no_value_flow(),
+        PhaseConfig::no_lock(),
+    ] {
+        let ablated = Fsam::analyze_with(&m, cfg);
+        for v in m.var_ids() {
+            assert!(
+                full.result.pt_var(v).is_subset(ablated.result.pt_var(v)),
+                "{cfg:?} must over-approximate on {}",
+                m.var_name(v)
+            );
+        }
+    }
+}

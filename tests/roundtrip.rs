@@ -1,0 +1,84 @@
+//! Print/parse round-trip properties of the FIR frontend, driven by the
+//! suite's program generators and by the pointer-code mill.
+
+use fsam_ir::parse::parse_module;
+use fsam_ir::print::module_to_string;
+use fsam_ir::verify::verify_module;
+use fsam_suite::{Program, Scale};
+use proptest::prelude::*;
+
+/// Every generated benchmark prints to FIR that parses back to a module
+/// with identical structure, and printing is a fixed point.
+#[test]
+fn suite_programs_roundtrip_through_fir() {
+    for p in Program::all() {
+        let m1 = p.generate(Scale::SMOKE);
+        let text1 = module_to_string(&m1);
+        let m2 = parse_module(&text1)
+            .unwrap_or_else(|e| panic!("{} reparse failed: {e}", p.name()));
+        verify_module(&m2).unwrap_or_else(|e| panic!("{} reparse invalid: {e:?}", p.name()));
+        assert_eq!(m1.stmt_count(), m2.stmt_count(), "{}", p.name());
+        assert_eq!(m1.func_count(), m2.func_count(), "{}", p.name());
+        assert_eq!(m1.var_count(), m2.var_count(), "{}", p.name());
+        assert_eq!(m1.obj_count(), m2.obj_count(), "{}", p.name());
+        let text2 = module_to_string(&m2);
+        assert_eq!(text1, text2, "{}: printing is not a fixed point", p.name());
+    }
+}
+
+/// Analysis results are identical across a print/parse round trip (the
+/// textual form is a faithful serialization).
+#[test]
+fn analysis_results_survive_roundtrip() {
+    let m1 = Program::WordCount.generate(Scale::SMOKE);
+    let m2 = parse_module(&module_to_string(&m1)).unwrap();
+    let r1 = fsam::Fsam::analyze(&m1);
+    let r2 = fsam::Fsam::analyze(&m2);
+    // Variable ids may be assigned in a different order by the parser; match
+    // by qualified name.
+    let by_name: std::collections::HashMap<String, fsam_ir::VarId> =
+        m2.var_ids().map(|v| (m2.var_name(v), v)).collect();
+    for v1 in m1.var_ids() {
+        let name = m1.var_name(v1);
+        let v2 = by_name[&name];
+        assert_eq!(
+            r1.result.pt_var(v1).len(),
+            r2.result.pt_var(v2).len(),
+            "{name}: {:?} vs {:?}",
+            r1.result.pt_var(v1),
+            r2.result.pt_var(v2)
+        );
+    }
+    assert_eq!(r1.vf_stats.edges, r2.vf_stats.edges);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Mill-generated modules round trip through FIR for arbitrary seeds.
+    #[test]
+    fn milled_modules_roundtrip(seed in any::<u64>(), body in 20usize..150) {
+        use fsam_ir::ModuleBuilder;
+        use fsam_suite::mill::{mixed_body, Mill};
+
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g");
+        let arr = mb.global_array("arr");
+        let mut f = mb.func("main", &[]);
+        let local = f.local("buf");
+        {
+            let mut mill = Mill::new(&mut f, vec![g, arr], vec![local], seed, "m");
+            mixed_body(&mut mill, body, seed ^ 0x1234);
+        }
+        f.ret(None);
+        f.finish();
+        let m1 = mb.build();
+        verify_module(&m1).unwrap();
+
+        let text1 = module_to_string(&m1);
+        let m2 = parse_module(&text1).expect("printer output parses");
+        verify_module(&m2).expect("reparsed module is valid");
+        prop_assert_eq!(m1.stmt_count(), m2.stmt_count());
+        prop_assert_eq!(text1, module_to_string(&m2));
+    }
+}

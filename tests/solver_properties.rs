@@ -1,0 +1,180 @@
+//! Property tests of the sparse solver's semantics (Figure 10).
+
+use fsam::Fsam;
+use fsam_ir::parse::parse_module;
+use proptest::prelude::*;
+
+// Sequential chain of stores to a singleton: the last store wins (strong
+// updates kill everything earlier), for any chain length.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn last_store_wins_on_singletons(n in 1usize..12) {
+        let mut src = String::from("global cell\n");
+        for i in 0..n {
+            src.push_str(&format!("global v{i}\n"));
+        }
+        src.push_str("func main() {\nentry:\n  p = &cell\n");
+        for i in 0..n {
+            src.push_str(&format!("  x{i} = &v{i}\n  store p, x{i}\n"));
+        }
+        src.push_str("  c = load p\n  ret\n}\n");
+        let m = parse_module(&src).unwrap();
+        let fsam = Fsam::analyze(&m);
+        let names = fsam.pt_names(&m, "main", "c");
+        prop_assert_eq!(names, vec![format!("v{}", n - 1)]);
+    }
+
+    /// The same chain through a heap cell (never a singleton) accumulates
+    /// every store (weak updates).
+    #[test]
+    fn heap_accumulates_all_stores(n in 1usize..12) {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("global v{i}\n"));
+        }
+        src.push_str("func main() {\nentry:\n  p = alloc \"cell\"\n");
+        for i in 0..n {
+            src.push_str(&format!("  x{i} = &v{i}\n  store p, x{i}\n"));
+        }
+        src.push_str("  c = load p\n  ret\n}\n");
+        let m = parse_module(&src).unwrap();
+        let fsam = Fsam::analyze(&m);
+        let names = fsam.pt_names(&m, "main", "c");
+        prop_assert_eq!(names.len(), n);
+    }
+
+    /// Analysis is deterministic: two runs produce identical results.
+    #[test]
+    fn analysis_is_deterministic(seed in any::<u64>()) {
+        let p = fsam_suite::Program::Kmeans;
+        let _ = seed; // program generation is already seeded internally
+        let m = p.generate(fsam_suite::Scale::SMOKE);
+        let a = Fsam::analyze(&m);
+        let b = Fsam::analyze(&m);
+        for v in m.var_ids() {
+            prop_assert_eq!(a.result.pt_var(v), b.result.pt_var(v));
+        }
+        prop_assert_eq!(a.vf_stats, b.vf_stats);
+        prop_assert_eq!(&a.result.stats, &b.result.stats);
+    }
+}
+
+/// Strong updates across a branch merge become weak (the def doesn't
+/// dominate: a memory phi merges both arms).
+#[test]
+fn branch_merge_is_weak() {
+    let m = parse_module(
+        r#"
+        global cell
+        global a
+        global b
+        global init
+        func main() {
+        entry:
+          p = &cell
+          i = &init
+          store p, i
+          br ?, l, r
+        l:
+          x = &a
+          store p, x
+          br done
+        r:
+          y = &b
+          store p, y
+          br done
+        done:
+          c = load p
+          ret
+        }
+    "#,
+    )
+    .unwrap();
+    let fsam = Fsam::analyze(&m);
+    let names = fsam.pt_names(&m, "main", "c");
+    // Each arm strongly updates, so `init` is killed on both paths; the
+    // merge unions the two arms.
+    assert_eq!(names, vec!["a", "b"]);
+}
+
+/// A loop-carried store keeps both the initial and the loop value at the
+/// header (memory phi), but a post-loop load past a final store sees only
+/// the final value.
+#[test]
+fn loop_memory_phi() {
+    let m = parse_module(
+        r#"
+        global cell
+        global start
+        global iter
+        global last
+        func main() {
+        entry:
+          p = &cell
+          s = &start
+          store p, s
+          br header
+        header:
+          inloop = load p
+          br ?, body, exit
+        body:
+          it = &iter
+          store p, it
+          br header
+        exit:
+          lv = &last
+          store p, lv
+          c = load p
+          ret
+        }
+    "#,
+    )
+    .unwrap();
+    let fsam = Fsam::analyze(&m);
+    let inloop = fsam.pt_names(&m, "main", "inloop");
+    assert!(inloop.contains(&"start".to_owned()) && inloop.contains(&"iter".to_owned()));
+    assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["last"]);
+}
+
+/// Recursive functions converge and their locals are not strongly updated.
+#[test]
+fn recursion_terminates_with_weak_locals() {
+    let m = parse_module(
+        r#"
+        global a
+        global b
+        func rec(p) {
+        local frame
+        entry:
+          f = &frame
+          br ?, again, base
+        again:
+          x = &a
+          store f, x
+          r1 = call rec(f)
+          br out
+        base:
+          y = &b
+          store f, y
+          br out
+        out:
+          c = load f
+          ret c
+        }
+        func main() {
+        entry:
+          seed = &a
+          r = call rec(seed)
+          ret
+        }
+    "#,
+    )
+    .unwrap();
+    let fsam = Fsam::analyze(&m);
+    // Both stores' values survive: `frame` is a recursive local, no strong
+    // updates (Fig 10 singletons exclude locals in recursion).
+    let names = fsam.pt_names(&m, "rec", "c");
+    assert!(names.contains(&"a".to_owned()) && names.contains(&"b".to_owned()), "{names:?}");
+}
