@@ -121,8 +121,11 @@ impl ConstraintGraph {
             return a;
         }
         // Keep the node with more successors as rep to move less data.
-        let (keep, gone) =
-            if self.succs[a.index()].len() >= self.succs[b.index()].len() { (a, b) } else { (b, a) };
+        let (keep, gone) = if self.succs[a.index()].len() >= self.succs[b.index()].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.rep[gone.0 as usize] = keep.0;
         let moved = std::mem::take(&mut self.succs[gone.index()]);
         self.succs[keep.index()].extend(moved);
@@ -233,7 +236,9 @@ impl ConstraintGraph {
 
     /// All current representatives.
     pub fn reps(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.rep.len() as u32).filter(|&i| self.rep[i as usize] == i).map(NodeId)
+        (0..self.rep.len() as u32)
+            .filter(|&i| self.rep[i as usize] == i)
+            .map(NodeId)
     }
 
     /// Heap bytes held by all points-to sets (for the memory meter).

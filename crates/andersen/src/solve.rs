@@ -133,13 +133,19 @@ impl PreAnalysis {
 
     /// Functions a variable may point to.
     pub fn functions_of(&self, v: VarId) -> Vec<FuncId> {
-        self.pt_var(v).iter().filter_map(|m| self.om.as_function(m)).collect()
+        self.pt_var(v)
+            .iter()
+            .filter_map(|m| self.om.as_function(m))
+            .collect()
     }
 
     /// Fork sites whose thread handle `v` may hold.
     pub fn thread_handles_of(&self, v: VarId) -> Vec<StmtId> {
-        let mut out: Vec<StmtId> =
-            self.pt_var(v).iter().filter_map(|m| self.om.as_thread_handle(m)).collect();
+        let mut out: Vec<StmtId> = self
+            .pt_var(v)
+            .iter()
+            .filter_map(|m| self.om.as_thread_handle(m))
+            .collect();
         out.sort();
         out.dedup();
         out
@@ -154,7 +160,11 @@ impl PreAnalysis {
 
     /// Heap bytes of all final points-to sets (memory metering).
     pub fn pts_bytes(&self) -> usize {
-        self.pt_vars.iter().chain(self.pt_mems.iter()).map(PtsSet::heap_bytes).sum()
+        self.pt_vars
+            .iter()
+            .chain(self.pt_mems.iter())
+            .map(PtsSet::heap_bytes)
+            .sum()
     }
 }
 
@@ -252,18 +262,28 @@ impl<'m> Solver<'m> {
                     self.g.insert_pts(n, m);
                 }
                 StmtKind::Copy { dst, src } => {
-                    self.g.add_edge(self.g.var_node(*src), self.g.var_node(*dst));
+                    self.g
+                        .add_edge(self.g.var_node(*src), self.g.var_node(*dst));
                 }
                 StmtKind::Phi { dst, arms } => {
                     for arm in arms {
-                        self.g.add_edge(self.g.var_node(arm.var), self.g.var_node(*dst));
+                        self.g
+                            .add_edge(self.g.var_node(arm.var), self.g.var_node(*dst));
                     }
                 }
                 StmtKind::Load { dst, ptr } => {
-                    self.loads.push(LoadC { ptr: *ptr, dst: *dst, processed: PtsSet::new() });
+                    self.loads.push(LoadC {
+                        ptr: *ptr,
+                        dst: *dst,
+                        processed: PtsSet::new(),
+                    });
                 }
                 StmtKind::Store { ptr, val } => {
-                    self.stores.push(StoreC { ptr: *ptr, src: *val, processed: PtsSet::new() });
+                    self.stores.push(StoreC {
+                        ptr: *ptr,
+                        src: *val,
+                        processed: PtsSet::new(),
+                    });
                 }
                 StmtKind::Gep { dst, base, field } => {
                     self.geps.push(GepC {
@@ -289,7 +309,12 @@ impl<'m> Solver<'m> {
                         });
                     }
                 },
-                StmtKind::Fork { dst, callee, arg, handle_obj } => {
+                StmtKind::Fork {
+                    dst,
+                    callee,
+                    arg,
+                    handle_obj,
+                } => {
                     let m = self.om.base(*handle_obj);
                     let n = self.g.var_node(*dst);
                     self.g.insert_pts(n, m);
@@ -634,7 +659,8 @@ impl<'m> Solver<'m> {
         {
             // Demote locals of recursive functions from singleton status.
             let cg = &self.cg;
-            self.om.demote_recursive_locals(self.module, |f| cg.in_cycle(f));
+            self.om
+                .demote_recursive_locals(self.module, |f| cg.in_cycle(f));
         }
 
         // Extract final points-to sets, canonicalizing members whose base
@@ -669,7 +695,13 @@ impl<'m> Solver<'m> {
         self.stats.pts_entries = self.g.pts_entries();
         self.stats.solve_micros = start.elapsed().as_micros();
 
-        PreAnalysis { pt_vars, pt_mems, om: self.om, cg: self.cg, stats: self.stats }
+        PreAnalysis {
+            pt_vars,
+            pt_mems,
+            om: self.om,
+            cg: self.cg,
+            stats: self.stats,
+        }
     }
 }
 
@@ -683,8 +715,11 @@ mod tests {
             .var_ids()
             .find(|&v| m.var(v).name == var && m.func(m.var(v).func).name == func)
             .unwrap_or_else(|| panic!("no var {func}::{var}"));
-        let mut names: Vec<String> =
-            pa.pt_var(v).iter().map(|o| pa.objects().display_name(m, o)).collect();
+        let mut names: Vec<String> = pa
+            .pt_var(v)
+            .iter()
+            .map(|o| pa.objects().display_name(m, o))
+            .collect();
         names.sort();
         names
     }
@@ -818,10 +853,7 @@ mod tests {
         // worker's parameter receives main's p.
         assert_eq!(pt_names(&pa, &m, "worker", "w"), vec!["g"]);
         // The handle points to exactly one fork site.
-        let t = m
-            .var_ids()
-            .find(|&v| m.var(v).name == "t")
-            .unwrap();
+        let t = m.var_ids().find(|&v| m.var(v).name == "t").unwrap();
         assert_eq!(pa.thread_handles_of(t).len(), 1);
         // Fork edge in the call graph.
         let main = m.entry().unwrap();

@@ -1,57 +1,41 @@
-//! Criterion micro-benchmarks: one per pipeline phase (the stages of the
-//! paper's Figure 2), on a mid-size benchmark program.
+//! Micro-benchmarks: one per pipeline phase (the stages of the paper's
+//! Figure 2), on a mid-size benchmark program. Plain timing loops — see
+//! `fsam_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fsam_andersen::PreAnalysis;
-use fsam_ir::context::ContextTable;
+use fsam_bench::timing::bench;
 use fsam_ir::icfg::Icfg;
 use fsam_mssa::Svfg;
 use fsam_suite::{Program, Scale};
+use fsam_threads::flow::precompute_contexts;
 use fsam_threads::{Interleaving, LockAnalysis, ThreadModel};
 
-fn phases(c: &mut Criterion) {
+fn main() {
     let module = Program::Radiosity.generate(Scale(0.15));
-    let mut group = c.benchmark_group("phases");
-    group.sample_size(10);
+    const SAMPLES: usize = 10;
 
-    group.bench_function("pre_analysis", |b| {
-        b.iter(|| PreAnalysis::run(&module));
-    });
+    bench("phases/pre_analysis", SAMPLES, || PreAnalysis::run(&module));
 
     let pre = PreAnalysis::run(&module);
-    group.bench_function("icfg_and_thread_model", |b| {
-        b.iter(|| {
-            let icfg = Icfg::build(&module, pre.call_graph());
-            ThreadModel::build(&module, &pre, &icfg)
-        });
+    bench("phases/icfg_and_thread_model", SAMPLES, || {
+        let icfg = Icfg::build(&module, pre.call_graph());
+        ThreadModel::build(&module, &pre, &icfg)
     });
 
     let icfg = Icfg::build(&module, pre.call_graph());
     let tm = ThreadModel::build(&module, &pre, &icfg);
-    group.bench_function("svfg", |b| {
-        b.iter(|| Svfg::build(&module, &pre, &tm));
+    bench("phases/svfg", SAMPLES, || Svfg::build(&module, &pre, &tm));
+
+    let ctxs = precompute_contexts(&icfg, pre.call_graph(), &tm);
+    bench("phases/interleaving", SAMPLES, || {
+        Interleaving::compute(&module, &icfg, &pre, &tm, &ctxs)
     });
 
-    group.bench_function("interleaving", |b| {
-        b.iter(|| {
-            let mut ctxs = ContextTable::new();
-            Interleaving::compute(&module, &icfg, &pre, &tm, &mut ctxs)
-        });
+    bench("phases/lock_analysis", SAMPLES, || {
+        LockAnalysis::compute(&module, &icfg, &pre, &tm, &ctxs)
     });
 
-    group.bench_function("lock_analysis", |b| {
-        b.iter(|| {
-            let mut ctxs = ContextTable::new();
-            LockAnalysis::compute(&module, &icfg, &pre, &tm, &mut ctxs)
-        });
+    bench("phases/full_pipeline", SAMPLES, || {
+        fsam::Fsam::analyze(&module)
     });
-
-    group.bench_function("full_pipeline", |b| {
-        b.iter(|| fsam::Fsam::analyze(&module));
-    });
-
-    group.finish();
 }
-
-criterion_group!(benches, phases);
-criterion_main!(benches);

@@ -1,15 +1,15 @@
-//! Criterion end-to-end benchmarks: FSAM vs. the NonSparse baseline per
-//! benchmark program (the Table 2 comparison at bench-friendly scale).
+//! End-to-end benchmarks: FSAM vs. the NonSparse baseline per benchmark
+//! program (the Table 2 comparison at bench-friendly scale). Plain timing
+//! loops — see `fsam_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fsam::{nonsparse, Fsam};
+use fsam::{Fsam, PhaseConfig, Pipeline};
+use fsam_bench::timing::bench;
 use fsam_suite::{Program, Scale};
 
 const BENCH_SCALE: Scale = Scale(0.08);
 
-fn fsam_vs_nonsparse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("suite");
-    group.sample_size(10);
+fn main() {
+    const SAMPLES: usize = 10;
     for p in [
         Program::WordCount,
         Program::Radiosity,
@@ -17,16 +17,15 @@ fn fsam_vs_nonsparse(c: &mut Criterion) {
         Program::Bodytrack,
     ] {
         let module = p.generate(BENCH_SCALE);
-        group.bench_with_input(BenchmarkId::new("fsam", p.name()), &module, |b, m| {
-            b.iter(|| Fsam::analyze(m));
+        bench(&format!("suite/fsam/{}", p.name()), SAMPLES, || {
+            Fsam::analyze(&module)
         });
-        let fsam = Fsam::analyze(&module);
-        group.bench_with_input(BenchmarkId::new("nonsparse", p.name()), &module, |b, m| {
-            b.iter(|| nonsparse::run(m, &fsam.pre, &fsam.icfg, &fsam.tm, None));
+        // The NonSparse baseline reuses the pipeline's cached pre-analysis
+        // and ICFG stages, so the loop times only the dataflow iteration.
+        let pipeline = Pipeline::for_module(&module);
+        pipeline.run(PhaseConfig::full());
+        bench(&format!("suite/nonsparse/{}", p.name()), SAMPLES, || {
+            pipeline.run_nonsparse(None)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fsam_vs_nonsparse);
-criterion_main!(benches);

@@ -2,24 +2,28 @@
 //! three thread-interference phases is disabled.
 //!
 //! ```text
-//! cargo run --release -p fsam-bench --bin figure12 [-- --scale 0.3]
+//! cargo run --release -p fsam-bench --bin figure12 [-- --scale 0.3] [--program word_count]
 //! ```
 //!
 //! For every program, FSAM runs in four configurations — full,
 //! *No-Interleaving* (PCG-style procedure-level MHP instead of §3.3.1),
 //! *No-Value-Flow* (`o ∈ AS(*p,*q)` disregarded, §3.3.2) and *No-Lock*
 //! (no Definition 6 filtering, §3.3.3) — and the slowdown relative to the
-//! full configuration is printed. The default scale is reduced because the
-//! No-Value-Flow configuration is deliberately expensive (that cost is the
-//! point of the ablation; the paper's worst case is 19.7x).
+//! full configuration is printed. All four ride one staged [`Pipeline`], so
+//! the pre-analysis, ICFG/thread model, context table and thread-oblivious
+//! SVFG are built once per program; the reported per-configuration time is
+//! `PhaseTimes::total()`, which charges every run the same one-build cost
+//! for the shared stages plus its own per-run phases. The default scale is
+//! reduced because the No-Value-Flow configuration is deliberately
+//! expensive (that cost is the point of the ablation; the paper's worst
+//! case is 19.7x).
 
-use std::time::Instant;
-
-use fsam::{Fsam, PhaseConfig};
+use fsam::{Fsam, Pipeline};
 use fsam_suite::{Program, Scale};
 
 fn main() {
     let scale = Scale(arg_value("--scale").unwrap_or(0.3));
+    let only = arg_str("--program");
 
     println!(
         "Figure 12: slowdown of FSAM with each interference phase disabled (scale {:.2})",
@@ -31,36 +35,46 @@ fn main() {
     );
 
     for p in Program::all() {
+        if only.as_deref().is_some_and(|n| n != p.name()) {
+            continue;
+        }
         let module = p.generate(scale);
-        let run = |cfg: PhaseConfig| {
-            let t0 = Instant::now();
-            let result = Fsam::analyze_with(&module, cfg);
-            (t0.elapsed().as_secs_f64(), result.vf_stats.edges)
-        };
-        let (full, full_e) = run(PhaseConfig::full());
-        let (no_inter, ni_e) = run(PhaseConfig::no_interleaving());
-        let (no_vf, nv_e) = run(PhaseConfig::no_value_flow());
-        let (no_lock, nl_e) = run(PhaseConfig::no_lock());
+        let pipeline = Pipeline::for_module(&module);
+        // Shared stages, per-configuration solves on separate threads;
+        // run_all returns [full, no-interleaving, no-value-flow, no-lock].
+        let runs = pipeline.run_all();
+        let counts = pipeline.build_counts();
+        assert_eq!(
+            (counts.pre_analysis, counts.icfg, counts.svfg),
+            (1, 1, 1),
+            "shared stages must be built exactly once"
+        );
+        let secs = |r: &Fsam| r.times.total().as_secs_f64();
+        let (full, full_e) = (secs(&runs[0]), runs[0].vf_stats.edges);
         let ex = |e: usize| e as f64 / (full_e.max(1)) as f64;
         println!(
             "{:<14} {:>9.3} {:>8} | {:>8.1}x {:>8.1}x {:>8.1}x | {:>8.1}x {:>8.1}x {:>8.1}x",
             p.name(),
             full,
             full_e,
-            no_inter / full,
-            no_vf / full,
-            no_lock / full,
-            ex(ni_e),
-            ex(nv_e),
-            ex(nl_e)
+            secs(&runs[1]) / full,
+            secs(&runs[2]) / full,
+            secs(&runs[3]) / full,
+            ex(runs[1].vf_stats.edges),
+            ex(runs[2].vf_stats.edges),
+            ex(runs[3].vf_stats.edges)
         );
     }
 }
 
 fn arg_value(flag: &str) -> Option<f64> {
+    arg_str(flag).and_then(|v| v.parse().ok())
+}
+
+fn arg_str(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+        .cloned()
 }

@@ -12,7 +12,7 @@
 
 use std::time::{Duration, Instant};
 
-use fsam::{nonsparse, Fsam, NonSparseOutcome};
+use fsam::{NonSparseOutcome, PhaseConfig, Pipeline};
 use fsam_suite::{Program, Scale};
 
 fn main() {
@@ -32,13 +32,16 @@ fn main() {
     let mut mem_ratios = Vec::new();
     for p in Program::all() {
         let module = p.generate(scale);
+        // FSAM and the NonSparse baseline share one staged pipeline (the
+        // baseline reuses the already-built pre-analysis and ICFG stages).
+        let pipeline = Pipeline::for_module(&module);
         let t0 = Instant::now();
-        let fsam = Fsam::analyze(&module);
+        let fsam = pipeline.run(PhaseConfig::full());
         let fsam_time = t0.elapsed();
         let fsam_mb = fsam.memory().total_mib();
 
         let t0 = Instant::now();
-        let outcome = nonsparse::run(&module, &fsam.pre, &fsam.icfg, &fsam.tm, Some(budget));
+        let outcome = pipeline.run_nonsparse(Some(budget));
         let ns_time = t0.elapsed();
 
         match outcome {

@@ -8,9 +8,12 @@
 //!   time and memory, with out-of-time rows (paper Table 2);
 //! * `cargo run --release -p fsam-bench --bin figure12` — per-phase
 //!   ablation slowdowns (paper Figure 12);
-//! * `cargo bench -p fsam-bench` — Criterion micro-benchmarks per pipeline
-//!   phase and end-to-end comparisons.
+//! * `cargo bench -p fsam-bench` — self-contained micro-benchmarks per
+//!   pipeline phase and end-to-end comparisons (plain timing loops; the
+//!   harness must build offline, so no external bench framework).
 //!
 //! EXPERIMENTS.md at the repository root records paper-vs-measured numbers.
 
 #![forbid(unsafe_code)]
+
+pub mod timing;

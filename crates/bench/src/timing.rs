@@ -1,0 +1,29 @@
+//! A minimal timing harness for the `cargo bench` targets.
+//!
+//! The repository builds without network access, so the external Criterion
+//! framework is replaced by this self-contained median-of-N loop. It reports
+//! min / median / max wall-clock per iteration, which is enough to compare
+//! phases and spot regressions; statistical rigor beyond that belongs in a
+//! real harness once the build environment has one.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` for `samples` timed iterations (after one untimed warm-up) and
+/// prints a `name  min / median / max` line.
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
+    assert!(samples > 0);
+    std::hint::black_box(f()); // warm-up
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort();
+    println!(
+        "{name:<40} min {:>10.3?}   median {:>10.3?}   max {:>10.3?}",
+        times[0],
+        times[times.len() / 2],
+        times[times.len() - 1],
+    );
+}

@@ -56,18 +56,20 @@ impl Deadlock {
 /// Requires the full configuration (the lock analysis must have run);
 /// returns an empty list otherwise.
 pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
-    let Some(lock) = &fsam.lock else { return Vec::new() };
-    let oracle: &dyn MhpOracle = match (&fsam.interleaving, &fsam.pcg) {
-        (Some(i), _) => i,
-        (None, Some(p)) => p,
-        (None, None) => return Vec::new(),
+    let Some(lock) = &fsam.lock else {
+        return Vec::new();
     };
+    let oracle: &dyn MhpOracle = &fsam.mhp;
 
     // Lock-order edges: (held, acquired) -> acquisition statements.
     let mut edges: HashMap<(MemId, MemId), Vec<StmtId>> = HashMap::new();
     for (sid, stmt) in module.stmts() {
-        let StmtKind::Lock { lock: lvar } = stmt.kind else { continue };
-        let Some(acquired) = fsam.pre.must_lock_obj(lvar) else { continue };
+        let StmtKind::Lock { lock: lvar } = stmt.kind else {
+            continue;
+        };
+        let Some(acquired) = fsam.pre.must_lock_obj(lvar) else {
+            continue;
+        };
         let node = fsam.icfg.stmt_node(sid);
         debug_assert!(matches!(fsam.icfg.kind(node), NodeKind::Stmt(_)));
         for (t, c) in oracle.instances(sid) {
@@ -89,13 +91,18 @@ pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
         if a >= b {
             continue; // each unordered lock pair once
         }
-        let Some(sites_ba) = edges.get(&(b, a)) else { continue };
+        let Some(sites_ba) = edges.get(&(b, a)) else {
+            continue;
+        };
         for &s_ab in sites_ab {
             for &s_ba in sites_ba {
-                if oracle.mhp_stmt(s_ab, s_ba)
-                    && seen.insert((a, b, s_ab, s_ba))
-                {
-                    out.push(Deadlock { lock_a: a, lock_b: b, site_ab: s_ab, site_ba: s_ba });
+                if oracle.mhp_stmt(s_ab, s_ba) && seen.insert((a, b, s_ab, s_ba)) {
+                    out.push(Deadlock {
+                        lock_a: a,
+                        lock_b: b,
+                        site_ab: s_ab,
+                        site_ba: s_ba,
+                    });
                 }
             }
         }
@@ -159,7 +166,10 @@ mod tests {
         );
         assert_eq!(dl.len(), 1, "{dl:?}");
         let rendered = dl[0].render(&m, &fsam);
-        assert!(rendered.contains("la") && rendered.contains("lb"), "{rendered}");
+        assert!(
+            rendered.contains("la") && rendered.contains("lb"),
+            "{rendered}"
+        );
     }
 
     #[test]

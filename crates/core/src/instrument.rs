@@ -46,11 +46,7 @@ impl InstrumentationPlan {
 
 /// Computes the plan from the pipeline's results.
 pub fn plan(module: &Module, fsam: &Fsam) -> InstrumentationPlan {
-    let oracle: Option<&dyn MhpOracle> = match (&fsam.interleaving, &fsam.pcg) {
-        (Some(i), _) => Some(i),
-        (None, Some(p)) => Some(p),
-        (None, None) => None,
-    };
+    let oracle: &dyn MhpOracle = &fsam.mhp;
     let shared = SharedObjects::compute(module, &fsam.pre);
 
     // Shared-object access sets (flow-sensitive pointer results keep the
@@ -84,22 +80,20 @@ pub fn plan(module: &Module, fsam: &Fsam) -> InstrumentationPlan {
     // An access is racy-capable if some MHP store/access pair on a common
     // shared object is not consistently lock-protected.
     let mut needs: HashSet<StmtId> = HashSet::new();
-    if let Some(oracle) = oracle {
-        for (&o, stores) in &stores_of {
-            let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
-            for &s in stores {
-                for &a in accesses {
-                    if needs.contains(&s) && needs.contains(&a) {
-                        continue;
-                    }
-                    if !oracle.mhp_stmt(s, a) {
-                        continue;
-                    }
-                    let protected = instances_protected(fsam, oracle, s, a);
-                    if !protected {
-                        needs.insert(s);
-                        needs.insert(a);
-                    }
+    for (&o, stores) in &stores_of {
+        let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
+        for &s in stores {
+            for &a in accesses {
+                if needs.contains(&s) && needs.contains(&a) {
+                    continue;
+                }
+                if !oracle.mhp_stmt(s, a) {
+                    continue;
+                }
+                let protected = instances_protected(fsam, oracle, s, a);
+                if !protected {
+                    needs.insert(s);
+                    needs.insert(a);
                 }
             }
         }

@@ -59,8 +59,9 @@ pub mod race;
 pub mod solver;
 
 pub use deadlock::{detect as detect_deadlocks, Deadlock};
+pub use fsam_threads::MhpBackend;
 pub use instrument::{plan as plan_instrumentation, InstrumentationPlan};
 pub use nonsparse::{NonSparseOutcome, NonSparseResult, NonSparseStats};
-pub use pipeline::{Fsam, PhaseConfig, PhaseTimes};
+pub use pipeline::{Fsam, PhaseConfig, PhaseTimes, Pipeline, StageBuildCounts};
 pub use race::{detect as detect_races, Race};
 pub use solver::{SolverStats, SparseResult};

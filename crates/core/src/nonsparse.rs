@@ -141,8 +141,7 @@ impl<'a> Analysis<'a> {
                     continue;
                 }
                 let ordered = tm.are_siblings(a.id, b.id)
-                    && (tm.happens_before(icfg, a.id, b.id)
-                        || tm.happens_before(icfg, b.id, a.id));
+                    && (tm.happens_before(icfg, a.id, b.id) || tm.happens_before(icfg, b.id, a.id));
                 if !ordered {
                     thread_pairs.push((a.id, b.id));
                 }
@@ -243,11 +242,7 @@ impl<'a> Analysis<'a> {
 
     /// Reads `o` at node `n`: the per-point map plus the interference input.
     fn read_mem(&self, n: NodeId, o: MemId) -> PtsSet {
-        let mut set = self
-            .in_maps[n.index()]
-            .get(&o)
-            .cloned()
-            .unwrap_or_default();
+        let mut set = self.in_maps[n.index()].get(&o).cloned().unwrap_or_default();
         if let Some(i) = self.interf[self.icfg.func_of(n).index()].get(&o) {
             set.union_in_place(i);
         }
@@ -370,7 +365,12 @@ impl<'a> Analysis<'a> {
                         }
                     }
                 }
-                StmtKind::Fork { dst, arg, handle_obj, .. } => {
+                StmtKind::Fork {
+                    dst,
+                    arg,
+                    handle_obj,
+                    ..
+                } => {
                     let m = self.pre.objects().base(*handle_obj);
                     self.insert_var(*dst, m);
                     let targets: Vec<FuncId> = self.pre.call_graph().targets(sid).collect();
@@ -450,7 +450,9 @@ mod tests {
         let m = parse_module(src).unwrap();
         let fsam = Fsam::analyze(&m);
         let outcome = run(&m, &fsam.pre, &fsam.icfg, &fsam.tm, None);
-        let NonSparseOutcome::Done(res) = outcome else { panic!("baseline did not finish") };
+        let NonSparseOutcome::Done(res) = outcome else {
+            panic!("baseline did not finish")
+        };
         (m, fsam, res)
     }
 
@@ -552,7 +554,10 @@ mod tests {
         // NonSparse materializes maps at many program points; FSAM keeps
         // points-to only at definitions.
         assert!(res.stats.pts_entries > 0);
-        assert!(res.pts_bytes() > fsam.result.pts_bytes() / 2, "baseline is not cheaper");
+        assert!(
+            res.pts_bytes() > fsam.result.pts_bytes() / 2,
+            "baseline is not cheaper"
+        );
     }
 
     #[test]
@@ -588,6 +593,10 @@ mod tests {
             .iter()
             .map(|o| fsam.pre.objects().display_name(&m, o))
             .collect();
-        assert_eq!(names, vec!["y"], "sequential program: baseline strong-updates too");
+        assert_eq!(
+            names,
+            vec!["y"],
+            "sequential program: baseline strong-updates too"
+        );
     }
 }

@@ -1,10 +1,25 @@
-//! The FSAM pipeline — paper Figure 2.
+//! The FSAM pipeline — paper Figure 2 — as a staged, cacheable [`Pipeline`].
 //!
 //! `pre-analysis → thread model → thread-oblivious SVFG → interleaving →
 //! value-flow → lock → sparse flow-sensitive resolution`, with per-phase
 //! wall-clock times, memory accounting, and the phase toggles used by the
 //! Figure 12 ablation (*No-Interleaving*, *No-Value-Flow*, *No-Lock*).
+//!
+//! The pipeline materializes each phase as an explicit, typed stage cached
+//! behind a `OnceLock`: drivers that run several configurations on one
+//! module (the Figure 12 ablation sweep, the NonSparse comparison of
+//! Table 2) build Andersen, the ICFG/thread model, the context table and
+//! the thread-oblivious SVFG exactly once and share them across runs.
+//! Independent stages are scheduled in parallel — the interleaving and lock
+//! analyses, which only read the frozen [`ContextTable`], run concurrently
+//! under `std::thread::scope`, and [`Pipeline::run_many`] solves whole
+//! configurations on separate threads. [`Fsam::analyze`] and
+//! [`Fsam::analyze_with`] remain the one-shot entry points, now thin
+//! wrappers over a single-use pipeline.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
 use std::time::{Duration, Instant};
 
 use fsam_andersen::PreAnalysis;
@@ -13,12 +28,14 @@ use fsam_ir::icfg::Icfg;
 use fsam_ir::{Module, VarId};
 use fsam_mssa::Svfg;
 use fsam_pts::{MemoryMeter, PtsSet};
+use fsam_threads::flow::precompute_contexts;
 use fsam_threads::interleave::Interleaving;
 use fsam_threads::lock::LockAnalysis;
-use fsam_threads::mhp::{MhpOracle, ProcMhp};
+use fsam_threads::mhp::MhpBackend;
 use fsam_threads::valueflow::{self, ValueFlowStats};
-use fsam_threads::ThreadModel;
+use fsam_threads::{ProcMhp, ThreadModel};
 
+use crate::nonsparse::{self, NonSparseOutcome};
 use crate::solver::{self, SparseResult};
 
 /// Which thread-interference phases run (the Figure 12 ablation knobs).
@@ -37,7 +54,11 @@ pub struct PhaseConfig {
 
 impl Default for PhaseConfig {
     fn default() -> Self {
-        PhaseConfig { interleaving: true, value_flow: true, lock: true }
+        PhaseConfig {
+            interleaving: true,
+            value_flow: true,
+            lock: true,
+        }
     }
 }
 
@@ -49,17 +70,26 @@ impl PhaseConfig {
 
     /// The *No-Interleaving* ablation.
     pub fn no_interleaving() -> Self {
-        PhaseConfig { interleaving: false, ..Self::default() }
+        PhaseConfig {
+            interleaving: false,
+            ..Self::default()
+        }
     }
 
     /// The *No-Value-Flow* ablation.
     pub fn no_value_flow() -> Self {
-        PhaseConfig { value_flow: false, ..Self::default() }
+        PhaseConfig {
+            value_flow: false,
+            ..Self::default()
+        }
     }
 
     /// The *No-Lock* ablation.
     pub fn no_lock() -> Self {
-        PhaseConfig { lock: false, ..Self::default() }
+        PhaseConfig {
+            lock: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -95,25 +125,373 @@ impl PhaseTimes {
     }
 }
 
+/// How many times each shared stage was actually built (cache misses), and
+/// whether the parallel interference path ran.
+///
+/// A driver that runs all four Figure 12 configurations through one
+/// [`Pipeline`] sees every counter at 1: the ablations differ only in the
+/// per-run phases (value-flow, edge insertion, sparse solve).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageBuildCounts {
+    /// Andersen pre-analysis builds.
+    pub pre_analysis: usize,
+    /// ICFG + thread model builds.
+    pub icfg: usize,
+    /// Context-table precompute passes.
+    pub contexts: usize,
+    /// Thread-oblivious SVFG builds.
+    pub svfg: usize,
+    /// Interleaving analysis builds.
+    pub interleaving: usize,
+    /// PCG fallback builds.
+    pub pcg: usize,
+    /// Lock analysis builds.
+    pub lock: usize,
+    /// Whether the interleaving and lock analyses were scheduled
+    /// concurrently in one `thread::scope` (the full configuration's
+    /// parallel path).
+    pub parallel_interference: bool,
+}
+
+/// A cached stage: the artifact plus the wall-clock time of its one build.
+/// Cache hits report the original duration, so [`PhaseTimes`] stays
+/// comparable between a fresh run and a stage-sharing run.
+type Stage<T> = (Arc<T>, Duration);
+
+#[derive(Default)]
+struct StageCounters {
+    pre: AtomicUsize,
+    icfg: AtomicUsize,
+    ctxs: AtomicUsize,
+    svfg: AtomicUsize,
+    interleaving: AtomicUsize,
+    pcg: AtomicUsize,
+    lock: AtomicUsize,
+    parallel_interference: AtomicBool,
+}
+
+/// The staged FSAM driver: each phase of Figure 2 is an explicitly-typed
+/// artifact, built on first demand and cached for every later run.
+///
+/// ```
+/// use fsam::{PhaseConfig, Pipeline};
+/// use fsam_ir::parse::parse_module;
+///
+/// let m = parse_module("func main() {\nentry:\n  ret\n}").unwrap();
+/// let pipeline = Pipeline::for_module(&m);
+/// // All four Figure 12 configurations share one Andersen run, one ICFG,
+/// // one context table and one thread-oblivious SVFG.
+/// let full = pipeline.run(PhaseConfig::full());
+/// let ablated = pipeline.run(PhaseConfig::no_lock());
+/// assert_eq!(pipeline.build_counts().pre_analysis, 1);
+/// # let _ = (full, ablated);
+/// ```
+pub struct Pipeline<'m> {
+    module: &'m Module,
+    pre: OnceLock<Stage<PreAnalysis>>,
+    cfg: OnceLock<(Arc<Icfg>, Arc<ThreadModel>, Duration)>,
+    ctxs: OnceLock<Stage<ContextTable>>,
+    svfg: OnceLock<Stage<Svfg>>,
+    interleaving: OnceLock<Stage<Interleaving>>,
+    pcg: OnceLock<Stage<ProcMhp>>,
+    lock: OnceLock<Stage<LockAnalysis>>,
+    counts: StageCounters,
+}
+
+impl<'m> Pipeline<'m> {
+    /// Creates an empty pipeline for `module`; nothing is computed yet.
+    pub fn for_module(module: &'m Module) -> Pipeline<'m> {
+        Pipeline {
+            module,
+            pre: OnceLock::new(),
+            cfg: OnceLock::new(),
+            ctxs: OnceLock::new(),
+            svfg: OnceLock::new(),
+            interleaving: OnceLock::new(),
+            pcg: OnceLock::new(),
+            lock: OnceLock::new(),
+            counts: StageCounters::default(),
+        }
+    }
+
+    /// The module this pipeline analyzes.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// How many times each shared stage has been built so far.
+    pub fn build_counts(&self) -> StageBuildCounts {
+        StageBuildCounts {
+            pre_analysis: self.counts.pre.load(Ordering::Relaxed),
+            icfg: self.counts.icfg.load(Ordering::Relaxed),
+            contexts: self.counts.ctxs.load(Ordering::Relaxed),
+            svfg: self.counts.svfg.load(Ordering::Relaxed),
+            interleaving: self.counts.interleaving.load(Ordering::Relaxed),
+            pcg: self.counts.pcg.load(Ordering::Relaxed),
+            lock: self.counts.lock.load(Ordering::Relaxed),
+            parallel_interference: self.counts.parallel_interference.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- shared stages (built once, cached) -------------------------------
+
+    fn pre_stage(&self) -> &Stage<PreAnalysis> {
+        self.pre.get_or_init(|| {
+            self.counts.pre.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let pre = PreAnalysis::run(self.module);
+            (Arc::new(pre), t0.elapsed())
+        })
+    }
+
+    fn cfg_stage(&self) -> &(Arc<Icfg>, Arc<ThreadModel>, Duration) {
+        self.cfg.get_or_init(|| {
+            let (pre, _) = self.pre_stage();
+            self.counts.icfg.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let icfg = Icfg::build(self.module, pre.call_graph());
+            let tm = ThreadModel::build(self.module, pre, &icfg);
+            (Arc::new(icfg), Arc::new(tm), t0.elapsed())
+        })
+    }
+
+    fn ctxs_stage(&self) -> &Stage<ContextTable> {
+        self.ctxs.get_or_init(|| {
+            let (pre, _) = self.pre_stage();
+            let (icfg, tm, _) = self.cfg_stage();
+            self.counts.ctxs.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let ctxs = precompute_contexts(icfg, pre.call_graph(), tm);
+            (Arc::new(ctxs), t0.elapsed())
+        })
+    }
+
+    fn svfg_stage(&self) -> &Stage<Svfg> {
+        self.svfg.get_or_init(|| {
+            let (pre, _) = self.pre_stage();
+            let (_, tm, _) = self.cfg_stage();
+            self.counts.svfg.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let svfg = Svfg::build(self.module, pre, tm);
+            (Arc::new(svfg), t0.elapsed())
+        })
+    }
+
+    /// The interleaving analysis (§3.3.1), built on first demand.
+    fn interleaving_stage(&self) -> &Stage<Interleaving> {
+        self.interleaving.get_or_init(|| {
+            let (pre, _) = self.pre_stage();
+            let (icfg, tm, _) = self.cfg_stage();
+            let (ctxs, _) = self.ctxs_stage();
+            self.counts.interleaving.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let inter = Interleaving::compute(self.module, icfg, pre, tm, ctxs);
+            (Arc::new(inter), t0.elapsed())
+        })
+    }
+
+    fn pcg_stage(&self) -> &Stage<ProcMhp> {
+        self.pcg.get_or_init(|| {
+            let (icfg, tm, _) = self.cfg_stage();
+            self.counts.pcg.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let pcg = ProcMhp::build(self.module, icfg, tm);
+            (Arc::new(pcg), t0.elapsed())
+        })
+    }
+
+    fn lock_stage(&self) -> &Stage<LockAnalysis> {
+        self.lock.get_or_init(|| {
+            let (pre, _) = self.pre_stage();
+            let (icfg, tm, _) = self.cfg_stage();
+            let (ctxs, _) = self.ctxs_stage();
+            self.counts.lock.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let lock = LockAnalysis::compute(self.module, icfg, pre, tm, ctxs);
+            (Arc::new(lock), t0.elapsed())
+        })
+    }
+
+    /// Builds the interleaving and lock analyses concurrently. Both are
+    /// forward data-flow passes that only *read* the shared pre-analysis,
+    /// ICFG, thread model and frozen context table, so after materializing
+    /// those inputs the two stages are independent.
+    fn interference_parallel(&self) {
+        let both_pending = self.interleaving.get().is_none() && self.lock.get().is_none();
+        if !both_pending {
+            // At least one is already cached; build the other inline.
+            let _ = self.interleaving_stage();
+            let _ = self.lock_stage();
+            return;
+        }
+        let _ = self.pre_stage();
+        let _ = self.cfg_stage();
+        let _ = self.ctxs_stage();
+        self.counts
+            .parallel_interference
+            .store(true, Ordering::Relaxed);
+        thread::scope(|s| {
+            s.spawn(|| {
+                let _ = self.interleaving_stage();
+            });
+            let _ = self.lock_stage();
+        });
+    }
+
+    // ---- drivers ----------------------------------------------------------
+
+    /// Runs one configuration, reusing every already-built shared stage.
+    ///
+    /// In the full configuration the interleaving and lock analyses are
+    /// scheduled concurrently; the value-flow phase, thread-aware edge
+    /// insertion (on a clone of the cached thread-oblivious SVFG) and the
+    /// sparse solve are per-configuration work.
+    pub fn run(&self, config: PhaseConfig) -> Fsam {
+        let mut times = PhaseTimes::default();
+
+        let (pre, d) = self.pre_stage();
+        times.pre_analysis = *d;
+        let (icfg, tm, d) = self.cfg_stage();
+        times.thread_model = *d;
+
+        if config.interleaving && config.lock {
+            self.interference_parallel();
+        }
+        // The interference analyses share the frozen context table; its
+        // precompute pass is accounted to the thread-model phase (it depends
+        // only on the ICFG and call graph).
+        let (ctxs, d) = self.ctxs_stage();
+        times.thread_model += *d;
+
+        let mhp = if config.interleaving {
+            let (inter, d) = self.interleaving_stage();
+            times.interleaving = *d;
+            MhpBackend::Interleaving(Arc::clone(inter))
+        } else {
+            let (pcg, d) = self.pcg_stage();
+            times.interleaving = *d;
+            MhpBackend::Pcg(Arc::clone(pcg))
+        };
+
+        let lock = config.lock.then(|| {
+            let (lock, d) = self.lock_stage();
+            times.lock = *d;
+            Arc::clone(lock)
+        });
+
+        let (svfg_base, d) = self.svfg_stage();
+        times.svfg = *d;
+
+        let t0 = Instant::now();
+        let vf = valueflow::compute(
+            self.module,
+            icfg,
+            pre,
+            &mhp,
+            lock.as_deref(),
+            !config.value_flow,
+        );
+        let mut svfg = Svfg::clone(svfg_base);
+        svfg.insert_thread_edges_grouped(&vf.edges);
+        times.value_flow = t0.elapsed();
+
+        let t0 = Instant::now();
+        let result = solver::solve(self.module, pre, &svfg);
+        times.sparse_solve = t0.elapsed();
+
+        Fsam {
+            pre: Arc::clone(pre),
+            icfg: Arc::clone(icfg),
+            tm: Arc::clone(tm),
+            svfg,
+            mhp,
+            lock,
+            ctxs: Arc::clone(ctxs),
+            vf_stats: vf.stats,
+            result,
+            times,
+            config,
+        }
+    }
+
+    /// Runs several configurations, solving them on separate threads once
+    /// the shared stages are materialized. Results are returned in the order
+    /// of `configs`.
+    pub fn run_many(&self, configs: &[PhaseConfig]) -> Vec<Fsam> {
+        // Materialize every shared stage the batch needs up front (with the
+        // interleaving/lock pair in parallel) so the per-configuration
+        // threads below only do per-run work on cached inputs.
+        let need_inter = configs.iter().any(|c| c.interleaving);
+        let need_lock = configs.iter().any(|c| c.lock);
+        let need_pcg = configs.iter().any(|c| !c.interleaving);
+        let _ = self.svfg_stage();
+        let _ = self.ctxs_stage();
+        if need_inter && need_lock {
+            self.interference_parallel();
+        } else if need_inter {
+            let _ = self.interleaving_stage();
+        } else if need_lock {
+            let _ = self.lock_stage();
+        }
+        if need_pcg {
+            let _ = self.pcg_stage();
+        }
+        thread::scope(|s| {
+            let handles: Vec<_> = configs
+                .iter()
+                .map(|&c| s.spawn(move || self.run(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("configuration run panicked"))
+                .collect()
+        })
+    }
+
+    /// Runs the four Figure 12 configurations (full plus the three
+    /// ablations), sharing stages and solving in parallel.
+    pub fn run_all(&self) -> Vec<Fsam> {
+        self.run_many(&[
+            PhaseConfig::full(),
+            PhaseConfig::no_interleaving(),
+            PhaseConfig::no_value_flow(),
+            PhaseConfig::no_lock(),
+        ])
+    }
+
+    /// Runs the NonSparse baseline (§4.3) on the shared pre-analysis and
+    /// ICFG/thread-model stages — the Table 2 comparison without paying for
+    /// a second pre-analysis.
+    pub fn run_nonsparse(&self, budget: Option<Duration>) -> NonSparseOutcome {
+        let (pre, _) = self.pre_stage();
+        let (icfg, tm, _) = self.cfg_stage();
+        nonsparse::run(self.module, pre, icfg, tm, budget)
+    }
+}
+
 /// The complete output of an FSAM run.
+///
+/// Shared stages (`pre`, `icfg`, `tm`, `ctxs`, the MHP backend, the lock
+/// analysis) are `Arc`-backed so several runs from one [`Pipeline`] hand out
+/// the same artifacts; the SVFG, value-flow statistics, solver result and
+/// times are per-run.
 #[derive(Debug)]
 pub struct Fsam {
     /// The pre-analysis (Andersen) results.
-    pub pre: PreAnalysis,
+    pub pre: Arc<PreAnalysis>,
     /// The interprocedural CFG.
-    pub icfg: Icfg,
+    pub icfg: Arc<Icfg>,
     /// The static thread model.
-    pub tm: ThreadModel,
+    pub tm: Arc<ThreadModel>,
     /// The (thread-aware) sparse value-flow graph.
     pub svfg: Svfg,
-    /// The interleaving analysis (present unless *No-Interleaving*).
-    pub interleaving: Option<Interleaving>,
-    /// The PCG-style fallback oracle (present in *No-Interleaving* runs).
-    pub pcg: Option<ProcMhp>,
+    /// The MHP oracle this configuration used: the interleaving analysis,
+    /// or the PCG fallback under *No-Interleaving*.
+    pub mhp: MhpBackend,
     /// The lock analysis (present unless *No-Lock*).
-    pub lock: Option<LockAnalysis>,
-    /// The shared context table.
-    pub ctxs: ContextTable,
+    pub lock: Option<Arc<LockAnalysis>>,
+    /// The shared (frozen) context table.
+    pub ctxs: Arc<ContextTable>,
     /// Value-flow phase statistics.
     pub vf_stats: ValueFlowStats,
     /// The sparse solver output.
@@ -130,101 +508,10 @@ impl Fsam {
         Self::analyze_with(module, PhaseConfig::full())
     }
 
-    /// Runs the pipeline with a specific phase configuration.
+    /// Runs the pipeline with a specific phase configuration (a thin wrapper
+    /// over a single-use [`Pipeline`]).
     pub fn analyze_with(module: &Module, config: PhaseConfig) -> Fsam {
-        let mut times = PhaseTimes::default();
-
-        let t0 = Instant::now();
-        let pre = PreAnalysis::run(module);
-        times.pre_analysis = t0.elapsed();
-
-        let t0 = Instant::now();
-        let icfg = Icfg::build(module, pre.call_graph());
-        let tm = ThreadModel::build(module, &pre, &icfg);
-        times.thread_model = t0.elapsed();
-
-        let t0 = Instant::now();
-        let mut svfg = Svfg::build(module, &pre, &tm);
-        times.svfg = t0.elapsed();
-
-        let mut ctxs = ContextTable::new();
-
-        let t0 = Instant::now();
-        let (interleaving, pcg) = if config.interleaving {
-            (Some(Interleaving::compute(module, &icfg, &pre, &tm, &mut ctxs)), None)
-        } else {
-            (None, Some(ProcMhp::build(module, &icfg, &tm)))
-        };
-        times.interleaving = t0.elapsed();
-
-        let t0 = Instant::now();
-        let lock = config
-            .lock
-            .then(|| LockAnalysis::compute(module, &icfg, &pre, &tm, &mut ctxs));
-        times.lock = t0.elapsed();
-
-        let t0 = Instant::now();
-        let oracle: &dyn MhpOracle = match (&interleaving, &pcg) {
-            (Some(i), _) => i,
-            (None, Some(p)) => p,
-            (None, None) => unreachable!("one oracle always exists"),
-        };
-        let vf = valueflow::compute(
-            module,
-            &icfg,
-            &pre,
-            oracle,
-            lock.as_ref(),
-            !config.value_flow,
-        );
-        // Insert the thread-aware flows, grouping complete store×access
-        // products per object through a junction node (identical results,
-        // linear instead of quadratic edge count).
-        {
-            use std::collections::{BTreeMap, BTreeSet};
-            let mut by_obj: BTreeMap<_, Vec<(fsam_ir::StmtId, fsam_ir::StmtId)>> = BTreeMap::new();
-            for &(s, a, o) in &vf.edges {
-                by_obj.entry(o).or_default().push((s, a));
-            }
-            for (o, pairs) in by_obj {
-                // Partition stores by their exact access set; each class is
-                // a complete bipartite product and can share one junction.
-                let mut access_sets: BTreeMap<fsam_ir::StmtId, BTreeSet<fsam_ir::StmtId>> =
-                    BTreeMap::new();
-                for &(s, a) in &pairs {
-                    access_sets.entry(s).or_default().insert(a);
-                }
-                let mut classes: BTreeMap<Vec<fsam_ir::StmtId>, Vec<fsam_ir::StmtId>> =
-                    BTreeMap::new();
-                for (s, accs) in access_sets {
-                    let key: Vec<_> = accs.into_iter().collect();
-                    classes.entry(key).or_default().push(s);
-                }
-                for (accesses, stores) in classes {
-                    svfg.add_thread_group(&stores, &accesses, o);
-                }
-            }
-        }
-        times.value_flow = t0.elapsed();
-
-        let t0 = Instant::now();
-        let result = solver::solve(module, &pre, &svfg);
-        times.sparse_solve = t0.elapsed();
-
-        Fsam {
-            pre,
-            icfg,
-            tm,
-            svfg,
-            interleaving,
-            pcg,
-            lock,
-            ctxs,
-            vf_stats: vf.stats,
-            result,
-            times,
-            config,
-        }
+        Pipeline::for_module(module).run(config)
     }
 
     /// The flow-sensitive points-to set of variable `var` in function
@@ -257,9 +544,7 @@ impl Fsam {
     pub fn var_named(module: &Module, func: &str, var: &str) -> VarId {
         module
             .var_ids()
-            .find(|&v| {
-                module.var(v).name == var && module.func(module.var(v).func).name == func
-            })
+            .find(|&v| module.var(v).name == var && module.func(module.var(v).func).name == func)
             .unwrap_or_else(|| panic!("no variable {func}::{var}"))
     }
 
@@ -298,22 +583,18 @@ impl Fsam {
             "  pre-analysis:  {:>10.2?}  ({} rounds, {} pts entries)",
             self.times.pre_analysis, self.pre.stats.rounds, self.pre.stats.pts_entries
         );
-        let _ = writeln!(
-            out,
-            "  thread model:  {:>10.2?}",
-            self.times.thread_model
-        );
+        let _ = writeln!(out, "  thread model:  {:>10.2?}", self.times.thread_model);
         let _ = writeln!(
             out,
             "  memory SSA:    {:>10.2?}  ({} nodes, {} edges, {} mem-phis)",
             self.times.svfg, self.svfg.stats.nodes, self.svfg.stats.edges, self.svfg.stats.mem_phis
         );
-        let mhp_kind = if self.config.interleaving { "interleaving" } else { "PCG" };
-        let _ = writeln!(
-            out,
-            "  MHP ({mhp_kind}): {:>8.2?}",
-            self.times.interleaving
-        );
+        let mhp_kind = if self.config.interleaving {
+            "interleaving"
+        } else {
+            "PCG"
+        };
+        let _ = writeln!(out, "  MHP ({mhp_kind}): {:>8.2?}", self.times.interleaving);
         let _ = writeln!(
             out,
             "  lock analysis: {:>10.2?}  ({} spans)",
@@ -569,10 +850,9 @@ mod tests {
         assert!(report.contains("strong"), "{report}");
     }
 
-    /// Ablations run and produce sound (superset-or-equal) results.
-    #[test]
-    fn ablations_are_sound_but_no_more_precise() {
-        let src = r#"
+    /// A program that exercises every phase: forks, joins, locks, aliased
+    /// stores and loads.
+    const ABLATION_SRC: &str = r#"
             global o
             global lk
             global y
@@ -609,7 +889,11 @@ mod tests {
               ret
             }
         "#;
-        let m = parse_module(src).unwrap();
+
+    /// Ablations run and produce sound (superset-or-equal) results.
+    #[test]
+    fn ablations_are_sound_but_no_more_precise() {
+        let m = parse_module(ABLATION_SRC).unwrap();
         let full = Fsam::analyze(&m);
         for cfg in [
             PhaseConfig::no_interleaving(),
@@ -625,5 +909,88 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The tentpole guarantee: four ablations, one build of every shared
+    /// stage, with the interleaving/lock pair scheduled concurrently.
+    #[test]
+    fn stages_are_built_once_across_ablations() {
+        let m = parse_module(ABLATION_SRC).unwrap();
+        let pipeline = Pipeline::for_module(&m);
+        let runs = pipeline.run_all();
+        assert_eq!(runs.len(), 4);
+        let counts = pipeline.build_counts();
+        assert_eq!(
+            counts,
+            StageBuildCounts {
+                pre_analysis: 1,
+                icfg: 1,
+                contexts: 1,
+                svfg: 1,
+                interleaving: 1,
+                pcg: 1,
+                lock: 1,
+                parallel_interference: true,
+            }
+        );
+    }
+
+    /// Stage sharing is by reference: runs from one pipeline hand out the
+    /// same `Arc`-backed artifacts.
+    #[test]
+    fn runs_share_stage_arcs() {
+        use fsam_threads::MhpBackend;
+        let m = parse_module(ABLATION_SRC).unwrap();
+        let pipeline = Pipeline::for_module(&m);
+        let a = pipeline.run(PhaseConfig::full());
+        let b = pipeline.run(PhaseConfig::no_lock());
+        assert!(Arc::ptr_eq(&a.pre, &b.pre));
+        assert!(Arc::ptr_eq(&a.icfg, &b.icfg));
+        assert!(Arc::ptr_eq(&a.tm, &b.tm));
+        assert!(Arc::ptr_eq(&a.ctxs, &b.ctxs));
+        match (&a.mhp, &b.mhp) {
+            (MhpBackend::Interleaving(x), MhpBackend::Interleaving(y)) => {
+                assert!(Arc::ptr_eq(x, y));
+            }
+            other => panic!("both configurations use interleaving: {other:?}"),
+        }
+        assert!(a.lock.is_some());
+        assert!(
+            b.lock.is_none(),
+            "*No-Lock* must not expose a lock analysis"
+        );
+    }
+
+    /// The wrapper entry points and the staged driver agree exactly.
+    #[test]
+    fn wrapper_matches_staged_run() {
+        let m = parse_module(ABLATION_SRC).unwrap();
+        let pipeline = Pipeline::for_module(&m);
+        for cfg in [
+            PhaseConfig::full(),
+            PhaseConfig::no_interleaving(),
+            PhaseConfig::no_value_flow(),
+            PhaseConfig::no_lock(),
+        ] {
+            let staged = pipeline.run(cfg);
+            let standalone = Fsam::analyze_with(&m, cfg);
+            assert_eq!(staged.result, standalone.result, "{cfg:?}");
+            assert_eq!(staged.vf_stats, standalone.vf_stats, "{cfg:?}");
+        }
+    }
+
+    /// NonSparse rides the same pre-analysis/ICFG stages.
+    #[test]
+    fn nonsparse_shares_stages() {
+        let m = parse_module(ABLATION_SRC).unwrap();
+        let pipeline = Pipeline::for_module(&m);
+        let _ = pipeline.run(PhaseConfig::full());
+        let outcome = pipeline.run_nonsparse(None);
+        assert!(matches!(
+            outcome,
+            crate::nonsparse::NonSparseOutcome::Done(_)
+        ));
+        assert_eq!(pipeline.build_counts().pre_analysis, 1);
+        assert_eq!(pipeline.build_counts().icfg, 1);
     }
 }

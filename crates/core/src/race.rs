@@ -51,11 +51,7 @@ impl Race {
 /// Uses the flow-sensitive points-to sets for aliasing, the configured MHP
 /// oracle, and (when the lock phase ran) lockset-based filtering.
 pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Race> {
-    let oracle: &dyn MhpOracle = match (&fsam.interleaving, &fsam.pcg) {
-        (Some(i), _) => i,
-        (None, Some(p)) => p,
-        (None, None) => return Vec::new(),
-    };
+    let oracle: &dyn MhpOracle = &fsam.mhp;
 
     // Races require shared memory: filter thread-private objects.
     let shared = fsam_threads::SharedObjects::compute(module, &fsam.pre);
@@ -110,7 +106,11 @@ pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Race> {
                 }
                 let racy = racy_instances(fsam, oracle, s, a);
                 if racy {
-                    races.push(Race { store: s, access: a, obj: o });
+                    races.push(Race {
+                        store: s,
+                        access: a,
+                        obj: o,
+                    });
                 }
             }
         }
@@ -213,7 +213,10 @@ mod tests {
             }
         "#,
         );
-        assert!(races.is_empty(), "consistent locking: no races, got {races:?}");
+        assert!(
+            races.is_empty(),
+            "consistent locking: no races, got {races:?}"
+        );
     }
 
     #[test]
@@ -237,7 +240,10 @@ mod tests {
             }
         "#,
         );
-        assert!(races.is_empty(), "access after join is ordered, got {races:?}");
+        assert!(
+            races.is_empty(),
+            "access after join is ordered, got {races:?}"
+        );
     }
 
     #[test]

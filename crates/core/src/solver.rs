@@ -48,7 +48,11 @@ pub struct SolverStats {
 }
 
 /// The result of the sparse flow-sensitive analysis.
-#[derive(Debug)]
+///
+/// `PartialEq` compares the complete points-to state (per-variable and
+/// per-definition sets plus statistics) — the driver-equivalence tests use
+/// it to check that staged and standalone runs agree exactly.
+#[derive(Debug, PartialEq, Eq)]
 pub struct SparseResult {
     pt_vars: Vec<PtsSet>,
     pt_defs: HashMap<(VfNodeId, MemId), PtsSet>,
@@ -208,7 +212,12 @@ impl<'a> Solver<'a> {
                         }
                     }
                 }
-                StmtKind::Fork { dst, arg, handle_obj, .. } => {
+                StmtKind::Fork {
+                    dst,
+                    arg,
+                    handle_obj,
+                    ..
+                } => {
                     let m = self.pre.objects().base(*handle_obj);
                     self.var_sources[dst.index()].push(VarSource::Obj(m));
                     for callee in cg.targets(sid) {
@@ -354,8 +363,12 @@ impl<'a> Solver<'a> {
     /// Re-evaluates one object's outgoing definition at a store
     /// ([P-STORE] + [P-SU/WU] for a single `o`).
     fn process_store_obj(&mut self, sid: StmtId, o: MemId) {
-        let StmtKind::Store { ptr, val } = self.module.stmt(sid).kind else { return };
-        let Some(node) = self.svfg.stmt_node(sid) else { return };
+        let StmtKind::Store { ptr, val } = self.module.stmt(sid).kind else {
+            return;
+        };
+        let Some(node) = self.svfg.stmt_node(sid) else {
+            return;
+        };
         let ptr_pts = &self.pt_vars[ptr.index()];
         let written = ptr_pts.contains(o);
         let strong = ptr_pts
@@ -399,8 +412,8 @@ impl<'a> Solver<'a> {
         // bounded strong/weak flips, but the bound is generous; a blow-out
         // indicates an implementation bug and should fail loudly rather
         // than spin forever.
-        let limit = 50_000usize
-            .saturating_mul(self.module.stmt_count() + self.svfg.node_count() + 64);
+        let limit =
+            50_000usize.saturating_mul(self.module.stmt_count() + self.svfg.node_count() + 64);
         while let Some(item) = self.work.pop() {
             self.queued.remove(&item);
             self.stats.processed += 1;
@@ -417,6 +430,10 @@ impl<'a> Solver<'a> {
         }
         self.stats.var_pts_entries = self.pt_vars.iter().map(PtsSet::len).sum();
         self.stats.def_pts_entries = self.pt_defs.values().map(PtsSet::len).sum();
-        SparseResult { pt_vars: self.pt_vars, pt_defs: self.pt_defs, stats: self.stats }
+        SparseResult {
+            pt_vars: self.pt_vars,
+            pt_defs: self.pt_defs,
+            stats: self.stats,
+        }
     }
 }

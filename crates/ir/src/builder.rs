@@ -74,7 +74,11 @@ impl ModuleBuilder {
             return id;
         }
         let id = ObjId::from_usize(self.module.objs.len());
-        self.module.objs.push(ObjInfo { name: name.to_owned(), kind: ObjKind::Global, is_array });
+        self.module.objs.push(ObjInfo {
+            name: name.to_owned(),
+            kind: ObjKind::Global,
+            is_array,
+        });
         self.globals.insert(name.to_owned(), id);
         id
     }
@@ -102,12 +106,19 @@ impl ModuleBuilder {
             .iter()
             .map(|p| {
                 let v = VarId::from_usize(self.module.vars.len());
-                self.module.vars.push(VarInfo { name: (*p).to_owned(), func: id });
+                self.module.vars.push(VarInfo {
+                    name: (*p).to_owned(),
+                    func: id,
+                });
                 v
             })
             .collect();
         let mut blocks = IdVec::new();
-        blocks.push(Block { name: "entry".to_owned(), stmts: Vec::new(), term: Terminator::Ret(None) });
+        blocks.push(Block {
+            name: "entry".to_owned(),
+            stmts: Vec::new(),
+            term: Terminator::Ret(None),
+        });
         self.module.funcs.push(Function {
             name: name.to_owned(),
             id,
@@ -134,7 +145,12 @@ impl ModuleBuilder {
         for &p in &params {
             vars_by_name.insert(self.module.vars[p.index()].name.clone(), p);
         }
-        FunctionBuilder { mb: self, func: id, cur_block: BlockId::ENTRY, vars_by_name }
+        FunctionBuilder {
+            mb: self,
+            func: id,
+            cur_block: BlockId::ENTRY,
+            vars_by_name,
+        }
     }
 
     /// Declares and immediately starts defining a function.
@@ -214,7 +230,10 @@ impl<'m> FunctionBuilder<'m> {
             return v;
         }
         let v = VarId::from_usize(self.mb.module.vars.len());
-        self.mb.module.vars.push(VarInfo { name: name.to_owned(), func: self.func });
+        self.mb.module.vars.push(VarInfo {
+            name: name.to_owned(),
+            func: self.func,
+        });
         self.vars_by_name.insert(name.to_owned(), v);
         v
     }
@@ -225,7 +244,11 @@ impl<'m> FunctionBuilder<'m> {
     pub fn block(&mut self, name: &str) -> BlockId {
         let f = &mut self.mb.module.funcs[self.func.index()];
         let id = BlockId::from_usize(f.blocks.len());
-        f.blocks.push(Block { name: name.to_owned(), stmts: Vec::new(), term: Terminator::Ret(None) });
+        f.blocks.push(Block {
+            name: name.to_owned(),
+            stmts: Vec::new(),
+            term: Terminator::Ret(None),
+        });
         id
     }
 
@@ -258,8 +281,14 @@ impl<'m> FunctionBuilder<'m> {
 
     fn push(&mut self, kind: StmtKind) -> StmtId {
         let id = StmtId::from_usize(self.mb.module.stmts.len());
-        self.mb.module.stmts.push(Stmt { kind, func: self.func, block: self.cur_block });
-        self.mb.module.funcs[self.func.index()].blocks[self.cur_block].stmts.push(id);
+        self.mb.module.stmts.push(Stmt {
+            kind,
+            func: self.func,
+            block: self.cur_block,
+        });
+        self.mb.module.funcs[self.func.index()].blocks[self.cur_block]
+            .stmts
+            .push(id);
         id
     }
 
@@ -301,7 +330,10 @@ impl<'m> FunctionBuilder<'m> {
     /// `dst = phi(...)`. Arms are `(predecessor block, incoming var)`.
     pub fn phi(&mut self, dst: &str, arms: &[(BlockId, VarId)]) -> VarId {
         let dst = self.named(dst);
-        let arms = arms.iter().map(|&(pred, var)| PhiArm { pred, var }).collect();
+        let arms = arms
+            .iter()
+            .map(|&(pred, var)| PhiArm { pred, var })
+            .collect();
         self.push(StmtKind::Phi { dst, arms });
         dst
     }
@@ -328,13 +360,21 @@ impl<'m> FunctionBuilder<'m> {
     /// Direct call `dst = callee(args...)`; pass `None` to discard the result.
     pub fn call(&mut self, dst: Option<&str>, callee: FuncId, args: &[VarId]) -> StmtId {
         let dst = dst.map(|d| self.named(d));
-        self.push(StmtKind::Call { callee: Callee::Direct(callee), args: args.to_vec(), dst })
+        self.push(StmtKind::Call {
+            callee: Callee::Direct(callee),
+            args: args.to_vec(),
+            dst,
+        })
     }
 
     /// Indirect call through a function pointer.
     pub fn call_indirect(&mut self, dst: Option<&str>, fptr: VarId, args: &[VarId]) -> StmtId {
         let dst = dst.map(|d| self.named(d));
-        self.push(StmtKind::Call { callee: Callee::Indirect(fptr), args: args.to_vec(), dst })
+        self.push(StmtKind::Call {
+            callee: Callee::Indirect(fptr),
+            args: args.to_vec(),
+            dst,
+        })
     }
 
     /// `dst = fork callee(arg)` — `pthread_create`. The returned variable
@@ -358,7 +398,12 @@ impl<'m> FunctionBuilder<'m> {
             kind: ObjKind::Thread(stmt_id),
             is_array: false,
         });
-        self.push(StmtKind::Fork { dst, callee, arg, handle_obj });
+        self.push(StmtKind::Fork {
+            dst,
+            callee,
+            arg,
+            handle_obj,
+        });
         dst
     }
 
@@ -443,8 +488,10 @@ mod tests {
         f.ret(None);
         f.finish();
         let m = mb.build();
-        let thread_objs: Vec<_> =
-            m.objs().filter(|(_, o)| matches!(o.kind, ObjKind::Thread(_))).collect();
+        let thread_objs: Vec<_> = m
+            .objs()
+            .filter(|(_, o)| matches!(o.kind, ObjKind::Thread(_)))
+            .collect();
         assert_eq!(thread_objs.len(), 1);
     }
 

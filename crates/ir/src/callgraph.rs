@@ -188,8 +188,7 @@ impl CallGraph {
         self.in_cycle = (0..n)
             .map(|f| {
                 let id = scc_id[f];
-                scc_size[id as usize] > 1
-                    || self.call_edges[f].contains(&FuncId::from_usize(f))
+                scc_size[id as usize] > 1 || self.call_edges[f].contains(&FuncId::from_usize(f))
             })
             .collect();
         self.scc_id = scc_id;

@@ -49,7 +49,7 @@ struct CtxNode {
 }
 
 /// Interner for calling contexts.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ContextTable {
     nodes: Vec<Option<CtxNode>>, // nodes[0] = empty context
     intern: HashMap<(CtxId, StmtId), CtxId>,
@@ -75,7 +75,11 @@ impl ContextTable {
     /// frames; pushes beyond the cap return the context unchanged (degrading
     /// to context-insensitivity rather than diverging).
     pub fn with_max_depth(max_depth: u32) -> Self {
-        Self { nodes: vec![None], intern: HashMap::new(), max_depth }
+        Self {
+            nodes: vec![None],
+            intern: HashMap::new(),
+            max_depth,
+        }
     }
 
     /// Number of interned contexts (including the empty context).
@@ -106,15 +110,37 @@ impl ContextTable {
         }
         let id = CtxId(u32::try_from(self.nodes.len()).expect("too many contexts"));
         let depth = self.depth(ctx) + 1;
-        self.nodes.push(Some(CtxNode { parent: ctx, callsite, depth }));
+        self.nodes.push(Some(CtxNode {
+            parent: ctx,
+            callsite,
+            depth,
+        }));
         self.intern.insert((ctx, callsite), id);
         id
+    }
+
+    /// Read-only variant of [`push`](Self::push) for tables whose reachable
+    /// contexts have already been interned (see the context precompute pass
+    /// in the analysis driver): looks up the interned result of pushing
+    /// `callsite` onto `ctx` without mutating the table, so a frozen table
+    /// can be shared across concurrently running analyses.
+    ///
+    /// A pair that was never interned degrades to returning `ctx` unchanged
+    /// (context-insensitivity) rather than panicking — the same sound
+    /// fallback `push` applies at the depth cap.
+    pub fn resolve(&self, ctx: CtxId, callsite: StmtId) -> CtxId {
+        if self.depth(ctx) >= self.max_depth || self.contains(ctx, callsite) {
+            return ctx;
+        }
+        self.intern.get(&(ctx, callsite)).copied().unwrap_or(ctx)
     }
 
     /// Pops the innermost frame: returns `(parent, callsite)`, or `None` for
     /// the empty context.
     pub fn pop(&self, ctx: CtxId) -> Option<(CtxId, StmtId)> {
-        self.nodes[ctx.index()].as_ref().map(|n| (n.parent, n.callsite))
+        self.nodes[ctx.index()]
+            .as_ref()
+            .map(|n| (n.parent, n.callsite))
     }
 
     /// The innermost call site of `ctx`, if any.
@@ -201,6 +227,22 @@ mod tests {
         let c1 = t.push(CtxId::EMPTY, s);
         let c2 = t.push(c1, s); // same callsite again: collapse
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn resolve_matches_push_on_frozen_tables() {
+        let mut t = ContextTable::new();
+        let (s1, s2) = (StmtId::new(1), StmtId::new(2));
+        let c1 = t.push(CtxId::EMPTY, s1);
+        let c2 = t.push(c1, s2);
+        // Interned pairs resolve to the pushed context.
+        assert_eq!(t.resolve(CtxId::EMPTY, s1), c1);
+        assert_eq!(t.resolve(c1, s2), c2);
+        // Recursion collapse mirrors push.
+        assert_eq!(t.resolve(c2, s1), c2);
+        // Never-interned pairs degrade to the unchanged context.
+        assert_eq!(t.resolve(c2, StmtId::new(9)), c2);
+        assert_eq!(t.len(), 3, "resolve never interns");
     }
 
     #[test]

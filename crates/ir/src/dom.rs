@@ -114,7 +114,12 @@ impl DomTree {
             }
         }
 
-        DomTree { idom, rpo, rpo_index, frontier }
+        DomTree {
+            idom,
+            rpo,
+            rpo_index,
+            frontier,
+        }
     }
 
     /// Immediate dominator of `b` (`None` for the entry block and for
@@ -229,8 +234,12 @@ mod tests {
     fn diamond_dominators() {
         let (m, f) = diamond();
         let dom = DomTree::compute(m.func(f));
-        let (entry, l, r, merge) =
-            (BlockId::new(0), BlockId::new(1), BlockId::new(2), BlockId::new(3));
+        let (entry, l, r, merge) = (
+            BlockId::new(0),
+            BlockId::new(1),
+            BlockId::new(2),
+            BlockId::new(3),
+        );
         assert_eq!(dom.idom(entry), None);
         assert_eq!(dom.idom(l), Some(entry));
         assert_eq!(dom.idom(r), Some(entry));

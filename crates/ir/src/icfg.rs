@@ -70,13 +70,13 @@ pub struct Icfg {
     nodes: Vec<NodeKind>,
     succs: Vec<Vec<(NodeId, EdgeKind)>>,
     preds: Vec<Vec<(NodeId, EdgeKind)>>,
-    entry_node: Vec<NodeId>,         // per func
-    exit_node: Vec<NodeId>,          // per func
-    stmt_node: Vec<NodeId>,          // per stmt
+    entry_node: Vec<NodeId>, // per func
+    exit_node: Vec<NodeId>,  // per func
+    stmt_node: Vec<NodeId>,  // per stmt
     callret_node: HashMap<StmtId, NodeId>,
     /// `(fork site, start routine)` pairs, resolved via the call graph.
     pub fork_edges: Vec<(StmtId, FuncId)>,
-    func_of: Vec<FuncId>,            // per node
+    func_of: Vec<FuncId>, // per node
 }
 
 impl Icfg {
@@ -240,7 +240,10 @@ impl<'a> Builder<'a> {
     }
 
     fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
-        if self.succs[from.index()].iter().any(|&(t, k)| t == to && k == kind) {
+        if self.succs[from.index()]
+            .iter()
+            .any(|&(t, k)| t == to && k == kind)
+        {
             return;
         }
         self.succs[from.index()].push((to, kind));
@@ -450,7 +453,10 @@ mod tests {
         let icfg = Icfg::build(&m, &cg);
         let fork_node = icfg.stmt_node(fork_stmt);
         // No interprocedural edges out of the fork node.
-        assert!(icfg.succs(fork_node).iter().all(|&(_, k)| k == EdgeKind::Intra));
+        assert!(icfg
+            .succs(fork_node)
+            .iter()
+            .all(|&(_, k)| k == EdgeKind::Intra));
         assert_eq!(icfg.fork_edges, vec![(fork_stmt, worker)]);
         // Control continues to the join.
         assert_eq!(icfg.succs(fork_node).len(), 1);

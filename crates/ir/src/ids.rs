@@ -131,7 +131,10 @@ impl<I, T> Default for IdVec<I, T> {
 impl<I, T> IdVec<I, T> {
     /// Creates an empty map.
     pub const fn new() -> Self {
-        Self { raw: Vec::new(), _marker: std::marker::PhantomData }
+        Self {
+            raw: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -141,7 +144,10 @@ impl<I: Into<usize> + Copy, T> IdVec<I, T> {
     where
         T: Clone,
     {
-        Self { raw: vec![value; n], _marker: std::marker::PhantomData }
+        Self {
+            raw: vec![value; n],
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Number of entries.
@@ -201,7 +207,10 @@ impl<I: Into<usize> + Copy, T> std::ops::IndexMut<I> for IdVec<I, T> {
 
 impl<I: Into<usize> + Copy, T> FromIterator<T> for IdVec<I, T> {
     fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
-        Self { raw: iter.into_iter().collect(), _marker: std::marker::PhantomData }
+        Self {
+            raw: iter.into_iter().collect(),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

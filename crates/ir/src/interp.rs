@@ -23,8 +23,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use crate::ids::{BlockId, FuncId, ObjId, StmtId, VarId};
 use crate::module::{Module, ObjKind};
@@ -92,7 +91,11 @@ pub struct InterpConfig {
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        InterpConfig { seed: 0, max_steps: 20_000, max_stack: 64 }
+        InterpConfig {
+            seed: 0,
+            max_steps: 20_000,
+            max_stack: 64,
+        }
     }
 }
 
@@ -177,7 +180,15 @@ impl<'m> Interp<'m> {
             self.obs.record(p, v);
             regs.insert(p, v);
         }
-        Frame { func, block: BlockId::ENTRY, prev_block: BlockId::ENTRY, pos: 0, regs, instance, ret_to }
+        Frame {
+            func,
+            block: BlockId::ENTRY,
+            prev_block: BlockId::ENTRY,
+            pos: 0,
+            regs,
+            instance,
+            ret_to,
+        }
     }
 
     fn spawn(&mut self, func: FuncId, arg: Option<Value>, fork_site: Option<StmtId>) -> u32 {
@@ -237,12 +248,13 @@ impl<'m> Interp<'m> {
     fn refresh_blocked(&mut self) {
         for i in 0..self.threads.len() {
             match self.threads[i].state {
-                ThreadState::JoiningSite(site)
-                    if self.site_finished(site) => {
-                        self.threads[i].state = ThreadState::Runnable;
-                    }
+                ThreadState::JoiningSite(site) if self.site_finished(site) => {
+                    self.threads[i].state = ThreadState::Runnable;
+                }
                 ThreadState::Locking(addr) => {
-                    if let std::collections::hash_map::Entry::Vacant(e) = self.locks_held.entry(addr) {
+                    if let std::collections::hash_map::Entry::Vacant(e) =
+                        self.locks_held.entry(addr)
+                    {
                         e.insert(i);
                         self.threads[i].state = ThreadState::Runnable;
                     }
@@ -258,7 +270,10 @@ impl<'m> Interp<'m> {
 
     fn set(&mut self, tid: usize, v: VarId, value: Value) {
         self.obs.record(v, value);
-        let frame = self.threads[tid].stack.last_mut().expect("running thread has a frame");
+        let frame = self.threads[tid]
+            .stack
+            .last_mut()
+            .expect("running thread has a frame");
         frame.regs.insert(v, value);
     }
 
@@ -266,15 +281,25 @@ impl<'m> Interp<'m> {
     fn addr_of(&self, frame: &Frame, obj: ObjId) -> Addr {
         match self.module.obj(obj).kind {
             // Globals and functions have a single instance.
-            ObjKind::Global | ObjKind::Func(_) | ObjKind::Thread(_) => {
-                Addr { obj, instance: 0, field: 0 }
-            }
+            ObjKind::Global | ObjKind::Func(_) | ObjKind::Thread(_) => Addr {
+                obj,
+                instance: 0,
+                field: 0,
+            },
             // Stack locals: one instance per frame.
-            ObjKind::Stack(_) => Addr { obj, instance: frame.instance, field: 0 },
+            ObjKind::Stack(_) => Addr {
+                obj,
+                instance: frame.instance,
+                field: 0,
+            },
             // Heap sites get fresh instances at `alloc`; taking the address
             // of a heap object only happens at its allocation site, handled
             // in `step`.
-            ObjKind::Heap => Addr { obj, instance: frame.instance, field: 0 },
+            ObjKind::Heap => Addr {
+                obj,
+                instance: frame.instance,
+                field: 0,
+            },
         }
     }
 
@@ -338,7 +363,11 @@ impl<'m> Interp<'m> {
         match kind {
             StmtKind::Addr { dst, obj } => {
                 let addr = match self.module.obj(obj).kind {
-                    ObjKind::Heap => Addr { obj, instance: self.fresh_instance(), field: 0 },
+                    ObjKind::Heap => Addr {
+                        obj,
+                        instance: self.fresh_instance(),
+                        field: 0,
+                    },
                     _ => {
                         let frame = self.threads[tid].stack.last().expect("frame");
                         let _ = instance;
@@ -382,9 +411,10 @@ impl<'m> Interp<'m> {
                 // Per-field runtime cells: gep shifts the field offset.
                 let frame = self.threads[tid].stack.last().expect("frame");
                 let v = match self.eval(frame, base) {
-                    Value::Ptr(a) => {
-                        Value::Ptr(Addr { field: a.field.saturating_add(field), ..a })
-                    }
+                    Value::Ptr(a) => Value::Ptr(Addr {
+                        field: a.field.saturating_add(field),
+                        ..a
+                    }),
                     other => other,
                 };
                 self.set(tid, dst, v);
@@ -409,7 +439,9 @@ impl<'m> Interp<'m> {
                     }
                 }
             }
-            StmtKind::Fork { dst, callee, arg, .. } => {
+            StmtKind::Fork {
+                dst, callee, arg, ..
+            } => {
                 let frame = self.threads[tid].stack.last().expect("frame");
                 let target = self.resolve_callee(frame, &callee);
                 let arg_val = arg.map(|a| self.eval(frame, a));
@@ -467,7 +499,13 @@ mod tests {
 
     fn observe(src: &str, seed: u64) -> (Module, Observation) {
         let m = parse_module(src).unwrap();
-        let obs = run(&m, InterpConfig { seed, ..Default::default() });
+        let obs = run(
+            &m,
+            InterpConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         (m, obs)
     }
 

@@ -55,6 +55,7 @@ pub mod loops;
 pub mod module;
 pub mod parse;
 pub mod print;
+pub mod rng;
 pub mod stmt;
 pub mod verify;
 

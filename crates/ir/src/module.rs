@@ -76,7 +76,10 @@ pub struct Function {
 impl Function {
     /// Iterates over `(BlockId, &Block)` pairs in definition order.
     pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::from_usize(i), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_usize(i), b))
     }
 
     /// Predecessor lists for each block.
@@ -166,7 +169,10 @@ impl Module {
 
     /// Iterates over `(StmtId, &Stmt)` pairs.
     pub fn stmts(&self) -> impl Iterator<Item = (StmtId, &Stmt)> {
-        self.stmts.iter().enumerate().map(|(i, s)| (StmtId::from_usize(i), s))
+        self.stmts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StmtId::from_usize(i), s))
     }
 
     // ---- variables ----------------------------------------------------
@@ -211,12 +217,17 @@ impl Module {
 
     /// Iterates over `(ObjId, &ObjInfo)` pairs.
     pub fn objs(&self) -> impl Iterator<Item = (ObjId, &ObjInfo)> {
-        self.objs.iter().enumerate().map(|(i, o)| (ObjId::from_usize(i), o))
+        self.objs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId::from_usize(i), o))
     }
 
     /// Looks a global object up by name.
     pub fn global_by_name(&self, name: &str) -> Option<ObjId> {
-        self.objs().find(|(_, o)| o.kind == ObjKind::Global && o.name == name).map(|(id, _)| id)
+        self.objs()
+            .find(|(_, o)| o.kind == ObjKind::Global && o.name == name)
+            .map(|(id, _)| id)
     }
 
     // ---- convenience queries -------------------------------------------
@@ -224,7 +235,10 @@ impl Module {
     /// Statements of `func` in block order (the order used for intra-block
     /// position comparisons).
     pub fn func_stmts(&self, func: FuncId) -> impl Iterator<Item = StmtId> + '_ {
-        self.func(func).blocks.iter().flat_map(|b| b.stmts.iter().copied())
+        self.func(func)
+            .blocks
+            .iter()
+            .flat_map(|b| b.stmts.iter().copied())
     }
 
     /// The statement's position within its block (index into
@@ -250,6 +264,11 @@ impl Module {
     /// Renders a statement for diagnostics, e.g. `main.bb0: store p, q`.
     pub fn describe_stmt(&self, id: StmtId) -> String {
         let s = self.stmt(id);
-        format!("{}.{}: {}", self.func(s.func).name, s.block, crate::print::stmt_to_string(self, id))
+        format!(
+            "{}.{}: {}",
+            self.func(s.func).name,
+            s.block,
+            crate::print::stmt_to_string(self, id)
+        )
     }
 }

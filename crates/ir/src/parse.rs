@@ -79,7 +79,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -162,7 +166,11 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                         }
                     }
                 }
-                out.push(SpannedTok { tok: Tok::Str(s), line: tl, col: tc });
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut n = String::new();
@@ -180,7 +188,11 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     col: tc,
                     message: format!("integer `{n}` out of range"),
                 })?;
-                out.push(SpannedTok { tok: Tok::Int(value), line: tl, col: tc });
+                out.push(SpannedTok {
+                    tok: Tok::Int(value),
+                    line: tl,
+                    col: tc,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -193,12 +205,20 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                         break;
                     }
                 }
-                out.push(SpannedTok { tok: Tok::Name(s), line: tl, col: tc });
+                out.push(SpannedTok {
+                    tok: Tok::Name(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             '=' | '&' | ',' | '(' | ')' | '{' | '}' | '[' | ']' | ':' | '*' | '?' => {
                 chars.next();
                 col += 1;
-                out.push(SpannedTok { tok: Tok::Punct(c), line: tl, col: tc });
+                out.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line: tl,
+                    col: tc,
+                });
             }
             other => {
                 return Err(ParseError {
@@ -209,7 +229,11 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
             }
         }
     }
-    out.push(SpannedTok { tok: Tok::Eof, line, col });
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -224,7 +248,11 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
 /// [`verify_module`](crate::verify::verify_module) afterwards.
 pub fn parse_module(src: &str) -> Result<Module, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, mb: ModuleBuilder::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        mb: ModuleBuilder::new(),
+    };
     p.module()?;
     Ok(p.mb.build())
 }
@@ -258,7 +286,11 @@ impl Parser {
 
     fn error(&self, message: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
-        ParseError { line, col, message: message.into() }
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Tok {
@@ -359,7 +391,11 @@ impl Parser {
                     }
                     let end = self.pos;
                     self.eat_punct('}')?;
-                    pending.push(PendingBody { func: id, start, end });
+                    pending.push(PendingBody {
+                        func: id,
+                        start,
+                        end,
+                    });
                 }
                 other => return Err(self.error(format!("expected an item, found {other:?}"))),
             }
@@ -443,7 +479,11 @@ impl BodyCtx<'_, '_> {
 
     fn error(&self, message: impl Into<String>) -> ParseError {
         let t = &self.toks[self.pos.min(self.toks.len() - 1)];
-        ParseError { line: t.line, col: t.col, message: message.into() }
+        ParseError {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Tok {
@@ -490,8 +530,11 @@ impl BodyCtx<'_, '_> {
                 self.bump();
             }
             let name = self.name()?;
-            let obj =
-                if is_array { self.f.local_array(&name) } else { self.f.local(&name) };
+            let obj = if is_array {
+                self.f.local_array(&name)
+            } else {
+                self.f.local(&name)
+            };
             self.locals.insert(name, obj);
         }
         // Pre-scan labels: a label is NAME ':' at statement position. We scan
@@ -504,26 +547,29 @@ impl BodyCtx<'_, '_> {
             match &self.toks[i].tok {
                 Tok::Punct('[') => depth += 1,
                 Tok::Punct(']') => depth -= 1,
-                Tok::Name(n) if depth == 0
-                    && i + 1 < self.end && self.toks[i + 1].tok == Tok::Punct(':') => {
-                        let label = n.clone();
-                        if self.labels.contains_key(&label) {
-                            return Err(ParseError {
-                                line: self.toks[i].line,
-                                col: self.toks[i].col,
-                                message: format!("duplicate label `{label}`"),
-                            });
-                        }
-                        let bid = if first {
-                            first = false;
-                            self.f.rename_block(BlockId::ENTRY, &label);
-                            BlockId::ENTRY
-                        } else {
-                            self.f.block(&label)
-                        };
-                        self.labels.insert(label, bid);
-                        i += 1; // skip ':' too
+                Tok::Name(n)
+                    if depth == 0
+                        && i + 1 < self.end
+                        && self.toks[i + 1].tok == Tok::Punct(':') =>
+                {
+                    let label = n.clone();
+                    if self.labels.contains_key(&label) {
+                        return Err(ParseError {
+                            line: self.toks[i].line,
+                            col: self.toks[i].col,
+                            message: format!("duplicate label `{label}`"),
+                        });
                     }
+                    let bid = if first {
+                        first = false;
+                        self.f.rename_block(BlockId::ENTRY, &label);
+                        BlockId::ENTRY
+                    } else {
+                        self.f.block(&label)
+                    };
+                    self.labels.insert(label, bid);
+                    i += 1; // skip ':' too
+                }
                 _ => {}
             }
             i += 1;
@@ -561,7 +607,9 @@ impl BodyCtx<'_, '_> {
         if let Some(func) = self.f.module_func_lookup(name) {
             return Ok(AddrTarget::Func(func));
         }
-        Err(self.error(format!("`&{name}` does not name a local, global or function")))
+        Err(self.error(format!(
+            "`&{name}` does not name a local, global or function"
+        )))
     }
 
     fn callee(&mut self) -> Result<CalleeSpec, ParseError> {
@@ -609,7 +657,11 @@ impl BodyCtx<'_, '_> {
                             None
                         }
                         Tok::Name(_) => Some(self.name()?),
-                        other => return Err(self.error(format!("expected branch target, found {other:?}"))),
+                        other => {
+                            return Err(
+                                self.error(format!("expected branch target, found {other:?}"))
+                            )
+                        }
                     };
                     if matches!(self.peek(), Tok::Punct(',')) {
                         self.bump();
@@ -629,8 +681,7 @@ impl BodyCtx<'_, '_> {
                         }
                         self.f.branch(t, e);
                     } else {
-                        let label = first
-                            .ok_or_else(|| self.error("`br ?` needs two targets"))?;
+                        let label = first.ok_or_else(|| self.error("`br ?` needs two targets"))?;
                         let t = self.lookup_label(&label)?;
                         self.f.jump(t);
                     }
@@ -750,7 +801,9 @@ impl BodyCtx<'_, '_> {
                 self.eat_punct(',')?;
                 let field = match self.bump() {
                     Tok::Int(i) => i,
-                    other => return Err(self.error(format!("expected field index, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!("expected field index, found {other:?}")))
+                    }
                 };
                 let base = self.f.named(&base);
                 self.f.gep(dst, base, field);
@@ -866,7 +919,10 @@ mod tests {
         verify_module(&m).unwrap();
         assert_eq!(m.func_count(), 2);
         assert!(m.global_by_name("x").is_some());
-        let forks = m.stmts().filter(|(_, s)| matches!(s.kind, StmtKind::Fork { .. })).count();
+        let forks = m
+            .stmts()
+            .filter(|(_, s)| matches!(s.kind, StmtKind::Fork { .. }))
+            .count();
         assert_eq!(forks, 1);
     }
 
@@ -890,7 +946,10 @@ mod tests {
         "#;
         let m = parse_module(src).unwrap();
         verify_module(&m).unwrap();
-        let phis = m.stmts().filter(|(_, s)| matches!(s.kind, StmtKind::Phi { .. })).count();
+        let phis = m
+            .stmts()
+            .filter(|(_, s)| matches!(s.kind, StmtKind::Phi { .. }))
+            .count();
         assert_eq!(phis, 1);
     }
 
@@ -938,7 +997,10 @@ mod tests {
         "#;
         let m = parse_module(src).unwrap();
         verify_module(&m).unwrap();
-        let locks = m.stmts().filter(|(_, s)| matches!(s.kind, StmtKind::Lock { .. })).count();
+        let locks = m
+            .stmts()
+            .filter(|(_, s)| matches!(s.kind, StmtKind::Lock { .. }))
+            .count();
         assert_eq!(locks, 1);
     }
 
@@ -963,8 +1025,7 @@ mod tests {
 
     #[test]
     fn duplicate_function_is_rejected() {
-        let err =
-            parse_module("func f() {\ne:\n ret\n}\nfunc f() {\ne:\n ret\n}").unwrap_err();
+        let err = parse_module("func f() {\ne:\n ret\n}\nfunc f() {\ne:\n ret\n}").unwrap_err();
         assert!(err.message.contains("defined twice"));
     }
 
@@ -1007,7 +1068,8 @@ mod tests {
         let m1 = parse_module(src).unwrap();
         verify_module(&m1).unwrap();
         let printed = crate::print::module_to_string(&m1);
-        let m2 = parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let m2 =
+            parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         verify_module(&m2).unwrap();
         // Same shape: counts of everything match.
         assert_eq!(m1.func_count(), m2.func_count());

@@ -35,8 +35,11 @@ pub fn module_to_string(m: &Module) -> String {
 }
 
 fn print_func(m: &Module, func: &Function, out: &mut String) {
-    let params: Vec<&str> =
-        func.params.iter().map(|&p| m.var(p).name.as_str()).collect();
+    let params: Vec<&str> = func
+        .params
+        .iter()
+        .map(|&p| m.var(p).name.as_str())
+        .collect();
     if func.is_external {
         let _ = writeln!(out, "extern func {}({})", func.name, params.join(", "));
         return;
@@ -118,7 +121,11 @@ pub fn stmt_to_string(m: &Module, id: StmtId) -> String {
         StmtKind::Gep { dst, base, field } => {
             format!("{} = gep {}, {}", var(m, *dst), var(m, *base), field)
         }
-        StmtKind::Call { callee: c, args, dst } => {
+        StmtKind::Call {
+            callee: c,
+            args,
+            dst,
+        } => {
             let args: Vec<&str> = args.iter().map(|&a| var(m, a)).collect();
             let call = format!("call {}({})", callee(m, c), args.join(", "));
             match dst {
@@ -126,7 +133,12 @@ pub fn stmt_to_string(m: &Module, id: StmtId) -> String {
                 None => call,
             }
         }
-        StmtKind::Fork { dst, callee: c, arg, .. } => {
+        StmtKind::Fork {
+            dst,
+            callee: c,
+            arg,
+            ..
+        } => {
             let arg = arg.map(|a| var(m, a).to_owned()).unwrap_or_default();
             format!("{} = fork {}({})", var(m, *dst), callee(m, c), arg)
         }

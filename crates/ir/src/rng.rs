@@ -1,0 +1,119 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The repository must build without network access, so the external `rand`
+//! crate is replaced by this self-contained generator: a SplitMix64 stream
+//! (Steele, Lea & Flood, OOPSLA'14) behind the narrow API the suite
+//! generators, the interpreter's scheduler and the randomized tests actually
+//! use. Streams are fully determined by the seed, so generated benchmark
+//! programs and interpreter schedules are reproducible across runs and
+//! platforms.
+
+use std::ops::Range;
+
+/// A seeded SplitMix64 generator.
+///
+/// The name mirrors `rand::rngs::SmallRng`, which this type replaced; the
+/// statistical quality of SplitMix64 is ample for program generation and
+/// schedule shuffling (it passes BigCrush), and the implementation is a
+/// handful of arithmetic ops with no dependencies.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: RangeInt>(&mut self, range: Range<T>) -> T {
+        let (lo, hi) = (range.start.to_u64(), range.end.to_u64());
+        assert!(lo < hi, "gen_range called with an empty range");
+        // Modulo bias is negligible for the small ranges used here.
+        T::from_u64(lo + self.next_u64() % (hi - lo))
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, as rand's Bernoulli does.
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+/// Integer types usable with [`SmallRng::gen_range`].
+pub trait RangeInt: Copy {
+    /// Widens to the sampling domain.
+    fn to_u64(self) -> u64;
+    /// Narrows a sampled value back (always in range by construction).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(i32, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v: usize = rng.gen_range(2..7);
+            assert!((2..7).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((350..=650).contains(&hits), "p=0.5 hit {hits}/1000");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+}

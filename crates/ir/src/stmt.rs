@@ -57,12 +57,21 @@ pub enum StmtKind {
     /// monolithically by the analyses (§4.2), so there is no index form.
     Gep { dst: VarId, base: VarId, field: u32 },
     /// A function call. `dst` receives the callee's return value, if any.
-    Call { callee: Callee, args: Vec<VarId>, dst: Option<VarId> },
+    Call {
+        callee: Callee,
+        args: Vec<VarId>,
+        dst: Option<VarId>,
+    },
     /// `dst = fork callee(arg)` — `pthread_create`. `dst` receives an opaque
     /// thread handle (modelled as a pointer to the per-fork-site thread
     /// object `handle_obj`); handles can be stored into arrays and loaded
     /// back, as in the paper's Figure 11.
-    Fork { dst: VarId, callee: Callee, arg: Option<VarId>, handle_obj: ObjId },
+    Fork {
+        dst: VarId,
+        callee: Callee,
+        arg: Option<VarId>,
+        handle_obj: ObjId,
+    },
     /// `join handle` — `pthread_join`. Which fork sites the handle may refer
     /// to is resolved by the pre-analysis through `handle`'s points-to set.
     Join { handle: VarId },
@@ -190,12 +199,19 @@ mod tests {
     use super::*;
 
     fn stmt(kind: StmtKind) -> Stmt {
-        Stmt { kind, func: FuncId::new(0), block: BlockId::ENTRY }
+        Stmt {
+            kind,
+            func: FuncId::new(0),
+            block: BlockId::ENTRY,
+        }
     }
 
     #[test]
     fn def_and_uses_of_store() {
-        let s = stmt(StmtKind::Store { ptr: VarId::new(1), val: VarId::new(2) });
+        let s = stmt(StmtKind::Store {
+            ptr: VarId::new(1),
+            val: VarId::new(2),
+        });
         assert_eq!(s.def(), None);
         assert_eq!(s.uses(), vec![VarId::new(1), VarId::new(2)]);
         assert!(s.is_memory_access());
@@ -206,8 +222,14 @@ mod tests {
         let s = stmt(StmtKind::Phi {
             dst: VarId::new(0),
             arms: vec![
-                PhiArm { pred: BlockId::new(0), var: VarId::new(1) },
-                PhiArm { pred: BlockId::new(1), var: VarId::new(2) },
+                PhiArm {
+                    pred: BlockId::new(0),
+                    var: VarId::new(1),
+                },
+                PhiArm {
+                    pred: BlockId::new(1),
+                    var: VarId::new(2),
+                },
             ],
         });
         assert_eq!(s.def(), Some(VarId::new(0)));
@@ -244,7 +266,10 @@ mod tests {
         let t = Terminator::Branch(BlockId::new(1), BlockId::new(2));
         let succs: Vec<_> = t.successors().collect();
         assert_eq!(succs, vec![BlockId::new(1), BlockId::new(2)]);
-        assert_eq!(Terminator::Ret(Some(VarId::new(3))).ret_val(), Some(VarId::new(3)));
+        assert_eq!(
+            Terminator::Ret(Some(VarId::new(3))).ret_val(),
+            Some(VarId::new(3))
+        );
         assert_eq!(Terminator::Jump(BlockId::new(1)).successors().count(), 1);
     }
 }

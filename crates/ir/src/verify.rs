@@ -96,7 +96,10 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
                     func: Some(info.func),
                     stmt: None,
                     kind: VerifyErrorKind::SsaDef,
-                    message: format!("variable `{}` is used but never defined", module.var_name(v)),
+                    message: format!(
+                        "variable `{}` is used but never defined",
+                        module.var_name(v)
+                    ),
                 });
             }
         } else if n_defs > 1 {
@@ -151,8 +154,11 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
                         }
                         let mut arm_preds: Vec<BlockId> = arms.iter().map(|a| a.pred).collect();
                         arm_preds.sort();
-                        let mut block_preds: Vec<BlockId> =
-                            preds[bid].iter().copied().filter(|&p| dom.is_reachable(p)).collect();
+                        let mut block_preds: Vec<BlockId> = preds[bid]
+                            .iter()
+                            .copied()
+                            .filter(|&p| dom.is_reachable(p))
+                            .collect();
                         block_preds.sort();
                         block_preds.dedup();
                         if arm_preds != block_preds {
@@ -169,8 +175,15 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
                         // Phi uses must dominate the corresponding predecessor.
                         for arm in arms {
                             check_use_dominated(
-                                module, func.id, &dom, &pos, &defs, arm.var, sid,
-                                UsePoint::EndOfBlock(arm.pred), &mut errors,
+                                module,
+                                func.id,
+                                &dom,
+                                &pos,
+                                &defs,
+                                arm.var,
+                                sid,
+                                UsePoint::EndOfBlock(arm.pred),
+                                &mut errors,
                             );
                         }
                     }
@@ -178,8 +191,15 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
                         seen_non_phi = true;
                         for u in stmt.uses() {
                             check_use_dominated(
-                                module, func.id, &dom, &pos, &defs, u, sid,
-                                UsePoint::At(bid), &mut errors,
+                                module,
+                                func.id,
+                                &dom,
+                                &pos,
+                                &defs,
+                                u,
+                                sid,
+                                UsePoint::At(bid),
+                                &mut errors,
                             );
                         }
                     }
@@ -207,7 +227,11 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
 
                 // Arity of direct calls/forks.
                 match &stmt.kind {
-                    StmtKind::Call { callee: Callee::Direct(f), args, .. } => {
+                    StmtKind::Call {
+                        callee: Callee::Direct(f),
+                        args,
+                        ..
+                    } => {
                         let want = module.func(*f).params.len();
                         if args.len() != want {
                             errors.push(VerifyError {
@@ -223,7 +247,11 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
                             });
                         }
                     }
-                    StmtKind::Fork { callee: Callee::Direct(f), arg, .. } => {
+                    StmtKind::Fork {
+                        callee: Callee::Direct(f),
+                        arg,
+                        ..
+                    } => {
                         let want = module.func(*f).params.len();
                         let got = usize::from(arg.is_some());
                         if got != want {

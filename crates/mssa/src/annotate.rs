@@ -18,7 +18,7 @@ use fsam_threads::ThreadModel;
 use crate::modref::ModRef;
 
 /// The mu/chi maps for a module.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Annotations {
     mu: HashMap<StmtId, PtsSet>,
     chi: HashMap<StmtId, PtsSet>,
@@ -128,8 +128,16 @@ mod tests {
             }
         "#,
         );
-        let store = m.stmts().find(|(_, s)| matches!(s.kind, StmtKind::Store { .. })).unwrap().0;
-        let load = m.stmts().find(|(_, s)| matches!(s.kind, StmtKind::Load { .. })).unwrap().0;
+        let store = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Store { .. }))
+            .unwrap()
+            .0;
+        let load = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Load { .. }))
+            .unwrap()
+            .0;
         let g = pre.objects().base(m.global_by_name("g").unwrap());
         assert!(ann.chi(store).contains(g));
         assert!(ann.mu(store).is_empty());
@@ -196,10 +204,24 @@ mod tests {
         "#,
         );
         let g = pre.objects().base(m.global_by_name("g").unwrap());
-        let fork = m.stmts().find(|(_, s)| matches!(s.kind, StmtKind::Fork { .. })).unwrap().0;
-        let join = m.stmts().find(|(_, s)| matches!(s.kind, StmtKind::Join { .. })).unwrap().0;
-        assert!(ann.chi(fork).contains(g), "fork behaves like a call in Pseq");
+        let fork = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Fork { .. }))
+            .unwrap()
+            .0;
+        let join = m
+            .stmts()
+            .find(|(_, s)| matches!(s.kind, StmtKind::Join { .. }))
+            .unwrap()
+            .0;
+        assert!(
+            ann.chi(fork).contains(g),
+            "fork behaves like a call in Pseq"
+        );
         assert!(ann.mu(fork).contains(g));
-        assert!(ann.chi(join).contains(g), "join exposes thread side effects");
+        assert!(
+            ann.chi(join).contains(g),
+            "join exposes thread side effects"
+        );
     }
 }

@@ -14,7 +14,7 @@ use fsam_pts::PtsSet;
 use fsam_threads::ThreadModel;
 
 /// Per-function mod/ref sets.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ModRef {
     mods: Vec<PtsSet>,
     refs: Vec<PtsSet>,
@@ -190,7 +190,10 @@ mod tests {
         "#,
         );
         let main = m.entry().unwrap();
-        assert!(obj_in(&pre, &m, mr.mods(main), "g"), "fork side effects in Pseq");
+        assert!(
+            obj_in(&pre, &m, mr.mods(main), "g"),
+            "fork side effects in Pseq"
+        );
     }
 
     #[test]
@@ -239,11 +242,13 @@ mod tests {
             .count();
         assert_eq!(resolved, 1);
         // The handle flows through an array; the pre-analysis still finds it.
-        assert!(obj_in(&pre, &m, mr.mods(joiner), "g") || {
-            // If the model rejected the join (multi-fork heuristics), mods
-            // won't include g — but this program has a straight-line fork.
-            false
-        });
+        assert!(
+            obj_in(&pre, &m, mr.mods(joiner), "g") || {
+                // If the model rejected the join (multi-fork heuristics), mods
+                // won't include g — but this program has a straight-line fork.
+                false
+            }
+        );
     }
 
     #[test]

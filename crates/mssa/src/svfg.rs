@@ -20,7 +20,7 @@
 //! Thread-*aware* edges (§3.3) are appended later by the pipeline through
 //! [`Svfg::add_thread_edge`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use fsam_andersen::PreAnalysis;
 use fsam_ir::dom::DomTree;
@@ -107,7 +107,11 @@ pub struct SvfgStats {
 }
 
 /// The sparse value-flow graph.
-#[derive(Debug)]
+///
+/// `Clone` supports the staged pipeline: the thread-*oblivious* graph is
+/// built once per module and cloned per configuration before the
+/// configuration-specific thread-aware edges are appended.
+#[derive(Clone, Debug)]
 pub struct Svfg {
     nodes: Vec<NodeKind>,
     index: HashMap<NodeKind, NodeId>,
@@ -249,6 +253,38 @@ impl Svfg {
         false
     }
 
+    /// Appends the thread-aware def-use edges produced by the interference
+    /// phases (§3.3), grouped so complete store×access products share a
+    /// junction node.
+    ///
+    /// Edges are bucketed per object; within an object, stores are
+    /// partitioned by their exact access set, so every class is a complete
+    /// bipartite product routable through one
+    /// [`NodeKind::ThreadJunction`] (k+m edges instead of k×m) with
+    /// identical reachability — see [`Svfg::add_thread_group`]. `BTreeMap`
+    /// grouping keeps the insertion order (and thus node ids) deterministic.
+    pub fn insert_thread_edges_grouped(&mut self, edges: &[(StmtId, StmtId, MemId)]) {
+        use std::collections::BTreeSet;
+        let mut by_obj: BTreeMap<MemId, Vec<(StmtId, StmtId)>> = BTreeMap::new();
+        for &(s, a, o) in edges {
+            by_obj.entry(o).or_default().push((s, a));
+        }
+        for (o, pairs) in by_obj {
+            let mut access_sets: BTreeMap<StmtId, BTreeSet<StmtId>> = BTreeMap::new();
+            for &(s, a) in &pairs {
+                access_sets.entry(s).or_default().insert(a);
+            }
+            let mut classes: BTreeMap<Vec<StmtId>, Vec<StmtId>> = BTreeMap::new();
+            for (s, accs) in access_sets {
+                let key: Vec<StmtId> = accs.into_iter().collect();
+                classes.entry(key).or_default().push(s);
+            }
+            for (accesses, stores) in classes {
+                self.add_thread_group(&stores, &accesses, o);
+            }
+        }
+    }
+
     /// Appends a group of thread-aware def-use flows for one object: every
     /// store interferes with every access. Uses direct edges for small
     /// groups and a [`NodeKind::ThreadJunction`] above the fan-in threshold.
@@ -283,7 +319,10 @@ impl Svfg {
     pub fn add_thread_edge(&mut self, from: StmtId, to: StmtId, obj: MemId) -> bool {
         let f = self.node(NodeKind::Stmt(from));
         let t = self.node(NodeKind::Stmt(to));
-        if self.succs[f.index()].iter().any(|&(n, o)| n == t && o == obj) {
+        if self.succs[f.index()]
+            .iter()
+            .any(|&(n, o)| n == t && o == obj)
+        {
             return false;
         }
         self.add_edge(f, t, obj);
@@ -307,7 +346,10 @@ impl Svfg {
     }
 
     fn add_edge(&mut self, from: NodeId, to: NodeId, obj: MemId) {
-        if self.succs[from.index()].iter().any(|&(n, o)| n == to && o == obj) {
+        if self.succs[from.index()]
+            .iter()
+            .any(|&(n, o)| n == to && o == obj)
+        {
             return;
         }
         self.succs[from.index()].push((to, obj));
@@ -330,7 +372,10 @@ impl Svfg {
         let cg = pre.call_graph();
 
         // Definition blocks per object (entry counts as a def via FormalIn).
-        let mut def_blocks: HashMap<MemId, Vec<BlockId>> = HashMap::new();
+        // BTreeMap: phi placement below allocates NodeIds in iteration
+        // order, and node numbering must be deterministic (results are
+        // compared bit-for-bit across drivers).
+        let mut def_blocks: BTreeMap<MemId, Vec<BlockId>> = BTreeMap::new();
         for o in domain.iter() {
             def_blocks.insert(o, vec![BlockId::ENTRY]);
         }
@@ -346,7 +391,11 @@ impl Svfg {
         let mut phis_at: HashMap<BlockId, Vec<(MemId, NodeId)>> = HashMap::new();
         for (&o, blocks) in &def_blocks {
             for b in dom.iterated_frontier(blocks) {
-                let n = self.node(NodeKind::MemPhi { func, block: b, obj: o });
+                let n = self.node(NodeKind::MemPhi {
+                    func,
+                    block: b,
+                    obj: o,
+                });
                 phis_at.entry(b).or_default().push((o, n));
                 self.stats.mem_phis += 1;
             }
@@ -384,15 +433,14 @@ impl Svfg {
                 }
                 Walk::Enter(bid) => {
                     let mut saved: Vec<(MemId, NodeId)> = Vec::new();
-                    let set_cur =
-                        |cur: &mut HashMap<MemId, NodeId>,
-                         saved: &mut Vec<(MemId, NodeId)>,
-                         o: MemId,
-                         n: NodeId| {
-                            if let Some(old) = cur.insert(o, n) {
-                                saved.push((o, old));
-                            }
-                        };
+                    let set_cur = |cur: &mut HashMap<MemId, NodeId>,
+                                   saved: &mut Vec<(MemId, NodeId)>,
+                                   o: MemId,
+                                   n: NodeId| {
+                        if let Some(old) = cur.insert(o, n) {
+                            saved.push((o, old));
+                        }
+                    };
 
                     // Phis at block head define.
                     if let Some(phis) = phis_at.get(&bid) {
@@ -430,8 +478,10 @@ impl Svfg {
                                 for &callee in &callees {
                                     for o in self.modref.domain(callee).iter() {
                                         if let Some(&d) = cur.get(&o) {
-                                            let fin =
-                                                self.node(NodeKind::FormalIn { func: callee, obj: o });
+                                            let fin = self.node(NodeKind::FormalIn {
+                                                func: callee,
+                                                obj: o,
+                                            });
                                             self.add_edge(d, fin, o);
                                         }
                                     }
@@ -446,8 +496,10 @@ impl Svfg {
                                     }
                                     for &callee in &callees {
                                         if self.modref.mods(callee).contains(o) {
-                                            let fout = self
-                                                .node(NodeKind::FormalOut { func: callee, obj: o });
+                                            let fout = self.node(NodeKind::FormalOut {
+                                                func: callee,
+                                                obj: o,
+                                            });
                                             self.add_edge(fout, ao, o);
                                         }
                                     }
@@ -547,7 +599,9 @@ pub struct MemorySsa {
 impl MemorySsa {
     /// Builds memory SSA + SVFG in one step.
     pub fn build(module: &Module, pre: &PreAnalysis, tm: &ThreadModel) -> MemorySsa {
-        MemorySsa { svfg: Svfg::build(module, pre, tm) }
+        MemorySsa {
+            svfg: Svfg::build(module, pre, tm),
+        }
     }
 }
 
@@ -781,8 +835,14 @@ mod tests {
         let s_l1 = stmt_where(&m, "main", |k| matches!(k, StmtKind::Store { .. }), 0);
         let s_l2 = stmt_where(&m, "main", |k| matches!(k, StmtKind::Store { .. }), 1);
         let load_r = stmt_where(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
-        assert!(!svfg.reaches(s_l1, load_r, g), "sibling-arm leak (first def)");
-        assert!(!svfg.reaches(s_l2, load_r, g), "sibling-arm leak (second def)");
+        assert!(
+            !svfg.reaches(s_l1, load_r, g),
+            "sibling-arm leak (first def)"
+        );
+        assert!(
+            !svfg.reaches(s_l2, load_r, g),
+            "sibling-arm leak (second def)"
+        );
     }
 
     #[test]
@@ -814,6 +874,113 @@ mod tests {
         assert_eq!(svfg.stats.edges, before + 1);
         assert_eq!(svfg.stats.thread_edges, 1);
         assert!(svfg.reaches(sw, sl, g));
+    }
+
+    /// The worker/main skeleton used by the grouped-insertion tests: one
+    /// shared global plus enough store/load statements to form products.
+    fn interference_world() -> (Module, PreAnalysis, Svfg, MemId) {
+        let (m, pre, svfg) = build(
+            r#"
+            global g
+            func worker() {
+            entry:
+              q = &g
+              store q, q   // sw0
+              store q, q   // sw1
+              ret
+            }
+            func main() {
+            entry:
+              p = &g
+              t = fork worker()
+              c0 = load p  // sl0
+              c1 = load p  // sl1
+              ret
+            }
+        "#,
+        );
+        let g = pre.objects().base(m.global_by_name("g").unwrap());
+        (m, pre, svfg, g)
+    }
+
+    #[test]
+    fn grouped_insertion_matches_naive_edges() {
+        let (m, _, base, g) = interference_world();
+        let sw0 = stmt_where(&m, "worker", |k| matches!(k, StmtKind::Store { .. }), 0);
+        let sw1 = stmt_where(&m, "worker", |k| matches!(k, StmtKind::Store { .. }), 1);
+        let sl0 = stmt_where(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
+        let sl1 = stmt_where(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 1);
+        let edges = vec![(sw0, sl0, g), (sw0, sl1, g), (sw1, sl0, g), (sw1, sl1, g)];
+
+        let mut naive = base.clone();
+        for &(s, a, o) in &edges {
+            naive.add_thread_edge(s, a, o);
+        }
+        let mut grouped = base;
+        grouped.insert_thread_edges_grouped(&edges);
+
+        for &(s, a, o) in &edges {
+            assert!(grouped.reaches(s, a, o), "grouped must keep {s:?} -> {a:?}");
+            assert!(naive.reaches(s, a, o));
+        }
+        assert_eq!(grouped.stats.thread_edges, 4, "small product stays direct");
+    }
+
+    #[test]
+    fn grouped_insertion_partitions_by_access_set() {
+        let (m, _, mut svfg, g) = interference_world();
+        // Synthetic statement ids: disconnected in the base graph, so any
+        // reachability below comes from the inserted edges alone.
+        let hi = m.stmt_count() as u32;
+        let (sw0, sw1) = (StmtId::new(hi + 1), StmtId::new(hi + 2));
+        let (sl0, sl1) = (StmtId::new(hi + 3), StmtId::new(hi + 4));
+        // sw0 interferes only with sl0, sw1 only with sl1: two classes.
+        svfg.insert_thread_edges_grouped(&[(sw0, sl0, g), (sw1, sl1, g)]);
+        assert!(svfg.reaches(sw0, sl0, g));
+        assert!(svfg.reaches(sw1, sl1, g));
+        assert!(!svfg.reaches(sw0, sl1, g), "classes must not be merged");
+        assert!(!svfg.reaches(sw1, sl0, g), "classes must not be merged");
+    }
+
+    #[test]
+    fn grouped_insertion_uses_junction_for_large_products() {
+        let (m, _, mut svfg, g) = interference_world();
+        let sw0 = stmt_where(&m, "worker", |k| matches!(k, StmtKind::Store { .. }), 0);
+        let sl0 = stmt_where(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
+        // Synthesize a 9×9 product (> the direct-edge limit of 64). The
+        // statement ids need not exist in the module: thread edges intern
+        // their own `Stmt` nodes.
+        let hi = m.stmt_count() as u32;
+        let stores: Vec<StmtId> = (0..9)
+            .map(|i| if i == 0 { sw0 } else { StmtId::new(hi + i) })
+            .collect();
+        let accesses: Vec<StmtId> = (0..9)
+            .map(|i| {
+                if i == 0 {
+                    sl0
+                } else {
+                    StmtId::new(hi + 100 + i)
+                }
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for &s in &stores {
+            for &a in &accesses {
+                edges.push((s, a, g));
+            }
+        }
+        let before = svfg.stats.edges;
+        svfg.insert_thread_edges_grouped(&edges);
+        assert!(
+            svfg.lookup(NodeKind::ThreadJunction { obj: g }).is_some(),
+            "large product must route through a junction"
+        );
+        assert_eq!(svfg.stats.edges - before, 18, "k+m edges, not k×m");
+        for &s in &stores {
+            for &a in &accesses {
+                assert!(svfg.reaches(s, a, g));
+            }
+        }
     }
 
     #[test]

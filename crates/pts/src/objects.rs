@@ -105,12 +105,22 @@ impl ObjectModel {
                 ObjKind::Global | ObjKind::Stack(_) => !info.is_array,
                 ObjKind::Heap | ObjKind::Func(_) | ObjKind::Thread(_) => false,
             };
-            infos.push(MemInfo { kind: MemKind::Base(oid), singleton, collapsed: false });
+            infos.push(MemInfo {
+                kind: MemKind::Base(oid),
+                singleton,
+                collapsed: false,
+            });
             obj_kinds.push(info.kind);
             is_array.push(info.is_array);
         }
         let base_count = u32::try_from(infos.len()).expect("too many objects");
-        Self { infos, field_intern: HashMap::new(), base_count, obj_kinds, is_array }
+        Self {
+            infos,
+            field_intern: HashMap::new(),
+            base_count,
+            obj_kinds,
+            is_array,
+        }
     }
 
     /// Demotes stack locals of functions in call-graph cycles from singleton
@@ -192,7 +202,10 @@ impl ObjectModel {
         let id = MemId(u32::try_from(self.infos.len()).expect("too many field objects"));
         let singleton = self.infos[root.index()].singleton;
         self.infos.push(MemInfo {
-            kind: MemKind::Field { base: root, field: off },
+            kind: MemKind::Field {
+                base: root,
+                field: off,
+            },
             singleton,
             collapsed: false,
         });
@@ -326,17 +339,29 @@ mod tests {
         let heap = m.objs().find(|(_, o)| o.kind == ObjKind::Heap).unwrap().0;
         assert!(!om.is_singleton(om.base(heap)));
         // function object: never a singleton
-        let func = m.objs().find(|(_, o)| matches!(o.kind, ObjKind::Func(_))).unwrap().0;
+        let func = m
+            .objs()
+            .find(|(_, o)| matches!(o.kind, ObjKind::Func(_)))
+            .unwrap()
+            .0;
         assert!(!om.is_singleton(om.base(func)));
         // stack local of a non-recursive function: singleton
-        let stack = m.objs().find(|(_, o)| matches!(o.kind, ObjKind::Stack(_))).unwrap().0;
+        let stack = m
+            .objs()
+            .find(|(_, o)| matches!(o.kind, ObjKind::Stack(_)))
+            .unwrap()
+            .0;
         assert!(om.is_singleton(om.base(stack)));
     }
 
     #[test]
     fn recursive_locals_are_demoted() {
         let (m, mut om) = model();
-        let stack = m.objs().find(|(_, o)| matches!(o.kind, ObjKind::Stack(_))).unwrap().0;
+        let stack = m
+            .objs()
+            .find(|(_, o)| matches!(o.kind, ObjKind::Stack(_)))
+            .unwrap()
+            .0;
         assert!(om.is_singleton(om.base(stack)));
         om.demote_recursive_locals(&m, |_| true);
         assert!(!om.is_singleton(om.base(stack)));
@@ -405,7 +430,11 @@ mod tests {
         let om = ObjectModel::from_module(&m);
         let func_obj = m.func(worker).func_obj;
         assert_eq!(om.as_function(om.base(func_obj)), Some(worker));
-        let th = m.objs().find(|(_, o)| matches!(o.kind, ObjKind::Thread(_))).unwrap().0;
+        let th = m
+            .objs()
+            .find(|(_, o)| matches!(o.kind, ObjKind::Thread(_)))
+            .unwrap()
+            .0;
         assert!(om.as_thread_handle(om.base(th)).is_some());
         assert_eq!(om.as_function(om.base(th)), None);
     }

@@ -39,12 +39,16 @@ impl Default for PtsSet {
 impl PtsSet {
     /// Creates an empty set.
     pub const fn new() -> Self {
-        Self { repr: Repr::Small(Vec::new()) }
+        Self {
+            repr: Repr::Small(Vec::new()),
+        }
     }
 
     /// Creates a singleton set.
     pub fn singleton(id: MemId) -> Self {
-        Self { repr: Repr::Small(vec![id.raw()]) }
+        Self {
+            repr: Repr::Small(vec![id.raw()]),
+        }
     }
 
     /// Number of elements.
@@ -178,7 +182,11 @@ impl PtsSet {
 
     /// The intersection of two sets.
     pub fn intersection(&self, other: &PtsSet) -> PtsSet {
-        let (small, big) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut out = PtsSet::new();
         for id in small.iter() {
             if big.contains(id) {
@@ -206,7 +214,11 @@ impl PtsSet {
     pub fn iter(&self) -> Iter<'_> {
         match &self.repr {
             Repr::Small(v) => Iter::Small(v.iter()),
-            Repr::Bits { words, .. } => Iter::Bits { words, word_idx: 0, cur: words.first().copied().unwrap_or(0) },
+            Repr::Bits { words, .. } => Iter::Bits {
+                words,
+                word_idx: 0,
+                cur: words.first().copied().unwrap_or(0),
+            },
         }
     }
 
@@ -271,7 +283,11 @@ pub enum Iter<'a> {
     #[doc(hidden)]
     Small(std::slice::Iter<'a, u32>),
     #[doc(hidden)]
-    Bits { words: &'a [u64], word_idx: usize, cur: u64 },
+    Bits {
+        words: &'a [u64],
+        word_idx: usize,
+        cur: u64,
+    },
 }
 
 impl Iterator for Iter<'_> {
@@ -280,7 +296,11 @@ impl Iterator for Iter<'_> {
     fn next(&mut self) -> Option<MemId> {
         match self {
             Iter::Small(it) => it.next().map(|&id| MemId::new(id)),
-            Iter::Bits { words, word_idx, cur } => loop {
+            Iter::Bits {
+                words,
+                word_idx,
+                cur,
+            } => loop {
                 if *cur != 0 {
                     let bit = cur.trailing_zeros();
                     *cur &= *cur - 1;

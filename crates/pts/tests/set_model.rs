@@ -1,11 +1,15 @@
 //! Model-based property tests: `PtsSet` against a `BTreeSet<u32>` oracle,
 //! across the small-vector and bitmap representations (the spill threshold
 //! sits at 16 elements, so ids up to a few hundred exercise both).
+//!
+//! Operation sequences are sampled from a seeded in-repo generator
+//! ([`fsam_ir::rng::SmallRng`]) rather than an external property-testing
+//! framework, so the cases are deterministic and the tests run offline.
 
 use std::collections::BTreeSet;
 
+use fsam_ir::rng::SmallRng;
 use fsam_pts::{MemId, PtsSet};
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -14,15 +18,17 @@ enum Op {
     Clear,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            6 => (0u32..400).prop_map(Op::Insert),
-            2 => (0u32..400).prop_map(Op::Remove),
-            1 => Just(Op::Clear),
-        ],
-        0..120,
-    )
+/// Samples a random op sequence with the same 6:2:1 insert/remove/clear
+/// weighting the original proptest strategy used.
+fn sample_ops(rng: &mut SmallRng) -> Vec<Op> {
+    let len = rng.gen_range(0usize..120);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..9) {
+            0..=5 => Op::Insert(rng.gen_range(0u32..400)),
+            6..=7 => Op::Remove(rng.gen_range(0u32..400)),
+            _ => Op::Clear,
+        })
+        .collect()
 }
 
 fn apply(ops: &[Op]) -> (PtsSet, BTreeSet<u32>) {
@@ -49,61 +55,81 @@ fn apply(ops: &[Op]) -> (PtsSet, BTreeSet<u32>) {
     (set, model)
 }
 
-proptest! {
-    #[test]
-    fn matches_model(ops in ops()) {
+#[test]
+fn matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0001);
+    for _ in 0..64 {
+        let ops = sample_ops(&mut rng);
         let (set, model) = apply(&ops);
-        prop_assert_eq!(set.len(), model.len());
+        assert_eq!(set.len(), model.len());
         let elems: Vec<u32> = set.iter().map(|m| m.raw()).collect();
         let expected: Vec<u32> = model.iter().copied().collect();
-        prop_assert_eq!(elems, expected, "iteration order/content");
+        assert_eq!(elems, expected, "iteration order/content");
         for x in 0..400u32 {
-            prop_assert_eq!(set.contains(MemId::new(x)), model.contains(&x));
+            assert_eq!(set.contains(MemId::new(x)), model.contains(&x));
         }
     }
+}
 
-    #[test]
-    fn union_matches_model(a in ops(), b in ops()) {
-        let (mut sa, ma) = apply(&a);
-        let (sb, mb) = apply(&b);
+#[test]
+fn union_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0002);
+    for _ in 0..64 {
+        let (mut sa, ma) = apply(&sample_ops(&mut rng));
+        let (sb, mb) = apply(&sample_ops(&mut rng));
         let grew = sa.union_in_place(&sb);
         let mut mu = ma.clone();
         mu.extend(mb.iter().copied());
-        prop_assert_eq!(grew, mu.len() > ma.len());
+        assert_eq!(grew, mu.len() > ma.len());
         let elems: Vec<u32> = sa.iter().map(|m| m.raw()).collect();
         let expected: Vec<u32> = mu.iter().copied().collect();
-        prop_assert_eq!(elems, expected);
+        assert_eq!(elems, expected);
         // Union is idempotent.
-        prop_assert!(!sa.union_in_place(&sb));
+        assert!(!sa.union_in_place(&sb));
     }
+}
 
-    #[test]
-    fn intersection_matches_model(a in ops(), b in ops()) {
-        let (sa, ma) = apply(&a);
-        let (sb, mb) = apply(&b);
+#[test]
+fn intersection_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0003);
+    for _ in 0..64 {
+        let (sa, ma) = apply(&sample_ops(&mut rng));
+        let (sb, mb) = apply(&sample_ops(&mut rng));
         let inter = sa.intersection(&sb);
         let expected: Vec<u32> = ma.intersection(&mb).copied().collect();
         let got: Vec<u32> = inter.iter().map(|m| m.raw()).collect();
-        prop_assert_eq!(got, expected);
-        prop_assert_eq!(sa.intersects(&sb), !inter.is_empty());
+        assert_eq!(got, expected);
+        assert_eq!(sa.intersects(&sb), !inter.is_empty());
     }
+}
 
-    #[test]
-    fn subset_and_singleton_match_model(a in ops(), b in ops()) {
-        let (sa, ma) = apply(&a);
-        let (sb, mb) = apply(&b);
-        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
-        prop_assert_eq!(
+#[test]
+fn subset_and_singleton_match_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0004);
+    for _ in 0..64 {
+        let (sa, ma) = apply(&sample_ops(&mut rng));
+        let (sb, mb) = apply(&sample_ops(&mut rng));
+        assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        assert_eq!(
             sa.as_singleton().map(|m| m.raw()),
-            if ma.len() == 1 { ma.iter().next().copied() } else { None }
+            if ma.len() == 1 {
+                ma.iter().next().copied()
+            } else {
+                None
+            }
         );
     }
+}
 
-    #[test]
-    fn from_iterator_roundtrip(xs in proptest::collection::btree_set(0u32..1000, 0..60)) {
+#[test]
+fn from_iterator_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0005);
+    for _ in 0..64 {
+        let len = rng.gen_range(0usize..60);
+        let xs: BTreeSet<u32> = (0..len).map(|_| rng.gen_range(0u32..1000)).collect();
         let set: PtsSet = xs.iter().map(|&x| MemId::new(x)).collect();
-        prop_assert_eq!(set.len(), xs.len());
+        assert_eq!(set.len(), xs.len());
         let back: BTreeSet<u32> = set.iter().map(|m| m.raw()).collect();
-        prop_assert_eq!(back, xs);
+        assert_eq!(back, xs);
     }
 }

@@ -17,9 +17,8 @@
 //! [`Mill::churn_shared`], which works the protected shared state directly.
 
 use fsam_ir::builder::FunctionBuilder;
+use fsam_ir::rng::SmallRng;
 use fsam_ir::{ObjId, VarId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Bound on operand-pool size: keeps def-use density high.
 const POOL_MAX: usize = 24;

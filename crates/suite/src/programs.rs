@@ -134,7 +134,12 @@ fn budget(scale: Scale, loc: usize) -> usize {
 }
 
 /// A set of shared globals (some arrays) plus a couple of locks.
-fn shared_state(mb: &mut ModuleBuilder, prefix: &str, globals: usize, locks: usize) -> (Vec<ObjId>, Vec<ObjId>) {
+fn shared_state(
+    mb: &mut ModuleBuilder,
+    prefix: &str,
+    globals: usize,
+    locks: usize,
+) -> (Vec<ObjId>, Vec<ObjId>) {
     let gs: Vec<ObjId> = (0..globals)
         .map(|i| {
             if i % 4 == 3 {
@@ -144,7 +149,9 @@ fn shared_state(mb: &mut ModuleBuilder, prefix: &str, globals: usize, locks: usi
             }
         })
         .collect();
-    let ls: Vec<ObjId> = (0..locks).map(|i| mb.global(&format!("{prefix}_lock{i}"))).collect();
+    let ls: Vec<ObjId> = (0..locks)
+        .map(|i| mb.global(&format!("{prefix}_lock{i}")))
+        .collect();
     (gs, ls)
 }
 
@@ -356,7 +363,14 @@ fn task_queue(scale: Scale, seed: u64, loc: usize, workers: usize, queues: usize
     // wrapper that reads the task and hands its own scratch buffer to the
     // compute layer.
     let proc_leaves = (total / 600).max(3);
-    let compute = compute_layer(&mut mb, "proc", &[], proc_leaves, total / (4 * proc_leaves), seed ^ 0x33);
+    let compute = compute_layer(
+        &mut mb,
+        "proc",
+        &[],
+        proc_leaves,
+        total / (4 * proc_leaves),
+        seed ^ 0x33,
+    );
     let process = {
         let id = mb.declare_func("process_task", &["task"]);
         let mut f = mb.define_func(id);
@@ -532,12 +546,24 @@ fn pipeline(scale: Scale, seed: u64, loc: usize, stages: usize) -> Module {
             // ferret's threads "manipulate not only global variables but
             // also their local variables frequently" — value-flow analysis
             // avoids propagating these, §4.4).
-            let mut mill = Mill::new(&mut f, vec![], vec![local, local2], seed + 50 + s as u64, "lo");
+            let mut mill = Mill::new(
+                &mut f,
+                vec![],
+                vec![local, local2],
+                seed + 50 + s as u64,
+                "lo",
+            );
             mixed_body(&mut mill, (per_stage * 4) / 5, seed ^ (s as u64));
         }
         {
             // Enqueue to the output queue.
-            let mut mill = Mill::new(&mut f, vec![queues[s + 1]], vec![], seed + 90 + s as u64, "ou");
+            let mut mill = Mill::new(
+                &mut f,
+                vec![queues[s + 1]],
+                vec![],
+                seed + 90 + s as u64,
+                "ou",
+            );
             mill.seed_var(qout);
             mill.locked_region(lout, 4);
         }
@@ -571,7 +597,14 @@ fn worker_pool_core(scale: Scale, seed: u64, loc: usize, _workers: usize) -> Mod
     let (shared, _) = shared_state(&mut mb, "bt", n_globals, 0);
 
     let pu_leaves = (total / 500).max(4);
-    let particle_update = compute_layer(&mut mb, "particle", &shared, pu_leaves, total / (5 * pu_leaves), seed);
+    let particle_update = compute_layer(
+        &mut mb,
+        "particle",
+        &shared,
+        pu_leaves,
+        total / (5 * pu_leaves),
+        seed,
+    );
     let worker = mb.declare_func("pool_worker", &["w"]);
     let mut f = mb.define_func(worker);
     let p = f.param(0);
@@ -590,10 +623,31 @@ fn worker_pool_core(scale: Scale, seed: u64, loc: usize, _workers: usize) -> Mod
 
     // Sequential core: several large layers called from main.
     let core_leaves = (total / 400).max(4);
-    let core1 = compute_layer(&mut mb, "track", &shared, core_leaves, total / (4 * core_leaves), seed ^ 0x1);
-    let core2 = compute_layer(&mut mb, "filter", &shared, core_leaves, total / (4 * core_leaves), seed ^ 0x2);
+    let core1 = compute_layer(
+        &mut mb,
+        "track",
+        &shared,
+        core_leaves,
+        total / (4 * core_leaves),
+        seed ^ 0x1,
+    );
+    let core2 = compute_layer(
+        &mut mb,
+        "filter",
+        &shared,
+        core_leaves,
+        total / (4 * core_leaves),
+        seed ^ 0x2,
+    );
 
-    symmetric_master_with_core(&mut mb, worker, &[core1, core2], &shared, total / 8, seed ^ 0x3);
+    symmetric_master_with_core(
+        &mut mb,
+        worker,
+        &[core1, core2],
+        &shared,
+        total / 8,
+        seed ^ 0x3,
+    );
     mb.build()
 }
 
@@ -663,8 +717,22 @@ fn server(scale: Scale, seed: u64, loc: usize, handlers: usize, locked_sessions:
 
     // Request-parsing helpers (sequential, called by handlers).
     let svc_leaves = (total / 350).max(4);
-    let parse = compute_layer(&mut mb, "parse", &shared, svc_leaves, total / (3 * svc_leaves), seed);
-    let respond = compute_layer(&mut mb, "respond", &shared, svc_leaves, total / (3 * svc_leaves), seed ^ 0x9);
+    let parse = compute_layer(
+        &mut mb,
+        "parse",
+        &shared,
+        svc_leaves,
+        total / (3 * svc_leaves),
+        seed,
+    );
+    let respond = compute_layer(
+        &mut mb,
+        "respond",
+        &shared,
+        svc_leaves,
+        total / (3 * svc_leaves),
+        seed ^ 0x9,
+    );
 
     let handler = mb.declare_func("handler", &["conn"]);
     let mut f = mb.define_func(handler);
@@ -805,8 +873,7 @@ fn deep_engine(
     // -- the cross-thread traffic that makes the largest programs so hard
     // for the per-program-point baseline.
     {
-        let frame_state: Vec<ObjId> =
-            (0..8.min(shared.len())).map(|i| shared[i]).collect();
+        let frame_state: Vec<ObjId> = (0..8.min(shared.len())).map(|i| shared[i]).collect();
         let mut mill = Mill::new(&mut f, frame_state, vec![], seed ^ 0x77, "fs");
         mill.churn_shared(24);
     }
@@ -820,9 +887,23 @@ fn deep_engine(
     // disjoint state — cheap for the sparse analysis, brutal for a baseline
     // that materializes a points-to map at every program point.
     let scene_leaves = (total / 220).max(6);
-    let scene = compute_layer(&mut mb, "scene", &shared, scene_leaves, total / (4 * scene_leaves), seed ^ 0x66);
+    let scene = compute_layer(
+        &mut mb,
+        "scene",
+        &shared,
+        scene_leaves,
+        total / (4 * scene_leaves),
+        seed ^ 0x66,
+    );
     let out_leaves = (total / 500).max(4);
-    let output = compute_layer(&mut mb, "output", &shared, out_leaves, total / (5 * out_leaves), seed ^ 0x55);
+    let output = compute_layer(
+        &mut mb,
+        "output",
+        &shared,
+        out_leaves,
+        total / (5 * out_leaves),
+        seed ^ 0x55,
+    );
 
     // Main: frame loop forking workers, joined only on one path (partial
     // join: a thread may outlive the loop, §1.1).

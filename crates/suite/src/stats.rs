@@ -77,7 +77,11 @@ impl ProgramStats {
 pub fn table1(scale: Scale) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "Table 1: Program statistics (synthetic suite, scale {:.2})", scale.0);
+    let _ = writeln!(
+        out,
+        "Table 1: Program statistics (synthetic suite, scale {:.2})",
+        scale.0
+    );
     let _ = writeln!(
         out,
         "{:<14} {:<38} {:>8} {:>8} {:>7} {:>7} {:>6} {:>6} {:>6}",

@@ -9,7 +9,7 @@
 //! the worklist, and the context transitions on call/return edges — so each
 //! analysis only supplies its lattice and transfer function.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use fsam_ir::callgraph::CallGraph;
 use fsam_ir::context::{ContextTable, CtxId};
@@ -28,13 +28,7 @@ pub trait ForwardProblem {
 
     /// OUT = transfer(IN) at `node` (contexts are available for analyses
     /// that need instance identity).
-    fn transfer(
-        &mut self,
-        t: ThreadId,
-        ctx: CtxId,
-        node: NodeId,
-        fact: &Self::Fact,
-    ) -> Self::Fact;
+    fn transfer(&mut self, t: ThreadId, ctx: CtxId, node: NodeId, fact: &Self::Fact) -> Self::Fact;
 
     /// Merges `incoming` into `current`; returns `true` if `current` grew
     /// (union for may-analyses, intersection via `Option` tops for
@@ -63,10 +57,15 @@ pub type FlowState<F> = HashMap<(ThreadId, CtxId, NodeId), F>;
 /// The context in which `succ` executes when control flows from `node`
 /// (context `ctx`) along an edge of kind `kind` ([I-CALL]/[I-RET]/[I-INTRA],
 /// paper Figure 7). Returns `None` for infeasible call/return pairings.
+///
+/// `ctxs` must already contain every context reachable from the thread
+/// entries — build it once with [`precompute_contexts`]. Keeping this
+/// function read-only lets independent analyses share one frozen table and
+/// run concurrently.
 pub fn succ_context(
     icfg: &Icfg,
     cg: &CallGraph,
-    ctxs: &mut ContextTable,
+    ctxs: &ContextTable,
     ctx: CtxId,
     node: NodeId,
     succ: NodeId,
@@ -78,7 +77,7 @@ pub fn succ_context(
             let caller = icfg.func_of(node);
             let callee = icfg.func_of(succ);
             if cg.push_context(caller, callee) {
-                Some(ctxs.push(ctx, site))
+                Some(ctxs.resolve(ctx, site))
             } else {
                 Some(ctx)
             }
@@ -104,16 +103,59 @@ pub fn succ_context(
     }
 }
 
+/// Interns every calling context reachable from any thread's entry.
+///
+/// Context reachability depends only on the ICFG and the call graph — not on
+/// any analysis's data-flow facts — so one pass over the `(context, node)`
+/// state graph discovers exactly the contexts every [`run_forward`] client
+/// will visit. The resulting table is then shared read-only (ids stay
+/// consistent across analyses, and analyses can run in parallel).
+pub fn precompute_contexts(icfg: &Icfg, cg: &CallGraph, tm: &ThreadModel) -> ContextTable {
+    let mut ctxs = ContextTable::new();
+    let mut seen: HashSet<(CtxId, NodeId)> = HashSet::new();
+    let mut work: Vec<(CtxId, NodeId)> = Vec::new();
+    for ti in tm.threads() {
+        let entry = icfg.entry(ti.routine);
+        if seen.insert((CtxId::EMPTY, entry)) {
+            work.push((CtxId::EMPTY, entry));
+        }
+    }
+    while let Some((ctx, node)) = work.pop() {
+        for &(succ, kind) in icfg.succs(node) {
+            // Call edges are the only place contexts grow; everything else
+            // shares `succ_context`'s read-only logic.
+            let sc = if let EdgeKind::Call(site) = kind {
+                let caller = icfg.func_of(node);
+                let callee = icfg.func_of(succ);
+                if cg.push_context(caller, callee) {
+                    ctxs.push(ctx, site)
+                } else {
+                    ctx
+                }
+            } else {
+                match succ_context(icfg, cg, &ctxs, ctx, node, succ, kind) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            };
+            if seen.insert((sc, succ)) {
+                work.push((sc, succ));
+            }
+        }
+    }
+    ctxs
+}
+
 /// Runs `problem` to a fixpoint over every thread's ICFG.
 ///
-/// The shared `ctxs` table keeps context ids consistent across analyses run
-/// on the same module.
+/// The shared, pre-populated `ctxs` table (see [`precompute_contexts`])
+/// keeps context ids consistent across analyses run on the same module.
 pub fn run_forward<P: ForwardProblem>(
     module: &Module,
     icfg: &Icfg,
     cg: &CallGraph,
     tm: &ThreadModel,
-    ctxs: &mut ContextTable,
+    ctxs: &ContextTable,
     problem: &mut P,
 ) -> FlowState<P::Fact> {
     let mut state: FlowState<P::Fact> = HashMap::new();
@@ -127,7 +169,10 @@ pub fn run_forward<P: ForwardProblem>(
     }
 
     while let Some((t, ctx, node)) = work.pop() {
-        let in_fact = state.get(&(t, ctx, node)).expect("queued state exists").clone();
+        let in_fact = state
+            .get(&(t, ctx, node))
+            .expect("queued state exists")
+            .clone();
         let out = problem.transfer(t, ctx, node, &in_fact);
 
         for &(succ, kind) in icfg.succs(node) {
@@ -215,8 +260,8 @@ mod tests {
         let pre = PreAnalysis::run(&m);
         let icfg = Icfg::build(&m, pre.call_graph());
         let tm = ThreadModel::build(&m, &pre, &icfg);
-        let mut ctxs = ContextTable::new();
-        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &mut ctxs, &mut LockCounter);
+        let ctxs = precompute_contexts(&icfg, pre.call_graph(), &tm);
+        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &ctxs, &mut LockCounter);
 
         // helper's entry is visited under two different contexts for main
         // (its callsite) and one for worker.
@@ -225,7 +270,10 @@ mod tests {
             .keys()
             .filter(|(_, _, n)| *n == icfg.entry(helper))
             .collect();
-        assert!(entries.len() >= 2, "helper entry visited by both threads: {entries:?}");
+        assert!(
+            entries.len() >= 2,
+            "helper entry visited by both threads: {entries:?}"
+        );
         // The join statement is reached in the main thread.
         let join = m
             .stmts()
@@ -257,8 +305,8 @@ mod tests {
         let pre = PreAnalysis::run(&m);
         let icfg = Icfg::build(&m, pre.call_graph());
         let tm = ThreadModel::build(&m, &pre, &icfg);
-        let mut ctxs = ContextTable::new();
-        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &mut ctxs, &mut LockCounter);
+        let ctxs = precompute_contexts(&icfg, pre.call_graph(), &tm);
+        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &ctxs, &mut LockCounter);
         let leaf = m.func_by_name("leaf").unwrap();
         let leaf_ctxs: Vec<CtxId> = state
             .keys()
@@ -295,12 +343,15 @@ mod tests {
         let pre = PreAnalysis::run(&m);
         let icfg = Icfg::build(&m, pre.call_graph());
         let tm = ThreadModel::build(&m, &pre, &icfg);
-        let mut ctxs = ContextTable::new();
-        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &mut ctxs, &mut LockCounter);
+        let ctxs = precompute_contexts(&icfg, pre.call_graph(), &tm);
+        let state = run_forward(&m, &icfg, pre.call_graph(), &tm, &ctxs, &mut LockCounter);
         // Terminates, and rec's entry has at most two contexts (from main's
         // callsite; the recursive call is collapsed).
         let rec = m.func_by_name("rec").unwrap();
-        let n = state.keys().filter(|(_, _, n)| *n == icfg.entry(rec)).count();
+        let n = state
+            .keys()
+            .filter(|(_, _, n)| *n == icfg.entry(rec))
+            .count();
         assert!(n <= 2, "recursive contexts collapsed, got {n}");
         let main = m.entry().unwrap();
         assert!(state.contains_key(&(ThreadId::MAIN, CtxId::EMPTY, icfg.exit(main))));

@@ -221,14 +221,16 @@ pub struct Interleaving {
 }
 
 impl Interleaving {
-    /// Runs the interleaving analysis. `ctxs` is the shared context table
-    /// (the lock analysis must use the same one so instance ids align).
+    /// Runs the interleaving analysis. `ctxs` is the shared, pre-populated
+    /// context table (see [`crate::flow::precompute_contexts`]); the lock
+    /// analysis must use the same one so instance ids align. Taking it
+    /// read-only lets both analyses run concurrently.
     pub fn compute(
         module: &Module,
         icfg: &Icfg,
         pre: &fsam_andersen::PreAnalysis,
         tm: &ThreadModel,
-        ctxs: &mut ContextTable,
+        ctxs: &ContextTable,
     ) -> Interleaving {
         // Entry facts: ancestors + unordered siblings.
         let mut entry_facts = Vec::with_capacity(tm.len());
@@ -274,10 +276,14 @@ impl Interleaving {
             let func = module.func(stmt.func);
             let dom = fsam_ir::dom::DomTree::compute(func);
             let li = fsam_ir::loops::LoopInfo::compute(func, &dom);
-            let Some(lj) = li.innermost_loop(stmt.block) else { continue };
+            let Some(lj) = li.innermost_loop(stmt.block) else {
+                continue;
+            };
             let loop_blocks = &li.loops()[lj as usize].blocks;
             for n1 in icfg.node_ids() {
-                let Some((f1, b1)) = node_block(n1) else { continue };
+                let Some((f1, b1)) = node_block(n1) else {
+                    continue;
+                };
                 if f1 != stmt.func || !loop_blocks.contains(&b1) {
                     continue;
                 }
@@ -297,7 +303,11 @@ impl Interleaving {
         }
 
         let mut problem = InterleaveTransfer {
-            inner: InterleaveProblem { module, tm, entry_facts },
+            inner: InterleaveProblem {
+                module,
+                tm,
+                entry_facts,
+            },
             icfg,
             symmetric_kills,
         };
@@ -325,18 +335,18 @@ impl Interleaving {
         }
         let multi = tm.threads().iter().map(|ti| ti.multi_forked).collect();
 
-        Interleaving { state, instances, alive, executors, multi }
+        Interleaving {
+            state,
+            instances,
+            alive,
+            executors,
+            multi,
+        }
     }
 
     /// `I(t, c, s)`: threads that may run in parallel when `t` executes `s`
     /// under context `c` (`None` if the instance is unreachable).
-    pub fn alive_at(
-        &self,
-        icfg: &Icfg,
-        t: ThreadId,
-        c: CtxId,
-        s: StmtId,
-    ) -> Option<&ThreadSet> {
+    pub fn alive_at(&self, icfg: &Icfg, t: ThreadId, c: CtxId, s: StmtId) -> Option<&ThreadSet> {
         self.state.get(&(t, c, icfg.stmt_node(s)))
     }
 
@@ -419,8 +429,8 @@ mod tests {
         let pre = PreAnalysis::run(&m);
         let icfg = Icfg::build(&m, pre.call_graph());
         let tm = ThreadModel::build(&m, &pre, &icfg);
-        let mut ctxs = ContextTable::new();
-        let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &mut ctxs);
+        let ctxs = crate::flow::precompute_contexts(&icfg, pre.call_graph(), &tm);
+        let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &ctxs);
         (m, icfg, tm, inter)
     }
 
@@ -587,7 +597,10 @@ mod tests {
         "#,
         );
         let w = nth_stmt(&m, "worker", |k| matches!(k, StmtKind::Addr { .. }), 0);
-        assert!(inter.mhp_stmt(w, w), "two instances of a multi-forked thread");
+        assert!(
+            inter.mhp_stmt(w, w),
+            "two instances of a multi-forked thread"
+        );
     }
 
     #[test]
@@ -661,6 +674,9 @@ mod tests {
             !inter.mhp_stmt(w, after),
             "slave statements do not run in parallel with post-join master code (Fig 11)"
         );
-        assert!(inter.mhp_stmt(w, w), "slaves run in parallel with each other");
+        assert!(
+            inter.mhp_stmt(w, w),
+            "slaves run in parallel with each other"
+        );
     }
 }

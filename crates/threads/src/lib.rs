@@ -21,7 +21,7 @@ pub mod valueflow;
 
 pub use interleave::{Interleaving, ThreadSet};
 pub use lock::LockAnalysis;
-pub use valueflow::{ThreadValueFlow, ValueFlowStats};
-pub use mhp::{MhpOracle, ProcMhp};
+pub use mhp::{MhpBackend, MhpOracle, ProcMhp};
 pub use model::{JoinEntry, ThreadId, ThreadInfo, ThreadModel};
 pub use shared::SharedObjects;
+pub use valueflow::{ThreadValueFlow, ValueFlowStats};

@@ -128,14 +128,16 @@ pub struct LockAnalysis {
 const MAX_SPAN_STATES: usize = 100_000;
 
 impl LockAnalysis {
-    /// Runs the lock analysis. `ctxs` must be the same shared context table
-    /// used by the interleaving analysis so instance ids agree.
+    /// Runs the lock analysis. `ctxs` must be the same shared, pre-populated
+    /// context table (see [`crate::flow::precompute_contexts`]) used by the
+    /// interleaving analysis so instance ids agree. Taking it read-only lets
+    /// both analyses run concurrently.
     pub fn compute(
         module: &Module,
         icfg: &Icfg,
         pre: &PreAnalysis,
         tm: &ThreadModel,
-        ctxs: &mut ContextTable,
+        ctxs: &ContextTable,
     ) -> LockAnalysis {
         let mut problem = MustHeld { module, pre, icfg };
         let held = run_forward(module, icfg, pre.call_graph(), tm, ctxs, &mut problem);
@@ -188,7 +190,9 @@ impl LockAnalysis {
         let held2 = self.held_at(icfg, t2, c2, s2);
         let spans1 = self.membership.get(&(t1, c1, s1));
         let spans2 = self.membership.get(&(t2, c2, s2));
-        let (Some(spans1), Some(spans2)) = (spans1, spans2) else { return false };
+        let (Some(spans1), Some(spans2)) = (spans1, spans2) else {
+            return false;
+        };
         for &sp1 in spans1 {
             let span1 = &self.spans[sp1 as usize];
             let l = span1.lock;
@@ -200,10 +204,8 @@ impl LockAnalysis {
                 if span2.lock != l || held2.binary_search(&l).is_err() {
                     continue;
                 }
-                let s1_is_tail =
-                    span1.tl.get(&o).is_some_and(|set| set.contains(&(c1, s1)));
-                let s2_is_head =
-                    span2.hd.get(&o).is_some_and(|set| set.contains(&(c2, s2)));
+                let s1_is_tail = span1.tl.get(&o).is_some_and(|set| set.contains(&(c1, s1)));
+                let s2_is_head = span2.hd.get(&o).is_some_and(|set| set.contains(&(c2, s2)));
                 if !s1_is_tail || !s2_is_head {
                     return true;
                 }
@@ -218,7 +220,7 @@ impl LockAnalysis {
         module: &Module,
         icfg: &Icfg,
         pre: &PreAnalysis,
-        ctxs: &mut ContextTable,
+        ctxs: &ContextTable,
     ) {
         let cg = pre.call_graph();
         // Acquisition instances: states at Lock statements with a singleton
@@ -245,7 +247,11 @@ impl LockAnalysis {
             for &(c, s) in &span.member_stmts {
                 self.membership.entry((t, c, s)).or_default().push(idx);
             }
-            self.spans.push(Span { lock: l, hd: span.hd, tl: span.tl });
+            self.spans.push(Span {
+                lock: l,
+                hd: span.hd,
+                tl: span.tl,
+            });
         }
     }
 
@@ -257,7 +263,7 @@ impl LockAnalysis {
         module: &Module,
         icfg: &Icfg,
         pre: &PreAnalysis,
-        ctxs: &mut ContextTable,
+        ctxs: &ContextTable,
         cg: &fsam_ir::callgraph::CallGraph,
         _t: ThreadId,
         lock_ctx: CtxId,
@@ -307,7 +313,9 @@ impl LockAnalysis {
         let mut must_stores: HashMap<MemId, Vec<(CtxId, StmtId, NodeId)>> = HashMap::new();
         let mut accesses: HashMap<MemId, Vec<(CtxId, StmtId, NodeId)>> = HashMap::new();
         for &(c, n) in &members {
-            let NodeKind::Stmt(s) = icfg.kind(n) else { continue };
+            let NodeKind::Stmt(s) = icfg.kind(n) else {
+                continue;
+            };
             member_stmts.push((c, s));
             match module.stmt(s).kind {
                 StmtKind::Store { ptr, .. } => {
@@ -339,7 +347,7 @@ impl LockAnalysis {
         let mut hd: HashMap<MemId, HashSet<(CtxId, StmtId)>> = HashMap::new();
         let mut tl: HashMap<MemId, HashSet<(CtxId, StmtId)>> = HashMap::new();
         let no_musts: Vec<(CtxId, StmtId, NodeId)> = Vec::new();
-        let span_reach = |from_c: CtxId, from_n: NodeId, ctxs: &mut ContextTable| {
+        let span_reach = |from_c: CtxId, from_n: NodeId, ctxs: &ContextTable| {
             let mut reach: HashSet<(CtxId, NodeId)> = HashSet::new();
             let mut work = vec![(from_c, from_n)];
             while let Some((c, n)) = work.pop() {
@@ -384,12 +392,15 @@ impl LockAnalysis {
         // Objects accessed but never stored in the span: all accesses are
         // heads (nothing redefines them in-span).
         for (&o, obj_accesses) in &accesses {
-            hd.entry(o).or_insert_with(|| {
-                obj_accesses.iter().map(|&(c, s, _)| (c, s)).collect()
-            });
+            hd.entry(o)
+                .or_insert_with(|| obj_accesses.iter().map(|&(c, s, _)| (c, s)).collect());
         }
 
-        Some(SpanWalk { member_stmts, hd, tl })
+        Some(SpanWalk {
+            member_stmts,
+            hd,
+            tl,
+        })
     }
 }
 
@@ -412,9 +423,9 @@ mod tests {
         let pre = PreAnalysis::run(&m);
         let icfg = Icfg::build(&m, pre.call_graph());
         let tm = ThreadModel::build(&m, &pre, &icfg);
-        let mut ctxs = ContextTable::new();
-        let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &mut ctxs);
-        let lock = LockAnalysis::compute(&m, &icfg, &pre, &tm, &mut ctxs);
+        let ctxs = crate::flow::precompute_contexts(&icfg, pre.call_graph(), &tm);
+        let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &ctxs);
+        let lock = LockAnalysis::compute(&m, &icfg, &pre, &tm, &ctxs);
         (m, icfg, tm, inter, lock)
     }
 

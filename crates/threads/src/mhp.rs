@@ -8,11 +8,13 @@
 //! source for the NonSparse baseline (§4.3).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use fsam_ir::context::CtxId;
 use fsam_ir::icfg::Icfg;
 use fsam_ir::{Module, StmtId};
 
+use crate::interleave::Interleaving;
 use crate::model::{ThreadId, ThreadModel};
 
 /// May-happen-in-parallel queries at statement and instance granularity.
@@ -31,6 +33,68 @@ pub trait MhpOracle {
         i1: (ThreadId, CtxId, StmtId),
         i2: (ThreadId, CtxId, StmtId),
     ) -> bool;
+}
+
+/// The MHP oracle a pipeline configuration selected: the paper's flow- and
+/// context-sensitive interleaving analysis (§3.3.1), or the PCG-style
+/// procedure-level baseline used by the *No-Interleaving* ablation.
+///
+/// Exactly one backend always exists — this replaces the
+/// `(Option<Interleaving>, Option<ProcMhp>)` pair whose `(None, None)` arm
+/// was unreachable by construction. The analyses sit behind `Arc` so a
+/// staged pipeline can hand the same computed oracle to several
+/// configuration runs (and clients) without recomputing or cloning it.
+#[derive(Clone, Debug)]
+pub enum MhpBackend {
+    /// The interleaving analysis (every configuration but *No-Interleaving*).
+    Interleaving(Arc<Interleaving>),
+    /// The procedure-level fallback (*No-Interleaving* and NonSparse).
+    Pcg(Arc<ProcMhp>),
+}
+
+impl MhpBackend {
+    /// The interleaving analysis, when this backend carries one.
+    pub fn interleaving(&self) -> Option<&Interleaving> {
+        match self {
+            MhpBackend::Interleaving(i) => Some(i),
+            MhpBackend::Pcg(_) => None,
+        }
+    }
+
+    /// The PCG baseline, when this backend carries one.
+    pub fn pcg(&self) -> Option<&ProcMhp> {
+        match self {
+            MhpBackend::Interleaving(_) => None,
+            MhpBackend::Pcg(p) => Some(p),
+        }
+    }
+
+    /// The backend as a plain oracle trait object.
+    pub fn oracle(&self) -> &dyn MhpOracle {
+        match self {
+            MhpBackend::Interleaving(i) => i.as_ref(),
+            MhpBackend::Pcg(p) => p.as_ref(),
+        }
+    }
+}
+
+impl MhpOracle for MhpBackend {
+    fn instances(&self, s: StmtId) -> Vec<(ThreadId, CtxId)> {
+        self.oracle().instances(s)
+    }
+
+    fn mhp_stmt(&self, s1: StmtId, s2: StmtId) -> bool {
+        self.oracle().mhp_stmt(s1, s2)
+    }
+
+    fn mhp_instances(
+        &self,
+        icfg: &Icfg,
+        i1: (ThreadId, CtxId, StmtId),
+        i2: (ThreadId, CtxId, StmtId),
+    ) -> bool {
+        self.oracle().mhp_instances(icfg, i1, i2)
+    }
 }
 
 /// Procedure-level MHP (the PCG baseline): two statements may happen in
@@ -58,8 +122,7 @@ impl ProcMhp {
                     continue;
                 }
                 let ordered = tm.are_siblings(a.id, b.id)
-                    && (tm.happens_before(icfg, a.id, b.id)
-                        || tm.happens_before(icfg, b.id, a.id));
+                    && (tm.happens_before(icfg, a.id, b.id) || tm.happens_before(icfg, b.id, a.id));
                 concurrent[a.id.index()][b.id.index()] = !ordered;
             }
         }
@@ -71,7 +134,11 @@ impl ProcMhp {
             }
         }
         let multi = tm.threads().iter().map(|t| t.multi_forked).collect();
-        ProcMhp { executors, concurrent, multi }
+        ProcMhp {
+            executors,
+            concurrent,
+            multi,
+        }
     }
 
     fn threads_of(&self, s: StmtId) -> &[ThreadId] {
@@ -81,7 +148,10 @@ impl ProcMhp {
 
 impl MhpOracle for ProcMhp {
     fn instances(&self, s: StmtId) -> Vec<(ThreadId, CtxId)> {
-        self.threads_of(s).iter().map(|&t| (t, CtxId::EMPTY)).collect()
+        self.threads_of(s)
+            .iter()
+            .map(|&t| (t, CtxId::EMPTY))
+            .collect()
     }
 
     fn mhp_stmt(&self, s1: StmtId, s2: StmtId) -> bool {
@@ -160,8 +230,57 @@ mod tests {
             .last()
             .unwrap()
             .0;
-        assert!(pcg.mhp_stmt(w, after), "PCG has no statement-level join precision");
-        assert!(!pcg.mhp_stmt(w, w), "single-forked thread not self-parallel");
+        assert!(
+            pcg.mhp_stmt(w, after),
+            "PCG has no statement-level join precision"
+        );
+        assert!(
+            !pcg.mhp_stmt(w, w),
+            "single-forked thread not self-parallel"
+        );
+    }
+
+    #[test]
+    fn backend_delegates_to_its_oracle() {
+        let src = r#"
+            global g
+            func worker() {
+            entry:
+              w = &g
+              ret
+            }
+            func main() {
+            entry:
+              t = fork worker()
+              join t
+              after = &g
+              ret
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        let pre = PreAnalysis::run(&m);
+        let icfg = Icfg::build(&m, pre.call_graph());
+        let tm = ThreadModel::build(&m, &pre, &icfg);
+        let backend = MhpBackend::Pcg(Arc::new(ProcMhp::build(&m, &icfg, &tm)));
+        assert!(backend.pcg().is_some());
+        assert!(backend.interleaving().is_none());
+        let w = m
+            .stmts()
+            .find(|(_, s)| s.func == m.func_by_name("worker").unwrap())
+            .unwrap()
+            .0;
+        let after = m
+            .stmts()
+            .filter(|(_, s)| s.func == m.entry().unwrap())
+            .last()
+            .unwrap()
+            .0;
+        // The enum answers exactly like the oracle it wraps.
+        assert_eq!(
+            backend.mhp_stmt(w, after),
+            backend.oracle().mhp_stmt(w, after)
+        );
+        assert_eq!(backend.instances(w), backend.oracle().instances(w));
     }
 
     #[test]

@@ -185,7 +185,10 @@ impl ThreadModel {
     /// Closes a seed set of threads under "is fully joined by": if `t` is in
     /// the set and `t` fully joins `t'` somewhere, `t'` is added
     /// ([T-JOIN] transitivity).
-    pub fn close_under_full_joins(&self, seed: impl IntoIterator<Item = ThreadId>) -> Vec<ThreadId> {
+    pub fn close_under_full_joins(
+        &self,
+        seed: impl IntoIterator<Item = ThreadId>,
+    ) -> Vec<ThreadId> {
         let mut dead: HashSet<ThreadId> = HashSet::new();
         let mut work: Vec<ThreadId> = seed.into_iter().collect();
         while let Some(t) = work.pop() {
@@ -261,7 +264,9 @@ impl ThreadModel {
         let anc = ca[common - 1];
         let _child_a = ca[common]; // subtree containing a
         let child_b = cb[common]; // subtree containing b
-        let fork_b = self.threads[child_b.index()].fork_site.expect("non-root child");
+        let fork_b = self.threads[child_b.index()]
+            .fork_site
+            .expect("non-root child");
 
         // `a` must be certainly dead: every path from anc's routine entry to
         // fork(child_b) passes a join site killing `a`. (`a` itself must be
@@ -345,7 +350,9 @@ impl Builder<'_> {
         }
         let in_loop = |s: StmtId| -> bool {
             let stmt = self.module.stmt(s);
-            loop_info.get(&stmt.func).is_some_and(|li| li.in_loop(stmt.block))
+            loop_info
+                .get(&stmt.func)
+                .is_some_and(|li| li.in_loop(stmt.block))
         };
 
         // Enumerate threads breadth-first.
@@ -410,7 +417,9 @@ impl Builder<'_> {
         // Resolve joins.
         let mut joins: HashMap<StmtId, Vec<JoinEntry>> = HashMap::new();
         for (jn, stmt) in self.module.stmts() {
-            let StmtKind::Join { handle } = stmt.kind else { continue };
+            let StmtKind::Join { handle } = stmt.kind else {
+                continue;
+            };
             let fork_sites = self.pre.thread_handles_of(handle);
             if fork_sites.is_empty() {
                 continue;
@@ -431,8 +440,9 @@ impl Builder<'_> {
                     .map(|ti| ti.id)
                     .collect::<Vec<_>>()
                 {
-                    let fork_site =
-                        threads[spawnee.index()].fork_site.expect("spawnee has fork site");
+                    let fork_site = threads[spawnee.index()]
+                        .fork_site
+                        .expect("spawnee has fork site");
                     let symmetric = self.is_symmetric_pair(fork_site, jn, &loop_info, handle);
                     if threads[spawnee.index()].multi_forked && !symmetric {
                         // The handle may denote many runtime threads
@@ -451,10 +461,12 @@ impl Builder<'_> {
                             &fork_sites,
                             handle,
                         );
-                    joins
-                        .entry(jn)
-                        .or_default()
-                        .push(JoinEntry { spawner, thread: spawnee, full, symmetric });
+                    joins.entry(jn).or_default().push(JoinEntry {
+                        spawner,
+                        thread: spawnee,
+                        full,
+                        symmetric,
+                    });
                 }
             }
         }
@@ -488,7 +500,14 @@ impl Builder<'_> {
             dead_after.insert(jn, dead);
         }
 
-        ThreadModel { threads, reach, joins, dead_after, descendants, fully_joins }
+        ThreadModel {
+            threads,
+            reach,
+            joins,
+            dead_after,
+            descendants,
+            fully_joins,
+        }
     }
 
     /// Functions of the thread-reachable set that may execute more than once
@@ -540,9 +559,9 @@ impl Builder<'_> {
                     continue;
                 }
                 // f is multi if any of its in-region callers is multi.
-                let caller_multi = funcs.iter().any(|&g| {
-                    multi.contains(&g) && cg.callees_of(g).any(|c| c == f)
-                });
+                let caller_multi = funcs
+                    .iter()
+                    .any(|&g| multi.contains(&g) && cg.callees_of(g).any(|c| c == f));
                 if caller_multi {
                     multi.insert(f);
                     changed = true;
@@ -571,7 +590,9 @@ impl Builder<'_> {
         if fs.func != js.func {
             return false;
         }
-        let Some(li) = loop_info.get(&fs.func) else { return false };
+        let Some(li) = loop_info.get(&fs.func) else {
+            return false;
+        };
         let (Some(lf), Some(lj)) = (li.innermost_loop(fs.block), li.innermost_loop(js.block))
         else {
             return false;
@@ -689,7 +710,11 @@ mod tests {
         let (m, _, _, tm) = build(FIG8);
         let by_routine = |name: &str| -> ThreadId {
             let f = m.func_by_name(name).unwrap();
-            tm.threads().iter().find(|t| t.routine == f && t.id != ThreadId::MAIN).unwrap().id
+            tm.threads()
+                .iter()
+                .find(|t| t.routine == f && t.id != ThreadId::MAIN)
+                .unwrap()
+                .id
         };
         let (t1, t2, t3) = (by_routine("foo1"), by_routine("foo2"), by_routine("bar"));
         assert!(tm.is_ancestor(ThreadId::MAIN, t1));
@@ -706,15 +731,17 @@ mod tests {
         let (m, _, icfg, tm) = build(FIG8);
         let by_routine = |name: &str| -> ThreadId {
             let f = m.func_by_name(name).unwrap();
-            tm.threads().iter().find(|t| t.routine == f && t.id != ThreadId::MAIN).unwrap().id
+            tm.threads()
+                .iter()
+                .find(|t| t.routine == f && t.id != ThreadId::MAIN)
+                .unwrap()
+                .id
         };
         let (t1, t2, t3) = (by_routine("foo1"), by_routine("foo2"), by_routine("bar"));
         // jn1 (main's first join) kills t1 and, transitively, t3.
         let jn1 = m
             .stmts()
-            .find(|(_, s)| {
-                s.func == m.entry().unwrap() && matches!(s.kind, StmtKind::Join { .. })
-            })
+            .find(|(_, s)| s.func == m.entry().unwrap() && matches!(s.kind, StmtKind::Join { .. }))
             .unwrap()
             .0;
         let dead = tm.dead_after(jn1);

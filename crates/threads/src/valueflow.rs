@@ -201,7 +201,6 @@ mod tests {
     use crate::interleave::Interleaving;
     use crate::lock::LockAnalysis;
     use crate::model::ThreadModel;
-    use fsam_ir::context::ContextTable;
     use fsam_ir::parse::parse_module;
 
     struct World {
@@ -218,10 +217,16 @@ mod tests {
         let pre = PreAnalysis::run(&m);
         let icfg = Icfg::build(&m, pre.call_graph());
         let tm = ThreadModel::build(&m, &pre, &icfg);
-        let mut ctxs = ContextTable::new();
-        let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &mut ctxs);
-        let lock = LockAnalysis::compute(&m, &icfg, &pre, &tm, &mut ctxs);
-        World { m, icfg, pre, inter, lock }
+        let ctxs = crate::flow::precompute_contexts(&icfg, pre.call_graph(), &tm);
+        let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &ctxs);
+        let lock = LockAnalysis::compute(&m, &icfg, &pre, &tm, &ctxs);
+        World {
+            m,
+            icfg,
+            pre,
+            inter,
+            lock,
+        }
     }
 
     fn nth_stmt(m: &Module, f: &str, pred: impl Fn(&StmtKind) -> bool, n: usize) -> StmtId {
@@ -296,7 +301,10 @@ mod tests {
         );
         let precise = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
         let blind = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), true);
-        assert!(blind.stats.edges > precise.stats.edges, "blind mode adds spurious edges");
+        assert!(
+            blind.stats.edges > precise.stats.edges,
+            "blind mode adds spurious edges"
+        );
     }
 
     #[test]
@@ -360,9 +368,15 @@ mod tests {
         // The tail store -> head load edge must survive.
         let tail = nth_stmt(&w.m, "a", |k| matches!(k, StmtKind::Store { .. }), 1);
         let head = nth_stmt(&w.m, "b", |k| matches!(k, StmtKind::Load { .. }), 0);
-        assert!(with_lock.edges.iter().any(|&(s, a, _)| s == tail && a == head));
+        assert!(with_lock
+            .edges
+            .iter()
+            .any(|&(s, a, _)| s == tail && a == head));
         // The intermediate store -> head edge is filtered.
         let mid = nth_stmt(&w.m, "a", |k| matches!(k, StmtKind::Store { .. }), 0);
-        assert!(!with_lock.edges.iter().any(|&(s, a, _)| s == mid && a == head));
+        assert!(!with_lock
+            .edges
+            .iter()
+            .any(|&(s, a, _)| s == mid && a == head));
     }
 }

@@ -12,11 +12,13 @@
 
 use std::time::{Duration, Instant};
 
-use fsam::{nonsparse, Fsam, NonSparseOutcome};
+use fsam::{NonSparseOutcome, PhaseConfig, Pipeline};
 use fsam_suite::{Program, Scale};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bodytrack".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bodytrack".to_owned());
     let scale = Scale(
         std::env::args()
             .nth(2)
@@ -36,21 +38,22 @@ fn main() {
 
     println!("generating {} at scale {:.2}...", program.name(), scale.0);
     let module = program.generate(scale);
-    println!("  {} IR statements, {} functions", module.stmt_count(), module.func_count());
+    println!(
+        "  {} IR statements, {} functions",
+        module.stmt_count(),
+        module.func_count()
+    );
 
+    // One staged pipeline: FSAM and the NonSparse baseline share the
+    // pre-analysis and ICFG/thread-model stages.
+    let pipeline = Pipeline::for_module(&module);
     let t0 = Instant::now();
-    let fsam = Fsam::analyze(&module);
+    let fsam = pipeline.run(PhaseConfig::full());
     let fsam_time = t0.elapsed();
     let fsam_mem = fsam.memory();
 
     let t0 = Instant::now();
-    let outcome = nonsparse::run(
-        &module,
-        &fsam.pre,
-        &fsam.icfg,
-        &fsam.tm,
-        Some(Duration::from_secs(300)),
-    );
+    let outcome = pipeline.run_nonsparse(Some(Duration::from_secs(300)));
     let ns_time = t0.elapsed();
 
     println!("\n{:<12} {:>12} {:>14}", "", "time", "memory");

@@ -9,10 +9,10 @@
 //! may-happen-in-parallel facts the interleaving analysis computes.
 
 use fsam_andersen::PreAnalysis;
-use fsam_ir::context::ContextTable;
 use fsam_ir::icfg::Icfg;
 use fsam_ir::parse::parse_module;
 use fsam_ir::StmtKind;
+use fsam_threads::flow::precompute_contexts;
 use fsam_threads::mhp::MhpOracle;
 use fsam_threads::{Interleaving, ThreadModel};
 
@@ -55,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pre = PreAnalysis::run(&module);
     let icfg = Icfg::build(&module, pre.call_graph());
     let tm = ThreadModel::build(&module, &pre, &icfg);
-    let mut ctxs = ContextTable::new();
-    let inter = Interleaving::compute(&module, &icfg, &pre, &tm, &mut ctxs);
+    let ctxs = precompute_contexts(&icfg, pre.call_graph(), &tm);
+    let inter = Interleaving::compute(&module, &icfg, &pre, &tm, &ctxs);
 
     println!("== thread relations (paper Fig 8(b)) ==");
     for ti in tm.threads() {

@@ -1,4 +1,5 @@
-//! Quickstart: analyze the paper's Figure 1(a) program.
+//! Quickstart: analyze the paper's Figure 1(a) program with the staged
+//! [`Pipeline`] API.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -9,8 +10,13 @@
 //! `*p = q` in the forked thread interferes with `c = *p` in main, so
 //! `pt(c) = {y, z}` — dropping the interference analyses would lose the
 //! soundness (or the precision) the paper's Figure 1 walks through.
+//!
+//! The example then re-runs the three Figure 12 ablations through the *same*
+//! pipeline: the Andersen pre-analysis, ICFG/thread model, context table and
+//! thread-oblivious SVFG are each built exactly once and shared by all four
+//! configurations.
 
-use fsam::Fsam;
+use fsam::{PhaseConfig, Pipeline};
 use fsam_ir::parse::parse_module;
 
 const PROGRAM: &str = r#"
@@ -42,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = parse_module(PROGRAM)?;
     fsam_ir::verify::verify_module(&module).expect("program is well-formed");
 
-    let fsam = Fsam::analyze(&module);
+    // Stage the pipeline once; each `run` materializes (or reuses) the
+    // phases its configuration needs.
+    let pipeline = Pipeline::for_module(&module);
+    let fsam = pipeline.run(PhaseConfig::full());
 
     println!("== FSAM quickstart ==");
     println!("threads discovered: {}", fsam.tm.len());
@@ -57,12 +66,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\npipeline statistics:");
     println!("  thread-aware def-use edges: {}", fsam.vf_stats.edges);
-    println!("  strong updates:             {}", fsam.result.stats.strong_updates);
-    println!("  weak updates:               {}", fsam.result.stats.weak_updates);
+    println!(
+        "  strong updates:             {}",
+        fsam.result.stats.strong_updates
+    );
+    println!(
+        "  weak updates:               {}",
+        fsam.result.stats.weak_updates
+    );
     println!("  total time:                 {:?}", fsam.times.total());
     println!("  analysis memory:            {}", fsam.memory());
 
     assert_eq!(fsam.pt_names(&module, "main", "c"), vec!["y", "z"]);
     println!("\npt(c) = {{y, z}} — matches the paper's Figure 1(a).");
+
+    // Reusing stages across ablations: the three Figure 12 ablations ride
+    // the stages the full run already built — only the per-configuration
+    // phases (value-flow, edge insertion, sparse solve) run again.
+    println!("\n== Figure 12 ablations on shared stages ==");
+    for cfg in [
+        PhaseConfig::no_interleaving(),
+        PhaseConfig::no_value_flow(),
+        PhaseConfig::no_lock(),
+    ] {
+        let ablated = pipeline.run(cfg);
+        println!(
+            "  {cfg:?}: {} thread-aware edges, pt(c) = {:?}",
+            ablated.vf_stats.edges,
+            ablated.pt_names(&module, "main", "c")
+        );
+    }
+    let counts = pipeline.build_counts();
+    println!(
+        "\nstage builds across all four runs: pre-analysis {}, ICFG {}, SVFG {}",
+        counts.pre_analysis, counts.icfg, counts.svfg
+    );
+    assert_eq!(counts.pre_analysis, 1, "the pre-analysis ran exactly once");
+    assert_eq!(
+        counts.svfg, 1,
+        "the thread-oblivious SVFG was built exactly once"
+    );
     Ok(())
 }

@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== race detection over FSAM results ==");
     println!("threads: {}", fsam.tm.len());
-    println!("lock-release spans: {}", fsam.lock.as_ref().map_or(0, |l| l.span_count));
+    println!(
+        "lock-release spans: {}",
+        fsam.lock.as_ref().map_or(0, |l| l.span_count)
+    );
     println!();
     if races.is_empty() {
         println!("no races found");

@@ -17,10 +17,7 @@ fn clients_run_on_every_benchmark() {
         let plan = plan_instrumentation(&module, &fsam);
 
         // Structural invariants.
-        let accesses = module
-            .stmts()
-            .filter(|(_, s)| s.is_memory_access())
-            .count();
+        let accesses = module.stmts().filter(|(_, s)| s.is_memory_access()).count();
         assert_eq!(
             plan.instrument.len() + plan.skip.len(),
             accesses,

@@ -78,7 +78,10 @@ fn figure_1b_escaping_thread() {
     );
     let names = fsam.pt_names(&m, "bar", "c");
     assert!(names.contains(&"y".to_owned()), "{names:?}");
-    assert!(names.contains(&"z".to_owned()), "unjoined grandchild must see the store: {names:?}");
+    assert!(
+        names.contains(&"z".to_owned()),
+        "unjoined grandchild must see the store: {names:?}"
+    );
 }
 
 /// Figure 1(c): `*p = r`, `*p = q` and `c = *p` execute serially (fork +
@@ -145,7 +148,10 @@ fn figure_1d_sparsity() {
     );
     let names = fsam.pt_names(&m, "main", "c");
     assert!(names.contains(&"y".to_owned()), "{names:?}");
-    assert!(!names.contains(&"x".to_owned()), "non-aliased store must not leak: {names:?}");
+    assert!(
+        !names.contains(&"x".to_owned()),
+        "non-aliased store must not leak: {names:?}"
+    );
 }
 
 /// Figure 1(e): l1 and l2 must-alias the same lock; the spurious def-use
@@ -190,7 +196,10 @@ fn figure_1e_lock_analysis() {
     let names = fsam.pt_names(&m, "main", "c");
     assert!(names.contains(&"y".to_owned()), "{names:?}");
     assert!(names.contains(&"z".to_owned()), "{names:?}");
-    assert!(!names.contains(&"vobj".to_owned()), "spurious *u flow: {names:?}");
+    assert!(
+        !names.contains(&"vobj".to_owned()),
+        "spurious *u flow: {names:?}"
+    );
 }
 
 /// Figure 6: the thread-oblivious def-use chains over Pseq — checked here
@@ -278,30 +287,36 @@ fn figure_11_symmetric_fork_join() {
     );
     // The post-join load sees both values (init + slave writes)...
     let c = fsam.pt_names(&m, "main", "c");
-    assert!(c.contains(&"v1".to_owned()) && c.contains(&"v2".to_owned()), "{c:?}");
+    assert!(
+        c.contains(&"v1".to_owned()) && c.contains(&"v2".to_owned()),
+        "{c:?}"
+    );
     // ...and the interleaving analysis proved the slaves dead after the
     // join loop (no MHP between slave stores and the post-join load).
-    let inter = fsam.interleaving.as_ref().expect("full config");
+    let inter = fsam.mhp.interleaving().expect("full config");
     use fsam_ir::StmtKind;
     use fsam_threads::mhp::MhpOracle;
     let slave_store = m
         .stmts()
         .find(|(_, s)| {
-            s.func == m.func_by_name("slave").unwrap()
-                && matches!(s.kind, StmtKind::Store { .. })
+            s.func == m.func_by_name("slave").unwrap() && matches!(s.kind, StmtKind::Store { .. })
         })
         .unwrap()
         .0;
     let c_load = m
         .stmts()
-        .filter(|(_, s)| {
-            s.func == m.entry().unwrap() && matches!(s.kind, StmtKind::Load { .. })
-        })
+        .filter(|(_, s)| s.func == m.entry().unwrap() && matches!(s.kind, StmtKind::Load { .. }))
         .last()
         .unwrap()
         .0;
-    assert!(!inter.mhp_stmt(slave_store, c_load), "post-join master code is sequential");
-    assert!(inter.mhp_stmt(slave_store, slave_store), "slaves are mutually parallel");
+    assert!(
+        !inter.mhp_stmt(slave_store, c_load),
+        "post-join master code is sequential"
+    );
+    assert!(
+        inter.mhp_stmt(slave_store, slave_store),
+        "slaves are mutually parallel"
+    );
 }
 
 /// The ablation configurations stay sound on the figure programs: every

@@ -2,15 +2,12 @@
 
 use fsam::Fsam;
 use fsam_ir::parse::parse_module;
-use proptest::prelude::*;
 
 // Sequential chain of stores to a singleton: the last store wins (strong
 // updates kill everything earlier), for any chain length.
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn last_store_wins_on_singletons(n in 1usize..12) {
+#[test]
+fn last_store_wins_on_singletons() {
+    for n in 1usize..12 {
         let mut src = String::from("global cell\n");
         for i in 0..n {
             src.push_str(&format!("global v{i}\n"));
@@ -23,13 +20,15 @@ proptest! {
         let m = parse_module(&src).unwrap();
         let fsam = Fsam::analyze(&m);
         let names = fsam.pt_names(&m, "main", "c");
-        prop_assert_eq!(names, vec![format!("v{}", n - 1)]);
+        assert_eq!(names, vec![format!("v{}", n - 1)]);
     }
+}
 
-    /// The same chain through a heap cell (never a singleton) accumulates
-    /// every store (weak updates).
-    #[test]
-    fn heap_accumulates_all_stores(n in 1usize..12) {
+/// The same chain through a heap cell (never a singleton) accumulates
+/// every store (weak updates), for any chain length.
+#[test]
+fn heap_accumulates_all_stores() {
+    for n in 1usize..12 {
         let mut src = String::new();
         for i in 0..n {
             src.push_str(&format!("global v{i}\n"));
@@ -42,23 +41,22 @@ proptest! {
         let m = parse_module(&src).unwrap();
         let fsam = Fsam::analyze(&m);
         let names = fsam.pt_names(&m, "main", "c");
-        prop_assert_eq!(names.len(), n);
+        assert_eq!(names.len(), n);
     }
+}
 
-    /// Analysis is deterministic: two runs produce identical results.
-    #[test]
-    fn analysis_is_deterministic(seed in any::<u64>()) {
-        let p = fsam_suite::Program::Kmeans;
-        let _ = seed; // program generation is already seeded internally
-        let m = p.generate(fsam_suite::Scale::SMOKE);
-        let a = Fsam::analyze(&m);
-        let b = Fsam::analyze(&m);
-        for v in m.var_ids() {
-            prop_assert_eq!(a.result.pt_var(v), b.result.pt_var(v));
-        }
-        prop_assert_eq!(a.vf_stats, b.vf_stats);
-        prop_assert_eq!(&a.result.stats, &b.result.stats);
+/// Analysis is deterministic: two runs produce identical results.
+#[test]
+fn analysis_is_deterministic() {
+    let p = fsam_suite::Program::Kmeans;
+    let m = p.generate(fsam_suite::Scale::SMOKE);
+    let a = Fsam::analyze(&m);
+    let b = Fsam::analyze(&m);
+    for v in m.var_ids() {
+        assert_eq!(a.result.pt_var(v), b.result.pt_var(v));
     }
+    assert_eq!(a.vf_stats, b.vf_stats);
+    assert_eq!(&a.result.stats, &b.result.stats);
 }
 
 /// Strong updates across a branch merge become weak (the def doesn't
@@ -176,5 +174,8 @@ fn recursion_terminates_with_weak_locals() {
     // Both stores' values survive: `frame` is a recursive local, no strong
     // updates (Fig 10 singletons exclude locals in recursion).
     let names = fsam.pt_names(&m, "rec", "c");
-    assert!(names.contains(&"a".to_owned()) && names.contains(&"b".to_owned()), "{names:?}");
+    assert!(
+        names.contains(&"a".to_owned()) && names.contains(&"b".to_owned()),
+        "{names:?}"
+    );
 }
