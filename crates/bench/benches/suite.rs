@@ -1,6 +1,15 @@
 //! End-to-end benchmarks: FSAM vs. the NonSparse baseline per benchmark
 //! program (the Table 2 comparison at bench-friendly scale). Plain timing
 //! loops — see `fsam_bench::timing`.
+//!
+//! Besides the printed min/median/max lines, the run exports
+//! `BENCH_solver.json` at the workspace root: one record per program with
+//! the sparse solver's worklist counters (total items, delta vs. recompute
+//! visits, strong/weak updates), its peak points-to bytes, and the median
+//! wall time of each analysis. The perf-smoke CI step and EXPERIMENTS.md
+//! read these numbers instead of scraping stdout.
+
+use std::fmt::Write as _;
 
 use fsam::{Fsam, PhaseConfig, Pipeline};
 use fsam_bench::timing::bench;
@@ -10,6 +19,7 @@ const BENCH_SCALE: Scale = Scale(0.08);
 
 fn main() {
     const SAMPLES: usize = 10;
+    let mut records = Vec::new();
     for p in [
         Program::WordCount,
         Program::Radiosity,
@@ -17,15 +27,46 @@ fn main() {
         Program::Bodytrack,
     ] {
         let module = p.generate(BENCH_SCALE);
-        bench(&format!("suite/fsam/{}", p.name()), SAMPLES, || {
+        let fsam_median = bench(&format!("suite/fsam/{}", p.name()), SAMPLES, || {
             Fsam::analyze(&module)
         });
         // The NonSparse baseline reuses the pipeline's cached pre-analysis
         // and ICFG stages, so the loop times only the dataflow iteration.
         let pipeline = Pipeline::for_module(&module);
         pipeline.run(PhaseConfig::full());
-        bench(&format!("suite/nonsparse/{}", p.name()), SAMPLES, || {
+        let nonsparse_median = bench(&format!("suite/nonsparse/{}", p.name()), SAMPLES, || {
             pipeline.run_nonsparse(None)
         });
+
+        let stats = Fsam::analyze(&module).result.stats;
+        let mut r = String::new();
+        write!(
+            r,
+            concat!(
+                "  {{\"program\": \"{}\", \"scale\": {}, ",
+                "\"worklist_items\": {}, \"delta_items\": {}, ",
+                "\"recompute_items\": {}, \"strong_updates\": {}, ",
+                "\"weak_updates\": {}, \"peak_pts_bytes\": {}, ",
+                "\"fsam_wall_ms\": {:.3}, \"nonsparse_wall_ms\": {:.3}}}"
+            ),
+            p.name(),
+            BENCH_SCALE.0,
+            stats.processed,
+            stats.delta_items,
+            stats.recompute_items,
+            stats.strong_updates,
+            stats.weak_updates,
+            stats.peak_pts_bytes,
+            fsam_median.as_secs_f64() * 1e3,
+            nonsparse_median.as_secs_f64() * 1e3,
+        )
+        .expect("write to string");
+        records.push(r);
     }
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    // `cargo bench` runs with the package directory as CWD; anchor the
+    // export at the workspace root where EXPERIMENTS.md expects it.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    std::fs::write(path, &json).expect("write BENCH_solver.json");
+    println!("wrote BENCH_solver.json ({} programs)", records.len());
 }

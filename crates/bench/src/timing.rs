@@ -8,9 +8,10 @@
 
 use std::time::{Duration, Instant};
 
-/// Runs `f` for `samples` timed iterations (after one untimed warm-up) and
-/// prints a `name  min / median / max` line.
-pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
+/// Runs `f` for `samples` timed iterations (after one untimed warm-up),
+/// prints a `name  min / median / max` line, and returns the median so
+/// callers can export it (e.g. into `BENCH_solver.json`).
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> Duration {
     assert!(samples > 0);
     std::hint::black_box(f()); // warm-up
     let mut times: Vec<Duration> = Vec::with_capacity(samples);
@@ -20,10 +21,11 @@ pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
         times.push(start.elapsed());
     }
     times.sort();
+    let median = times[times.len() / 2];
     println!(
-        "{name:<40} min {:>10.3?}   median {:>10.3?}   max {:>10.3?}",
+        "{name:<40} min {:>10.3?}   median {median:>10.3?}   max {:>10.3?}",
         times[0],
-        times[times.len() / 2],
         times[times.len() - 1],
     );
+    median
 }

@@ -55,7 +55,9 @@ pub mod deadlock;
 pub mod instrument;
 pub mod nonsparse;
 pub mod pipeline;
+pub mod queue;
 pub mod race;
+pub mod recompute;
 pub mod solver;
 
 pub use deadlock::{detect as detect_deadlocks, Deadlock};
@@ -63,5 +65,7 @@ pub use fsam_threads::MhpBackend;
 pub use instrument::{plan as plan_instrumentation, InstrumentationPlan};
 pub use nonsparse::{NonSparseOutcome, NonSparseResult, NonSparseStats};
 pub use pipeline::{Fsam, PhaseConfig, PhaseTimes, Pipeline, StageBuildCounts};
+pub use queue::IndexedPriorityQueue;
 pub use race::{detect as detect_races, Race};
+pub use recompute::solve_recompute;
 pub use solver::{SolverStats, SparseResult};

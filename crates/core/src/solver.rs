@@ -11,18 +11,41 @@
 //! every MHP access, so a kill at one store cannot hide another thread's
 //! write.
 //!
-//! # Recompute semantics
+//! # Difference propagation
 //!
-//! Strong updates make the transfer functions non-monotone in the points-to
-//! state itself (a store's output *shrinks* when its pointer's points-to set
-//! becomes a known singleton). The solver therefore **recomputes and
-//! replaces** each definition from its inputs instead of accumulating:
-//! every top-level variable's set is re-evaluated from its complete source
-//! list (its unique SSA definition, or all argument/return bindings), and
-//! every object definition from its reaching definitions. The inputs that
-//! drive the strong/weak decision (`pt(p)`) only flip a bounded number of
-//! times (∅ → singleton → larger), after which everything is monotone, so
-//! the fixpoint exists and the worklist terminates.
+//! Each worklist item carries only the **delta** since its last visit
+//! (Hardekopf–Lin style): when a variable or object definition grows, the
+//! new members alone flow along its def-use edges into per-target pending
+//! sets, and a visited item unions its pending delta into its current set.
+//! Full recompute-and-replace survives solely as the fallback for the
+//! non-monotone cases introduced by strong updates — a store's output
+//! *shrinks* when its pointer's points-to set becomes a known singleton.
+//! Each store tracks its pointer through a `∅ → singleton → multi` phase
+//! flag ([`StorePhase`]); only the phase transitions (and explicit
+//! non-monotone replacements, which cascade a recompute downstream) fall
+//! back to re-evaluating a definition from its complete inputs, so the
+//! fallback fires a bounded number of times per store. At quiescence every
+//! dataflow equation holds exactly, so the solver reaches the same fixpoint
+//! as pure recompute-and-replace — [`crate::recompute`] keeps that solver
+//! as the equivalence oracle.
+//!
+//! # Priority order
+//!
+//! The worklist is an [`IndexedPriorityQueue`](crate::queue) keyed on the
+//! topological position of each item's SCC in the condensation of the
+//! combined def-use graph ([`Svfg::solve_order`]): definitions are
+//! processed before their transitive uses wherever the graph is acyclic,
+//! so a fact crosses each region once per round instead of rippling in
+//! LIFO order.
+//!
+//! # Interned points-to store
+//!
+//! All points-to sets live in a [`PtsPool`] of hash-consed immutable sets;
+//! the solver holds one 4-byte [`PtsRef`] per variable and per object
+//! definition, and updates are copy-on-write handle swaps. The pool is
+//! compacted down to the live sets when the solver finishes, so the final
+//! [`SparseResult::pts_bytes`] reflects the retained state while
+//! [`SolverStats::peak_pts_bytes`] records the in-flight peak.
 
 use std::collections::HashMap;
 
@@ -30,13 +53,19 @@ use fsam_andersen::PreAnalysis;
 use fsam_ir::stmt::{StmtKind, Terminator};
 use fsam_ir::{Module, StmtId, VarId};
 use fsam_mssa::{NodeId as VfNodeId, NodeKind as VfNodeKind, Svfg};
-use fsam_pts::{MemId, PtsSet};
+use fsam_pts::{MemId, PtsPool, PtsRef, PtsSet};
+
+use crate::queue::IndexedPriorityQueue;
 
 /// Solver statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Worklist items processed.
     pub processed: usize,
+    /// Items processed in delta mode (pending difference only).
+    pub delta_items: usize,
+    /// Items processed in recompute mode (full re-evaluation fallback).
+    pub recompute_items: usize,
     /// Store evaluations that applied a strong update.
     pub strong_updates: usize,
     /// Store evaluations that applied a weak update.
@@ -45,17 +74,27 @@ pub struct SolverStats {
     pub var_pts_entries: usize,
     /// Final points-to pairs at object definitions.
     pub def_pts_entries: usize,
+    /// Peak heap bytes of the points-to store before end-of-solve
+    /// compaction (pool plus the per-variable/per-definition tables).
+    pub peak_pts_bytes: usize,
 }
 
 /// The result of the sparse flow-sensitive analysis.
 ///
 /// `PartialEq` compares the complete points-to state (per-variable and
 /// per-definition sets plus statistics) — the driver-equivalence tests use
-/// it to check that staged and standalone runs agree exactly.
-#[derive(Debug, PartialEq, Eq)]
+/// it to check that staged and standalone runs agree exactly. Use
+/// [`points_to_eq`](SparseResult::points_to_eq) to compare sets only
+/// (e.g. across solvers whose item counts legitimately differ).
+#[derive(Debug)]
 pub struct SparseResult {
-    pt_vars: Vec<PtsSet>,
-    pt_defs: HashMap<(VfNodeId, MemId), PtsSet>,
+    pool: PtsPool,
+    pt_vars: Vec<PtsRef>,
+    /// First slot of each SVFG node; `len == node_count + 1`.
+    slot_base: Vec<u32>,
+    /// Object defined by each slot, ascending within a node.
+    slot_obj: Vec<MemId>,
+    slot_out: Vec<PtsRef>,
     /// Statistics.
     pub stats: SolverStats,
 }
@@ -64,22 +103,138 @@ impl SparseResult {
     /// Flow-sensitive points-to set of a top-level variable (its unique SSA
     /// definition makes one set per variable flow-sensitive).
     pub fn pt_var(&self, v: VarId) -> &PtsSet {
-        &self.pt_vars[v.index()]
+        self.pool.get(self.pt_vars[v.index()])
     }
 
     /// Points-to set of object `o` immediately after its definition at SVFG
     /// node `n` (`pt(s, o)` of Figure 10).
     pub fn pt_def(&self, n: VfNodeId, o: MemId) -> &PtsSet {
         static EMPTY: PtsSet = PtsSet::new();
-        self.pt_defs.get(&(n, o)).unwrap_or(&EMPTY)
+        let i = n.index();
+        if i + 1 >= self.slot_base.len() {
+            return &EMPTY;
+        }
+        let (s, e) = (self.slot_base[i] as usize, self.slot_base[i + 1] as usize);
+        match self.slot_obj[s..e].binary_search(&o) {
+            Ok(k) => self.pool.get(self.slot_out[s + k]),
+            Err(_) => &EMPTY,
+        }
     }
 
-    /// Heap bytes held by the final points-to state (memory metering).
+    /// Heap bytes held by the final points-to state (memory metering): the
+    /// compacted pool plus the dense per-variable and per-definition tables.
     pub fn pts_bytes(&self) -> usize {
-        self.pt_vars.iter().map(PtsSet::heap_bytes).sum::<usize>()
-            + self.pt_defs.values().map(PtsSet::heap_bytes).sum::<usize>()
-            + self.pt_defs.len() * std::mem::size_of::<((VfNodeId, MemId), PtsSet)>()
+        self.pool.heap_bytes()
+            + table_bytes(
+                &self.pt_vars,
+                &self.slot_base,
+                &self.slot_obj,
+                &self.slot_out,
+            )
     }
+
+    /// Whether two results assign the same points-to sets everywhere,
+    /// ignoring statistics. Definitions holding the empty set compare equal
+    /// to absent definitions.
+    pub fn points_to_eq(&self, other: &SparseResult) -> bool {
+        if self.pt_vars.len() != other.pt_vars.len() {
+            return false;
+        }
+        for (&a, &b) in self.pt_vars.iter().zip(other.pt_vars.iter()) {
+            if self.pool.get(a) != other.pool.get(b) {
+                return false;
+            }
+        }
+        let nodes = self
+            .slot_base
+            .len()
+            .max(other.slot_base.len())
+            .saturating_sub(1);
+        for n in 0..nodes {
+            let mut a = self.nonempty_defs_at(n);
+            let mut b = other.nonempty_defs_at(n);
+            loop {
+                match (a.next(), b.next()) {
+                    (None, None) => break,
+                    (Some((oa, sa)), Some((ob, sb))) if oa == ob && sa == sb => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// The non-empty `(object, set)` definitions at node `n`, ascending.
+    fn nonempty_defs_at(&self, n: usize) -> impl Iterator<Item = (MemId, &PtsSet)> + '_ {
+        let (s, e) = if n + 1 < self.slot_base.len() {
+            (self.slot_base[n] as usize, self.slot_base[n + 1] as usize)
+        } else {
+            (0, 0)
+        };
+        (s..e).filter_map(move |k| {
+            let set = self.pool.get(self.slot_out[k]);
+            (!set.is_empty()).then_some((self.slot_obj[k], set))
+        })
+    }
+
+    /// Builds a result from loose state (the recompute oracle's shape).
+    pub(crate) fn from_state(
+        pt_var_sets: Vec<PtsSet>,
+        pt_defs: HashMap<(VfNodeId, MemId), PtsSet>,
+        node_count: usize,
+        stats: SolverStats,
+    ) -> SparseResult {
+        let mut pool = PtsPool::new();
+        let pt_vars = pt_var_sets.into_iter().map(|s| pool.intern(s)).collect();
+        let mut keys: Vec<(VfNodeId, MemId)> = pt_defs.keys().copied().collect();
+        keys.sort_unstable_by_key(|&(n, o)| (n.index(), o));
+        let mut slot_base = Vec::with_capacity(node_count + 1);
+        let mut slot_obj = Vec::with_capacity(keys.len());
+        let mut slot_out = Vec::with_capacity(keys.len());
+        let mut it = keys.iter().peekable();
+        for n in 0..node_count {
+            slot_base.push(slot_obj.len() as u32);
+            while let Some(&&(kn, o)) = it.peek() {
+                if kn.index() != n {
+                    break;
+                }
+                it.next();
+                slot_obj.push(o);
+                slot_out.push(pool.intern(pt_defs[&(kn, o)].clone()));
+            }
+        }
+        slot_base.push(slot_obj.len() as u32);
+        let mut result = SparseResult {
+            pool,
+            pt_vars,
+            slot_base,
+            slot_obj,
+            slot_out,
+            stats,
+        };
+        result.stats.peak_pts_bytes = result.pts_bytes();
+        result
+    }
+}
+
+impl PartialEq for SparseResult {
+    fn eq(&self, other: &SparseResult) -> bool {
+        self.stats == other.stats && self.points_to_eq(other)
+    }
+}
+
+impl Eq for SparseResult {}
+
+fn table_bytes(
+    pt_vars: &[PtsRef],
+    slot_base: &[u32],
+    slot_obj: &[MemId],
+    slot_out: &[PtsRef],
+) -> usize {
+    std::mem::size_of_val(pt_vars)
+        + std::mem::size_of_val(slot_base)
+        + std::mem::size_of_val(slot_obj)
+        + std::mem::size_of_val(slot_out)
 }
 
 /// Runs the sparse solver over the (thread-aware) SVFG.
@@ -88,7 +243,7 @@ pub fn solve(module: &Module, pre: &PreAnalysis, svfg: &Svfg) -> SparseResult {
 }
 
 /// Where a top-level variable's values come from.
-#[derive(Clone, Debug)]
+#[derive(Copy, Clone, Debug)]
 enum VarSource {
     /// `v = &obj` (also the fork handle).
     Obj(MemId),
@@ -100,71 +255,189 @@ enum VarSource {
     Gep(VarId, u32),
 }
 
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
-enum Item {
-    Stmt(StmtId),
-    /// A store whose incoming definition of one object changed.
-    StoreObj(StmtId, MemId),
-    MemNode(VfNodeId),
-    Var(VarId),
+/// A forward dependency of a variable: what a growth of `pt(v)` feeds.
+#[derive(Copy, Clone, Debug)]
+enum VarDep {
+    /// `tgt ⊇ v` directly.
+    Flow(VarId),
+    /// `tgt ⊇ field(v, f)`.
+    Gep(VarId, u32),
+    /// `v` is the pointer of the load at `.0` defining `.1`.
+    LoadPtr(StmtId, VarId),
+    /// `v` is the pointer of the store at `.0`.
+    StorePtr(StmtId),
+    /// `v` is the stored value of the store at `.0`.
+    StoreVal(StmtId),
 }
+
+/// What a slot (one object definition at one SVFG node) computes.
+#[derive(Copy, Clone, Debug)]
+enum SlotKind {
+    /// A store's chi output: `P-STORE` + `P-SU/WU` for one object.
+    Store { ptr: VarId, val: VarId },
+    /// A merge node (mem-phi, formal/actual in/out, thread junction):
+    /// output = union of reaching definitions.
+    Merge,
+}
+
+/// The observed shape of a store pointer's points-to set. Only the
+/// transitions of this flag (∅ → singleton → multi, plus non-monotone
+/// replacements) trigger the recompute fallback at the store's slots.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum StorePhase {
+    /// `pt(p) = ∅`: nothing written yet, every slot passes its input.
+    Empty,
+    /// `pt(p) = {o}` with `o` a singleton object: slot `o` is strong.
+    Strong(MemId),
+    /// Anything else: written slots update weakly.
+    Weak,
+}
+
+/// Worklist modes. `RECOMP` supersedes `DELTA` for a queued item.
+const DELTA: u8 = 1;
+const RECOMP: u8 = 2;
 
 struct Solver<'a> {
     module: &'a Module,
     pre: &'a PreAnalysis,
     svfg: &'a Svfg,
-    pt_vars: Vec<PtsSet>,
-    pt_defs: HashMap<(VfNodeId, MemId), PtsSet>,
+    pool: PtsPool,
+    pt_vars: Vec<PtsRef>,
     var_sources: Vec<Vec<VarSource>>,
-    /// Statements to reprocess when a variable changes (syntactic uses plus
-    /// synthetic uses: call sites consuming a return variable).
-    var_dependents: Vec<Vec<Item>>,
-    /// Reaching-definition predecessors indexed by (node, object): avoids
-    /// rescanning a node's full predecessor list per object.
-    preds_by_obj: HashMap<(VfNodeId, MemId), Vec<VfNodeId>>,
-    work: Vec<Item>,
-    queued: HashMap<Item, ()>,
+    var_deps: Vec<Vec<VarDep>>,
+    /// Slot tables: one slot per object definition, grouped per SVFG node
+    /// with ascending objects (see [`SparseResult`]).
+    slot_base: Vec<u32>,
+    slot_obj: Vec<MemId>,
+    slot_out: Vec<PtsRef>,
+    slot_node: Vec<u32>,
+    slot_kind: Vec<SlotKind>,
+    /// Per-statement store phase (meaningful for stores only).
+    store_phase: Vec<StorePhase>,
+    /// Reaching-definition predecessor *slots* per (node, object).
+    preds_by_obj: HashMap<(u32, MemId), Vec<u32>>,
+    /// Pending deltas, one accumulator per variable / per slot.
+    pending_var: Vec<PtsSet>,
+    pending_slot: Vec<PtsSet>,
+    /// Queued mode per item (vars `0..V`, then slots `V..V+K`).
+    mode: Vec<u8>,
+    queue: IndexedPriorityQueue,
+    v_count: usize,
     stats: SolverStats,
 }
 
 impl<'a> Solver<'a> {
     fn new(module: &'a Module, pre: &'a PreAnalysis, svfg: &'a Svfg) -> Self {
-        let mut preds_by_obj: HashMap<(VfNodeId, MemId), Vec<VfNodeId>> = HashMap::new();
+        let s_count = module.stmt_count();
+        let n_count = svfg.node_count();
+        let v_count = module.var_count();
+
+        // Slot layout: stores get one slot per chi / incident-edge object,
+        // merge nodes one slot for their object. Plain statement nodes
+        // (loads, calls, synthetic thread-edge endpoints) define nothing.
+        let mut slot_base: Vec<u32> = Vec::with_capacity(n_count + 1);
+        let mut slot_obj: Vec<MemId> = Vec::new();
+        let mut slot_node: Vec<u32> = Vec::new();
+        let mut slot_kind: Vec<SlotKind> = Vec::new();
         for n in svfg.node_ids() {
-            for &(pred, o) in svfg.preds(n) {
-                preds_by_obj.entry((n, o)).or_default().push(pred);
+            slot_base.push(slot_obj.len() as u32);
+            match svfg.kind(n) {
+                VfNodeKind::Stmt(sid) if sid.index() < s_count => {
+                    if let StmtKind::Store { ptr, val } = module.stmt(sid).kind {
+                        let mut objs: Vec<MemId> = svfg.annotations().chi(sid).iter().collect();
+                        for &(_, o) in svfg.preds(n).iter().chain(svfg.succs(n)) {
+                            objs.push(o);
+                        }
+                        objs.sort_unstable();
+                        objs.dedup();
+                        for o in objs {
+                            slot_obj.push(o);
+                            slot_node.push(n.index() as u32);
+                            slot_kind.push(SlotKind::Store { ptr, val });
+                        }
+                    }
+                }
+                VfNodeKind::MemPhi { obj, .. }
+                | VfNodeKind::FormalIn { obj, .. }
+                | VfNodeKind::FormalOut { obj, .. }
+                | VfNodeKind::ActualOut { obj, .. }
+                | VfNodeKind::ThreadJunction { obj } => {
+                    slot_obj.push(obj);
+                    slot_node.push(n.index() as u32);
+                    slot_kind.push(SlotKind::Merge);
+                }
+                VfNodeKind::Stmt(_) => {}
             }
         }
+        slot_base.push(slot_obj.len() as u32);
+        let k_count = slot_obj.len();
+
+        let mut preds_by_obj: HashMap<(u32, MemId), Vec<u32>> = HashMap::new();
+        for n in svfg.node_ids() {
+            for &(pred, o) in svfg.preds(n) {
+                if let Some(pk) = slot_lookup(&slot_base, &slot_obj, pred.index(), o) {
+                    preds_by_obj
+                        .entry((n.index() as u32, o))
+                        .or_default()
+                        .push(pk as u32);
+                }
+            }
+        }
+
+        let order = svfg.solve_order(module, pre.call_graph());
+        let mut var_prio = vec![u32::MAX; v_count];
+        for v in module.var_ids() {
+            if let Some(d) = svfg.var_def(v) {
+                var_prio[v.index()] = order.stmt_prio[d.index()];
+            }
+        }
+
         let mut solver = Solver {
             module,
             pre,
             svfg,
-            pt_vars: vec![PtsSet::new(); module.var_count()],
-            pt_defs: HashMap::new(),
-            var_sources: vec![Vec::new(); module.var_count()],
-            var_dependents: vec![Vec::new(); module.var_count()],
+            pool: PtsPool::new(),
+            pt_vars: vec![PtsRef::EMPTY; v_count],
+            var_sources: vec![Vec::new(); v_count],
+            var_deps: vec![Vec::new(); v_count],
+            slot_base,
+            slot_obj,
+            slot_out: vec![PtsRef::EMPTY; k_count],
+            slot_node,
+            slot_kind,
+            store_phase: vec![StorePhase::Empty; s_count],
             preds_by_obj,
-            work: Vec::new(),
-            queued: HashMap::new(),
+            pending_var: vec![PtsSet::new(); v_count],
+            pending_slot: vec![PtsSet::new(); k_count],
+            mode: vec![0; v_count + k_count],
+            queue: IndexedPriorityQueue::new(Vec::new()),
+            v_count,
             stats: SolverStats::default(),
         };
-        solver.build_sources();
+        solver.build_sources(&order.stmt_prio, &mut var_prio);
+
+        let mut prio = var_prio;
+        for &n in &solver.slot_node {
+            prio.push(order.node_prio[n as usize]);
+        }
+        for p in prio.iter_mut() {
+            if *p == u32::MAX {
+                *p = 0;
+            }
+        }
+        solver.queue = IndexedPriorityQueue::new(prio);
         solver
     }
 
-    /// Collects the complete source list per variable and the dependency
-    /// edges that drive recomputation.
-    fn build_sources(&mut self) {
-        // Syntactic uses: a statement re-evaluates when an operand changes.
-        for (sid, stmt) in self.module.stmts() {
-            for u in stmt.uses() {
-                self.var_dependents[u.index()].push(Item::Stmt(sid));
-            }
-        }
-        let cg = self.pre.call_graph();
+    /// Collects the complete source list and forward dependencies per
+    /// variable. Binding a parameter at a call site also lowers the
+    /// parameter's priority to the site's (parameters have no def site).
+    fn build_sources(&mut self, stmt_prio: &[u32], var_prio: &mut [u32]) {
+        let module = self.module;
+        let pre = self.pre;
+        let cg = pre.call_graph();
         // Per-function return variables.
-        let returns: Vec<Vec<VarId>> = self
-            .module
+        let returns: Vec<Vec<VarId>> = module
             .funcs()
             .map(|f| {
                 f.blocks()
@@ -175,38 +448,47 @@ impl<'a> Solver<'a> {
                     .collect()
             })
             .collect();
-        for (sid, stmt) in self.module.stmts() {
+        for (sid, stmt) in module.stmts() {
             match &stmt.kind {
                 StmtKind::Addr { dst, obj } => {
-                    let m = self.pre.objects().base(*obj);
+                    let m = pre.objects().base(*obj);
                     self.var_sources[dst.index()].push(VarSource::Obj(m));
                 }
                 StmtKind::Copy { dst, src } => {
                     self.var_sources[dst.index()].push(VarSource::Var(*src));
+                    self.var_deps[src.index()].push(VarDep::Flow(*dst));
                 }
                 StmtKind::Phi { dst, arms } => {
                     for arm in arms {
                         self.var_sources[dst.index()].push(VarSource::Var(arm.var));
+                        self.var_deps[arm.var.index()].push(VarDep::Flow(*dst));
                     }
                 }
                 StmtKind::Load { dst, ptr } => {
                     self.var_sources[dst.index()].push(VarSource::LoadAt(sid, *ptr));
+                    self.var_deps[ptr.index()].push(VarDep::LoadPtr(sid, *dst));
                 }
                 StmtKind::Gep { dst, base, field } => {
                     self.var_sources[dst.index()].push(VarSource::Gep(*base, *field));
+                    self.var_deps[base.index()].push(VarDep::Gep(*dst, *field));
+                }
+                StmtKind::Store { ptr, val } => {
+                    self.var_deps[ptr.index()].push(VarDep::StorePtr(sid));
+                    self.var_deps[val.index()].push(VarDep::StoreVal(sid));
                 }
                 StmtKind::Call { args, dst, .. } => {
                     for callee in cg.targets(sid) {
-                        let params = &self.module.func(callee).params;
+                        let params = &module.func(callee).params;
                         for (&a, &p) in args.iter().zip(params.iter()) {
                             self.var_sources[p.index()].push(VarSource::Var(a));
-                            self.var_dependents[a.index()].push(Item::Var(p));
+                            self.var_deps[a.index()].push(VarDep::Flow(p));
+                            var_prio[p.index()] = var_prio[p.index()].min(stmt_prio[sid.index()]);
                         }
                         if let Some(d) = dst {
-                            if !self.module.func(callee).is_external {
+                            if !module.func(callee).is_external {
                                 for &r in &returns[callee.index()] {
                                     self.var_sources[d.index()].push(VarSource::Var(r));
-                                    self.var_dependents[r.index()].push(Item::Var(*d));
+                                    self.var_deps[r.index()].push(VarDep::Flow(*d));
                                 }
                             }
                         }
@@ -218,222 +500,538 @@ impl<'a> Solver<'a> {
                     handle_obj,
                     ..
                 } => {
-                    let m = self.pre.objects().base(*handle_obj);
+                    let m = pre.objects().base(*handle_obj);
                     self.var_sources[dst.index()].push(VarSource::Obj(m));
                     for callee in cg.targets(sid) {
-                        let params = &self.module.func(callee).params;
+                        let params = &module.func(callee).params;
                         if let (Some(&a), Some(&p)) = (arg.as_ref(), params.first()) {
                             self.var_sources[p.index()].push(VarSource::Var(a));
-                            self.var_dependents[a.index()].push(Item::Var(p));
+                            self.var_deps[a.index()].push(VarDep::Flow(p));
+                            var_prio[p.index()] = var_prio[p.index()].min(stmt_prio[sid.index()]);
                         }
                     }
                 }
-                StmtKind::Store { .. }
-                | StmtKind::Join { .. }
-                | StmtKind::Lock { .. }
-                | StmtKind::Unlock { .. } => {}
+                StmtKind::Join { .. } | StmtKind::Lock { .. } | StmtKind::Unlock { .. } => {}
             }
         }
     }
 
-    fn push(&mut self, item: Item) {
-        if self.queued.insert(item, ()).is_none() {
-            self.work.push(item);
+    fn slot_of(&self, node: usize, o: MemId) -> Option<usize> {
+        slot_lookup(&self.slot_base, &self.slot_obj, node, o)
+    }
+
+    fn push_delta(&mut self, id: usize) {
+        if self.mode[id] == 0 {
+            self.mode[id] = DELTA;
+        }
+        self.queue.push(id);
+    }
+
+    fn push_recomp(&mut self, id: usize) {
+        self.mode[id] = RECOMP;
+        self.queue.push(id);
+    }
+
+    /// Unions the reaching definitions of `o` at node `n` into `acc`.
+    fn union_pt_in(&self, node: usize, o: MemId, acc: &mut PtsSet) {
+        if let Some(pks) = self.preds_by_obj.get(&(node as u32, o)) {
+            for &pk in pks {
+                acc.union_in_place(self.pool.get(self.slot_out[pk as usize]));
+            }
         }
     }
 
     /// Merge of the reaching definitions of `o` at node `n`.
-    fn pt_in(&self, n: VfNodeId, o: MemId) -> PtsSet {
+    fn pt_in(&self, node: usize, o: MemId) -> PtsSet {
         let mut set = PtsSet::new();
-        if let Some(preds) = self.preds_by_obj.get(&(n, o)) {
-            for &pred in preds {
-                if let Some(p) = self.pt_defs.get(&(pred, o)) {
-                    set.union_in_place(p);
-                }
-            }
-        }
+        self.union_pt_in(node, o, &mut set);
         set
     }
 
-    /// Re-evaluates `v` from its full source list and replaces its set.
-    fn recompute_var(&mut self, v: VarId) {
+    /// Evaluates `v` from its full source list (the recompute equation).
+    fn eval_var(&self, v: VarId) -> PtsSet {
         let mut new = PtsSet::new();
-        for source in self.var_sources[v.index()].clone() {
-            match source {
+        for source in &self.var_sources[v.index()] {
+            match *source {
                 VarSource::Obj(m) => {
                     new.insert(m);
                 }
                 VarSource::Var(src) => {
-                    new.union_in_place(&self.pt_vars[src.index()]);
+                    new.union_in_place(self.pool.get(self.pt_vars[src.index()]));
                 }
                 VarSource::LoadAt(sid, ptr) => {
                     if let Some(node) = self.svfg.stmt_node(sid) {
-                        for o in self.pt_vars[ptr.index()].clone().iter() {
-                            new.union_in_place(&self.pt_in(node, o));
+                        for o in self.pool.get(self.pt_vars[ptr.index()]).iter() {
+                            self.union_pt_in(node.index(), o, &mut new);
                         }
                     }
                 }
                 VarSource::Gep(base, field) => {
-                    for o in self.pt_vars[base.index()].clone().iter() {
+                    for o in self.pool.get(self.pt_vars[base.index()]).iter() {
                         new.insert(self.pre.objects().field_existing(o, field));
                     }
                 }
             }
         }
-        if new != self.pt_vars[v.index()] {
-            self.pt_vars[v.index()] = new;
-            for dep in self.var_dependents[v.index()].clone() {
-                self.push(dep);
+        new
+    }
+
+    /// The phase of a store pointer's current points-to set.
+    fn phase_of(&self, ptr: VarId) -> StorePhase {
+        let set = self.pool.get(self.pt_vars[ptr.index()]);
+        if set.is_empty() {
+            StorePhase::Empty
+        } else {
+            match set.as_singleton() {
+                Some(s) if self.pre.objects().is_singleton(s) => StorePhase::Strong(s),
+                _ => StorePhase::Weak,
             }
         }
     }
 
-    /// Replaces `pt(n, o)`; on change, pushes the `o`-successors.
-    fn set_def(&mut self, n: VfNodeId, o: MemId, new: PtsSet) {
-        let changed = match self.pt_defs.get(&(n, o)) {
-            Some(old) => *old != new,
-            None => !new.is_empty(),
-        };
-        if !changed {
+    /// Delta visit of a variable: fold the pending delta in; forward only
+    /// the genuinely new members.
+    fn delta_var(&mut self, v: VarId) {
+        let delta = std::mem::take(&mut self.pending_var[v.index()]);
+        if delta.is_empty() {
             return;
         }
-        self.pt_defs.insert((n, o), new);
-        let succs: Vec<VfNodeId> = self
-            .svfg
-            .succs(n)
-            .iter()
-            .filter(|&&(_, label)| label == o)
-            .map(|&(s, _)| s)
-            .collect();
-        for s in succs {
-            match self.svfg.kind(s) {
-                VfNodeKind::Stmt(stmt) => {
-                    if matches!(self.module.stmt(stmt).kind, StmtKind::Store { .. }) {
-                        self.push(Item::StoreObj(stmt, o));
-                    } else {
-                        self.push(Item::Stmt(stmt));
-                    }
-                }
-                _ => self.push(Item::MemNode(s)),
-            }
-        }
-    }
-
-    fn process_stmt(&mut self, sid: StmtId) {
-        let stmt = self.module.stmt(sid);
-        match &stmt.kind {
-            // [P-STORE] + [P-SU/WU].
-            StmtKind::Store { .. } => {
-                let chi: Vec<MemId> = self.svfg.annotations().chi(sid).iter().collect();
-                for o in chi {
-                    self.process_store_obj(sid, o);
-                }
-            }
-            // [P-LOAD], [P-ADDR], [P-COPY], [P-PHI], gep and call/fork
-            // bindings: all funnel through the defined variables' sources.
-            StmtKind::Call { args, dst, .. } => {
-                let targets: Vec<_> = self.pre.call_graph().targets(sid).collect();
-                let _ = args;
-                for callee in targets {
-                    for p in self.module.func(callee).params.clone() {
-                        self.recompute_var(p);
-                    }
-                }
-                if let Some(d) = dst {
-                    self.recompute_var(*d);
-                }
-            }
-            StmtKind::Fork { dst, .. } => {
-                let targets: Vec<_> = self.pre.call_graph().targets(sid).collect();
-                for callee in targets {
-                    for p in self.module.func(callee).params.clone() {
-                        self.recompute_var(p);
-                    }
-                }
-                self.recompute_var(*dst);
-            }
-            _ => {
-                if let Some(d) = stmt.def() {
-                    self.recompute_var(d);
-                }
-            }
-        }
-    }
-
-    /// Re-evaluates one object's outgoing definition at a store
-    /// ([P-STORE] + [P-SU/WU] for a single `o`).
-    fn process_store_obj(&mut self, sid: StmtId, o: MemId) {
-        let StmtKind::Store { ptr, val } = self.module.stmt(sid).kind else {
+        let (new_ref, fresh) = self.pool.union_delta(self.pt_vars[v.index()], &delta);
+        if fresh.is_empty() {
             return;
+        }
+        self.pt_vars[v.index()] = new_ref;
+        self.apply_var_growth(v, &fresh);
+    }
+
+    /// Recompute visit of a variable: re-evaluate from the full source
+    /// list. Growth degrades gracefully to a delta forward; a non-monotone
+    /// replacement cascades recomputes downstream.
+    fn recompute_var(&mut self, v: VarId) {
+        let new = self.eval_var(v);
+        let cur_ref = self.pt_vars[v.index()];
+        let fresh = {
+            let cur = self.pool.get(cur_ref);
+            if *cur == new {
+                return;
+            }
+            cur.is_subset(&new).then(|| new.difference(cur))
         };
+        self.pt_vars[v.index()] = self.pool.intern(new);
+        match fresh {
+            Some(fresh) => self.apply_var_growth(v, &fresh),
+            None => self.cascade_var_recompute(v),
+        }
+    }
+
+    /// Forwards a growth of `pt(v)` by `fresh` along `v`'s dependencies.
+    fn apply_var_growth(&mut self, v: VarId, fresh: &PtsSet) {
+        for i in 0..self.var_deps[v.index()].len() {
+            let dep = self.var_deps[v.index()][i];
+            match dep {
+                VarDep::Flow(t) => {
+                    self.pending_var[t.index()].union_in_place(fresh);
+                    self.push_delta(t.index());
+                }
+                VarDep::Gep(t, field) => {
+                    for o in fresh.iter() {
+                        let f = self.pre.objects().field_existing(o, field);
+                        self.pending_var[t.index()].insert(f);
+                    }
+                    self.push_delta(t.index());
+                }
+                VarDep::LoadPtr(sid, dst) => {
+                    // The load now also reads the new objects: pull their
+                    // full reaching definitions once; later growth arrives
+                    // through the (now open) forward gate.
+                    if let Some(node) = self.svfg.stmt_node(sid) {
+                        let mut add = PtsSet::new();
+                        for o in fresh.iter() {
+                            self.union_pt_in(node.index(), o, &mut add);
+                        }
+                        if !add.is_empty() {
+                            self.pending_var[dst.index()].union_in_place(&add);
+                            self.push_delta(dst.index());
+                        }
+                    }
+                }
+                VarDep::StoreVal(sid) => self.on_store_val_growth(sid, fresh),
+                VarDep::StorePtr(sid) => self.on_store_ptr_growth(sid, fresh),
+            }
+        }
+    }
+
+    /// Non-monotone replacement of `pt(v)`: everything it feeds must be
+    /// re-evaluated from full inputs.
+    fn cascade_var_recompute(&mut self, v: VarId) {
+        for i in 0..self.var_deps[v.index()].len() {
+            let dep = self.var_deps[v.index()][i];
+            match dep {
+                VarDep::Flow(t) | VarDep::Gep(t, _) => self.push_recomp(t.index()),
+                VarDep::LoadPtr(_, dst) => self.push_recomp(dst.index()),
+                VarDep::StoreVal(sid) => self.recomp_store_slots(sid),
+                VarDep::StorePtr(sid) => {
+                    if let StmtKind::Store { ptr, .. } = self.module.stmt(sid).kind {
+                        self.store_phase[sid.index()] = self.phase_of(ptr);
+                    }
+                    self.recomp_store_slots(sid);
+                }
+            }
+        }
+    }
+
+    fn recomp_store_slots(&mut self, sid: StmtId) {
         let Some(node) = self.svfg.stmt_node(sid) else {
             return;
         };
-        let ptr_pts = &self.pt_vars[ptr.index()];
-        let written = ptr_pts.contains(o);
-        let strong = ptr_pts
-            .as_singleton()
-            .is_some_and(|s| self.pre.objects().is_singleton(s));
-        let out = if written && strong {
-            // kill(s, p) = {o}: the old contents die.
-            self.stats.strong_updates += 1;
-            self.pt_vars[val.index()].clone()
-        } else {
-            let mut out = self.pt_in(node, o);
-            if written {
-                self.stats.weak_updates += 1;
-                out.union_in_place(&self.pt_vars[val.index()].clone());
-            }
-            out
-        };
-        self.set_def(node, o, out);
+        let n = node.index();
+        let (s, e) = (self.slot_base[n] as usize, self.slot_base[n + 1] as usize);
+        for k in s..e {
+            self.push_recomp(self.v_count + k);
+        }
     }
 
-    /// Intermediate SVFG nodes replace their value with the merge of their
-    /// reaching definitions.
-    fn process_mem_node(&mut self, n: VfNodeId) {
-        let obj = match self.svfg.kind(n) {
-            VfNodeKind::MemPhi { obj, .. }
-            | VfNodeKind::FormalIn { obj, .. }
-            | VfNodeKind::FormalOut { obj, .. }
-            | VfNodeKind::ActualOut { obj, .. }
-            | VfNodeKind::ThreadJunction { obj } => obj,
-            VfNodeKind::Stmt(_) => return,
+    /// `pt(val)` of the store at `sid` grew by `fresh`: every written slot's
+    /// output contains `pt(val)` (exactly, for the strong slot; as one
+    /// operand of the union otherwise), so the delta flows straight in.
+    fn on_store_val_growth(&mut self, sid: StmtId, fresh: &PtsSet) {
+        let Some(node) = self.svfg.stmt_node(sid) else {
+            return;
         };
-        let incoming = self.pt_in(n, obj);
-        self.set_def(n, obj, incoming);
+        let n = node.index();
+        let (s, e) = (self.slot_base[n] as usize, self.slot_base[n + 1] as usize);
+        let Some(&SlotKind::Store { ptr, .. }) = self.slot_kind.get(s) else {
+            return;
+        };
+        for k in s..e {
+            let o = self.slot_obj[k];
+            if self.pool.contains(self.pt_vars[ptr.index()], o) {
+                self.pending_slot[k].union_in_place(fresh);
+                self.push_delta(self.v_count + k);
+            }
+        }
+    }
+
+    /// `pt(ptr)` of the store at `sid` grew by `fresh`: reclassify the
+    /// slots. Only the `∅ → singleton` transition is non-monotone (the
+    /// strong slot's output becomes exactly `pt(val)`); every other
+    /// transition adds members and propagates as deltas.
+    fn on_store_ptr_growth(&mut self, sid: StmtId, fresh: &PtsSet) {
+        let Some(node) = self.svfg.stmt_node(sid) else {
+            return;
+        };
+        let n = node.index();
+        let (s, e) = (self.slot_base[n] as usize, self.slot_base[n + 1] as usize);
+        let Some(&SlotKind::Store { ptr, val, .. }) = self.slot_kind.get(s) else {
+            return;
+        };
+        let old_phase = self.store_phase[sid.index()];
+        let new_phase = self.phase_of(ptr);
+        self.store_phase[sid.index()] = new_phase;
+        match (old_phase, new_phase) {
+            (StorePhase::Empty, StorePhase::Strong(tgt)) => {
+                // The written slot flips from pass-through to kill:
+                // incomparable, so re-evaluate it. Other slots stay
+                // unwritten pass-throughs.
+                if let Some(k) = self.slot_of(n, tgt) {
+                    self.push_recomp(self.v_count + k);
+                }
+            }
+            (StorePhase::Empty | StorePhase::Weak, StorePhase::Weak) => {
+                // Newly written slots gain pt(val) on top of their inputs.
+                let val_ref = self.pt_vars[val.index()];
+                for k in s..e {
+                    if fresh.contains(self.slot_obj[k]) && self.pool.len_of(val_ref) > 0 {
+                        self.pending_slot[k].union_in_place(self.pool.get(val_ref));
+                        self.push_delta(self.v_count + k);
+                    }
+                }
+            }
+            (StorePhase::Strong(prev), StorePhase::Weak) => {
+                // The strong slot weakens: its output regains the reaching
+                // definitions it was killing (their deltas were gated out
+                // while strong, so pull the full current input).
+                if let Some(k) = self.slot_of(n, prev) {
+                    let add = self.pt_in(n, prev);
+                    if !add.is_empty() {
+                        self.pending_slot[k].union_in_place(&add);
+                        self.push_delta(self.v_count + k);
+                    }
+                }
+                let val_ref = self.pt_vars[val.index()];
+                for k in s..e {
+                    if fresh.contains(self.slot_obj[k]) && self.pool.len_of(val_ref) > 0 {
+                        self.pending_slot[k].union_in_place(self.pool.get(val_ref));
+                        self.push_delta(self.v_count + k);
+                    }
+                }
+            }
+            // Growth strictly enlarges pt(ptr), so it can never *become*
+            // empty, stay a singleton, or turn back into one. Re-evaluate
+            // everything if an unexpected transition ever shows up.
+            _ => self.recomp_store_slots(sid),
+        }
+    }
+
+    /// Delta visit of a slot: fold the pending delta into its output.
+    fn delta_slot(&mut self, k: usize) {
+        let delta = std::mem::take(&mut self.pending_slot[k]);
+        if delta.is_empty() {
+            return;
+        }
+        if let SlotKind::Store { ptr, .. } = self.slot_kind[k] {
+            let ptr_set = self.pool.get(self.pt_vars[ptr.index()]);
+            if ptr_set.contains(self.slot_obj[k]) {
+                if ptr_set
+                    .as_singleton()
+                    .is_some_and(|s| self.pre.objects().is_singleton(s))
+                {
+                    self.stats.strong_updates += 1;
+                } else {
+                    self.stats.weak_updates += 1;
+                }
+            }
+        }
+        let (new_ref, fresh) = self.pool.union_delta(self.slot_out[k], &delta);
+        if fresh.is_empty() {
+            return;
+        }
+        self.slot_out[k] = new_ref;
+        self.forward_delta(k, &fresh);
+    }
+
+    /// Recompute visit of a slot: re-evaluate its equation from full
+    /// inputs and replace the output.
+    fn recompute_slot(&mut self, k: usize) {
+        let n = self.slot_node[k] as usize;
+        let o = self.slot_obj[k];
+        let out = match self.slot_kind[k] {
+            SlotKind::Merge => self.pt_in(n, o),
+            SlotKind::Store { ptr, val, .. } => {
+                let (written, strong) = {
+                    let ptr_set = self.pool.get(self.pt_vars[ptr.index()]);
+                    (
+                        ptr_set.contains(o),
+                        ptr_set
+                            .as_singleton()
+                            .is_some_and(|s| self.pre.objects().is_singleton(s)),
+                    )
+                };
+                if written && strong {
+                    // kill(s, p) = {o}: the old contents die.
+                    self.stats.strong_updates += 1;
+                    self.pool.get(self.pt_vars[val.index()]).clone()
+                } else {
+                    let mut out = self.pt_in(n, o);
+                    if written {
+                        self.stats.weak_updates += 1;
+                        out.union_in_place(self.pool.get(self.pt_vars[val.index()]));
+                    }
+                    out
+                }
+            }
+        };
+        self.replace_slot(k, out);
+    }
+
+    /// Replaces a slot's output; growth forwards a delta, a non-monotone
+    /// replacement cascades recomputes.
+    fn replace_slot(&mut self, k: usize, new: PtsSet) {
+        let fresh = {
+            let cur = self.pool.get(self.slot_out[k]);
+            if *cur == new {
+                return;
+            }
+            cur.is_subset(&new).then(|| new.difference(cur))
+        };
+        self.slot_out[k] = self.pool.intern(new);
+        match fresh {
+            Some(fresh) => self.forward_delta(k, &fresh),
+            None => self.forward_recompute(k),
+        }
+    }
+
+    /// Forwards `fresh` new members of slot `k`'s output along the SVFG.
+    fn forward_delta(&mut self, k: usize, fresh: &PtsSet) {
+        let svfg = self.svfg;
+        let module = self.module;
+        let s_count = module.stmt_count();
+        let n = VfNodeId::from_index(self.slot_node[k] as usize);
+        let o = self.slot_obj[k];
+        for &(succ, label) in svfg.succs(n) {
+            if label != o {
+                continue;
+            }
+            match svfg.kind(succ) {
+                VfNodeKind::Stmt(sid) if sid.index() < s_count => match &module.stmt(sid).kind {
+                    // A strong slot's output is exactly pt(val): its
+                    // reaching definitions are killed, so their deltas
+                    // must not leak through.
+                    StmtKind::Store { .. }
+                        if self.store_phase[sid.index()] != StorePhase::Strong(o) =>
+                    {
+                        if let Some(j) = self.slot_of(succ.index(), o) {
+                            self.pending_slot[j].union_in_place(fresh);
+                            self.push_delta(self.v_count + j);
+                        }
+                    }
+                    StmtKind::Load { dst, ptr } => {
+                        // P-LOAD is gated on o ∈ pt(ptr); a later pointer
+                        // growth pulls the full input via LoadPtr.
+                        let (dst, ptr) = (*dst, *ptr);
+                        if self.pool.contains(self.pt_vars[ptr.index()], o) {
+                            self.pending_var[dst.index()].union_in_place(fresh);
+                            self.push_delta(dst.index());
+                        }
+                    }
+                    // Other statements read no memory: a changed reaching
+                    // definition cannot affect them.
+                    _ => {}
+                },
+                // Synthetic statement nodes (thread-edge endpoints interned
+                // by tests) define and use nothing.
+                VfNodeKind::Stmt(_) => {}
+                _ => {
+                    if let Some(j) = self.slot_of(succ.index(), o) {
+                        self.pending_slot[j].union_in_place(fresh);
+                        self.push_delta(self.v_count + j);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-monotone replacement of slot `k`'s output: everything it feeds
+    /// must re-evaluate from full inputs.
+    fn forward_recompute(&mut self, k: usize) {
+        let svfg = self.svfg;
+        let module = self.module;
+        let s_count = module.stmt_count();
+        let n = VfNodeId::from_index(self.slot_node[k] as usize);
+        let o = self.slot_obj[k];
+        for &(succ, label) in svfg.succs(n) {
+            if label != o {
+                continue;
+            }
+            match svfg.kind(succ) {
+                VfNodeKind::Stmt(sid) if sid.index() < s_count => match &module.stmt(sid).kind {
+                    StmtKind::Store { .. } => {
+                        if let Some(j) = self.slot_of(succ.index(), o) {
+                            self.push_recomp(self.v_count + j);
+                        }
+                    }
+                    StmtKind::Load { dst, .. } => {
+                        let dst = *dst;
+                        self.push_recomp(dst.index());
+                    }
+                    _ => {}
+                },
+                VfNodeKind::Stmt(_) => {}
+                _ => {
+                    if let Some(j) = self.slot_of(succ.index(), o) {
+                        self.push_recomp(self.v_count + j);
+                    }
+                }
+            }
+        }
     }
 
     fn run(mut self) -> SparseResult {
-        for sid in self.module.stmt_ids() {
-            self.push(Item::Stmt(sid));
+        // Seed: every variable with at least one source. Slots need no
+        // seeds — store and merge outputs start empty and consistent, and
+        // every input change reaches them through the dependency edges.
+        for v in self.module.var_ids() {
+            if !self.var_sources[v.index()].is_empty() {
+                self.push_recomp(v.index());
+            }
         }
-        // Termination backstop: the recompute semantics converge after the
-        // bounded strong/weak flips, but the bound is generous; a blow-out
-        // indicates an implementation bug and should fail loudly rather
-        // than spin forever.
+        // Termination backstop: the delta/recompute split converges after
+        // the bounded strong/weak flips, but the bound is generous; a
+        // blow-out indicates an implementation bug and should fail loudly
+        // rather than spin forever.
         let limit =
             50_000usize.saturating_mul(self.module.stmt_count() + self.svfg.node_count() + 64);
-        while let Some(item) = self.work.pop() {
-            self.queued.remove(&item);
+        while let Some(id) = self.queue.pop() {
+            let m = std::mem::replace(&mut self.mode[id], 0);
             self.stats.processed += 1;
             assert!(
                 self.stats.processed <= limit,
                 "sparse solver failed to converge after {limit} items"
             );
-            match item {
-                Item::Stmt(s) => self.process_stmt(s),
-                Item::StoreObj(s, o) => self.process_store_obj(s, o),
-                Item::MemNode(n) => self.process_mem_node(n),
-                Item::Var(v) => self.recompute_var(v),
+            if id < self.v_count {
+                let v = VarId::from_usize(id);
+                if m == RECOMP {
+                    self.stats.recompute_items += 1;
+                    self.pending_var[id].clear();
+                    self.recompute_var(v);
+                } else {
+                    self.stats.delta_items += 1;
+                    self.delta_var(v);
+                }
+            } else {
+                let k = id - self.v_count;
+                if m == RECOMP {
+                    self.stats.recompute_items += 1;
+                    self.pending_slot[k].clear();
+                    self.recompute_slot(k);
+                } else {
+                    self.stats.delta_items += 1;
+                    self.delta_slot(k);
+                }
             }
         }
-        self.stats.var_pts_entries = self.pt_vars.iter().map(PtsSet::len).sum();
-        self.stats.def_pts_entries = self.pt_defs.values().map(PtsSet::len).sum();
+        self.stats.var_pts_entries = self.pt_vars.iter().map(|&r| self.pool.len_of(r)).sum();
+        self.stats.def_pts_entries = self.slot_out.iter().map(|&r| self.pool.len_of(r)).sum();
+        self.stats.peak_pts_bytes = self.pool.heap_bytes()
+            + table_bytes(
+                &self.pt_vars,
+                &self.slot_base,
+                &self.slot_obj,
+                &self.slot_out,
+            );
+
+        // Compact: rebuild the pool from the live handles only, dropping
+        // every intermediate set the fixpoint iteration interned.
+        let mut live = PtsPool::new();
+        let mut memo: HashMap<usize, PtsRef> = HashMap::new();
+        let pt_vars: Vec<PtsRef> = self
+            .pt_vars
+            .iter()
+            .map(|&r| remap(&self.pool, &mut live, &mut memo, r))
+            .collect();
+        let slot_out: Vec<PtsRef> = self
+            .slot_out
+            .iter()
+            .map(|&r| remap(&self.pool, &mut live, &mut memo, r))
+            .collect();
         SparseResult {
-            pt_vars: self.pt_vars,
-            pt_defs: self.pt_defs,
+            pool: live,
+            pt_vars,
+            slot_base: self.slot_base,
+            slot_obj: self.slot_obj,
+            slot_out,
             stats: self.stats,
         }
     }
+}
+
+/// Binary-searches node `node`'s slot range for object `o`.
+fn slot_lookup(slot_base: &[u32], slot_obj: &[MemId], node: usize, o: MemId) -> Option<usize> {
+    let (s, e) = (slot_base[node] as usize, slot_base[node + 1] as usize);
+    slot_obj[s..e].binary_search(&o).ok().map(|i| s + i)
+}
+
+/// Re-interns the set behind `r` (from `old`) into `live`, memoized.
+fn remap(
+    old: &PtsPool,
+    live: &mut PtsPool,
+    memo: &mut HashMap<usize, PtsRef>,
+    r: PtsRef,
+) -> PtsRef {
+    if let Some(&nr) = memo.get(&r.index()) {
+        return nr;
+    }
+    let nr = live.intern(old.get(r).clone());
+    memo.insert(r.index(), nr);
+    nr
 }

@@ -28,6 +28,13 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a node id from a dense index (inverse of [`index`]).
+    ///
+    /// [`index`]: NodeId::index
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
 }
 
 impl std::fmt::Debug for NodeId {

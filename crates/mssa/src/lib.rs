@@ -15,7 +15,9 @@
 pub mod annotate;
 pub mod modref;
 pub mod svfg;
+pub mod topo;
 
 pub use annotate::Annotations;
 pub use modref::ModRef;
 pub use svfg::{MemorySsa, NodeId, NodeKind, Svfg, SvfgStats};
+pub use topo::{condense, SolveOrder, TopoOrder};

@@ -40,6 +40,13 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a raw dense index (the inverse of
+    /// [`NodeId::index`]; only indices below the owning graph's
+    /// [`Svfg::node_count`] are meaningful).
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("SVFG node index overflows u32"))
+    }
 }
 
 impl std::fmt::Debug for NodeId {

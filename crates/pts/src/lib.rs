@@ -5,6 +5,8 @@
 //!
 //! * [`PtsSet`] — hybrid sorted-vector/bitmap points-to sets with
 //!   change-reporting union (drives the solver worklists);
+//! * [`PtsPool`] — an arena of hash-consed immutable sets addressed by
+//!   copy-on-write [`PtsRef`] handles (the sparse solver's backing store);
 //! * [`ObjectModel`] — base and field abstract objects, array/PWC collapsing
 //!   and the singleton classification that gates strong updates
 //!   (paper Fig. 10);
@@ -28,8 +30,10 @@
 
 pub mod meter;
 pub mod objects;
+pub mod pool;
 pub mod set;
 
 pub use meter::MemoryMeter;
 pub use objects::{MemId, MemKind, ObjectModel};
+pub use pool::{PtsPool, PtsRef};
 pub use set::PtsSet;

@@ -1,0 +1,215 @@
+//! An arena of hash-consed, immutable points-to sets.
+//!
+//! The sparse solver holds one [`PtsRef`] per variable and per object
+//! definition instead of an owned [`PtsSet`]. Identical sets — and pointer
+//! analyses produce *many* identical sets — are stored once; updating a
+//! binding is a copy-on-write: the new value is interned and the 4-byte
+//! handle swapped. [`PtsPool::union_delta`] is the delta-propagation
+//! primitive: it returns the grown set's handle together with exactly the
+//! new bits, so downstream edges carry only the difference.
+//!
+//! Byte accounting stays exact for the Table 2 memory column:
+//! [`PtsPool::heap_bytes`] sums the interned sets' heap storage plus the
+//! arena and index overhead.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::objects::MemId;
+use crate::set::PtsSet;
+
+/// A handle to an interned set in a [`PtsPool`].
+///
+/// Handles are only meaningful with the pool that produced them. Two handles
+/// from the same pool are equal iff the sets are equal (hash-consing
+/// canonicalizes on [`PtsSet`]'s element-wise equality).
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct PtsRef(u32);
+
+impl PtsRef {
+    /// The empty set, interned at id 0 in every pool.
+    pub const EMPTY: PtsRef = PtsRef(0);
+
+    /// Raw dense index into the pool's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for PtsRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An append-only arena of deduplicated [`PtsSet`]s.
+#[derive(Debug, Default)]
+pub struct PtsPool {
+    sets: Vec<PtsSet>,
+    /// Canonical hash → candidate arena ids (open chaining keeps the sets
+    /// stored once, in the arena only).
+    index: HashMap<u64, Vec<u32>>,
+    /// Running sum of the interned sets' own heap bytes.
+    set_bytes: usize,
+}
+
+impl PtsPool {
+    /// Creates a pool with the empty set pre-interned at [`PtsRef::EMPTY`].
+    pub fn new() -> PtsPool {
+        let mut pool = PtsPool {
+            sets: Vec::new(),
+            index: HashMap::new(),
+            set_bytes: 0,
+        };
+        let empty = pool.intern(PtsSet::new());
+        debug_assert_eq!(empty, PtsRef::EMPTY);
+        pool
+    }
+
+    fn hash_of(set: &PtsSet) -> u64 {
+        let mut h = DefaultHasher::new();
+        set.hash(&mut h);
+        h.finish()
+    }
+
+    /// Interns `set`, returning the handle of the canonical copy.
+    pub fn intern(&mut self, set: PtsSet) -> PtsRef {
+        let h = Self::hash_of(&set);
+        let candidates = self.index.entry(h).or_default();
+        for &id in candidates.iter() {
+            if self.sets[id as usize] == set {
+                return PtsRef(id);
+            }
+        }
+        let id = u32::try_from(self.sets.len()).expect("points-to pool overflow");
+        self.set_bytes += set.heap_bytes();
+        self.sets.push(set);
+        candidates.push(id);
+        PtsRef(id)
+    }
+
+    /// The set behind a handle.
+    pub fn get(&self, r: PtsRef) -> &PtsSet {
+        &self.sets[r.index()]
+    }
+
+    /// Number of elements in the set behind `r`.
+    pub fn len_of(&self, r: PtsRef) -> usize {
+        self.sets[r.index()].len()
+    }
+
+    /// Whether the set behind `r` contains `m`.
+    pub fn contains(&self, r: PtsRef, m: MemId) -> bool {
+        self.sets[r.index()].contains(m)
+    }
+
+    /// `a ∪ delta` as an interned handle, together with the *new bits*
+    /// (`delta \ a`). Returns `(a, ∅)` when nothing is new — no allocation,
+    /// no interning.
+    pub fn union_delta(&mut self, a: PtsRef, delta: &PtsSet) -> (PtsRef, PtsSet) {
+        let fresh = delta.difference(&self.sets[a.index()]);
+        if fresh.is_empty() {
+            return (a, fresh);
+        }
+        let mut grown = self.sets[a.index()].clone();
+        grown.union_in_place(&fresh);
+        (self.intern(grown), fresh)
+    }
+
+    /// `a ∪ b` as an interned handle.
+    pub fn union(&mut self, a: PtsRef, b: &PtsSet) -> PtsRef {
+        self.union_delta(a, b).0
+    }
+
+    /// Number of distinct interned sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Heap bytes held by the pool: interned set storage, the arena vector,
+    /// and the dedup index.
+    pub fn heap_bytes(&self) -> usize {
+        self.set_bytes
+            + self.sets.capacity() * std::mem::size_of::<PtsSet>()
+            + self.index.capacity() * std::mem::size_of::<(u64, Vec<u32>)>()
+            + self
+                .index
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> MemId {
+        MemId::new(i)
+    }
+
+    #[test]
+    fn empty_is_preinterned() {
+        let mut pool = PtsPool::new();
+        assert_eq!(pool.intern(PtsSet::new()), PtsRef::EMPTY);
+        assert!(pool.get(PtsRef::EMPTY).is_empty());
+        assert_eq!(pool.set_count(), 1);
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut pool = PtsPool::new();
+        let a = pool.intern([m(1), m(2)].into_iter().collect());
+        let b = pool.intern([m(2), m(1)].into_iter().collect());
+        assert_eq!(a, b);
+        assert_eq!(pool.set_count(), 2);
+        let c = pool.intern([m(1), m(3)].into_iter().collect());
+        assert_ne!(a, c);
+    }
+
+    /// Representation-independent interning: a bitmap that shrank below the
+    /// spill threshold must land on the same handle as the small-vector set.
+    #[test]
+    fn interning_canonicalizes_across_representations() {
+        let mut pool = PtsPool::new();
+        let mut bitmap = PtsSet::new();
+        for i in 0..40 {
+            bitmap.insert(m(i));
+        }
+        for i in 4..40 {
+            bitmap.remove(m(i));
+        }
+        let small: PtsSet = (0..4).map(m).collect();
+        let a = pool.intern(small);
+        let b = pool.intern(bitmap);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_delta_returns_only_new_bits() {
+        let mut pool = PtsPool::new();
+        let a = pool.intern([m(1), m(2)].into_iter().collect());
+        let incoming: PtsSet = [m(2), m(3), m(4)].into_iter().collect();
+        let (grown, fresh) = pool.union_delta(a, &incoming);
+        assert_eq!(
+            pool.get(grown),
+            &[m(1), m(2), m(3), m(4)].into_iter().collect()
+        );
+        assert_eq!(fresh, [m(3), m(4)].into_iter().collect());
+        // Idempotent: no new bits, handle unchanged.
+        let (again, none) = pool.union_delta(grown, &incoming);
+        assert_eq!(again, grown);
+        assert!(none.is_empty());
+        // The original handle still maps to the original set (immutability).
+        assert_eq!(pool.len_of(a), 2);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_contents() {
+        let mut pool = PtsPool::new();
+        let before = pool.heap_bytes();
+        pool.intern((0..500).map(m).collect());
+        assert!(pool.heap_bytes() > before);
+    }
+}

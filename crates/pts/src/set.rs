@@ -10,13 +10,14 @@
 //! accounting for the memory experiments.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::objects::MemId;
 
 /// Sets smaller than this stay in the sorted-vector representation.
 const SMALL_MAX: usize = 16;
 
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 enum Repr {
     /// Sorted, deduplicated vector of ids.
     Small(Vec<u32>),
@@ -25,9 +26,42 @@ enum Repr {
 }
 
 /// A set of [`MemId`]s with a hybrid small-vector/bitmap representation.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Equality and hashing are *canonical* (element-wise): two sets holding the
+/// same ids compare equal and hash identically even when their
+/// representations differ (a bitmap can drop to ≤ [`SMALL_MAX`] elements
+/// after removals and still compare equal to a small-vector set). The
+/// hash-consing [`PtsPool`](crate::pool::PtsPool) relies on this.
+#[derive(Clone)]
 pub struct PtsSet {
     repr: Repr,
+}
+
+impl PartialEq for PtsSet {
+    fn eq(&self, other: &PtsSet) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a == b,
+            (Repr::Bits { words: a, len: la }, Repr::Bits { words: b, len: lb }) => {
+                la == lb && {
+                    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                    short.iter().zip(long.iter()).all(|(x, y)| x == y)
+                        && long[short.len()..].iter().all(|&w| w == 0)
+                }
+            }
+            _ => self.len() == other.len() && self.iter().zip(other.iter()).all(|(x, y)| x == y),
+        }
+    }
+}
+
+impl Eq for PtsSet {}
+
+impl Hash for PtsSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len());
+        for m in self.iter() {
+            state.write_u32(m.raw());
+        }
+    }
 }
 
 impl Default for PtsSet {
@@ -196,9 +230,55 @@ impl PtsSet {
         out
     }
 
+    /// The elements of `self` that are not in `other` (`self \ other`).
+    ///
+    /// This is the delta-propagation primitive: the solver diffs an incoming
+    /// pending set against a target's current value and forwards only the
+    /// new bits.
+    pub fn difference(&self, other: &PtsSet) -> PtsSet {
+        if other.is_empty() {
+            return self.clone();
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => {
+                let mut words: Vec<u64> = a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| w & !b.get(i).copied().unwrap_or(0))
+                    .collect();
+                while words.last() == Some(&0) {
+                    words.pop();
+                }
+                let len = words.iter().map(|w| w.count_ones() as usize).sum();
+                if len == 0 {
+                    PtsSet::new()
+                } else {
+                    PtsSet {
+                        repr: Repr::Bits { words, len },
+                    }
+                }
+            }
+            _ => {
+                let mut out = PtsSet::new();
+                for m in self.iter() {
+                    if !other.contains(m) {
+                        out.insert(m);
+                    }
+                }
+                out
+            }
+        }
+    }
+
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &PtsSet) -> bool {
-        self.iter().all(|id| other.contains(id))
+        match (&self.repr, &other.repr) {
+            (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => a
+                .iter()
+                .enumerate()
+                .all(|(i, &w)| w & !b.get(i).copied().unwrap_or(0) == 0),
+            _ => self.iter().all(|id| other.contains(id)),
+        }
     }
 
     /// If the set has exactly one element, returns it.
@@ -407,6 +487,51 @@ mod tests {
             s.insert(m(i));
         }
         assert!(s.heap_bytes() > small_bytes);
+    }
+
+    /// Canonical equality: a bitmap shrunk below the spill threshold by
+    /// removals must still equal (and hash like) a small-vector set with the
+    /// same elements.
+    #[test]
+    fn equality_and_hash_are_representation_independent() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let mut bitmap = PtsSet::new();
+        for i in 0..40 {
+            bitmap.insert(m(i));
+        }
+        for i in 8..40 {
+            bitmap.remove(m(i));
+        }
+        let small: PtsSet = (0..8).map(m).collect();
+        assert_eq!(bitmap, small);
+        assert_eq!(small, bitmap);
+
+        let hash = |s: &PtsSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&bitmap), hash(&small));
+
+        let other: PtsSet = (1..9).map(m).collect();
+        assert_ne!(bitmap, other);
+    }
+
+    #[test]
+    fn difference_across_representations() {
+        let big: PtsSet = (0..100).map(m).collect();
+        let small: PtsSet = [m(1), m(99), m(200)].into_iter().collect();
+        let d = big.difference(&small);
+        assert_eq!(d.len(), 98);
+        assert!(!d.contains(m(1)));
+        assert!(!d.contains(m(99)));
+        assert!(d.contains(m(0)));
+        let d2 = small.difference(&big);
+        assert_eq!(d2, PtsSet::singleton(m(200)));
+        assert!(big.difference(&big).is_empty());
+        assert_eq!(big.difference(&PtsSet::new()), big);
     }
 
     #[test]

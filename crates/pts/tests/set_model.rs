@@ -122,6 +122,181 @@ fn subset_and_singleton_match_model() {
 }
 
 #[test]
+fn difference_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0006);
+    for _ in 0..64 {
+        let (sa, ma) = apply(&sample_ops(&mut rng));
+        let (sb, mb) = apply(&sample_ops(&mut rng));
+        let diff = sa.difference(&sb);
+        let expected: Vec<u32> = ma.difference(&mb).copied().collect();
+        let got: Vec<u32> = diff.iter().map(|m| m.raw()).collect();
+        assert_eq!(got, expected);
+        // a \ b is disjoint from b and a = (a ∩ b) ∪ (a \ b).
+        assert!(!diff.intersects(&sb));
+        let mut rebuilt = sa.intersection(&sb);
+        rebuilt.union_in_place(&diff);
+        assert_eq!(rebuilt, sa);
+        assert!(sa.difference(&sa).is_empty());
+    }
+}
+
+/// The spill threshold (`SMALL_MAX` in `set.rs`): a small-vector set holds at
+/// most this many elements before converting to a bitmap.
+const SPILL: usize = 16;
+
+/// Mirrors the representation transitions: small until an insert pushes the
+/// length past the threshold, then bitmap until `clear`. (Removals never
+/// collapse a bitmap back, so a shrunken bitmap and a small vector must
+/// compare equal purely by content.)
+fn model_is_bits(is_bits: &mut bool, op: &Op, len_after: usize) {
+    match op {
+        Op::Insert(_) if len_after > SPILL => *is_bits = true,
+        Op::Clear => *is_bits = false,
+        _ => {}
+    }
+}
+
+/// `heap_bytes` must account for the actual backing storage of whichever
+/// representation the transition model says the set is in: whole `u32`s
+/// covering at least `len` for the small vector, whole `u64` words covering
+/// at least the maximum element for the bitmap.
+fn check_heap_bytes(set: &PtsSet, model: &BTreeSet<u32>, is_bits: bool) {
+    let bytes = set.heap_bytes();
+    if is_bits {
+        assert!(
+            bytes.is_multiple_of(8),
+            "bitmap bytes are whole words: {bytes}"
+        );
+        // A drained bitmap keeps its word storage; only a populated one has
+        // a content-derived lower bound.
+        if let Some(&max) = model.iter().next_back() {
+            let words = max as usize / 64 + 1;
+            assert!(
+                bytes >= 8 * words,
+                "bitmap covers the maximum element: {bytes} < {}",
+                8 * words
+            );
+        }
+    } else {
+        assert!(
+            bytes.is_multiple_of(4),
+            "small bytes are whole u32s: {bytes}"
+        );
+        assert!(
+            bytes >= 4 * model.len(),
+            "small vector covers every element: {bytes} < {}",
+            4 * model.len()
+        );
+    }
+}
+
+#[test]
+fn heap_bytes_matches_representation_model() {
+    assert_eq!(PtsSet::new().heap_bytes(), 0, "empty set owns no heap");
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0007);
+    for _ in 0..64 {
+        let mut set = PtsSet::new();
+        let mut model = BTreeSet::new();
+        let mut is_bits = false;
+        // Element domain 0..48 with insert-heavy weighting: the length
+        // drifts across the spill threshold repeatedly.
+        for _ in 0..rng.gen_range(0usize..160) {
+            let op = match rng.gen_range(0u32..9) {
+                0..=5 => Op::Insert(rng.gen_range(0u32..48)),
+                6..=7 => Op::Remove(rng.gen_range(0u32..48)),
+                _ => Op::Clear,
+            };
+            match op {
+                Op::Insert(x) => {
+                    set.insert(MemId::new(x));
+                    model.insert(x);
+                }
+                Op::Remove(x) => {
+                    set.remove(MemId::new(x));
+                    model.remove(&x);
+                }
+                Op::Clear => {
+                    set.clear();
+                    model.clear();
+                }
+            }
+            model_is_bits(&mut is_bits, &op, model.len());
+            assert_eq!(set.len(), model.len());
+            check_heap_bytes(&set, &model, is_bits);
+        }
+    }
+}
+
+#[test]
+fn crossing_the_spill_threshold_upward_preserves_content() {
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0008);
+    for _ in 0..32 {
+        let mut set = PtsSet::new();
+        let mut model = BTreeSet::new();
+        // Insert until well past the threshold, checking every step —
+        // including the exact insert that converts small -> bitmap.
+        while model.len() < 2 * SPILL {
+            let x = rng.gen_range(0u32..300);
+            assert_eq!(set.insert(MemId::new(x)), model.insert(x));
+            assert_eq!(set.len(), model.len());
+            let got: Vec<u32> = set.iter().map(|m| m.raw()).collect();
+            let expected: Vec<u32> = model.iter().copied().collect();
+            assert_eq!(got, expected, "content across the spill at {}", model.len());
+            check_heap_bytes(&set, &model, model.len() > SPILL);
+        }
+    }
+}
+
+#[test]
+fn shrinking_a_bitmap_below_the_threshold_stays_canonical() {
+    let mut rng = SmallRng::seed_from_u64(0x5E7_0009);
+    for _ in 0..32 {
+        let mut set = PtsSet::new();
+        let mut model = BTreeSet::new();
+        while model.len() < 2 * SPILL + 8 {
+            let x = rng.gen_range(0u32..400);
+            set.insert(MemId::new(x));
+            model.insert(x);
+        }
+        // Remove back below the threshold: the set stays a bitmap, but must
+        // be indistinguishable — Eq, Hash, subset, union — from a small
+        // vector with the same content.
+        while model.len() > 3 {
+            let &x = model
+                .iter()
+                .nth(rng.gen_range(0usize..model.len()))
+                .unwrap();
+            assert!(set.remove(MemId::new(x)));
+            model.remove(&x);
+            if model.len() > SPILL {
+                continue;
+            }
+            let small: PtsSet = model.iter().map(|&v| MemId::new(v)).collect();
+            assert_eq!(set, small, "shrunken bitmap == small vector");
+            assert_eq!(small, set, "Eq is symmetric across representations");
+            assert_eq!(hash_of(&set), hash_of(&small), "Hash follows Eq");
+            assert!(set.is_subset(&small) && small.is_subset(&set));
+            assert!(set.difference(&small).is_empty());
+            let mut u = small.clone();
+            assert!(
+                !u.union_in_place(&set),
+                "union with an equal set is a no-op"
+            );
+        }
+        // The bitmap keeps its word storage after shrinking (no collapse),
+        // so its byte accounting still follows the bitmap rule.
+        check_heap_bytes(&set, &model, true);
+    }
+}
+
+fn hash_of(set: &PtsSet) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    set.hash(&mut h);
+    h.finish()
+}
+
+#[test]
 fn from_iterator_roundtrip() {
     let mut rng = SmallRng::seed_from_u64(0x5E7_0005);
     for _ in 0..64 {

@@ -64,6 +64,37 @@ fn staged_runs_match_legacy_driver_bit_for_bit() {
     }
 }
 
+/// The delta-propagating solver must reach exactly the fixpoint of the
+/// recompute-and-replace oracle — same points-to set at every variable and
+/// every object definition — on every suite program. (Item counts and
+/// strong/weak tallies legitimately differ between the two strategies;
+/// the sets may not.)
+#[test]
+fn delta_solver_matches_recompute_oracle_on_every_program() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        let fsam = Fsam::analyze(&module);
+        let oracle = fsam::solve_recompute(&module, &fsam.pre, &fsam.svfg);
+        assert!(
+            fsam.result.points_to_eq(&oracle),
+            "{}: delta and recompute fixpoints diverge",
+            p.name()
+        );
+        assert_eq!(
+            fsam.result.stats.var_pts_entries,
+            oracle.stats.var_pts_entries,
+            "{}: variable points-to entry totals diverge",
+            p.name()
+        );
+        assert_eq!(
+            fsam.result.stats.def_pts_entries,
+            oracle.stats.def_pts_entries,
+            "{}: definition points-to entry totals diverge",
+            p.name()
+        );
+    }
+}
+
 #[test]
 fn batch_builds_each_shared_stage_once() {
     let module = Program::WordCount.generate(SCALE);

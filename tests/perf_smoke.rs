@@ -1,0 +1,49 @@
+//! Perf smoke: the sparse solver's worklist traffic must stay bounded.
+//!
+//! The delta-propagating solver's whole point is that each suite program
+//! converges in a small, deterministic number of worklist items (module
+//! generation and the solver schedule are both seeded — reruns are
+//! bit-identical). These bounds are the measured item counts at the smoke
+//! scale with ~50% headroom; a regression that reintroduces redundant
+//! recomputation (e.g. losing delta gating or the topological pop order)
+//! blows through them long before wall-clock noise would show it.
+//!
+//! CI runs this as a dedicated perf-smoke step. If an intentional solver
+//! change shifts the counts, re-measure (the failure message prints the
+//! actual) and update the table alongside the change.
+
+use fsam::Fsam;
+use fsam_suite::{Program, Scale};
+
+/// Measured `stats.processed` per program at `Scale::SMOKE`, times 1.5.
+const BOUNDS: [(&str, usize); 10] = [
+    ("word_count", 365),
+    ("kmeans", 425),
+    ("radiosity", 894),
+    ("automount", 1181),
+    ("ferret", 557),
+    ("bodytrack", 405),
+    ("httpd_server", 1164),
+    ("mt_daapd", 1991),
+    ("raytrace", 4475),
+    ("x264", 5259),
+];
+
+#[test]
+fn worklist_items_stay_under_checked_in_bounds() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        let fsam = Fsam::analyze(&module);
+        let processed = fsam.result.stats.processed;
+        let bound = BOUNDS
+            .iter()
+            .find(|(name, _)| *name == p.name())
+            .unwrap_or_else(|| panic!("no bound checked in for {}", p.name()))
+            .1;
+        assert!(
+            processed <= bound,
+            "{}: solver processed {processed} worklist items, bound is {bound}",
+            p.name()
+        );
+    }
+}
