@@ -1,0 +1,205 @@
+//! Query-engine benchmarks: demand-driven throughput and snapshot I/O.
+//!
+//! Exercises `fsam-query` on the largest suite program (x264) and exports
+//! `BENCH_query.json` at the workspace root:
+//!
+//! * `may_alias` throughput cold (every query a cache miss computing a set
+//!   intersection) vs. cached (the same slab answered from the sharded
+//!   LRU) — the headline number the acceptance criteria gate on;
+//! * snapshot save/load wall time and the on-disk size;
+//! * `pt_names` throughput, with a `MemoryMeter` micro-assertion that
+//!   repeated name queries do not grow the engine's heap by a byte.
+//!
+//! The alias slab is chosen adversarially for the cold path: the variables
+//! with the *largest* points-to sets, all-pairs with distinct interned
+//! handle pairs, so every miss pays a full set intersection while every
+//! hit is a handle-pair probe.
+
+use std::time::Duration;
+
+use fsam::Fsam;
+use fsam_bench::timing::bench;
+use fsam_query::{AnalysisDb, Query, QueryEngine};
+use fsam_suite::{Program, Scale};
+
+const BENCH_SCALE: Scale = Scale(0.08);
+const SAMPLES: usize = 10;
+
+/// All-pairs over the variables with the largest points-to sets, keeping
+/// only pairs whose interned handle pair is new — so a cold engine misses
+/// on every single query.
+fn adversarial_alias_slab(engine: &QueryEngine, target: usize) -> Vec<Query> {
+    let handles = engine.db().result().var_handles();
+    let pool = engine.db().result().pool();
+    let mut by_size: Vec<(usize, u32)> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (pool.get(r).len(), i as u32))
+        .collect();
+    by_size.sort_by(|a, b| b.cmp(a));
+
+    let mut seen = std::collections::HashSet::new();
+    let mut slab = Vec::with_capacity(target);
+    'outer: for (ai, &(_, a)) in by_size.iter().enumerate() {
+        for &(_, b) in &by_size[ai + 1..] {
+            let (ra, rb) = (handles[a as usize].index(), handles[b as usize].index());
+            let key = (ra.min(rb), ra.max(rb));
+            // Equal or empty handles short-circuit before the cache; keep
+            // only pairs that genuinely probe (and miss) it.
+            if ra == rb || ra == 0 || rb == 0 || !seen.insert(key) {
+                continue;
+            }
+            slab.push(Query::MayAlias(
+                fsam_ir::VarId::new(a),
+                fsam_ir::VarId::new(b),
+            ));
+            if slab.len() >= target {
+                break 'outer;
+            }
+        }
+    }
+    slab
+}
+
+fn qps(queries: usize, d: Duration) -> f64 {
+    queries as f64 / d.as_secs_f64()
+}
+
+fn main() {
+    let program = Program::X264; // largest suite program (Table 1)
+    let module = program.generate(BENCH_SCALE);
+    let fsam = Fsam::analyze(&module);
+    let db = AnalysisDb::capture(&module, &fsam);
+
+    // ---- snapshot I/O ----------------------------------------------------
+    let bytes = db.to_bytes();
+    let snapshot_bytes = bytes.len();
+    let path = std::env::temp_dir().join(format!("fsam-bench-query-{}.fsamdb", std::process::id()));
+    let save_median = bench("query/snapshot_save", SAMPLES, || {
+        db.save(&path).expect("save snapshot")
+    });
+    let load_median = bench("query/snapshot_load", SAMPLES, || {
+        AnalysisDb::load(&path).expect("load snapshot")
+    });
+    std::fs::remove_file(&path).ok();
+
+    // ---- may_alias: cold vs cached ---------------------------------------
+    let probe = QueryEngine::new(AnalysisDb::from_bytes(&bytes).expect("roundtrip"));
+    let slab = adversarial_alias_slab(&probe, 2_000);
+    assert!(
+        slab.len() >= 100,
+        "suite program too small for an alias slab"
+    );
+    let pairs: Vec<(fsam_ir::VarId, fsam_ir::VarId)> = slab
+        .iter()
+        .map(|q| match q {
+            Query::MayAlias(a, b) => (*a, *b),
+            _ => unreachable!(),
+        })
+        .collect();
+
+    // Cold: a fresh engine per sample; every query in the slab computes its
+    // intersection. Engine construction happens outside the timed closure.
+    let mut cold_engines: Vec<QueryEngine> = (0..SAMPLES + 2)
+        .map(|_| QueryEngine::new(AnalysisDb::from_bytes(&bytes).expect("roundtrip")))
+        .collect();
+    let cold_median = bench("query/may_alias_cold", SAMPLES, || {
+        let engine = cold_engines.pop().expect("one engine per sample");
+        let mut acc = 0usize;
+        for &(a, b) in &pairs {
+            acc += usize::from(engine.may_alias(a, b));
+        }
+        let (stats, _) = engine.cache_stats();
+        assert_eq!(
+            stats.misses as usize,
+            pairs.len(),
+            "cold run must miss every query"
+        );
+        acc
+    });
+
+    // Cached: one engine, the same slab answered repeatedly after a
+    // warm-up pass (every probe a front-cache hit).
+    let warm = QueryEngine::new(AnalysisDb::from_bytes(&bytes).expect("roundtrip"));
+    warm.query_many(&slab);
+    let cached_median = bench("query/may_alias_cached", SAMPLES, || {
+        let mut acc = 0usize;
+        for &(a, b) in &pairs {
+            acc += usize::from(warm.may_alias(a, b));
+        }
+        acc
+    });
+    let (alias_stats, _) = warm.cache_stats();
+    assert_eq!(
+        alias_stats.misses as usize,
+        pairs.len(),
+        "cached runs must add no misses"
+    );
+
+    let cold_qps = qps(slab.len(), cold_median);
+    let cached_qps = qps(slab.len(), cached_median);
+    let speedup = cached_qps / cold_qps;
+
+    // ---- pt_names: throughput + no-growth micro-assertion ----------------
+    let names_engine = QueryEngine::new(AnalysisDb::from_bytes(&bytes).expect("roundtrip"));
+    let sample_names: Vec<(String, String)> = names_engine
+        .db()
+        .var_names()
+        .iter()
+        .step_by(17)
+        .take(64)
+        .cloned()
+        .collect();
+    // Warm once, then pin the meter: repeated name queries must not grow
+    // the engine's heap (borrowed strings, no per-call interning).
+    for (f, v) in &sample_names {
+        let _ = names_engine.pt_names(f, v);
+    }
+    let heap_before = names_engine.memory().total_bytes();
+    let names_median = bench("query/pt_names", SAMPLES, || {
+        let mut total = 0usize;
+        for (f, v) in &sample_names {
+            total += names_engine.pt_names(f, v).map_or(0, |n| n.len());
+        }
+        total
+    });
+    let heap_after = names_engine.memory().total_bytes();
+    assert_eq!(
+        heap_before,
+        heap_after,
+        "pt_names grew the engine heap by {} bytes",
+        heap_after.saturating_sub(heap_before)
+    );
+    let names_qps = qps(sample_names.len(), names_median);
+
+    // ---- export ----------------------------------------------------------
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"program\": \"{}\", \"scale\": {},\n",
+            "  \"alias_slab\": {}, \"cold_qps\": {:.0}, \"cached_qps\": {:.0}, ",
+            "\"cached_over_cold\": {:.2},\n",
+            "  \"snapshot_bytes\": {}, \"save_wall_ms\": {:.3}, \"load_wall_ms\": {:.3},\n",
+            "  \"pt_names_qps\": {:.0}, \"pt_names_heap_growth_bytes\": {}\n",
+            "}}\n"
+        ),
+        program.name(),
+        BENCH_SCALE.0,
+        slab.len(),
+        cold_qps,
+        cached_qps,
+        speedup,
+        snapshot_bytes,
+        save_median.as_secs_f64() * 1e3,
+        load_median.as_secs_f64() * 1e3,
+        names_qps,
+        heap_after - heap_before,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    std::fs::write(path, &json).expect("write BENCH_query.json");
+    println!("wrote BENCH_query.json: cached/cold = {speedup:.1}x ({cached_qps:.0} vs {cold_qps:.0} qps)");
+    assert!(
+        speedup >= 10.0,
+        "cached may_alias must be >= 10x cold throughput, got {speedup:.2}x"
+    );
+}

@@ -3,65 +3,90 @@
 //! loops — see `fsam_bench::timing`.
 //!
 //! Besides the printed min/median/max lines, the run exports
-//! `BENCH_solver.json` at the workspace root: one record per program with
-//! the sparse solver's worklist counters (total items, delta vs. recompute
+//! `BENCH_solver.json` at the workspace root: per program and scale, the
+//! sparse solver's worklist counters (total items, delta vs. recompute
 //! visits, strong/weak updates), its peak points-to bytes, and the median
-//! wall time of each analysis. The perf-smoke CI step and EXPERIMENTS.md
-//! read these numbers instead of scraping stdout.
+//! wall time of each analysis. The `SWEEP` grows each program from the
+//! base benchmark scale upward to locate where FSAM's wall time crosses
+//! below the NonSparse baseline (EXPERIMENTS.md records the crossover).
+//! The perf-smoke CI step and EXPERIMENTS.md read these numbers instead
+//! of scraping stdout.
 
 use std::fmt::Write as _;
 
-use fsam::{Fsam, PhaseConfig, Pipeline};
+use fsam::{PhaseConfig, Pipeline};
 use fsam_bench::timing::bench;
 use fsam_suite::{Program, Scale};
 
-const BENCH_SCALE: Scale = Scale(0.08);
+/// The scale sweep: from the base benchmark scale up to where the
+/// quadratic NonSparse iteration visibly separates from the sparse
+/// solver. Larger scales use fewer samples to keep the run bounded.
+const SWEEP: [(Scale, usize); 4] = [
+    (Scale(0.08), 10),
+    (Scale(0.16), 7),
+    (Scale(0.24), 5),
+    (Scale(0.32), 3),
+];
+
+const PROGRAMS: [Program; 4] = [
+    Program::WordCount,
+    Program::Radiosity,
+    Program::Ferret,
+    Program::Bodytrack,
+];
+
+/// Times FSAM and NonSparse on one program at one scale and renders the
+/// JSON record. Both loops ride a pre-staged pipeline, so each sample
+/// re-runs only the per-configuration phases (value-flow + solve for
+/// FSAM, the dataflow iteration for NonSparse) — the comparison the
+/// paper's Table 2 makes.
+fn record(p: Program, scale: Scale, samples: usize) -> String {
+    let module = p.generate(scale);
+    let pipeline = Pipeline::for_module(&module);
+    pipeline.run(PhaseConfig::full());
+    let fsam_median = bench(
+        &format!("suite/fsam/{}@{}", p.name(), scale.0),
+        samples,
+        || pipeline.run(PhaseConfig::full()),
+    );
+    let nonsparse_median = bench(
+        &format!("suite/nonsparse/{}@{}", p.name(), scale.0),
+        samples,
+        || pipeline.run_nonsparse(None),
+    );
+
+    let stats = pipeline.run(PhaseConfig::full()).result.stats;
+    let mut r = String::new();
+    write!(
+        r,
+        concat!(
+            "  {{\"program\": \"{}\", \"scale\": {}, ",
+            "\"worklist_items\": {}, \"delta_items\": {}, ",
+            "\"recompute_items\": {}, \"strong_updates\": {}, ",
+            "\"weak_updates\": {}, \"peak_pts_bytes\": {}, ",
+            "\"fsam_wall_ms\": {:.3}, \"nonsparse_wall_ms\": {:.3}}}"
+        ),
+        p.name(),
+        scale.0,
+        stats.processed,
+        stats.delta_items,
+        stats.recompute_items,
+        stats.strong_updates,
+        stats.weak_updates,
+        stats.peak_pts_bytes,
+        fsam_median.as_secs_f64() * 1e3,
+        nonsparse_median.as_secs_f64() * 1e3,
+    )
+    .expect("write to string");
+    r
+}
 
 fn main() {
-    const SAMPLES: usize = 10;
     let mut records = Vec::new();
-    for p in [
-        Program::WordCount,
-        Program::Radiosity,
-        Program::Ferret,
-        Program::Bodytrack,
-    ] {
-        let module = p.generate(BENCH_SCALE);
-        let fsam_median = bench(&format!("suite/fsam/{}", p.name()), SAMPLES, || {
-            Fsam::analyze(&module)
-        });
-        // The NonSparse baseline reuses the pipeline's cached pre-analysis
-        // and ICFG stages, so the loop times only the dataflow iteration.
-        let pipeline = Pipeline::for_module(&module);
-        pipeline.run(PhaseConfig::full());
-        let nonsparse_median = bench(&format!("suite/nonsparse/{}", p.name()), SAMPLES, || {
-            pipeline.run_nonsparse(None)
-        });
-
-        let stats = Fsam::analyze(&module).result.stats;
-        let mut r = String::new();
-        write!(
-            r,
-            concat!(
-                "  {{\"program\": \"{}\", \"scale\": {}, ",
-                "\"worklist_items\": {}, \"delta_items\": {}, ",
-                "\"recompute_items\": {}, \"strong_updates\": {}, ",
-                "\"weak_updates\": {}, \"peak_pts_bytes\": {}, ",
-                "\"fsam_wall_ms\": {:.3}, \"nonsparse_wall_ms\": {:.3}}}"
-            ),
-            p.name(),
-            BENCH_SCALE.0,
-            stats.processed,
-            stats.delta_items,
-            stats.recompute_items,
-            stats.strong_updates,
-            stats.weak_updates,
-            stats.peak_pts_bytes,
-            fsam_median.as_secs_f64() * 1e3,
-            nonsparse_median.as_secs_f64() * 1e3,
-        )
-        .expect("write to string");
-        records.push(r);
+    for (scale, samples) in SWEEP {
+        for p in PROGRAMS {
+            records.push(record(p, scale, samples));
+        }
     }
     let json = format!("[\n{}\n]\n", records.join(",\n"));
     // `cargo bench` runs with the package directory as CWD; anchor the

@@ -112,7 +112,11 @@ pub fn plan(module: &Module, fsam: &Fsam) -> InstrumentationPlan {
 }
 
 /// Whether every MHP instance pair of `(s, a)` holds a common lock.
-fn instances_protected(fsam: &Fsam, oracle: &dyn MhpOracle, s: StmtId, a: StmtId) -> bool {
+///
+/// Public so engine-backed clients (`fsam-query`) can reuse the
+/// instance-level refinement after answering the statement-level queries
+/// from a snapshot.
+pub fn instances_protected(fsam: &Fsam, oracle: &dyn MhpOracle, s: StmtId, a: StmtId) -> bool {
     let Some(lock) = &fsam.lock else { return false };
     for &(t1, c1) in &oracle.instances(s) {
         for &(t2, c2) in &oracle.instances(a) {

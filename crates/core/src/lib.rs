@@ -17,6 +17,7 @@
 //! ## Example
 //!
 //! ```
+//! # #![allow(deprecated)] // pt_names: superseded by fsam_query::QueryEngine
 //! use fsam::Fsam;
 //! use fsam_ir::parse::parse_module;
 //!

@@ -520,15 +520,21 @@ impl Fsam {
     /// # Panics
     ///
     /// Panics if no such variable exists.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fsam_query::QueryEngine::points_to` (name lookup via `var_named`)"
+    )]
     pub fn pt_of(&self, module: &Module, func: &str, var: &str) -> &PtsSet {
         let v = Self::var_named(module, func, var);
         self.result.pt_var(v)
     }
 
     /// The names of the objects `func::var` points to, sorted.
+    #[deprecated(since = "0.1.0", note = "use `fsam_query::QueryEngine::pt_names`")]
     pub fn pt_names(&self, module: &Module, func: &str, var: &str) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .pt_of(module, func, var)
+        #[allow(deprecated)]
+        let set = self.pt_of(module, func, var);
+        let mut names: Vec<String> = set
             .iter()
             .map(|o| self.pre.objects().display_name(module, o))
             .collect();
@@ -559,6 +565,10 @@ impl Fsam {
 
     /// Whether `*p` and `*q` may alias under the flow-sensitive results
     /// (client-facing alias query).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fsam_query::QueryEngine::may_alias` (cached, snapshot-capable)"
+    )]
     pub fn may_alias(&self, p: VarId, q: VarId) -> bool {
         self.result.pt_var(p).intersects(self.result.pt_var(q))
     }
@@ -625,6 +635,7 @@ impl Fsam {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // in-crate tests exercise the deprecated name-based accessors
 mod tests {
     use super::*;
     use fsam_ir::parse::parse_module;

@@ -120,8 +120,12 @@ pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Race> {
     races
 }
 
-/// Whether some MHP instance pair lacks a common lock.
-fn racy_instances(module_fsam: &Fsam, oracle: &dyn MhpOracle, s: StmtId, a: StmtId) -> bool {
+/// Whether some MHP instance pair of `(s, a)` lacks a common lock.
+///
+/// Public so engine-backed clients (`fsam-query`) can reuse the
+/// instance-level refinement after answering the statement-level queries
+/// from a snapshot.
+pub fn racy_instances(module_fsam: &Fsam, oracle: &dyn MhpOracle, s: StmtId, a: StmtId) -> bool {
     let icfg = &module_fsam.icfg;
     let is1 = oracle.instances(s);
     let is2 = oracle.instances(a);

@@ -177,6 +177,92 @@ impl SparseResult {
         })
     }
 
+    /// The interned pool backing every points-to set in this result.
+    ///
+    /// Exposed (together with [`var_handles`](SparseResult::var_handles) and
+    /// [`slot_tables`](SparseResult::slot_tables)) so the snapshot layer can
+    /// serialize the result as flat tables of handles; [`PtsPool::sets`] is
+    /// the pool's stable serialization order.
+    pub fn pool(&self) -> &PtsPool {
+        &self.pool
+    }
+
+    /// Per-variable points-to handles into [`pool`](SparseResult::pool),
+    /// indexed by [`VarId::index`].
+    pub fn var_handles(&self) -> &[PtsRef] {
+        &self.pt_vars
+    }
+
+    /// The per-definition slot tables `(slot_base, slot_obj, slot_out)`:
+    /// node `n`'s definitions occupy slots `slot_base[n]..slot_base[n + 1]`,
+    /// each defining `slot_obj[k]` with output set `slot_out[k]`.
+    pub fn slot_tables(&self) -> (&[u32], &[MemId], &[PtsRef]) {
+        (&self.slot_base, &self.slot_obj, &self.slot_out)
+    }
+
+    /// Rebuilds a result from serialized tables, validating every invariant
+    /// the accessors rely on: `slot_base` non-empty, monotone and ending at
+    /// the slot count, `slot_obj`/`slot_out` the same length, objects
+    /// strictly ascending within each node's range (binary-search order),
+    /// and every handle interned in `pool`. Violations are reported as
+    /// messages, never panics, so corrupted snapshots fail closed.
+    pub fn from_tables(
+        pool: PtsPool,
+        pt_vars: Vec<PtsRef>,
+        slot_base: Vec<u32>,
+        slot_obj: Vec<MemId>,
+        slot_out: Vec<PtsRef>,
+        stats: SolverStats,
+    ) -> Result<SparseResult, String> {
+        if slot_base.is_empty() {
+            return Err("slot_base must hold at least the terminating entry".into());
+        }
+        if slot_obj.len() != slot_out.len() {
+            return Err(format!(
+                "slot tables disagree: {} objects vs {} outputs",
+                slot_obj.len(),
+                slot_out.len()
+            ));
+        }
+        if *slot_base.last().unwrap() as usize != slot_obj.len() {
+            return Err(format!(
+                "slot_base ends at {} but there are {} slots",
+                slot_base.last().unwrap(),
+                slot_obj.len()
+            ));
+        }
+        for w in slot_base.windows(2) {
+            if w[0] > w[1] {
+                return Err("slot_base is not monotone".into());
+            }
+        }
+        for n in 0..slot_base.len() - 1 {
+            let (s, e) = (slot_base[n] as usize, slot_base[n + 1] as usize);
+            if !slot_obj[s..e].windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!(
+                    "slot objects of node {n} are not strictly ascending"
+                ));
+            }
+        }
+        for &r in pt_vars.iter().chain(slot_out.iter()) {
+            if pool.handle(r.index()).is_none() {
+                return Err(format!(
+                    "handle p{} out of range (pool holds {} sets)",
+                    r.index(),
+                    pool.set_count()
+                ));
+            }
+        }
+        Ok(SparseResult {
+            pool,
+            pt_vars,
+            slot_base,
+            slot_obj,
+            slot_out,
+            stats,
+        })
+    }
+
     /// Builds a result from loose state (the recompute oracle's shape).
     pub(crate) fn from_state(
         pt_var_sets: Vec<PtsSet>,

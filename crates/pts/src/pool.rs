@@ -43,6 +43,37 @@ impl std::fmt::Debug for PtsRef {
     }
 }
 
+/// Why a serialized set table could not be rebuilt into a [`PtsPool`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolRebuildError {
+    /// The table's first entry is not the empty set (handle 0 is reserved
+    /// for [`PtsRef::EMPTY`] in every pool).
+    FirstNotEmpty,
+    /// Two table entries hold the same set; interning the entry at `index`
+    /// returned the earlier handle `canonical` instead of a fresh one.
+    Duplicate {
+        /// Position of the offending entry.
+        index: usize,
+        /// The earlier entry it duplicates.
+        canonical: usize,
+    },
+}
+
+impl std::fmt::Display for PoolRebuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolRebuildError::FirstNotEmpty => {
+                write!(f, "set table entry 0 must be the empty set")
+            }
+            PoolRebuildError::Duplicate { index, canonical } => {
+                write!(f, "set table entry {index} duplicates entry {canonical}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolRebuildError {}
+
 /// An append-only arena of deduplicated [`PtsSet`]s.
 #[derive(Debug, Default)]
 pub struct PtsPool {
@@ -127,6 +158,51 @@ impl PtsPool {
         self.sets.len()
     }
 
+    /// The handle at dense index `index`, if one exists.
+    ///
+    /// The inverse of [`PtsRef::index`]: deserializers that stored raw
+    /// indices rebuild validated handles through this instead of forging
+    /// them, so an out-of-range table entry surfaces as `None` rather than a
+    /// panic on the first `get`.
+    pub fn handle(&self, index: usize) -> Option<PtsRef> {
+        (index < self.sets.len()).then_some(PtsRef(index as u32))
+    }
+
+    /// The interned sets in dense handle order (`sets().nth(r.index())` is
+    /// the set behind `r`). This is the pool's stable serialization order:
+    /// writing the sets in this order and rebuilding with
+    /// [`PtsPool::from_sets`] reproduces every handle bit-for-bit.
+    pub fn sets(&self) -> impl ExactSizeIterator<Item = &PtsSet> {
+        self.sets.iter()
+    }
+
+    /// Rebuilds a pool from a serialized set table, preserving handles.
+    ///
+    /// The table must be a valid pool image: the first set empty (it becomes
+    /// [`PtsRef::EMPTY`]) and no two sets equal — hash-consing would
+    /// otherwise assign a different handle than the table position, silently
+    /// re-aliasing every downstream reference. Violations are reported as
+    /// typed errors, never panics, so corrupted snapshots stay loadable-safe.
+    pub fn from_sets(table: impl IntoIterator<Item = PtsSet>) -> Result<PtsPool, PoolRebuildError> {
+        let mut pool = PtsPool::new();
+        for (i, set) in table.into_iter().enumerate() {
+            if i == 0 {
+                if !set.is_empty() {
+                    return Err(PoolRebuildError::FirstNotEmpty);
+                }
+                continue; // `new()` already interned it at id 0.
+            }
+            let r = pool.intern(set);
+            if r.index() != i {
+                return Err(PoolRebuildError::Duplicate {
+                    index: i,
+                    canonical: r.index(),
+                });
+            }
+        }
+        Ok(pool)
+    }
+
     /// Heap bytes held by the pool: interned set storage, the arena vector,
     /// and the dedup index.
     pub fn heap_bytes(&self) -> usize {
@@ -203,6 +279,48 @@ mod tests {
         assert!(none.is_empty());
         // The original handle still maps to the original set (immutability).
         assert_eq!(pool.len_of(a), 2);
+    }
+
+    #[test]
+    fn rebuild_from_sets_preserves_handles() {
+        let mut pool = PtsPool::new();
+        let a = pool.intern([m(1), m(2)].into_iter().collect());
+        let b = pool.intern((0..40).map(m).collect());
+        let rebuilt = PtsPool::from_sets(pool.sets().cloned()).unwrap();
+        assert_eq!(rebuilt.set_count(), pool.set_count());
+        for r in [PtsRef::EMPTY, a, b] {
+            assert_eq!(rebuilt.handle(r.index()), Some(r));
+            assert_eq!(rebuilt.get(r), pool.get(r));
+        }
+        assert_eq!(rebuilt.handle(pool.set_count()), None);
+        // The rebuilt pool keeps hash-consing: re-interning lands on the
+        // original handles.
+        let mut rebuilt = rebuilt;
+        assert_eq!(rebuilt.intern([m(1), m(2)].into_iter().collect()), a);
+    }
+
+    #[test]
+    fn rebuild_rejects_bad_tables() {
+        let one: PtsSet = [m(1)].into_iter().collect();
+        assert_eq!(
+            PtsPool::from_sets([one.clone()]).unwrap_err(),
+            PoolRebuildError::FirstNotEmpty
+        );
+        assert_eq!(
+            PtsPool::from_sets([PtsSet::new(), one.clone(), one.clone()]).unwrap_err(),
+            PoolRebuildError::Duplicate {
+                index: 2,
+                canonical: 1
+            }
+        );
+        let err = PoolRebuildError::Duplicate {
+            index: 2,
+            canonical: 1,
+        };
+        assert!(err.to_string().contains("duplicates"));
+        assert!(PoolRebuildError::FirstNotEmpty
+            .to_string()
+            .contains("empty"));
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! Two-level query caches: a lock-free direct-mapped front over a
+//! sharded, lock-striped LRU.
+//!
+//! [`ShardedCache`] hashes each key to one of [`SHARDS`] independent
+//! shards, each a `Mutex` around a slab-backed LRU list, so concurrent
+//! queries from different threads contend only when they land on the same
+//! shard. Within a shard, `get` and `insert` are O(1): recency is an
+//! intrusive doubly-linked list threaded through a slab `Vec`, with the
+//! key → slot map alongside it. Hit/miss counters are lock-free atomics
+//! aggregated across shards.
+//!
+//! [`PairCache`] specialises the common case — a symmetric boolean
+//! relation keyed on a normalised `(u32, u32)` pair (`may_alias` on
+//! interned handle indices, `mhp` on statement ids) — by fronting the LRU
+//! with a fixed-size direct-mapped array of packed `AtomicU64` slots. A
+//! front hit is one relaxed load plus a compare: no lock, no SipHash, no
+//! list promotion. Misses fall through to the LRU (the capacity-bounded
+//! source of truth) and refill the front slot on the way out.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards.
+pub const SHARDS: usize = 16;
+
+/// Sentinel slot index for "no node".
+const NIL: u32 = u32::MAX;
+
+struct Node<K, V> {
+    key: K,
+    val: V,
+    prev: u32,
+    next: u32,
+}
+
+/// One shard: an O(1) LRU over a slab of nodes.
+struct Lru<K, V> {
+    map: HashMap<K, u32>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+impl<K: Copy + Eq + Hash, V: Copy> Lru<K, V> {
+    fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let n = &self.slab[slot as usize];
+            (n.prev, n.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next as usize].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.slab[slot as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let slot = *self.map.get(key)?;
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        Some(self.slab[slot as usize].val)
+    }
+
+    fn insert(&mut self, key: K, val: V) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot as usize].val = val;
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let old_key = self.slab[victim as usize].key;
+            self.map.remove(&old_key);
+            self.free.push(victim);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Node {
+                    key,
+                    val,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slab.len()).expect("cache shard too large");
+                self.slab.push(Node {
+                    key,
+                    val,
+                    prev: NIL,
+                    next: NIL,
+                });
+                s
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.slab.capacity() * std::mem::size_of::<Node<K, V>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.map.capacity() * (std::mem::size_of::<(K, u32)>() + std::mem::size_of::<u64>())
+    }
+}
+
+/// Aggregate hit/miss counters for a cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the backing computation.
+    pub misses: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-shard, lock-striped LRU cache (see module docs).
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<Lru<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Copy + Eq + Hash, V: Copy> ShardedCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries in total,
+    /// divided evenly across [`SHARDS`] shards.
+    pub fn new(capacity: usize) -> ShardedCache<K, V> {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        ShardedCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Lru::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Lru<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached value for `key`, computing and caching it with
+    /// `fill` on a miss. The shard lock is *not* held while `fill` runs, so
+    /// concurrent misses on one key may compute it twice — harmless for the
+    /// pure queries cached here, and it keeps the critical section tiny.
+    pub fn get_or_insert_with(&self, key: K, fill: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.shard(&key).lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = fill();
+        self.shard(&key).lock().unwrap().insert(key, v);
+        v
+    }
+
+    /// Snapshot of the hit/miss counters and resident entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().map.len())
+                .sum(),
+        }
+    }
+
+    /// Approximate heap bytes held by all shards.
+    pub fn heap_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().heap_bytes())
+            .sum()
+    }
+}
+
+/// log2 of the direct-mapped front's slot count (256 KiB of slots).
+const L1_BITS: u32 = 15;
+
+/// A two-level cache for boolean relations on `(u32, u32)` keys (see
+/// module docs). Callers must pass *normalised* keys (symmetric relations
+/// sorted so `a <= b`); both components must stay below `2^31` for the
+/// packed front — larger keys silently bypass it and still cache in the
+/// LRU level.
+pub struct PairCache {
+    /// Direct-mapped front: each slot packs `a` (31 bits), `b` (31 bits),
+    /// the cached boolean and a valid bit into one `AtomicU64`. Slot 0 is
+    /// distinguishable from the empty word because valid is bit 0.
+    l1: Vec<AtomicU64>,
+    l1_hits: AtomicU64,
+    l2: ShardedCache<(u32, u32), bool>,
+}
+
+impl PairCache {
+    const PACK_LIMIT: u32 = 1 << 31;
+
+    /// Creates a cache whose LRU level holds at most `capacity` entries.
+    pub fn new(capacity: usize) -> PairCache {
+        PairCache {
+            l1: (0..1usize << L1_BITS).map(|_| AtomicU64::new(0)).collect(),
+            l1_hits: AtomicU64::new(0),
+            l2: ShardedCache::new(capacity),
+        }
+    }
+
+    fn pack(key: (u32, u32)) -> u64 {
+        (u64::from(key.0) << 33) | (u64::from(key.1) << 2)
+    }
+
+    fn slot(&self, packed: u64) -> &AtomicU64 {
+        // Fibonacci hashing spreads consecutive handle pairs across slots.
+        let h = packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.l1[(h >> (64 - L1_BITS)) as usize]
+    }
+
+    /// Returns the cached value for the normalised `key`, computing and
+    /// caching it with `fill` on a full miss.
+    pub fn get_or_insert_with(&self, key: (u32, u32), fill: impl FnOnce() -> bool) -> bool {
+        if key.0 >= Self::PACK_LIMIT || key.1 >= Self::PACK_LIMIT {
+            return self.l2.get_or_insert_with(key, fill);
+        }
+        let packed = Self::pack(key);
+        let slot = self.slot(packed);
+        let word = slot.load(Ordering::Relaxed);
+        // Valid bit set and the key bits (everything but the value bit)
+        // match: front hit.
+        if word & 1 == 1 && word & !0b10 == packed | 1 {
+            self.l1_hits.fetch_add(1, Ordering::Relaxed);
+            return word & 0b10 != 0;
+        }
+        let v = self.l2.get_or_insert_with(key, fill);
+        slot.store(packed | (u64::from(v) << 1) | 1, Ordering::Relaxed);
+        v
+    }
+
+    /// Aggregate statistics. Front hits count as hits; `entries` reports
+    /// the LRU level (the front is a lossy accelerator, not a store).
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.l2.stats();
+        s.hits += self.l1_hits.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Approximate heap bytes across both levels.
+    pub fn heap_bytes(&self) -> usize {
+        self.l1.capacity() * std::mem::size_of::<AtomicU64>() + self.l2.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c: ShardedCache<u64, u32> = ShardedCache::new(64);
+        assert_eq!(c.get_or_insert_with(1, || 10), 10);
+        assert_eq!(c.get_or_insert_with(1, || 99), 10); // cached, fill ignored
+        assert_eq!(c.get_or_insert_with(2, || 20), 20);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+        assert!(s.hit_rate() > 0.3 && s.hit_rate() < 0.4);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Single-shard-sized exercise through the raw Lru to make eviction
+        // order deterministic.
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        assert_eq!(lru.get(&1), Some(1)); // 1 now most recent
+        lru.insert(3, 3); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(1));
+        assert_eq!(lru.get(&3), Some(3));
+        assert_eq!(lru.map.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_resident_entries() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(SHARDS * 4);
+        for k in 0..10_000u64 {
+            c.get_or_insert_with(k, || k * 2);
+        }
+        assert!(c.stats().entries <= SHARDS * 4);
+        assert!(c.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn reinsert_updates_value_in_place() {
+        let mut lru: Lru<u32, u32> = Lru::new(4);
+        lru.insert(7, 1);
+        lru.insert(8, 2);
+        lru.insert(7, 3);
+        assert_eq!(lru.get(&7), Some(3));
+        assert_eq!(lru.map.len(), 2);
+    }
+
+    #[test]
+    fn pair_cache_front_hits_after_first_probe() {
+        let c = PairCache::new(1024);
+        assert!(c.get_or_insert_with((3, 9), || true));
+        assert!(c.get_or_insert_with((3, 9), || panic!("cached")));
+        assert!(!c.get_or_insert_with((4, 9), || false));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn pair_cache_false_values_are_cached_too() {
+        // A valid slot holding `false` must not read as empty.
+        let c = PairCache::new(16);
+        assert!(!c.get_or_insert_with((0, 0), || false));
+        assert!(!c.get_or_insert_with((0, 0), || panic!("cached")));
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn pair_cache_oversized_keys_bypass_the_front() {
+        let c = PairCache::new(16);
+        let big = (1u32 << 31, 5u32);
+        assert!(c.get_or_insert_with(big, || true));
+        assert!(c.get_or_insert_with(big, || panic!("cached in the LRU level")));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn pair_cache_slot_collisions_fall_back_to_the_lru() {
+        // Exhaustively exercise many keys (far more than distinct slots
+        // would stay coherent for) — every answer must stay correct.
+        let c = PairCache::new(1 << 17);
+        let f = |a: u32, b: u32| (a + b).is_multiple_of(3);
+        for a in 0..300u32 {
+            for b in a..300u32 {
+                assert_eq!(c.get_or_insert_with((a, b), || f(a, b)), f(a, b));
+            }
+        }
+        for a in (0..300u32).rev() {
+            for b in (a..300u32).rev() {
+                assert_eq!(
+                    c.get_or_insert_with((a, b), || panic!("resident in L2")),
+                    f(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = std::sync::Arc::new(ShardedCache::<u64, u64>::new(1024));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = (i + t) % 512;
+                        assert_eq!(c.get_or_insert_with(k, || k * 3), k * 3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8_000);
+    }
+}

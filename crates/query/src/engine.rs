@@ -1,0 +1,359 @@
+//! The demand-driven query engine: [`QueryEngine`], [`Query`], [`Answer`].
+//!
+//! A [`QueryEngine`] wraps a frozen [`AnalysisDb`] — captured from a live
+//! run or loaded from disk — and answers the four demand-driven queries
+//! the paper's clients are built on:
+//!
+//! * `points_to(v)` — the flow-sensitive points-to set of a top-level
+//!   variable (a pooled handle dereference, no computation),
+//! * `may_alias(p, q)` — set intersection, memoised in a sharded LRU
+//!   keyed on the *interned handle pair*: any two queries whose operands
+//!   hash-cons to the same pair of sets share one cache entry,
+//! * `aliases_of(o)` — the precomputed reverse index object → variables,
+//! * `mhp(s1, s2)` — the statement-level may-happen-in-parallel relation
+//!   from the frozen [`MhpFacts`], memoised the same way.
+//!
+//! Batched lookups go through [`QueryEngine::query_many`], which
+//! normalises and deduplicates the slab before touching the cache so a
+//! client slab with repeated pairs costs one probe per distinct query.
+//!
+//! [`MhpFacts`]: fsam_threads::MhpFacts
+
+use std::collections::HashMap;
+
+use fsam::Fsam;
+use fsam_ir::{Module, StmtId, VarId};
+use fsam_pts::{MemId, MemoryMeter, PtsRef, PtsSet};
+
+use crate::cache::{CacheStats, PairCache};
+use crate::snapshot::{lookup_var, name_order, AnalysisDb};
+
+/// Total cached entries per relation (split across shards).
+const CACHE_CAPACITY: usize = 1 << 16;
+
+/// One demand-driven query against a solved analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// The points-to set of a top-level variable.
+    PointsTo(VarId),
+    /// Whether two pointers may reference a common object.
+    MayAlias(VarId, VarId),
+    /// The variables whose points-to set contains an object.
+    AliasesOf(MemId),
+    /// Whether two statements may happen in parallel.
+    Mhp(StmtId, StmtId),
+}
+
+impl Query {
+    /// Canonical form: symmetric queries get their operands sorted so
+    /// `MayAlias(p, q)` and `MayAlias(q, p)` are one cache/dedup key.
+    fn normalize(self) -> Query {
+        match self {
+            Query::MayAlias(p, q) if q.raw() < p.raw() => Query::MayAlias(q, p),
+            Query::Mhp(a, b) if b.raw() < a.raw() => Query::Mhp(b, a),
+            other => other,
+        }
+    }
+}
+
+/// The answer to a [`Query`], in the same order as the request slab.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// Objects a variable may point to, ascending.
+    Objects(Vec<MemId>),
+    /// A yes/no relation result (`MayAlias`, `Mhp`).
+    Bool(bool),
+    /// Variables aliasing an object, ascending.
+    Vars(Vec<VarId>),
+}
+
+/// A demand-driven query engine over a frozen [`AnalysisDb`] (see module
+/// docs).
+pub struct QueryEngine {
+    db: AnalysisDb,
+    /// Variable indices sorted by `(function, name)` for allocation-free
+    /// binary-search lookup in [`var_named`](QueryEngine::var_named).
+    name_order: Vec<u32>,
+    alias_cache: PairCache,
+    mhp_cache: PairCache,
+}
+
+static EMPTY_SET: PtsSet = PtsSet::new();
+
+impl QueryEngine {
+    /// Wraps a database (typically loaded with [`AnalysisDb::load`]).
+    pub fn new(db: AnalysisDb) -> QueryEngine {
+        let name_order = name_order(db.var_names());
+        QueryEngine {
+            db,
+            name_order,
+            alias_cache: PairCache::new(CACHE_CAPACITY),
+            mhp_cache: PairCache::new(CACHE_CAPACITY),
+        }
+    }
+
+    /// Captures a live run and wraps it in one step.
+    pub fn from_fsam(module: &Module, fsam: &Fsam) -> QueryEngine {
+        QueryEngine::new(AnalysisDb::capture(module, fsam))
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &AnalysisDb {
+        &self.db
+    }
+
+    /// The flow-sensitive points-to set of `v` at its definition, or the
+    /// empty set for a variable the snapshot does not know.
+    pub fn points_to(&self, v: VarId) -> &PtsSet {
+        match self.db.result().var_handles().get(v.index()) {
+            Some(&r) => self.db.result().pool().get(r),
+            None => &EMPTY_SET,
+        }
+    }
+
+    /// Whether `p` and `q` may point to a common object. Memoised on the
+    /// interned handle pair — two variables with hash-consed-equal sets
+    /// share cache entries with every other variable holding those sets.
+    pub fn may_alias(&self, p: VarId, q: VarId) -> bool {
+        let handles = self.db.result().var_handles();
+        let (rp, rq) = match (handles.get(p.index()), handles.get(q.index())) {
+            (Some(&rp), Some(&rq)) => (rp, rq),
+            _ => return false,
+        };
+        if rp == PtsRef::EMPTY || rq == PtsRef::EMPTY {
+            return false;
+        }
+        if rp == rq {
+            // Hash-consing: identical handles are identical non-empty sets.
+            return true;
+        }
+        let key = {
+            let (a, b) = (rp.index() as u32, rq.index() as u32);
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        let pool = self.db.result().pool();
+        self.alias_cache
+            .get_or_insert_with(key, || pool.get(rp).intersects(pool.get(rq)))
+    }
+
+    /// Variables whose points-to set contains `o`, ascending (the
+    /// precomputed reverse index; empty for unknown objects).
+    pub fn aliases_of(&self, o: MemId) -> &[VarId] {
+        self.db.aliased_by(o)
+    }
+
+    /// Whether `s1` and `s2` may happen in parallel, from the frozen MHP
+    /// facts. Symmetric; memoised on the normalised statement pair.
+    pub fn mhp(&self, s1: StmtId, s2: StmtId) -> bool {
+        let key = if s1.raw() <= s2.raw() {
+            (s1.raw(), s2.raw())
+        } else {
+            (s2.raw(), s1.raw())
+        };
+        let facts = self.db.mhp();
+        self.mhp_cache
+            .get_or_insert_with(key, || facts.mhp_stmt(s1, s2))
+    }
+
+    /// Resolves a variable by `(function, name)` against the snapshot's
+    /// name table. Allocation-free (binary search over a precomputed
+    /// permutation).
+    pub fn var_named(&self, func: &str, var: &str) -> Option<VarId> {
+        lookup_var(self.db.var_names(), &self.name_order, func, var)
+    }
+
+    /// Display names of the objects `var` (in `func`) may point to,
+    /// sorted; `None` if the name is unknown. The strings are borrowed
+    /// from the snapshot's name table — repeated calls allocate only the
+    /// returned `Vec`, never new strings, and never grow the engine.
+    pub fn pt_names(&self, func: &str, var: &str) -> Option<Vec<&str>> {
+        let v = self.var_named(func, var)?;
+        let names = self.db.obj_names();
+        let mut out: Vec<&str> = self
+            .points_to(v)
+            .iter()
+            .map(|m| names[m.index()].as_str())
+            .collect();
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Answers a slab of queries, one answer per query in request order.
+    /// The slab is normalised and deduplicated first, so repeated or
+    /// symmetric-duplicate queries are answered once and fanned back out.
+    pub fn query_many(&self, queries: &[Query]) -> Vec<Answer> {
+        let mut answered: HashMap<Query, Answer> = HashMap::with_capacity(queries.len());
+        for q in queries {
+            let key = q.normalize();
+            if answered.contains_key(&key) {
+                continue;
+            }
+            let ans = match key {
+                Query::PointsTo(v) => Answer::Objects(self.points_to(v).iter().collect()),
+                Query::MayAlias(p, q) => Answer::Bool(self.may_alias(p, q)),
+                Query::AliasesOf(o) => Answer::Vars(self.aliases_of(o).to_vec()),
+                Query::Mhp(a, b) => Answer::Bool(self.mhp(a, b)),
+            };
+            answered.insert(key, ans);
+        }
+        queries
+            .iter()
+            .map(|q| answered[&q.normalize()].clone())
+            .collect()
+    }
+
+    /// Hit/miss statistics of the alias and MHP caches, in that order.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
+        (self.alias_cache.stats(), self.mhp_cache.stats())
+    }
+
+    /// Approximate heap held by the engine, by category: the snapshot
+    /// tables, the name-lookup index, and the query caches.
+    pub fn memory(&self) -> MemoryMeter {
+        let mut m = MemoryMeter::default();
+        m.add("snapshot", self.db.heap_bytes());
+        m.add(
+            "name-index",
+            self.name_order.capacity() * std::mem::size_of::<u32>(),
+        );
+        m.add(
+            "query-cache",
+            self.alias_cache.heap_bytes() + self.mhp_cache.heap_bytes(),
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::parse::parse_module;
+
+    const SRC: &str = r#"
+        global x
+        global y
+        global z
+        func foo() {
+        entry:
+          p2 = &x
+          q = &y
+          store p2, q
+          ret
+        }
+        func main() {
+        entry:
+          p = &x
+          r = &z
+          t = fork foo()
+          store p, r
+          c = load p
+          ret
+        }
+    "#;
+
+    fn engine() -> (fsam_ir::Module, Fsam, QueryEngine) {
+        let m = parse_module(SRC).unwrap();
+        let fsam = Fsam::analyze(&m);
+        let engine = QueryEngine::from_fsam(&m, &fsam);
+        (m, fsam, engine)
+    }
+
+    #[test]
+    fn engine_matches_direct_result_on_every_variable_pair() {
+        let (m, fsam, engine) = engine();
+        let vars: Vec<VarId> = m.var_ids().collect();
+        for &p in &vars {
+            assert_eq!(engine.points_to(p), fsam.result.pt_var(p), "{p:?}");
+            for &q in &vars {
+                let direct = fsam.result.pt_var(p).intersects(fsam.result.pt_var(q));
+                assert_eq!(engine.may_alias(p, q), direct, "{p:?} vs {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn alias_cache_hits_on_repeat_and_symmetry() {
+        let (m, _fsam, engine) = engine();
+        let r = engine.var_named("main", "r").unwrap();
+        let c = engine.var_named("main", "c").unwrap();
+        assert!(engine.may_alias(r, c)); // pt(r)={z}, pt(c)={y,z}
+        assert!(engine.may_alias(c, r)); // symmetric duplicate
+        let (alias, _) = engine.cache_stats();
+        assert_eq!(alias.misses, 1);
+        assert_eq!(alias.hits, 1);
+        drop(m);
+    }
+
+    #[test]
+    fn mhp_matches_oracle_and_is_symmetric() {
+        let (m, fsam, engine) = engine();
+        let oracle = fsam.mhp.oracle();
+        let stmts: Vec<StmtId> = m.stmts().map(|(s, _)| s).collect();
+        for &a in &stmts {
+            for &b in &stmts {
+                assert_eq!(engine.mhp(a, b), oracle.mhp_stmt(a, b), "{a:?} vs {b:?}");
+                assert_eq!(engine.mhp(a, b), engine.mhp(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn query_many_answers_in_request_order_with_dedup() {
+        let (_m, _fsam, engine) = engine();
+        let r = engine.var_named("main", "r").unwrap();
+        let c = engine.var_named("main", "c").unwrap();
+        let q = engine.var_named("foo", "q").unwrap();
+        let slab = vec![
+            Query::MayAlias(r, c),
+            Query::MayAlias(c, r), // symmetric dup of the first
+            Query::PointsTo(q),
+            Query::MayAlias(r, c), // exact dup
+        ];
+        let answers = engine.query_many(&slab);
+        assert_eq!(answers.len(), 4);
+        assert_eq!(answers[0], Answer::Bool(true));
+        assert_eq!(answers[1], answers[0]);
+        assert_eq!(answers[3], answers[0]);
+        assert!(matches!(&answers[2], Answer::Objects(objs) if objs.len() == 1));
+        // Three duplicates collapsed into a single cache probe.
+        let (alias, _) = engine.cache_stats();
+        assert_eq!(alias.hits + alias.misses, 1);
+    }
+
+    #[test]
+    fn aliases_of_inverts_points_to() {
+        let (m, _fsam, engine) = engine();
+        for v in m.var_ids() {
+            for o in engine.points_to(v).iter() {
+                assert!(engine.aliases_of(o).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn pt_names_borrows_and_engine_stays_flat() {
+        let (_m, _fsam, engine) = engine();
+        let names = engine.pt_names("main", "c").unwrap();
+        assert_eq!(names, ["y", "z"]);
+        let before = engine.memory().total_bytes();
+        for _ in 0..100 {
+            let again = engine.pt_names("main", "c").unwrap();
+            assert_eq!(again, ["y", "z"]);
+        }
+        assert_eq!(engine.memory().total_bytes(), before);
+        assert_eq!(engine.pt_names("main", "nope"), None);
+    }
+
+    #[test]
+    fn unknown_ids_answer_conservatively() {
+        let (_m, _fsam, engine) = engine();
+        let bogus = VarId::new(9_999);
+        assert!(engine.points_to(bogus).is_empty());
+        assert!(!engine.may_alias(bogus, bogus));
+        assert!(engine.aliases_of(MemId::new(9_999)).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Snapshot robustness: lossless roundtrips on every benchmark, and typed
+//! (never panicking) failures on corrupted, truncated or wrong-version
+//! input.
+
+use fsam::Fsam;
+use fsam_ir::StmtId;
+use fsam_query::{AnalysisDb, QueryEngine, SnapshotError, FORMAT_VERSION, MAGIC};
+use fsam_suite::{Program, Scale};
+
+/// Solve → save → load must preserve every query answer, on every suite
+/// program: points-to sets per variable, pairwise may-alias, the MHP
+/// relation, the reverse index and the name tables.
+#[test]
+fn roundtrip_preserves_every_answer_on_every_benchmark() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        let fsam = Fsam::analyze(&module);
+        let db = AnalysisDb::capture(&module, &fsam);
+        let bytes = db.to_bytes();
+        let loaded = AnalysisDb::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!("{}: snapshot failed to load: {e}", p.name());
+        });
+        assert_eq!(db, loaded, "{}: databases diverge", p.name());
+        // Determinism: re-serializing the loaded copy is byte-identical.
+        assert_eq!(bytes, loaded.to_bytes(), "{}: bytes diverge", p.name());
+
+        let a = QueryEngine::new(db);
+        let b = QueryEngine::new(loaded);
+        for v in module.var_ids() {
+            assert_eq!(a.points_to(v), b.points_to(v), "{}: pt({v:?})", p.name());
+            assert_eq!(
+                a.points_to(v),
+                fsam.result.pt_var(v),
+                "{}: pt({v:?}) vs live",
+                p.name()
+            );
+        }
+        // Sample the symmetric relations rather than the full quadratic
+        // space: every pair on a stride keeps this test fast at SMOKE.
+        let vars: Vec<_> = module.var_ids().collect();
+        for (i, &x) in vars.iter().enumerate().step_by(7) {
+            for &y in vars.iter().skip(i % 13).step_by(13) {
+                assert_eq!(a.may_alias(x, y), b.may_alias(x, y), "{}", p.name());
+            }
+        }
+        let stmts: Vec<StmtId> = module.stmts().map(|(s, _)| s).collect();
+        for &s1 in stmts.iter().step_by(11) {
+            for &s2 in stmts.iter().step_by(5) {
+                assert_eq!(a.mhp(s1, s2), b.mhp(s1, s2), "{}", p.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_length_is_a_typed_error() {
+    let module = Program::WordCount.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+    let bytes = AnalysisDb::capture(&module, &fsam).to_bytes();
+    // Every proper prefix must fail with a typed error — never a panic,
+    // never a bogus success. Stride keeps the loop fast; the boundaries
+    // around the header are covered exhaustively.
+    let mut lengths: Vec<usize> = (0..=32.min(bytes.len() - 1)).collect();
+    lengths.extend((33..bytes.len()).step_by(97));
+    for len in lengths {
+        let err = AnalysisDb::from_bytes(&bytes[..len])
+            .expect_err(&format!("prefix of {len} bytes decoded"));
+        assert!(
+            matches!(err, SnapshotError::Length { .. }),
+            "prefix {len}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let module = Program::WordCount.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+    let bytes = AnalysisDb::capture(&module, &fsam).to_bytes();
+    for at in (0..bytes.len()).step_by(61) {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x01;
+        assert!(
+            AnalysisDb::from_bytes(&bad).is_err(),
+            "flip at byte {at} went undetected"
+        );
+    }
+}
+
+#[test]
+fn wrong_version_is_reported_as_such() {
+    let module = Program::WordCount.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+    let mut bytes = AnalysisDb::capture(&module, &fsam).to_bytes();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match AnalysisDb::from_bytes(&bytes) {
+        Err(SnapshotError::Version { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected a Version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_files_are_rejected_on_magic() {
+    assert!(matches!(
+        AnalysisDb::from_bytes(b"\x7fELF\x02\x01\x01\x00 definitely not a snapshot"),
+        Err(SnapshotError::BadMagic)
+    ));
+    // A file that *is* long enough and has the magic but a garbage body.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&4u64.to_le_bytes()); // payload length
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // wrong checksum
+    bytes.extend_from_slice(&[1, 2, 3, 4]);
+    assert!(matches!(
+        AnalysisDb::from_bytes(&bytes),
+        Err(SnapshotError::ChecksumMismatch)
+    ));
+}
+
+/// A payload whose checksum is valid but whose tables are inconsistent
+/// (here: a points-to set referencing an object with no name) must fail
+/// validation, not load.
+#[test]
+fn internally_inconsistent_payloads_are_malformed() {
+    let module = Program::WordCount.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+    let bytes = AnalysisDb::capture(&module, &fsam).to_bytes();
+    // Drop the object-name table count to zero: the last 4+... bytes are
+    // the obj_names section; rebuild a "valid" file with the payload cut
+    // at the obj count and a recomputed checksum.
+    let payload = &bytes[28..];
+    // Find the obj-name count offset by re-encoding with zero names is
+    // intricate; instead corrupt a pool member to an enormous object id
+    // and re-seal the checksum.
+    let mut bad_payload = payload.to_vec();
+    // First section: u32 set count, then per-set u32s. Set 0 is EMPTY
+    // (count 0). Set 1's member count is at offset 8, first member at 12.
+    let set_count = u32::from_le_bytes(bad_payload[0..4].try_into().unwrap());
+    assert!(set_count > 1, "solved run has non-empty sets");
+    let first_len = u32::from_le_bytes(bad_payload[8..12].try_into().unwrap());
+    assert!(first_len > 0);
+    bad_payload[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    let mut bad = bytes[..20].to_vec();
+    bad.extend_from_slice(&fsam_query::codec::fnv1a(&bad_payload).to_le_bytes());
+    bad.extend_from_slice(&bad_payload);
+    match AnalysisDb::from_bytes(&bad) {
+        Err(SnapshotError::Malformed(_)) => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_process_handoff_via_the_filesystem() {
+    // The README's scenario, in one process: solve+save, then load+query
+    // with nothing but the file.
+    let module = Program::Bodytrack.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+    let path =
+        std::env::temp_dir().join(format!("fsam-query-handoff-{}.fsamdb", std::process::id()));
+    AnalysisDb::capture(&module, &fsam).save(&path).unwrap();
+
+    let engine = QueryEngine::new(AnalysisDb::load(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+    for v in module.var_ids() {
+        assert_eq!(engine.points_to(v), fsam.result.pt_var(v));
+    }
+}

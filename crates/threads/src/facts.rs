@@ -1,0 +1,397 @@
+//! Serializable statement-level MHP facts.
+//!
+//! The query subsystem persists a solved analysis to disk and answers
+//! `mhp(s1, s2)` without the live [`Interleaving`] or [`ProcMhp`] structures.
+//! [`MhpFacts`] is the closed, flat representation both backends export: the
+//! per-statement executor lists, the multi-forked flags, and the
+//! backend-specific parallelism relation (the per-`(thread, statement)`
+//! alive sets of the interleaving analysis, or the PCG thread-concurrency
+//! matrix). `MhpFacts::mhp_stmt` reproduces the originating backend's
+//! statement-level answer exactly — the snapshot tests pin that equivalence
+//! pair by pair.
+//!
+//! Construction from untrusted (deserialized) parts is validated: thread
+//! ids out of range or a ragged concurrency matrix surface as
+//! [`FactsError`], never a panic.
+
+use std::collections::HashMap;
+
+use fsam_ir::StmtId;
+
+use crate::interleave::Interleaving;
+use crate::mhp::{MhpBackend, ProcMhp};
+use crate::model::ThreadId;
+
+/// Why deserialized parts do not form valid [`MhpFacts`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FactsError {
+    /// A thread id ≥ the declared thread count appeared in an executor list
+    /// or alive set.
+    ThreadOutOfRange {
+        /// The offending raw thread id.
+        thread: u32,
+        /// The declared thread count.
+        count: usize,
+    },
+    /// The PCG concurrency matrix is not `count × count`.
+    RaggedMatrix,
+}
+
+impl std::fmt::Display for FactsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactsError::ThreadOutOfRange { thread, count } => {
+                write!(f, "thread id {thread} out of range (count {count})")
+            }
+            FactsError::RaggedMatrix => write!(f, "concurrency matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for FactsError {}
+
+/// The backend-specific half of the facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Relation {
+    /// Interleaving analysis: union-over-contexts alive sets per
+    /// `(thread, statement)`, as sorted raw thread ids.
+    Interleaving(HashMap<(ThreadId, StmtId), Vec<u32>>),
+    /// PCG baseline: the symmetric thread-concurrency matrix.
+    Pcg(Vec<Vec<bool>>),
+}
+
+/// Flat, serializable statement-level MHP facts (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MhpFacts {
+    /// Threads executing each statement's function (statements of dead
+    /// functions are absent).
+    executors: HashMap<StmtId, Vec<ThreadId>>,
+    /// Per-thread multi-forked flags, indexed by [`ThreadId::index`].
+    multi: Vec<bool>,
+    relation: Relation,
+}
+
+impl MhpFacts {
+    fn check_threads<'a>(
+        ids: impl IntoIterator<Item = &'a u32>,
+        count: usize,
+    ) -> Result<(), FactsError> {
+        for &t in ids {
+            if t as usize >= count {
+                return Err(FactsError::ThreadOutOfRange { thread: t, count });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds interleaving-backed facts from serialized parts.
+    ///
+    /// `executors` maps raw statement ids to raw thread ids; `alive` holds
+    /// `(thread, statement, alive thread ids)` triples. Ids are validated
+    /// against `multi.len()`; alive sets are canonicalized (sorted, deduped).
+    pub fn from_interleaving_parts(
+        executors: Vec<(u32, Vec<u32>)>,
+        multi: Vec<bool>,
+        alive: Vec<(u32, u32, Vec<u32>)>,
+    ) -> Result<MhpFacts, FactsError> {
+        let count = multi.len();
+        let mut exec = HashMap::with_capacity(executors.len());
+        for (s, ts) in executors {
+            Self::check_threads(&ts, count)?;
+            exec.insert(StmtId::new(s), ts.into_iter().map(ThreadId).collect());
+        }
+        let mut rel = HashMap::with_capacity(alive.len());
+        for (t, s, mut ids) in alive {
+            Self::check_threads(std::iter::once(&t).chain(&ids), count)?;
+            ids.sort_unstable();
+            ids.dedup();
+            rel.insert((ThreadId(t), StmtId::new(s)), ids);
+        }
+        Ok(MhpFacts {
+            executors: exec,
+            multi,
+            relation: Relation::Interleaving(rel),
+        })
+    }
+
+    /// Builds PCG-backed facts from serialized parts. The matrix must be
+    /// `multi.len()` × `multi.len()`.
+    pub fn from_pcg_parts(
+        executors: Vec<(u32, Vec<u32>)>,
+        multi: Vec<bool>,
+        concurrent: Vec<Vec<bool>>,
+    ) -> Result<MhpFacts, FactsError> {
+        let count = multi.len();
+        if concurrent.len() != count || concurrent.iter().any(|row| row.len() != count) {
+            return Err(FactsError::RaggedMatrix);
+        }
+        let mut exec = HashMap::with_capacity(executors.len());
+        for (s, ts) in executors {
+            Self::check_threads(&ts, count)?;
+            exec.insert(StmtId::new(s), ts.into_iter().map(ThreadId).collect());
+        }
+        Ok(MhpFacts {
+            executors: exec,
+            multi,
+            relation: Relation::Pcg(concurrent),
+        })
+    }
+
+    /// Whether `s1` and `s2` may happen in parallel — the same answer the
+    /// originating backend's `mhp_stmt` gives.
+    pub fn mhp_stmt(&self, s1: StmtId, s2: StmtId) -> bool {
+        let (Some(e1), Some(e2)) = (self.executors.get(&s1), self.executors.get(&s2)) else {
+            return false;
+        };
+        for &t1 in e1 {
+            for &t2 in e2 {
+                if t1 == t2 {
+                    if self.multi[t1.index()] {
+                        return true;
+                    }
+                    continue;
+                }
+                let parallel = match &self.relation {
+                    Relation::Interleaving(alive) => {
+                        let fwd = alive
+                            .get(&(t1, s1))
+                            .is_some_and(|a| a.binary_search(&t2.0).is_ok());
+                        let bwd = alive
+                            .get(&(t2, s2))
+                            .is_some_and(|a| a.binary_search(&t1.0).is_ok());
+                        fwd && bwd
+                    }
+                    Relation::Pcg(concurrent) => concurrent[t1.index()][t2.index()],
+                };
+                if parallel {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Iterates the statement-level MHP pairs `(s1, s2)` with `s1 ≤ s2`,
+    /// ascending — the pair view the snapshot tests compare against the live
+    /// backend. Only statements with executors participate (others are never
+    /// parallel with anything).
+    pub fn mhp_pairs(&self) -> impl Iterator<Item = (StmtId, StmtId)> + '_ {
+        let mut stmts: Vec<StmtId> = self.executors.keys().copied().collect();
+        stmts.sort_unstable();
+        stmts
+            .clone()
+            .into_iter()
+            .flat_map(move |s1| {
+                stmts
+                    .iter()
+                    .copied()
+                    .filter(move |&s2| s1 <= s2)
+                    .map(move |s2| (s1, s2))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|&(s1, s2)| self.mhp_stmt(s1, s2))
+    }
+
+    /// Executor entries as raw ids, sorted by statement (the serialization
+    /// order).
+    pub fn executor_entries(&self) -> Vec<(u32, Vec<u32>)> {
+        let mut out: Vec<(u32, Vec<u32>)> = self
+            .executors
+            .iter()
+            .map(|(s, ts)| (s.raw(), ts.iter().map(|t| t.0).collect()))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The per-thread multi-forked flags.
+    pub fn multi_flags(&self) -> &[bool] {
+        &self.multi
+    }
+
+    /// Interleaving alive entries as raw ids, sorted — `None` for
+    /// PCG-backed facts.
+    pub fn alive_entries(&self) -> Option<Vec<(u32, u32, Vec<u32>)>> {
+        match &self.relation {
+            Relation::Interleaving(alive) => {
+                let mut out: Vec<(u32, u32, Vec<u32>)> = alive
+                    .iter()
+                    .map(|(&(t, s), ids)| (t.0, s.raw(), ids.clone()))
+                    .collect();
+                out.sort_unstable();
+                Some(out)
+            }
+            Relation::Pcg(_) => None,
+        }
+    }
+
+    /// The PCG concurrency matrix — `None` for interleaving-backed facts.
+    pub fn concurrent_matrix(&self) -> Option<&Vec<Vec<bool>>> {
+        match &self.relation {
+            Relation::Interleaving(_) => None,
+            Relation::Pcg(m) => Some(m),
+        }
+    }
+}
+
+impl Interleaving {
+    /// Exports this analysis's statement-level facts for persistence.
+    pub fn export_facts(&self) -> MhpFacts {
+        MhpFacts {
+            executors: self.executors_map().clone(),
+            multi: self.multi_flags().to_vec(),
+            relation: Relation::Interleaving(
+                self.alive_map()
+                    .iter()
+                    .map(|(&k, set)| (k, set.iter().map(|t| t.0).collect()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl ProcMhp {
+    /// Exports this baseline's statement-level facts for persistence.
+    pub fn export_facts(&self) -> MhpFacts {
+        MhpFacts {
+            executors: self.executors_map().clone(),
+            multi: self.multi_flags().to_vec(),
+            relation: Relation::Pcg(self.concurrent_matrix().to_vec()),
+        }
+    }
+}
+
+impl MhpBackend {
+    /// Exports the backend's statement-level facts for persistence.
+    pub fn export_facts(&self) -> MhpFacts {
+        match self {
+            MhpBackend::Interleaving(i) => i.export_facts(),
+            MhpBackend::Pcg(p) => p.export_facts(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ThreadModel;
+    use fsam_andersen::PreAnalysis;
+    use fsam_ir::icfg::Icfg;
+    use fsam_ir::parse::parse_module;
+    use fsam_ir::Module;
+
+    const SRC: &str = r#"
+        global g
+        func worker() {
+        entry:
+          w = &g
+          ret
+        }
+        func other() {
+        entry:
+          o = &g
+          ret
+        }
+        func main() {
+        entry:
+          t1 = fork worker()
+          t2 = fork other()
+          mid = &g
+          join t1
+          join t2
+          after = &g
+          ret
+        }
+    "#;
+
+    fn backends(m: &Module) -> (MhpBackend, MhpBackend) {
+        let pre = PreAnalysis::run(m);
+        let icfg = Icfg::build(m, pre.call_graph());
+        let tm = ThreadModel::build(m, &pre, &icfg);
+        let ctxs = crate::flow::precompute_contexts(&icfg, pre.call_graph(), &tm);
+        let inter = Interleaving::compute(m, &icfg, &pre, &tm, &ctxs);
+        let pcg = ProcMhp::build(m, &icfg, &tm);
+        (
+            MhpBackend::Interleaving(std::sync::Arc::new(inter)),
+            MhpBackend::Pcg(std::sync::Arc::new(pcg)),
+        )
+    }
+
+    #[test]
+    fn facts_match_backend_on_every_pair() {
+        use crate::mhp::MhpOracle;
+        let m = parse_module(SRC).unwrap();
+        for backend in {
+            let (a, b) = backends(&m);
+            [a, b]
+        } {
+            let facts = backend.export_facts();
+            for (s1, _) in m.stmts() {
+                for (s2, _) in m.stmts() {
+                    assert_eq!(
+                        facts.mhp_stmt(s1, s2),
+                        backend.mhp_stmt(s1, s2),
+                        "{s1:?} vs {s2:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_iteration_matches_stmt_queries() {
+        use crate::mhp::MhpOracle;
+        let m = parse_module(SRC).unwrap();
+        let (inter, _) = backends(&m);
+        let facts = inter.export_facts();
+        let pairs: Vec<_> = facts.mhp_pairs().collect();
+        assert!(!pairs.is_empty(), "fork/join program has parallel pairs");
+        for &(s1, s2) in &pairs {
+            assert!(s1 <= s2);
+            assert!(inter.mhp_stmt(s1, s2));
+        }
+        // Completeness: every MHP pair of statements with executors shows up.
+        for (s1, _) in m.stmts() {
+            for (s2, _) in m.stmts() {
+                if s1 <= s2 && inter.mhp_stmt(s1, s2) {
+                    assert!(pairs.contains(&(s1, s2)), "missing {s1:?} ∥ {s2:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip_and_validate() {
+        let m = parse_module(SRC).unwrap();
+        let (inter, pcg) = backends(&m);
+        for backend in [inter, pcg] {
+            let facts = backend.export_facts();
+            let rebuilt = match facts.concurrent_matrix() {
+                Some(matrix) => MhpFacts::from_pcg_parts(
+                    facts.executor_entries(),
+                    facts.multi_flags().to_vec(),
+                    matrix.clone(),
+                ),
+                None => MhpFacts::from_interleaving_parts(
+                    facts.executor_entries(),
+                    facts.multi_flags().to_vec(),
+                    facts.alive_entries().unwrap(),
+                ),
+            }
+            .unwrap();
+            assert_eq!(rebuilt, facts);
+        }
+        // Validation: out-of-range thread ids and ragged matrices are typed
+        // errors.
+        let bad = MhpFacts::from_interleaving_parts(vec![(0, vec![9])], vec![false], vec![]);
+        assert_eq!(
+            bad.unwrap_err(),
+            FactsError::ThreadOutOfRange {
+                thread: 9,
+                count: 1
+            }
+        );
+        let bad = MhpFacts::from_pcg_parts(vec![], vec![false, false], vec![vec![false; 2]]);
+        assert_eq!(bad.unwrap_err(), FactsError::RaggedMatrix);
+    }
+}

@@ -359,6 +359,22 @@ impl Interleaving {
     pub fn state_count(&self) -> usize {
         self.state.len()
     }
+
+    /// Threads executing each statement's function (the statement-level MHP
+    /// inputs, exported by [`crate::facts`]).
+    pub fn executors_map(&self) -> &HashMap<StmtId, Vec<ThreadId>> {
+        &self.executors
+    }
+
+    /// Per-thread multi-forked flags, indexed by [`ThreadId::index`].
+    pub fn multi_flags(&self) -> &[bool] {
+        &self.multi
+    }
+
+    /// Union-over-contexts alive sets per `(thread, statement)`.
+    pub fn alive_map(&self) -> &HashMap<(ThreadId, StmtId), ThreadSet> {
+        &self.alive
+    }
 }
 
 impl MhpOracle for Interleaving {

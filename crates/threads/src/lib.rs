@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod facts;
 pub mod flow;
 pub mod interleave;
 pub mod lock;
@@ -19,6 +20,7 @@ pub mod model;
 pub mod shared;
 pub mod valueflow;
 
+pub use facts::{FactsError, MhpFacts};
 pub use interleave::{Interleaving, ThreadSet};
 pub use lock::LockAnalysis;
 pub use mhp::{MhpBackend, MhpOracle, ProcMhp};

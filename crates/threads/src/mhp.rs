@@ -144,6 +144,22 @@ impl ProcMhp {
     fn threads_of(&self, s: StmtId) -> &[ThreadId] {
         self.executors.get(&s).map_or(&[], Vec::as_slice)
     }
+
+    /// Threads executing each statement's function (the statement-level MHP
+    /// inputs, exported by [`crate::facts`]).
+    pub fn executors_map(&self) -> &HashMap<StmtId, Vec<ThreadId>> {
+        &self.executors
+    }
+
+    /// Per-thread multi-forked flags, indexed by [`ThreadId::index`].
+    pub fn multi_flags(&self) -> &[bool] {
+        &self.multi
+    }
+
+    /// The symmetric thread-concurrency matrix.
+    pub fn concurrent_matrix(&self) -> &[Vec<bool>] {
+        &self.concurrent
+    }
 }
 
 impl MhpOracle for ProcMhp {

@@ -18,6 +18,7 @@
 
 use fsam::{PhaseConfig, Pipeline};
 use fsam_ir::parse::parse_module;
+use fsam_query::QueryEngine;
 
 const PROGRAM: &str = r#"
 // Figure 1(a) of the FSAM paper (CGO'16).
@@ -59,9 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:?} -> routine {}", ti.id, module.func(ti.routine).name);
     }
 
+    // Queries go through the demand-driven engine: a frozen snapshot of
+    // the solved run that could equally have been loaded from disk.
+    let engine = QueryEngine::from_fsam(&module, &fsam);
     println!("\nflow-sensitive points-to sets (main):");
     for var in ["p", "r", "t", "c"] {
-        println!("  pt({var}) = {:?}", fsam.pt_names(&module, "main", var));
+        println!("  pt({var}) = {:?}", engine.pt_names("main", var).unwrap());
     }
 
     println!("\npipeline statistics:");
@@ -77,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  total time:                 {:?}", fsam.times.total());
     println!("  analysis memory:            {}", fsam.memory());
 
-    assert_eq!(fsam.pt_names(&module, "main", "c"), vec!["y", "z"]);
+    assert_eq!(engine.pt_names("main", "c").unwrap(), ["y", "z"]);
     println!("\npt(c) = {{y, z}} — matches the paper's Figure 1(a).");
 
     // Reusing stages across ablations: the three Figure 12 ablations ride
@@ -90,10 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PhaseConfig::no_lock(),
     ] {
         let ablated = pipeline.run(cfg);
+        let ablated_engine = QueryEngine::from_fsam(&module, &ablated);
         println!(
             "  {cfg:?}: {} thread-aware edges, pt(c) = {:?}",
             ablated.vf_stats.edges,
-            ablated.pt_names(&module, "main", "c")
+            ablated_engine.pt_names("main", "c").unwrap()
         );
     }
     let counts = pipeline.build_counts();

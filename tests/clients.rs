@@ -4,6 +4,7 @@
 
 use fsam::{detect_deadlocks, detect_races, plan_instrumentation, Fsam};
 use fsam_ir::StmtKind;
+use fsam_query::{AnalysisDb, QueryEngine};
 use fsam_suite::{Program, Scale};
 
 #[test]
@@ -51,6 +52,41 @@ fn clients_run_on_every_benchmark() {
             assert!(fsam.pre.objects().is_singleton(d.lock_a));
             assert!(fsam.pre.objects().is_singleton(d.lock_b));
         }
+    }
+}
+
+/// The engine-backed clients (`fsam_query::clients`) must report exactly
+/// what the direct-`Fsam` implementations report, on every benchmark —
+/// including when the engine runs over a snapshot that went through the
+/// full serialize/deserialize cycle.
+#[test]
+fn engine_backed_clients_match_direct_path_on_every_benchmark() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        let fsam = Fsam::analyze(&module);
+
+        // Roundtrip the snapshot through bytes so the equivalence also
+        // covers the persisted form, not just the captured one.
+        let db = AnalysisDb::capture(&module, &fsam);
+        let db = AnalysisDb::from_bytes(&db.to_bytes()).expect("roundtrip");
+        let engine = QueryEngine::new(db);
+
+        let direct_races = detect_races(&module, &fsam);
+        let engine_races = fsam_query::detect_races(&module, &fsam, &engine);
+        assert_eq!(direct_races, engine_races, "{}: races diverge", p.name());
+
+        let direct_dl = detect_deadlocks(&module, &fsam);
+        let engine_dl = fsam_query::detect_deadlocks(&module, &fsam, &engine);
+        assert_eq!(direct_dl, engine_dl, "{}: deadlocks diverge", p.name());
+
+        let direct_plan = plan_instrumentation(&module, &fsam);
+        let engine_plan = fsam_query::plan_instrumentation(&module, &fsam, &engine);
+        assert_eq!(
+            (direct_plan.instrument, direct_plan.skip),
+            (engine_plan.instrument, engine_plan.skip),
+            "{}: instrumentation plans diverge",
+            p.name()
+        );
     }
 }
 

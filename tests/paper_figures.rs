@@ -1,6 +1,11 @@
 //! End-to-end reproductions of the paper's worked examples (Figures 1, 6,
 //! 8, 9 and 11), checked through the full FSAM pipeline.
 
+// The name-based convenience accessors are deprecated in favour of
+// `fsam_query::QueryEngine`, but remain the most direct way to check the
+// paper's figures against the pipeline itself.
+#![allow(deprecated)]
+
 use fsam::{Fsam, PhaseConfig};
 use fsam_ir::parse::parse_module;
 use fsam_ir::Module;

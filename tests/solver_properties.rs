@@ -1,5 +1,10 @@
 //! Property tests of the sparse solver's semantics (Figure 10).
 
+// The name-based convenience accessors are deprecated in favour of
+// `fsam_query::QueryEngine`, but remain the most direct way to pin the
+// solver's own semantics without pulling the query crate into these tests.
+#![allow(deprecated)]
+
 use fsam::Fsam;
 use fsam_ir::parse::parse_module;
 
