@@ -35,10 +35,14 @@ pub struct InstrumentationPlan {
 
 impl InstrumentationPlan {
     /// Fraction of memory accesses that can skip instrumentation.
+    ///
+    /// A program with no memory accesses needs no instrumentation at all,
+    /// so the reduction is total: `1.0`, not `0.0` (the `0/0` case must
+    /// not read as "nothing skippable").
     pub fn reduction(&self) -> f64 {
         let total = self.instrument.len() + self.skip.len();
         if total == 0 {
-            return 0.0;
+            return 1.0;
         }
         self.skip.len() as f64 / total as f64
     }
@@ -227,6 +231,23 @@ mod tests {
             "locked accesses need no dynamic checking: {:?}",
             p.instrument
         );
+    }
+
+    /// Regression: zero memory accesses means full reduction (nothing to
+    /// instrument), not `0.0`.
+    #[test]
+    fn no_accesses_is_full_reduction() {
+        let (_, _, p) = plan_for(
+            r#"
+            func main() {
+            entry:
+              ret
+            }
+        "#,
+        );
+        assert!(p.instrument.is_empty());
+        assert!(p.skip.is_empty());
+        assert_eq!(p.reduction(), 1.0);
     }
 
     fn render(m: &Module, stmts: &[StmtId]) -> Vec<String> {

@@ -107,6 +107,40 @@ pub fn run(
     Analysis::new(module, pre, icfg, tm).run(budget)
 }
 
+/// Runs the baseline with tracing: a `solve` span whose
+/// `solve.worklist_items` counter matches the sparse solver's schema (so
+/// FSAM-vs-baseline traces diff directly), plus the baseline-specific
+/// per-program-point totals under the `nonsparse.` namespace.
+pub fn run_traced(
+    module: &Module,
+    pre: &PreAnalysis,
+    icfg: &Icfg,
+    tm: &ThreadModel,
+    budget: Option<Duration>,
+    rec: &fsam_trace::Recorder,
+    parent: Option<fsam_trace::SpanId>,
+) -> NonSparseOutcome {
+    if !rec.is_enabled() {
+        return run(module, pre, icfg, tm, budget);
+    }
+    let span = rec.span_under(parent, "solve");
+    let outcome = run(module, pre, icfg, tm, budget);
+    let (stats, bytes, oot) = match &outcome {
+        NonSparseOutcome::Done(r) => (&r.stats, r.pts_bytes(), 0u64),
+        NonSparseOutcome::OutOfTime { stats, bytes, .. } => (stats, *bytes, 1),
+    };
+    span.counter("solve.worklist_items", stats.processed as u64);
+    span.counter("nonsparse.nodes", stats.nodes as u64);
+    span.counter("nonsparse.pts_entries", stats.pts_entries as u64);
+    span.counter(
+        "nonsparse.concurrent_proc_pairs",
+        stats.concurrent_proc_pairs as u64,
+    );
+    span.counter("nonsparse.pts_bytes", bytes as u64);
+    span.counter("nonsparse.out_of_time", oot);
+    outcome
+}
+
 struct Analysis<'a> {
     module: &'a Module,
     pre: &'a PreAnalysis,

@@ -34,6 +34,7 @@ use fsam_threads::lock::LockAnalysis;
 use fsam_threads::mhp::MhpBackend;
 use fsam_threads::valueflow::{self, ValueFlowStats};
 use fsam_threads::{ProcMhp, ThreadModel};
+use fsam_trace::{FieldValue, Recorder};
 
 use crate::nonsparse::{self, NonSparseOutcome};
 use crate::solver::{self, SparseResult};
@@ -196,6 +197,7 @@ pub struct Pipeline<'m> {
     pcg: OnceLock<Stage<ProcMhp>>,
     lock: OnceLock<Stage<LockAnalysis>>,
     counts: StageCounters,
+    trace: Arc<Recorder>,
 }
 
 impl<'m> Pipeline<'m> {
@@ -211,7 +213,24 @@ impl<'m> Pipeline<'m> {
             pcg: OnceLock::new(),
             lock: OnceLock::new(),
             counts: StageCounters::default(),
+            trace: Arc::new(Recorder::disabled()),
         }
+    }
+
+    /// Attaches a trace recorder: every stage build, pipeline run, and the
+    /// sparse/NonSparse solves emit spans and counters into it. The
+    /// recorder is shared (`Arc`) so [`Pipeline::run_many`]'s configuration
+    /// threads all feed one stream; a disabled recorder (the default) costs
+    /// one relaxed atomic load per instrumentation site.
+    pub fn with_trace(mut self, trace: Arc<Recorder>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The recorder this pipeline emits into (disabled unless
+    /// [`Pipeline::with_trace`] installed one).
+    pub fn trace(&self) -> &Arc<Recorder> {
+        &self.trace
     }
 
     /// The module this pipeline analyzes.
@@ -238,8 +257,11 @@ impl<'m> Pipeline<'m> {
     fn pre_stage(&self) -> &Stage<PreAnalysis> {
         self.pre.get_or_init(|| {
             self.counts.pre.fetch_add(1, Ordering::Relaxed);
+            let span = self.trace.span("stage.pre_analysis");
             let t0 = Instant::now();
             let pre = PreAnalysis::run(self.module);
+            span.counter("andersen.rounds", pre.stats.rounds as u64);
+            span.counter("andersen.pts_entries", pre.stats.pts_entries as u64);
             (Arc::new(pre), t0.elapsed())
         })
     }
@@ -248,9 +270,11 @@ impl<'m> Pipeline<'m> {
         self.cfg.get_or_init(|| {
             let (pre, _) = self.pre_stage();
             self.counts.icfg.fetch_add(1, Ordering::Relaxed);
+            let span = self.trace.span("stage.icfg");
             let t0 = Instant::now();
             let icfg = Icfg::build(self.module, pre.call_graph());
             let tm = ThreadModel::build(self.module, pre, &icfg);
+            span.counter("threads.abstract", tm.len() as u64);
             (Arc::new(icfg), Arc::new(tm), t0.elapsed())
         })
     }
@@ -260,6 +284,7 @@ impl<'m> Pipeline<'m> {
             let (pre, _) = self.pre_stage();
             let (icfg, tm, _) = self.cfg_stage();
             self.counts.ctxs.fetch_add(1, Ordering::Relaxed);
+            let _span = self.trace.span("stage.contexts");
             let t0 = Instant::now();
             let ctxs = precompute_contexts(icfg, pre.call_graph(), tm);
             (Arc::new(ctxs), t0.elapsed())
@@ -271,8 +296,12 @@ impl<'m> Pipeline<'m> {
             let (pre, _) = self.pre_stage();
             let (_, tm, _) = self.cfg_stage();
             self.counts.svfg.fetch_add(1, Ordering::Relaxed);
+            let span = self.trace.span("stage.svfg");
             let t0 = Instant::now();
             let svfg = Svfg::build(self.module, pre, tm);
+            span.counter("svfg.nodes", svfg.stats.nodes as u64);
+            span.counter("svfg.edges", svfg.stats.edges as u64);
+            span.counter("svfg.mem_phis", svfg.stats.mem_phis as u64);
             (Arc::new(svfg), t0.elapsed())
         })
     }
@@ -284,6 +313,7 @@ impl<'m> Pipeline<'m> {
             let (icfg, tm, _) = self.cfg_stage();
             let (ctxs, _) = self.ctxs_stage();
             self.counts.interleaving.fetch_add(1, Ordering::Relaxed);
+            let _span = self.trace.span("stage.interleaving");
             let t0 = Instant::now();
             let inter = Interleaving::compute(self.module, icfg, pre, tm, ctxs);
             (Arc::new(inter), t0.elapsed())
@@ -294,6 +324,7 @@ impl<'m> Pipeline<'m> {
         self.pcg.get_or_init(|| {
             let (icfg, tm, _) = self.cfg_stage();
             self.counts.pcg.fetch_add(1, Ordering::Relaxed);
+            let _span = self.trace.span("stage.pcg");
             let t0 = Instant::now();
             let pcg = ProcMhp::build(self.module, icfg, tm);
             (Arc::new(pcg), t0.elapsed())
@@ -306,8 +337,10 @@ impl<'m> Pipeline<'m> {
             let (icfg, tm, _) = self.cfg_stage();
             let (ctxs, _) = self.ctxs_stage();
             self.counts.lock.fetch_add(1, Ordering::Relaxed);
+            let span = self.trace.span("stage.lock");
             let t0 = Instant::now();
             let lock = LockAnalysis::compute(self.module, icfg, pre, tm, ctxs);
+            span.counter("lock.spans", lock.span_count as u64);
             (Arc::new(lock), t0.elapsed())
         })
     }
@@ -348,6 +381,21 @@ impl<'m> Pipeline<'m> {
     /// sparse solve are per-configuration work.
     pub fn run(&self, config: PhaseConfig) -> Fsam {
         let mut times = PhaseTimes::default();
+        let run_span = self.trace.span("pipeline.run");
+        run_span.point(
+            "config",
+            vec![
+                (
+                    "interleaving".into(),
+                    FieldValue::U64(config.interleaving.into()),
+                ),
+                (
+                    "value_flow".into(),
+                    FieldValue::U64(config.value_flow.into()),
+                ),
+                ("lock".into(), FieldValue::U64(config.lock.into())),
+            ],
+        );
 
         let (pre, d) = self.pre_stage();
         times.pre_analysis = *d;
@@ -383,6 +431,7 @@ impl<'m> Pipeline<'m> {
         times.svfg = *d;
 
         let t0 = Instant::now();
+        let vf_span = run_span.child("phase.value_flow");
         let vf = valueflow::compute(
             self.module,
             icfg,
@@ -391,12 +440,17 @@ impl<'m> Pipeline<'m> {
             lock.as_deref(),
             !config.value_flow,
         );
+        vf.stats.export_trace(&vf_span);
         let mut svfg = Svfg::clone(svfg_base);
-        svfg.insert_thread_edges_grouped(&vf.edges);
+        let inserted = svfg.insert_thread_edges_grouped(&vf.edges);
+        vf_span.counter("svfg.thread_classes", inserted.classes as u64);
+        vf_span.counter("svfg.thread_junctions", inserted.junctions as u64);
+        vf_span.counter("svfg.thread_edges_added", inserted.edges_added as u64);
+        drop(vf_span);
         times.value_flow = t0.elapsed();
 
         let t0 = Instant::now();
-        let result = solver::solve(self.module, pre, &svfg);
+        let result = solver::solve_traced(self.module, pre, &svfg, &self.trace, run_span.id());
         times.sparse_solve = t0.elapsed();
 
         Fsam {
@@ -465,7 +519,8 @@ impl<'m> Pipeline<'m> {
     pub fn run_nonsparse(&self, budget: Option<Duration>) -> NonSparseOutcome {
         let (pre, _) = self.pre_stage();
         let (icfg, tm, _) = self.cfg_stage();
-        nonsparse::run(self.module, pre, icfg, tm, budget)
+        let span = self.trace.span("pipeline.run_nonsparse");
+        nonsparse::run_traced(self.module, pre, icfg, tm, budget, &self.trace, span.id())
     }
 }
 
@@ -970,6 +1025,62 @@ mod tests {
             b.lock.is_none(),
             "*No-Lock* must not expose a lock analysis"
         );
+    }
+
+    /// `PhaseTimes::total` is the sum of all seven phases, and the empty
+    /// value totals zero.
+    #[test]
+    fn phase_times_total_sums_every_phase() {
+        let t = PhaseTimes {
+            pre_analysis: Duration::from_millis(1),
+            thread_model: Duration::from_millis(2),
+            svfg: Duration::from_millis(4),
+            interleaving: Duration::from_millis(8),
+            lock: Duration::from_millis(16),
+            value_flow: Duration::from_millis(32),
+            sparse_solve: Duration::from_millis(64),
+        };
+        assert_eq!(t.total(), Duration::from_millis(127));
+        assert_eq!(PhaseTimes::default().total(), Duration::ZERO);
+    }
+
+    /// Under `run_many`, shared stages build exactly once across parallel
+    /// configurations, and cache-hit phases report the original build's
+    /// duration — so `PhaseTimes` stays comparable between the run that
+    /// built a stage and the runs that reused it.
+    #[test]
+    fn run_many_builds_shared_stages_once_with_original_durations() {
+        let m = parse_module(ABLATION_SRC).unwrap();
+        let pipeline = Pipeline::for_module(&m);
+        let runs = pipeline.run_many(&[
+            PhaseConfig::full(),
+            PhaseConfig::full(),
+            PhaseConfig::no_lock(),
+        ]);
+        assert_eq!(runs.len(), 3);
+        let counts = pipeline.build_counts();
+        assert_eq!(counts.pre_analysis, 1);
+        assert_eq!(counts.icfg, 1);
+        assert_eq!(counts.contexts, 1);
+        assert_eq!(counts.svfg, 1);
+        assert_eq!(counts.interleaving, 1);
+        assert_eq!(counts.lock, 1);
+        assert_eq!(counts.pcg, 0, "every config used interleaving");
+        for r in &runs[1..] {
+            assert_eq!(r.times.pre_analysis, runs[0].times.pre_analysis);
+            assert_eq!(r.times.thread_model, runs[0].times.thread_model);
+            assert_eq!(r.times.svfg, runs[0].times.svfg);
+            assert_eq!(r.times.interleaving, runs[0].times.interleaving);
+        }
+        assert_eq!(runs[1].times.lock, runs[0].times.lock);
+        assert_eq!(
+            runs[2].times.lock,
+            Duration::ZERO,
+            "*No-Lock* never pays for the lock stage"
+        );
+        for r in &runs {
+            assert!(r.times.total() >= r.times.pre_analysis + r.times.sparse_solve);
+        }
     }
 
     /// The wrapper entry points and the staged driver agree exactly.

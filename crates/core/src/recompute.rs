@@ -46,6 +46,25 @@ pub fn solve_recompute(module: &Module, pre: &PreAnalysis, svfg: &Svfg) -> Spars
     Solver::new(module, pre, svfg).run()
 }
 
+/// Runs the oracle with tracing: a `solve` span carrying the same
+/// `solve.*` counter schema as the delta solver, so the two traces diff
+/// directly (the oracle's delta counter is zero by construction).
+pub fn solve_recompute_traced(
+    module: &Module,
+    pre: &PreAnalysis,
+    svfg: &Svfg,
+    rec: &fsam_trace::Recorder,
+    parent: Option<fsam_trace::SpanId>,
+) -> SparseResult {
+    if !rec.is_enabled() {
+        return solve_recompute(module, pre, svfg);
+    }
+    let span = rec.span_under(parent, "solve");
+    let result = solve_recompute(module, pre, svfg);
+    crate::solver::export_solver_counters(&span, &result.stats);
+    result
+}
+
 /// Where a top-level variable's values come from.
 #[derive(Copy, Clone, Debug)]
 enum VarSource {

@@ -54,6 +54,7 @@ use fsam_ir::stmt::{StmtKind, Terminator};
 use fsam_ir::{Module, StmtId, VarId};
 use fsam_mssa::{NodeId as VfNodeId, NodeKind as VfNodeKind, Svfg};
 use fsam_pts::{MemId, PtsPool, PtsRef, PtsSet};
+use fsam_trace::{FieldValue, Recorder, SpanId};
 
 use crate::queue::IndexedPriorityQueue;
 
@@ -328,6 +329,46 @@ pub fn solve(module: &Module, pre: &PreAnalysis, svfg: &Svfg) -> SparseResult {
     Solver::new(module, pre, svfg).run()
 }
 
+/// Runs the sparse solver with tracing: a `solve` span under `parent`
+/// carrying the worklist counters (the `BENCH_solver.json` columns under
+/// the `solve.` namespace) plus the pool's intern hit/miss totals. When
+/// the recorder has explain events enabled, every points-to member
+/// introduction is additionally recorded as a `prop` event — the
+/// substrate for [`fsam_trace::why_points_to`].
+pub fn solve_traced(
+    module: &Module,
+    pre: &PreAnalysis,
+    svfg: &Svfg,
+    rec: &Recorder,
+    parent: Option<SpanId>,
+) -> SparseResult {
+    if !rec.is_enabled() {
+        return solve(module, pre, svfg);
+    }
+    let span = rec.span_under(parent, "solve");
+    let mut solver = Solver::new(module, pre, svfg);
+    solver.trace = Some(rec);
+    solver.trace_span = span.id();
+    solver.trace_explain = rec.explain_enabled();
+    let result = solver.run();
+    export_solver_counters(&span, &result.stats);
+    result
+}
+
+/// Exports a [`SolverStats`] onto `span` with the canonical counter
+/// names. Shared by the sparse solver and the recompute oracle so their
+/// traces diff directly.
+pub(crate) fn export_solver_counters(span: &fsam_trace::Span<'_>, s: &SolverStats) {
+    span.counter("solve.worklist_items", s.processed as u64);
+    span.counter("solve.delta_items", s.delta_items as u64);
+    span.counter("solve.recompute_items", s.recompute_items as u64);
+    span.counter("solve.strong_updates", s.strong_updates as u64);
+    span.counter("solve.weak_updates", s.weak_updates as u64);
+    span.counter("solve.var_pts_entries", s.var_pts_entries as u64);
+    span.counter("solve.def_pts_entries", s.def_pts_entries as u64);
+    span.counter("solve.peak_pts_bytes", s.peak_pts_bytes as u64);
+}
+
 /// Where a top-level variable's values come from.
 #[derive(Copy, Clone, Debug)]
 enum VarSource {
@@ -410,6 +451,12 @@ struct Solver<'a> {
     queue: IndexedPriorityQueue,
     v_count: usize,
     stats: SolverStats,
+    /// Tracing sink (None when disabled — the hot loop pays nothing).
+    trace: Option<&'a Recorder>,
+    /// Span the counters and prop events attach to.
+    trace_span: Option<SpanId>,
+    /// Whether to record per-member `prop` introduction events.
+    trace_explain: bool,
 }
 
 impl<'a> Solver<'a> {
@@ -499,6 +546,9 @@ impl<'a> Solver<'a> {
             queue: IndexedPriorityQueue::new(Vec::new()),
             v_count,
             stats: SolverStats::default(),
+            trace: None,
+            trace_span: None,
+            trace_explain: false,
         };
         solver.build_sources(&order.stmt_prio, &mut var_prio);
 
@@ -618,6 +668,162 @@ impl<'a> Solver<'a> {
         self.queue.push(id);
     }
 
+    // ---- explain instrumentation ------------------------------------------
+    //
+    // When `trace_explain` is on, every points-to member *introduction* is
+    // recorded as a `prop` event (the field contract lives in
+    // `fsam_trace::explain`). Delta sites emit at the producer when they
+    // push a pending delta; recompute sites replay their full inputs after
+    // re-evaluation. Together that guarantees coverage: every member of
+    // every final set has at least one recorded derivation, so
+    // `why_points_to` can always walk a true fact back to its seed.
+
+    /// Records one `prop` event: member `obj` arrived at the destination
+    /// (`dst_var` selects variable vs. SVFG-node space) from the source.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_prop(
+        &self,
+        dst_var: bool,
+        dst: u64,
+        obj: MemId,
+        src_kind: &'static str,
+        src: u64,
+        src_obj: MemId,
+        via: &'static str,
+    ) {
+        let Some(rec) = self.trace else { return };
+        rec.point(
+            self.trace_span,
+            "prop",
+            vec![
+                (
+                    "dst_kind".into(),
+                    if dst_var { "var" } else { "def" }.into(),
+                ),
+                ("dst".into(), FieldValue::U64(dst)),
+                ("obj".into(), FieldValue::U64(u64::from(obj.raw()))),
+                ("src_kind".into(), src_kind.into()),
+                ("src".into(), FieldValue::U64(src)),
+                ("src_obj".into(), FieldValue::U64(u64::from(src_obj.raw()))),
+                ("via".into(), via.into()),
+            ],
+        );
+    }
+
+    /// `merge`/`load` steps become `thread` when the SVFG edge they ride
+    /// was appended by the interference phases.
+    fn via_of(&self, from_node: usize, to_node: usize, fallback: &'static str) -> &'static str {
+        if self.svfg.is_thread_edge(
+            VfNodeId::from_index(from_node),
+            VfNodeId::from_index(to_node),
+        ) {
+            "thread"
+        } else {
+            fallback
+        }
+    }
+
+    /// Replays `v`'s full source contributions as `prop` events (after a
+    /// recompute re-evaluated it from scratch).
+    fn trace_var_sources(&self, v: VarId) {
+        for source in &self.var_sources[v.index()] {
+            match *source {
+                VarSource::Obj(m) => {
+                    self.emit_prop(
+                        true,
+                        v.index() as u64,
+                        m,
+                        "addr",
+                        u64::from(m.raw()),
+                        m,
+                        "addr",
+                    );
+                }
+                VarSource::Var(src) => {
+                    for o in self.pool.get(self.pt_vars[src.index()]).iter() {
+                        self.emit_prop(
+                            true,
+                            v.index() as u64,
+                            o,
+                            "var",
+                            src.index() as u64,
+                            o,
+                            "copy",
+                        );
+                    }
+                }
+                VarSource::LoadAt(sid, ptr) => {
+                    let Some(node) = self.svfg.stmt_node(sid) else {
+                        continue;
+                    };
+                    for o in self.pool.get(self.pt_vars[ptr.index()]).iter() {
+                        let Some(pks) = self.preds_by_obj.get(&(node.index() as u32, o)) else {
+                            continue;
+                        };
+                        for &pk in pks {
+                            let pn = self.slot_node[pk as usize] as usize;
+                            let via = self.via_of(pn, node.index(), "load");
+                            for m in self.pool.get(self.slot_out[pk as usize]).iter() {
+                                self.emit_prop(true, v.index() as u64, m, "def", pn as u64, m, via);
+                            }
+                        }
+                    }
+                }
+                VarSource::Gep(base, field) => {
+                    for o in self.pool.get(self.pt_vars[base.index()]).iter() {
+                        let f = self.pre.objects().field_existing(o, field);
+                        self.emit_prop(
+                            true,
+                            v.index() as u64,
+                            f,
+                            "var",
+                            base.index() as u64,
+                            o,
+                            "gep",
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays slot `k`'s full input contributions as `prop` events (after
+    /// a recompute re-evaluated it from scratch).
+    fn trace_slot_inputs(&self, k: usize) {
+        let n = self.slot_node[k] as usize;
+        let o = self.slot_obj[k];
+        let (written, strong, val) = match self.slot_kind[k] {
+            SlotKind::Merge => (false, false, None),
+            SlotKind::Store { ptr, val } => {
+                let ptr_set = self.pool.get(self.pt_vars[ptr.index()]);
+                (
+                    ptr_set.contains(o),
+                    ptr_set
+                        .as_singleton()
+                        .is_some_and(|s| self.pre.objects().is_singleton(s)),
+                    Some(val),
+                )
+            }
+        };
+        if !(written && strong) {
+            if let Some(pks) = self.preds_by_obj.get(&(n as u32, o)) {
+                for &pk in pks {
+                    let pn = self.slot_node[pk as usize] as usize;
+                    let via = self.via_of(pn, n, "merge");
+                    for m in self.pool.get(self.slot_out[pk as usize]).iter() {
+                        self.emit_prop(false, n as u64, m, "def", pn as u64, m, via);
+                    }
+                }
+            }
+        }
+        if written {
+            let val = val.expect("written implies store");
+            for m in self.pool.get(self.pt_vars[val.index()]).iter() {
+                self.emit_prop(false, n as u64, m, "var", val.index() as u64, m, "store");
+            }
+        }
+    }
+
     /// Unions the reaching definitions of `o` at node `n` into `acc`.
     fn union_pt_in(&self, node: usize, o: MemId, acc: &mut PtsSet) {
         if let Some(pks) = self.preds_by_obj.get(&(node as u32, o)) {
@@ -704,6 +910,9 @@ impl<'a> Solver<'a> {
             cur.is_subset(&new).then(|| new.difference(cur))
         };
         self.pt_vars[v.index()] = self.pool.intern(new);
+        if self.trace_explain {
+            self.trace_var_sources(v);
+        }
         match fresh {
             Some(fresh) => self.apply_var_growth(v, &fresh),
             None => self.cascade_var_recompute(v),
@@ -716,12 +925,36 @@ impl<'a> Solver<'a> {
             let dep = self.var_deps[v.index()][i];
             match dep {
                 VarDep::Flow(t) => {
+                    if self.trace_explain {
+                        for o in fresh.iter() {
+                            self.emit_prop(
+                                true,
+                                t.index() as u64,
+                                o,
+                                "var",
+                                v.index() as u64,
+                                o,
+                                "copy",
+                            );
+                        }
+                    }
                     self.pending_var[t.index()].union_in_place(fresh);
                     self.push_delta(t.index());
                 }
                 VarDep::Gep(t, field) => {
                     for o in fresh.iter() {
                         let f = self.pre.objects().field_existing(o, field);
+                        if self.trace_explain {
+                            self.emit_prop(
+                                true,
+                                t.index() as u64,
+                                f,
+                                "var",
+                                v.index() as u64,
+                                o,
+                                "gep",
+                            );
+                        }
                         self.pending_var[t.index()].insert(f);
                     }
                     self.push_delta(t.index());
@@ -733,6 +966,26 @@ impl<'a> Solver<'a> {
                     if let Some(node) = self.svfg.stmt_node(sid) {
                         let mut add = PtsSet::new();
                         for o in fresh.iter() {
+                            if self.trace_explain {
+                                if let Some(pks) = self.preds_by_obj.get(&(node.index() as u32, o))
+                                {
+                                    for &pk in pks {
+                                        let pn = self.slot_node[pk as usize] as usize;
+                                        let via = self.via_of(pn, node.index(), "load");
+                                        for m in self.pool.get(self.slot_out[pk as usize]).iter() {
+                                            self.emit_prop(
+                                                true,
+                                                dst.index() as u64,
+                                                m,
+                                                "def",
+                                                pn as u64,
+                                                m,
+                                                via,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
                             self.union_pt_in(node.index(), o, &mut add);
                         }
                         if !add.is_empty() {
@@ -786,12 +1039,17 @@ impl<'a> Solver<'a> {
         };
         let n = node.index();
         let (s, e) = (self.slot_base[n] as usize, self.slot_base[n + 1] as usize);
-        let Some(&SlotKind::Store { ptr, .. }) = self.slot_kind.get(s) else {
+        let Some(&SlotKind::Store { ptr, val }) = self.slot_kind.get(s) else {
             return;
         };
         for k in s..e {
             let o = self.slot_obj[k];
             if self.pool.contains(self.pt_vars[ptr.index()], o) {
+                if self.trace_explain {
+                    for m in fresh.iter() {
+                        self.emit_prop(false, n as u64, m, "var", val.index() as u64, m, "store");
+                    }
+                }
                 self.pending_slot[k].union_in_place(fresh);
                 self.push_delta(self.v_count + k);
             }
@@ -828,6 +1086,19 @@ impl<'a> Solver<'a> {
                 let val_ref = self.pt_vars[val.index()];
                 for k in s..e {
                     if fresh.contains(self.slot_obj[k]) && self.pool.len_of(val_ref) > 0 {
+                        if self.trace_explain {
+                            for m in self.pool.get(val_ref).iter() {
+                                self.emit_prop(
+                                    false,
+                                    n as u64,
+                                    m,
+                                    "var",
+                                    val.index() as u64,
+                                    m,
+                                    "store",
+                                );
+                            }
+                        }
                         self.pending_slot[k].union_in_place(self.pool.get(val_ref));
                         self.push_delta(self.v_count + k);
                     }
@@ -838,6 +1109,17 @@ impl<'a> Solver<'a> {
                 // definitions it was killing (their deltas were gated out
                 // while strong, so pull the full current input).
                 if let Some(k) = self.slot_of(n, prev) {
+                    if self.trace_explain {
+                        if let Some(pks) = self.preds_by_obj.get(&(n as u32, prev)) {
+                            for &pk in pks {
+                                let pn = self.slot_node[pk as usize] as usize;
+                                let via = self.via_of(pn, n, "merge");
+                                for m in self.pool.get(self.slot_out[pk as usize]).iter() {
+                                    self.emit_prop(false, n as u64, m, "def", pn as u64, m, via);
+                                }
+                            }
+                        }
+                    }
                     let add = self.pt_in(n, prev);
                     if !add.is_empty() {
                         self.pending_slot[k].union_in_place(&add);
@@ -847,6 +1129,19 @@ impl<'a> Solver<'a> {
                 let val_ref = self.pt_vars[val.index()];
                 for k in s..e {
                     if fresh.contains(self.slot_obj[k]) && self.pool.len_of(val_ref) > 0 {
+                        if self.trace_explain {
+                            for m in self.pool.get(val_ref).iter() {
+                                self.emit_prop(
+                                    false,
+                                    n as u64,
+                                    m,
+                                    "var",
+                                    val.index() as u64,
+                                    m,
+                                    "store",
+                                );
+                            }
+                        }
                         self.pending_slot[k].union_in_place(self.pool.get(val_ref));
                         self.push_delta(self.v_count + k);
                     }
@@ -917,6 +1212,9 @@ impl<'a> Solver<'a> {
                 }
             }
         };
+        if self.trace_explain {
+            self.trace_slot_inputs(k);
+        }
         self.replace_slot(k, out);
     }
 
@@ -957,6 +1255,20 @@ impl<'a> Solver<'a> {
                         if self.store_phase[sid.index()] != StorePhase::Strong(o) =>
                     {
                         if let Some(j) = self.slot_of(succ.index(), o) {
+                            if self.trace_explain {
+                                let via = self.via_of(n.index(), succ.index(), "merge");
+                                for m in fresh.iter() {
+                                    self.emit_prop(
+                                        false,
+                                        succ.index() as u64,
+                                        m,
+                                        "def",
+                                        n.index() as u64,
+                                        m,
+                                        via,
+                                    );
+                                }
+                            }
                             self.pending_slot[j].union_in_place(fresh);
                             self.push_delta(self.v_count + j);
                         }
@@ -966,6 +1278,20 @@ impl<'a> Solver<'a> {
                         // growth pulls the full input via LoadPtr.
                         let (dst, ptr) = (*dst, *ptr);
                         if self.pool.contains(self.pt_vars[ptr.index()], o) {
+                            if self.trace_explain {
+                                let via = self.via_of(n.index(), succ.index(), "load");
+                                for m in fresh.iter() {
+                                    self.emit_prop(
+                                        true,
+                                        dst.index() as u64,
+                                        m,
+                                        "def",
+                                        n.index() as u64,
+                                        m,
+                                        via,
+                                    );
+                                }
+                            }
                             self.pending_var[dst.index()].union_in_place(fresh);
                             self.push_delta(dst.index());
                         }
@@ -979,6 +1305,20 @@ impl<'a> Solver<'a> {
                 VfNodeKind::Stmt(_) => {}
                 _ => {
                     if let Some(j) = self.slot_of(succ.index(), o) {
+                        if self.trace_explain {
+                            let via = self.via_of(n.index(), succ.index(), "merge");
+                            for m in fresh.iter() {
+                                self.emit_prop(
+                                    false,
+                                    succ.index() as u64,
+                                    m,
+                                    "def",
+                                    n.index() as u64,
+                                    m,
+                                    via,
+                                );
+                            }
+                        }
                         self.pending_slot[j].union_in_place(fresh);
                         self.push_delta(self.v_count + j);
                     }
@@ -1075,6 +1415,15 @@ impl<'a> Solver<'a> {
                 &self.slot_obj,
                 &self.slot_out,
             );
+
+        if let Some(rec) = self.trace {
+            // The working pool's intern traffic (the payoff of
+            // hash-consing) — recorded before compaction discards it.
+            let is = self.pool.intern_stats();
+            rec.counter(self.trace_span, "pool.intern_hits", is.hits);
+            rec.counter(self.trace_span, "pool.intern_misses", is.misses);
+            rec.counter(self.trace_span, "pool.sets", self.pool.set_count() as u64);
+        }
 
         // Compact: rebuild the pool from the live handles only, dropping
         // every intermediate set the fixpoint iteration interned.

@@ -19,5 +19,5 @@ pub mod topo;
 
 pub use annotate::Annotations;
 pub use modref::ModRef;
-pub use svfg::{MemorySsa, NodeId, NodeKind, Svfg, SvfgStats};
+pub use svfg::{MemorySsa, NodeId, NodeKind, Svfg, SvfgStats, ThreadEdgeInsertion};
 pub use topo::{condense, SolveOrder, TopoOrder};

@@ -20,7 +20,7 @@
 //! Thread-*aware* edges (§3.3) are appended later by the pipeline through
 //! [`Svfg::add_thread_edge`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use fsam_andersen::PreAnalysis;
 use fsam_ir::dom::DomTree;
@@ -113,6 +113,29 @@ pub struct SvfgStats {
     pub thread_edges: usize,
 }
 
+/// Outcome of one [`Svfg::insert_thread_edges_grouped`] call: how the
+/// requested store×access products were materialized. The tracing layer
+/// exports these as per-phase counters (`svfg.thread_classes`,
+/// `svfg.thread_junctions`, `svfg.thread_edges_added`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadEdgeInsertion {
+    /// Complete-bipartite interference classes formed (one junction or
+    /// direct product each).
+    pub classes: usize,
+    /// Junction nodes created for classes above the fan-in threshold.
+    pub junctions: usize,
+    /// Graph edges actually appended (after deduplication).
+    pub edges_added: usize,
+}
+
+impl ThreadEdgeInsertion {
+    fn absorb(&mut self, other: ThreadEdgeInsertion) {
+        self.classes += other.classes;
+        self.junctions += other.junctions;
+        self.edges_added += other.edges_added;
+    }
+}
+
 /// The sparse value-flow graph.
 ///
 /// `Clone` supports the staged pipeline: the thread-*oblivious* graph is
@@ -128,6 +151,10 @@ pub struct Svfg {
     var_uses: Vec<Vec<StmtId>>,
     ann: Annotations,
     modref: ModRef,
+    /// Edges appended by the thread-interference phases, so consumers
+    /// (the trace-backed explain walk) can distinguish an intra-thread
+    /// def-use step from a cross-thread one.
+    thread_marks: HashSet<(NodeId, NodeId)>,
     /// Construction statistics.
     pub stats: SvfgStats,
 }
@@ -162,6 +189,7 @@ impl Svfg {
             var_uses,
             ann,
             modref,
+            thread_marks: HashSet::new(),
             stats: SvfgStats::default(),
         };
 
@@ -270,12 +298,16 @@ impl Svfg {
     /// [`NodeKind::ThreadJunction`] (k+m edges instead of k×m) with
     /// identical reachability — see [`Svfg::add_thread_group`]. `BTreeMap`
     /// grouping keeps the insertion order (and thus node ids) deterministic.
-    pub fn insert_thread_edges_grouped(&mut self, edges: &[(StmtId, StmtId, MemId)]) {
+    pub fn insert_thread_edges_grouped(
+        &mut self,
+        edges: &[(StmtId, StmtId, MemId)],
+    ) -> ThreadEdgeInsertion {
         use std::collections::BTreeSet;
         let mut by_obj: BTreeMap<MemId, Vec<(StmtId, StmtId)>> = BTreeMap::new();
         for &(s, a, o) in edges {
             by_obj.entry(o).or_default().push((s, a));
         }
+        let mut outcome = ThreadEdgeInsertion::default();
         for (o, pairs) in by_obj {
             let mut access_sets: BTreeMap<StmtId, BTreeSet<StmtId>> = BTreeMap::new();
             for &(s, a) in &pairs {
@@ -287,37 +319,54 @@ impl Svfg {
                 classes.entry(key).or_default().push(s);
             }
             for (accesses, stores) in classes {
-                self.add_thread_group(&stores, &accesses, o);
+                outcome.absorb(self.add_thread_group(&stores, &accesses, o));
             }
         }
+        outcome
     }
 
     /// Appends a group of thread-aware def-use flows for one object: every
     /// store interferes with every access. Uses direct edges for small
     /// groups and a [`NodeKind::ThreadJunction`] above the fan-in threshold.
-    pub fn add_thread_group(&mut self, stores: &[StmtId], accesses: &[StmtId], obj: MemId) {
+    pub fn add_thread_group(
+        &mut self,
+        stores: &[StmtId],
+        accesses: &[StmtId],
+        obj: MemId,
+    ) -> ThreadEdgeInsertion {
         const DIRECT_LIMIT: usize = 64;
+        let mut outcome = ThreadEdgeInsertion {
+            classes: 1,
+            ..ThreadEdgeInsertion::default()
+        };
         if stores.len() * accesses.len() <= DIRECT_LIMIT {
             for &s in stores {
                 for &a in accesses {
-                    if s != a {
-                        self.add_thread_edge(s, a, obj);
+                    if s != a && self.add_thread_edge(s, a, obj) {
+                        outcome.edges_added += 1;
                     }
                 }
             }
-            return;
+            return outcome;
         }
+        let nodes_before = self.nodes.len();
         let junction = self.node(NodeKind::ThreadJunction { obj });
+        outcome.junctions = self.nodes.len() - nodes_before;
         for &s in stores {
             let n = self.node(NodeKind::Stmt(s));
             self.add_edge(n, junction, obj);
+            self.thread_marks.insert((n, junction));
+            outcome.edges_added += 1;
         }
         for &a in accesses {
             let n = self.node(NodeKind::Stmt(a));
             self.add_edge(junction, n, obj);
+            self.thread_marks.insert((junction, n));
+            outcome.edges_added += 1;
         }
         self.stats.thread_edges += stores.len() + accesses.len();
         self.stats.edges += stores.len() + accesses.len();
+        outcome
     }
 
     /// Appends a thread-aware def-use edge (§3.3): a store interfering with
@@ -333,9 +382,18 @@ impl Svfg {
             return false;
         }
         self.add_edge(f, t, obj);
+        self.thread_marks.insert((f, t));
         self.stats.thread_edges += 1;
         self.stats.edges += 1;
         true
+    }
+
+    /// Whether the `from → to` edge was appended by the thread
+    /// interference phases (as opposed to intra-thread memory SSA
+    /// def-use). Junction-routed flows mark both the store→junction and
+    /// junction→access halves.
+    pub fn is_thread_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.thread_marks.contains(&(from, to))
     }
 
     // ---- construction -----------------------------------------------------
@@ -881,6 +939,9 @@ mod tests {
         assert_eq!(svfg.stats.edges, before + 1);
         assert_eq!(svfg.stats.thread_edges, 1);
         assert!(svfg.reaches(sw, sl, g));
+        let (nw, nl) = (svfg.stmt_node(sw).unwrap(), svfg.stmt_node(sl).unwrap());
+        assert!(svfg.is_thread_edge(nw, nl));
+        assert!(!svfg.is_thread_edge(nl, nw), "marks are directed");
     }
 
     /// The worker/main skeleton used by the grouped-insertion tests: one
@@ -924,7 +985,15 @@ mod tests {
             naive.add_thread_edge(s, a, o);
         }
         let mut grouped = base;
-        grouped.insert_thread_edges_grouped(&edges);
+        let outcome = grouped.insert_thread_edges_grouped(&edges);
+        assert_eq!(
+            outcome,
+            ThreadEdgeInsertion {
+                classes: 1,
+                junctions: 0,
+                edges_added: 4
+            }
+        );
 
         for &(s, a, o) in &edges {
             assert!(grouped.reaches(s, a, o), "grouped must keep {s:?} -> {a:?}");
@@ -977,12 +1046,18 @@ mod tests {
             }
         }
         let before = svfg.stats.edges;
-        svfg.insert_thread_edges_grouped(&edges);
-        assert!(
-            svfg.lookup(NodeKind::ThreadJunction { obj: g }).is_some(),
-            "large product must route through a junction"
-        );
+        let outcome = svfg.insert_thread_edges_grouped(&edges);
+        let junction = svfg
+            .lookup(NodeKind::ThreadJunction { obj: g })
+            .expect("large product must route through a junction");
+        assert_eq!((outcome.classes, outcome.junctions), (1, 1));
+        assert_eq!(outcome.edges_added, 18);
         assert_eq!(svfg.stats.edges - before, 18, "k+m edges, not k×m");
+        // Both halves of the junction routing are marked as thread flow.
+        let ns = svfg.stmt_node(sw0).unwrap();
+        let na = svfg.stmt_node(sl0).unwrap();
+        assert!(svfg.is_thread_edge(ns, junction));
+        assert!(svfg.is_thread_edge(junction, na));
         for &s in &stores {
             for &a in &accesses {
                 assert!(svfg.reaches(s, a, g));

@@ -35,5 +35,5 @@ pub mod set;
 
 pub use meter::MemoryMeter;
 pub use objects::{MemId, MemKind, ObjectModel};
-pub use pool::{PoolRebuildError, PtsPool, PtsRef};
+pub use pool::{InternStats, PoolRebuildError, PtsPool, PtsRef};
 pub use set::PtsSet;

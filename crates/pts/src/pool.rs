@@ -74,6 +74,21 @@ impl std::fmt::Display for PoolRebuildError {
 
 impl std::error::Error for PoolRebuildError {}
 
+/// Hit/miss totals for a pool's hash-consing index.
+///
+/// A *hit* is an [`PtsPool::intern`] call answered by an existing
+/// canonical set; a *miss* appended a new one. The ratio is the
+/// observable payoff of hash-consing (how often the solver re-derives a
+/// set it already has), exported by the tracing layer as
+/// `pool.intern_hits` / `pool.intern_misses`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Interns answered by an existing set.
+    pub hits: u64,
+    /// Interns that appended a new set.
+    pub misses: u64,
+}
+
 /// An append-only arena of deduplicated [`PtsSet`]s.
 #[derive(Debug, Default)]
 pub struct PtsPool {
@@ -83,6 +98,9 @@ pub struct PtsPool {
     index: HashMap<u64, Vec<u32>>,
     /// Running sum of the interned sets' own heap bytes.
     set_bytes: usize,
+    /// Intern hit/miss totals (monotonic; not part of pool equality or
+    /// serialization).
+    intern_stats: InternStats,
 }
 
 impl PtsPool {
@@ -92,9 +110,12 @@ impl PtsPool {
             sets: Vec::new(),
             index: HashMap::new(),
             set_bytes: 0,
+            intern_stats: InternStats::default(),
         };
         let empty = pool.intern(PtsSet::new());
         debug_assert_eq!(empty, PtsRef::EMPTY);
+        // The bootstrap intern of ∅ is construction, not workload.
+        pool.intern_stats = InternStats::default();
         pool
     }
 
@@ -110,9 +131,11 @@ impl PtsPool {
         let candidates = self.index.entry(h).or_default();
         for &id in candidates.iter() {
             if self.sets[id as usize] == set {
+                self.intern_stats.hits += 1;
                 return PtsRef(id);
             }
         }
+        self.intern_stats.misses += 1;
         let id = u32::try_from(self.sets.len()).expect("points-to pool overflow");
         self.set_bytes += set.heap_bytes();
         self.sets.push(set);
@@ -156,6 +179,11 @@ impl PtsPool {
     /// Number of distinct interned sets.
     pub fn set_count(&self) -> usize {
         self.sets.len()
+    }
+
+    /// Intern hit/miss totals since construction.
+    pub fn intern_stats(&self) -> InternStats {
+        self.intern_stats
     }
 
     /// The handle at dense index `index`, if one exists.
@@ -321,6 +349,16 @@ mod tests {
         assert!(PoolRebuildError::FirstNotEmpty
             .to_string()
             .contains("empty"));
+    }
+
+    #[test]
+    fn intern_stats_count_hits_and_misses() {
+        let mut pool = PtsPool::new();
+        assert_eq!(pool.intern_stats(), InternStats::default());
+        pool.intern([m(1)].into_iter().collect()); // miss
+        pool.intern([m(1)].into_iter().collect()); // hit
+        pool.intern(PtsSet::new()); // hit (pre-interned empty)
+        assert_eq!(pool.intern_stats(), InternStats { hits: 2, misses: 1 });
     }
 
     #[test]

@@ -302,6 +302,12 @@ impl PairCache {
         s
     }
 
+    /// Hits answered by the direct-mapped front alone (a subset of
+    /// [`PairCache::stats`]'s `hits`): the lock-free fast path's share.
+    pub fn front_hits(&self) -> u64 {
+        self.l1_hits.load(Ordering::Relaxed)
+    }
+
     /// Approximate heap bytes across both levels.
     pub fn heap_bytes(&self) -> usize {
         self.l1.capacity() * std::mem::size_of::<AtomicU64>() + self.l2.heap_bytes()

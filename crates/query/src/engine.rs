@@ -211,6 +211,43 @@ impl QueryEngine {
         (self.alias_cache.stats(), self.mhp_cache.stats())
     }
 
+    /// A formatted "query cache" section: hits (with the lock-free front's
+    /// share), misses, hit rate and residency of both relation caches.
+    pub fn stats(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "query cache statistics");
+        for (name, cache) in [("alias", &self.alias_cache), ("mhp", &self.mhp_cache)] {
+            let s = cache.stats();
+            let _ = writeln!(
+                out,
+                "  {name:<5} {:>8} hits ({} front) / {:>8} misses  {:>5.1}% hit rate, {} entries",
+                s.hits,
+                cache.front_hits(),
+                s.misses,
+                s.hit_rate() * 100.0,
+                s.entries
+            );
+        }
+        out
+    }
+
+    /// Exports both caches' counters into a trace span, under the same
+    /// stream the pipeline and solver feed (`query.alias.hits`,
+    /// `query.alias.front_hits`, `query.alias.misses`, `query.alias.entries`
+    /// and the `query.mhp.*` counterparts).
+    pub fn export_trace(&self, span: &fsam_trace::Span<'_>) {
+        let (alias, mhp) = self.cache_stats();
+        span.counter("query.alias.hits", alias.hits);
+        span.counter("query.alias.front_hits", self.alias_cache.front_hits());
+        span.counter("query.alias.misses", alias.misses);
+        span.counter("query.alias.entries", alias.entries as u64);
+        span.counter("query.mhp.hits", mhp.hits);
+        span.counter("query.mhp.front_hits", self.mhp_cache.front_hits());
+        span.counter("query.mhp.misses", mhp.misses);
+        span.counter("query.mhp.entries", mhp.entries as u64);
+    }
+
     /// Approximate heap held by the engine, by category: the snapshot
     /// tables, the name-lookup index, and the query caches.
     pub fn memory(&self) -> MemoryMeter {
@@ -346,6 +383,49 @@ mod tests {
         }
         assert_eq!(engine.memory().total_bytes(), before);
         assert_eq!(engine.pt_names("main", "nope"), None);
+    }
+
+    /// Satellite: repeated `may_alias` calls advance the hit counters, the
+    /// formatted section reflects them, and the trace export mirrors the
+    /// same numbers as counters.
+    #[test]
+    fn stats_section_and_trace_export_track_repeated_queries() {
+        let (_m, _fsam, engine) = engine();
+        let r = engine.var_named("main", "r").unwrap();
+        let c = engine.var_named("main", "c").unwrap();
+        assert!(engine.may_alias(r, c));
+        let (after_first, _) = engine.cache_stats();
+        assert_eq!((after_first.hits, after_first.misses), (0, 1));
+        for _ in 0..5 {
+            assert!(engine.may_alias(r, c));
+        }
+        let (after, _) = engine.cache_stats();
+        assert_eq!(after.misses, 1, "repeats must not recompute");
+        assert_eq!(after.hits, 5, "every repeat is a cache hit");
+        assert!(
+            engine.alias_cache.front_hits() >= 4,
+            "repeats after the refill are answered by the lock-free front"
+        );
+
+        let section = engine.stats();
+        assert!(section.contains("query cache statistics"), "{section}");
+        assert!(section.contains("alias"), "{section}");
+        assert!(section.contains("5 hits"), "{section}");
+
+        let rec = fsam_trace::Recorder::new(64);
+        {
+            let span = rec.span("query");
+            engine.export_trace(&span);
+        }
+        let find = |name: &str| {
+            rec.events().iter().find_map(|e| match e {
+                fsam_trace::Event::Counter { name: n, value, .. } if n == name => Some(*value),
+                _ => None,
+            })
+        };
+        assert_eq!(find("query.alias.hits"), Some(5));
+        assert_eq!(find("query.alias.misses"), Some(1));
+        assert_eq!(find("query.mhp.hits"), Some(0));
     }
 
     #[test]

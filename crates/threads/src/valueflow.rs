@@ -38,6 +38,19 @@ pub struct ValueFlowStats {
     pub edges: usize,
 }
 
+impl ValueFlowStats {
+    /// Exports the phase counters onto `span` under the `vf.` namespace
+    /// (the Figure 10/11 columns: candidate aliased pairs, MHP-surviving
+    /// pairs, lock-filtered pairs, edges produced).
+    pub fn export_trace(&self, span: &fsam_trace::Span<'_>) {
+        span.counter("vf.shared_objects", self.shared_objects as u64);
+        span.counter("vf.aliased_pairs", self.aliased_pairs as u64);
+        span.counter("vf.mhp_pairs", self.mhp_pairs as u64);
+        span.counter("vf.lock_filtered", self.lock_filtered as u64);
+        span.counter("vf.edges", self.edges as u64);
+    }
+}
+
 /// The thread-aware def-use edges to append to the SVFG.
 #[derive(Debug, Default)]
 pub struct ThreadValueFlow {

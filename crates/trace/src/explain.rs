@@ -1,0 +1,344 @@
+//! Trace-backed provenance: why does a variable point to an object?
+//!
+//! The sparse solver, when run with an explain-enabled recorder, emits a
+//! `prop` point event every time a points-to member is *introduced*
+//! somewhere — at an `addr_of` seed, across a copy/gep/load/store edge,
+//! through an SVFG merge, or along a **thread** value-flow edge (the
+//! paper's interleaving edges). [`why_points_to`] walks those events
+//! backwards from a `(variable, object)` fact to an `addr_of` seed,
+//! producing a concrete SVFG path that justifies the fact.
+//!
+//! ## The `prop` event contract
+//!
+//! Every `prop` event carries these fields:
+//!
+//! | field      | meaning                                                    |
+//! |------------|------------------------------------------------------------|
+//! | `dst_kind` | `"var"` (top-level variable) or `"def"` (SVFG memory node) |
+//! | `dst`      | variable index or SVFG node index                           |
+//! | `obj`      | the member object whose arrival at `dst` is being recorded  |
+//! | `src_kind` | `"var"`, `"def"`, or `"addr"` (an address-of seed)          |
+//! | `src`      | source index; for `"addr"`, the object id itself            |
+//! | `src_obj`  | the member at the source (differs from `obj` across a gep)  |
+//! | `via`      | `addr`, `copy`, `gep`, `load`, `store`, `merge` or `thread` |
+//!
+//! The solver guarantees *coverage*, not uniqueness: every member of
+//! every final points-to set has at least one recorded introduction, and
+//! re-derivations may record more. The walker therefore searches all
+//! recorded derivations (depth-first, cycle-safe) rather than trusting
+//! the first.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::recorder::{Event, FieldValue};
+
+/// A node on an explanation path: where a points-to member resides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExplainNode {
+    /// A top-level variable (by solver variable index).
+    Var(u64),
+    /// An indirect memory definition (by SVFG node index).
+    Def(u64),
+}
+
+impl std::fmt::Display for ExplainNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExplainNode::Var(v) => write!(f, "var {v}"),
+            ExplainNode::Def(d) => write!(f, "svfg node {d}"),
+        }
+    }
+}
+
+/// One step of a [`why_points_to`] path: `obj` arrived at `dst` from
+/// `src` (or from an `addr_of` seed when `src` is `None`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExplainStep {
+    /// Where the member arrived.
+    pub dst: ExplainNode,
+    /// Where it came from; `None` for the `addr_of` terminal.
+    pub src: Option<ExplainNode>,
+    /// The member at `dst`.
+    pub obj: u64,
+    /// The member at `src` (differs from `obj` across a `gep`).
+    pub src_obj: u64,
+    /// Edge kind: `addr`, `copy`, `gep`, `load`, `store`, `merge`,
+    /// `thread`.
+    pub via: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    kind: bool, // true = var
+    idx: u64,
+    obj: u64,
+}
+
+struct Edge {
+    src: Option<(bool, u64)>, // None = addr seed
+    src_obj: u64,
+    via: u32, // index into the event list's via string (dedup via owned map)
+}
+
+fn field_u64(fields: &[(std::borrow::Cow<'static, str>, FieldValue)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match v {
+        FieldValue::U64(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn field_str<'a>(
+    fields: &'a [(std::borrow::Cow<'static, str>, FieldValue)],
+    key: &str,
+) -> Option<&'a str> {
+    fields.iter().find_map(|(k, v)| match v {
+        FieldValue::Str(s) if k == key => Some(s.as_ref()),
+        _ => None,
+    })
+}
+
+/// Walks recorded `prop` events from the fact "`var` points to `obj`"
+/// back to an `addr_of` seed (possibly through thread value-flow edges).
+///
+/// Returns the derivation as steps ordered **from the fact backwards**:
+/// the first step lands the member at `var`, the last step is the
+/// `via == "addr"` terminal. Returns `None` when the fact has no recorded
+/// derivation — either it is false, or the trace was recorded without
+/// explain events (`Recorder::with_explain`).
+pub fn why_points_to(events: &[Event], var: u64, obj: u64) -> Option<Vec<ExplainStep>> {
+    // Index every recorded derivation by the (location, member) it lands.
+    let mut vias: Vec<String> = Vec::new();
+    let mut via_ids: HashMap<String, u32> = HashMap::new();
+    let mut edges: HashMap<Key, Vec<Edge>> = HashMap::new();
+    for ev in events {
+        let Event::Point { name, fields, .. } = ev else {
+            continue;
+        };
+        if name != "prop" {
+            continue;
+        }
+        let (Some(dst_kind), Some(dst), Some(o), Some(via)) = (
+            field_str(fields, "dst_kind"),
+            field_u64(fields, "dst"),
+            field_u64(fields, "obj"),
+            field_str(fields, "via"),
+        ) else {
+            continue;
+        };
+        let src_kind = field_str(fields, "src_kind").unwrap_or("addr");
+        let src = field_u64(fields, "src").unwrap_or(o);
+        let src_obj = field_u64(fields, "src_obj").unwrap_or(o);
+        let via_id = *via_ids.entry(via.to_string()).or_insert_with(|| {
+            vias.push(via.to_string());
+            (vias.len() - 1) as u32
+        });
+        edges
+            .entry(Key {
+                kind: dst_kind == "var",
+                idx: dst,
+                obj: o,
+            })
+            .or_default()
+            .push(Edge {
+                src: match src_kind {
+                    "addr" => None,
+                    kind => Some((kind == "var", src)),
+                },
+                src_obj,
+                via: via_id,
+            });
+    }
+
+    // Depth-first over derivations; `visited` breaks propagation cycles
+    // (x = y; y = x records mutual introductions).
+    fn dfs(
+        edges: &HashMap<Key, Vec<Edge>>,
+        vias: &[String],
+        key: Key,
+        visited: &mut HashSet<Key>,
+        path: &mut Vec<ExplainStep>,
+    ) -> bool {
+        if !visited.insert(key) {
+            return false;
+        }
+        let Some(cands) = edges.get(&key) else {
+            visited.remove(&key);
+            return false;
+        };
+        for e in cands {
+            let dst = if key.kind {
+                ExplainNode::Var(key.idx)
+            } else {
+                ExplainNode::Def(key.idx)
+            };
+            let step = ExplainStep {
+                dst,
+                src: e.src.map(|(k, i)| {
+                    if k {
+                        ExplainNode::Var(i)
+                    } else {
+                        ExplainNode::Def(i)
+                    }
+                }),
+                obj: key.obj,
+                src_obj: e.src_obj,
+                via: vias[e.via as usize].clone(),
+            };
+            match e.src {
+                None => {
+                    path.push(step);
+                    return true; // addr_of terminal
+                }
+                Some((kind, idx)) => {
+                    path.push(step);
+                    if dfs(
+                        edges,
+                        vias,
+                        Key {
+                            kind,
+                            idx,
+                            obj: e.src_obj,
+                        },
+                        visited,
+                        path,
+                    ) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+        }
+        visited.remove(&key);
+        false
+    }
+
+    let mut path = Vec::new();
+    dfs(
+        &edges,
+        &vias,
+        Key {
+            kind: true,
+            idx: var,
+            obj,
+        },
+        &mut HashSet::new(),
+        &mut path,
+    )
+    .then_some(path)
+}
+
+/// Renders an explanation path as indented text, fact first.
+pub fn render_path(path: &[ExplainStep]) -> String {
+    let mut out = String::new();
+    for (i, step) in path.iter().enumerate() {
+        let indent = "  ".repeat(i);
+        match &step.src {
+            Some(src) if step.obj != step.src_obj => out.push_str(&format!(
+                "{indent}obj {} at {} — via {} from {} (as obj {})\n",
+                step.obj, step.dst, step.via, src, step.src_obj
+            )),
+            Some(src) => out.push_str(&format!(
+                "{indent}obj {} at {} — via {} from {}\n",
+                step.obj, step.dst, step.via, src
+            )),
+            None => out.push_str(&format!(
+                "{indent}obj {} at {} — seeded by addr_of\n",
+                step.obj, step.dst
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[allow(clippy::too_many_arguments)] // mirrors the prop field contract
+    fn prop(
+        rec: &Recorder,
+        dst_kind: &'static str,
+        dst: u64,
+        obj: u64,
+        src_kind: &'static str,
+        src: u64,
+        src_obj: u64,
+        via: &'static str,
+    ) {
+        rec.point(
+            None,
+            "prop",
+            vec![
+                ("dst_kind".into(), dst_kind.into()),
+                ("dst".into(), FieldValue::U64(dst)),
+                ("obj".into(), FieldValue::U64(obj)),
+                ("src_kind".into(), src_kind.into()),
+                ("src".into(), FieldValue::U64(src)),
+                ("src_obj".into(), FieldValue::U64(src_obj)),
+                ("via".into(), via.into()),
+            ],
+        );
+    }
+
+    /// p = &o; q = p; store through thread edge; r loads it.
+    #[test]
+    fn walks_through_defs_and_thread_edges_to_the_seed() {
+        let rec = Recorder::with_explain(64);
+        prop(&rec, "var", 1, 7, "addr", 7, 7, "addr");
+        prop(&rec, "var", 2, 7, "var", 1, 7, "copy");
+        prop(&rec, "def", 10, 7, "var", 2, 7, "store");
+        prop(&rec, "def", 11, 7, "def", 10, 7, "thread");
+        prop(&rec, "var", 3, 7, "def", 11, 7, "load");
+        let path = why_points_to(&rec.events(), 3, 7).expect("derivable");
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[0].dst, ExplainNode::Var(3));
+        assert_eq!(path[0].via, "load");
+        assert_eq!(path[1].via, "thread");
+        assert_eq!(path[2].via, "store");
+        assert_eq!(path[3].via, "copy");
+        assert_eq!(path[4].via, "addr");
+        assert_eq!(path[4].src, None);
+        // Adjacent steps chain: each step's src is the next step's dst.
+        for w in path.windows(2) {
+            assert_eq!(w[0].src, Some(w[1].dst));
+            assert_eq!(w[0].src_obj, w[1].obj);
+        }
+        let text = render_path(&path);
+        assert!(text.contains("seeded by addr_of"), "{text}");
+    }
+
+    /// Mutual copies (x = y; y = x) must not loop the walker.
+    #[test]
+    fn cycles_do_not_diverge() {
+        let rec = Recorder::with_explain(64);
+        prop(&rec, "var", 1, 5, "var", 2, 5, "copy");
+        prop(&rec, "var", 2, 5, "var", 1, 5, "copy");
+        assert_eq!(why_points_to(&rec.events(), 1, 5), None);
+        // Adding the seed behind the cycle makes it derivable again.
+        prop(&rec, "var", 2, 5, "addr", 5, 5, "addr");
+        let path = why_points_to(&rec.events(), 1, 5).expect("derivable");
+        assert_eq!(path.last().unwrap().via, "addr");
+    }
+
+    /// A gep changes the member along the chain: the walk follows
+    /// `src_obj`, not `obj`.
+    #[test]
+    fn gep_switches_the_tracked_member() {
+        let rec = Recorder::with_explain(64);
+        prop(&rec, "var", 1, 20, "addr", 20, 20, "addr");
+        prop(&rec, "var", 2, 21, "var", 1, 20, "gep");
+        let path = why_points_to(&rec.events(), 2, 21).expect("derivable");
+        assert_eq!(path.len(), 2);
+        assert_eq!((path[0].obj, path[0].src_obj), (21, 20));
+        assert_eq!(path[1].obj, 20);
+    }
+
+    #[test]
+    fn unknown_facts_have_no_path() {
+        let rec = Recorder::with_explain(8);
+        prop(&rec, "var", 1, 5, "addr", 5, 5, "addr");
+        assert_eq!(why_points_to(&rec.events(), 1, 6), None);
+        assert_eq!(why_points_to(&rec.events(), 9, 5), None);
+    }
+}

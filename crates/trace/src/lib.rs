@@ -1,0 +1,53 @@
+//! Structured tracing for the FSAM pipeline.
+//!
+//! The paper's whole evaluation is a story about *where time and precision
+//! go* — per-phase wall clock, thread edges pruned by value-flow and lock
+//! analysis, strong vs. weak update ratios. This crate is the measurement
+//! substrate for those questions: a std-only (the workspace builds
+//! offline) recorder of hierarchical **spans**, monotonic **counters**,
+//! and structured **events**, designed so that the disabled path costs a
+//! single relaxed atomic load and allocates nothing.
+//!
+//! The pieces:
+//!
+//! - [`Recorder`] — a wait-free, bounded event sink. Enabled recorders
+//!   pre-allocate their slot ring; writers claim slots with one
+//!   `fetch_add` and publish through `OnceLock`, so tracing never takes a
+//!   lock and never blocks an analysis thread.
+//! - [`Span`] — an RAII timing scope with explicit parent links (no
+//!   thread-locals: the pipeline hands spans across scoped threads, and
+//!   tests run recorders side by side).
+//! - [`schema`] — the stable JSONL wire format plus a validator used by
+//!   CI's `trace-smoke` job.
+//! - [`report`] — a human-readable span tree with per-span counters and a
+//!   flat profile, the `Fsam::report` of traces.
+//! - [`explain`] — trace-backed provenance: [`explain::why_points_to`]
+//!   walks recorded solver propagation events from a points-to fact back
+//!   to the `addr_of` (or thread edge) that introduced it.
+//!
+//! ```
+//! use fsam_trace::{Recorder, schema};
+//!
+//! let rec = Recorder::new(1024);
+//! {
+//!     let run = rec.span("pipeline.run");
+//!     let solve = run.child("solve");
+//!     solve.counter("solve.processed", 42);
+//! }
+//! let events = rec.events();
+//! for line in schema::export_jsonl(&events).lines() {
+//!     schema::validate_line(line).unwrap();
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explain;
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod schema;
+
+pub use explain::{render_path, why_points_to, ExplainNode, ExplainStep};
+pub use recorder::{Event, FieldValue, Recorder, Span, SpanId};

@@ -1,0 +1,486 @@
+//! The lock-free event recorder and its span handle.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Disabled means free.** Every instrumentation site in the solver's
+//!    hot loop guards on [`Recorder::is_enabled`] — one relaxed atomic
+//!    load — and a disabled recorder owns *no* slot storage, so the
+//!    "tracing off ⇒ zero heap growth" property is checkable, not
+//!    aspirational.
+//! 2. **Enabled means wait-free.** Writers claim a slot with a single
+//!    `fetch_add` on the cursor and publish the event through that slot's
+//!    `OnceLock`. No mutex, no contention between the pipeline's scoped
+//!    interference threads, no unsafe code.
+//! 3. **Bounded.** The ring is pre-allocated at construction; events past
+//!    capacity are counted in [`Recorder::dropped`] instead of growing the
+//!    heap mid-analysis. Observability must not perturb the memory numbers
+//!    it exists to report (the Table 2 columns).
+//!
+//! Spans carry explicit parent ids rather than a thread-local stack:
+//! `Pipeline::run_many` solves configurations on separate threads that all
+//! feed one recorder, and attribution has to survive the hop.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Identifier of a recorded span, unique within one [`Recorder`].
+pub type SpanId = u64;
+
+/// A value attached to a structured event field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (ids, counts, byte sizes).
+    U64(u64),
+    /// A short string tag (kinds, edge labels).
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> FieldValue {
+        FieldValue::Str(Cow::Borrowed(v))
+    }
+}
+
+/// One recorded trace entry.
+///
+/// The three variants mirror the three JSONL record types in
+/// [`crate::schema`]: timing scopes, monotonic totals, and structured
+/// point-in-time facts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A closed timing scope.
+    Span {
+        /// Unique id within the recorder.
+        id: SpanId,
+        /// Enclosing span, if any.
+        parent: Option<SpanId>,
+        /// Scope name, e.g. `stage.pre_analysis`.
+        name: Cow<'static, str>,
+        /// Start, microseconds since the recorder was created.
+        start_us: u64,
+        /// Duration in microseconds.
+        dur_us: u64,
+    },
+    /// A monotonic counter reading, attributed to a span.
+    Counter {
+        /// Counter name, e.g. `solve.strong_updates`.
+        name: Cow<'static, str>,
+        /// The reading.
+        value: u64,
+        /// Span the reading belongs to, if any.
+        span: Option<SpanId>,
+    },
+    /// A structured point event with free-form fields.
+    Point {
+        /// Event name, e.g. `prop`.
+        name: Cow<'static, str>,
+        /// Span the event belongs to, if any.
+        span: Option<SpanId>,
+        /// Timestamp, microseconds since the recorder was created.
+        at_us: u64,
+        /// Named payload fields.
+        fields: Vec<(Cow<'static, str>, FieldValue)>,
+    },
+}
+
+impl Event {
+    fn payload_heap_bytes(&self) -> usize {
+        // Not `&str`: the Borrowed/Owned split is the whole point here.
+        #[allow(clippy::ptr_arg)]
+        fn cow_bytes(c: &Cow<'static, str>) -> usize {
+            match c {
+                Cow::Borrowed(_) => 0,
+                Cow::Owned(s) => s.capacity(),
+            }
+        }
+        match self {
+            Event::Span { name, .. } | Event::Counter { name, .. } => cow_bytes(name),
+            Event::Point { name, fields, .. } => {
+                cow_bytes(name)
+                    + fields.capacity() * std::mem::size_of::<(Cow<'static, str>, FieldValue)>()
+                    + fields
+                        .iter()
+                        .map(|(k, v)| {
+                            cow_bytes(k)
+                                + match v {
+                                    FieldValue::U64(_) => 0,
+                                    FieldValue::Str(s) => cow_bytes(s),
+                                }
+                        })
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+/// A bounded, wait-free sink of [`Event`]s (see module docs).
+pub struct Recorder {
+    /// `false` short-circuits every instrumentation site.
+    enabled: AtomicBool,
+    /// Whether per-propagation `prop` events (the [`crate::explain`]
+    /// substrate) should be emitted. Orders of magnitude chattier than
+    /// spans and counters, so it is opt-in even when tracing is on.
+    explain: AtomicBool,
+    /// Pre-allocated slot ring; empty for a disabled recorder.
+    slots: Vec<OnceLock<Event>>,
+    /// Next slot to claim. May run past `slots.len()`; the excess is the
+    /// dropped-event count.
+    cursor: AtomicUsize,
+    /// Span id allocator (0 is reserved / never issued).
+    next_span: AtomicU64,
+    /// Epoch for `start_us` / `at_us` timestamps.
+    epoch: Instant,
+}
+
+impl Recorder {
+    /// An inert recorder: records nothing, owns no slot storage.
+    ///
+    /// This is the default wired through the pipeline, so the analysis
+    /// hot paths pay exactly one relaxed load per instrumentation site.
+    pub fn disabled() -> Recorder {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            explain: AtomicBool::new(false),
+            slots: Vec::new(),
+            cursor: AtomicUsize::new(0),
+            next_span: AtomicU64::new(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// An enabled recorder holding at most `capacity` events. Spans and
+    /// counters are recorded; per-propagation `prop` events are not (see
+    /// [`Recorder::with_explain`]).
+    pub fn new(capacity: usize) -> Recorder {
+        let mut r = Recorder::disabled();
+        r.enabled = AtomicBool::new(true);
+        r.slots = (0..capacity).map(|_| OnceLock::new()).collect();
+        r
+    }
+
+    /// An enabled recorder that additionally captures per-propagation
+    /// `prop` events, the raw material for [`crate::explain`].
+    pub fn with_explain(capacity: usize) -> Recorder {
+        let r = Recorder::new(capacity);
+        r.explain.store(true, Ordering::Relaxed);
+        r
+    }
+
+    /// The hot-path guard: one relaxed atomic load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether `prop` (explain) events should be emitted.
+    #[inline]
+    pub fn explain_enabled(&self) -> bool {
+        self.is_enabled() && self.explain.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since the recorder was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records `ev`, or counts it as dropped when the ring is full.
+    /// Wait-free: one `fetch_add` plus an uncontended `OnceLock::set`
+    /// (each slot is claimed by exactly one writer).
+    pub fn emit(&self, ev: Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if let Some(cell) = self.slots.get(slot) {
+            let _ = cell.set(ev);
+        }
+    }
+
+    /// Opens a root-level span. Disabled recorders return an inert span
+    /// whose operations are all no-ops.
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> Span<'_> {
+        self.span_under(None, name)
+    }
+
+    /// Opens a span under an explicit parent id (used to hand hierarchy
+    /// across threads, where `Span::child` lifetimes cannot flow).
+    pub fn span_under(
+        &self,
+        parent: Option<SpanId>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span {
+                rec: self,
+                id: None,
+                parent: None,
+                name: Cow::Borrowed(""),
+                start_us: 0,
+            };
+        }
+        Span {
+            rec: self,
+            id: Some(self.next_span.fetch_add(1, Ordering::Relaxed)),
+            parent,
+            name: name.into(),
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Records a counter reading attributed to `span`.
+    pub fn counter(&self, span: Option<SpanId>, name: impl Into<Cow<'static, str>>, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit(Event::Counter {
+            name: name.into(),
+            value,
+            span,
+        });
+    }
+
+    /// Records a structured point event attributed to `span`.
+    pub fn point(
+        &self,
+        span: Option<SpanId>,
+        name: impl Into<Cow<'static, str>>,
+        fields: Vec<(Cow<'static, str>, FieldValue)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit(Event::Point {
+            name: name.into(),
+            span,
+            at_us: self.now_us(),
+            fields,
+        });
+    }
+
+    /// Snapshot of everything recorded so far, in emission order.
+    ///
+    /// Slots claimed by writers that have not finished publishing yet are
+    /// skipped — callers drain after the analysis joins its threads, so
+    /// in practice this is exact.
+    pub fn events(&self) -> Vec<Event> {
+        let n = self.cursor.load(Ordering::Acquire).min(self.slots.len());
+        self.slots[..n]
+            .iter()
+            .filter_map(|c| c.get().cloned())
+            .collect()
+    }
+
+    /// Events recorded (bounded by capacity).
+    pub fn recorded(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> usize {
+        self.cursor
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.slots.len())
+    }
+
+    /// Slot capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Heap bytes held by the recorder: the slot ring plus recorded event
+    /// payloads. Exactly `0` for a disabled recorder, which is what the
+    /// overhead-guard test pins down.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<OnceLock<Event>>()
+            + self
+                .slots
+                .iter()
+                .filter_map(|c| c.get())
+                .map(Event::payload_heap_bytes)
+                .sum::<usize>()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// An RAII timing scope: records a [`Event::Span`] when dropped.
+///
+/// Inert when its recorder is disabled (`id` is `None`): children,
+/// counters and points all short-circuit.
+#[must_use = "a span records its duration when dropped"]
+pub struct Span<'a> {
+    rec: &'a Recorder,
+    id: Option<SpanId>,
+    parent: Option<SpanId>,
+    name: Cow<'static, str>,
+    start_us: u64,
+}
+
+impl<'a> Span<'a> {
+    /// This span's id, or `None` on a disabled recorder.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// Opens a child span.
+    pub fn child(&self, name: impl Into<Cow<'static, str>>) -> Span<'a> {
+        self.rec.span_under(self.id, name)
+    }
+
+    /// Records a counter reading attributed to this span.
+    pub fn counter(&self, name: impl Into<Cow<'static, str>>, value: u64) {
+        if self.id.is_some() {
+            self.rec.counter(self.id, name, value);
+        }
+    }
+
+    /// Records a structured point event attributed to this span.
+    pub fn point(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        fields: Vec<(Cow<'static, str>, FieldValue)>,
+    ) {
+        if self.id.is_some() {
+            self.rec.point(self.id, name, fields);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            let end = self.rec.now_us();
+            self.rec.emit(Event::Span {
+                id,
+                parent: self.parent,
+                name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+                start_us: self.start_us,
+                dur_us: end.saturating_sub(self.start_us),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_on_drop() {
+        let rec = Recorder::new(64);
+        let (outer_id, inner_id);
+        {
+            let outer = rec.span("outer");
+            outer_id = outer.id().unwrap();
+            {
+                let inner = outer.child("inner");
+                inner_id = inner.id().unwrap();
+                inner.counter("work", 3);
+            }
+            // Inner closed first: already recorded while outer is live.
+            assert_eq!(
+                rec.events()
+                    .iter()
+                    .filter(|e| matches!(e, Event::Span { .. }))
+                    .count(),
+                1
+            );
+        }
+        let events = rec.events();
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span {
+                    id, parent, name, ..
+                } => Some((*id, *parent, name.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.contains(&(inner_id, Some(outer_id), Cow::Borrowed("inner"))));
+        assert!(spans.contains(&(outer_id, None, Cow::Borrowed("outer"))));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Counter { name, value: 3, span: Some(s) } if name == "work" && *s == inner_id
+        )));
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert_and_heapless() {
+        let rec = Recorder::disabled();
+        assert_eq!(rec.heap_bytes(), 0);
+        {
+            let s = rec.span("root");
+            assert_eq!(s.id(), None);
+            let c = s.child("leaf");
+            c.counter("n", 1);
+            c.point("p", vec![("k".into(), FieldValue::U64(1))]);
+        }
+        rec.counter(None, "free", 9);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.recorded(), 0);
+        assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn overflow_counts_dropped_without_growing() {
+        let rec = Recorder::new(4);
+        let bytes_empty = rec.heap_bytes();
+        for i in 0..10 {
+            rec.counter(None, "n", i);
+        }
+        assert_eq!(rec.recorded(), 4);
+        assert_eq!(rec.dropped(), 6);
+        assert_eq!(rec.events().len(), 4);
+        // Static-name counters carry no payload heap: the ring never grew.
+        assert_eq!(rec.heap_bytes(), bytes_empty);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_within_capacity() {
+        let rec = std::sync::Arc::new(Recorder::new(4 * 500));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        rec.counter(None, "tick", t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.events().len(), 2000);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn explain_flag_gates_separately() {
+        assert!(!Recorder::new(8).explain_enabled());
+        assert!(Recorder::with_explain(8).explain_enabled());
+        assert!(!Recorder::disabled().explain_enabled());
+    }
+}

@@ -1,0 +1,179 @@
+//! Human-readable rendering of a recorded trace: a span tree with
+//! attributed counters, followed by a flat profile (total time by span
+//! name — the "flame" view collapsed to names, which is what a terminal
+//! can show).
+
+use std::collections::HashMap;
+
+use crate::recorder::{Event, SpanId};
+
+struct SpanRow<'a> {
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: &'a str,
+    start_us: u64,
+    dur_us: u64,
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.3} ms", us as f64 / 1e3)
+}
+
+/// Renders `events` as a span tree plus a flat profile.
+///
+/// Orphan spans (parent never closed — e.g. dropped by a full ring) are
+/// promoted to roots; counters without a span land in an "unscoped"
+/// section at the end.
+pub fn render(events: &[Event]) -> String {
+    let mut spans: Vec<SpanRow<'_>> = Vec::new();
+    let mut counters: HashMap<Option<SpanId>, Vec<(&str, u64)>> = HashMap::new();
+    let mut points: HashMap<Option<SpanId>, usize> = HashMap::new();
+    for ev in events {
+        match ev {
+            Event::Span {
+                id,
+                parent,
+                name,
+                start_us,
+                dur_us,
+            } => spans.push(SpanRow {
+                id: *id,
+                parent: *parent,
+                name,
+                start_us: *start_us,
+                dur_us: *dur_us,
+            }),
+            Event::Counter { name, value, span } => {
+                counters.entry(*span).or_default().push((name, *value));
+            }
+            Event::Point { span, .. } => *points.entry(*span).or_default() += 1,
+        }
+    }
+
+    let known: std::collections::HashSet<SpanId> = spans.iter().map(|s| s.id).collect();
+    let mut children: HashMap<Option<SpanId>, Vec<usize>> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        // Promote spans whose parent never closed to roots.
+        let key = s.parent.filter(|p| known.contains(p));
+        children.entry(key).or_default().push(i);
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|&i| (spans[i].start_us, spans[i].id));
+    }
+
+    let mut out = String::new();
+    out.push_str("trace report\n============\n");
+    fn walk(
+        out: &mut String,
+        spans: &[SpanRow<'_>],
+        children: &HashMap<Option<SpanId>, Vec<usize>>,
+        counters: &HashMap<Option<SpanId>, Vec<(&str, u64)>>,
+        points: &HashMap<Option<SpanId>, usize>,
+        node: usize,
+        depth: usize,
+    ) {
+        let s = &spans[node];
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!("{indent}{:<32} {}\n", s.name, fmt_ms(s.dur_us)));
+        if let Some(cs) = counters.get(&Some(s.id)) {
+            for (name, value) in cs {
+                out.push_str(&format!("{indent}    {name} = {value}\n"));
+            }
+        }
+        if let Some(&n) = points.get(&Some(s.id)) {
+            out.push_str(&format!("{indent}    ({n} events)\n"));
+        }
+        if let Some(kids) = children.get(&Some(s.id)) {
+            for &k in kids {
+                walk(out, spans, children, counters, points, k, depth + 1);
+            }
+        }
+    }
+    if let Some(roots) = children.get(&None) {
+        for &r in roots {
+            walk(&mut out, &spans, &children, &counters, &points, r, 0);
+        }
+    }
+
+    if let Some(cs) = counters.get(&None) {
+        out.push_str("\nunscoped counters\n");
+        for (name, value) in cs {
+            out.push_str(&format!("    {name} = {value}\n"));
+        }
+    }
+
+    // Flat profile: self-explanatory for "where did the time go" without
+    // reading the tree. Aggregates by name across all instances.
+    let mut flat: Vec<(&str, u64, usize)> = Vec::new();
+    let mut by_name: HashMap<&str, usize> = HashMap::new();
+    for s in &spans {
+        match by_name.get(s.name) {
+            Some(&i) => {
+                flat[i].1 += s.dur_us;
+                flat[i].2 += 1;
+            }
+            None => {
+                by_name.insert(s.name, flat.len());
+                flat.push((s.name, s.dur_us, 1));
+            }
+        }
+    }
+    flat.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    if !flat.is_empty() {
+        out.push_str("\nflat profile (total by span name)\n");
+        for (name, total, count) in flat {
+            out.push_str(&format!("    {name:<32} {:>12}  x{count}\n", fmt_ms(total)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn renders_tree_counters_and_flat_profile() {
+        let rec = Recorder::new(64);
+        {
+            let run = rec.span("pipeline.run");
+            {
+                let a = run.child("stage.pre_analysis");
+                a.counter("andersen.rounds", 3);
+            }
+            {
+                let b = run.child("solve");
+                b.point("prop", vec![]);
+            }
+            rec.counter(None, "global.runs", 1);
+        }
+        let text = render(&rec.events());
+        assert!(text.contains("pipeline.run"), "{text}");
+        assert!(text.contains("  stage.pre_analysis"), "{text}");
+        assert!(text.contains("andersen.rounds = 3"), "{text}");
+        assert!(text.contains("(1 events)"), "{text}");
+        assert!(text.contains("unscoped counters"), "{text}");
+        assert!(text.contains("global.runs = 1"), "{text}");
+        assert!(text.contains("flat profile"), "{text}");
+        // The tree lists children in start order under their parent.
+        let pre = text.find("stage.pre_analysis").unwrap();
+        let solve = text.find("solve").unwrap();
+        assert!(pre < solve);
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        use crate::recorder::Event;
+        let rec = Recorder::new(8);
+        rec.emit(Event::Span {
+            id: 9,
+            parent: Some(999), // parent never recorded
+            name: "orphan".into(),
+            start_us: 0,
+            dur_us: 5,
+        });
+        let text = render(&rec.events());
+        assert!(text.contains("orphan"), "{text}");
+    }
+}

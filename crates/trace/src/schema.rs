@@ -1,0 +1,310 @@
+//! The stable JSONL wire format for trace events, plus its validator.
+//!
+//! One event per line, one JSON object per event, discriminated by a
+//! `"type"` key. The schema is deliberately closed — exactly these keys,
+//! in this order — so CI's `trace-smoke` job can catch silent drift:
+//!
+//! ```json
+//! {"type":"span","id":3,"parent":1,"name":"solve","start_us":120,"dur_us":4500}
+//! {"type":"counter","name":"solve.strong_updates","value":17,"span":3}
+//! {"type":"event","name":"prop","span":3,"at_us":130,"fields":{"dst":4,"via":"addr"}}
+//! ```
+//!
+//! - `span` — a closed timing scope. `parent` is `null` for roots.
+//! - `counter` — a monotonic total attributed to a span (`span` may be
+//!   `null` for process-wide counters).
+//! - `event` — a structured point record; `fields` is a flat object whose
+//!   values are numbers or strings.
+//!
+//! The disabled-path contract (documented here because the schema is the
+//! public face of the crate): when tracing is off, instrumentation sites
+//! cost one relaxed atomic load, no events exist, and the recorder owns
+//! zero heap — see `Recorder::heap_bytes`.
+
+use crate::json::{self, write_escaped, Value};
+use crate::recorder::{Event, FieldValue};
+use std::fmt::Write as _;
+
+/// Renders one event as its JSONL line (no trailing newline).
+pub fn to_jsonl_line(ev: &Event) -> String {
+    let mut out = String::new();
+    match ev {
+        Event::Span {
+            id,
+            parent,
+            name,
+            start_us,
+            dur_us,
+        } => {
+            out.push_str("{\"type\":\"span\",\"id\":");
+            let _ = write!(out, "{id}");
+            out.push_str(",\"parent\":");
+            match parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            write_escaped(&mut out, name);
+            let _ = write!(out, ",\"start_us\":{start_us},\"dur_us\":{dur_us}}}");
+        }
+        Event::Counter { name, value, span } => {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            write_escaped(&mut out, name);
+            let _ = write!(out, ",\"value\":{value},\"span\":");
+            match span {
+                Some(s) => {
+                    let _ = write!(out, "{s}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        Event::Point {
+            name,
+            span,
+            at_us,
+            fields,
+        } => {
+            out.push_str("{\"type\":\"event\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(",\"span\":");
+            match span {
+                Some(s) => {
+                    let _ = write!(out, "{s}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"at_us\":{at_us},\"fields\":{{");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(&mut out, k);
+                out.push(':');
+                match v {
+                    FieldValue::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    FieldValue::Str(s) => write_escaped(&mut out, s),
+                }
+            }
+            out.push_str("}}");
+        }
+    }
+    out
+}
+
+/// Renders events as a JSONL document (one line each, trailing newline).
+pub fn export_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&to_jsonl_line(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one JSONL line back into an [`Event`].
+///
+/// Stricter than a generic JSON parse: the line must validate against the
+/// schema first, so round-tripping is only possible for well-formed lines.
+pub fn parse_line(line: &str) -> Result<Event, String> {
+    validate_line(line)?;
+    let v = json::parse(line)?;
+    let name = |v: &Value, k: &str| v.get(k).unwrap().as_str().unwrap().to_string();
+    let num = |v: &Value, k: &str| v.get(k).unwrap().as_num().unwrap() as u64;
+    let opt = |v: &Value, k: &str| match v.get(k).unwrap() {
+        Value::Null => None,
+        n => Some(n.as_num().unwrap() as u64),
+    };
+    Ok(match v.get("type").unwrap().as_str().unwrap() {
+        "span" => Event::Span {
+            id: num(&v, "id"),
+            parent: opt(&v, "parent"),
+            name: name(&v, "name").into(),
+            start_us: num(&v, "start_us"),
+            dur_us: num(&v, "dur_us"),
+        },
+        "counter" => Event::Counter {
+            name: name(&v, "name").into(),
+            value: num(&v, "value"),
+            span: opt(&v, "span"),
+        },
+        _ => Event::Point {
+            name: name(&v, "name").into(),
+            span: opt(&v, "span"),
+            at_us: num(&v, "at_us"),
+            fields: match v.get("fields").unwrap() {
+                Value::Obj(pairs) => pairs
+                    .iter()
+                    .map(|(k, fv)| {
+                        let fv = match fv {
+                            Value::Num(n) => FieldValue::U64(*n as u64),
+                            Value::Str(s) => FieldValue::Str(s.clone().into()),
+                            _ => unreachable!("validated"),
+                        };
+                        (k.clone().into(), fv)
+                    })
+                    .collect(),
+                _ => unreachable!("validated"),
+            },
+        },
+    })
+}
+
+fn expect_keys(v: &Value, want: &[&str]) -> Result<(), String> {
+    let keys = v.keys().ok_or("line is not a JSON object")?;
+    if keys != want {
+        return Err(format!("keys {keys:?} do not match schema {want:?}"));
+    }
+    Ok(())
+}
+
+fn expect_uint(v: &Value, key: &str) -> Result<(), String> {
+    let n = v
+        .get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("{key:?} must be a number"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{key:?} must be a non-negative integer, got {n}"));
+    }
+    Ok(())
+}
+
+fn expect_opt_uint(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Null) => Ok(()),
+        Some(_) => expect_uint(v, key),
+        None => Err(format!("missing {key:?}")),
+    }
+}
+
+fn expect_str(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Str(_)) => Ok(()),
+        _ => Err(format!("{key:?} must be a string")),
+    }
+}
+
+/// Validates one JSONL line against the schema. `Ok(())` iff the line is
+/// a well-formed span/counter/event record with exactly the schema's
+/// keys, in the schema's order, and well-typed values.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let v = json::parse(line)?;
+    let ty = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("missing \"type\" discriminator")?;
+    match ty {
+        "span" => {
+            expect_keys(&v, &["type", "id", "parent", "name", "start_us", "dur_us"])?;
+            expect_uint(&v, "id")?;
+            expect_opt_uint(&v, "parent")?;
+            expect_str(&v, "name")?;
+            expect_uint(&v, "start_us")?;
+            expect_uint(&v, "dur_us")
+        }
+        "counter" => {
+            expect_keys(&v, &["type", "name", "value", "span"])?;
+            expect_str(&v, "name")?;
+            expect_uint(&v, "value")?;
+            expect_opt_uint(&v, "span")
+        }
+        "event" => {
+            expect_keys(&v, &["type", "name", "span", "at_us", "fields"])?;
+            expect_str(&v, "name")?;
+            expect_opt_uint(&v, "span")?;
+            expect_uint(&v, "at_us")?;
+            match v.get("fields") {
+                Some(Value::Obj(pairs)) => {
+                    for (k, fv) in pairs {
+                        if !matches!(fv, Value::Num(_) | Value::Str(_)) {
+                            return Err(format!("field {k:?} must be a number or string"));
+                        }
+                    }
+                    Ok(())
+                }
+                _ => Err("\"fields\" must be an object".to_string()),
+            }
+        }
+        other => Err(format!("unknown record type {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    /// A realistic event stream survives export → validate → parse with
+    /// every event intact.
+    #[test]
+    fn jsonl_round_trip() {
+        let rec = Recorder::new(64);
+        {
+            let run = rec.span("pipeline.run");
+            {
+                let solve = run.child("solve");
+                solve.counter("solve.processed", 123);
+                solve.point(
+                    "prop",
+                    vec![
+                        ("dst".into(), FieldValue::U64(7)),
+                        ("via".into(), FieldValue::Str("addr \"x\"".into())),
+                    ],
+                );
+            }
+            rec.counter(None, "global.total", 9);
+        }
+        let events = rec.events();
+        assert!(events.len() >= 4);
+        let doc = export_jsonl(&events);
+        let parsed: Vec<Event> = doc
+            .lines()
+            .map(|l| {
+                validate_line(l).expect(l);
+                parse_line(l).expect(l)
+            })
+            .collect();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn validator_rejects_drifted_lines() {
+        for bad in [
+            // wrong key order
+            r#"{"type":"counter","value":1,"name":"n","span":null}"#,
+            // extra key
+            r#"{"type":"counter","name":"n","value":1,"span":null,"extra":0}"#,
+            // missing key
+            r#"{"type":"span","id":1,"parent":null,"name":"s","start_us":0}"#,
+            // wrong value type
+            r#"{"type":"counter","name":"n","value":"1","span":null}"#,
+            // negative counter
+            r#"{"type":"counter","name":"n","value":-1,"span":null}"#,
+            // unknown type
+            r#"{"type":"metric","name":"n","value":1,"span":null}"#,
+            // nested field value
+            r#"{"type":"event","name":"p","span":null,"at_us":0,"fields":{"a":[1]}}"#,
+            // not an object
+            r#"[1,2]"#,
+        ] {
+            assert!(validate_line(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_each_record_type() {
+        for good in [
+            r#"{"type":"span","id":1,"parent":null,"name":"root","start_us":0,"dur_us":10}"#,
+            r#"{"type":"span","id":2,"parent":1,"name":"leaf","start_us":1,"dur_us":2}"#,
+            r#"{"type":"counter","name":"n","value":0,"span":null}"#,
+            r#"{"type":"event","name":"p","span":3,"at_us":5,"fields":{}}"#,
+            r#"{"type":"event","name":"p","span":null,"at_us":5,"fields":{"a":1,"b":"x"}}"#,
+        ] {
+            validate_line(good).expect(good);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Cold full-pipeline wall time per suite program: the probe behind the
+//! disabled-tracing overhead numbers in EXPERIMENTS.md. Each program is
+//! staged, warmed once, then timed over five cold pipelines (median
+//! reported). Run the same probe on a build without the trace
+//! instrumentation sites for the A/B comparison.
+//!
+//! ```text
+//! cargo run --release --example overhead_probe
+//! ```
+
+use std::time::Instant;
+
+use fsam::{PhaseConfig, Pipeline};
+use fsam_suite::{Program, Scale};
+
+fn main() {
+    let scale = Scale(0.32);
+    let samples = 5;
+    for p in Program::all() {
+        let m = p.generate(scale);
+        // warm-up
+        std::hint::black_box(Pipeline::for_module(&m).run(PhaseConfig::full()));
+        let mut times = Vec::new();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            std::hint::black_box(Pipeline::for_module(&m).run(PhaseConfig::full()));
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        println!(
+            "{:<14} median {:.3} ms",
+            p.name(),
+            times[times.len() / 2].as_secs_f64() * 1e3
+        );
+    }
+}
