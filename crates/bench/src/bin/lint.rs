@@ -1,0 +1,115 @@
+//! Lint-suite runs: per-checker counts and per-stage reducer funnels
+//! exported as `BENCH_lint.json`.
+//!
+//! ```text
+//! cargo run --release -p fsam-bench --bin lint [-- --scale 0.32] \
+//!     [--program word_count] [--report] [--out PATH]
+//! ```
+//!
+//! For every suite program, the full FSAM configuration runs once, the
+//! default `fsam-lint` registry runs over it through a query engine, and
+//! one record per program is exported: the staged reducer's candidate
+//! funnel (total → after shared-filter → after MHP → after lockset →
+//! confirmed), per-checker diagnostic counts, and the lint wall time
+//! (engine capture + checkers + both renderers). The funnel is the
+//! artifact the experiment section quotes: on the larger suite programs a
+//! large majority of candidates die before any flow-sensitive alias query
+//! runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fsam::Fsam;
+use fsam_lint::{render_text, to_sarif, LintContext, Registry};
+use fsam_query::QueryEngine;
+use fsam_suite::{Program, Scale};
+
+fn main() {
+    let scale = Scale(arg_value("--scale").unwrap_or(0.32));
+    let only = arg_str("--program");
+    let show_report = has_flag("--report");
+    let out = arg_str("--out")
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json").into());
+
+    let mut records = Vec::new();
+    for p in Program::all() {
+        if only.as_deref().is_some_and(|n| n != p.name()) {
+            continue;
+        }
+        let module = p.generate(scale);
+        let fsam = Fsam::analyze(&module);
+
+        let start = Instant::now();
+        let engine = QueryEngine::from_fsam(&module, &fsam);
+        let cx = LintContext::new(&module, &fsam, &engine);
+        let registry = Registry::with_default_checkers();
+        let report = registry.run(&cx);
+        let text = render_text(&module, &report);
+        let sarif = to_sarif(&cx, &registry, &report, None).to_json();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        if show_report {
+            println!("== {} ==\n{}", p.name(), text);
+        }
+        let stats = cx.reduction().stats;
+        let mut r = String::new();
+        write!(
+            r,
+            concat!(
+                "  {{\"program\": \"{}\", \"scale\": {}, ",
+                "\"candidates\": {}, \"after_shared\": {}, \"after_mhp\": {}, ",
+                "\"after_lockset\": {}, \"confirmed\": {}, ",
+                "\"races\": {}, \"deadlocks\": {}, \"double_acquires\": {}, ",
+                "\"lockset_inconsistencies\": {}, \"hb_protected\": {}, ",
+                "\"suppressed\": {}, \"sarif_bytes\": {}, \"wall_ms\": {:.3}}}"
+            ),
+            p.name(),
+            scale.0,
+            stats.candidates,
+            stats.after_shared(),
+            stats.after_mhp(),
+            stats.after_lockset(),
+            stats.confirmed,
+            report.count_of("FL0001"),
+            report.count_of("FL0002"),
+            report.count_of("FL0003"),
+            report.count_of("FL0004"),
+            report.count_of("FL0005"),
+            report.suppressed.len(),
+            sarif.len(),
+            wall_ms,
+        )
+        .expect("write to string");
+        records.push(r);
+        println!(
+            "{:<14} {:>9} candidates -> {:>7} shared -> {:>6} mhp -> {:>5} lockset -> {:>4} confirmed  ({:>8.1} ms)",
+            p.name(),
+            stats.candidates,
+            stats.after_shared(),
+            stats.after_mhp(),
+            stats.after_lockset(),
+            stats.confirmed,
+            wall_ms,
+        );
+    }
+
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    std::fs::write(&out, &json).expect("write BENCH_lint.json");
+    println!("wrote {out} ({} programs)", records.len());
+}
+
+fn arg_value(flag: &str) -> Option<f64> {
+    arg_str(flag).and_then(|v| v.parse().ok())
+}
+
+fn arg_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}

@@ -51,18 +51,54 @@ impl Deadlock {
     }
 }
 
-/// Detects potential ABBA deadlocks.
+/// A lock-order cycle of length ≥ 3 — a deadlock pattern no ABBA pair
+/// check can see (e.g. `la → lb → lc → la` across three threads).
 ///
-/// Requires the full configuration (the lock analysis must have run);
-/// returns an empty list otherwise.
-pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
+/// `locks[i]` is held while `sites[i]` acquires `locks[(i + 1) % len]`.
+/// The cycle is canonical: it starts at its smallest lock and every other
+/// lock on it is larger, so each simple cycle is enumerated exactly once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockCycle {
+    /// The locks on the cycle, starting from the smallest.
+    pub locks: Vec<MemId>,
+    /// One acquisition site per edge (`sites[i]` acquires the next lock
+    /// while holding `locks[i]`); the smallest such site is chosen.
+    pub sites: Vec<StmtId>,
+}
+
+impl LockCycle {
+    /// Human-readable rendering.
+    pub fn render(&self, module: &Module, fsam: &Fsam) -> String {
+        let name = |o| fsam.pre.objects().display_name(module, o);
+        let ring = self
+            .locks
+            .iter()
+            .chain(self.locks.first())
+            .map(|&l| format!("`{}`", name(l)))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let sites = self
+            .sites
+            .iter()
+            .map(|&s| module.describe_stmt(s))
+            .collect::<Vec<_>>()
+            .join("; ");
+        format!("potential deadlock cycle {ring}: acquisitions at {sites}")
+    }
+}
+
+/// The context-sensitive lock-order graph: `(held, acquired)` →
+/// acquisition statements, over must-held locksets and singleton lock
+/// objects. Empty when the lock analysis did not run.
+///
+/// This is the shared substrate for the ABBA check ([`detect`]), the
+/// cycle check ([`detect_cycles`]), and the `fsam-lint` deadlock checker.
+pub fn lock_order_edges(module: &Module, fsam: &Fsam) -> HashMap<(MemId, MemId), Vec<StmtId>> {
+    let mut edges: HashMap<(MemId, MemId), Vec<StmtId>> = HashMap::new();
     let Some(lock) = &fsam.lock else {
-        return Vec::new();
+        return edges;
     };
     let oracle: &dyn MhpOracle = &fsam.mhp;
-
-    // Lock-order edges: (held, acquired) -> acquisition statements.
-    let mut edges: HashMap<(MemId, MemId), Vec<StmtId>> = HashMap::new();
     for (sid, stmt) in module.stmts() {
         let StmtKind::Lock { lock: lvar } = stmt.kind else {
             continue;
@@ -83,6 +119,21 @@ pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
             }
         }
     }
+    edges
+}
+
+/// Detects potential ABBA deadlocks.
+///
+/// Requires the full configuration (the lock analysis must have run);
+/// returns an empty list otherwise.
+#[deprecated(note = "use the `fsam-lint` registry (checker FL0002), which \
+                     reports the same pairs plus longer cycles")]
+pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
+    if fsam.lock.is_none() {
+        return Vec::new();
+    }
+    let oracle: &dyn MhpOracle = &fsam.mhp;
+    let edges = lock_order_edges(module, fsam);
 
     // ABBA: opposite-order edges with MHP acquisitions.
     let mut out = Vec::new();
@@ -111,6 +162,78 @@ pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
     out
 }
 
+/// Upper bound on reported cycles — the lock-order graphs of real
+/// programs are tiny, so hitting this means something degenerate.
+const MAX_CYCLES: usize = 64;
+
+/// Detects simple lock-order cycles of length ≥ 3.
+///
+/// Two-cycles are [`detect`]'s ABBA pairs (with their per-site MHP
+/// justification) and are deliberately excluded here to avoid duplicate
+/// reports. Enumeration is canonical — each cycle is rooted at its
+/// smallest lock and the DFS only extends through larger locks — and
+/// capped at `MAX_CYCLES` (64). Results are sorted by lock sequence.
+pub fn detect_cycles(module: &Module, fsam: &Fsam) -> Vec<LockCycle> {
+    let edges = lock_order_edges(module, fsam);
+    let mut adj: HashMap<MemId, Vec<MemId>> = HashMap::new();
+    for &(from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    for succs in adj.values_mut() {
+        succs.sort();
+        succs.dedup();
+    }
+    let mut starts: Vec<MemId> = adj.keys().copied().collect();
+    starts.sort();
+
+    fn dfs(
+        cur: MemId,
+        start: MemId,
+        adj: &HashMap<MemId, Vec<MemId>>,
+        path: &mut Vec<MemId>,
+        cycles: &mut Vec<Vec<MemId>>,
+    ) {
+        if cycles.len() >= MAX_CYCLES {
+            return;
+        }
+        for &next in adj.get(&cur).map_or(&[][..], Vec::as_slice) {
+            if next == start {
+                if path.len() >= 3 {
+                    cycles.push(path.clone());
+                }
+            } else if next > start && !path.contains(&next) {
+                path.push(next);
+                dfs(next, start, adj, path, cycles);
+                path.pop();
+            }
+        }
+    }
+
+    let mut cycles: Vec<Vec<MemId>> = Vec::new();
+    for &start in &starts {
+        if cycles.len() >= MAX_CYCLES {
+            break;
+        }
+        let mut path = vec![start];
+        dfs(start, start, &adj, &mut path, &mut cycles);
+    }
+
+    let mut out: Vec<LockCycle> = cycles
+        .into_iter()
+        .map(|locks| {
+            let sites = (0..locks.len())
+                .map(|i| {
+                    let edge = (locks[i], locks[(i + 1) % locks.len()]);
+                    *edges[&edge].iter().min().expect("edge has a site")
+                })
+                .collect();
+            LockCycle { locks, sites }
+        })
+        .collect();
+    out.sort_by(|a, b| a.locks.cmp(&b.locks));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +242,7 @@ mod tests {
     fn detect_in(src: &str) -> (Module, Fsam, Vec<Deadlock>) {
         let m = parse_module(src).unwrap();
         let fsam = Fsam::analyze(&m);
+        #[allow(deprecated)]
         let dl = detect(&m, &fsam);
         (m, fsam, dl)
     }
@@ -239,6 +363,112 @@ mod tests {
         "#,
         );
         assert!(dl.is_empty(), "HB-ordered threads cannot deadlock: {dl:?}");
+    }
+
+    #[test]
+    fn three_lock_cycle_is_detected() {
+        // la -> lb -> lc -> la across three threads: invisible to the
+        // ABBA pair check, caught by the cycle enumeration.
+        let (m, fsam, dl) = detect_in(
+            r#"
+            global la
+            global lb
+            global lc
+            func w1() {
+            entry:
+              a = &la
+              b = &lb
+              lock a
+              lock b        // la -> lb
+              unlock b
+              unlock a
+              ret
+            }
+            func w2() {
+            entry:
+              b = &lb
+              c = &lc
+              lock b
+              lock c        // lb -> lc
+              unlock c
+              unlock b
+              ret
+            }
+            func w3() {
+            entry:
+              c = &lc
+              a = &la
+              lock c
+              lock a        // lc -> la
+              unlock a
+              unlock c
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork w1()
+              t2 = fork w2()
+              t3 = fork w3()
+              join t1
+              join t2
+              join t3
+              ret
+            }
+        "#,
+        );
+        assert!(dl.is_empty(), "no 2-cycle here: {dl:?}");
+        let cycles = detect_cycles(&m, &fsam);
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert_eq!(cycles[0].locks.len(), 3);
+        assert_eq!(cycles[0].sites.len(), 3);
+        let rendered = cycles[0].render(&m, &fsam);
+        assert!(
+            rendered.contains("la") && rendered.contains("lb") && rendered.contains("lc"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn abba_is_not_reported_as_a_cycle() {
+        let (m, fsam, dl) = detect_in(
+            r#"
+            global la
+            global lb
+            func t1body() {
+            entry:
+              a = &la
+              b = &lb
+              lock a
+              lock b
+              unlock b
+              unlock a
+              ret
+            }
+            func t2body() {
+            entry:
+              a = &la
+              b = &lb
+              lock b
+              lock a
+              unlock a
+              unlock b
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork t1body()
+              t2 = fork t2body()
+              join t1
+              join t2
+              ret
+            }
+        "#,
+        );
+        assert_eq!(dl.len(), 1, "{dl:?}");
+        assert!(
+            detect_cycles(&m, &fsam).is_empty(),
+            "2-cycles belong to the ABBA check"
+        );
     }
 
     #[test]

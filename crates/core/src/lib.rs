@@ -61,12 +61,16 @@ pub mod race;
 pub mod recompute;
 pub mod solver;
 
-pub use deadlock::{detect as detect_deadlocks, Deadlock};
+#[allow(deprecated)]
+pub use deadlock::detect as detect_deadlocks;
+pub use deadlock::{detect_cycles, lock_order_edges, Deadlock, LockCycle};
 pub use fsam_threads::MhpBackend;
 pub use instrument::{plan as plan_instrumentation, InstrumentationPlan};
 pub use nonsparse::{NonSparseOutcome, NonSparseResult, NonSparseStats};
 pub use pipeline::{Fsam, PhaseConfig, PhaseTimes, Pipeline, StageBuildCounts};
 pub use queue::IndexedPriorityQueue;
-pub use race::{detect as detect_races, Race};
+#[allow(deprecated)]
+pub use race::detect as detect_races;
+pub use race::{racy_instances, Race};
 pub use recompute::solve_recompute;
 pub use solver::{SolverStats, SparseResult};

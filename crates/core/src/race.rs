@@ -50,6 +50,8 @@ impl Race {
 ///
 /// Uses the flow-sensitive points-to sets for aliasing, the configured MHP
 /// oracle, and (when the lock phase ran) lockset-based filtering.
+#[deprecated(note = "use the `fsam-lint` registry (checker FL0001), whose \
+                     staged reducer reports the identical set of races")]
 pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Race> {
     let oracle: &dyn MhpOracle = &fsam.mhp;
 
@@ -157,6 +159,7 @@ mod tests {
     fn races_of(src: &str) -> (Module, Fsam, Vec<Race>) {
         let m = parse_module(src).unwrap();
         let fsam = Fsam::analyze(&m);
+        #[allow(deprecated)]
         let races = detect(&m, &fsam);
         (m, fsam, races)
     }

@@ -51,6 +51,8 @@ pub struct ModuleBuilder {
     module: Module,
     globals: HashMap<String, ObjId>,
     anon_counter: u32,
+    /// Source line tagged onto subsequently appended statements; 0 = none.
+    cur_line: u32,
 }
 
 impl ModuleBuilder {
@@ -157,6 +159,14 @@ impl ModuleBuilder {
     pub fn func(&mut self, name: &str, params: &[&str]) -> FunctionBuilder<'_> {
         let id = self.declare_func(name, params);
         self.define_func(id)
+    }
+
+    /// Records a `fsam-lint:` suppression directive (used by the FIR
+    /// parser; see [`Module::lint_directives`]).
+    pub fn lint_directive(&mut self, line: u32, codes: Vec<String>) {
+        self.module
+            .lint_directives
+            .push(crate::module::LintDirective { line, codes });
     }
 
     /// Finishes construction and returns the module.
@@ -279,6 +289,13 @@ impl<'m> FunctionBuilder<'m> {
         self.cur_block
     }
 
+    /// Tags subsequently appended statements with a 1-based source line
+    /// (0 clears the tag). Set by the FIR parser; programmatic builders
+    /// leave every statement untagged.
+    pub fn at_line(&mut self, line: u32) {
+        self.mb.cur_line = line;
+    }
+
     fn push(&mut self, kind: StmtKind) -> StmtId {
         let id = StmtId::from_usize(self.mb.module.stmts.len());
         self.mb.module.stmts.push(Stmt {
@@ -286,6 +303,7 @@ impl<'m> FunctionBuilder<'m> {
             func: self.func,
             block: self.cur_block,
         });
+        self.mb.module.stmt_lines.push(self.mb.cur_line);
         self.mb.module.funcs[self.func.index()].blocks[self.cur_block]
             .stmts
             .push(id);

@@ -61,5 +61,5 @@ pub mod verify;
 
 pub use builder::ModuleBuilder;
 pub use ids::{BlockId, FuncId, ObjId, StmtId, VarId};
-pub use module::{Function, Module, ObjInfo, ObjKind, VarInfo};
+pub use module::{Function, LintDirective, Module, ObjInfo, ObjKind, VarInfo};
 pub use stmt::{Callee, Stmt, StmtKind, Terminator};

@@ -95,6 +95,17 @@ impl Function {
     }
 }
 
+/// A `// fsam-lint: allow(CODE, ...)` suppression directive collected from
+/// a source comment. A directive suppresses matching diagnostics whose
+/// primary statement sits on the directive's own line or the line below it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintDirective {
+    /// 1-based source line the comment appeared on.
+    pub line: u32,
+    /// Checker codes to suppress (e.g. `FL0001`).
+    pub codes: Vec<String>,
+}
+
 /// A whole program in partial-SSA form.
 ///
 /// `Module` is an append-only arena: construction goes through
@@ -108,6 +119,10 @@ pub struct Module {
     pub(crate) vars: Vec<VarInfo>,
     pub(crate) objs: Vec<ObjInfo>,
     pub(crate) stmts: Vec<Stmt>,
+    /// 1-based source line per statement (parallel to `stmts`); 0 = unknown
+    /// (all programmatically built modules).
+    pub(crate) stmt_lines: Vec<u32>,
+    pub(crate) lint_directives: Vec<LintDirective>,
 }
 
 impl Module {
@@ -173,6 +188,22 @@ impl Module {
             .iter()
             .enumerate()
             .map(|(i, s)| (StmtId::from_usize(i), s))
+    }
+
+    /// The 1-based source line a statement was parsed from, when known.
+    /// Modules built programmatically (without the FIR parser) carry no
+    /// line information and return `None` for every statement.
+    pub fn stmt_line(&self, id: StmtId) -> Option<u32> {
+        match self.stmt_lines.get(id.index()) {
+            Some(&l) if l != 0 => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The `fsam-lint:` suppression directives collected from source
+    /// comments, in source order.
+    pub fn lint_directives(&self) -> &[LintDirective] {
+        &self.lint_directives
     }
 
     // ---- variables ----------------------------------------------------

@@ -107,8 +107,12 @@ struct SpannedTok {
     col: u32,
 }
 
-fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+/// A source comment: `(line, text after the `//`)`.
+type Comment = (u32, String);
+
+fn lex(src: &str) -> Result<(Vec<SpannedTok>, Vec<Comment>), ParseError> {
     let mut out = Vec::new();
+    let mut comments: Vec<(u32, String)> = Vec::new();
     let mut line = 1u32;
     let mut col = 1u32;
     let mut chars = src.chars().peekable();
@@ -128,13 +132,18 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 chars.next();
                 col += 1;
                 if chars.peek() == Some(&'/') {
+                    chars.next();
+                    col += 1;
+                    let mut text = String::new();
                     for c in chars.by_ref() {
                         if c == '\n' {
                             line += 1;
                             col = 1;
                             break;
                         }
+                        text.push(c);
                     }
+                    comments.push((tl, text));
                 } else {
                     return Err(ParseError {
                         line: tl,
@@ -234,7 +243,41 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
         line,
         col,
     });
-    Ok(out)
+    Ok((out, comments))
+}
+
+/// Recognizes `fsam-lint: allow(CODE, ...)` comments. Returns `Ok(None)`
+/// for ordinary comments, the suppressed codes for well-formed directives,
+/// and an error message for malformed ones (a directive that silently did
+/// nothing would be worse than a parse error).
+fn parse_lint_directive(text: &str) -> Result<Option<Vec<String>>, String> {
+    let Some(rest) = text.trim_start().strip_prefix("fsam-lint:") else {
+        return Ok(None);
+    };
+    let rest = rest.trim();
+    let Some(args) = rest
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return Err(format!(
+            "malformed fsam-lint directive `{}` (expected `fsam-lint: allow(CODE, ...)`)",
+            text.trim()
+        ));
+    };
+    let mut codes = Vec::new();
+    for code in args.split(',') {
+        let code = code.trim();
+        if code.is_empty() || !code.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return Err(format!("bad checker code `{code}` in fsam-lint directive"));
+        }
+        codes.push(code.to_owned());
+    }
+    if codes.is_empty() {
+        return Err("fsam-lint: allow(...) lists no checker codes".into());
+    }
+    Ok(Some(codes))
 }
 
 // --------------------------------------------------------------- parser ---
@@ -247,13 +290,26 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
 /// semantic SSA violations are *not* caught here; run
 /// [`verify_module`](crate::verify::verify_module) afterwards.
 pub fn parse_module(src: &str) -> Result<Module, ParseError> {
-    let toks = lex(src)?;
+    let (toks, comments) = lex(src)?;
     let mut p = Parser {
         toks,
         pos: 0,
         mb: ModuleBuilder::new(),
     };
     p.module()?;
+    for (line, text) in comments {
+        match parse_lint_directive(&text) {
+            Ok(None) => {}
+            Ok(Some(codes)) => p.mb.lint_directive(line, codes),
+            Err(message) => {
+                return Err(ParseError {
+                    line,
+                    col: 1,
+                    message,
+                })
+            }
+        }
+    }
     Ok(p.mb.build())
 }
 
@@ -645,8 +701,16 @@ impl BodyCtx<'_, '_> {
         Ok(out)
     }
 
+    /// Tags the function builder with the source line of the upcoming
+    /// statement, so every appended statement records where it came from.
+    fn tag_line(&mut self) {
+        let line = self.toks[self.pos.min(self.toks.len() - 1)].line;
+        self.f.at_line(line);
+    }
+
     fn block_body(&mut self) -> Result<(), ParseError> {
         loop {
+            self.tag_line();
             match self.peek().clone() {
                 Tok::Name(n) if n == "br" => {
                     self.bump();
@@ -1027,6 +1091,55 @@ mod tests {
     fn duplicate_function_is_rejected() {
         let err = parse_module("func f() {\ne:\n ret\n}\nfunc f() {\ne:\n ret\n}").unwrap_err();
         assert!(err.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn statement_lines_are_recorded() {
+        let src = "func main() {\nentry:\n  p = alloc\n  q = p\n  store q, p\n  ret\n}";
+        let m = parse_module(src).unwrap();
+        let lines: Vec<Option<u32>> = m.stmt_ids().map(|s| m.stmt_line(s)).collect();
+        assert_eq!(lines, vec![Some(3), Some(4), Some(5)]);
+        // Programmatic modules carry no lines.
+        let mut mb = crate::builder::ModuleBuilder::new();
+        let g = mb.global("g");
+        let mut f = mb.func("main", &[]);
+        f.addr("p", g);
+        f.ret(None);
+        f.finish();
+        let m2 = mb.build();
+        assert_eq!(m2.stmt_line(crate::ids::StmtId::new(0)), None);
+    }
+
+    #[test]
+    fn lint_directives_are_collected() {
+        let src = r#"
+            global g
+            func main() {
+            entry:
+              p = &g           // fsam-lint: allow(FL0001, FL0003)
+              // fsam-lint: allow(FL0002)
+              store p, p       // an ordinary trailing comment
+              ret
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        let dirs = m.lint_directives();
+        assert_eq!(dirs.len(), 2);
+        assert_eq!(dirs[0].codes, vec!["FL0001", "FL0003"]);
+        assert_eq!(dirs[1].codes, vec!["FL0002"]);
+        assert!(dirs[0].line < dirs[1].line);
+    }
+
+    #[test]
+    fn malformed_lint_directive_is_rejected() {
+        for bad in [
+            "func main() {\nentry:\n  ret // fsam-lint: deny(FL0001)\n}",
+            "func main() {\nentry:\n  ret // fsam-lint: allow()\n}",
+            "func main() {\nentry:\n  ret // fsam-lint: allow(FL-1)\n}",
+        ] {
+            let err = parse_module(bad).unwrap_err();
+            assert!(err.message.contains("fsam-lint"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! The [`Checker`] trait, the default checker set (`FL0001`–`FL0005`),
+//! and the [`Registry`] that runs them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fsam_ir::icfg::NodeKind;
+use fsam_ir::{StmtId, StmtKind, VarId};
+use fsam_pts::MemId;
+use fsam_threads::mhp::MhpOracle;
+
+use crate::context::LintContext;
+use crate::diag::{finalize, Diagnostic, LintReport, Related, Severity};
+use crate::reduce::RacePair;
+
+/// One concurrency checker. Implementations are stateless; everything a
+/// run needs comes from the [`LintContext`].
+pub trait Checker {
+    /// The stable diagnostic code, e.g. `FL0001`.
+    fn code(&self) -> &'static str;
+    /// A short kebab-case name, e.g. `data-race`.
+    fn name(&self) -> &'static str;
+    /// A one-line description (the SARIF rule `shortDescription`).
+    fn description(&self) -> &'static str;
+    /// Appends this checker's findings to `out`.
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered set of checkers, run as one batch over one context.
+#[derive(Default)]
+pub struct Registry {
+    checkers: Vec<Box<dyn Checker>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The default checker set, `FL0001`–`FL0005`.
+    pub fn with_default_checkers() -> Registry {
+        let mut r = Registry::new();
+        r.register(Box::new(DataRace));
+        r.register(Box::new(LockOrder));
+        r.register(Box::new(DoubleAcquire));
+        r.register(Box::new(LocksetInconsistency));
+        r.register(Box::new(RacyInit));
+        r
+    }
+
+    /// Adds a checker to the run set.
+    pub fn register(&mut self, checker: Box<dyn Checker>) {
+        self.checkers.push(checker);
+    }
+
+    /// The registered checkers, in registration order (the SARIF rule
+    /// index order).
+    pub fn checkers(&self) -> &[Box<dyn Checker>] {
+        &self.checkers
+    }
+
+    /// Runs every checker, then sorts, deduplicates and applies source
+    /// suppressions. Per-checker finding counts land on the context's
+    /// recorder as `lint.<code>` counters.
+    pub fn run(&self, cx: &LintContext<'_>) -> LintReport {
+        let mut raw = Vec::new();
+        for checker in &self.checkers {
+            let before = raw.len();
+            checker.run(cx, &mut raw);
+            cx.recorder().counter(
+                None,
+                format!("lint.{}", checker.code()),
+                (raw.len() - before) as u64,
+            );
+        }
+        let report = finalize(cx.module, raw);
+        cx.recorder()
+            .counter(None, "lint.diagnostics", report.diagnostics.len() as u64);
+        cx.recorder()
+            .counter(None, "lint.suppressed", report.suppressed.len() as u64);
+        report
+    }
+}
+
+fn ptr_of(cx: &LintContext<'_>, s: StmtId) -> Option<VarId> {
+    match cx.module.stmt(s).kind {
+        StmtKind::Store { ptr, .. } | StmtKind::Load { ptr, .. } => Some(ptr),
+        _ => None,
+    }
+}
+
+/// Props shared by the race-shaped checkers: raw ids for identity tests
+/// and the pointer/object indices the SARIF code-flow builder feeds to
+/// `why_points_to`.
+fn race_props(cx: &LintContext<'_>, pair: &RacePair) -> Vec<(String, String)> {
+    let mut props = vec![
+        (
+            "obj".to_owned(),
+            cx.fsam.pre.objects().display_name(cx.module, pair.obj),
+        ),
+        ("obj_id".to_owned(), pair.obj.raw().to_string()),
+        ("store".to_owned(), pair.store.raw().to_string()),
+        ("access".to_owned(), pair.access.raw().to_string()),
+    ];
+    if let Some(p) = ptr_of(cx, pair.store) {
+        props.push(("store_ptr".to_owned(), p.index().to_string()));
+    }
+    if let Some(p) = ptr_of(cx, pair.access) {
+        props.push(("access_ptr".to_owned(), p.index().to_string()));
+    }
+    props
+}
+
+/// `FL0001` — confirmed data races, from the staged reducer. Identical to
+/// the legacy `fsam::race::detect` result set.
+pub struct DataRace;
+
+impl Checker for DataRace {
+    fn code(&self) -> &'static str {
+        "FL0001"
+    }
+    fn name(&self) -> &'static str {
+        "data-race"
+    }
+    fn description(&self) -> &'static str {
+        "a write and a parallel access to the same object with no common lock"
+    }
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for pair in &cx.reduction().confirmed {
+            let obj = cx.fsam.pre.objects().display_name(cx.module, pair.obj);
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Error,
+                message: format!(
+                    "data race on `{obj}`: write at {} || access at {}",
+                    cx.module.describe_stmt(pair.store),
+                    cx.module.describe_stmt(pair.access),
+                ),
+                primary: pair.store,
+                related: vec![Related {
+                    stmt: pair.access,
+                    message: format!("racing access at {}", cx.module.describe_stmt(pair.access)),
+                }],
+                props: race_props(cx, pair),
+            });
+        }
+    }
+}
+
+/// `FL0002` — lock-order deadlocks: ABBA inversions (with the pairwise
+/// MHP justification) plus simple cycles of length ≥ 3 over the
+/// lock-order graph.
+pub struct LockOrder;
+
+impl Checker for LockOrder {
+    fn code(&self) -> &'static str {
+        "FL0002"
+    }
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+    fn description(&self) -> &'static str {
+        "lock acquisitions whose order forms a cycle across parallel threads"
+    }
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let name = |o: MemId| cx.fsam.pre.objects().display_name(cx.module, o);
+        let oracle: &dyn MhpOracle = &cx.fsam.mhp;
+        let edges = fsam::lock_order_edges(cx.module, cx.fsam);
+
+        // ABBA pairs — same pairing as the legacy `detect_deadlocks`.
+        let mut seen: BTreeSet<(MemId, MemId, StmtId, StmtId)> = BTreeSet::new();
+        for (&(a, b), sites_ab) in &edges {
+            if a >= b {
+                continue;
+            }
+            let Some(sites_ba) = edges.get(&(b, a)) else {
+                continue;
+            };
+            for &s_ab in sites_ab {
+                for &s_ba in sites_ba {
+                    if oracle.mhp_stmt(s_ab, s_ba) && seen.insert((a, b, s_ab, s_ba)) {
+                        out.push(Diagnostic {
+                            code: self.code(),
+                            severity: Severity::Warning,
+                            message: format!(
+                                "potential deadlock between `{}` and `{}`: {} (holding {}) || {} (holding {})",
+                                name(a),
+                                name(b),
+                                cx.module.describe_stmt(s_ab),
+                                name(a),
+                                cx.module.describe_stmt(s_ba),
+                                name(b),
+                            ),
+                            primary: s_ab,
+                            related: vec![Related {
+                                stmt: s_ba,
+                                message: format!(
+                                    "opposite-order acquisition at {}",
+                                    cx.module.describe_stmt(s_ba)
+                                ),
+                            }],
+                            props: vec![
+                                ("kind".to_owned(), "abba".to_owned()),
+                                ("lock_a".to_owned(), a.raw().to_string()),
+                                ("lock_b".to_owned(), b.raw().to_string()),
+                                ("site_ab".to_owned(), s_ab.raw().to_string()),
+                                ("site_ba".to_owned(), s_ba.raw().to_string()),
+                            ],
+                        });
+                    }
+                }
+            }
+        }
+
+        // Longer cycles (the ABBA check cannot see these).
+        for cycle in fsam::detect_cycles(cx.module, cx.fsam) {
+            let related = cycle.sites[1..]
+                .iter()
+                .map(|&s| Related {
+                    stmt: s,
+                    message: format!("next acquisition at {}", cx.module.describe_stmt(s)),
+                })
+                .collect();
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Warning,
+                message: cycle.render(cx.module, cx.fsam),
+                primary: cycle.sites[0],
+                related,
+                props: vec![
+                    ("kind".to_owned(), "cycle".to_owned()),
+                    ("len".to_owned(), cycle.locks.len().to_string()),
+                ],
+            });
+        }
+    }
+}
+
+/// `FL0003` — acquiring a lock already held by the same instance: with
+/// non-reentrant locks this is a guaranteed self-deadlock.
+pub struct DoubleAcquire;
+
+impl Checker for DoubleAcquire {
+    fn code(&self) -> &'static str {
+        "FL0003"
+    }
+    fn name(&self) -> &'static str {
+        "double-acquire"
+    }
+    fn description(&self) -> &'static str {
+        "a lock acquired while the acquiring instance already holds it"
+    }
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(lock) = &cx.fsam.lock else {
+            return;
+        };
+        let oracle: &dyn MhpOracle = &cx.fsam.mhp;
+        for (sid, stmt) in cx.module.stmts() {
+            let StmtKind::Lock { lock: lvar } = stmt.kind else {
+                continue;
+            };
+            let Some(acquired) = cx.fsam.pre.must_lock_obj(lvar) else {
+                continue;
+            };
+            // `held_at` is the IN fact — the locks held *before* this
+            // acquisition — so membership means re-acquisition.
+            let double = oracle
+                .instances(sid)
+                .iter()
+                .any(|&(t, c)| lock.held_at(&cx.fsam.icfg, t, c, sid).contains(&acquired));
+            if double {
+                let obj = cx.fsam.pre.objects().display_name(cx.module, acquired);
+                out.push(Diagnostic {
+                    code: self.code(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "lock `{obj}` acquired while already held (self-deadlock): {}",
+                        cx.module.describe_stmt(sid)
+                    ),
+                    primary: sid,
+                    related: Vec::new(),
+                    props: vec![("lock".to_owned(), acquired.raw().to_string())],
+                });
+            }
+        }
+    }
+}
+
+/// `FL0004` — a lock held on some but not all paths reaching a function
+/// exit: either a missing release on a path or a conditional acquire with
+/// no matching conditional release.
+pub struct LocksetInconsistency;
+
+impl Checker for LocksetInconsistency {
+    fn code(&self) -> &'static str {
+        "FL0004"
+    }
+    fn name(&self) -> &'static str {
+        "lockset-inconsistency"
+    }
+    fn description(&self) -> &'static str {
+        "a lock held on some but not all paths reaching a join point"
+    }
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(lock) = &cx.fsam.lock else {
+            return;
+        };
+        // Collect (function, lock) inconsistencies across every instance
+        // of every exit node (`ret` is a terminator with no statement id,
+        // so this check works at the node level).
+        let mut findings: BTreeSet<(fsam_ir::FuncId, MemId)> = BTreeSet::new();
+        for ((t, c, n), _) in lock.may_states() {
+            let NodeKind::Exit(fid) = cx.fsam.icfg.kind(n) else {
+                continue;
+            };
+            for l in lock.inconsistent_at_node(t, c, n) {
+                findings.insert((fid, l));
+            }
+        }
+        if findings.is_empty() {
+            return;
+        }
+        // Anchor each finding at the smallest acquisition site of that
+        // lock inside the offending function (the exit node itself has no
+        // statement to point at), falling back to the smallest site
+        // anywhere when the leaked acquisition happened in a callee.
+        let mut acquisition: BTreeMap<(fsam_ir::FuncId, MemId), StmtId> = BTreeMap::new();
+        let mut fallback: BTreeMap<MemId, StmtId> = BTreeMap::new();
+        for (sid, stmt) in cx.module.stmts() {
+            if let StmtKind::Lock { lock: lvar } = stmt.kind {
+                if let Some(l) = cx.fsam.pre.must_lock_obj(lvar) {
+                    acquisition.entry((stmt.func, l)).or_insert(sid);
+                    fallback.entry(l).or_insert(sid);
+                }
+            }
+        }
+        for (fid, l) in findings {
+            let Some(&site) = acquisition.get(&(fid, l)).or_else(|| fallback.get(&l)) else {
+                continue;
+            };
+            let obj = cx.fsam.pre.objects().display_name(cx.module, l);
+            let func = &cx.module.func(fid).name;
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Warning,
+                message: format!(
+                    "lock `{obj}` is held on some but not all paths reaching the exit of `{func}` \
+                     (conditional acquire without a matching conditional release?)"
+                ),
+                primary: site,
+                related: Vec::new(),
+                props: vec![
+                    ("lock".to_owned(), l.raw().to_string()),
+                    ("func".to_owned(), func.clone()),
+                ],
+            });
+        }
+    }
+}
+
+/// `FL0005` — racy-init near-misses: pairs that are parallel, unlocked
+/// and Andersen-aliased, but whose alias the flow-sensitive propagation
+/// refutes — typically an initialization published before the fork (the
+/// value the access sees is ordered by fork/join value-flow, not by a
+/// lock).
+pub struct RacyInit;
+
+impl Checker for RacyInit {
+    fn code(&self) -> &'static str {
+        "FL0005"
+    }
+    fn name(&self) -> &'static str {
+        "racy-init"
+    }
+    fn description(&self) -> &'static str {
+        "an Andersen-level race candidate refuted by flow-sensitive propagation"
+    }
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for pair in &cx.reduction().hb_protected {
+            let obj = cx.fsam.pre.objects().display_name(cx.module, pair.obj);
+            out.push(Diagnostic {
+                code: self.code(),
+                severity: Severity::Note,
+                message: format!(
+                    "race candidate on `{obj}` refuted by flow-sensitive analysis: write at {} \
+                     and access at {} may run in parallel without a common lock, but the \
+                     flow-sensitive points-to sets prove they never alias `{obj}` together \
+                     (protected by fork/join value ordering, not by a lock)",
+                    cx.module.describe_stmt(pair.store),
+                    cx.module.describe_stmt(pair.access),
+                ),
+                primary: pair.store,
+                related: vec![Related {
+                    stmt: pair.access,
+                    message: format!(
+                        "refuted parallel access at {}",
+                        cx.module.describe_stmt(pair.access)
+                    ),
+                }],
+                props: race_props(cx, pair),
+            });
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! [`LintContext`] — everything a checker may consult, prepared once.
+
+use std::sync::{Arc, OnceLock};
+
+use fsam::Fsam;
+use fsam_ir::Module;
+use fsam_query::QueryEngine;
+use fsam_threads::SharedObjects;
+use fsam_trace::Recorder;
+
+use crate::reduce::{reduce, Reduction};
+
+/// The shared input to every checker: the module, the completed analysis,
+/// the batched query engine over its snapshot, and lazily computed
+/// derived facts (thread-shared objects, the staged race reduction).
+///
+/// Checkers read analysis facts through the [`QueryEngine`] where one
+/// exists for the fact (points-to, MHP, aliasing) rather than poking the
+/// raw tables; instance-level facts (locksets, per-instance MHP) come
+/// from the `Fsam` result the engine was captured from.
+pub struct LintContext<'a> {
+    /// The program under analysis.
+    pub module: &'a Module,
+    /// The completed pipeline run.
+    pub fsam: &'a Fsam,
+    /// Batched demand-driven queries over the run's snapshot.
+    pub engine: &'a QueryEngine,
+    recorder: Arc<Recorder>,
+    shared: SharedObjects,
+    reduction: OnceLock<Reduction>,
+}
+
+impl<'a> LintContext<'a> {
+    /// A context without tracing.
+    pub fn new(module: &'a Module, fsam: &'a Fsam, engine: &'a QueryEngine) -> LintContext<'a> {
+        LintContext::with_trace(module, fsam, engine, Arc::new(Recorder::disabled()))
+    }
+
+    /// A context whose reducer funnel counters land on `recorder` (the
+    /// `lint.*` namespace). Pass the same recorder the pipeline ran with
+    /// to keep one merged event stream.
+    pub fn with_trace(
+        module: &'a Module,
+        fsam: &'a Fsam,
+        engine: &'a QueryEngine,
+        recorder: Arc<Recorder>,
+    ) -> LintContext<'a> {
+        LintContext {
+            module,
+            fsam,
+            engine,
+            recorder,
+            shared: SharedObjects::compute(module, &fsam.pre),
+            reduction: OnceLock::new(),
+        }
+    }
+
+    /// The thread-escape facts (`threads::shared`).
+    pub fn shared(&self) -> &SharedObjects {
+        &self.shared
+    }
+
+    /// The trace recorder (disabled unless supplied).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The staged race reduction, computed on first use and shared by
+    /// every checker that needs it (FL0001 consumes `confirmed`, FL0005
+    /// consumes `hb_protected`).
+    pub fn reduction(&self) -> &Reduction {
+        self.reduction.get_or_init(|| {
+            reduce(
+                self.module,
+                self.fsam,
+                self.engine,
+                &self.shared,
+                &self.recorder,
+            )
+        })
+    }
+}

@@ -1,0 +1,197 @@
+//! The unified diagnostic model: [`Diagnostic`], [`Severity`],
+//! [`LintReport`], and comment-based suppression.
+//!
+//! Every checker reports through this one shape so rendering (human text,
+//! SARIF) and post-processing (ordering, deduplication, suppression) are
+//! written once. Diagnostics order deterministically by
+//! `(code, primary, related, message)` — two runs over the same module
+//! produce byte-identical reports.
+
+use fsam_ir::{Module, StmtId};
+
+/// How serious a diagnostic is; maps one-to-one onto SARIF `level`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A defect (`error`): data race, self-deadlock.
+    Error,
+    /// A likely defect (`warning`): lock-order inversion, path-dependent
+    /// lockset.
+    Warning,
+    /// Informational (`note`): a refuted candidate worth knowing about.
+    Note,
+}
+
+impl Severity {
+    /// The SARIF `level` string for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.sarif_level())
+    }
+}
+
+/// A secondary source location attached to a [`Diagnostic`] (the other
+/// half of a race pair, the opposite acquisition of a deadlock, …).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Related {
+    /// The statement the note points at.
+    pub stmt: StmtId,
+    /// Fully rendered note text.
+    pub message: String,
+}
+
+/// One finding from one checker.
+///
+/// Messages are rendered at creation time (checkers have the module and
+/// analysis results in hand); renderers only lay them out. `props` carries
+/// structured metadata — raw ids, object names, per-checker facts — that
+/// feeds the SARIF `properties` bag and the identity tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable checker code, e.g. `FL0001`.
+    pub code: &'static str,
+    /// Severity (SARIF level).
+    pub severity: Severity,
+    /// Fully rendered primary message.
+    pub message: String,
+    /// The statement the diagnostic is anchored to.
+    pub primary: StmtId,
+    /// Secondary locations, in checker-chosen order.
+    pub related: Vec<Related>,
+    /// Structured key/value metadata (sorted keys not required; the
+    /// checker's emission order is preserved).
+    pub props: Vec<(String, String)>,
+}
+
+impl Diagnostic {
+    /// The deterministic report ordering: code, then anchor, then related
+    /// locations, then message text (severity and props never disagree for
+    /// equal keys in practice, but participate for total order).
+    fn sort_key(&self) -> (&'static str, StmtId, &[Related], &str, Severity) {
+        (
+            self.code,
+            self.primary,
+            &self.related,
+            &self.message,
+            self.severity,
+        )
+    }
+
+    /// Looks up a structured property by key.
+    pub fn prop(&self, key: &str) -> Option<&str> {
+        self.props
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v.as_str()))
+    }
+}
+
+/// The outcome of a [`Registry::run`](crate::Registry::run): surviving
+/// diagnostics plus everything a source directive suppressed (kept so
+/// renderers can show them struck-through and SARIF can mark them
+/// `suppressed` rather than dropping evidence).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Active diagnostics, deterministically ordered and deduplicated.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics matched by a `// fsam-lint: allow(...)` directive, in
+    /// the same order.
+    pub suppressed: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Active diagnostics carrying `code`.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Number of active diagnostics carrying `code`.
+    pub fn count_of(&self, code: &str) -> usize {
+        self.with_code(code).count()
+    }
+}
+
+/// Sorts, deduplicates, and splits raw checker output into active and
+/// suppressed diagnostics per the module's `// fsam-lint: allow(CODE)`
+/// directives. A directive on line `n` suppresses matching diagnostics
+/// whose primary statement sits on line `n` (same-line comment) or line
+/// `n + 1` (comment above the statement).
+pub fn finalize(module: &Module, mut raw: Vec<Diagnostic>) -> LintReport {
+    raw.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    raw.dedup();
+
+    let directives = module.lint_directives();
+    let suppressed_by_directive = |d: &Diagnostic| {
+        let Some(line) = module.stmt_line(d.primary) else {
+            return false;
+        };
+        directives.iter().any(|dir| {
+            (dir.line == line || dir.line + 1 == line) && dir.codes.iter().any(|c| c == d.code)
+        })
+    };
+
+    let (suppressed, diagnostics) = raw.into_iter().partition(suppressed_by_directive);
+    LintReport {
+        diagnostics,
+        suppressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: &'static str, primary: u32, msg: &str) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: msg.to_owned(),
+            primary: StmtId::new(primary),
+            related: Vec::new(),
+            props: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn finalize_sorts_and_dedups() {
+        let m = Module::new();
+        let raw = vec![
+            diag("FL0002", 5, "b"),
+            diag("FL0001", 9, "a"),
+            diag("FL0001", 2, "a"),
+            diag("FL0001", 2, "a"), // exact duplicate
+        ];
+        let report = finalize(&m, raw);
+        assert!(report.suppressed.is_empty());
+        let keys: Vec<_> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.primary.raw()))
+            .collect();
+        assert_eq!(keys, [("FL0001", 2), ("FL0001", 9), ("FL0002", 5)]);
+    }
+
+    #[test]
+    fn suppression_matches_same_line_and_line_below() {
+        use fsam_ir::parse::parse_module;
+        let m = parse_module(
+            "global x\nfunc main() {\nentry:\n  // fsam-lint: allow(FL0009)\n  p = &x\n  c = load p\n  ret\n}\n",
+        )
+        .unwrap();
+        // `p = &x` is on line 5, right below the directive on line 4.
+        let anchored = m.stmts().next().expect("module has statements").0;
+        assert_eq!(m.stmt_line(anchored), Some(5));
+        let hit = diag("FL0009", anchored.raw(), "suppress me");
+        let miss = diag("FL0008", anchored.raw(), "different code");
+        let report = finalize(&m, vec![hit.clone(), miss.clone()]);
+        assert_eq!(report.suppressed, vec![hit]);
+        assert_eq!(report.diagnostics, vec![miss]);
+    }
+}

@@ -1,0 +1,270 @@
+//! The staged race-candidate reducer.
+//!
+//! A naive race detector confirms every pair in the O(n²) store × access
+//! space with the most expensive test it has. This module runs the cheap,
+//! coarse filters first and the flow-sensitive alias confirmation *last*,
+//! so the precise machinery only ever sees the candidates nothing cheaper
+//! could kill:
+//!
+//! 1. **enumerate** — store × access pairs per abstract object, from the
+//!    *Andersen* points-to sets (a superset of the flow-sensitive sets, so
+//!    nothing real is lost by starting coarse);
+//! 2. **shared** — drop objects never visible to two threads
+//!    ([`SharedObjects`]) and analysis artifacts (thread handles);
+//! 3. **MHP** — drop pairs whose statements cannot run in parallel, as one
+//!    batched [`Query::Mhp`] slab through the engine;
+//! 4. **lockset** — drop pairs whose every parallel instance pair holds a
+//!    common lock ([`fsam::racy_instances`]);
+//! 5. **alias confirm** — the flow-sensitive check: the object must be in
+//!    *both* accessors' flow-sensitive points-to sets.
+//!
+//! Pairs confirmed by stage 5 are exactly the races the legacy
+//! `fsam::race::detect` reports (the identity the test suite asserts per
+//! suite program). Pairs killed *only* by stage 5 are interesting in their
+//! own right — Andersen says the accesses may touch the same object and
+//! they may run in parallel unlocked, but flow-sensitive propagation
+//! proves the alias never holds (e.g. a pointer overwritten before the
+//! fork) — and feed the `FL0005` racy-init checker.
+//!
+//! Each stage exports a kill counter on the `lint.*` trace namespace.
+
+use std::collections::{HashMap, HashSet};
+
+use fsam::Fsam;
+use fsam_ir::{Module, StmtId, StmtKind, VarId};
+use fsam_pts::MemId;
+use fsam_query::{Answer, Query, QueryEngine};
+use fsam_threads::mhp::MhpOracle;
+use fsam_threads::SharedObjects;
+use fsam_trace::Recorder;
+
+/// One store × access candidate on one abstract object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RacePair {
+    /// The writing statement.
+    pub store: StmtId,
+    /// The racing access (load or store).
+    pub access: StmtId,
+    /// The abstract object both may touch.
+    pub obj: MemId,
+}
+
+/// Per-stage candidate counts of one reducer run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Candidates enumerated from the Andersen sets (after store-pair
+    /// deduplication).
+    pub candidates: u64,
+    /// Killed because the object is thread-private or an analysis
+    /// artifact.
+    pub killed_shared: u64,
+    /// Killed by the statement-level may-happen-in-parallel filter.
+    pub killed_mhp: u64,
+    /// Killed because every parallel instance pair holds a common lock.
+    pub killed_lockset: u64,
+    /// Killed by the flow-sensitive alias confirmation (these become the
+    /// [`Reduction::hb_protected`] set).
+    pub killed_alias: u64,
+    /// Survivors of every stage — the confirmed races.
+    pub confirmed: u64,
+}
+
+impl ReductionStats {
+    /// Candidates alive after the thread-shared filter.
+    pub fn after_shared(&self) -> u64 {
+        self.candidates - self.killed_shared
+    }
+
+    /// Candidates alive after the MHP filter.
+    pub fn after_mhp(&self) -> u64 {
+        self.after_shared() - self.killed_mhp
+    }
+
+    /// Candidates alive after the lockset filter — exactly the pairs that
+    /// reach the flow-sensitive alias confirmation.
+    pub fn after_lockset(&self) -> u64 {
+        self.after_mhp() - self.killed_lockset
+    }
+}
+
+/// The reducer's output: confirmed races, flow-sensitively refuted
+/// near-misses, and the per-stage funnel.
+#[derive(Clone, Debug, Default)]
+pub struct Reduction {
+    /// Pairs surviving all five stages; result-identical to the legacy
+    /// `fsam::race::detect`. Sorted by `(store, access, obj)`.
+    pub confirmed: Vec<RacePair>,
+    /// Pairs killed only by the final alias confirmation: parallel,
+    /// unlocked, Andersen-aliased — but the flow-sensitive points-to sets
+    /// refute the alias. Sorted like `confirmed`.
+    pub hb_protected: Vec<RacePair>,
+    /// The per-stage funnel.
+    pub stats: ReductionStats,
+}
+
+fn ptr_of(module: &Module, s: StmtId) -> Option<VarId> {
+    match module.stmt(s).kind {
+        StmtKind::Store { ptr, .. } | StmtKind::Load { ptr, .. } => Some(ptr),
+        _ => None,
+    }
+}
+
+/// Runs the staged reducer. See the module docs for the stage pipeline;
+/// kill counters land on `recorder` under `lint.*`.
+pub fn reduce(
+    module: &Module,
+    fsam: &Fsam,
+    engine: &QueryEngine,
+    shared: &SharedObjects,
+    recorder: &Recorder,
+) -> Reduction {
+    let oracle: &dyn MhpOracle = &fsam.mhp;
+    let mut stats = ReductionStats::default();
+
+    // Stage 1 enumeration — Andersen (pre-analysis) points-to sets. The
+    // flow-sensitive sets are subsets, so every legacy pair is covered.
+    let mut stores_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+    let mut accesses_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+    for (sid, stmt) in module.stmts() {
+        match stmt.kind {
+            StmtKind::Store { ptr, .. } => {
+                for o in fsam.pre.pt_var(ptr).iter() {
+                    stores_of.entry(o).or_default().push(sid);
+                    accesses_of.entry(o).or_default().push(sid);
+                }
+            }
+            StmtKind::Load { ptr, .. } => {
+                for o in fsam.pre.pt_var(ptr).iter() {
+                    accesses_of.entry(o).or_default().push(sid);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut objects: Vec<MemId> = stores_of.keys().copied().collect();
+    objects.sort();
+
+    // Stage 2 — thread-shared filter, applied per object. Killed objects
+    // never materialize their pairs; the funnel still counts them.
+    let mut survivors: Vec<RacePair> = Vec::new();
+    for o in objects {
+        let stores = &stores_of[&o];
+        let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
+        // Store/store pairs would be enumerated in both orders; keeping
+        // only `s <= a` leaves each unordered pair once. Store/load pairs
+        // appear once regardless.
+        let n_stores = stores.len() as u64;
+        let pair_count = n_stores * accesses.len() as u64 - n_stores * (n_stores - 1) / 2;
+        stats.candidates += pair_count;
+
+        let artifact = fsam.pre.objects().as_thread_handle(o).is_some();
+        if artifact || !shared.is_shared(&fsam.pre, o) {
+            stats.killed_shared += pair_count;
+            continue;
+        }
+
+        let store_set: HashSet<StmtId> = stores.iter().copied().collect();
+        for &s in stores {
+            for &a in accesses {
+                if store_set.contains(&a) && s > a {
+                    continue;
+                }
+                survivors.push(RacePair {
+                    store: s,
+                    access: a,
+                    obj: o,
+                });
+            }
+        }
+    }
+
+    // Stage 3 — statement-level MHP, one batched slab. (For `s == a` the
+    // self-MHP query doubles as the legacy "does the statement run in two
+    // parallel instances" check.)
+    let slab: Vec<Query> = survivors
+        .iter()
+        .map(|p| Query::Mhp(p.store, p.access))
+        .collect();
+    let answers = engine.query_many(&slab);
+    let mut after_mhp = Vec::with_capacity(survivors.len());
+    for (pair, ans) in survivors.into_iter().zip(answers) {
+        if matches!(ans, Answer::Bool(true)) {
+            after_mhp.push(pair);
+        } else {
+            stats.killed_mhp += 1;
+        }
+    }
+
+    // Stage 4 — lockset: some parallel instance pair must lack a common
+    // lock. Memoised per statement pair (the same pair recurs across
+    // objects).
+    let mut racy_cache: HashMap<(StmtId, StmtId), bool> = HashMap::new();
+    let mut after_lockset = Vec::with_capacity(after_mhp.len());
+    for pair in after_mhp {
+        let racy = *racy_cache
+            .entry((pair.store, pair.access))
+            .or_insert_with(|| fsam::racy_instances(fsam, oracle, pair.store, pair.access));
+        if racy {
+            after_lockset.push(pair);
+        } else {
+            stats.killed_lockset += 1;
+        }
+    }
+
+    // Stage 5 — flow-sensitive alias confirmation, batched points-to
+    // lookups. The object must be in both accessors' flow-sensitive sets.
+    let mut ptrs: Vec<VarId> = Vec::new();
+    for pair in &after_lockset {
+        for s in [pair.store, pair.access] {
+            if let Some(p) = ptr_of(module, s) {
+                ptrs.push(p);
+            }
+        }
+    }
+    ptrs.sort();
+    ptrs.dedup();
+    let slab: Vec<Query> = ptrs.iter().map(|&p| Query::PointsTo(p)).collect();
+    let fs_sets: HashMap<VarId, Vec<MemId>> = ptrs
+        .iter()
+        .zip(engine.query_many(&slab))
+        .map(|(&p, ans)| match ans {
+            Answer::Objects(objs) => (p, objs),
+            _ => unreachable!("PointsTo answers Objects"),
+        })
+        .collect();
+    let fs_has = |s: StmtId, o: MemId| {
+        ptr_of(module, s)
+            .and_then(|p| fs_sets.get(&p))
+            .is_some_and(|objs| objs.binary_search(&o).is_ok())
+    };
+
+    let mut confirmed = Vec::new();
+    let mut hb_protected = Vec::new();
+    for pair in after_lockset {
+        if fs_has(pair.store, pair.obj) && fs_has(pair.access, pair.obj) {
+            confirmed.push(pair);
+        } else {
+            stats.killed_alias += 1;
+            hb_protected.push(pair);
+        }
+    }
+    confirmed.sort();
+    confirmed.dedup();
+    hb_protected.sort();
+    hb_protected.dedup();
+    stats.confirmed = confirmed.len() as u64;
+
+    recorder.counter(None, "lint.candidates", stats.candidates);
+    recorder.counter(None, "lint.killed_shared", stats.killed_shared);
+    recorder.counter(None, "lint.killed_mhp", stats.killed_mhp);
+    recorder.counter(None, "lint.killed_lockset", stats.killed_lockset);
+    recorder.counter(None, "lint.killed_alias", stats.killed_alias);
+    recorder.counter(None, "lint.confirmed", stats.confirmed);
+
+    Reduction {
+        confirmed,
+        hb_protected,
+        stats,
+    }
+}

@@ -1,0 +1,47 @@
+//! The human-readable report renderer.
+
+use std::fmt::Write as _;
+
+use fsam_ir::Module;
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+
+fn render_one(out: &mut String, module: &Module, d: &Diagnostic, suppressed: bool) {
+    let mark = if suppressed { " (suppressed)" } else { "" };
+    let _ = writeln!(out, "{} {}{}: {}", d.code, d.severity, mark, d.message);
+    if let Some(line) = module.stmt_line(d.primary) {
+        let _ = writeln!(out, "  --> line {line}");
+    }
+    for r in &d.related {
+        let _ = writeln!(out, "  note: {}", r.message);
+    }
+}
+
+/// Renders the report as stable, diffable plain text: one block per
+/// diagnostic (suppressed findings last, marked), then a summary line.
+pub fn render_text(module: &Module, report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        render_one(&mut out, module, d, false);
+    }
+    for d in &report.suppressed {
+        render_one(&mut out, module, d, true);
+    }
+    let count_level = |sev: Severity| {
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    };
+    let _ = writeln!(
+        out,
+        "{} diagnostics ({} errors, {} warnings, {} notes), {} suppressed",
+        report.diagnostics.len(),
+        count_level(Severity::Error),
+        count_level(Severity::Warning),
+        count_level(Severity::Note),
+        report.suppressed.len(),
+    );
+    out
+}

@@ -1,0 +1,210 @@
+//! The SARIF 2.1.0 renderer, built on `fsam-trace`'s hand-rolled JSON
+//! [`Value`] (std-only — no serde).
+//!
+//! One run, one driver (`fsam-lint`), one rule per registered checker.
+//! Suppressed diagnostics stay in the result list with an `inSource`
+//! suppression object rather than being dropped. When the analysis ran
+//! with an explain-enabled recorder, each data-race result embeds the
+//! `why_points_to` derivation of the racing alias as a SARIF code flow —
+//! for a race fed by thread interference the flow visibly crosses a
+//! `thread` value-flow edge.
+
+use fsam_ir::StmtId;
+use fsam_trace::json::Value;
+use fsam_trace::{why_points_to, Event, ExplainStep};
+
+use crate::checkers::Registry;
+use crate::context::LintContext;
+use crate::diag::Diagnostic;
+
+/// The schema the output conforms to.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+/// The SARIF spec version emitted.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn message(text: impl Into<String>) -> Value {
+    obj(vec![("text", s(text))])
+}
+
+fn location(cx: &LintContext<'_>, stmt: StmtId, note: Option<&str>) -> Value {
+    let st = cx.module.stmt(stmt);
+    let mut fields = Vec::new();
+    if let Some(text) = note {
+        fields.push(("message", message(text)));
+    }
+    if let Some(line) = cx.module.stmt_line(stmt) {
+        fields.push((
+            "physicalLocation",
+            obj(vec![(
+                "region",
+                obj(vec![("startLine", Value::Num(f64::from(line)))]),
+            )]),
+        ));
+    }
+    fields.push((
+        "logicalLocations",
+        Value::Arr(vec![obj(vec![
+            (
+                "fullyQualifiedName",
+                s(format!("{}.{}", cx.module.func(st.func).name, st.block)),
+            ),
+            ("decoratedName", s(cx.module.describe_stmt(stmt))),
+            ("kind", s("member")),
+        ])]),
+    ));
+    obj(fields)
+}
+
+fn step_text(step: &ExplainStep) -> String {
+    match &step.src {
+        None => format!("{}: obj {} seeded by `addr_of`", step.dst, step.obj),
+        Some(src) => format!(
+            "{}: obj {} arrived from {} via `{}`",
+            step.dst, step.obj, src, step.via
+        ),
+    }
+}
+
+/// The `why_points_to` derivation of the racing alias, as a SARIF code
+/// flow. Prefers the accessor whose derivation crosses a `thread`
+/// interference edge — the path that shows *which fork* made the alias
+/// (and hence the race) possible.
+fn code_flow(d: &Diagnostic, events: &[Event]) -> Option<Value> {
+    let obj_id: u64 = d.prop("obj_id")?.parse().ok()?;
+    let mut best: Option<Vec<ExplainStep>> = None;
+    for key in ["access_ptr", "store_ptr"] {
+        let Some(var) = d.prop(key).and_then(|v| v.parse::<u64>().ok()) else {
+            continue;
+        };
+        let Some(path) = why_points_to(events, var, obj_id) else {
+            continue;
+        };
+        let crosses = path.iter().any(|st| st.via == "thread");
+        if crosses {
+            best = Some(path);
+            break;
+        }
+        if best.is_none() {
+            best = Some(path);
+        }
+    }
+    let path = best?;
+    let locations: Vec<Value> = path
+        .iter()
+        .map(|step| {
+            obj(vec![(
+                "location",
+                obj(vec![("message", message(step_text(step)))]),
+            )])
+        })
+        .collect();
+    Some(Value::Arr(vec![obj(vec![(
+        "threadFlows",
+        Value::Arr(vec![obj(vec![("locations", Value::Arr(locations))])]),
+    )])]))
+}
+
+fn result(
+    cx: &LintContext<'_>,
+    registry: &Registry,
+    d: &Diagnostic,
+    suppressed: bool,
+    events: Option<&[Event]>,
+) -> Value {
+    let rule_index = registry
+        .checkers()
+        .iter()
+        .position(|c| c.code() == d.code)
+        .map_or(-1.0, |i| i as f64);
+    let mut fields = vec![
+        ("ruleId", s(d.code)),
+        ("ruleIndex", Value::Num(rule_index)),
+        ("level", s(d.severity.sarif_level())),
+        ("message", message(&d.message)),
+        ("locations", Value::Arr(vec![location(cx, d.primary, None)])),
+    ];
+    if !d.related.is_empty() {
+        fields.push((
+            "relatedLocations",
+            Value::Arr(
+                d.related
+                    .iter()
+                    .map(|r| location(cx, r.stmt, Some(&r.message)))
+                    .collect(),
+            ),
+        ));
+    }
+    if let (Some(events), "FL0001") = (events, d.code) {
+        if let Some(flows) = code_flow(d, events) {
+            fields.push(("codeFlows", flows));
+        }
+    }
+    if !d.props.is_empty() {
+        fields.push((
+            "properties",
+            Value::Obj(d.props.iter().map(|(k, v)| (k.clone(), s(v))).collect()),
+        ));
+    }
+    if suppressed {
+        fields.push((
+            "suppressions",
+            Value::Arr(vec![obj(vec![("kind", s("inSource"))])]),
+        ));
+    }
+    obj(fields)
+}
+
+/// Renders the report as a SARIF 2.1.0 log. Pass the events of an
+/// explain-enabled [`Recorder`](fsam_trace::Recorder) to embed
+/// `why_points_to` code flows into the race results; pass `None` for a
+/// plain log.
+pub fn to_sarif(
+    cx: &LintContext<'_>,
+    registry: &Registry,
+    report: &crate::diag::LintReport,
+    events: Option<&[Event]>,
+) -> Value {
+    let rules: Vec<Value> = registry
+        .checkers()
+        .iter()
+        .map(|c| {
+            obj(vec![
+                ("id", s(c.code())),
+                ("name", s(c.name())),
+                ("shortDescription", message(c.description())),
+            ])
+        })
+        .collect();
+    let mut results: Vec<Value> = Vec::new();
+    for d in &report.diagnostics {
+        results.push(result(cx, registry, d, false, events));
+    }
+    for d in &report.suppressed {
+        results.push(result(cx, registry, d, true, events));
+    }
+    obj(vec![
+        ("$schema", s(SARIF_SCHEMA)),
+        ("version", s(SARIF_VERSION)),
+        (
+            "runs",
+            Value::Arr(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![("name", s("fsam-lint")), ("rules", Value::Arr(rules))]),
+                    )]),
+                ),
+                ("results", Value::Arr(results)),
+            ])]),
+        ),
+    ])
+}

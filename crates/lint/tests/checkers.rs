@@ -1,0 +1,307 @@
+//! Behavioral coverage of the checker registry: the three new checkers,
+//! comment suppression, report determinism, SARIF round-tripping, and the
+//! trace-backed code flow on a Figure 1(a)-style interference race.
+
+use std::sync::Arc;
+
+use fsam::{Fsam, PhaseConfig, Pipeline};
+use fsam_ir::parse::parse_module;
+use fsam_ir::Module;
+use fsam_lint::{render_text, to_sarif, LintContext, LintReport, Registry};
+use fsam_query::QueryEngine;
+use fsam_trace::{json, Recorder};
+
+fn lint(src: &str) -> (Module, LintReport) {
+    let module = parse_module(src).unwrap();
+    let fsam = Fsam::analyze(&module);
+    let engine = QueryEngine::from_fsam(&module, &fsam);
+    let cx = LintContext::new(&module, &fsam, &engine);
+    let report = Registry::with_default_checkers().run(&cx);
+    (module, report)
+}
+
+#[test]
+fn double_acquire_is_a_self_deadlock() {
+    let (_, report) = lint(
+        r#"
+        global lk
+        func main() {
+        entry:
+          l = &lk
+          lock l
+          lock l
+          unlock l
+          ret
+        }
+    "#,
+    );
+    assert_eq!(report.count_of("FL0003"), 1, "{report:?}");
+    let d = report.with_code("FL0003").next().unwrap();
+    assert!(d.message.contains("already held"), "{}", d.message);
+}
+
+#[test]
+fn single_acquire_is_not_a_double_acquire() {
+    let (_, report) = lint(
+        r#"
+        global lk
+        func main() {
+        entry:
+          l = &lk
+          lock l
+          unlock l
+          lock l
+          unlock l
+          ret
+        }
+    "#,
+    );
+    assert_eq!(report.count_of("FL0003"), 0, "{report:?}");
+}
+
+#[test]
+fn conditional_acquire_is_a_lockset_inconsistency() {
+    let (_, report) = lint(
+        r#"
+        global o
+        global lk
+        func main() {
+        entry:
+          p = &o
+          l = &lk
+          br ?, yes, no
+        yes:
+          lock l
+          br merge
+        no:
+          br merge
+        merge:
+          c = load p
+          ret
+        }
+    "#,
+    );
+    assert_eq!(report.count_of("FL0004"), 1, "{report:?}");
+    let d = report.with_code("FL0004").next().unwrap();
+    assert!(
+        d.message.contains("some but not all paths"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.prop("func"), Some("main"));
+}
+
+#[test]
+fn balanced_locking_has_no_lockset_inconsistency() {
+    let (_, report) = lint(
+        r#"
+        global o
+        global lk
+        func main() {
+        entry:
+          p = &o
+          l = &lk
+          lock l
+          c = load p
+          unlock l
+          ret
+        }
+    "#,
+    );
+    assert_eq!(report.count_of("FL0004"), 0, "{report:?}");
+}
+
+/// The racy-init pattern: `s` is repointed from `x` to `y` *before* the
+/// fork, so the worker's write to `x` and main's load through `s` are an
+/// Andersen-level race candidate that flow-sensitive propagation refutes.
+#[test]
+fn refuted_init_race_is_an_fl0005_note_not_a_race() {
+    let (_, report) = lint(
+        r#"
+        global s
+        global x
+        global y
+        func worker() {
+        entry:
+          px2 = &x
+          store px2, px2
+          ret
+        }
+        func main() {
+        entry:
+          ps = &s
+          px = &x
+          py = &y
+          store ps, px
+          store ps, py
+          t = fork worker()
+          p = load ps
+          c = load p
+          ret
+        }
+        "#,
+    );
+    assert_eq!(
+        report.count_of("FL0001"),
+        0,
+        "no confirmed race: {report:?}"
+    );
+    assert!(
+        report.count_of("FL0005") >= 1,
+        "the refuted candidate must surface: {report:?}"
+    );
+    let d = report.with_code("FL0005").next().unwrap();
+    assert!(d.message.contains("refuted"), "{}", d.message);
+    assert_eq!(d.prop("obj"), Some("x"));
+}
+
+#[test]
+fn suppression_directive_hides_but_keeps_the_race() {
+    let src = "\
+global counter
+func worker() {
+entry:
+  p = &counter
+  // fsam-lint: allow(FL0001)
+  store p, p
+  ret
+}
+func main() {
+entry:
+  q = &counter
+  t = fork worker()
+  c = load q
+  ret
+}
+";
+    let (module, report) = lint(src);
+    assert!(
+        !module.lint_directives().is_empty(),
+        "directive must be collected"
+    );
+    assert_eq!(report.count_of("FL0001"), 0, "suppressed: {report:?}");
+    assert!(
+        report.suppressed.iter().any(|d| d.code == "FL0001"),
+        "suppressed findings are kept: {report:?}"
+    );
+    // The rendered report shows the suppression rather than dropping it.
+    let text = render_text(&module, &report);
+    assert!(text.contains("(suppressed)"), "{text}");
+}
+
+/// Two full pipeline runs must produce byte-identical lint output — text
+/// and SARIF (with explain-backed code flows) alike.
+#[test]
+fn lint_output_is_byte_identical_across_runs() {
+    let src = r#"
+        global s
+        global x
+        func publisher() {
+        entry:
+          px = &x
+          ps = &s
+          store ps, px
+          store px, px
+          ret
+        }
+        func main() {
+        entry:
+          ps2 = &s
+          t = fork publisher()
+          p = load ps2
+          c = load p
+          ret
+        }
+    "#;
+    let run = || {
+        let module = parse_module(src).unwrap();
+        let rec = Arc::new(Recorder::with_explain(1 << 18));
+        let fsam = Pipeline::for_module(&module)
+            .with_trace(Arc::clone(&rec))
+            .run(PhaseConfig::full());
+        assert_eq!(rec.dropped(), 0, "ring must hold the full run");
+        let engine = QueryEngine::from_fsam(&module, &fsam);
+        let cx = LintContext::new(&module, &fsam, &engine);
+        let registry = Registry::with_default_checkers();
+        let report = registry.run(&cx);
+        let events = rec.events();
+        let sarif = to_sarif(&cx, &registry, &report, Some(&events));
+        (render_text(&module, &report), sarif.to_json_pretty())
+    };
+    let (text1, sarif1) = run();
+    let (text2, sarif2) = run();
+    assert_eq!(text1, text2, "text report must be deterministic");
+    assert_eq!(sarif1, sarif2, "SARIF report must be deterministic");
+}
+
+/// A Figure 1(a)-style program where the racing alias itself is created
+/// by thread interference: the publisher thread writes `&x` into `s`,
+/// main reads it back and dereferences. The race diagnostic's code flow
+/// must ride the `thread` value-flow edge that made the alias possible,
+/// and the SARIF log must round-trip through the fsam-trace JSON parser.
+#[test]
+fn race_code_flow_crosses_the_thread_interference_edge() {
+    let module = parse_module(
+        r#"
+        global s
+        global x
+        func publisher() {
+        entry:
+          px = &x
+          ps = &s
+          store ps, px
+          store px, px
+          ret
+        }
+        func main() {
+        entry:
+          ps2 = &s
+          t = fork publisher()
+          p = load ps2
+          c = load p
+          ret
+        }
+    "#,
+    )
+    .unwrap();
+    let rec = Arc::new(Recorder::with_explain(1 << 18));
+    let fsam = Pipeline::for_module(&module)
+        .with_trace(Arc::clone(&rec))
+        .run(PhaseConfig::full());
+    assert_eq!(rec.dropped(), 0);
+    let engine = QueryEngine::from_fsam(&module, &fsam);
+    let cx = LintContext::new(&module, &fsam, &engine);
+    let registry = Registry::with_default_checkers();
+    let report = registry.run(&cx);
+    assert!(report.count_of("FL0001") >= 1, "{report:?}");
+
+    let events = rec.events();
+    let sarif = to_sarif(&cx, &registry, &report, Some(&events));
+
+    // Round-trip through the hand-rolled JSON infrastructure: both the
+    // compact and the pretty serialization parse back to the same tree.
+    assert_eq!(json::parse(&sarif.to_json()).unwrap(), sarif);
+    assert_eq!(json::parse(&sarif.to_json_pretty()).unwrap(), sarif);
+
+    // At least one race result's code flow crosses a `thread` edge.
+    let text = sarif.to_json();
+    assert!(
+        text.contains("codeFlows"),
+        "explain-enabled run must embed code flows: {text}"
+    );
+    assert!(
+        text.contains("via `thread`"),
+        "the alias derivation must cross the interference edge: {text}"
+    );
+
+    // Structure sanity: results sit where SARIF 2.1.0 puts them.
+    let runs = sarif.get("runs").and_then(|r| match r {
+        json::Value::Arr(a) => a.first(),
+        _ => None,
+    });
+    let results = runs.and_then(|r| r.get("results"));
+    assert!(
+        matches!(results, Some(json::Value::Arr(a)) if !a.is_empty()),
+        "results present"
+    );
+}

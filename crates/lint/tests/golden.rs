@@ -1,0 +1,63 @@
+//! Golden SARIF files for three suite programs, diffed byte-for-byte.
+//!
+//! Regenerate after an intentional output change with:
+//!
+//! ```text
+//! FSAM_BLESS=1 cargo test -p fsam-lint --test golden
+//! ```
+
+use fsam::Fsam;
+use fsam_lint::{to_sarif, LintContext, Registry};
+use fsam_query::QueryEngine;
+use fsam_suite::{Program, Scale};
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.sarif"))
+}
+
+fn check(program: Program) {
+    let module = program.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+    let engine = QueryEngine::from_fsam(&module, &fsam);
+    let cx = LintContext::new(&module, &fsam, &engine);
+    let registry = Registry::with_default_checkers();
+    let report = registry.run(&cx);
+    let rendered = to_sarif(&cx, &registry, &report, None).to_json_pretty();
+
+    let path = golden_path(program.name());
+    if std::env::var_os("FSAM_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with FSAM_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        want,
+        "{}: SARIF output drifted from {}; if intentional, re-bless with FSAM_BLESS=1",
+        program.name(),
+        path.display()
+    );
+}
+
+#[test]
+fn golden_sarif_word_count() {
+    check(Program::WordCount);
+}
+
+#[test]
+fn golden_sarif_radiosity() {
+    check(Program::Radiosity);
+}
+
+#[test]
+fn golden_sarif_ferret() {
+    // A clean program: the golden file pins the empty-result layout.
+    check(Program::Ferret);
+}

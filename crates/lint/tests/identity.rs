@@ -1,0 +1,106 @@
+//! Result-identity of the registry checkers with the legacy `detect`
+//! entry points, asserted per suite program: the staged reducer must kill
+//! candidates for *speed*, never for *results*.
+
+// The legacy `detect` entry points are the comparison baseline here.
+#![allow(deprecated)]
+
+use fsam::Fsam;
+use fsam_lint::{LintContext, Registry};
+use fsam_query::QueryEngine;
+use fsam_suite::{Program, Scale};
+
+#[test]
+fn registry_races_and_deadlocks_match_legacy_on_every_suite_program() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        let fsam = Fsam::analyze(&module);
+        let engine = QueryEngine::from_fsam(&module, &fsam);
+        let cx = LintContext::new(&module, &fsam, &engine);
+        let report = Registry::with_default_checkers().run(&cx);
+
+        // Races: FL0001's (store, access, obj) triples — via the reducer
+        // the checker consumes — must equal the legacy detector's.
+        let legacy_races: Vec<(u32, u32, u32)> = fsam::detect_races(&module, &fsam)
+            .into_iter()
+            .map(|r| (r.store.raw(), r.access.raw(), r.obj.raw()))
+            .collect();
+        let reduced: Vec<(u32, u32, u32)> = cx
+            .reduction()
+            .confirmed
+            .iter()
+            .map(|r| (r.store.raw(), r.access.raw(), r.obj.raw()))
+            .collect();
+        assert_eq!(reduced, legacy_races, "{}: race sets diverge", p.name());
+        assert_eq!(
+            report.count_of("FL0001") + suppressed_count(&report, "FL0001"),
+            legacy_races.len(),
+            "{}: FL0001 must report every confirmed race",
+            p.name()
+        );
+
+        // Deadlocks: FL0002's ABBA findings must carry exactly the legacy
+        // detector's (lock_a, lock_b, site_ab, site_ba) tuples.
+        let mut legacy_dl: Vec<(String, String, String, String)> =
+            fsam::detect_deadlocks(&module, &fsam)
+                .into_iter()
+                .map(|d| {
+                    (
+                        d.lock_a.raw().to_string(),
+                        d.lock_b.raw().to_string(),
+                        d.site_ab.raw().to_string(),
+                        d.site_ba.raw().to_string(),
+                    )
+                })
+                .collect();
+        legacy_dl.sort();
+        let mut lint_dl: Vec<(String, String, String, String)> = report
+            .with_code("FL0002")
+            .chain(report.suppressed.iter().filter(|d| d.code == "FL0002"))
+            .filter(|d| d.prop("kind") == Some("abba"))
+            .map(|d| {
+                (
+                    d.prop("lock_a").unwrap().to_owned(),
+                    d.prop("lock_b").unwrap().to_owned(),
+                    d.prop("site_ab").unwrap().to_owned(),
+                    d.prop("site_ba").unwrap().to_owned(),
+                )
+            })
+            .collect();
+        lint_dl.sort();
+        assert_eq!(lint_dl, legacy_dl, "{}: deadlock sets diverge", p.name());
+    }
+}
+
+fn suppressed_count(report: &fsam_lint::LintReport, code: &str) -> usize {
+    report.suppressed.iter().filter(|d| d.code == code).count()
+}
+
+/// The reducer's funnel must be coherent on every suite program: stages
+/// only ever shrink the candidate set, and the confirmed count closes the
+/// arithmetic.
+#[test]
+fn reduction_funnel_is_coherent_on_every_suite_program() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        let fsam = Fsam::analyze(&module);
+        let engine = QueryEngine::from_fsam(&module, &fsam);
+        let cx = LintContext::new(&module, &fsam, &engine);
+        let s = cx.reduction().stats;
+        assert!(s.after_shared() <= s.candidates, "{}: {s:?}", p.name());
+        assert!(s.after_mhp() <= s.after_shared(), "{}: {s:?}", p.name());
+        assert!(s.after_lockset() <= s.after_mhp(), "{}: {s:?}", p.name());
+        assert_eq!(
+            s.after_lockset() - s.killed_alias,
+            s.confirmed,
+            "{}: {s:?}",
+            p.name()
+        );
+        assert_eq!(
+            cx.reduction().hb_protected.len() as u64,
+            s.killed_alias,
+            "{}: every alias kill is an FL0005 candidate",
+            p.name()
+        );
+    }
+}

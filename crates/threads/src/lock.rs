@@ -101,6 +101,57 @@ impl ForwardProblem for MustHeld<'_> {
     }
 }
 
+/// The may-held companion of [`MustHeld`]: same transfer on resolved
+/// locks, but joins *union* and an unknown release keeps the set (the
+/// release might target some other lock, so everything stays possibly
+/// held). A lock in may-held but not in must-held is held on some paths
+/// into the state and free on others — the path inconsistency the
+/// lockset-inconsistency checker reports.
+struct MayHeld<'a> {
+    module: &'a Module,
+    pre: &'a PreAnalysis,
+    icfg: &'a Icfg,
+}
+
+impl ForwardProblem for MayHeld<'_> {
+    type Fact = LockSet;
+
+    fn entry_fact(&mut self, _t: ThreadId) -> LockSet {
+        Vec::new()
+    }
+
+    fn transfer(&mut self, _t: ThreadId, _c: CtxId, node: NodeId, fact: &LockSet) -> LockSet {
+        let mut out = fact.clone();
+        if let NodeKind::Stmt(s) = self.icfg.kind(node) {
+            match self.module.stmt(s).kind {
+                StmtKind::Lock { lock } => {
+                    if let Some(l) = self.pre.must_lock_obj(lock) {
+                        lockset_insert(&mut out, l);
+                    }
+                }
+                StmtKind::Unlock { lock } => {
+                    if let Some(l) = self.pre.must_lock_obj(lock) {
+                        lockset_remove(&mut out, l);
+                    }
+                    // An unknown release removes nothing from *may*
+                    // information: every lock stays possibly held.
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn merge(&mut self, current: &mut LockSet, incoming: &LockSet) -> bool {
+        // May-analysis: union.
+        let before = current.len();
+        for &l in incoming {
+            lockset_insert(current, l);
+        }
+        current.len() != before
+    }
+}
+
 /// One lock-release span (Definition 3).
 #[derive(Debug)]
 struct Span {
@@ -116,6 +167,7 @@ struct Span {
 #[derive(Debug)]
 pub struct LockAnalysis {
     held: FlowState<LockSet>,
+    may_held: FlowState<LockSet>,
     spans: Vec<Span>,
     /// `(thread, ctx, stmt)` → indices of spans containing the instance.
     membership: HashMap<(ThreadId, CtxId, StmtId), Vec<u32>>,
@@ -141,9 +193,12 @@ impl LockAnalysis {
     ) -> LockAnalysis {
         let mut problem = MustHeld { module, pre, icfg };
         let held = run_forward(module, icfg, pre.call_graph(), tm, ctxs, &mut problem);
+        let mut may_problem = MayHeld { module, pre, icfg };
+        let may_held = run_forward(module, icfg, pre.call_graph(), tm, ctxs, &mut may_problem);
 
         let mut analysis = LockAnalysis {
             held,
+            may_held,
             spans: Vec::new(),
             membership: HashMap::new(),
             span_count: 0,
@@ -158,6 +213,45 @@ impl LockAnalysis {
         self.held
             .get(&(t, c, icfg.stmt_node(s)))
             .map_or(&[], Vec::as_slice)
+    }
+
+    /// The singleton locks *possibly* held when instance `(t, c, s)`
+    /// executes (may-analysis: union at joins). A lock in here but not in
+    /// [`held_at`](Self::held_at) is held on some incoming path only.
+    pub fn may_held_at(&self, icfg: &Icfg, t: ThreadId, c: CtxId, s: StmtId) -> &[MemId] {
+        self.may_held
+            .get(&(t, c, icfg.stmt_node(s)))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// [`held_at`](Self::held_at) keyed by raw ICFG node — needed at
+    /// entry/exit nodes, which have no statement id.
+    pub fn held_at_node(&self, t: ThreadId, c: CtxId, n: NodeId) -> &[MemId] {
+        self.held.get(&(t, c, n)).map_or(&[], Vec::as_slice)
+    }
+
+    /// [`may_held_at`](Self::may_held_at) keyed by raw ICFG node.
+    pub fn may_held_at_node(&self, t: ThreadId, c: CtxId, n: NodeId) -> &[MemId] {
+        self.may_held.get(&(t, c, n)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates every `(thread, ctx, node)` instance that has a computed
+    /// may-held set, with that set. Order is unspecified (hash map);
+    /// clients that render diagnostics must sort.
+    pub fn may_states(&self) -> impl Iterator<Item = ((ThreadId, CtxId, NodeId), &[MemId])> {
+        self.may_held.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// The locks held on *some* but not *all* paths into `(t, c, n)` —
+    /// `may_held \ must_held`, the inconsistency the FL0004 checker
+    /// reports at function exits.
+    pub fn inconsistent_at_node(&self, t: ThreadId, c: CtxId, n: NodeId) -> Vec<MemId> {
+        let must = self.held_at_node(t, c, n);
+        self.may_held_at_node(t, c, n)
+            .iter()
+            .copied()
+            .filter(|l| must.binary_search(l).is_err())
+            .collect()
     }
 
     /// Whether both instances certainly hold at least one common lock
@@ -639,5 +733,98 @@ mod tests {
         assert!(lock.held_at(&icfg, t, c, before).is_empty());
         assert_eq!(lock.held_at(&icfg, t, c, during).len(), 1);
         assert!(lock.held_at(&icfg, t, c, after).is_empty());
+    }
+
+    /// Trylock-style conditional acquire: one branch arm locks, the other
+    /// does not. At the merge the lock is in the may-set (union) but not
+    /// the must-set (intersection) — the path inconsistency surfaced by
+    /// `inconsistent_at_node`.
+    #[test]
+    fn conditional_acquire_splits_must_and_may() {
+        let (m, icfg, _, _inter, lock) = analyze(
+            r#"
+            global o
+            global lk
+            func main() {
+            entry:
+              p = &o
+              l = &lk
+              br ?, yes, no
+            yes:
+              lock l
+              br merge
+            no:
+              br merge
+            merge:
+              c = load p
+              unlock l
+              ret
+            }
+        "#,
+        );
+        let c_load = nth_stmt(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
+        let t = ThreadId::MAIN;
+        let cx = CtxId::EMPTY;
+        assert!(lock.held_at(&icfg, t, cx, c_load).is_empty());
+        assert_eq!(lock.may_held_at(&icfg, t, cx, c_load).len(), 1);
+        let n = icfg.stmt_node(c_load);
+        assert_eq!(lock.inconsistent_at_node(t, cx, n).len(), 1);
+    }
+
+    /// Nested reacquire of the same lock: locksets are *sets* and locks are
+    /// non-reentrant, so the second `lock l` is a no-op and a single
+    /// `unlock l` releases the lock completely.
+    #[test]
+    fn nested_same_lock_reacquire_is_idempotent() {
+        let (m, icfg, _, _inter, lock) = analyze(
+            r#"
+            global o
+            global lk
+            func main() {
+            entry:
+              p = &o
+              l = &lk
+              lock l
+              lock l
+              inner = load p
+              unlock l
+              after = load p
+              ret
+            }
+        "#,
+        );
+        let inner = nth_stmt(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
+        let after = nth_stmt(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 1);
+        let t = ThreadId::MAIN;
+        let cx = CtxId::EMPTY;
+        assert_eq!(lock.held_at(&icfg, t, cx, inner).len(), 1);
+        assert!(lock.held_at(&icfg, t, cx, after).is_empty());
+        assert!(lock.may_held_at(&icfg, t, cx, after).is_empty());
+    }
+
+    /// An unlock with no matching lock is a no-op: both locksets stay
+    /// empty and the analysis does not fault.
+    #[test]
+    fn unlock_without_lock_is_a_noop() {
+        let (m, icfg, _, _inter, lock) = analyze(
+            r#"
+            global o
+            global lk
+            func main() {
+            entry:
+              p = &o
+              l = &lk
+              unlock l
+              c = load p
+              ret
+            }
+        "#,
+        );
+        let c_load = nth_stmt(&m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
+        let t = ThreadId::MAIN;
+        let cx = CtxId::EMPTY;
+        assert!(lock.held_at(&icfg, t, cx, c_load).is_empty());
+        assert!(lock.may_held_at(&icfg, t, cx, c_load).is_empty());
+        assert_eq!(lock.span_count, 0);
     }
 }

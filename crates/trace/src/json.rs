@@ -57,6 +57,106 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Serializes as compact JSON onto `out`. Output round-trips through
+    /// [`parse`] (integral numbers are written without a decimal point).
+    pub fn write_to(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_num(out, *n),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_to(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes as a compact JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline — a
+    /// stable, diffable layout used by the SARIF golden files.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_to(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Writes a JSON number: integral values in i64 range print without a
+/// decimal point (`3`, not `3.0`), everything else via Rust's shortest
+/// round-trippable float formatting.
+fn write_num(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
 }
 
 /// Escapes `s` as a JSON string literal (with quotes) onto `out`.
@@ -354,5 +454,35 @@ mod tests {
     fn unicode_escapes_decode() {
         let v = parse(r#""A☺""#).unwrap();
         assert_eq!(v.as_str(), Some("A\u{263a}"));
+    }
+
+    #[test]
+    fn serializer_round_trips() {
+        let v = Value::Obj(vec![
+            ("n".into(), Value::Num(42.0)),
+            ("f".into(), Value::Num(-2.5)),
+            ("s".into(), Value::Str("a\"b\nc".into())),
+            (
+                "arr".into(),
+                Value::Arr(vec![Value::Null, Value::Bool(true), Value::Obj(vec![])]),
+            ),
+            ("empty".into(), Value::Arr(vec![])),
+        ]);
+        let compact = v.to_json();
+        assert_eq!(parse(&compact).unwrap(), v);
+        let pretty = v.to_json_pretty();
+        assert_eq!(parse(&pretty).unwrap(), v);
+        // Integers have no decimal point; key order survives.
+        assert!(compact.contains("\"n\":42"), "{compact}");
+        assert_eq!(parse(&compact).unwrap().keys(), v.keys());
+    }
+
+    #[test]
+    fn pretty_layout_is_stable() {
+        let v = Value::Obj(vec![(
+            "a".into(),
+            Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)]),
+        )]);
+        assert_eq!(v.to_json_pretty(), "{\n  \"a\": [\n    1,\n    2\n  ]\n}\n");
     }
 }

@@ -7,10 +7,13 @@
 //!
 //! Parses the program, verifies it, runs the full FSAM pipeline and prints
 //! the flow-sensitive points-to set of every variable. `--races` also runs
-//! the data-race detection client; `--report` prints per-phase statistics.
+//! the `fsam-lint` concurrency checkers; `--report` prints per-phase
+//! statistics.
 
 use fsam::Fsam;
 use fsam_ir::parse::parse_module;
+use fsam_lint::{render_text, LintContext, Registry};
+use fsam_query::QueryEngine;
 
 const DEMO: &str = r#"
 // A worker pool incrementing a shared counter under a lock, with an
@@ -92,22 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if want_races || path.is_none() {
-        let races = fsam::detect_races(&module, &fsam);
-        println!("\n== potential data races ==");
-        if races.is_empty() {
-            println!("  none");
-        }
-        for r in &races {
-            println!("  {}", r.render(&module, &fsam));
-        }
-        let deadlocks = fsam::detect_deadlocks(&module, &fsam);
-        println!("\n== potential deadlocks ==");
-        if deadlocks.is_empty() {
-            println!("  none");
-        }
-        for d in &deadlocks {
-            println!("  {}", d.render(&module, &fsam));
-        }
+        let engine = QueryEngine::from_fsam(&module, &fsam);
+        let cx = LintContext::new(&module, &fsam, &engine);
+        let report = Registry::with_default_checkers().run(&cx);
+        println!("\n== concurrency checkers ==");
+        print!("{}", render_text(&module, &report));
     }
 
     if want_report {

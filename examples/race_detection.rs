@@ -7,12 +7,15 @@
 //!
 //! A small worker-pool program with one seeded bug: the hit counter is
 //! updated under a lock by the workers but read without the lock by the
-//! logger thread. The detector combines FSAM's flow-sensitive aliasing,
-//! the interleaving analysis (MHP) and the lock analysis (locksets), so the
-//! properly locked accesses produce no reports.
+//! logger thread. The `fsam-lint` registry combines FSAM's flow-sensitive
+//! aliasing, the interleaving analysis (MHP) and the lock analysis
+//! (locksets) through its staged reducer, so the properly locked accesses
+//! produce no reports.
 
-use fsam::{detect_races, Fsam};
+use fsam::Fsam;
 use fsam_ir::parse::parse_module;
+use fsam_lint::{render_text, LintContext, Registry};
+use fsam_query::QueryEngine;
 
 const PROGRAM: &str = r#"
 global hits        // shared counter (locked by workers, bug: logger reads raw)
@@ -57,28 +60,37 @@ entry:
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = parse_module(PROGRAM)?;
     let fsam = Fsam::analyze(&module);
-    let races = detect_races(&module, &fsam);
+    let engine = QueryEngine::from_fsam(&module, &fsam);
+    let cx = LintContext::new(&module, &fsam, &engine);
+    let report = Registry::with_default_checkers().run(&cx);
 
-    println!("== race detection over FSAM results ==");
+    println!("== concurrency checkers over FSAM results ==");
     println!("threads: {}", fsam.tm.len());
     println!(
         "lock-release spans: {}",
         fsam.lock.as_ref().map_or(0, |l| l.span_count)
     );
+    let stats = cx.reduction().stats;
+    println!(
+        "reducer funnel: {} candidates -> {} shared -> {} MHP -> {} lockset -> {} confirmed",
+        stats.candidates,
+        stats.after_shared(),
+        stats.after_mhp(),
+        stats.after_lockset(),
+        stats.confirmed,
+    );
     println!();
-    if races.is_empty() {
-        println!("no races found");
-    } else {
-        for race in &races {
-            println!("  {}", race.render(&module, &fsam));
-        }
-    }
+    print!("{}", render_text(&module, &report));
 
     // The seeded bug — and only it — must be found: the logger's unlocked
     // read races with the workers' locked writes.
-    assert_eq!(races.len(), 1, "exactly the seeded race: {races:?}");
-    let rendered = races[0].render(&module, &fsam);
-    assert!(rendered.contains("hits"), "{rendered}");
+    assert_eq!(
+        report.count_of("FL0001"),
+        1,
+        "exactly the seeded race: {report:?}"
+    );
+    let diag = report.with_code("FL0001").next().unwrap();
+    assert!(diag.message.contains("hits"), "{}", diag.message);
     println!("\nexactly the seeded `hits` race was reported — locked accesses are clean.");
     Ok(())
 }

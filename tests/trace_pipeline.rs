@@ -245,6 +245,26 @@ fn bench_export_keys_have_not_drifted() {
             "events_dropped",
         ],
     );
+    record_keys(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_lint.json"),
+        &[
+            "program",
+            "scale",
+            "candidates",
+            "after_shared",
+            "after_mhp",
+            "after_lockset",
+            "confirmed",
+            "races",
+            "deadlocks",
+            "double_acquires",
+            "lockset_inconsistencies",
+            "hb_protected",
+            "suppressed",
+            "sarif_bytes",
+            "wall_ms",
+        ],
+    );
 }
 
 /// The NonSparse baseline feeds the same stream with the shared counter
