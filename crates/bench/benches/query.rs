@@ -109,7 +109,7 @@ fn main() {
         for &(a, b) in &pairs {
             acc += usize::from(engine.may_alias(a, b));
         }
-        let (stats, _) = engine.cache_stats();
+        let stats = engine.cache_stats();
         assert_eq!(
             stats.misses as usize,
             pairs.len(),
@@ -129,7 +129,7 @@ fn main() {
         }
         acc
     });
-    let (alias_stats, _) = warm.cache_stats();
+    let alias_stats = warm.cache_stats();
     assert_eq!(
         alias_stats.misses as usize,
         pairs.len(),

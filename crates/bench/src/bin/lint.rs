@@ -1,33 +1,39 @@
-//! Lint-suite runs: per-checker counts and per-stage reducer funnels
-//! exported as `BENCH_lint.json`.
+//! Lint-suite runs: per-checker counts, per-stage reducer funnels, and
+//! output-size/memory evidence exported as `BENCH_lint.json`.
 //!
 //! ```text
 //! cargo run --release -p fsam-bench --bin lint [-- --scale 0.32] \
-//!     [--program word_count] [--report] [--out PATH]
+//!     [--program word_count] [--report] [--out PATH] [--sarif-cap N]
 //! ```
 //!
 //! For every suite program, the full FSAM configuration runs once, the
 //! default `fsam-lint` registry runs over it through a query engine, and
 //! one record per program is exported: the staged reducer's candidate
 //! funnel (total → after shared-filter → after MHP → after lockset →
-//! confirmed), per-checker diagnostic counts, and the lint wall time
-//! (engine capture + checkers + both renderers). The funnel is the
-//! artifact the experiment section quotes: on the larger suite programs a
-//! large majority of candidates die before any flow-sensitive alias query
-//! runs.
+//! confirmed), the grouped diagnostic counts, per-checker diagnostic
+//! counts, the streamed SARIF size (with the severity-ranked cap's
+//! overflow count), the process's peak RSS, and the lint wall time
+//! (engine capture + checkers + both renderers). The funnel and the
+//! grouped/streamed sizes are the artifacts the experiment section
+//! quotes: candidates die before any flow-sensitive alias query runs,
+//! and the report no longer scales with the pair count.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use fsam::Fsam;
-use fsam_lint::{render_text, to_sarif, LintContext, Registry};
+use fsam_lint::{render_text, write_sarif, LintContext, Registry};
 use fsam_query::QueryEngine;
 use fsam_suite::{Program, Scale};
+
+/// Default severity-ranked result cap for the streamed SARIF log.
+const DEFAULT_SARIF_CAP: usize = 10_000;
 
 fn main() {
     let scale = Scale(arg_value("--scale").unwrap_or(0.32));
     let only = arg_str("--program");
     let show_report = has_flag("--report");
+    let cap = arg_value("--sarif-cap").map_or(DEFAULT_SARIF_CAP, |v| v as usize);
     let out = arg_str("--out")
         .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json").into());
 
@@ -45,7 +51,9 @@ fn main() {
         let registry = Registry::with_default_checkers();
         let report = registry.run(&cx);
         let text = render_text(&module, &report);
-        let sarif = to_sarif(&cx, &registry, &report, None).to_json();
+        let mut sarif = Vec::new();
+        let stream = write_sarif(&cx, &registry, &report, None, Some(cap), &mut sarif)
+            .expect("stream SARIF to memory");
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
         if show_report {
@@ -59,9 +67,11 @@ fn main() {
                 "  {{\"program\": \"{}\", \"scale\": {}, ",
                 "\"candidates\": {}, \"after_shared\": {}, \"after_mhp\": {}, ",
                 "\"after_lockset\": {}, \"confirmed\": {}, ",
+                "\"confirmed_groups\": {}, \"hb_groups\": {}, ",
                 "\"races\": {}, \"deadlocks\": {}, \"double_acquires\": {}, ",
                 "\"lockset_inconsistencies\": {}, \"hb_protected\": {}, ",
-                "\"suppressed\": {}, \"sarif_bytes\": {}, \"wall_ms\": {:.3}}}"
+                "\"suppressed\": {}, \"sarif_bytes\": {}, \"sarif_results\": {}, ",
+                "\"sarif_omitted\": {}, \"peak_rss_kb\": {}, \"wall_ms\": {:.3}}}"
             ),
             p.name(),
             scale.0,
@@ -70,25 +80,32 @@ fn main() {
             stats.after_mhp(),
             stats.after_lockset(),
             stats.confirmed,
+            stats.confirmed_groups,
+            stats.hb_groups,
             report.count_of("FL0001"),
             report.count_of("FL0002"),
             report.count_of("FL0003"),
             report.count_of("FL0004"),
             report.count_of("FL0005"),
             report.suppressed.len(),
-            sarif.len(),
+            stream.bytes,
+            stream.results_written,
+            stream.omitted,
+            peak_rss_kb().unwrap_or(0),
             wall_ms,
         )
         .expect("write to string");
         records.push(r);
         println!(
-            "{:<14} {:>9} candidates -> {:>7} shared -> {:>6} mhp -> {:>5} lockset -> {:>4} confirmed  ({:>8.1} ms)",
+            "{:<14} {:>9} candidates -> {:>7} shared -> {:>6} mhp -> {:>5} lockset -> {:>4} confirmed ({:>3} groups)  {:>9} sarif B  ({:>8.1} ms)",
             p.name(),
             stats.candidates,
             stats.after_shared(),
             stats.after_mhp(),
             stats.after_lockset(),
             stats.confirmed,
+            stats.confirmed_groups,
+            stream.bytes,
             wall_ms,
         );
     }
@@ -96,6 +113,14 @@ fn main() {
     let json = format!("[\n{}\n]\n", records.join(",\n"));
     std::fs::write(&out, &json).expect("write BENCH_lint.json");
     println!("wrote {out} ({} programs)", records.len());
+}
+
+/// The process's peak resident set size in kB (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn arg_value(flag: &str) -> Option<f64> {

@@ -13,7 +13,7 @@
 //! * larger cycles in the lock-order graph are reported as warnings
 //!   (without the pairwise MHP justification).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use fsam_ir::icfg::NodeKind;
 use fsam_ir::{Module, StmtId, StmtKind};
@@ -91,8 +91,9 @@ impl LockCycle {
 /// acquisition statements, over must-held locksets and singleton lock
 /// objects. Empty when the lock analysis did not run.
 ///
-/// This is the shared substrate for the ABBA check ([`detect`]), the
-/// cycle check ([`detect_cycles`]), and the `fsam-lint` deadlock checker.
+/// This is the shared substrate for the cycle check ([`detect_cycles`]) and
+/// the `fsam-lint` deadlock checkers (FL0002's ABBA pair check rides these
+/// edges, as does the engine-backed `fsam_query::detect_deadlocks`).
 pub fn lock_order_edges(module: &Module, fsam: &Fsam) -> HashMap<(MemId, MemId), Vec<StmtId>> {
     let mut edges: HashMap<(MemId, MemId), Vec<StmtId>> = HashMap::new();
     let Some(lock) = &fsam.lock else {
@@ -122,55 +123,15 @@ pub fn lock_order_edges(module: &Module, fsam: &Fsam) -> HashMap<(MemId, MemId),
     edges
 }
 
-/// Detects potential ABBA deadlocks.
-///
-/// Requires the full configuration (the lock analysis must have run);
-/// returns an empty list otherwise.
-#[deprecated(note = "use the `fsam-lint` registry (checker FL0002), which \
-                     reports the same pairs plus longer cycles")]
-pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
-    if fsam.lock.is_none() {
-        return Vec::new();
-    }
-    let oracle: &dyn MhpOracle = &fsam.mhp;
-    let edges = lock_order_edges(module, fsam);
-
-    // ABBA: opposite-order edges with MHP acquisitions.
-    let mut out = Vec::new();
-    let mut seen: HashSet<(MemId, MemId, StmtId, StmtId)> = HashSet::new();
-    for (&(a, b), sites_ab) in &edges {
-        if a >= b {
-            continue; // each unordered lock pair once
-        }
-        let Some(sites_ba) = edges.get(&(b, a)) else {
-            continue;
-        };
-        for &s_ab in sites_ab {
-            for &s_ba in sites_ba {
-                if oracle.mhp_stmt(s_ab, s_ba) && seen.insert((a, b, s_ab, s_ba)) {
-                    out.push(Deadlock {
-                        lock_a: a,
-                        lock_b: b,
-                        site_ab: s_ab,
-                        site_ba: s_ba,
-                    });
-                }
-            }
-        }
-    }
-    out.sort_by_key(|d| (d.site_ab, d.site_ba));
-    out
-}
-
 /// Upper bound on reported cycles — the lock-order graphs of real
 /// programs are tiny, so hitting this means something degenerate.
 const MAX_CYCLES: usize = 64;
 
 /// Detects simple lock-order cycles of length ≥ 3.
 ///
-/// Two-cycles are [`detect`]'s ABBA pairs (with their per-site MHP
-/// justification) and are deliberately excluded here to avoid duplicate
-/// reports. Enumeration is canonical — each cycle is rooted at its
+/// Two-cycles are the ABBA pairs of the `fsam-lint` FL0002 checker (with
+/// their per-site MHP justification) and are deliberately excluded here to
+/// avoid duplicate reports. Enumeration is canonical — each cycle is rooted at its
 /// smallest lock and the DFS only extends through larger locks — and
 /// capped at `MAX_CYCLES` (64). Results are sorted by lock sequence.
 pub fn detect_cycles(module: &Module, fsam: &Fsam) -> Vec<LockCycle> {
@@ -237,13 +198,51 @@ pub fn detect_cycles(module: &Module, fsam: &Fsam) -> Vec<LockCycle> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+
     use fsam_ir::parse::parse_module;
+
+    /// Reference ABBA enumeration for these tests: opposite-order
+    /// lock-order edges whose acquisition sites may happen in parallel.
+    /// The shipping detectors (`fsam-lint` FL0002,
+    /// `fsam_query::detect_deadlocks`) ride the same [`lock_order_edges`]
+    /// substrate; spelling the pair walk out here keeps that substrate
+    /// covered without them.
+    fn abba(module: &Module, fsam: &Fsam) -> Vec<Deadlock> {
+        if fsam.lock.is_none() {
+            return Vec::new();
+        }
+        let edges = lock_order_edges(module, fsam);
+        let mut out = Vec::new();
+        let mut seen: HashSet<(MemId, MemId, StmtId, StmtId)> = HashSet::new();
+        for (&(a, b), sites_ab) in &edges {
+            if a >= b {
+                continue; // each unordered lock pair once
+            }
+            let Some(sites_ba) = edges.get(&(b, a)) else {
+                continue;
+            };
+            for &s_ab in sites_ab {
+                for &s_ba in sites_ba {
+                    if fsam.mhp_rel.mhp_stmt(s_ab, s_ba) && seen.insert((a, b, s_ab, s_ba)) {
+                        out.push(Deadlock {
+                            lock_a: a,
+                            lock_b: b,
+                            site_ab: s_ab,
+                            site_ba: s_ba,
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|d| (d.site_ab, d.site_ba));
+        out
+    }
 
     fn detect_in(src: &str) -> (Module, Fsam, Vec<Deadlock>) {
         let m = parse_module(src).unwrap();
         let fsam = Fsam::analyze(&m);
-        #[allow(deprecated)]
-        let dl = detect(&m, &fsam);
+        let dl = abba(&m, &fsam);
         (m, fsam, dl)
     }
 

@@ -12,12 +12,15 @@
 //!   ablation);
 //! * [`nonsparse`] is the traditional data-flow baseline (`NonSparse`,
 //!   §4.3) the paper compares against;
-//! * [`race`] is a data-race detection client built on the results (§6).
+//! * [`race`] holds the data-race primitives clients build on (§6).
+//!
+//! Name-based convenience queries (`pt_names`, `may_alias`, race/deadlock
+//! reports) live downstream in `fsam_query::QueryEngine` and the
+//! `fsam-lint` checker registry; this crate exposes the raw results.
 //!
 //! ## Example
 //!
 //! ```
-//! # #![allow(deprecated)] // pt_names: superseded by fsam_query::QueryEngine
 //! use fsam::Fsam;
 //! use fsam_ir::parse::parse_module;
 //!
@@ -45,7 +48,15 @@
 //!     }
 //! "#)?;
 //! let fsam = Fsam::analyze(&module);
-//! assert_eq!(fsam.pt_names(&module, "main", "c"), vec!["y", "z"]);
+//! let c = Fsam::var_named(&module, "main", "c");
+//! let mut names: Vec<String> = fsam
+//!     .result
+//!     .pt_var(c)
+//!     .iter()
+//!     .map(|o| fsam.pre.objects().display_name(&module, o))
+//!     .collect();
+//! names.sort();
+//! assert_eq!(names, vec!["y", "z"]);
 //! # Ok::<(), fsam_ir::parse::ParseError>(())
 //! ```
 
@@ -61,16 +72,12 @@ pub mod race;
 pub mod recompute;
 pub mod solver;
 
-#[allow(deprecated)]
-pub use deadlock::detect as detect_deadlocks;
 pub use deadlock::{detect_cycles, lock_order_edges, Deadlock, LockCycle};
 pub use fsam_threads::MhpBackend;
 pub use instrument::{plan as plan_instrumentation, InstrumentationPlan};
 pub use nonsparse::{NonSparseOutcome, NonSparseResult, NonSparseStats};
 pub use pipeline::{Fsam, PhaseConfig, PhaseTimes, Pipeline, StageBuildCounts};
 pub use queue::IndexedPriorityQueue;
-#[allow(deprecated)]
-pub use race::detect as detect_races;
 pub use race::{racy_instances, Race};
 pub use recompute::solve_recompute;
 pub use solver::{SolverStats, SparseResult};

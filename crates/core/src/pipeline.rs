@@ -27,11 +27,12 @@ use fsam_ir::context::ContextTable;
 use fsam_ir::icfg::Icfg;
 use fsam_ir::{Module, VarId};
 use fsam_mssa::Svfg;
-use fsam_pts::{MemoryMeter, PtsSet};
+use fsam_pts::MemoryMeter;
 use fsam_threads::flow::precompute_contexts;
 use fsam_threads::interleave::Interleaving;
 use fsam_threads::lock::LockAnalysis;
 use fsam_threads::mhp::MhpBackend;
+use fsam_threads::relation::MhpRelation;
 use fsam_threads::valueflow::{self, ValueFlowStats};
 use fsam_threads::{ProcMhp, ThreadModel};
 use fsam_trace::{FieldValue, Recorder};
@@ -195,6 +196,11 @@ pub struct Pipeline<'m> {
     svfg: OnceLock<Stage<Svfg>>,
     interleaving: OnceLock<Stage<Interleaving>>,
     pcg: OnceLock<Stage<ProcMhp>>,
+    /// Factored MHP relations, one per backend kind (an ablation sweep uses
+    /// both). Built once from the backend's exported facts and shared by
+    /// every run and client.
+    rel_inter: OnceLock<Arc<MhpRelation>>,
+    rel_pcg: OnceLock<Arc<MhpRelation>>,
     lock: OnceLock<Stage<LockAnalysis>>,
     counts: StageCounters,
     trace: Arc<Recorder>,
@@ -211,6 +217,8 @@ impl<'m> Pipeline<'m> {
             svfg: OnceLock::new(),
             interleaving: OnceLock::new(),
             pcg: OnceLock::new(),
+            rel_inter: OnceLock::new(),
+            rel_pcg: OnceLock::new(),
             lock: OnceLock::new(),
             counts: StageCounters::default(),
             trace: Arc::new(Recorder::disabled()),
@@ -331,6 +339,21 @@ impl<'m> Pipeline<'m> {
         })
     }
 
+    /// The factored region×region MHP relation for `mhp`'s backend kind,
+    /// built on first demand and cached per kind.
+    fn relation_stage(&self, mhp: &MhpBackend) -> Arc<MhpRelation> {
+        let slot = match mhp {
+            MhpBackend::Interleaving(_) => &self.rel_inter,
+            MhpBackend::Pcg(_) => &self.rel_pcg,
+        };
+        Arc::clone(slot.get_or_init(|| {
+            let span = self.trace.span("stage.mhp_relation");
+            let rel = mhp.relation();
+            rel.export_trace(&span);
+            Arc::new(rel)
+        }))
+    }
+
     fn lock_stage(&self) -> &Stage<LockAnalysis> {
         self.lock.get_or_init(|| {
             let (pre, _) = self.pre_stage();
@@ -421,6 +444,8 @@ impl<'m> Pipeline<'m> {
             MhpBackend::Pcg(Arc::clone(pcg))
         };
 
+        let mhp_rel = self.relation_stage(&mhp);
+
         let lock = config.lock.then(|| {
             let (lock, d) = self.lock_stage();
             times.lock = *d;
@@ -437,6 +462,7 @@ impl<'m> Pipeline<'m> {
             icfg,
             pre,
             &mhp,
+            &mhp_rel,
             lock.as_deref(),
             !config.value_flow,
         );
@@ -459,6 +485,7 @@ impl<'m> Pipeline<'m> {
             tm: Arc::clone(tm),
             svfg,
             mhp,
+            mhp_rel,
             lock,
             ctxs: Arc::clone(ctxs),
             vf_stats: vf.stats,
@@ -543,6 +570,9 @@ pub struct Fsam {
     /// The MHP oracle this configuration used: the interleaving analysis,
     /// or the PCG fallback under *No-Interleaving*.
     pub mhp: MhpBackend,
+    /// The same backend factored into region×region bitmatrix form —
+    /// statement-level MHP as two region lookups and one bit test.
+    pub mhp_rel: Arc<MhpRelation>,
     /// The lock analysis (present unless *No-Lock*).
     pub lock: Option<Arc<LockAnalysis>>,
     /// The shared (frozen) context table.
@@ -569,34 +599,6 @@ impl Fsam {
         Pipeline::for_module(module).run(config)
     }
 
-    /// The flow-sensitive points-to set of variable `var` in function
-    /// `func`, by name (convenience for tests and examples).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no such variable exists.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fsam_query::QueryEngine::points_to` (name lookup via `var_named`)"
-    )]
-    pub fn pt_of(&self, module: &Module, func: &str, var: &str) -> &PtsSet {
-        let v = Self::var_named(module, func, var);
-        self.result.pt_var(v)
-    }
-
-    /// The names of the objects `func::var` points to, sorted.
-    #[deprecated(since = "0.1.0", note = "use `fsam_query::QueryEngine::pt_names`")]
-    pub fn pt_names(&self, module: &Module, func: &str, var: &str) -> Vec<String> {
-        #[allow(deprecated)]
-        let set = self.pt_of(module, func, var);
-        let mut names: Vec<String> = set
-            .iter()
-            .map(|o| self.pre.objects().display_name(module, o))
-            .collect();
-        names.sort();
-        names
-    }
-
     /// Looks up `func::var`.
     ///
     /// # Panics
@@ -616,16 +618,6 @@ impl Fsam {
         m.add("pre-analysis", self.pre.pts_bytes());
         m.add("sparse-points-to", self.result.pts_bytes());
         m
-    }
-
-    /// Whether `*p` and `*q` may alias under the flow-sensitive results
-    /// (client-facing alias query).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fsam_query::QueryEngine::may_alias` (cached, snapshot-capable)"
-    )]
-    pub fn may_alias(&self, p: VarId, q: VarId) -> bool {
-        self.result.pt_var(p).intersects(self.result.pt_var(q))
     }
 
     /// A human-readable summary of the run: per-phase times and the key
@@ -690,10 +682,25 @@ impl Fsam {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // in-crate tests exercise the deprecated name-based accessors
 mod tests {
     use super::*;
     use fsam_ir::parse::parse_module;
+
+    /// Sorted display names of the objects `func::var` points to under the
+    /// flow-sensitive result. (External callers go through
+    /// `fsam_query::QueryEngine::pt_names`; the query crate depends on this
+    /// one, so in-crate tests read the result directly.)
+    fn pt_names(fsam: &Fsam, m: &Module, func: &str, var: &str) -> Vec<String> {
+        let v = Fsam::var_named(m, func, var);
+        let mut names: Vec<String> = fsam
+            .result
+            .pt_var(v)
+            .iter()
+            .map(|o| fsam.pre.objects().display_name(m, o))
+            .collect();
+        names.sort();
+        names
+    }
 
     /// Paper Figure 1(a): interleaving soundness — pt(c) = {y, z}.
     #[test]
@@ -723,7 +730,7 @@ mod tests {
         )
         .unwrap();
         let fsam = Fsam::analyze(&m);
-        assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y", "z"]);
+        assert_eq!(pt_names(&fsam, &m, "main", "c"), vec!["y", "z"]);
     }
 
     /// Paper Figure 1(c): fork/join precision with a strong update —
@@ -756,7 +763,7 @@ mod tests {
         )
         .unwrap();
         let fsam = Fsam::analyze(&m);
-        assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y"]);
+        assert_eq!(pt_names(&fsam, &m, "main", "c"), vec!["y"]);
     }
 
     /// Paper Figure 1(d): sparsity — *x and *p don't alias, so the store to
@@ -791,7 +798,7 @@ mod tests {
         )
         .unwrap();
         let fsam = Fsam::analyze(&m);
-        let names = fsam.pt_names(&m, "main", "c");
+        let names = pt_names(&fsam, &m, "main", "c");
         assert!(names.contains(&"y".to_owned()));
         assert!(!names.contains(&"x".to_owned()), "{names:?}");
     }
@@ -818,7 +825,7 @@ mod tests {
         )
         .unwrap();
         let fsam = Fsam::analyze(&m);
-        assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y"]);
+        assert_eq!(pt_names(&fsam, &m, "main", "c"), vec!["y"]);
         assert!(fsam.result.stats.strong_updates > 0);
     }
 
@@ -843,7 +850,7 @@ mod tests {
         )
         .unwrap();
         let fsam = Fsam::analyze(&m);
-        assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y", "z"]);
+        assert_eq!(pt_names(&fsam, &m, "main", "c"), vec!["y", "z"]);
     }
 
     /// FSAM refines the pre-analysis: every sparse points-to set is a subset
@@ -908,8 +915,10 @@ mod tests {
         let p = Fsam::var_named(&m, "main", "p");
         let q = Fsam::var_named(&m, "main", "q");
         let r = Fsam::var_named(&m, "main", "r");
-        assert!(fsam.may_alias(p, q));
-        assert!(!fsam.may_alias(p, r));
+        // Alias queries live in `fsam_query::QueryEngine::may_alias`; the
+        // underlying flow-sensitive sets answer the same question here.
+        assert!(fsam.result.pt_var(p).intersects(fsam.result.pt_var(q)));
+        assert!(!fsam.result.pt_var(p).intersects(fsam.result.pt_var(r)));
         let report = fsam.report(&m);
         assert!(report.contains("sparse solve"), "{report}");
         assert!(report.contains("abstract threads"), "{report}");

@@ -1,23 +1,20 @@
-//! A data-race detection client built on FSAM's results.
+//! Data-race primitives shared by FSAM's race-detection clients.
 //!
 //! The paper names race detection as the first intended client (§1, §6:
 //! "we plan to evaluate the effectiveness of FSAM in helping bug-detection
-//! tools in detecting concurrency bugs such as data races"). This module
-//! implements the classic static lockset × MHP race check on top of the
-//! pipeline's intermediate results:
-//!
-//! a pair `(store s, access s')` on a common abstract object races when
+//! tools in detecting concurrency bugs such as data races"). A pair
+//! `(store s, access s')` on a common abstract object races when
 //! * some pair of their context-sensitive instances may happen in parallel
 //!   (interleaving analysis), and
 //! * that instance pair does not hold a common lock (lock analysis).
 //!
-//! Flow-sensitive points-to information keeps the alias check tight; the
-//! MHP and lockset phases keep the pair enumeration tight — the combination
-//! is exactly what the paper argues FSAM buys client analyses.
+//! The enumerating detectors live downstream: the `fsam-lint` registry
+//! (checker FL0001, backed by the staged reducer) and the engine-backed
+//! `fsam_query::detect_races`. This module provides what they share — the
+//! [`Race`] report type and the instance-level lockset × MHP check
+//! [`racy_instances`].
 
-use std::collections::{HashMap, HashSet};
-
-use fsam_ir::{Module, StmtId, StmtKind};
+use fsam_ir::{Module, StmtId};
 use fsam_pts::MemId;
 use fsam_threads::mhp::MhpOracle;
 
@@ -44,82 +41,6 @@ impl Race {
             module.describe_stmt(self.access),
         )
     }
-}
-
-/// Detects potential data races using the pipeline's analyses.
-///
-/// Uses the flow-sensitive points-to sets for aliasing, the configured MHP
-/// oracle, and (when the lock phase ran) lockset-based filtering.
-#[deprecated(note = "use the `fsam-lint` registry (checker FL0001), whose \
-                     staged reducer reports the identical set of races")]
-pub fn detect(module: &Module, fsam: &Fsam) -> Vec<Race> {
-    let oracle: &dyn MhpOracle = &fsam.mhp;
-
-    // Races require shared memory: filter thread-private objects.
-    let shared = fsam_threads::SharedObjects::compute(module, &fsam.pre);
-
-    // Accesses per object, from the *flow-sensitive* points-to sets.
-    let mut stores_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
-    let mut accesses_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
-    for (sid, stmt) in module.stmts() {
-        match stmt.kind {
-            StmtKind::Store { ptr, .. } => {
-                for o in fsam.result.pt_var(ptr).iter() {
-                    stores_of.entry(o).or_default().push(sid);
-                    accesses_of.entry(o).or_default().push(sid);
-                }
-            }
-            StmtKind::Load { ptr, .. } => {
-                for o in fsam.result.pt_var(ptr).iter() {
-                    accesses_of.entry(o).or_default().push(sid);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    let mut races = Vec::new();
-    let mut objects: Vec<MemId> = stores_of.keys().copied().collect();
-    objects.sort();
-    for o in objects {
-        // Thread handles and locks themselves are analysis artifacts.
-        if fsam.pre.objects().as_thread_handle(o).is_some() {
-            continue;
-        }
-        if !shared.is_shared(&fsam.pre, o) {
-            continue;
-        }
-        let stores = &stores_of[&o];
-        let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
-        let store_set: HashSet<StmtId> = stores.iter().copied().collect();
-        for &s in stores {
-            for &a in accesses {
-                // Deduplicate store/store pairs (each would be enumerated in
-                // both orders); store/load pairs appear once only, so they
-                // must never be skipped by the ordering.
-                if store_set.contains(&a) && s > a {
-                    continue;
-                }
-                if s == a && !oracle.mhp_stmt(s, s) {
-                    continue;
-                }
-                if !oracle.mhp_stmt(s, a) {
-                    continue;
-                }
-                let racy = racy_instances(fsam, oracle, s, a);
-                if racy {
-                    races.push(Race {
-                        store: s,
-                        access: a,
-                        obj: o,
-                    });
-                }
-            }
-        }
-    }
-    races.sort_by_key(|r| (r.store, r.access, r.obj));
-    races.dedup();
-    races
 }
 
 /// Whether some MHP instance pair of `(s, a)` lacks a common lock.
@@ -154,13 +75,79 @@ pub fn racy_instances(module_fsam: &Fsam, oracle: &dyn MhpOracle, s: StmtId, a: 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::{HashMap, HashSet};
+
     use fsam_ir::parse::parse_module;
+    use fsam_ir::StmtKind;
+
+    /// Reference enumeration for these tests: the classic lockset × MHP
+    /// check over the flow-sensitive sets, spelled out pair by pair. The
+    /// shipping detectors (`fsam-lint` FL0001, `fsam_query::detect_races`)
+    /// report the same races in factored/grouped form; here the point is to
+    /// exercise `racy_instances` against known-racy and known-clean
+    /// programs without any of that machinery.
+    fn enumerate(module: &Module, fsam: &Fsam) -> Vec<Race> {
+        let oracle: &dyn MhpOracle = &fsam.mhp;
+        let shared = fsam_threads::SharedObjects::compute(module, &fsam.pre);
+        let mut stores_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+        let mut accesses_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+        for (sid, stmt) in module.stmts() {
+            match stmt.kind {
+                StmtKind::Store { ptr, .. } => {
+                    for o in fsam.result.pt_var(ptr).iter() {
+                        stores_of.entry(o).or_default().push(sid);
+                        accesses_of.entry(o).or_default().push(sid);
+                    }
+                }
+                StmtKind::Load { ptr, .. } => {
+                    for o in fsam.result.pt_var(ptr).iter() {
+                        accesses_of.entry(o).or_default().push(sid);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut races = Vec::new();
+        let mut objects: Vec<MemId> = stores_of.keys().copied().collect();
+        objects.sort();
+        for o in objects {
+            if fsam.pre.objects().as_thread_handle(o).is_some() {
+                continue;
+            }
+            if !shared.is_shared(&fsam.pre, o) {
+                continue;
+            }
+            let stores = &stores_of[&o];
+            let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
+            let store_set: HashSet<StmtId> = stores.iter().copied().collect();
+            for &s in stores {
+                for &a in accesses {
+                    // Store/store pairs appear in both orders; keep one.
+                    if store_set.contains(&a) && s > a {
+                        continue;
+                    }
+                    if !fsam.mhp_rel.mhp_stmt(s, a) {
+                        continue;
+                    }
+                    if racy_instances(fsam, oracle, s, a) {
+                        races.push(Race {
+                            store: s,
+                            access: a,
+                            obj: o,
+                        });
+                    }
+                }
+            }
+        }
+        races.sort_by_key(|r| (r.store, r.access, r.obj));
+        races.dedup();
+        races
+    }
 
     fn races_of(src: &str) -> (Module, Fsam, Vec<Race>) {
         let m = parse_module(src).unwrap();
         let fsam = Fsam::analyze(&m);
-        #[allow(deprecated)]
-        let races = detect(&m, &fsam);
+        let races = enumerate(&m, &fsam);
         (m, fsam, races)
     }
 

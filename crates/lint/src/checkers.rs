@@ -10,7 +10,7 @@ use fsam_threads::mhp::MhpOracle;
 
 use crate::context::LintContext;
 use crate::diag::{finalize, Diagnostic, LintReport, Related, Severity};
-use crate::reduce::RacePair;
+use crate::reduce::{RaceGroup, RacePair};
 
 /// One concurrency checker. Implementations are stateless; everything a
 /// run needs comes from the [`LintContext`].
@@ -89,10 +89,12 @@ fn ptr_of(cx: &LintContext<'_>, s: StmtId) -> Option<VarId> {
     }
 }
 
-/// Props shared by the race-shaped checkers: raw ids for identity tests
-/// and the pointer/object indices the SARIF code-flow builder feeds to
-/// `why_points_to`.
-fn race_props(cx: &LintContext<'_>, pair: &RacePair) -> Vec<(String, String)> {
+/// Props shared by the race-shaped checkers: raw ids of the group's
+/// representative pair for identity tests, the pointer/object indices the
+/// SARIF code-flow builder feeds to `why_points_to`, and the group's
+/// instance count.
+fn race_props(cx: &LintContext<'_>, group: &RaceGroup) -> Vec<(String, String)> {
+    let pair: &RacePair = &group.rep;
     let mut props = vec![
         (
             "obj".to_owned(),
@@ -101,6 +103,7 @@ fn race_props(cx: &LintContext<'_>, pair: &RacePair) -> Vec<(String, String)> {
         ("obj_id".to_owned(), pair.obj.raw().to_string()),
         ("store".to_owned(), pair.store.raw().to_string()),
         ("access".to_owned(), pair.access.raw().to_string()),
+        ("instances".to_owned(), group.instances.to_string()),
     ];
     if let Some(p) = ptr_of(cx, pair.store) {
         props.push(("store_ptr".to_owned(), p.index().to_string()));
@@ -111,8 +114,17 @@ fn race_props(cx: &LintContext<'_>, pair: &RacePair) -> Vec<(String, String)> {
     props
 }
 
-/// `FL0001` — confirmed data races, from the staged reducer. Identical to
-/// the legacy `fsam::race::detect` result set.
+/// How a grouped race message notes the absorbed pairs, if any.
+fn more_instances(group: &RaceGroup) -> String {
+    match group.instances {
+        0 | 1 => String::new(),
+        n => format!(" (and {} more access pairs on this object)", n - 1),
+    }
+}
+
+/// `FL0001` — confirmed data races, from the staged reducer: one
+/// diagnostic per racy object, anchored at the group's representative
+/// pair, with the remaining pairs folded into an instance count.
 pub struct DataRace;
 
 impl Checker for DataRace {
@@ -126,22 +138,24 @@ impl Checker for DataRace {
         "a write and a parallel access to the same object with no common lock"
     }
     fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
-        for pair in &cx.reduction().confirmed {
+        for group in &cx.reduction().confirmed {
+            let pair = &group.rep;
             let obj = cx.fsam.pre.objects().display_name(cx.module, pair.obj);
             out.push(Diagnostic {
                 code: self.code(),
                 severity: Severity::Error,
                 message: format!(
-                    "data race on `{obj}`: write at {} || access at {}",
+                    "data race on `{obj}`: write at {} || access at {}{}",
                     cx.module.describe_stmt(pair.store),
                     cx.module.describe_stmt(pair.access),
+                    more_instances(group),
                 ),
                 primary: pair.store,
                 related: vec![Related {
                     stmt: pair.access,
                     message: format!("racing access at {}", cx.module.describe_stmt(pair.access)),
                 }],
-                props: race_props(cx, pair),
+                props: race_props(cx, group),
             });
         }
     }
@@ -164,10 +178,10 @@ impl Checker for LockOrder {
     }
     fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
         let name = |o: MemId| cx.fsam.pre.objects().display_name(cx.module, o);
-        let oracle: &dyn MhpOracle = &cx.fsam.mhp;
         let edges = fsam::lock_order_edges(cx.module, cx.fsam);
 
-        // ABBA pairs — same pairing as the legacy `detect_deadlocks`.
+        // ABBA pairs, with the pairwise MHP justification answered from
+        // the engine's factored region relation.
         let mut seen: BTreeSet<(MemId, MemId, StmtId, StmtId)> = BTreeSet::new();
         for (&(a, b), sites_ab) in &edges {
             if a >= b {
@@ -178,7 +192,7 @@ impl Checker for LockOrder {
             };
             for &s_ab in sites_ab {
                 for &s_ba in sites_ba {
-                    if oracle.mhp_stmt(s_ab, s_ba) && seen.insert((a, b, s_ab, s_ba)) {
+                    if cx.engine.mhp(s_ab, s_ba) && seen.insert((a, b, s_ab, s_ba)) {
                         out.push(Diagnostic {
                             code: self.code(),
                             severity: Severity::Warning,
@@ -376,7 +390,8 @@ impl Checker for RacyInit {
         "an Andersen-level race candidate refuted by flow-sensitive propagation"
     }
     fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
-        for pair in &cx.reduction().hb_protected {
+        for group in &cx.reduction().hb_protected {
+            let pair = &group.rep;
             let obj = cx.fsam.pre.objects().display_name(cx.module, pair.obj);
             out.push(Diagnostic {
                 code: self.code(),
@@ -385,9 +400,10 @@ impl Checker for RacyInit {
                     "race candidate on `{obj}` refuted by flow-sensitive analysis: write at {} \
                      and access at {} may run in parallel without a common lock, but the \
                      flow-sensitive points-to sets prove they never alias `{obj}` together \
-                     (protected by fork/join value ordering, not by a lock)",
+                     (protected by fork/join value ordering, not by a lock){}",
                     cx.module.describe_stmt(pair.store),
                     cx.module.describe_stmt(pair.access),
+                    more_instances(group),
                 ),
                 primary: pair.store,
                 related: vec![Related {
@@ -397,7 +413,7 @@ impl Checker for RacyInit {
                         cx.module.describe_stmt(pair.access)
                     ),
                 }],
-                props: race_props(cx, pair),
+                props: race_props(cx, group),
             });
         }
     }

@@ -10,7 +10,7 @@
 //!
 //! | code     | name                    | finds |
 //! |----------|-------------------------|-------|
-//! | `FL0001` | `data-race`             | write ∥ access, no common lock (identical to the legacy `race::detect`) |
+//! | `FL0001` | `data-race`             | write ∥ access, no common lock — one diagnostic per racy object, with an instance count |
 //! | `FL0002` | `lock-order`            | ABBA inversions and longer lock-order cycles |
 //! | `FL0003` | `double-acquire`        | re-acquiring a non-reentrant lock (self-deadlock) |
 //! | `FL0004` | `lockset-inconsistency` | a lock held on some but not all paths to a function exit |
@@ -74,6 +74,6 @@ pub mod sarif;
 pub use checkers::{Checker, Registry};
 pub use context::LintContext;
 pub use diag::{Diagnostic, LintReport, Related, Severity};
-pub use reduce::{RacePair, Reduction, ReductionStats};
+pub use reduce::{RaceGroup, RacePair, Reduction, ReductionStats};
 pub use render::render_text;
-pub use sarif::to_sarif;
+pub use sarif::{to_sarif, validate_sarif, write_sarif, SarifStream};

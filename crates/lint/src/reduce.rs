@@ -11,29 +11,41 @@
 //!    nothing real is lost by starting coarse);
 //! 2. **shared** — drop objects never visible to two threads
 //!    ([`SharedObjects`]) and analysis artifacts (thread handles);
-//! 3. **MHP** — drop pairs whose statements cannot run in parallel, as one
-//!    batched [`Query::Mhp`] slab through the engine;
+//! 3. **MHP** — drop pairs whose statements cannot run in parallel. Each
+//!    access site resolves to its region in the engine's factored
+//!    [`MhpRelation`](fsam_threads::MhpRelation) once; every pair is then
+//!    one bit test — no batched pair slab, no memo table, no pair set
+//!    materialized;
 //! 4. **lockset** — drop pairs whose every parallel instance pair holds a
-//!    common lock ([`fsam::racy_instances`]);
+//!    common lock ([`fsam::racy_instances`]), memoised per statement pair;
 //! 5. **alias confirm** — the flow-sensitive check: the object must be in
-//!    *both* accessors' flow-sensitive points-to sets.
+//!    *both* accessors' flow-sensitive points-to sets. Each site resolves
+//!    to its interned points-to *class* (the hash-consed [`PtsRef`] of its
+//!    set) once, and membership is memoised per `(class, object)` — two
+//!    sites whose sets hash-cons equal share every probe, so the stage
+//!    runs classes × objects, not sites × objects.
 //!
-//! Pairs confirmed by stage 5 are exactly the races the legacy
-//! `fsam::race::detect` reports (the identity the test suite asserts per
-//! suite program). Pairs killed *only* by stage 5 are interesting in their
-//! own right — Andersen says the accesses may touch the same object and
-//! they may run in parallel unlocked, but flow-sensitive propagation
-//! proves the alias never holds (e.g. a pointer overwritten before the
-//! fork) — and feed the `FL0005` racy-init checker.
+//! The whole pipeline streams object by object: no stage ever holds the
+//! surviving pair set in memory. Survivors are *grouped* per abstract
+//! object into a [`RaceGroup`] — one representative pair plus an instance
+//! count — which is what the checkers report (the dedup key is
+//! `(object, field, lockset)`; this IR has no field accesses and a
+//! confirmed race's common lockset is empty by construction, so the key
+//! degenerates to the object). Pair-level identity against the classic
+//! enumerating detector is still asserted by the test suite via the
+//! per-group instance counts.
 //!
-//! Each stage exports a kill counter on the `lint.*` trace namespace.
+//! Each stage exports a kill counter on the `lint.*` trace namespace,
+//! alongside the factored-form counters (`lint.confirmed_groups`,
+//! `lint.alias_classes`, `lint.class_probes`) that prove no quadratic
+//! structure was built.
 
 use std::collections::{HashMap, HashSet};
 
 use fsam::Fsam;
-use fsam_ir::{Module, StmtId, StmtKind, VarId};
-use fsam_pts::MemId;
-use fsam_query::{Answer, Query, QueryEngine};
+use fsam_ir::{Module, StmtId, StmtKind};
+use fsam_pts::{MemId, PtsRef};
+use fsam_query::QueryEngine;
 use fsam_threads::mhp::MhpOracle;
 use fsam_threads::SharedObjects;
 use fsam_trace::Recorder;
@@ -47,6 +59,24 @@ pub struct RacePair {
     pub access: StmtId,
     /// The abstract object both may touch.
     pub obj: MemId,
+}
+
+/// All confirmed (or refuted) pairs on one abstract object, deduplicated
+/// to a representative.
+///
+/// The dedup key is `(object, field, lockset)`; with no field accesses in
+/// the IR and an empty common lockset on every surviving pair (stage 4
+/// killed the locked ones), the key is the object. `rep` is the first
+/// surviving pair in `(store, access)` order; `instances` counts every
+/// pair the group absorbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RaceGroup {
+    /// The abstract object all the group's pairs touch — the dedup key.
+    pub obj: MemId,
+    /// The smallest surviving `(store, access)` pair on `obj`.
+    pub rep: RacePair,
+    /// How many pairs the group absorbed (≥ 1).
+    pub instances: u64,
 }
 
 /// Per-stage candidate counts of one reducer run.
@@ -63,10 +93,16 @@ pub struct ReductionStats {
     /// Killed because every parallel instance pair holds a common lock.
     pub killed_lockset: u64,
     /// Killed by the flow-sensitive alias confirmation (these become the
-    /// [`Reduction::hb_protected`] set).
+    /// [`Reduction::hb_protected`] groups).
     pub killed_alias: u64,
-    /// Survivors of every stage — the confirmed races.
+    /// Survivors of every stage — the confirmed race pairs (instances,
+    /// summed across groups).
     pub confirmed: u64,
+    /// Confirmed races after per-object grouping — one per reported
+    /// diagnostic.
+    pub confirmed_groups: u64,
+    /// Refuted near-miss groups (the FL0005 diagnostics).
+    pub hb_groups: u64,
 }
 
 impl ReductionStats {
@@ -87,26 +123,20 @@ impl ReductionStats {
     }
 }
 
-/// The reducer's output: confirmed races, flow-sensitively refuted
-/// near-misses, and the per-stage funnel.
+/// The reducer's output: confirmed races and flow-sensitively refuted
+/// near-misses, grouped per object, plus the per-stage funnel.
 #[derive(Clone, Debug, Default)]
 pub struct Reduction {
-    /// Pairs surviving all five stages; result-identical to the legacy
-    /// `fsam::race::detect`. Sorted by `(store, access, obj)`.
-    pub confirmed: Vec<RacePair>,
-    /// Pairs killed only by the final alias confirmation: parallel,
+    /// Groups whose pairs survived all five stages, sorted by object. The
+    /// union of their instances is result-identical to the classic
+    /// enumerating detector.
+    pub confirmed: Vec<RaceGroup>,
+    /// Groups killed only by the final alias confirmation: parallel,
     /// unlocked, Andersen-aliased — but the flow-sensitive points-to sets
-    /// refute the alias. Sorted like `confirmed`.
-    pub hb_protected: Vec<RacePair>,
+    /// refute the alias. Sorted by object.
+    pub hb_protected: Vec<RaceGroup>,
     /// The per-stage funnel.
     pub stats: ReductionStats,
-}
-
-fn ptr_of(module: &Module, s: StmtId) -> Option<VarId> {
-    match module.stmt(s).kind {
-        StmtKind::Store { ptr, .. } | StmtKind::Load { ptr, .. } => Some(ptr),
-        _ => None,
-    }
 }
 
 /// Runs the staged reducer. See the module docs for the stage pipeline;
@@ -119,35 +149,49 @@ pub fn reduce(
     recorder: &Recorder,
 ) -> Reduction {
     let oracle: &dyn MhpOracle = &fsam.mhp;
+    let rel = engine.mhp_relation();
+    let pool = engine.db().result().pool();
     let mut stats = ReductionStats::default();
 
     // Stage 1 enumeration — Andersen (pre-analysis) points-to sets. The
-    // flow-sensitive sets are subsets, so every legacy pair is covered.
+    // flow-sensitive sets are subsets, so every classic pair is covered.
+    // Per-site facts the later stages key on — the MHP region (stage 3)
+    // and the interned flow-sensitive points-to class (stage 5) — are
+    // resolved once per access site here, never per pair.
     let mut stores_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
     let mut accesses_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
+    let mut region: HashMap<StmtId, Option<u32>> = HashMap::new();
+    let mut class: HashMap<StmtId, Option<PtsRef>> = HashMap::new();
     for (sid, stmt) in module.stmts() {
-        match stmt.kind {
-            StmtKind::Store { ptr, .. } => {
-                for o in fsam.pre.pt_var(ptr).iter() {
-                    stores_of.entry(o).or_default().push(sid);
-                    accesses_of.entry(o).or_default().push(sid);
-                }
+        let (ptr, is_store) = match stmt.kind {
+            StmtKind::Store { ptr, .. } => (ptr, true),
+            StmtKind::Load { ptr, .. } => (ptr, false),
+            _ => continue,
+        };
+        region.insert(sid, rel.region_of(sid));
+        class.insert(sid, engine.class_of(ptr));
+        for o in fsam.pre.pt_var(ptr).iter() {
+            if is_store {
+                stores_of.entry(o).or_default().push(sid);
             }
-            StmtKind::Load { ptr, .. } => {
-                for o in fsam.pre.pt_var(ptr).iter() {
-                    accesses_of.entry(o).or_default().push(sid);
-                }
-            }
-            _ => {}
+            accesses_of.entry(o).or_default().push(sid);
         }
     }
 
     let mut objects: Vec<MemId> = stores_of.keys().copied().collect();
     objects.sort();
 
-    // Stage 2 — thread-shared filter, applied per object. Killed objects
-    // never materialize their pairs; the funnel still counts them.
-    let mut survivors: Vec<RacePair> = Vec::new();
+    // Cross-object memo tables: the same statement pair recurs across
+    // objects (stage 4), and sites sharing a points-to class share every
+    // membership probe (stage 5).
+    let mut racy_memo: HashMap<(StmtId, StmtId), bool> = HashMap::new();
+    let mut fs_memo: HashMap<(PtsRef, MemId), bool> = HashMap::new();
+
+    let mut confirmed: Vec<RaceGroup> = Vec::new();
+    let mut hb_protected: Vec<RaceGroup> = Vec::new();
+
+    // Stages 2–5, streamed object by object: no surviving-pair vector is
+    // ever materialized; each object folds directly into its group.
     for o in objects {
         let stores = &stores_of[&o];
         let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
@@ -158,6 +202,8 @@ pub fn reduce(
         let pair_count = n_stores * accesses.len() as u64 - n_stores * (n_stores - 1) / 2;
         stats.candidates += pair_count;
 
+        // Stage 2 — thread-shared filter, per object. Killed objects never
+        // even iterate their pairs; the funnel still counts them.
         let artifact = fsam.pre.objects().as_thread_handle(o).is_some();
         if artifact || !shared.is_shared(&fsam.pre, o) {
             stats.killed_shared += pair_count;
@@ -165,95 +211,70 @@ pub fn reduce(
         }
 
         let store_set: HashSet<StmtId> = stores.iter().copied().collect();
+        let mut conf_group: Option<RaceGroup> = None;
+        let mut hb_group: Option<RaceGroup> = None;
+        let mut fs_has = |site: StmtId, o: MemId| match class.get(&site).copied().flatten() {
+            Some(c) => *fs_memo.entry((c, o)).or_insert_with(|| pool.contains(c, o)),
+            None => false,
+        };
         for &s in stores {
             for &a in accesses {
                 if store_set.contains(&a) && s > a {
                     continue;
                 }
-                survivors.push(RacePair {
-                    store: s,
-                    access: a,
-                    obj: o,
-                });
+                // Stage 3 — statement-level MHP as one bit test. (For
+                // `s == a` the self-MHP bit doubles as the classic "does
+                // the statement run in two parallel instances" check.)
+                let parallel = match (region[&s], region[&a]) {
+                    (Some(r1), Some(r2)) => rel.parallel_regions(r1, r2),
+                    _ => false,
+                };
+                if !parallel {
+                    stats.killed_mhp += 1;
+                    continue;
+                }
+                // Stage 4 — lockset: some parallel instance pair must
+                // lack a common lock.
+                let racy = *racy_memo
+                    .entry((s, a))
+                    .or_insert_with(|| fsam::racy_instances(fsam, oracle, s, a));
+                if !racy {
+                    stats.killed_lockset += 1;
+                    continue;
+                }
+                // Stage 5 — flow-sensitive alias confirmation.
+                let slot = if fs_has(s, o) && fs_has(a, o) {
+                    &mut conf_group
+                } else {
+                    stats.killed_alias += 1;
+                    &mut hb_group
+                };
+                match slot {
+                    Some(g) => g.instances += 1,
+                    None => {
+                        *slot = Some(RaceGroup {
+                            obj: o,
+                            rep: RacePair {
+                                store: s,
+                                access: a,
+                                obj: o,
+                            },
+                            instances: 1,
+                        })
+                    }
+                }
             }
         }
-    }
-
-    // Stage 3 — statement-level MHP, one batched slab. (For `s == a` the
-    // self-MHP query doubles as the legacy "does the statement run in two
-    // parallel instances" check.)
-    let slab: Vec<Query> = survivors
-        .iter()
-        .map(|p| Query::Mhp(p.store, p.access))
-        .collect();
-    let answers = engine.query_many(&slab);
-    let mut after_mhp = Vec::with_capacity(survivors.len());
-    for (pair, ans) in survivors.into_iter().zip(answers) {
-        if matches!(ans, Answer::Bool(true)) {
-            after_mhp.push(pair);
-        } else {
-            stats.killed_mhp += 1;
+        if let Some(g) = conf_group {
+            stats.confirmed += g.instances;
+            confirmed.push(g);
+        }
+        if let Some(g) = hb_group {
+            hb_protected.push(g);
         }
     }
-
-    // Stage 4 — lockset: some parallel instance pair must lack a common
-    // lock. Memoised per statement pair (the same pair recurs across
-    // objects).
-    let mut racy_cache: HashMap<(StmtId, StmtId), bool> = HashMap::new();
-    let mut after_lockset = Vec::with_capacity(after_mhp.len());
-    for pair in after_mhp {
-        let racy = *racy_cache
-            .entry((pair.store, pair.access))
-            .or_insert_with(|| fsam::racy_instances(fsam, oracle, pair.store, pair.access));
-        if racy {
-            after_lockset.push(pair);
-        } else {
-            stats.killed_lockset += 1;
-        }
-    }
-
-    // Stage 5 — flow-sensitive alias confirmation, batched points-to
-    // lookups. The object must be in both accessors' flow-sensitive sets.
-    let mut ptrs: Vec<VarId> = Vec::new();
-    for pair in &after_lockset {
-        for s in [pair.store, pair.access] {
-            if let Some(p) = ptr_of(module, s) {
-                ptrs.push(p);
-            }
-        }
-    }
-    ptrs.sort();
-    ptrs.dedup();
-    let slab: Vec<Query> = ptrs.iter().map(|&p| Query::PointsTo(p)).collect();
-    let fs_sets: HashMap<VarId, Vec<MemId>> = ptrs
-        .iter()
-        .zip(engine.query_many(&slab))
-        .map(|(&p, ans)| match ans {
-            Answer::Objects(objs) => (p, objs),
-            _ => unreachable!("PointsTo answers Objects"),
-        })
-        .collect();
-    let fs_has = |s: StmtId, o: MemId| {
-        ptr_of(module, s)
-            .and_then(|p| fs_sets.get(&p))
-            .is_some_and(|objs| objs.binary_search(&o).is_ok())
-    };
-
-    let mut confirmed = Vec::new();
-    let mut hb_protected = Vec::new();
-    for pair in after_lockset {
-        if fs_has(pair.store, pair.obj) && fs_has(pair.access, pair.obj) {
-            confirmed.push(pair);
-        } else {
-            stats.killed_alias += 1;
-            hb_protected.push(pair);
-        }
-    }
-    confirmed.sort();
-    confirmed.dedup();
-    hb_protected.sort();
-    hb_protected.dedup();
-    stats.confirmed = confirmed.len() as u64;
+    stats.confirmed_groups = confirmed.len() as u64;
+    stats.hb_groups = hb_protected.len() as u64;
 
     recorder.counter(None, "lint.candidates", stats.candidates);
     recorder.counter(None, "lint.killed_shared", stats.killed_shared);
@@ -261,6 +282,11 @@ pub fn reduce(
     recorder.counter(None, "lint.killed_lockset", stats.killed_lockset);
     recorder.counter(None, "lint.killed_alias", stats.killed_alias);
     recorder.counter(None, "lint.confirmed", stats.confirmed);
+    recorder.counter(None, "lint.confirmed_groups", stats.confirmed_groups);
+    recorder.counter(None, "lint.hb_groups", stats.hb_groups);
+    let alias_classes: HashSet<PtsRef> = class.values().filter_map(|c| *c).collect();
+    recorder.counter(None, "lint.alias_classes", alias_classes.len() as u64);
+    recorder.counter(None, "lint.class_probes", fs_memo.len() as u64);
 
     Reduction {
         confirmed,

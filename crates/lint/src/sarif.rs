@@ -8,6 +8,22 @@
 //! `why_points_to` derivation of the racing alias as a SARIF code flow —
 //! for a race fed by thread interference the flow visibly crosses a
 //! `thread` value-flow edge.
+//!
+//! Two emission paths share the per-result builder:
+//!
+//! * [`to_sarif`] builds the whole log as one [`Value`] tree — right for
+//!   golden files and in-memory round-trips;
+//! * [`write_sarif`] *streams* the log result by result into any
+//!   `io::Write`, holding at most one serialized result in memory, with
+//!   an optional severity-ranked result cap: when the report exceeds the
+//!   cap, the highest-severity results are kept and one final `"and N
+//!   more results omitted"` record replaces the tail. Uncapped, its bytes
+//!   are identical to `to_sarif(..).to_json()`.
+//!
+//! [`validate_sarif`] structurally checks either path's output against
+//! the SARIF 2.1.0 shape the tests and CI rely on.
+
+use std::io;
 
 use fsam_ir::StmtId;
 use fsam_trace::json::Value;
@@ -172,17 +188,6 @@ pub fn to_sarif(
     report: &crate::diag::LintReport,
     events: Option<&[Event]>,
 ) -> Value {
-    let rules: Vec<Value> = registry
-        .checkers()
-        .iter()
-        .map(|c| {
-            obj(vec![
-                ("id", s(c.code())),
-                ("name", s(c.name())),
-                ("shortDescription", message(c.description())),
-            ])
-        })
-        .collect();
     let mut results: Vec<Value> = Vec::new();
     for d in &report.diagnostics {
         results.push(result(cx, registry, d, false, events));
@@ -196,15 +201,224 @@ pub fn to_sarif(
         (
             "runs",
             Value::Arr(vec![obj(vec![
-                (
-                    "tool",
-                    obj(vec![(
-                        "driver",
-                        obj(vec![("name", s("fsam-lint")), ("rules", Value::Arr(rules))]),
-                    )]),
-                ),
+                ("tool", tool(registry)),
                 ("results", Value::Arr(results)),
             ])]),
         ),
     ])
+}
+
+fn tool(registry: &Registry) -> Value {
+    let rules: Vec<Value> = registry
+        .checkers()
+        .iter()
+        .map(|c| {
+            obj(vec![
+                ("id", s(c.code())),
+                ("name", s(c.name())),
+                ("shortDescription", message(c.description())),
+            ])
+        })
+        .collect();
+    obj(vec![(
+        "driver",
+        obj(vec![("name", s("fsam-lint")), ("rules", Value::Arr(rules))]),
+    )])
+}
+
+/// What [`write_sarif`] emitted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SarifStream {
+    /// Diagnostic results written (the overflow record not included).
+    pub results_written: usize,
+    /// Results folded into the trailing overflow record.
+    pub omitted: usize,
+    /// Total bytes written.
+    pub bytes: u64,
+}
+
+struct CountingWriter<'a, W: io::Write> {
+    inner: &'a mut W,
+    bytes: u64,
+}
+
+impl<W: io::Write> io::Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Streams the report as a compact SARIF 2.1.0 log onto `out`, one result
+/// at a time — peak memory is one serialized result, independent of the
+/// report size.
+///
+/// With `cap: Some(n)` and more than `n` results, the `n` highest-severity
+/// results are kept (`error` < `warning` < `note`, suppressed results
+/// ranked with their severity; ties keep report order), emitted *in
+/// report order*, and one final level-`none` record counts the omissions:
+/// `"and N more results omitted (severity-ranked cap n)"`. With
+/// `cap: None`, or when the report fits, the byte stream is identical to
+/// [`to_sarif`]`(..).to_json()`.
+pub fn write_sarif<W: io::Write>(
+    cx: &LintContext<'_>,
+    registry: &Registry,
+    report: &crate::diag::LintReport,
+    events: Option<&[Event]>,
+    cap: Option<usize>,
+    out: &mut W,
+) -> io::Result<SarifStream> {
+    use io::Write as _;
+
+    // One logical result list: active diagnostics, then suppressed.
+    let all: Vec<(&Diagnostic, bool)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d, false))
+        .chain(report.suppressed.iter().map(|d| (d, true)))
+        .collect();
+
+    // Severity-ranked cap: keep the top `cap` by (severity, report
+    // order), emit in report order.
+    let (keep, omitted): (Vec<usize>, usize) = match cap {
+        Some(cap) if all.len() > cap => {
+            let mut ranked: Vec<usize> = (0..all.len()).collect();
+            ranked.sort_by_key(|&i| (all[i].0.severity, i));
+            let mut keep: Vec<usize> = ranked[..cap].to_vec();
+            keep.sort_unstable();
+            (keep, all.len() - cap)
+        }
+        _ => ((0..all.len()).collect(), 0),
+    };
+
+    let mut w = CountingWriter {
+        inner: out,
+        bytes: 0,
+    };
+    write!(
+        w,
+        "{{\"$schema\":{},\"version\":{},\"runs\":[{{\"tool\":{},\"results\":[",
+        s(SARIF_SCHEMA).to_json(),
+        s(SARIF_VERSION).to_json(),
+        tool(registry).to_json(),
+    )?;
+    let mut first = true;
+    let mut sep = move |w: &mut CountingWriter<'_, W>| -> io::Result<()> {
+        if first {
+            first = false;
+            Ok(())
+        } else {
+            w.write_all(b",")
+        }
+    };
+    for &i in &keep {
+        let (d, suppressed) = all[i];
+        sep(&mut w)?;
+        w.write_all(
+            result(cx, registry, d, suppressed, events)
+                .to_json()
+                .as_bytes(),
+        )?;
+    }
+    if omitted > 0 {
+        sep(&mut w)?;
+        let note = obj(vec![
+            ("level", s("none")),
+            (
+                "message",
+                message(format!(
+                    "and {omitted} more results omitted (severity-ranked cap {})",
+                    cap.expect("omissions imply a cap"),
+                )),
+            ),
+        ]);
+        w.write_all(note.to_json().as_bytes())?;
+    }
+    w.write_all(b"]}]}")?;
+    Ok(SarifStream {
+        results_written: keep.len(),
+        omitted,
+        bytes: w.bytes,
+    })
+}
+
+/// Structurally validates a SARIF 2.1.0 log: schema/version header, run
+/// layout, tool driver with rules, and the per-result invariants the
+/// renderers promise (message text, known levels, rule indices in range,
+/// well-formed suppressions). Returns the first violation.
+pub fn validate_sarif(doc: &Value) -> Result<(), String> {
+    let version = doc
+        .get("version")
+        .and_then(Value::as_str)
+        .ok_or("missing version")?;
+    if version != SARIF_VERSION {
+        return Err(format!("version {version:?} is not {SARIF_VERSION:?}"));
+    }
+    doc.get("$schema")
+        .and_then(Value::as_str)
+        .ok_or("missing $schema")?;
+    let Some(Value::Arr(runs)) = doc.get("runs") else {
+        return Err("missing runs array".into());
+    };
+    if runs.is_empty() {
+        return Err("empty runs array".into());
+    }
+    for run in runs {
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .ok_or("run without tool.driver")?;
+        driver
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("driver without name")?;
+        let n_rules = match driver.get("rules") {
+            Some(Value::Arr(rules)) => {
+                for r in rules {
+                    r.get("id")
+                        .and_then(Value::as_str)
+                        .ok_or("rule without id")?;
+                }
+                rules.len()
+            }
+            Some(_) => return Err("rules is not an array".into()),
+            None => 0,
+        };
+        let Some(Value::Arr(results)) = run.get("results") else {
+            return Err("run without results array".into());
+        };
+        for res in results {
+            res.get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Value::as_str)
+                .ok_or("result without message.text")?;
+            if let Some(level) = res.get("level") {
+                let level = level.as_str().ok_or("level is not a string")?;
+                if !matches!(level, "none" | "note" | "warning" | "error") {
+                    return Err(format!("unknown level {level:?}"));
+                }
+            }
+            if let Some(idx) = res.get("ruleIndex") {
+                let idx = idx.as_num().ok_or("ruleIndex is not a number")?;
+                if idx.fract() != 0.0 || idx < -1.0 || idx >= n_rules as f64 {
+                    return Err(format!("ruleIndex {idx} out of range for {n_rules} rules"));
+                }
+            }
+            if let Some(sup) = res.get("suppressions") {
+                let Value::Arr(sup) = sup else {
+                    return Err("suppressions is not an array".into());
+                };
+                for one in sup {
+                    one.get("kind")
+                        .and_then(Value::as_str)
+                        .ok_or("suppression without kind")?;
+                }
+            }
+        }
+    }
+    Ok(())
 }

@@ -1,4 +1,7 @@
-//! Golden SARIF files for three suite programs, diffed byte-for-byte.
+//! Golden SARIF files for three suite programs, diffed byte-for-byte,
+//! plus the streaming writer's contracts: uncapped byte-identity with the
+//! tree renderer, and the severity-ranked cap with its overflow record —
+//! both validated against the SARIF 2.1.0 structural checker.
 //!
 //! Regenerate after an intentional output change with:
 //!
@@ -7,9 +10,10 @@
 //! ```
 
 use fsam::Fsam;
-use fsam_lint::{to_sarif, LintContext, Registry};
+use fsam_lint::{to_sarif, validate_sarif, write_sarif, LintContext, Registry};
 use fsam_query::QueryEngine;
 use fsam_suite::{Program, Scale};
+use fsam_trace::json;
 
 fn golden_path(name: &str) -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -24,7 +28,28 @@ fn check(program: Program) {
     let cx = LintContext::new(&module, &fsam, &engine);
     let registry = Registry::with_default_checkers();
     let report = registry.run(&cx);
-    let rendered = to_sarif(&cx, &registry, &report, None).to_json_pretty();
+    let tree = to_sarif(&cx, &registry, &report, None);
+    let rendered = tree.to_json_pretty();
+
+    // The golden layout must satisfy the structural validator …
+    validate_sarif(&tree).expect("golden SARIF validates");
+
+    // … and the streaming writer, uncapped, must emit the identical
+    // compact byte stream.
+    let mut streamed = Vec::new();
+    let stats =
+        write_sarif(&cx, &registry, &report, None, None, &mut streamed).expect("stream to memory");
+    assert_eq!(
+        String::from_utf8(streamed).unwrap(),
+        tree.to_json(),
+        "{}: uncapped stream must be byte-identical to the tree renderer",
+        program.name()
+    );
+    assert_eq!(stats.omitted, 0);
+    assert_eq!(
+        stats.results_written,
+        report.diagnostics.len() + report.suppressed.len()
+    );
 
     let path = golden_path(program.name());
     if std::env::var_os("FSAM_BLESS").is_some() {
@@ -60,4 +85,122 @@ fn golden_sarif_radiosity() {
 fn golden_sarif_ferret() {
     // A clean program: the golden file pins the empty-result layout.
     check(Program::Ferret);
+}
+
+/// The severity-ranked cap: capping below the result count keeps the
+/// highest-severity results, appends one overflow record, and the capped
+/// stream still round-trips through the parser and the validator.
+#[test]
+fn capped_stream_keeps_top_severity_and_counts_overflow() {
+    // Radiosity at smoke scale produces a mixed-severity report.
+    let module = Program::Radiosity.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+    let engine = QueryEngine::from_fsam(&module, &fsam);
+    let cx = LintContext::new(&module, &fsam, &engine);
+    let registry = Registry::with_default_checkers();
+    let report = registry.run(&cx);
+    let total = report.diagnostics.len() + report.suppressed.len();
+    assert!(total >= 2, "need at least two results to cap, got {total}");
+
+    let cap = 1;
+    let mut streamed = Vec::new();
+    let stats = write_sarif(&cx, &registry, &report, None, Some(cap), &mut streamed)
+        .expect("stream to memory");
+    assert_eq!(stats.results_written, cap);
+    assert_eq!(stats.omitted, total - cap);
+    assert_eq!(stats.bytes as usize, streamed.len());
+
+    let text = String::from_utf8(streamed).unwrap();
+    let doc = json::parse(&text).expect("capped stream parses");
+    validate_sarif(&doc).expect("capped stream validates");
+
+    let results = doc
+        .get("runs")
+        .and_then(|r| match r {
+            json::Value::Arr(a) => a.first(),
+            _ => None,
+        })
+        .and_then(|run| run.get("results"))
+        .and_then(|r| match r {
+            json::Value::Arr(a) => Some(a),
+            _ => None,
+        })
+        .expect("results array");
+    assert_eq!(
+        results.len(),
+        cap + 1,
+        "kept results plus the overflow record"
+    );
+
+    // The kept result is the most severe one in the report.
+    let top = report
+        .diagnostics
+        .iter()
+        .chain(&report.suppressed)
+        .map(|d| d.severity)
+        .min()
+        .unwrap();
+    assert_eq!(
+        results[0].get("level").and_then(json::Value::as_str),
+        Some(top.sarif_level()),
+        "the cap keeps the highest severity first"
+    );
+
+    let overflow = results.last().unwrap();
+    assert_eq!(
+        overflow.get("level").and_then(json::Value::as_str),
+        Some("none")
+    );
+    let msg = overflow
+        .get("message")
+        .and_then(|m| m.get("text"))
+        .and_then(json::Value::as_str)
+        .unwrap();
+    assert_eq!(
+        msg,
+        format!(
+            "and {} more results omitted (severity-ranked cap {cap})",
+            total - cap
+        ),
+        "overflow record counts every omission"
+    );
+
+    // Capped output is strictly smaller than the full stream.
+    let mut full = Vec::new();
+    write_sarif(&cx, &registry, &report, None, None, &mut full).unwrap();
+    assert!(text.len() < full.len());
+}
+
+/// The validator rejects structurally broken documents.
+#[test]
+fn validator_rejects_malformed_documents() {
+    let ok = json::parse(
+        r#"{"$schema":"s","version":"2.1.0","runs":[{"tool":{"driver":{"name":"x"}},"results":[]}]}"#,
+    )
+    .unwrap();
+    assert!(validate_sarif(&ok).is_ok());
+
+    for (broken, why) in [
+        (r#"{"version":"2.1.0","runs":[]}"#, "missing $schema"),
+        (
+            r#"{"$schema":"s","version":"9.9","runs":[]}"#,
+            "bad version",
+        ),
+        (r#"{"$schema":"s","version":"2.1.0","runs":[]}"#, "no runs"),
+        (
+            r#"{"$schema":"s","version":"2.1.0","runs":[{"results":[]}]}"#,
+            "run without tool",
+        ),
+        (
+            r#"{"$schema":"s","version":"2.1.0","runs":[{"tool":{"driver":{"name":"x"}},"results":[{"level":"error"}]}]}"#,
+            "result without message",
+        ),
+        (
+            r#"{"$schema":"s","version":"2.1.0","runs":[{"tool":{"driver":{"name":"x"}},"results":[{"message":{"text":"m"},"level":"fatal"}]}]}"#,
+            "unknown level",
+        ),
+    ] {
+        let doc = json::parse(broken).unwrap();
+        assert!(validate_sarif(&doc).is_err(), "must reject: {why}");
+    }
 }

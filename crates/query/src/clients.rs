@@ -1,19 +1,19 @@
 //! Engine-backed client analyses: races, deadlocks, instrumentation.
 //!
-//! These reimplement the three clients shipped with the core crate
-//! ([`fsam::detect_races`], [`fsam::detect_deadlocks`],
-//! [`fsam::plan_instrumentation`]) on top of [`QueryEngine::query_many`]:
-//! every statement-level fact a client consumes — points-to sets of
-//! accessed pointers, pairwise may-happen-in-parallel — is fetched as one
-//! deduplicated batch of [`Query`]s instead of ad-hoc calls into the
-//! pipeline. The *instance-level* refinements (lockset filtering over
+//! These are the shipping enumerating clients (the core crate's old
+//! `detect` entry points were retired in their favour), built on
+//! [`QueryEngine::query_many`]: every statement-level fact a client
+//! consumes — points-to sets of accessed pointers, pairwise
+//! may-happen-in-parallel — is fetched as one deduplicated batch of
+//! [`Query`]s instead of ad-hoc calls into the pipeline. The
+//! *instance-level* refinements (lockset filtering over
 //! context-sensitive thread instances) still consult the live [`Fsam`],
 //! via the core crate's public `racy_instances` / `instances_protected`
 //! helpers, because instance data is intentionally not part of the
 //! snapshot.
 //!
-//! `tests/clients.rs` pins these to be result-identical to the direct
-//! core implementations on every test program.
+//! `tests/clients.rs` pins these against in-test reference enumerations
+//! on every test program.
 
 use std::collections::{HashMap, HashSet};
 
@@ -75,8 +75,9 @@ fn batched_mhp(
         .collect()
 }
 
-/// Engine-backed data-race detection; result-identical to
-/// [`fsam::detect_races`].
+/// Engine-backed data-race detection: the classic lockset × MHP check
+/// over the flow-sensitive sets, enumerated pair by pair (the grouped,
+/// deduplicated form lives in the `fsam-lint` FL0001 checker).
 pub fn detect_races(module: &Module, fsam: &Fsam, engine: &QueryEngine) -> Vec<Race> {
     let oracle: &dyn MhpOracle = &fsam.mhp;
     let shared = SharedObjects::compute(module, &fsam.pre);
@@ -141,8 +142,8 @@ pub fn detect_races(module: &Module, fsam: &Fsam, engine: &QueryEngine) -> Vec<R
     races
 }
 
-/// Engine-backed ABBA deadlock detection; result-identical to
-/// [`fsam::detect_deadlocks`].
+/// Engine-backed ABBA deadlock detection: opposite-order lock-order
+/// edges whose sites may happen in parallel.
 pub fn detect_deadlocks(module: &Module, fsam: &Fsam, engine: &QueryEngine) -> Vec<Deadlock> {
     let Some(lock) = &fsam.lock else {
         return Vec::new();
@@ -213,7 +214,7 @@ pub fn detect_deadlocks(module: &Module, fsam: &Fsam, engine: &QueryEngine) -> V
 }
 
 /// Engine-backed instrumentation planning; result-identical to
-/// [`fsam::plan_instrumentation`].
+/// [`fsam::plan_instrumentation`], with the MHP facts batched.
 pub fn plan_instrumentation(
     module: &Module,
     fsam: &Fsam,

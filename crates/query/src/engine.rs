@@ -10,8 +10,10 @@
 //!   keyed on the *interned handle pair*: any two queries whose operands
 //!   hash-cons to the same pair of sets share one cache entry,
 //! * `aliases_of(o)` — the precomputed reverse index object → variables,
-//! * `mhp(s1, s2)` — the statement-level may-happen-in-parallel relation
-//!   from the frozen [`MhpFacts`], memoised the same way.
+//! * `mhp(s1, s2)` — the statement-level may-happen-in-parallel relation,
+//!   answered from an [`MhpRelation`] factored out of the frozen
+//!   [`MhpFacts`] at construction: two region lookups and one bit test,
+//!   no per-pair memoisation needed because no per-pair work remains.
 //!
 //! Batched lookups go through [`QueryEngine::query_many`], which
 //! normalises and deduplicates the slab before touching the cache so a
@@ -24,6 +26,7 @@ use std::collections::HashMap;
 use fsam::Fsam;
 use fsam_ir::{Module, StmtId, VarId};
 use fsam_pts::{MemId, MemoryMeter, PtsRef, PtsSet};
+use fsam_threads::MhpRelation;
 
 use crate::cache::{CacheStats, PairCache};
 use crate::snapshot::{lookup_var, name_order, AnalysisDb};
@@ -75,7 +78,9 @@ pub struct QueryEngine {
     /// binary-search lookup in [`var_named`](QueryEngine::var_named).
     name_order: Vec<u32>,
     alias_cache: PairCache,
-    mhp_cache: PairCache,
+    /// The snapshot's MHP facts factored into region×region bitmatrix
+    /// form; rebuilt from the serialized facts on load, never persisted.
+    rel: MhpRelation,
 }
 
 static EMPTY_SET: PtsSet = PtsSet::new();
@@ -84,11 +89,12 @@ impl QueryEngine {
     /// Wraps a database (typically loaded with [`AnalysisDb::load`]).
     pub fn new(db: AnalysisDb) -> QueryEngine {
         let name_order = name_order(db.var_names());
+        let rel = db.mhp().relation();
         QueryEngine {
             db,
             name_order,
             alias_cache: PairCache::new(CACHE_CAPACITY),
-            mhp_cache: PairCache::new(CACHE_CAPACITY),
+            rel,
         }
     }
 
@@ -146,17 +152,33 @@ impl QueryEngine {
         self.db.aliased_by(o)
     }
 
-    /// Whether `s1` and `s2` may happen in parallel, from the frozen MHP
-    /// facts. Symmetric; memoised on the normalised statement pair.
+    /// Whether `s1` and `s2` may happen in parallel — two region lookups
+    /// and one bit test on the factored [`MhpRelation`]. Symmetric.
     pub fn mhp(&self, s1: StmtId, s2: StmtId) -> bool {
-        let key = if s1.raw() <= s2.raw() {
-            (s1.raw(), s2.raw())
+        self.rel.mhp_stmt(s1, s2)
+    }
+
+    /// The factored statement-level MHP relation backing
+    /// [`mhp`](QueryEngine::mhp). Clients that answer many pair queries (the
+    /// lint reducer's MHP stage) can fetch statement regions once and
+    /// test region pairs directly.
+    pub fn mhp_relation(&self) -> &MhpRelation {
+        &self.rel
+    }
+
+    /// The interned points-to equivalence class of `v`: the hash-consed
+    /// [`PtsRef`] handle of its flow-sensitive set. Two variables share a
+    /// class exactly when their sets are equal, so pair iteration over
+    /// variables factors into iteration over classes. `None` when the
+    /// snapshot does not know `v` or its set is empty (such a variable
+    /// aliases nothing).
+    pub fn class_of(&self, v: VarId) -> Option<PtsRef> {
+        let r = *self.db.result().var_handles().get(v.index())?;
+        if r == PtsRef::EMPTY {
+            None
         } else {
-            (s2.raw(), s1.raw())
-        };
-        let facts = self.db.mhp();
-        self.mhp_cache
-            .get_or_insert_with(key, || facts.mhp_stmt(s1, s2))
+            Some(r)
+        }
     }
 
     /// Resolves a variable by `(function, name)` against the snapshot's
@@ -206,50 +228,59 @@ impl QueryEngine {
             .collect()
     }
 
-    /// Hit/miss statistics of the alias and MHP caches, in that order.
-    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
-        (self.alias_cache.stats(), self.mhp_cache.stats())
+    /// Hit/miss statistics of the alias cache (the engine's only pair
+    /// cache — MHP answers are unmemoised bit tests).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.alias_cache.stats()
     }
 
-    /// A formatted "query cache" section: hits (with the lock-free front's
-    /// share), misses, hit rate and residency of both relation caches.
+    /// A formatted "query cache" section: the alias cache's hits (with the
+    /// lock-free front's share), misses, hit rate and residency, plus the
+    /// size of the factored MHP relation answering the pair queries that
+    /// used to occupy a second cache.
     pub fn stats(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "query cache statistics");
-        for (name, cache) in [("alias", &self.alias_cache), ("mhp", &self.mhp_cache)] {
-            let s = cache.stats();
-            let _ = writeln!(
-                out,
-                "  {name:<5} {:>8} hits ({} front) / {:>8} misses  {:>5.1}% hit rate, {} entries",
-                s.hits,
-                cache.front_hits(),
-                s.misses,
-                s.hit_rate() * 100.0,
-                s.entries
-            );
-        }
+        let s = self.alias_cache.stats();
+        let _ = writeln!(
+            out,
+            "  alias {:>8} hits ({} front) / {:>8} misses  {:>5.1}% hit rate, {} entries",
+            s.hits,
+            self.alias_cache.front_hits(),
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.entries
+        );
+        let _ = writeln!(
+            out,
+            "  mhp   factored: {} stmts -> {} regions, {}/{} matrix bits set",
+            self.rel.stmt_count(),
+            self.rel.region_count(),
+            self.rel.parallel_bits(),
+            self.rel.matrix_bits(),
+        );
         out
     }
 
-    /// Exports both caches' counters into a trace span, under the same
-    /// stream the pipeline and solver feed (`query.alias.hits`,
-    /// `query.alias.front_hits`, `query.alias.misses`, `query.alias.entries`
-    /// and the `query.mhp.*` counterparts).
+    /// Exports the alias cache's counters (`query.alias.hits`,
+    /// `query.alias.front_hits`, `query.alias.misses`,
+    /// `query.alias.entries`) and the factored MHP relation's shape
+    /// (`mhp.regions`, `mhp.region_stmts`, `mhp.matrix_bits`,
+    /// `mhp.parallel_bits`) into a trace span, under the same stream the
+    /// pipeline and solver feed.
     pub fn export_trace(&self, span: &fsam_trace::Span<'_>) {
-        let (alias, mhp) = self.cache_stats();
+        let alias = self.cache_stats();
         span.counter("query.alias.hits", alias.hits);
         span.counter("query.alias.front_hits", self.alias_cache.front_hits());
         span.counter("query.alias.misses", alias.misses);
         span.counter("query.alias.entries", alias.entries as u64);
-        span.counter("query.mhp.hits", mhp.hits);
-        span.counter("query.mhp.front_hits", self.mhp_cache.front_hits());
-        span.counter("query.mhp.misses", mhp.misses);
-        span.counter("query.mhp.entries", mhp.entries as u64);
+        self.rel.export_trace(span);
     }
 
     /// Approximate heap held by the engine, by category: the snapshot
-    /// tables, the name-lookup index, and the query caches.
+    /// tables, the name-lookup index, the alias cache, and the factored
+    /// MHP relation.
     pub fn memory(&self) -> MemoryMeter {
         let mut m = MemoryMeter::default();
         m.add("snapshot", self.db.heap_bytes());
@@ -257,10 +288,8 @@ impl QueryEngine {
             "name-index",
             self.name_order.capacity() * std::mem::size_of::<u32>(),
         );
-        m.add(
-            "query-cache",
-            self.alias_cache.heap_bytes() + self.mhp_cache.heap_bytes(),
-        );
+        m.add("query-cache", self.alias_cache.heap_bytes());
+        m.add("mhp-relation", self.rel.heap_bytes());
         m
     }
 }
@@ -319,7 +348,7 @@ mod tests {
         let c = engine.var_named("main", "c").unwrap();
         assert!(engine.may_alias(r, c)); // pt(r)={z}, pt(c)={y,z}
         assert!(engine.may_alias(c, r)); // symmetric duplicate
-        let (alias, _) = engine.cache_stats();
+        let alias = engine.cache_stats();
         assert_eq!(alias.misses, 1);
         assert_eq!(alias.hits, 1);
         drop(m);
@@ -357,7 +386,7 @@ mod tests {
         assert_eq!(answers[3], answers[0]);
         assert!(matches!(&answers[2], Answer::Objects(objs) if objs.len() == 1));
         // Three duplicates collapsed into a single cache probe.
-        let (alias, _) = engine.cache_stats();
+        let alias = engine.cache_stats();
         assert_eq!(alias.hits + alias.misses, 1);
     }
 
@@ -394,12 +423,12 @@ mod tests {
         let r = engine.var_named("main", "r").unwrap();
         let c = engine.var_named("main", "c").unwrap();
         assert!(engine.may_alias(r, c));
-        let (after_first, _) = engine.cache_stats();
+        let after_first = engine.cache_stats();
         assert_eq!((after_first.hits, after_first.misses), (0, 1));
         for _ in 0..5 {
             assert!(engine.may_alias(r, c));
         }
-        let (after, _) = engine.cache_stats();
+        let after = engine.cache_stats();
         assert_eq!(after.misses, 1, "repeats must not recompute");
         assert_eq!(after.hits, 5, "every repeat is a cache hit");
         assert!(
@@ -425,7 +454,13 @@ mod tests {
         };
         assert_eq!(find("query.alias.hits"), Some(5));
         assert_eq!(find("query.alias.misses"), Some(1));
-        assert_eq!(find("query.mhp.hits"), Some(0));
+        // The factored MHP relation's shape rides along in the same span.
+        let regions = find("mhp.regions").expect("relation counters exported");
+        assert!(regions >= 1);
+        assert_eq!(
+            find("mhp.region_stmts"),
+            Some(engine.rel.stmt_count() as u64)
+        );
     }
 
     #[test]

@@ -232,6 +232,20 @@ impl MhpFacts {
             Relation::Pcg(m) => Some(m),
         }
     }
+
+    /// Zero-copy view of the executor map, for [`crate::relation`].
+    pub(crate) fn executors_internal(&self) -> &HashMap<StmtId, Vec<ThreadId>> {
+        &self.executors
+    }
+
+    /// Zero-copy view of the interleaving alive map, for [`crate::relation`]
+    /// — `None` for PCG-backed facts.
+    pub(crate) fn alive_map_internal(&self) -> Option<&HashMap<(ThreadId, StmtId), Vec<u32>>> {
+        match &self.relation {
+            Relation::Interleaving(alive) => Some(alive),
+            Relation::Pcg(_) => None,
+        }
+    }
 }
 
 impl Interleaving {

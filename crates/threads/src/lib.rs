@@ -17,6 +17,7 @@ pub mod interleave;
 pub mod lock;
 pub mod mhp;
 pub mod model;
+pub mod relation;
 pub mod shared;
 pub mod valueflow;
 
@@ -25,5 +26,6 @@ pub use interleave::{Interleaving, ThreadSet};
 pub use lock::LockAnalysis;
 pub use mhp::{MhpBackend, MhpOracle, ProcMhp};
 pub use model::{JoinEntry, ThreadId, ThreadInfo, ThreadModel};
+pub use relation::MhpRelation;
 pub use shared::SharedObjects;
 pub use valueflow::{ThreadValueFlow, ValueFlowStats};

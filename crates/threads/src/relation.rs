@@ -1,0 +1,336 @@
+//! Factored statement-level MHP: a region×region bitmatrix.
+//!
+//! `mhp_stmt(s1, s2)` on both backends depends only on a small per-statement
+//! key — the executor list plus, for the interleaving analysis, the alive
+//! set of each executor *at that statement* (for PCG, nothing else: the
+//! thread-concurrency matrix is statement-independent). Statements sharing a
+//! key are therefore MHP-indistinguishable: they form a *region*, and the
+//! whole quadratic statement×statement relation factors into
+//!
+//! 1. a statement → region map (one small integer per statement), and
+//! 2. a region×region bitmatrix (one bit per region pair).
+//!
+//! Regions track function boundaries and fork/join frontiers, so their count
+//! stays near the function count while statements grow with program size —
+//! the matrix is effectively constant-size. Consumers that used to enumerate
+//! or memoize per-statement pairs (the value-flow pair loop, the lint
+//! reducer's batched MHP slab, `QueryEngine::mhp`) instead do two map
+//! lookups and one bit test, without ever materializing a pair set.
+//!
+//! [`MhpRelation::mhp_stmt`] is pinned bit-for-bit against
+//! [`MhpFacts::mhp_stmt`] (and through it against the live backends) by the
+//! tests here and the suite-wide property test.
+
+use std::collections::HashMap;
+
+use fsam_ir::StmtId;
+
+use crate::facts::MhpFacts;
+use crate::mhp::MhpBackend;
+
+/// The MHP-equivalence key of one statement. Two statements with equal keys
+/// answer every `mhp_stmt` query identically (the pair formula below reads
+/// nothing else), so they share a region.
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct RegionKey {
+    /// Raw ids of the threads executing the statement's function, in
+    /// executor-list order.
+    execs: Vec<u32>,
+    /// For interleaving-backed facts: the sorted alive set of each executor
+    /// at this statement, aligned with `execs`. Empty for PCG (its relation
+    /// is statement-independent).
+    alive: Vec<Vec<u32>>,
+}
+
+/// Statement-level MHP factored as regions over a bitmatrix (module docs).
+#[derive(Clone, Debug)]
+pub struct MhpRelation {
+    /// Region of each statement that has executors; statements of dead
+    /// functions are absent (never parallel with anything).
+    region_of: HashMap<StmtId, u32>,
+    regions: usize,
+    /// `u64` words per bitmatrix row.
+    words: usize,
+    /// Row-major `regions × regions` symmetric bitmatrix.
+    bits: Vec<u64>,
+}
+
+impl MhpRelation {
+    /// Factors `facts` into region form. The result answers `mhp_stmt`
+    /// exactly like `facts.mhp_stmt`.
+    pub fn from_facts(facts: &MhpFacts) -> MhpRelation {
+        let executors = facts.executors_internal();
+        let multi = facts.multi_flags();
+        let alive = facts.alive_map_internal();
+        let pcg = facts.concurrent_matrix();
+
+        // Deterministic region numbering: first appearance in statement
+        // order.
+        let mut stmts: Vec<StmtId> = executors.keys().copied().collect();
+        stmts.sort_unstable();
+
+        let mut intern: HashMap<RegionKey, u32> = HashMap::new();
+        let mut keys: Vec<RegionKey> = Vec::new();
+        let mut region_of = HashMap::with_capacity(stmts.len());
+        for &s in &stmts {
+            let execs = &executors[&s];
+            let key = RegionKey {
+                execs: execs.iter().map(|t| t.0).collect(),
+                alive: match alive {
+                    Some(map) => execs
+                        .iter()
+                        .map(|&t| map.get(&(t, s)).cloned().unwrap_or_default())
+                        .collect(),
+                    None => Vec::new(),
+                },
+            };
+            let id = *intern.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                (keys.len() - 1) as u32
+            });
+            region_of.insert(s, id);
+        }
+
+        let regions = keys.len();
+        let words = regions.div_ceil(64);
+        let mut bits = vec![0u64; regions * words];
+        for r1 in 0..regions {
+            // The pair formula is symmetric (see `keys_parallel`), so the
+            // upper triangle suffices; mirror as we go.
+            for r2 in r1..regions {
+                if keys_parallel(&keys[r1], &keys[r2], multi, pcg) {
+                    bits[r1 * words + r2 / 64] |= 1 << (r2 % 64);
+                    bits[r2 * words + r1 / 64] |= 1 << (r1 % 64);
+                }
+            }
+        }
+        MhpRelation {
+            region_of,
+            regions,
+            words,
+            bits,
+        }
+    }
+
+    /// The region of `s`, or `None` when `s` has no executors (and is thus
+    /// never parallel with anything).
+    pub fn region_of(&self, s: StmtId) -> Option<u32> {
+        self.region_of.get(&s).copied()
+    }
+
+    /// One bit test: whether the two regions may happen in parallel.
+    pub fn parallel_regions(&self, r1: u32, r2: u32) -> bool {
+        debug_assert!((r1 as usize) < self.regions && (r2 as usize) < self.regions);
+        self.bits[r1 as usize * self.words + r2 as usize / 64] & (1 << (r2 % 64)) != 0
+    }
+
+    /// Whether `s1` and `s2` may happen in parallel — two region lookups and
+    /// a bit test, identical to the originating backend's `mhp_stmt`.
+    pub fn mhp_stmt(&self, s1: StmtId, s2: StmtId) -> bool {
+        match (self.region_of(s1), self.region_of(s2)) {
+            (Some(r1), Some(r2)) => self.parallel_regions(r1, r2),
+            _ => false,
+        }
+    }
+
+    /// Number of regions (distinct MHP-equivalence keys).
+    pub fn region_count(&self) -> usize {
+        self.regions
+    }
+
+    /// Number of statements mapped to a region.
+    pub fn stmt_count(&self) -> usize {
+        self.region_of.len()
+    }
+
+    /// Number of set (parallel) bits in the full `regions²` matrix.
+    pub fn parallel_bits(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Total bit capacity of the matrix (`regions²`).
+    pub fn matrix_bits(&self) -> usize {
+        self.regions * self.regions
+    }
+
+    /// Exports the factored-form counters onto `span` under the `mhp.`
+    /// namespace: how many regions the statement space collapsed into, and
+    /// how small the resulting matrix is — the evidence that no
+    /// statement×statement pair set was materialized.
+    pub fn export_trace(&self, span: &fsam_trace::Span<'_>) {
+        span.counter("mhp.regions", self.regions as u64);
+        span.counter("mhp.region_stmts", self.stmt_count() as u64);
+        span.counter("mhp.matrix_bits", self.matrix_bits() as u64);
+        span.counter("mhp.parallel_bits", self.parallel_bits() as u64);
+    }
+
+    /// Approximate owned heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.bits.capacity() * size_of::<u64>()
+            + self.region_of.capacity()
+                * (size_of::<StmtId>() + size_of::<u32>() + size_of::<u64>())
+    }
+}
+
+/// The backend-agnostic pair formula over two region keys — the body of
+/// `MhpFacts::mhp_stmt` with the per-statement state already folded into the
+/// keys. Symmetric: swapping `k1`/`k2` swaps the fwd/bwd alive probes (and
+/// the PCG matrix is symmetric by construction).
+fn keys_parallel(
+    k1: &RegionKey,
+    k2: &RegionKey,
+    multi: &[bool],
+    pcg: Option<&Vec<Vec<bool>>>,
+) -> bool {
+    for (i1, &t1) in k1.execs.iter().enumerate() {
+        for (i2, &t2) in k2.execs.iter().enumerate() {
+            if t1 == t2 {
+                if multi[t1 as usize] {
+                    return true;
+                }
+                continue;
+            }
+            let parallel = match pcg {
+                Some(m) => m[t1 as usize][t2 as usize],
+                None => {
+                    k1.alive[i1].binary_search(&t2).is_ok()
+                        && k2.alive[i2].binary_search(&t1).is_ok()
+                }
+            };
+            if parallel {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+impl MhpFacts {
+    /// Factors these facts into the region×region bitmatrix form.
+    pub fn relation(&self) -> MhpRelation {
+        MhpRelation::from_facts(self)
+    }
+}
+
+impl MhpBackend {
+    /// Exports the backend's facts and factors them into region form.
+    pub fn relation(&self) -> MhpRelation {
+        self.export_facts().relation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::Interleaving;
+    use crate::mhp::{MhpOracle, ProcMhp};
+    use crate::model::ThreadModel;
+    use fsam_andersen::PreAnalysis;
+    use fsam_ir::icfg::Icfg;
+    use fsam_ir::parse::parse_module;
+    use fsam_ir::Module;
+
+    const SRC: &str = r#"
+        global g
+        func worker() {
+        entry:
+          w = &g
+          ret
+        }
+        func other() {
+        entry:
+          o = &g
+          ret
+        }
+        func main() {
+        entry:
+          t1 = fork worker()
+          t2 = fork other()
+          mid = &g
+          join t1
+          join t2
+          after = &g
+          ret
+        }
+    "#;
+
+    fn backends(m: &Module) -> (MhpBackend, MhpBackend) {
+        let pre = PreAnalysis::run(m);
+        let icfg = Icfg::build(m, pre.call_graph());
+        let tm = ThreadModel::build(m, &pre, &icfg);
+        let ctxs = crate::flow::precompute_contexts(&icfg, pre.call_graph(), &tm);
+        let inter = Interleaving::compute(m, &icfg, &pre, &tm, &ctxs);
+        let pcg = ProcMhp::build(m, &icfg, &tm);
+        (
+            MhpBackend::Interleaving(std::sync::Arc::new(inter)),
+            MhpBackend::Pcg(std::sync::Arc::new(pcg)),
+        )
+    }
+
+    #[test]
+    fn relation_matches_facts_and_backend_on_every_pair() {
+        let m = parse_module(SRC).unwrap();
+        for backend in {
+            let (a, b) = backends(&m);
+            [a, b]
+        } {
+            let facts = backend.export_facts();
+            let rel = facts.relation();
+            for (s1, _) in m.stmts() {
+                for (s2, _) in m.stmts() {
+                    assert_eq!(
+                        rel.mhp_stmt(s1, s2),
+                        facts.mhp_stmt(s1, s2),
+                        "{s1:?} {s2:?}"
+                    );
+                    assert_eq!(rel.mhp_stmt(s1, s2), backend.mhp_stmt(s1, s2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regions_factor_below_statement_count() {
+        let m = parse_module(SRC).unwrap();
+        let (inter, _) = backends(&m);
+        let rel = inter.relation();
+        assert!(rel.region_count() >= 1);
+        assert!(
+            rel.region_count() < rel.stmt_count(),
+            "the fork/join program has MHP-equivalent statements: {} regions / {} stmts",
+            rel.region_count(),
+            rel.stmt_count()
+        );
+        assert_eq!(rel.matrix_bits(), rel.region_count() * rel.region_count());
+        assert!(rel.parallel_bits() > 0, "forked threads are parallel");
+        assert!(rel.parallel_bits() <= rel.matrix_bits());
+        assert!(rel.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn statements_without_executors_have_no_region() {
+        let m = parse_module(
+            r#"
+            global g
+            func dead() {
+            entry:
+              d = &g
+              ret
+            }
+            func main() {
+            entry:
+              p = &g
+              ret
+            }
+        "#,
+        )
+        .unwrap();
+        let (inter, _) = backends(&m);
+        let rel = inter.relation();
+        let dead = m.func_by_name("dead").unwrap();
+        let d = m.stmts().find(|(_, s)| s.func == dead).unwrap().0;
+        assert_eq!(rel.region_of(d), None);
+        assert!(!rel.mhp_stmt(d, d));
+    }
+}

@@ -21,6 +21,7 @@ use fsam_pts::MemId;
 
 use crate::lock::LockAnalysis;
 use crate::mhp::MhpOracle;
+use crate::relation::MhpRelation;
 use crate::shared::SharedObjects;
 
 /// Statistics of the value-flow phase.
@@ -62,8 +63,12 @@ pub struct ThreadValueFlow {
 
 /// Computes the thread-aware def-use edges.
 ///
-/// * `oracle` supplies MHP facts (the interleaving analysis, or the PCG
-///   baseline in the *No-Interleaving* configuration);
+/// * `oracle` supplies instance-level MHP facts for the lock filter (the
+///   interleaving analysis, or the PCG baseline in the *No-Interleaving*
+///   configuration);
+/// * `rel` is the same backend factored into region form — every
+///   statement-level MHP test here is one region lookup plus a bit test,
+///   never a per-pair oracle probe;
 /// * `lock` enables Definition 6 filtering (`None` in the *No-Lock*
 ///   configuration);
 /// * `blind` disregards the aliasing condition (*No-Value-Flow*).
@@ -72,6 +77,7 @@ pub fn compute(
     icfg: &Icfg,
     pre: &PreAnalysis,
     oracle: &dyn MhpOracle,
+    rel: &MhpRelation,
     lock: Option<&LockAnalysis>,
     blind: bool,
 ) -> ThreadValueFlow {
@@ -120,9 +126,17 @@ pub fn compute(
             v.dedup();
             v
         };
-        for &s in &all_stores {
-            for &a in &all_accesses {
-                if s == a || !oracle.mhp_stmt(s, a) {
+        let store_regions: Vec<Option<u32>> =
+            all_stores.iter().map(|&s| rel.region_of(s)).collect();
+        let access_regions: Vec<Option<u32>> =
+            all_accesses.iter().map(|&a| rel.region_of(a)).collect();
+        for (si, &s) in all_stores.iter().enumerate() {
+            for (ai, &a) in all_accesses.iter().enumerate() {
+                let par = match (store_regions[si], access_regions[ai]) {
+                    (Some(r1), Some(r2)) => rel.parallel_regions(r1, r2),
+                    _ => false,
+                };
+                if s == a || !par {
                     continue;
                 }
                 out.stats.mhp_pairs += 1;
@@ -151,19 +165,26 @@ pub fn compute(
             continue;
         }
         out.stats.shared_objects += 1;
-        for &s in stores {
-            for &a in accesses {
+        // One region lookup per statement; each pair costs one bit test.
+        let store_regions: Vec<Option<u32>> = stores.iter().map(|&s| rel.region_of(s)).collect();
+        let access_regions: Vec<Option<u32>> = accesses.iter().map(|&a| rel.region_of(a)).collect();
+        for (si, &s) in stores.iter().enumerate() {
+            for (ai, &a) in accesses.iter().enumerate() {
+                let par = match (store_regions[si], access_regions[ai]) {
+                    (Some(r1), Some(r2)) => rel.parallel_regions(r1, r2),
+                    _ => false,
+                };
                 if s == a {
                     // A store can interfere with another runtime instance of
-                    // itself only in a multi-forked thread; the oracle
-                    // handles that below via mhp_stmt(s, s).
-                    if !oracle.mhp_stmt(s, s) {
+                    // itself only in a multi-forked thread — exactly the
+                    // region self-bit.
+                    if !par {
                         continue;
                     }
                 } else {
                     out.stats.aliased_pairs += 1;
                 }
-                if !oracle.mhp_stmt(s, a) {
+                if !par {
                     continue;
                 }
                 out.stats.mhp_pairs += 1;
@@ -221,6 +242,7 @@ mod tests {
         icfg: Icfg,
         pre: PreAnalysis,
         inter: Interleaving,
+        rel: MhpRelation,
         lock: LockAnalysis,
     }
 
@@ -232,12 +254,14 @@ mod tests {
         let tm = ThreadModel::build(&m, &pre, &icfg);
         let ctxs = crate::flow::precompute_contexts(&icfg, pre.call_graph(), &tm);
         let inter = Interleaving::compute(&m, &icfg, &pre, &tm, &ctxs);
+        let rel = inter.export_facts().relation();
         let lock = LockAnalysis::compute(&m, &icfg, &pre, &tm, &ctxs);
         World {
             m,
             icfg,
             pre,
             inter,
+            rel,
             lock,
         }
     }
@@ -276,7 +300,15 @@ mod tests {
             }
         "#,
         );
-        let vf = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
+        let vf = compute(
+            &w.m,
+            &w.icfg,
+            &w.pre,
+            &w.inter,
+            &w.rel,
+            Some(&w.lock),
+            false,
+        );
         let store_x = nth_stmt(&w.m, "foo", |k| matches!(k, StmtKind::Store { .. }), 1);
         let load = nth_stmt(&w.m, "main", |k| matches!(k, StmtKind::Load { .. }), 0);
         assert!(
@@ -312,8 +344,16 @@ mod tests {
             }
         "#,
         );
-        let precise = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
-        let blind = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), true);
+        let precise = compute(
+            &w.m,
+            &w.icfg,
+            &w.pre,
+            &w.inter,
+            &w.rel,
+            Some(&w.lock),
+            false,
+        );
+        let blind = compute(&w.m, &w.icfg, &w.pre, &w.inter, &w.rel, Some(&w.lock), true);
         assert!(
             blind.stats.edges > precise.stats.edges,
             "blind mode adds spurious edges"
@@ -334,7 +374,15 @@ mod tests {
             }
         "#,
         );
-        let vf = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
+        let vf = compute(
+            &w.m,
+            &w.icfg,
+            &w.pre,
+            &w.inter,
+            &w.rel,
+            Some(&w.lock),
+            false,
+        );
         assert!(vf.edges.is_empty());
         assert_eq!(vf.stats.mhp_pairs, 0);
     }
@@ -374,8 +422,16 @@ mod tests {
             }
         "#;
         let w = analyze(src);
-        let with_lock = compute(&w.m, &w.icfg, &w.pre, &w.inter, Some(&w.lock), false);
-        let without = compute(&w.m, &w.icfg, &w.pre, &w.inter, None, false);
+        let with_lock = compute(
+            &w.m,
+            &w.icfg,
+            &w.pre,
+            &w.inter,
+            &w.rel,
+            Some(&w.lock),
+            false,
+        );
+        let without = compute(&w.m, &w.icfg, &w.pre, &w.inter, &w.rel, None, false);
         assert!(with_lock.stats.lock_filtered >= 1, "{:?}", with_lock.stats);
         assert!(with_lock.stats.edges < without.stats.edges);
         // The tail store -> head load edge must survive.

@@ -1,14 +1,12 @@
 //! Integration coverage of the client analyses (§6 of the paper) over the
 //! benchmark suite: race detection, deadlock detection, and the dynamic
-//! instrumentation planner.
+//! instrumentation planner — all through the engine-backed
+//! `fsam_query::clients` entry points (the core crate's direct `detect`
+//! functions were retired in their favour).
 
-// The legacy `detect` entry points stay under test until they are removed;
-// new code goes through the `fsam-lint` registry instead.
-#![allow(deprecated)]
-
-use fsam::{detect_deadlocks, detect_races, plan_instrumentation, Fsam};
+use fsam::Fsam;
 use fsam_ir::StmtKind;
-use fsam_query::{AnalysisDb, QueryEngine};
+use fsam_query::{detect_deadlocks, detect_races, plan_instrumentation, AnalysisDb, QueryEngine};
 use fsam_suite::{Program, Scale};
 
 #[test]
@@ -16,10 +14,11 @@ fn clients_run_on_every_benchmark() {
     for p in Program::all() {
         let module = p.generate(Scale::SMOKE);
         let fsam = Fsam::analyze(&module);
+        let engine = QueryEngine::from_fsam(&module, &fsam);
 
-        let races = detect_races(&module, &fsam);
-        let deadlocks = detect_deadlocks(&module, &fsam);
-        let plan = plan_instrumentation(&module, &fsam);
+        let races = detect_races(&module, &fsam, &engine);
+        let deadlocks = detect_deadlocks(&module, &fsam, &engine);
+        let plan = plan_instrumentation(&module, &fsam, &engine);
 
         // Structural invariants.
         let accesses = module.stmts().filter(|(_, s)| s.is_memory_access()).count();
@@ -59,35 +58,34 @@ fn clients_run_on_every_benchmark() {
     }
 }
 
-/// The engine-backed clients (`fsam_query::clients`) must report exactly
-/// what the direct-`Fsam` implementations report, on every benchmark —
-/// including when the engine runs over a snapshot that went through the
-/// full serialize/deserialize cycle.
+/// The clients must report exactly the same findings whether the engine
+/// runs over a freshly captured snapshot or over one that went through the
+/// full serialize/deserialize cycle — the persisted form loses nothing the
+/// clients depend on (points-to sets, MHP facts, locksets).
 #[test]
-fn engine_backed_clients_match_direct_path_on_every_benchmark() {
+fn snapshot_roundtrip_preserves_client_results_on_every_benchmark() {
     for p in Program::all() {
         let module = p.generate(Scale::SMOKE);
         let fsam = Fsam::analyze(&module);
 
-        // Roundtrip the snapshot through bytes so the equivalence also
-        // covers the persisted form, not just the captured one.
+        let captured = QueryEngine::new(AnalysisDb::capture(&module, &fsam));
         let db = AnalysisDb::capture(&module, &fsam);
-        let db = AnalysisDb::from_bytes(&db.to_bytes()).expect("roundtrip");
-        let engine = QueryEngine::new(db);
+        let roundtripped =
+            QueryEngine::new(AnalysisDb::from_bytes(&db.to_bytes()).expect("roundtrip"));
 
-        let direct_races = detect_races(&module, &fsam);
-        let engine_races = fsam_query::detect_races(&module, &fsam, &engine);
-        assert_eq!(direct_races, engine_races, "{}: races diverge", p.name());
+        let fresh_races = detect_races(&module, &fsam, &captured);
+        let persisted_races = detect_races(&module, &fsam, &roundtripped);
+        assert_eq!(fresh_races, persisted_races, "{}: races diverge", p.name());
 
-        let direct_dl = detect_deadlocks(&module, &fsam);
-        let engine_dl = fsam_query::detect_deadlocks(&module, &fsam, &engine);
-        assert_eq!(direct_dl, engine_dl, "{}: deadlocks diverge", p.name());
+        let fresh_dl = detect_deadlocks(&module, &fsam, &captured);
+        let persisted_dl = detect_deadlocks(&module, &fsam, &roundtripped);
+        assert_eq!(fresh_dl, persisted_dl, "{}: deadlocks diverge", p.name());
 
-        let direct_plan = plan_instrumentation(&module, &fsam);
-        let engine_plan = fsam_query::plan_instrumentation(&module, &fsam, &engine);
+        let fresh_plan = plan_instrumentation(&module, &fsam, &captured);
+        let persisted_plan = plan_instrumentation(&module, &fsam, &roundtripped);
         assert_eq!(
-            (direct_plan.instrument, direct_plan.skip),
-            (engine_plan.instrument, engine_plan.skip),
+            (fresh_plan.instrument, fresh_plan.skip),
+            (persisted_plan.instrument, persisted_plan.skip),
             "{}: instrumentation plans diverge",
             p.name()
         );
@@ -100,7 +98,8 @@ fn lock_heavy_programs_have_substantial_skippable_fraction() {
     // (the paper's §6 TSan-overhead argument).
     let module = Program::Ferret.generate(Scale::SMOKE);
     let fsam = Fsam::analyze(&module);
-    let plan = plan_instrumentation(&module, &fsam);
+    let engine = QueryEngine::from_fsam(&module, &fsam);
+    let plan = plan_instrumentation(&module, &fsam, &engine);
     assert!(
         plan.reduction() > 0.5,
         "ferret should skip most accesses, got {:.2}",
@@ -115,7 +114,8 @@ fn consistently_ordered_suite_locks_produce_no_deadlocks() {
     for p in [Program::Radiosity, Program::Automount, Program::Ferret] {
         let module = p.generate(Scale::SMOKE);
         let fsam = Fsam::analyze(&module);
-        let deadlocks = detect_deadlocks(&module, &fsam);
+        let engine = QueryEngine::from_fsam(&module, &fsam);
+        let deadlocks = detect_deadlocks(&module, &fsam, &engine);
         assert!(
             deadlocks.is_empty(),
             "{}: unexpected deadlocks {:?}",

@@ -1,20 +1,28 @@
 //! End-to-end reproductions of the paper's worked examples (Figures 1, 6,
 //! 8, 9 and 11), checked through the full FSAM pipeline.
 
-// The name-based convenience accessors are deprecated in favour of
-// `fsam_query::QueryEngine`, but remain the most direct way to check the
-// paper's figures against the pipeline itself.
-#![allow(deprecated)]
-
 use fsam::{Fsam, PhaseConfig};
 use fsam_ir::parse::parse_module;
 use fsam_ir::Module;
+use fsam_query::QueryEngine;
 
 fn analyze(src: &str) -> (Module, Fsam) {
     let module = parse_module(src).expect("figure program parses");
     fsam_ir::verify::verify_module(&module).expect("figure program is well-formed");
     let fsam = Fsam::analyze(&module);
     (module, fsam)
+}
+
+/// Sorted points-to names for `func::var`, read through the query engine
+/// (the shipping replacement for the core crate's retired name-based
+/// accessors).
+fn pt_names(m: &Module, fsam: &Fsam, func: &str, var: &str) -> Vec<String> {
+    QueryEngine::from_fsam(m, fsam)
+        .pt_names(func, var)
+        .unwrap_or_else(|| panic!("no var {func}::{var}"))
+        .into_iter()
+        .map(str::to_owned)
+        .collect()
 }
 
 /// Figure 1(a): `c = *p` can observe the store in the same thread *and* the
@@ -44,7 +52,7 @@ fn figure_1a_interleaving() {
         }
     "#,
     );
-    assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y", "z"]);
+    assert_eq!(pt_names(&m, &fsam, "main", "c"), vec!["y", "z"]);
 }
 
 /// Figure 1(b): thread t2 outlives its spawner t1 (t1 is joined, t2 is
@@ -81,7 +89,7 @@ fn figure_1b_escaping_thread() {
         }
     "#,
     );
-    let names = fsam.pt_names(&m, "bar", "c");
+    let names = pt_names(&m, &fsam, "bar", "c");
     assert!(names.contains(&"y".to_owned()), "{names:?}");
     assert!(
         names.contains(&"z".to_owned()),
@@ -117,7 +125,7 @@ fn figure_1c_strong_update_with_thread_ordering() {
         }
     "#,
     );
-    assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["y"]);
+    assert_eq!(pt_names(&m, &fsam, "main", "c"), vec!["y"]);
 }
 
 /// Figure 1(d): `*x` and `*p` are not aliases, so the parallel store
@@ -151,7 +159,7 @@ fn figure_1d_sparsity() {
         }
     "#,
     );
-    let names = fsam.pt_names(&m, "main", "c");
+    let names = pt_names(&m, &fsam, "main", "c");
     assert!(names.contains(&"y".to_owned()), "{names:?}");
     assert!(
         !names.contains(&"x".to_owned()),
@@ -198,7 +206,7 @@ fn figure_1e_lock_analysis() {
         }
     "#,
     );
-    let names = fsam.pt_names(&m, "main", "c");
+    let names = pt_names(&m, &fsam, "main", "c");
     assert!(names.contains(&"y".to_owned()), "{names:?}");
     assert!(names.contains(&"z".to_owned()), "{names:?}");
     assert!(
@@ -240,10 +248,10 @@ fn figure_6_thread_oblivious_flow() {
     // s5 (inside foo) follows the strong update at s4: it sees exactly v2
     // (main's v1 flowed in at the fork, but s4 killed it — the def-use
     // chain s1 -> s4 of Fig 6(b) carried it there).
-    let c5 = fsam.pt_names(&m, "foo", "c5");
+    let c5 = pt_names(&m, &fsam, "foo", "c5");
     assert_eq!(c5, vec!["v2"]);
     // s3 (after the join) sees the thread's store.
-    let c3 = fsam.pt_names(&m, "main", "c3");
+    let c3 = pt_names(&m, &fsam, "main", "c3");
     assert!(c3.contains(&"v2".to_owned()), "join side effect: {c3:?}");
 }
 
@@ -291,7 +299,7 @@ fn figure_11_symmetric_fork_join() {
     "#,
     );
     // The post-join load sees both values (init + slave writes)...
-    let c = fsam.pt_names(&m, "main", "c");
+    let c = pt_names(&m, &fsam, "main", "c");
     assert!(
         c.contains(&"v1".to_owned()) && c.contains(&"v2".to_owned()),
         "{c:?}"

@@ -12,7 +12,10 @@
 //! change shifts the counts, re-measure (the failure message prints the
 //! actual) and update the table alongside the change.
 
+use std::time::Instant;
+
 use fsam::Fsam;
+use fsam_query::QueryEngine;
 use fsam_suite::{Program, Scale};
 
 /// Measured `stats.processed` per program at `Scale::SMOKE`, times 1.5.
@@ -46,4 +49,47 @@ fn worklist_items_stay_under_checked_in_bounds() {
             p.name()
         );
     }
+}
+
+/// The factored lint path must stay cheap on the largest suite program:
+/// grouped diagnostics and the streamed SARIF writer mean neither the wall
+/// time nor the report size scales with the confirmed *pair* count
+/// (x264 at this scale confirms ~1.7k pairs but reports 19 groups).
+///
+/// Measured at smoke scale: ~31 ms / 25,706 SARIF bytes (debug). The time
+/// ceiling is debug-aware and generous against CI noise; the byte ceiling
+/// is tight because the output is seeded and deterministic.
+#[test]
+fn x264_lint_time_and_sarif_size_stay_under_checked_in_ceilings() {
+    use fsam_lint::{write_sarif, LintContext, Registry};
+
+    const SARIF_BYTES_CEILING: u64 = 65_536;
+    let wall_ms_ceiling: u128 = if cfg!(debug_assertions) { 2_000 } else { 500 };
+
+    let module = Program::X264.generate(Scale::SMOKE);
+    let fsam = Fsam::analyze(&module);
+
+    let start = Instant::now();
+    let engine = QueryEngine::from_fsam(&module, &fsam);
+    let cx = LintContext::new(&module, &fsam, &engine);
+    let registry = Registry::with_default_checkers();
+    let report = registry.run(&cx);
+    let mut sarif = Vec::new();
+    let stream =
+        write_sarif(&cx, &registry, &report, None, None, &mut sarif).expect("stream to memory");
+    let wall_ms = start.elapsed().as_millis();
+
+    assert!(
+        wall_ms <= wall_ms_ceiling,
+        "x264 lint took {wall_ms} ms, ceiling is {wall_ms_ceiling} ms"
+    );
+    assert!(
+        stream.bytes <= SARIF_BYTES_CEILING,
+        "x264 SARIF is {} bytes, ceiling is {SARIF_BYTES_CEILING}",
+        stream.bytes
+    );
+    assert!(
+        cx.reduction().stats.confirmed > cx.reduction().stats.confirmed_groups,
+        "the size argument assumes grouping collapses pairs"
+    );
 }

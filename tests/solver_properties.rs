@@ -1,12 +1,19 @@
 //! Property tests of the sparse solver's semantics (Figure 10).
 
-// The name-based convenience accessors are deprecated in favour of
-// `fsam_query::QueryEngine`, but remain the most direct way to pin the
-// solver's own semantics without pulling the query crate into these tests.
-#![allow(deprecated)]
-
 use fsam::Fsam;
 use fsam_ir::parse::parse_module;
+
+/// Sorted points-to names for `func::var`, read through the query engine
+/// (the shipping replacement for the core crate's retired name-based
+/// accessors).
+fn pt_names(m: &fsam_ir::Module, fsam: &Fsam, func: &str, var: &str) -> Vec<String> {
+    fsam_query::QueryEngine::from_fsam(m, fsam)
+        .pt_names(func, var)
+        .unwrap_or_else(|| panic!("no var {func}::{var}"))
+        .into_iter()
+        .map(str::to_owned)
+        .collect()
+}
 
 // Sequential chain of stores to a singleton: the last store wins (strong
 // updates kill everything earlier), for any chain length.
@@ -24,7 +31,7 @@ fn last_store_wins_on_singletons() {
         src.push_str("  c = load p\n  ret\n}\n");
         let m = parse_module(&src).unwrap();
         let fsam = Fsam::analyze(&m);
-        let names = fsam.pt_names(&m, "main", "c");
+        let names = pt_names(&m, &fsam, "main", "c");
         assert_eq!(names, vec![format!("v{}", n - 1)]);
     }
 }
@@ -45,7 +52,7 @@ fn heap_accumulates_all_stores() {
         src.push_str("  c = load p\n  ret\n}\n");
         let m = parse_module(&src).unwrap();
         let fsam = Fsam::analyze(&m);
-        let names = fsam.pt_names(&m, "main", "c");
+        let names = pt_names(&m, &fsam, "main", "c");
         assert_eq!(names.len(), n);
     }
 }
@@ -96,7 +103,7 @@ fn branch_merge_is_weak() {
     )
     .unwrap();
     let fsam = Fsam::analyze(&m);
-    let names = fsam.pt_names(&m, "main", "c");
+    let names = pt_names(&m, &fsam, "main", "c");
     // Each arm strongly updates, so `init` is killed on both paths; the
     // merge unions the two arms.
     assert_eq!(names, vec!["a", "b"]);
@@ -136,9 +143,9 @@ fn loop_memory_phi() {
     )
     .unwrap();
     let fsam = Fsam::analyze(&m);
-    let inloop = fsam.pt_names(&m, "main", "inloop");
+    let inloop = pt_names(&m, &fsam, "main", "inloop");
     assert!(inloop.contains(&"start".to_owned()) && inloop.contains(&"iter".to_owned()));
-    assert_eq!(fsam.pt_names(&m, "main", "c"), vec!["last"]);
+    assert_eq!(pt_names(&m, &fsam, "main", "c"), vec!["last"]);
 }
 
 /// Recursive functions converge and their locals are not strongly updated.
@@ -178,7 +185,7 @@ fn recursion_terminates_with_weak_locals() {
     let fsam = Fsam::analyze(&m);
     // Both stores' values survive: `frame` is a recursive local, no strong
     // updates (Fig 10 singletons exclude locals in recursion).
-    let names = fsam.pt_names(&m, "rec", "c");
+    let names = pt_names(&m, &fsam, "rec", "c");
     assert!(
         names.contains(&"a".to_owned()) && names.contains(&"b".to_owned()),
         "{names:?}"

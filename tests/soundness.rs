@@ -10,10 +10,6 @@
 //!   happen before every fork;
 //! * every ablation configuration over-approximates the full configuration.
 
-// The legacy race `detect` stays under test until removed; new code goes
-// through the `fsam-lint` registry instead.
-#![allow(deprecated)]
-
 use fsam::{nonsparse, Fsam, NonSparseOutcome, PhaseConfig};
 use fsam_ir::rng::SmallRng;
 use fsam_ir::Module;
@@ -113,7 +109,8 @@ fn race_detection_runs_on_the_suite() {
         let module = p.generate(Scale::SMOKE);
         let fsam = Fsam::analyze(&module);
         // The servers intentionally contain unlocked shared mutations.
-        let races = fsam::detect_races(&module, &fsam);
+        let engine = fsam_query::QueryEngine::from_fsam(&module, &fsam);
+        let races = fsam_query::detect_races(&module, &fsam, &engine);
         // No assertion on the count (generator-dependent); the detector
         // must terminate and report shared objects only.
         for r in &races {

@@ -255,6 +255,8 @@ fn bench_export_keys_have_not_drifted() {
             "after_mhp",
             "after_lockset",
             "confirmed",
+            "confirmed_groups",
+            "hb_groups",
             "races",
             "deadlocks",
             "double_acquires",
@@ -262,8 +264,60 @@ fn bench_export_keys_have_not_drifted() {
             "hb_protected",
             "suppressed",
             "sarif_bytes",
+            "sarif_results",
+            "sarif_omitted",
+            "peak_rss_kb",
             "wall_ms",
         ],
+    );
+}
+
+/// The factored representations leave their evidence in the stream: the
+/// pipeline's `stage.mhp_relation` span exports the region bitmatrix's
+/// shape (`mhp.*`), and a traced lint run adds the reducer funnel plus
+/// the grouping/class counters (`lint.*`) — the numbers EXPERIMENTS.md
+/// quotes for "no per-statement pair set was materialized".
+#[test]
+fn factored_mhp_and_lint_dedup_counters_are_exported() {
+    let module = Program::WordCount.generate(Scale::SMOKE);
+    let rec = Arc::new(Recorder::new(1 << 16));
+    let fsam = Pipeline::for_module(&module)
+        .with_trace(Arc::clone(&rec))
+        .run(PhaseConfig::full());
+    let engine = fsam_query::QueryEngine::from_fsam(&module, &fsam);
+    let cx = fsam_lint::LintContext::with_trace(&module, &fsam, &engine, Arc::clone(&rec));
+    let _ = fsam_lint::Registry::with_default_checkers().run(&cx);
+    let events = rec.events();
+
+    let regions = counter(&events, "mhp.regions").expect("pipeline exports mhp.regions");
+    let stmts = counter(&events, "mhp.region_stmts").expect("mhp.region_stmts");
+    assert!(
+        regions >= 1 && regions <= stmts,
+        "{regions} regions / {stmts} stmts"
+    );
+    let matrix = counter(&events, "mhp.matrix_bits").expect("mhp.matrix_bits");
+    assert_eq!(matrix, regions * regions);
+    assert!(counter(&events, "mhp.parallel_bits").expect("mhp.parallel_bits") <= matrix);
+
+    let s = cx.reduction().stats;
+    assert_eq!(counter(&events, "lint.candidates"), Some(s.candidates));
+    assert_eq!(counter(&events, "lint.confirmed"), Some(s.confirmed));
+    assert_eq!(
+        counter(&events, "lint.confirmed_groups"),
+        Some(s.confirmed_groups)
+    );
+    assert_eq!(counter(&events, "lint.hb_groups"), Some(s.hb_groups));
+    let classes = counter(&events, "lint.alias_classes").expect("lint.alias_classes");
+    let probes = counter(&events, "lint.class_probes").expect("lint.class_probes");
+    assert!(
+        classes >= 1,
+        "accessed pointers intern to at least one class"
+    );
+    assert!(
+        probes <= s.after_lockset() * 2,
+        "memoised membership never exceeds two probes per surviving pair: \
+         {probes} probes, {classes} classes, {} pairs",
+        s.after_lockset()
     );
 }
 
