@@ -6,12 +6,20 @@
 //! ```
 //!
 //! For every suite program, the full FSAM configuration runs once through
-//! a [`Pipeline`] with an attached [`Recorder`], and one record per
-//! program is exported: the seven phase times, the sparse solver's
-//! worklist counters *as carried by the trace stream* (not read off the
-//! result struct — the point is that the stream is self-sufficient), the
-//! value-flow phase's pruning counters, and the recorder's own
-//! recorded/dropped accounting.
+//! a single-threaded [`Pipeline`] with an attached [`Recorder`], and one
+//! record per program is exported: the seven phase times, the sparse
+//! solver's worklist counters *as carried by the trace stream* (not read
+//! off the result struct — the point is that the stream is
+//! self-sufficient), the value-flow phase's pruning counters, and the
+//! recorder's own recorded/dropped accounting.
+//!
+//! A second, parallel run per program (worker-pool width
+//! `fsam::thread_count()`, floored at 2 so the level-synchronous schedule
+//! is always exercised) feeds the `threads`, `par_value_flow_us`,
+//! `par_sparse_solve_us` and `speedup_vs_seq` columns; its events go
+//! through the same schema validation. The speedup is measured wall-clock
+//! over the two parallelized phases combined — on a single-core host it
+//! hovers at or below 1.0, and the column says so honestly.
 //!
 //! `--validate` additionally round-trips every recorded event through the
 //! JSONL schema validator (`fsam_trace::schema`), which is what the CI
@@ -47,11 +55,29 @@ fn main() {
         }
         let module = p.generate(scale);
         let rec = Arc::new(Recorder::new(CAPACITY));
-        let pipeline = Pipeline::for_module(&module).with_trace(Arc::clone(&rec));
+        let pipeline = Pipeline::for_module(&module)
+            .with_trace(Arc::clone(&rec))
+            .with_threads(1);
         let run = pipeline.run(PhaseConfig::full());
         let events = rec.events();
+
+        // The parallel companion run: own pipeline (so no stage cache
+        // blurs the timing), own recorder (so the par.* counters don't
+        // overwrite the sequential stream).
+        let threads = fsam::thread_count().max(2);
+        let par_rec = Arc::new(Recorder::new(CAPACITY));
+        let par_run = Pipeline::for_module(&module)
+            .with_trace(Arc::clone(&par_rec))
+            .with_threads(threads)
+            .run(PhaseConfig::full());
+        assert!(
+            run.result.points_to_eq(&par_run.result),
+            "{}: parallel fixpoint diverged from sequential",
+            p.name()
+        );
+        let par_events = par_rec.events();
         if validate {
-            for ev in &events {
+            for ev in events.iter().chain(par_events.iter()) {
                 let line = schema::to_jsonl_line(ev);
                 if let Err(e) = schema::validate_line(&line) {
                     eprintln!("{}: schema violation: {e}\n  {line}", p.name());
@@ -70,6 +96,9 @@ fn main() {
                 .unwrap_or_else(|| panic!("{}: trace stream missing counter {name}", p.name()))
         };
         let us = |d: std::time::Duration| d.as_micros();
+        let seq_hot = us(run.times.value_flow) + us(run.times.sparse_solve);
+        let par_hot = us(par_run.times.value_flow) + us(par_run.times.sparse_solve);
+        let speedup = seq_hot as f64 / (par_hot.max(1)) as f64;
         let mut r = String::new();
         write!(
             r,
@@ -81,7 +110,9 @@ fn main() {
                 "\"worklist_items\": {}, \"delta_items\": {}, \"recompute_items\": {}, ",
                 "\"strong_updates\": {}, \"weak_updates\": {}, \"peak_pts_bytes\": {}, ",
                 "\"thread_edges_added\": {}, \"mhp_pairs\": {}, \"aliased_pairs\": {}, ",
-                "\"events_recorded\": {}, \"events_dropped\": {}}}"
+                "\"events_recorded\": {}, \"events_dropped\": {}, ",
+                "\"threads\": {}, \"par_value_flow_us\": {}, ",
+                "\"par_sparse_solve_us\": {}, \"speedup_vs_seq\": {:.2}}}"
             ),
             p.name(),
             scale.0,
@@ -104,6 +135,10 @@ fn main() {
             counter("vf.aliased_pairs"),
             rec.recorded(),
             rec.dropped(),
+            threads,
+            us(par_run.times.value_flow),
+            us(par_run.times.sparse_solve),
+            speedup,
         )
         .expect("write to string");
         records.push(r);

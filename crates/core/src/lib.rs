@@ -66,6 +66,7 @@
 pub mod deadlock;
 pub mod instrument;
 pub mod nonsparse;
+pub mod par;
 pub mod pipeline;
 pub mod queue;
 pub mod race;
@@ -76,8 +77,9 @@ pub use deadlock::{detect_cycles, lock_order_edges, Deadlock, LockCycle};
 pub use fsam_threads::MhpBackend;
 pub use instrument::{plan as plan_instrumentation, InstrumentationPlan};
 pub use nonsparse::{NonSparseOutcome, NonSparseResult, NonSparseStats};
+pub use par::thread_count;
 pub use pipeline::{Fsam, PhaseConfig, PhaseTimes, Pipeline, StageBuildCounts};
 pub use queue::IndexedPriorityQueue;
 pub use race::{racy_instances, Race};
 pub use recompute::solve_recompute;
-pub use solver::{SolverStats, SparseResult};
+pub use solver::{solve_par, SolverStats, SparseResult};

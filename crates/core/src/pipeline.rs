@@ -33,11 +33,12 @@ use fsam_threads::interleave::Interleaving;
 use fsam_threads::lock::LockAnalysis;
 use fsam_threads::mhp::MhpBackend;
 use fsam_threads::relation::MhpRelation;
-use fsam_threads::valueflow::{self, ValueFlowStats};
+use fsam_threads::valueflow::{self, ValueFlowPlan, ValueFlowStats};
 use fsam_threads::{ProcMhp, ThreadModel};
 use fsam_trace::{FieldValue, Recorder};
 
 use crate::nonsparse::{self, NonSparseOutcome};
+use crate::par;
 use crate::solver::{self, SparseResult};
 
 /// Which thread-interference phases run (the Figure 12 ablation knobs).
@@ -204,6 +205,11 @@ pub struct Pipeline<'m> {
     lock: OnceLock<Stage<LockAnalysis>>,
     counts: StageCounters,
     trace: Arc<Recorder>,
+    /// Worker-pool width for the value-flow and sparse-solve phases.
+    /// Defaults to [`par::thread_count`] (the `FSAM_THREADS` override, or
+    /// the machine's available parallelism); `1` selects the exact
+    /// sequential code path.
+    threads: usize,
 }
 
 impl<'m> Pipeline<'m> {
@@ -222,7 +228,22 @@ impl<'m> Pipeline<'m> {
             lock: OnceLock::new(),
             counts: StageCounters::default(),
             trace: Arc::new(Recorder::disabled()),
+            threads: par::thread_count(),
         }
+    }
+
+    /// Sets the worker-pool width for the value-flow and sparse-solve
+    /// phases. `1` (the floor — zero is clamped) runs the exact sequential
+    /// code path; any larger value runs the level-synchronous parallel
+    /// schedule, whose fixpoint is bit-identical to the sequential one.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The worker-pool width this pipeline will use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Attaches a trace recorder: every stage build, pipeline run, and the
@@ -457,15 +478,27 @@ impl<'m> Pipeline<'m> {
 
         let t0 = Instant::now();
         let vf_span = run_span.child("phase.value_flow");
-        let vf = valueflow::compute(
-            self.module,
-            icfg,
-            pre,
-            &mhp,
-            &mhp_rel,
-            lock.as_deref(),
-            !config.value_flow,
-        );
+        let vf = if self.threads > 1 && config.value_flow {
+            // Shard the per-object store × access loops across the pool and
+            // fold the results back in object order — bit-identical to the
+            // sequential `valueflow::compute` by construction.
+            let plan = ValueFlowPlan::new(self.module, icfg, pre, &mhp, &mhp_rel, lock.as_deref());
+            let (flows, ps) =
+                par::run_tasks(self.threads, plan.objects(), |_, i, _| plan.object_flow(i));
+            vf_span.counter("par.workers", ps.workers.max(1) as u64);
+            vf_span.counter("par.steals", ps.steals);
+            plan.merge(flows)
+        } else {
+            valueflow::compute(
+                self.module,
+                icfg,
+                pre,
+                &mhp,
+                &mhp_rel,
+                lock.as_deref(),
+                !config.value_flow,
+            )
+        };
         vf.stats.export_trace(&vf_span);
         let mut svfg = Svfg::clone(svfg_base);
         let inserted = svfg.insert_thread_edges_grouped(&vf.edges);
@@ -476,7 +509,14 @@ impl<'m> Pipeline<'m> {
         times.value_flow = t0.elapsed();
 
         let t0 = Instant::now();
-        let result = solver::solve_traced(self.module, pre, &svfg, &self.trace, run_span.id());
+        let result = solver::solve_par_traced(
+            self.module,
+            pre,
+            &svfg,
+            self.threads,
+            &self.trace,
+            run_span.id(),
+        );
         times.sparse_solve = t0.elapsed();
 
         Fsam {

@@ -72,6 +72,29 @@ impl IndexedPriorityQueue {
         Some(top as usize)
     }
 
+    /// Pops *every* queued item sharing the current smallest priority,
+    /// appending them to `out` in ascending id order (the heap's tie-break).
+    ///
+    /// One call drains one level of the parallel solver's level-synchronous
+    /// schedule: when the queue is keyed on topological *levels* rather than
+    /// the total priority order, everything returned here is mutually
+    /// independent outside its own SCC and can be evaluated concurrently.
+    /// `out` is cleared first. Items pushed back while the batch is being
+    /// processed re-enter the queue for a later call.
+    pub fn pop_level(&mut self, out: &mut Vec<usize>) {
+        out.clear();
+        let Some(&first) = self.heap.first() else {
+            return;
+        };
+        let level = self.prio[first as usize];
+        while let Some(&top) = self.heap.first() {
+            if self.prio[top as usize] != level {
+                break;
+            }
+            out.push(self.pop().expect("non-empty heap"));
+        }
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
@@ -138,6 +161,42 @@ mod tests {
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pop_level_drains_exactly_one_priority_band() {
+        let mut q = IndexedPriorityQueue::new(vec![1, 0, 1, 0, 2, 1]);
+        for i in 0..6 {
+            q.push(i);
+        }
+        let mut batch = Vec::new();
+        q.pop_level(&mut batch);
+        assert_eq!(batch, vec![1, 3], "level 0, ascending id");
+        q.pop_level(&mut batch);
+        assert_eq!(batch, vec![0, 2, 5], "level 1, ascending id");
+        q.pop_level(&mut batch);
+        assert_eq!(batch, vec![4]);
+        q.pop_level(&mut batch);
+        assert!(batch.is_empty(), "empty queue yields an empty batch");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_level_items_can_requeue_for_a_later_batch() {
+        let mut q = IndexedPriorityQueue::new(vec![0, 0, 1]);
+        q.push(0);
+        q.push(1);
+        let mut batch = Vec::new();
+        q.pop_level(&mut batch);
+        assert_eq!(batch, vec![0, 1]);
+        // A popped item pushed back mid-batch lands in a later call, even at
+        // the same priority.
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.pop_level(&mut batch);
+        assert_eq!(batch, vec![1]);
+        q.pop_level(&mut batch);
+        assert_eq!(batch, vec![2]);
     }
 
     #[test]

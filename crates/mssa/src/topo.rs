@@ -27,8 +27,30 @@ pub struct TopoOrder {
     /// Topological priority per vertex: if an edge `u → v` crosses
     /// components, `priority[u] < priority[v]`. Sources come first.
     pub priority: Vec<u32>,
+    /// Topological *depth* per vertex: sources sit at level 0 and every
+    /// cross-component edge strictly increases the level. Unlike
+    /// `priority` — a total order with one distinct value per component —
+    /// independent components share a level, which is exactly what a
+    /// level-synchronous parallel schedule runs concurrently: two vertices
+    /// on the same level are never connected by a def-use path outside
+    /// their own component.
+    pub level: Vec<u32>,
     /// Number of components.
     pub comp_count: usize,
+    /// Number of distinct levels (`max(level) + 1`, 0 for the empty graph).
+    pub level_count: usize,
+}
+
+impl TopoOrder {
+    /// How many vertices sit at each level — the width profile a parallel
+    /// schedule has to work with (level `l`'s width bounds its concurrency).
+    pub fn level_widths(&self) -> Vec<u32> {
+        let mut widths = vec![0u32; self.level_count];
+        for &l in &self.level {
+            widths[l as usize] += 1;
+        }
+        widths
+    }
 }
 
 /// Condenses the graph `adj` (dense vertex ids, successor lists) into SCCs
@@ -94,11 +116,36 @@ pub fn condense(adj: &[Vec<u32>]) -> TopoOrder {
 
     // Tarjan emits components in reverse topological order; invert so that
     // sources get the smallest priority.
-    let priority = comp.iter().map(|&c| comps - 1 - c).collect();
+    let priority: Vec<u32> = comp.iter().map(|&c| comps - 1 - c).collect();
+
+    // Longest-path depth of each component. Relaxing out-edges in ascending
+    // priority order sees every in-edge of a component before any of its
+    // own vertices are visited, so one pass suffices.
+    let mut comp_level = vec![0u32; comps as usize];
+    let mut by_prio: Vec<u32> = (0..n as u32).collect();
+    by_prio.sort_unstable_by_key(|&v| priority[v as usize]);
+    for &u in &by_prio {
+        let cu = comp[u as usize] as usize;
+        for &v in &adj[u as usize] {
+            let cv = comp[v as usize] as usize;
+            if cu != cv {
+                comp_level[cv] = comp_level[cv].max(comp_level[cu] + 1);
+            }
+        }
+    }
+    let level_count = comp_level
+        .iter()
+        .map(|&l| l as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let level = comp.iter().map(|&c| comp_level[c as usize]).collect();
+
     TopoOrder {
         comp,
         priority,
+        level,
         comp_count: comps as usize,
+        level_count,
     }
 }
 
@@ -110,8 +157,18 @@ pub struct SolveOrder {
     pub stmt_prio: Vec<u32>,
     /// Priority per SVFG [`NodeId`](crate::NodeId) index.
     pub node_prio: Vec<u32>,
+    /// Topological depth per statement (see [`TopoOrder::level`]).
+    pub stmt_level: Vec<u32>,
+    /// Topological depth per SVFG node.
+    pub node_level: Vec<u32>,
+    /// Condensed component id per statement.
+    pub stmt_comp: Vec<u32>,
+    /// Condensed component id per SVFG node.
+    pub node_comp: Vec<u32>,
     /// Number of condensed components.
     pub comp_count: usize,
+    /// Number of distinct levels.
+    pub level_count: usize,
 }
 
 impl Svfg {
@@ -200,10 +257,23 @@ impl Svfg {
         let node_prio = (0..n_count)
             .map(|i| order.priority[vx_node(i) as usize])
             .collect();
+        let stmt_level = order.level[..s_count].to_vec();
+        let node_level = (0..n_count)
+            .map(|i| order.level[vx_node(i) as usize])
+            .collect();
+        let stmt_comp = order.comp[..s_count].to_vec();
+        let node_comp = (0..n_count)
+            .map(|i| order.comp[vx_node(i) as usize])
+            .collect();
         SolveOrder {
             stmt_prio,
             node_prio,
+            stmt_level,
+            node_level,
+            stmt_comp,
+            node_comp,
             comp_count: order.comp_count,
+            level_count: order.level_count,
         }
     }
 }
@@ -215,6 +285,27 @@ pub fn priorities_are_topological(adj: &[Vec<u32>], order: &TopoOrder) -> bool {
         succs.iter().all(|&v| {
             let (cu, cv) = (order.comp[u], order.comp[v as usize]);
             cu == cv || order.priority[u] < order.priority[v as usize]
+        })
+    })
+}
+
+/// Checks the defining property of [`TopoOrder::level`] on `adj`:
+/// cross-component edges strictly increase level, and vertices of one
+/// component share one level. Used by tests.
+pub fn levels_are_topological(adj: &[Vec<u32>], order: &TopoOrder) -> bool {
+    let mut comp_level = vec![u32::MAX; order.comp_count];
+    for (v, &c) in order.comp.iter().enumerate() {
+        let slot = &mut comp_level[c as usize];
+        if *slot == u32::MAX {
+            *slot = order.level[v];
+        } else if *slot != order.level[v] {
+            return false;
+        }
+    }
+    adj.iter().enumerate().all(|(u, succs)| {
+        succs.iter().all(|&v| {
+            let (cu, cv) = (order.comp[u], order.comp[v as usize]);
+            cu == cv || order.level[u] < order.level[v as usize]
         })
     })
 }
@@ -261,6 +352,71 @@ mod tests {
         let order = condense(&adj);
         assert_eq!(order.comp_count, 2);
         assert!(priorities_are_topological(&adj, &order));
+    }
+
+    #[test]
+    fn chain_levels_count_depth() {
+        // 0 -> 1 -> 2 -> 3: a pure chain has no same-level concurrency.
+        let adj = vec![vec![1], vec![2], vec![3], vec![]];
+        let order = condense(&adj);
+        assert_eq!(order.level, vec![0, 1, 2, 3]);
+        assert_eq!(order.level_count, 4);
+        assert!(levels_are_topological(&adj, &order));
+        assert_eq!(order.level_widths(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn diamond_branches_share_a_level() {
+        // 0 -> {1, 2} -> 3: the two branches are independent, so unlike
+        // `priority` (a total order) they sit on the same level.
+        let adj = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let order = condense(&adj);
+        assert_eq!(order.comp_count, 4);
+        assert_ne!(order.priority[1], order.priority[2]);
+        assert_eq!(order.level[1], order.level[2]);
+        assert_eq!(order.level, vec![0, 1, 1, 2]);
+        assert_eq!(order.level_count, 3);
+        assert_eq!(order.level_widths(), vec![1, 2, 1]);
+        assert!(levels_are_topological(&adj, &order));
+    }
+
+    #[test]
+    fn cycle_members_share_comp_and_level() {
+        // 0 -> (1 <-> 2) -> 3: the SCC collapses to one level slot.
+        let adj = vec![vec![1], vec![2], vec![1, 3], vec![]];
+        let order = condense(&adj);
+        assert_eq!(order.level, vec![0, 1, 1, 2]);
+        assert_eq!(order.level_count, 3);
+        assert!(levels_are_topological(&adj, &order));
+    }
+
+    #[test]
+    fn empty_graph_has_no_levels() {
+        let order = condense(&[]);
+        assert_eq!(order.level_count, 0);
+        assert!(order.level_widths().is_empty());
+    }
+
+    #[test]
+    fn dag_levels_respect_all_edges_randomized() {
+        use fsam_ir::rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(0x70_0902);
+        for _ in 0..20 {
+            let n = rng.gen_range(2usize..40);
+            let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let edges = rng.gen_range(0usize..(3 * n));
+            for _ in 0..edges {
+                let a = rng.gen_range(0u32..n as u32);
+                let b = rng.gen_range(0u32..n as u32);
+                adj[a as usize].push(b);
+            }
+            let order = condense(&adj);
+            assert!(levels_are_topological(&adj, &order));
+            assert_eq!(
+                order.level_widths().iter().sum::<u32>() as usize,
+                order.level.len()
+            );
+        }
     }
 
     #[test]

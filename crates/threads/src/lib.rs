@@ -28,4 +28,4 @@ pub use mhp::{MhpBackend, MhpOracle, ProcMhp};
 pub use model::{JoinEntry, ThreadId, ThreadInfo, ThreadModel};
 pub use relation::MhpRelation;
 pub use shared::SharedObjects;
-pub use valueflow::{ThreadValueFlow, ValueFlowStats};
+pub use valueflow::{ObjectFlow, ThreadValueFlow, ValueFlowPlan, ValueFlowStats};

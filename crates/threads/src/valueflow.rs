@@ -61,36 +61,141 @@ pub struct ThreadValueFlow {
     pub stats: ValueFlowStats,
 }
 
-/// Computes the thread-aware def-use edges.
+/// The value-flow analysis decomposed into independent per-object units.
 ///
-/// * `oracle` supplies instance-level MHP facts for the lock filter (the
-///   interleaving analysis, or the PCG baseline in the *No-Interleaving*
-///   configuration);
-/// * `rel` is the same backend factored into region form — every
-///   statement-level MHP test here is one region lookup plus a bit test,
-///   never a per-pair oracle probe;
-/// * `lock` enables Definition 6 filtering (`None` in the *No-Lock*
-///   configuration);
-/// * `blind` disregards the aliasing condition (*No-Value-Flow*).
-pub fn compute(
+/// Each shared object's store/access pair loop reads only immutable inputs
+/// ([`ValueFlowPlan::object_flow`] takes `&self`), so the objects can be
+/// evaluated in any order — or concurrently on a worker pool, which is how
+/// the pipeline runs this phase when configured with more than one thread.
+/// [`ValueFlowPlan::merge`] folds the per-object results back **in object
+/// order**, reproducing the sequential [`compute`] bit for bit: the edge
+/// list, ordered by ascending object, is exactly what the sequential loop
+/// emits, and the statistics are sums of per-object counts.
+pub struct ValueFlowPlan<'a> {
+    icfg: &'a Icfg,
+    oracle: &'a (dyn MhpOracle + Sync),
+    rel: &'a MhpRelation,
+    lock: Option<&'a LockAnalysis>,
+    stores_of: HashMap<MemId, Vec<StmtId>>,
+    accesses_of: HashMap<MemId, Vec<StmtId>>,
+    /// The shared, multiply-accessed objects, ascending — one work unit each.
+    objects: Vec<MemId>,
+}
+
+/// One object's contribution to the value flow: its edges plus the pair
+/// counts its loop accumulated.
+#[derive(Debug, Default)]
+pub struct ObjectFlow {
+    edges: Vec<(StmtId, StmtId, MemId)>,
+    aliased_pairs: usize,
+    mhp_pairs: usize,
+    lock_filtered: usize,
+}
+
+impl<'a> ValueFlowPlan<'a> {
+    /// Builds the plan: indexes stores/accesses per object and selects the
+    /// objects that can produce edges (accessed at least twice, and shared
+    /// across threads).
+    pub fn new(
+        module: &'a Module,
+        icfg: &'a Icfg,
+        pre: &'a PreAnalysis,
+        oracle: &'a (dyn MhpOracle + Sync),
+        rel: &'a MhpRelation,
+        lock: Option<&'a LockAnalysis>,
+    ) -> ValueFlowPlan<'a> {
+        // The sharedness half of the value-flow analysis: objects that never
+        // escape their creating frame cannot interfere across threads (§4.4:
+        // "non-shared memory locations").
+        let shared = SharedObjects::compute(module, pre);
+        let (stores_of, accesses_of) = index_accesses(module, pre);
+        let mut objects: Vec<MemId> = stores_of.keys().copied().collect();
+        objects.sort();
+        objects
+            .retain(|&o| accesses_of.get(&o).map_or(0, Vec::len) >= 2 && shared.is_shared(pre, o));
+        ValueFlowPlan {
+            icfg,
+            oracle,
+            rel,
+            lock,
+            stores_of,
+            accesses_of,
+            objects,
+        }
+    }
+
+    /// The work units: shared objects in ascending order.
+    pub fn objects(&self) -> &[MemId] {
+        &self.objects
+    }
+
+    /// Evaluates work unit `i` (the `i`-th object's store × access loop).
+    /// Pure with respect to the plan — safe to run concurrently.
+    pub fn object_flow(&self, i: usize) -> ObjectFlow {
+        let o = self.objects[i];
+        let stores = &self.stores_of[&o];
+        let accesses = self.accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
+        let mut out = ObjectFlow::default();
+        // One region lookup per statement; each pair costs one bit test.
+        let store_regions: Vec<Option<u32>> =
+            stores.iter().map(|&s| self.rel.region_of(s)).collect();
+        let access_regions: Vec<Option<u32>> =
+            accesses.iter().map(|&a| self.rel.region_of(a)).collect();
+        for (si, &s) in stores.iter().enumerate() {
+            for (ai, &a) in accesses.iter().enumerate() {
+                let par = match (store_regions[si], access_regions[ai]) {
+                    (Some(r1), Some(r2)) => self.rel.parallel_regions(r1, r2),
+                    _ => false,
+                };
+                if s == a {
+                    // A store can interfere with another runtime instance of
+                    // itself only in a multi-forked thread — exactly the
+                    // region self-bit.
+                    if !par {
+                        continue;
+                    }
+                } else {
+                    out.aliased_pairs += 1;
+                }
+                if !par {
+                    continue;
+                }
+                out.mhp_pairs += 1;
+                if let Some(lock) = self.lock {
+                    if all_instances_non_interfering(self.icfg, self.oracle, lock, s, a, o) {
+                        out.lock_filtered += 1;
+                        continue;
+                    }
+                }
+                out.edges.push((s, a, o));
+            }
+        }
+        out
+    }
+
+    /// Folds per-object results — **in object order** — into the final
+    /// value flow. Deterministic for any evaluation schedule: the caller
+    /// passes `flows[i] = object_flow(i)`.
+    pub fn merge(&self, flows: impl IntoIterator<Item = ObjectFlow>) -> ThreadValueFlow {
+        let mut out = ThreadValueFlow::default();
+        out.stats.shared_objects = self.objects.len();
+        for flow in flows {
+            out.stats.aliased_pairs += flow.aliased_pairs;
+            out.stats.mhp_pairs += flow.mhp_pairs;
+            out.stats.lock_filtered += flow.lock_filtered;
+            out.stats.edges += flow.edges.len();
+            out.edges.extend(flow.edges);
+        }
+        out
+    }
+}
+
+/// Per object: the stores that may write it and the loads/stores that may
+/// access it. Only store/load statements participate in [THREAD-VF].
+fn index_accesses(
     module: &Module,
-    icfg: &Icfg,
     pre: &PreAnalysis,
-    oracle: &dyn MhpOracle,
-    rel: &MhpRelation,
-    lock: Option<&LockAnalysis>,
-    blind: bool,
-) -> ThreadValueFlow {
-    let mut out = ThreadValueFlow::default();
-
-    // The sharedness half of the value-flow analysis: objects that never
-    // escape their creating frame cannot interfere across threads (§4.4:
-    // "non-shared memory locations"). Disregarded in blind mode, like the
-    // aliasing condition.
-    let shared = SharedObjects::compute(module, pre);
-
-    // Per object: the stores that may write it and the loads/stores that may
-    // access it. Only store/load statements participate in [THREAD-VF].
+) -> (HashMap<MemId, Vec<StmtId>>, HashMap<MemId, Vec<StmtId>>) {
     let mut stores_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
     let mut accesses_of: HashMap<MemId, Vec<StmtId>> = HashMap::new();
     for (sid, stmt) in module.stmts() {
@@ -109,93 +214,79 @@ pub fn compute(
             _ => {}
         }
     }
+    (stores_of, accesses_of)
+}
 
+/// Computes the thread-aware def-use edges.
+///
+/// * `oracle` supplies instance-level MHP facts for the lock filter (the
+///   interleaving analysis, or the PCG baseline in the *No-Interleaving*
+///   configuration);
+/// * `rel` is the same backend factored into region form — every
+///   statement-level MHP test here is one region lookup plus a bit test,
+///   never a per-pair oracle probe;
+/// * `lock` enables Definition 6 filtering (`None` in the *No-Lock*
+///   configuration);
+/// * `blind` disregards the aliasing condition (*No-Value-Flow*).
+pub fn compute(
+    module: &Module,
+    icfg: &Icfg,
+    pre: &PreAnalysis,
+    oracle: &(dyn MhpOracle + Sync),
+    rel: &MhpRelation,
+    lock: Option<&LockAnalysis>,
+    blind: bool,
+) -> ThreadValueFlow {
     if blind {
-        // No-Value-Flow: pair every store with every MHP access, no
-        // aliasing requirement — the edge still needs an object label to
-        // exist in the graph; we use all of the store's targets.
-        let all_accesses: Vec<StmtId> = {
-            let mut v: Vec<StmtId> = accesses_of.values().flatten().copied().collect();
-            v.sort();
-            v.dedup();
-            v
-        };
-        let all_stores: Vec<StmtId> = {
-            let mut v: Vec<StmtId> = stores_of.values().flatten().copied().collect();
-            v.sort();
-            v.dedup();
-            v
-        };
-        let store_regions: Vec<Option<u32>> =
-            all_stores.iter().map(|&s| rel.region_of(s)).collect();
-        let access_regions: Vec<Option<u32>> =
-            all_accesses.iter().map(|&a| rel.region_of(a)).collect();
-        for (si, &s) in all_stores.iter().enumerate() {
-            for (ai, &a) in all_accesses.iter().enumerate() {
-                let par = match (store_regions[si], access_regions[ai]) {
-                    (Some(r1), Some(r2)) => rel.parallel_regions(r1, r2),
-                    _ => false,
-                };
-                if s == a || !par {
-                    continue;
-                }
-                out.stats.mhp_pairs += 1;
-                if let StmtKind::Store { ptr, .. } = module.stmt(s).kind {
-                    for o in pre.pt_var(ptr).iter() {
-                        out.edges.push((s, a, o));
-                        out.stats.edges += 1;
-                    }
-                }
-            }
-        }
-        return out;
+        // Sharedness and aliasing are both disregarded in blind mode, so
+        // the per-object plan does not apply; this ablation path stays
+        // sequential (it exists to be measured, not to be fast).
+        return compute_blind(module, pre, rel);
     }
+    let plan = ValueFlowPlan::new(module, icfg, pre, oracle, rel, lock);
+    let flows: Vec<ObjectFlow> = (0..plan.objects().len())
+        .map(|i| plan.object_flow(i))
+        .collect();
+    plan.merge(flows)
+}
 
-    let mut objects: Vec<MemId> = stores_of.keys().copied().collect();
-    objects.sort();
-    for o in objects {
-        let stores = &stores_of[&o];
-        let accesses = accesses_of.get(&o).map_or(&[][..], Vec::as_slice);
-        if accesses.len() < 2 {
-            continue;
-        }
-        // Sharedness prefilter: thread-private objects produce no
-        // thread-aware edges.
-        if !shared.is_shared(pre, o) {
-            continue;
-        }
-        out.stats.shared_objects += 1;
-        // One region lookup per statement; each pair costs one bit test.
-        let store_regions: Vec<Option<u32>> = stores.iter().map(|&s| rel.region_of(s)).collect();
-        let access_regions: Vec<Option<u32>> = accesses.iter().map(|&a| rel.region_of(a)).collect();
-        for (si, &s) in stores.iter().enumerate() {
-            for (ai, &a) in accesses.iter().enumerate() {
-                let par = match (store_regions[si], access_regions[ai]) {
-                    (Some(r1), Some(r2)) => rel.parallel_regions(r1, r2),
-                    _ => false,
-                };
-                if s == a {
-                    // A store can interfere with another runtime instance of
-                    // itself only in a multi-forked thread — exactly the
-                    // region self-bit.
-                    if !par {
-                        continue;
-                    }
-                } else {
-                    out.stats.aliased_pairs += 1;
+/// The *No-Value-Flow* ablation: every MHP store/access pair gets edges
+/// for all of the store's target objects, no aliasing or sharedness test.
+fn compute_blind(module: &Module, pre: &PreAnalysis, rel: &MhpRelation) -> ThreadValueFlow {
+    let mut out = ThreadValueFlow::default();
+    let (stores_of, accesses_of) = index_accesses(module, pre);
+    // No-Value-Flow: pair every store with every MHP access, no
+    // aliasing requirement — the edge still needs an object label to
+    // exist in the graph; we use all of the store's targets.
+    let all_accesses: Vec<StmtId> = {
+        let mut v: Vec<StmtId> = accesses_of.values().flatten().copied().collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let all_stores: Vec<StmtId> = {
+        let mut v: Vec<StmtId> = stores_of.values().flatten().copied().collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let store_regions: Vec<Option<u32>> = all_stores.iter().map(|&s| rel.region_of(s)).collect();
+    let access_regions: Vec<Option<u32>> = all_accesses.iter().map(|&a| rel.region_of(a)).collect();
+    for (si, &s) in all_stores.iter().enumerate() {
+        for (ai, &a) in all_accesses.iter().enumerate() {
+            let par = match (store_regions[si], access_regions[ai]) {
+                (Some(r1), Some(r2)) => rel.parallel_regions(r1, r2),
+                _ => false,
+            };
+            if s == a || !par {
+                continue;
+            }
+            out.stats.mhp_pairs += 1;
+            if let StmtKind::Store { ptr, .. } = module.stmt(s).kind {
+                for o in pre.pt_var(ptr).iter() {
+                    out.edges.push((s, a, o));
+                    out.stats.edges += 1;
                 }
-                if !par {
-                    continue;
-                }
-                out.stats.mhp_pairs += 1;
-                if let Some(lock) = lock {
-                    if all_instances_non_interfering(icfg, oracle, lock, s, a, o) {
-                        out.stats.lock_filtered += 1;
-                        continue;
-                    }
-                }
-                out.edges.push((s, a, o));
-                out.stats.edges += 1;
             }
         }
     }
@@ -385,6 +476,70 @@ mod tests {
         );
         assert!(vf.edges.is_empty());
         assert_eq!(vf.stats.mhp_pairs, 0);
+    }
+
+    /// The per-object plan must reproduce the sequential `compute` exactly
+    /// — edges in the same order, identical stats — no matter in which
+    /// order the object flows are *evaluated* (merge reorders by object).
+    #[test]
+    fn plan_merge_matches_sequential_compute_for_any_evaluation_order() {
+        let w = analyze(
+            r#"
+            global a
+            global b
+            global lk
+            func worker() {
+            entry:
+              p = &a
+              q = &b
+              l = &lk
+              store p, q
+              lock l
+              store q, p
+              unlock l
+              c = load p
+              d = load q
+              ret
+            }
+            func main() {
+            entry:
+              t1 = fork worker()
+              t2 = fork worker()
+              p0 = &a
+              e = load p0
+              join t1
+              join t2
+              ret
+            }
+        "#,
+        );
+        let seq = compute(
+            &w.m,
+            &w.icfg,
+            &w.pre,
+            &w.inter,
+            &w.rel,
+            Some(&w.lock),
+            false,
+        );
+        let plan = ValueFlowPlan::new(&w.m, &w.icfg, &w.pre, &w.inter, &w.rel, Some(&w.lock));
+        assert!(
+            plan.objects().len() >= 2,
+            "test program must exercise more than one work unit"
+        );
+        // Evaluate in reverse order (a worker pool evaluates in *any*
+        // order), then merge in object order.
+        let mut flows: Vec<ObjectFlow> = (0..plan.objects().len())
+            .rev()
+            .map(|i| plan.object_flow(i))
+            .collect();
+        flows.reverse();
+        let merged = plan.merge(flows);
+        assert_eq!(merged.stats, seq.stats);
+        assert_eq!(
+            merged.edges, seq.edges,
+            "edge order is part of the contract"
+        );
     }
 
     /// Paper Figure 1(e)/Figure 9: lock correlation removes spurious edges.

@@ -1,0 +1,101 @@
+//! Parallel/sequential identity: the level-synchronous schedule must
+//! reproduce the sequential fixpoint on every suite program, for both MHP
+//! backends, at any worker count — and be deterministic run to run.
+//!
+//! The sequential run pins `with_threads(1)` (the exact legacy code path);
+//! the parallel runs force at least two workers even on a single-core host
+//! (`FSAM_THREADS` in CI's par-smoke job raises this further). Points-to
+//! sets and entry counts must match across schedules; the *full* result —
+//! solver statistics included — must match across all parallel counts,
+//! because evaluation is pure and application replays one deterministic
+//! order regardless of how the levels were sharded.
+
+use fsam::{PhaseConfig, Pipeline};
+use fsam_query::AnalysisDb;
+use fsam_suite::{Program, Scale};
+
+/// Every program × both MHP backends: the parallel fixpoint equals the
+/// sequential one, with identical entry counts and value-flow statistics.
+#[test]
+fn parallel_matches_sequential_on_all_programs_and_backends() {
+    for p in Program::all() {
+        let module = p.generate(Scale::SMOKE);
+        for config in [PhaseConfig::full(), PhaseConfig::no_interleaving()] {
+            let seq = Pipeline::for_module(&module).with_threads(1).run(config);
+            let par = Pipeline::for_module(&module)
+                .with_threads(fsam::thread_count().max(2))
+                .run(config);
+            assert!(
+                seq.result.points_to_eq(&par.result),
+                "{}: parallel fixpoint diverged (interleaving={})",
+                p.name(),
+                config.interleaving
+            );
+            assert_eq!(
+                seq.result.stats.var_pts_entries,
+                par.result.stats.var_pts_entries,
+                "{}: var entry counts diverged",
+                p.name()
+            );
+            assert_eq!(
+                seq.result.stats.def_pts_entries,
+                par.result.stats.def_pts_entries,
+                "{}: def entry counts diverged",
+                p.name()
+            );
+            assert_eq!(
+                seq.vf_stats,
+                par.vf_stats,
+                "{}: value-flow stats diverged",
+                p.name()
+            );
+        }
+    }
+}
+
+/// Thread-count independence: two and eight workers produce the *same*
+/// result, statistics and all.
+#[test]
+fn two_and_eight_workers_are_bit_identical() {
+    for p in [Program::X264, Program::MtDaapd, Program::WordCount] {
+        let module = p.generate(Scale::SMOKE);
+        let two = Pipeline::for_module(&module)
+            .with_threads(2)
+            .run(PhaseConfig::full());
+        let eight = Pipeline::for_module(&module)
+            .with_threads(8)
+            .run(PhaseConfig::full());
+        assert_eq!(
+            two.result,
+            eight.result,
+            "{}: results differ between 2 and 8 workers",
+            p.name()
+        );
+        assert_eq!(two.vf_stats, eight.vf_stats, "{}", p.name());
+    }
+}
+
+/// Run-to-run determinism at eight workers: the frozen [`AnalysisDb`]
+/// snapshot — points-to sets, definitions, interned pool, the lot — is
+/// byte-identical across two independent pipeline runs. Any unordered
+/// iteration smuggled into the parallel path (a `HashMap` walk feeding the
+/// merge, a schedule-dependent intern order leaking into the result)
+/// breaks this.
+#[test]
+fn eight_worker_runs_are_byte_deterministic() {
+    for p in [Program::Raytrace, Program::HttpdServer] {
+        let module = p.generate(Scale::SMOKE);
+        let run = || {
+            let fsam = Pipeline::for_module(&module)
+                .with_threads(8)
+                .run(PhaseConfig::full());
+            AnalysisDb::capture(&module, &fsam).to_bytes()
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "{}: snapshot bytes differ run to run",
+            p.name()
+        );
+    }
+}

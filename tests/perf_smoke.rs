@@ -14,11 +14,14 @@
 
 use std::time::Instant;
 
-use fsam::Fsam;
+use fsam::{Fsam, PhaseConfig, Pipeline};
 use fsam_query::QueryEngine;
 use fsam_suite::{Program, Scale};
 
 /// Measured `stats.processed` per program at `Scale::SMOKE`, times 1.5.
+/// These are the **sequential** schedule's counts: the worklist test below
+/// pins the pipeline to one thread, because the level-synchronous parallel
+/// schedule batches differently (deterministically, but not identically).
 const BOUNDS: [(&str, usize); 10] = [
     ("word_count", 365),
     ("kmeans", 425),
@@ -36,7 +39,9 @@ const BOUNDS: [(&str, usize); 10] = [
 fn worklist_items_stay_under_checked_in_bounds() {
     for p in Program::all() {
         let module = p.generate(Scale::SMOKE);
-        let fsam = Fsam::analyze(&module);
+        let fsam = Pipeline::for_module(&module)
+            .with_threads(1)
+            .run(PhaseConfig::full());
         let processed = fsam.result.stats.processed;
         let bound = BOUNDS
             .iter()
@@ -49,6 +54,71 @@ fn worklist_items_stay_under_checked_in_bounds() {
             p.name()
         );
     }
+}
+
+/// The parallel pipeline must stay inside generous wall-clock ceilings on
+/// the four largest programs — a scheduling regression (a worker spinning,
+/// a level barrier that never releases, quadratic merge traffic) shows up
+/// here as a hang or a blowout long before the identity tests time out.
+#[test]
+fn parallel_pipeline_stays_under_wall_clock_ceilings() {
+    let ceiling_ms: u128 = if cfg!(debug_assertions) {
+        20_000
+    } else {
+        4_000
+    };
+    let threads = fsam::thread_count().max(2);
+    for p in [
+        Program::X264,
+        Program::Raytrace,
+        Program::MtDaapd,
+        Program::HttpdServer,
+    ] {
+        let module = p.generate(Scale::SMOKE);
+        let start = Instant::now();
+        let fsam = Pipeline::for_module(&module)
+            .with_threads(threads)
+            .run(PhaseConfig::full());
+        let wall_ms = start.elapsed().as_millis();
+        assert!(
+            wall_ms <= ceiling_ms,
+            "{}: parallel pipeline took {wall_ms} ms at {threads} threads, ceiling is {ceiling_ms} ms",
+            p.name()
+        );
+        assert!(fsam.result.stats.processed > 0, "{}: empty solve", p.name());
+    }
+}
+
+/// With a real multicore (≥ 8 workers available), the two parallelized
+/// phases combined must beat the sequential pipeline by at least 2x on the
+/// two heaviest programs at the benchmark scale. Self-skips on smaller
+/// hosts — a 1-core CI container can only measure overhead, not speedup.
+#[test]
+fn parallel_speedup_reaches_two_x_on_eight_cores() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores < 8 {
+        eprintln!("skipping speedup assertion: only {cores} cores available");
+        return;
+    }
+    let scale = Scale(0.32);
+    let (mut seq_us, mut par_us) = (0u128, 0u128);
+    for p in [Program::X264, Program::Raytrace] {
+        let module = p.generate(scale);
+        let seq = Pipeline::for_module(&module)
+            .with_threads(1)
+            .run(PhaseConfig::full());
+        let par = Pipeline::for_module(&module)
+            .with_threads(8)
+            .run(PhaseConfig::full());
+        assert!(seq.result.points_to_eq(&par.result), "{}", p.name());
+        seq_us += seq.times.value_flow.as_micros() + seq.times.sparse_solve.as_micros();
+        par_us += par.times.value_flow.as_micros() + par.times.sparse_solve.as_micros();
+    }
+    let speedup = seq_us as f64 / par_us.max(1) as f64;
+    assert!(
+        speedup >= 2.0,
+        "combined value-flow + solve speedup is {speedup:.2}x (seq {seq_us} us, par {par_us} us), need 2x"
+    );
 }
 
 /// The factored lint path must stay cheap on the largest suite program:

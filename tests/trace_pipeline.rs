@@ -243,6 +243,10 @@ fn bench_export_keys_have_not_drifted() {
             "aliased_pairs",
             "events_recorded",
             "events_dropped",
+            "threads",
+            "par_value_flow_us",
+            "par_sparse_solve_us",
+            "speedup_vs_seq",
         ],
     );
     record_keys(
