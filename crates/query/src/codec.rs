@@ -116,6 +116,17 @@ impl Writer {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Appends a `u32` byte-length prefix followed by the raw bytes
+    /// (opaque payloads: an embedded snapshot inside a wire frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob is longer than `u32::MAX` bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(u32::try_from(b.len()).expect("blob too large for snapshot"));
+        self.buf.extend_from_slice(b);
+    }
+
     /// The bytes written so far.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -183,6 +194,12 @@ impl<'a> Reader<'a> {
             out.push(self.u32()?);
         }
         Ok(out)
+    }
+
+    /// Reads a length-prefixed opaque byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.read_count(1)?;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -271,6 +288,25 @@ mod tests {
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert!(matches!(r.str(), Err(CodecError::Utf8 { .. })));
+    }
+
+    #[test]
+    fn byte_blobs_roundtrip_and_reject_truncation() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0x00, 0x7f]);
+        w.put_bytes(&[]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), vec![0xff, 0x00, 0x7f]);
+        assert_eq!(r.bytes().unwrap(), Vec::<u8>::new());
+        r.finish().unwrap();
+        for len in 0..buf.len() - 4 {
+            let mut r = Reader::new(&buf[..len]);
+            assert!(
+                r.bytes().and_then(|_| r.bytes()).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
     }
 
     #[test]

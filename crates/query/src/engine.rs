@@ -234,6 +234,15 @@ impl QueryEngine {
         self.alias_cache.stats()
     }
 
+    /// Hits answered by the alias cache's lock-free direct-mapped front
+    /// alone — a subset of [`cache_stats`](QueryEngine::cache_stats)'s
+    /// `hits`. Exported so out-of-process consumers (the `fsam-server`
+    /// daemon's `Stats` op) can report the fast path's share without
+    /// reaching into the cache.
+    pub fn front_hits(&self) -> u64 {
+        self.alias_cache.front_hits()
+    }
+
     /// A formatted "query cache" section: the alias cache's hits (with the
     /// lock-free front's share), misses, hit rate and residency, plus the
     /// size of the factored MHP relation answering the pair queries that

@@ -1,0 +1,159 @@
+//! Concurrent stress test for [`PairCache`]: 8 reader threads hammering
+//! the lock-free `AtomicU64` front and the sharded LRU behind it, with a
+//! pure fill function so every returned value is checkable against the
+//! ground truth — concurrency must never change an answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fsam_ir::rng::SmallRng;
+use fsam_query::PairCache;
+
+/// The ground truth the cache memoizes: a pure, deterministic predicate
+/// of the key (so a racing fill can never produce a different value than
+/// the one a hit returns).
+fn truth(a: u32, b: u32) -> bool {
+    let mut z = (u64::from(a) << 32 | u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    z & 1 == 0
+}
+
+const THREADS: usize = 8;
+const PROBES_PER_THREAD: usize = 100_000;
+
+#[test]
+fn eight_readers_agree_with_the_pure_fill() {
+    let cache = PairCache::new(4096);
+    let fills = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let fills = &fills;
+            scope.spawn(move || {
+                // Each thread walks its own deterministic key schedule over
+                // a shared key universe, so threads collide on keys — the
+                // interesting case for the packed-word front.
+                let mut rng = SmallRng::seed_from_u64(0xcafe + t as u64);
+                for _ in 0..PROBES_PER_THREAD {
+                    let a = rng.gen_range(0u32..512);
+                    let b = rng.gen_range(0u32..512);
+                    let got = cache.get_or_insert_with((a, b), || {
+                        fills.fetch_add(1, Ordering::Relaxed);
+                        truth(a, b)
+                    });
+                    assert_eq!(got, truth(a, b), "wrong answer for ({a}, {b})");
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    // Every probe is accounted for as a hit or a miss.
+    assert_eq!(
+        stats.hits + stats.misses,
+        (THREADS * PROBES_PER_THREAD) as u64,
+        "stats lost probes"
+    );
+    // Each executed fill is a counted miss. (Hits may exceed fills - 1 per
+    // key: a racing pair can both fill the same key.)
+    assert_eq!(stats.misses, fills.load(Ordering::Relaxed));
+    // 512×512 key universe, millions of probes: the front must be doing
+    // real work, not punting everything to the LRU.
+    assert!(cache.front_hits() > 0, "the AtomicU64 front never hit");
+}
+
+/// The same schedule replayed single-threaded returns byte-identical
+/// answers — concurrency is invisible in results.
+#[test]
+fn concurrent_answers_match_a_single_threaded_replay() {
+    let concurrent = PairCache::new(4096);
+    let mut answers: Vec<Vec<bool>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = &concurrent;
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xbeef + t as u64);
+                    (0..PROBES_PER_THREAD)
+                        .map(|_| {
+                            let a = rng.gen_range(0u32..512);
+                            let b = rng.gen_range(0u32..512);
+                            cache.get_or_insert_with((a, b), || truth(a, b))
+                        })
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            answers.push(h.join().unwrap());
+        }
+    });
+
+    // Replay every thread's schedule against a fresh, single-threaded
+    // cache: answers must be identical position by position.
+    for (t, concurrent_answers) in answers.iter().enumerate() {
+        let solo = PairCache::new(4096);
+        let mut rng = SmallRng::seed_from_u64(0xbeef + t as u64);
+        for (i, &expected) in concurrent_answers.iter().enumerate() {
+            let a = rng.gen_range(0u32..512);
+            let b = rng.gen_range(0u32..512);
+            let got = solo.get_or_insert_with((a, b), || truth(a, b));
+            assert_eq!(got, expected, "thread {t} probe {i} diverged");
+        }
+    }
+}
+
+/// Eviction pressure: a tiny capacity forces constant LRU eviction under
+/// all 8 threads, and answers still never change (an evicted key refills
+/// from the pure function).
+#[test]
+fn answers_survive_eviction_pressure() {
+    let cache = PairCache::new(64); // far smaller than the key universe
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xd00d + t as u64);
+                for _ in 0..PROBES_PER_THREAD / 4 {
+                    let a = rng.gen_range(0u32..4096);
+                    let b = rng.gen_range(0u32..4096);
+                    assert_eq!(
+                        cache.get_or_insert_with((a, b), || truth(a, b)),
+                        truth(a, b)
+                    );
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert!(
+        stats.misses > 64,
+        "tiny capacity + huge universe must evict and refill"
+    );
+}
+
+/// Keys past the packed-word limit fall through to the sharded LRU; mixing
+/// packable and unpackable keys across threads keeps both tiers honest.
+#[test]
+fn unpackable_keys_share_the_cache_with_packed_ones() {
+    const BIG: u32 = 1 << 30; // beyond PairCache's packable id range
+    let cache = PairCache::new(4096);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xabcd + t as u64);
+                for _ in 0..PROBES_PER_THREAD / 10 {
+                    let small = rng.gen_range(0u32..256);
+                    let big = BIG + rng.gen_range(0u32..256);
+                    assert_eq!(
+                        cache.get_or_insert_with((small, big), || truth(small, big)),
+                        truth(small, big)
+                    );
+                    assert_eq!(
+                        cache.get_or_insert_with((small, small), || truth(small, small)),
+                        truth(small, small)
+                    );
+                }
+            });
+        }
+    });
+}

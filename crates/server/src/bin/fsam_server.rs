@@ -1,0 +1,183 @@
+//! The `fsam-server` binary: daemon and command-line client in one.
+//!
+//! Daemon (pick a snapshot source, then serve until an in-band shutdown):
+//!
+//! ```text
+//! fsam-server --snapshot app.fsamdb [--addr 127.0.0.1:7411]
+//! fsam-server --program httpd_server [--scale 0.08] [--lint] [--save PATH]
+//! ```
+//!
+//! The daemon prints `listening on ADDR` (flushed) so scripts can grab
+//! the ephemeral port, then blocks until a client sends `Shutdown`.
+//! `--program` solves a suite program in-process and serves the captured
+//! snapshot; `--lint` additionally runs the checker registry so the
+//! `Diags` op has answers; `--save` writes the snapshot for later
+//! `--reload` pushes.
+//!
+//! Client (one op per invocation against a running daemon):
+//!
+//! ```text
+//! fsam-server --connect ADDR --ping
+//! fsam-server --connect ADDR --stats
+//! fsam-server --connect ADDR --pt main:p
+//! fsam-server --connect ADDR --may-alias main:p main:q
+//! fsam-server --connect ADDR --mhp 12 40
+//! fsam-server --connect ADDR --diags [FL0001]
+//! fsam-server --connect ADDR --reload app.fsamdb
+//! fsam-server --connect ADDR --shutdown
+//! ```
+
+use std::io::Write as _;
+
+use fsam::Fsam;
+use fsam_ir::StmtId;
+use fsam_query::{AnalysisDb, QueryEngine};
+use fsam_server::{wire_diags, Client, Server, ServerState};
+use fsam_suite::{Program, Scale};
+
+fn main() {
+    if let Some(addr) = arg_str("--connect") {
+        run_client(&addr);
+        return;
+    }
+    run_daemon();
+}
+
+fn run_daemon() {
+    let addr = arg_str("--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let state = if let Some(path) = arg_str("--snapshot") {
+        let db = AnalysisDb::load(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        ServerState::new(QueryEngine::new(db))
+    } else if let Some(name) = arg_str("--program") {
+        let scale = Scale(arg_value("--scale").unwrap_or(0.08));
+        let program = Program::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .unwrap_or_else(|| die(&format!("unknown program {name:?}")));
+        eprintln!("analyzing {name} @ {}...", scale.0);
+        let module = program.generate(scale);
+        let fsam = Fsam::analyze(&module);
+        let db = AnalysisDb::capture(&module, &fsam);
+        if let Some(path) = arg_str("--save") {
+            db.save(&path)
+                .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            eprintln!("snapshot saved to {path}");
+        }
+        let engine = QueryEngine::new(db);
+        if has_flag("--lint") {
+            let cx = fsam_lint::LintContext::new(&module, &fsam, &engine);
+            let report = fsam_lint::Registry::with_default_checkers().run(&cx);
+            eprintln!("{} diagnostics computed", report.diagnostics.len());
+            ServerState::with_diags(engine, wire_diags(&report))
+        } else {
+            ServerState::new(engine)
+        }
+    } else {
+        die("pass --snapshot PATH or --program NAME (or --connect ADDR for client mode)")
+    };
+
+    let handle =
+        Server::spawn(state, addr.as_str()).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().expect("flush stdout");
+    handle.join();
+    eprintln!("shut down");
+}
+
+fn run_client(addr: &str) {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+    let or_die = |e: fsam_server::ProtoError| -> ! { die(&e.to_string()) };
+    if has_flag("--ping") {
+        client.ping().unwrap_or_else(|e| or_die(e));
+        println!("pong");
+    } else if has_flag("--stats") {
+        for (name, value) in client.stats().unwrap_or_else(|e| or_die(e)) {
+            println!("{name:<18} {value}");
+        }
+    } else if let Some(spec) = arg_str("--pt") {
+        let (func, var) = split_name(&spec);
+        match client.pt_names(func, var).unwrap_or_else(|e| or_die(e)) {
+            Some(names) => println!("pt({spec}) = {{{}}}", names.join(", ")),
+            None => println!("{spec}: unknown variable"),
+        }
+    } else if let Some(spec) = arg_str("--may-alias") {
+        let other = trailing_operand().unwrap_or_else(|| die("--may-alias needs two F:V operands"));
+        let (f1, v1) = split_name(&spec);
+        let (f2, v2) = split_name(&other);
+        let p = resolve(&mut client, f1, v1);
+        let q = resolve(&mut client, f2, v2);
+        let ans = client.may_alias(p, q).unwrap_or_else(|e| or_die(e));
+        println!("may_alias({spec}, {other}) = {ans}");
+    } else if let Some(s1) = arg_value("--mhp") {
+        let s2 = trailing_operand()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or_else(|| die("--mhp needs two statement ids"));
+        let ans = client
+            .mhp(StmtId::new(s1 as u32), StmtId::new(s2))
+            .unwrap_or_else(|e| or_die(e));
+        println!("mhp(s{}, s{s2}) = {ans}", s1 as u32);
+    } else if has_flag("--diags") {
+        let code = trailing_operand().unwrap_or_default();
+        let diags = client.diagnostics(&code).unwrap_or_else(|e| or_die(e));
+        for d in &diags {
+            println!(
+                "{} [{}] at s{}: {}",
+                d.code,
+                d.severity,
+                d.stmt.raw(),
+                d.message
+            );
+        }
+        println!("{} diagnostics", diags.len());
+    } else if let Some(path) = arg_str("--reload") {
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        let (vars, objects) = client.reload(&bytes).unwrap_or_else(|e| or_die(e));
+        println!("reloaded: {vars} vars, {objects} objects");
+    } else if has_flag("--shutdown") {
+        client.shutdown().unwrap_or_else(|e| or_die(e));
+        println!("server shutting down");
+    } else {
+        die("pass one of --ping --stats --pt --may-alias --mhp --diags --reload --shutdown");
+    }
+}
+
+fn resolve(client: &mut Client, func: &str, var: &str) -> fsam_ir::VarId {
+    match client.var_named(func, var) {
+        Ok(Some(v)) => v,
+        Ok(None) => die(&format!("unknown variable {func}:{var}")),
+        Err(e) => die(&e.to_string()),
+    }
+}
+
+/// Splits `func:var` (preferred) or `func.var`.
+fn split_name(spec: &str) -> (&str, &str) {
+    spec.split_once(':')
+        .or_else(|| spec.split_once('.'))
+        .unwrap_or_else(|| die(&format!("operand {spec:?} is not FUNC:VAR")))
+}
+
+/// The operand after the last flag's value (for two-operand ops).
+fn trailing_operand() -> Option<String> {
+    std::env::args().next_back().filter(|a| !a.starts_with("--"))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("fsam-server: {msg}");
+    std::process::exit(2);
+}
+
+fn arg_value(flag: &str) -> Option<f64> {
+    arg_str(flag).and_then(|v| v.parse().ok())
+}
+
+fn arg_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}

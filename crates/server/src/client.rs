@@ -1,0 +1,175 @@
+//! The client library: a blocking, synchronous connection to a running
+//! daemon.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time; throughput comes from batching ([`Client::query_many`] ships a
+//! whole [`Query`] slab per frame) and from opening one client per
+//! thread — the server serves every connection concurrently against a
+//! shared engine.
+//!
+//! Server-side failures arrive as [`ProtoError::Remote`] with the
+//! server's message; the connection survives them (the daemon answers
+//! errors in-band and keeps listening on the same framing).
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use fsam_ir::{StmtId, VarId};
+use fsam_pts::MemId;
+use fsam_query::{Answer, Query};
+
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, WireDiag};
+
+/// A blocking connection to an `fsam-server` daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ProtoError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// One request → response round trip. In-band server errors surface
+    /// as [`ProtoError::Remote`].
+    fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ProtoError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        match Response::decode(&payload)? {
+            Response::Error(msg) => Err(ProtoError::Remote(msg)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Health check.
+    pub fn ping(&mut self) -> Result<(), ProtoError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ProtoError::Unexpected { expected: "Pong" }),
+        }
+    }
+
+    /// Ships a query slab; answers come back in slab order.
+    pub fn query_many(&mut self, queries: &[Query]) -> Result<Vec<Answer>, ProtoError> {
+        match self.call(&Request::Batch(queries.to_vec()))? {
+            Response::Answers(answers) if answers.len() == queries.len() => Ok(answers),
+            Response::Answers(_) => Err(ProtoError::Unexpected {
+                expected: "one answer per query",
+            }),
+            _ => Err(ProtoError::Unexpected {
+                expected: "Answers",
+            }),
+        }
+    }
+
+    fn one(&mut self, q: Query) -> Result<Answer, ProtoError> {
+        Ok(self.query_many(&[q])?.pop().expect("length checked"))
+    }
+
+    /// The points-to set of `v`, ascending.
+    pub fn points_to(&mut self, v: VarId) -> Result<Vec<MemId>, ProtoError> {
+        match self.one(Query::PointsTo(v))? {
+            Answer::Objects(objs) => Ok(objs),
+            _ => Err(ProtoError::Unexpected {
+                expected: "Objects",
+            }),
+        }
+    }
+
+    /// Whether `p` and `q` may alias.
+    pub fn may_alias(&mut self, p: VarId, q: VarId) -> Result<bool, ProtoError> {
+        match self.one(Query::MayAlias(p, q))? {
+            Answer::Bool(b) => Ok(b),
+            _ => Err(ProtoError::Unexpected { expected: "Bool" }),
+        }
+    }
+
+    /// Whether `a` and `b` may happen in parallel.
+    pub fn mhp(&mut self, a: StmtId, b: StmtId) -> Result<bool, ProtoError> {
+        match self.one(Query::Mhp(a, b))? {
+            Answer::Bool(b) => Ok(b),
+            _ => Err(ProtoError::Unexpected { expected: "Bool" }),
+        }
+    }
+
+    /// Variables whose points-to set contains `o`, ascending.
+    pub fn aliases_of(&mut self, o: MemId) -> Result<Vec<VarId>, ProtoError> {
+        match self.one(Query::AliasesOf(o))? {
+            Answer::Vars(vars) => Ok(vars),
+            _ => Err(ProtoError::Unexpected { expected: "Vars" }),
+        }
+    }
+
+    /// The server's named counters (`uptime_us`, `queries`, `p99_us`…).
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ProtoError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            _ => Err(ProtoError::Unexpected { expected: "Stats" }),
+        }
+    }
+
+    /// Pushes serialized snapshot bytes and swaps them in; returns the
+    /// new snapshot's `(vars, objects)` table sizes.
+    pub fn reload(&mut self, snapshot: &[u8]) -> Result<(u32, u32), ProtoError> {
+        match self.call(&Request::Reload {
+            snapshot: snapshot.to_vec(),
+        })? {
+            Response::Reloaded { vars, objects } => Ok((vars, objects)),
+            _ => Err(ProtoError::Unexpected {
+                expected: "Reloaded",
+            }),
+        }
+    }
+
+    /// Stops the daemon in-band. The connection is unusable afterwards.
+    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ProtoError::Unexpected {
+                expected: "ShuttingDown",
+            }),
+        }
+    }
+
+    /// Lint diagnostics for the served snapshot; `code` filters to one
+    /// checker, the empty string returns all.
+    pub fn diagnostics(&mut self, code: &str) -> Result<Vec<WireDiag>, ProtoError> {
+        match self.call(&Request::Diags { code: code.into() })? {
+            Response::Diags(diags) => Ok(diags),
+            _ => Err(ProtoError::Unexpected { expected: "Diags" }),
+        }
+    }
+
+    /// Resolves a `(function, variable)` name to its id, if the snapshot
+    /// knows it.
+    pub fn var_named(&mut self, func: &str, var: &str) -> Result<Option<VarId>, ProtoError> {
+        match self.call(&Request::Resolve {
+            func: func.into(),
+            var: var.into(),
+        })? {
+            Response::Resolved(v) => Ok(v),
+            _ => Err(ProtoError::Unexpected {
+                expected: "Resolved",
+            }),
+        }
+    }
+
+    /// Display names of the objects `var` (in `func`) may point to,
+    /// sorted; `None` if the name is unknown.
+    pub fn pt_names(&mut self, func: &str, var: &str) -> Result<Option<Vec<String>>, ProtoError> {
+        match self.call(&Request::PtNames {
+            func: func.into(),
+            var: var.into(),
+        })? {
+            Response::Names(names) => Ok(names),
+            _ => Err(ProtoError::Unexpected { expected: "Names" }),
+        }
+    }
+}

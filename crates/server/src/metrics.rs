@@ -1,0 +1,229 @@
+//! Server-side counters: throughput, latency percentiles, swap count.
+//!
+//! [`Metrics`] is a set of wait-free atomics bumped on the hot serving
+//! path — one `fetch_add` per frame plus one histogram bump per batch —
+//! and read by the in-band `Stats` op and the `server.*` trace export.
+//! Latency is a 40-bucket log₂ histogram of per-batch service time in
+//! microseconds (decode → `query_many` → encode), so percentiles are
+//! upper bounds accurate to 2×: ample for the "did the swap stall
+//! readers?" question the bench asks, with no per-request allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of log₂ latency buckets: bucket `i` holds batches that took
+/// `[2^(i-1), 2^i)` µs (bucket 0: under 1 µs). 2^39 µs ≈ 6.4 days caps
+/// the range.
+const BUCKETS: usize = 40;
+
+/// Wait-free serving counters (see module docs).
+pub struct Metrics {
+    started: Instant,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    batches: AtomicU64,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    swaps: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters; uptime starts now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// A connection was accepted.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request frame was served (any op, including errored ones).
+    pub fn record_frame(&self) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A batch of `queries` was answered in `took`.
+    pub fn record_batch(&self, queries: usize, took: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(queries as u64, Ordering::Relaxed);
+        let us = u64::try_from(took.as_micros()).unwrap_or(u64::MAX);
+        let bucket = if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        };
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was answered with an in-band error.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot swap completed.
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total queries answered so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Total snapshot swaps so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Total in-band errors so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The `p`-th percentile (`0 < p ≤ 100`) of batch service time in µs,
+    /// as the upper bound of its histogram bucket. Zero when no batch has
+    /// been recorded.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// Microseconds since the metrics were created.
+    pub fn uptime_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The counter vocabulary as `(name, value)` pairs — the `Stats` op's
+    /// payload and the trace export's source. Names are bare (no
+    /// `server.` prefix); [`export_trace`](Metrics::export_trace)
+    /// prefixes them.
+    pub fn pairs(&self) -> Vec<(String, u64)> {
+        vec![
+            ("uptime_us".into(), self.uptime_us()),
+            (
+                "connections".into(),
+                self.connections.load(Ordering::Relaxed),
+            ),
+            ("frames".into(), self.frames.load(Ordering::Relaxed)),
+            ("batches".into(), self.batches.load(Ordering::Relaxed)),
+            ("queries".into(), self.queries()),
+            ("errors".into(), self.errors()),
+            ("swaps".into(), self.swaps()),
+            ("p50_us".into(), self.percentile_us(50.0)),
+            ("p99_us".into(), self.percentile_us(99.0)),
+        ]
+    }
+
+    /// Exports every counter as `server.<name>` into a trace span, on the
+    /// same stream the pipeline, solver and query engine feed.
+    pub fn export_trace(&self, span: &fsam_trace::Span<'_>) {
+        for (name, value) in self.pairs() {
+            span.counter(format!("server.{name}"), value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_and_query_totals_accumulate() {
+        let m = Metrics::new();
+        m.record_batch(10, Duration::from_micros(3));
+        m.record_batch(5, Duration::from_micros(900));
+        assert_eq!(m.queries(), 15);
+        let pairs = m.pairs();
+        let get = |k: &str| pairs.iter().find(|(n, _)| n == k).unwrap().1;
+        assert_eq!(get("batches"), 2);
+        assert_eq!(get("queries"), 15);
+        assert_eq!(get("swaps"), 0);
+    }
+
+    #[test]
+    fn percentiles_are_log2_upper_bounds() {
+        let m = Metrics::new();
+        // 99 fast batches (~2 µs) and one slow outlier (~1000 µs).
+        for _ in 0..99 {
+            m.record_batch(1, Duration::from_micros(2));
+        }
+        m.record_batch(1, Duration::from_micros(1000));
+        let p50 = m.percentile_us(50.0);
+        assert!(p50 <= 4, "p50 {p50} should sit in the fast bucket");
+        let p99 = m.percentile_us(99.0);
+        assert!(p99 <= 4, "p99 {p99}: 99 of 100 batches are fast");
+        let p100 = m.percentile_us(100.0);
+        assert!(
+            (1024..=2048).contains(&p100),
+            "p100 {p100} should cover the outlier"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.percentile_us(50.0), 0);
+        assert_eq!(m.percentile_us(99.0), 0);
+    }
+
+    #[test]
+    fn trace_export_prefixes_and_validates() {
+        let m = Metrics::new();
+        m.record_batch(3, Duration::from_micros(10));
+        m.record_swap();
+        let rec = fsam_trace::Recorder::new(64);
+        {
+            let span = rec.span("server");
+            m.export_trace(&span);
+        }
+        let mut found_queries = false;
+        for ev in rec.events() {
+            let line = fsam_trace::schema::to_jsonl_line(&ev);
+            fsam_trace::schema::validate_line(&line).expect("schema-valid");
+            if let fsam_trace::Event::Counter { name, value, .. } = &ev {
+                assert!(
+                    name.starts_with("server.") || name == "server",
+                    "unprefixed counter {name}"
+                );
+                if name.as_ref() == "server.queries" {
+                    assert_eq!(*value, 3);
+                    found_queries = true;
+                }
+            }
+        }
+        assert!(found_queries);
+    }
+}

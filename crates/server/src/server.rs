@@ -1,0 +1,319 @@
+//! The daemon: accept loop, per-connection workers, hot snapshot swap.
+//!
+//! [`Server::spawn`] binds a std TCP listener and serves each connection
+//! on its own thread. All connections share one [`Arc<ServerState>`]
+//! behind an `RwLock<Arc<_>>`:
+//!
+//! * a **batch** clones the current `Arc` once (a read lock held for the
+//!   duration of one pointer clone) and answers the whole slab against
+//!   that snapshot — every batch is internally consistent even if a swap
+//!   lands mid-slab;
+//! * a **reload** validates the pushed snapshot bytes *outside* the lock
+//!   (a corrupt snapshot is rejected in-band and the old engine keeps
+//!   serving), then replaces the `Arc` under the write lock. In-flight
+//!   batches still hold the old `Arc`, so the old engine is freed only
+//!   when its last reader finishes — readers are never dropped, stalled
+//!   or pointed at freed tables.
+//!
+//! The memory-ordering argument is the lock's: `RwLock` release/acquire
+//! edges make everything the reloader wrote into the new [`ServerState`]
+//! visible to every reader that observes the new `Arc`, and the `Arc`
+//! refcount keeps the old state alive for readers that raced ahead of the
+//! swap. (An `AtomicPtr` swap would save the read lock's ~nanoseconds but
+//! needs `unsafe`, which this workspace forbids; the lock is held for a
+//! refcount increment, never across query evaluation, so it is not a
+//! scalability bottleneck — see `BENCH_server.json`.)
+//!
+//! Shutdown is in-band: a `Shutdown` frame flips the shared flag and
+//! wakes the accept loop with a loopback connection, so tests and CI
+//! never need signal handling.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fsam_query::{AnalysisDb, QueryEngine, SnapshotError};
+
+use crate::metrics::Metrics;
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, WireDiag};
+
+/// Everything one snapshot serves: the query engine and the lint
+/// diagnostics computed for that snapshot (empty when the daemon was
+/// handed a bare snapshot — diagnostics need the module, so they are
+/// computed by whoever ran the analysis and handed to the server).
+pub struct ServerState {
+    engine: QueryEngine,
+    diags: Vec<WireDiag>,
+}
+
+impl ServerState {
+    /// State serving queries only (no lint diagnostics).
+    pub fn new(engine: QueryEngine) -> ServerState {
+        ServerState {
+            engine,
+            diags: Vec::new(),
+        }
+    }
+
+    /// State serving queries and a precomputed diagnostic report.
+    pub fn with_diags(engine: QueryEngine, diags: Vec<WireDiag>) -> ServerState {
+        ServerState { engine, diags }
+    }
+
+    /// Validates serialized snapshot bytes and builds serving state. The
+    /// pushed snapshot carries no diagnostics.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<ServerState, SnapshotError> {
+        Ok(ServerState::new(QueryEngine::new(AnalysisDb::from_bytes(
+            bytes,
+        )?)))
+    }
+
+    /// The engine this state answers from.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The diagnostics this state serves.
+    pub fn diags(&self) -> &[WireDiag] {
+        &self.diags
+    }
+}
+
+struct Shared {
+    state: RwLock<Arc<ServerState>>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// The serving snapshot, cloned out from under the read lock — the
+    /// lock is held for one refcount increment only.
+    fn current(&self) -> Arc<ServerState> {
+        self.state.read().unwrap().clone()
+    }
+}
+
+/// Namespace for [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `state` in background threads. The returned handle reports the
+    /// bound address and joins the accept loop.
+    pub fn spawn(state: ServerState, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: RwLock::new(Arc::new(state)),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("fsam-server-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A handle to a running server: the bound address, metrics access, and
+/// the local (non-TCP) face of the snapshot-swap path.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Swaps in new serving state locally — the same path the in-band
+    /// `Reload` op takes, for callers that share the process (an
+    /// incremental re-solver pushing a fresh fixpoint).
+    pub fn swap(&self, state: ServerState) {
+        *self.shared.state.write().unwrap() = Arc::new(state);
+        self.shared.metrics.record_swap();
+    }
+
+    /// Whether an in-band `Shutdown` has been observed.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown from the owning process (the in-process
+    /// equivalent of the `Shutdown` op) without waiting.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        wake_accept(self.addr);
+    }
+
+    /// Blocks until the accept loop exits (an in-band `Shutdown` frame or
+    /// a [`ServerHandle::shutdown`] call).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Wakes a blocked `accept` by making (and immediately dropping) a
+/// loopback connection.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        shared.metrics.record_connection();
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("fsam-server-conn".into())
+            .spawn(move || handle_conn(stream, conn_shared));
+    }
+}
+
+/// Serves one connection: a strict request → response loop. Malformed
+/// payloads are answered in-band and the connection survives (the frame
+/// boundary is intact); oversized or torn frames desync the stream, so
+/// those answer once and close.
+fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // client closed cleanly
+            Err(e @ ProtoError::Oversized { .. }) => {
+                shared.metrics.record_error();
+                let resp = Response::Error(e.to_string()).encode();
+                let _ = write_frame(&mut stream, &resp);
+                return; // cannot resync: the payload was never read
+            }
+            Err(_) => return, // torn stream
+        };
+        shared.metrics.record_frame();
+        let (resp, shutting_down) = match Request::decode(&payload) {
+            Ok(req) => handle_request(req, &shared),
+            Err(e) => {
+                shared.metrics.record_error();
+                (Response::Error(format!("bad request: {e}")), false)
+            }
+        };
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+        if shutting_down {
+            let _ = stream.flush();
+            wake_accept(shared.addr);
+            return;
+        }
+    }
+}
+
+/// Answers one request. Returns the response and whether this frame shuts
+/// the server down.
+fn handle_request(req: Request, shared: &Shared) -> (Response, bool) {
+    match req {
+        Request::Ping => (Response::Pong, false),
+        Request::Batch(queries) => {
+            // One snapshot per batch: clone the Arc once, answer the whole
+            // slab against it. A swap landing mid-slab affects only later
+            // batches.
+            let state = shared.current();
+            let t0 = Instant::now();
+            let answers = state.engine.query_many(&queries);
+            shared.metrics.record_batch(queries.len(), t0.elapsed());
+            (Response::Answers(answers), false)
+        }
+        Request::Stats => {
+            let state = shared.current();
+            let mut pairs = shared.metrics.pairs();
+            let alias = state.engine.cache_stats();
+            pairs.push(("alias_hits".into(), alias.hits));
+            pairs.push(("alias_front_hits".into(), state.engine.front_hits()));
+            pairs.push(("alias_misses".into(), alias.misses));
+            pairs.push(("alias_entries".into(), alias.entries as u64));
+            pairs.push(("vars".into(), state.engine.db().var_names().len() as u64));
+            pairs.push(("objects".into(), state.engine.db().obj_names().len() as u64));
+            pairs.push(("diags".into(), state.diags.len() as u64));
+            (Response::Stats(pairs), false)
+        }
+        Request::Reload { snapshot } => match ServerState::from_snapshot_bytes(&snapshot) {
+            Ok(new_state) => {
+                let vars = new_state.engine.db().var_names().len() as u32;
+                let objects = new_state.engine.db().obj_names().len() as u32;
+                *shared.state.write().unwrap() = Arc::new(new_state);
+                shared.metrics.record_swap();
+                (Response::Reloaded { vars, objects }, false)
+            }
+            Err(e) => {
+                shared.metrics.record_error();
+                (Response::Error(format!("reload rejected: {e}")), false)
+            }
+        },
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            (Response::ShuttingDown, true)
+        }
+        Request::Diags { code } => {
+            let state = shared.current();
+            let diags = state
+                .diags
+                .iter()
+                .filter(|d| code.is_empty() || d.code == code)
+                .cloned()
+                .collect();
+            (Response::Diags(diags), false)
+        }
+        Request::Resolve { func, var } => {
+            let state = shared.current();
+            (
+                Response::Resolved(state.engine.var_named(&func, &var)),
+                false,
+            )
+        }
+        Request::PtNames { func, var } => {
+            let state = shared.current();
+            let names = state
+                .engine
+                .pt_names(&func, &var)
+                .map(|ns| ns.into_iter().map(String::from).collect());
+            (Response::Names(names), false)
+        }
+    }
+}
+
+/// Converts a lint report into the wire form the `Diags` op serves, in
+/// the report's deterministic order.
+pub fn wire_diags(report: &fsam_lint::LintReport) -> Vec<WireDiag> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| WireDiag {
+            code: d.code.to_string(),
+            severity: d.severity.sarif_level().to_string(),
+            stmt: d.primary,
+            message: d.message.clone(),
+        })
+        .collect()
+}

@@ -1,0 +1,76 @@
+//! Spawns the real `fsam-server` binary as a separate process, grabs the
+//! ephemeral port from its stdout handshake, queries it over TCP, and
+//! stops it in-band — the full two-process deployment in one test.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use fsam_server::Client;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fsam-server"))
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn fsam-server");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read the listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected handshake line {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Belt and braces: tests shut down in-band, but a failed assert
+        // must not leak the process.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn daemon_serves_a_suite_program_and_stops_in_band() {
+    let mut daemon = Daemon::spawn(&[
+        "--program",
+        "word_count",
+        "--scale",
+        "0.05",
+        "--lint",
+        "--addr",
+        "127.0.0.1:0",
+    ]);
+
+    let mut client = Client::connect(daemon.addr.as_str()).unwrap();
+    client.ping().unwrap();
+
+    // The snapshot is a real word_count analysis: stats expose its table
+    // sizes and the lint pass populated the Diags op.
+    let stats = client.stats().unwrap();
+    let get = |k: &str| stats.iter().find(|(n, _)| n == k).unwrap().1;
+    assert!(get("vars") > 0);
+    assert!(get("objects") > 0);
+
+    // A second client shares the same daemon concurrently.
+    let mut client2 = Client::connect(daemon.addr.as_str()).unwrap();
+    client2.ping().unwrap();
+
+    // In-band stop; the process must exit without signals.
+    client.shutdown().unwrap();
+    let status = daemon.child.wait().unwrap();
+    assert!(status.success(), "daemon exited with {status}");
+}

@@ -1,0 +1,286 @@
+//! Property tests for the wire protocol: random well-formed messages
+//! roundtrip exactly; every truncation, mutation, or garbage buffer
+//! decodes to a typed error — never a panic, never a hang, never an
+//! absurd allocation.
+
+use fsam_ir::rng::SmallRng;
+use fsam_ir::{StmtId, VarId};
+use fsam_pts::MemId;
+use fsam_query::{Answer, Query};
+use fsam_server::proto::{read_frame, write_frame, Request, Response, WireDiag, MAX_FRAME};
+use fsam_server::ProtoError;
+
+fn random_string(rng: &mut SmallRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| char::from(b'a' + (rng.next_u64() % 26) as u8))
+        .collect()
+}
+
+fn random_query(rng: &mut SmallRng) -> Query {
+    match rng.gen_range(0u32..4) {
+        0 => Query::PointsTo(VarId::new(rng.gen_range(0u32..10_000))),
+        1 => Query::MayAlias(
+            VarId::new(rng.gen_range(0u32..10_000)),
+            VarId::new(rng.gen_range(0u32..10_000)),
+        ),
+        2 => Query::AliasesOf(MemId::new(rng.gen_range(0u32..10_000))),
+        _ => Query::Mhp(
+            StmtId::new(rng.gen_range(0u32..10_000)),
+            StmtId::new(rng.gen_range(0u32..10_000)),
+        ),
+    }
+}
+
+fn random_answer(rng: &mut SmallRng) -> Answer {
+    match rng.gen_range(0u32..3) {
+        0 => Answer::Objects(
+            (0..rng.gen_range(0usize..8))
+                .map(|_| MemId::new(rng.gen_range(0u32..10_000)))
+                .collect(),
+        ),
+        1 => Answer::Bool(rng.gen_bool(0.5)),
+        _ => Answer::Vars(
+            (0..rng.gen_range(0usize..8))
+                .map(|_| VarId::new(rng.gen_range(0u32..10_000)))
+                .collect(),
+        ),
+    }
+}
+
+fn random_request(rng: &mut SmallRng) -> Request {
+    match rng.gen_range(0u32..8) {
+        0 => Request::Ping,
+        1 => Request::Batch(
+            (0..rng.gen_range(0usize..32))
+                .map(|_| random_query(rng))
+                .collect(),
+        ),
+        2 => Request::Stats,
+        3 => Request::Reload {
+            snapshot: (0..rng.gen_range(0usize..64))
+                .map(|_| rng.next_u64() as u8)
+                .collect(),
+        },
+        4 => Request::Shutdown,
+        5 => Request::Diags {
+            code: random_string(rng, 8),
+        },
+        6 => Request::Resolve {
+            func: random_string(rng, 12),
+            var: random_string(rng, 12),
+        },
+        _ => Request::PtNames {
+            func: random_string(rng, 12),
+            var: random_string(rng, 12),
+        },
+    }
+}
+
+fn random_response(rng: &mut SmallRng) -> Response {
+    match rng.gen_range(0u32..9) {
+        0 => Response::Pong,
+        1 => Response::Answers(
+            (0..rng.gen_range(0usize..32))
+                .map(|_| random_answer(rng))
+                .collect(),
+        ),
+        2 => Response::Stats(
+            (0..rng.gen_range(0usize..16))
+                .map(|_| (random_string(rng, 20), rng.next_u64()))
+                .collect(),
+        ),
+        3 => Response::Reloaded {
+            vars: rng.next_u64() as u32,
+            objects: rng.next_u64() as u32,
+        },
+        4 => Response::ShuttingDown,
+        5 => Response::Diags(
+            (0..rng.gen_range(0usize..8))
+                .map(|_| WireDiag {
+                    code: random_string(rng, 6),
+                    severity: random_string(rng, 8),
+                    stmt: StmtId::new(rng.gen_range(0u32..10_000)),
+                    message: random_string(rng, 40),
+                })
+                .collect(),
+        ),
+        6 => Response::Resolved(if rng.gen_bool(0.5) {
+            Some(VarId::new(rng.gen_range(0u32..10_000)))
+        } else {
+            None
+        }),
+        7 => Response::Names(if rng.gen_bool(0.5) {
+            Some(
+                (0..rng.gen_range(0usize..8))
+                    .map(|_| random_string(rng, 12))
+                    .collect(),
+            )
+        } else {
+            None
+        }),
+        _ => Response::Error(random_string(rng, 40)),
+    }
+}
+
+#[test]
+fn random_requests_roundtrip_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0001);
+    for _ in 0..2_000 {
+        let req = random_request(&mut rng);
+        let bytes = req.encode();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+}
+
+#[test]
+fn random_responses_roundtrip_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0002);
+    for _ in 0..2_000 {
+        let resp = random_response(&mut rng);
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+}
+
+/// Every strict prefix of a valid encoding is an error — decoding never
+/// panics and never fabricates a message from a truncated payload.
+#[test]
+fn every_strict_prefix_is_a_typed_error() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0003);
+    for _ in 0..200 {
+        let req_bytes = random_request(&mut rng).encode();
+        for cut in 0..req_bytes.len() {
+            assert!(
+                Request::decode(&req_bytes[..cut]).is_err(),
+                "prefix of length {cut}/{} decoded",
+                req_bytes.len()
+            );
+        }
+        let resp_bytes = random_response(&mut rng).encode();
+        for cut in 0..resp_bytes.len() {
+            assert!(
+                Response::decode(&resp_bytes[..cut]).is_err(),
+                "prefix of length {cut}/{} decoded",
+                resp_bytes.len()
+            );
+        }
+    }
+}
+
+/// Appending trailing bytes to a valid encoding is also an error: the
+/// decoders insist on consuming the payload exactly.
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0004);
+    for _ in 0..500 {
+        let mut bytes = random_request(&mut rng).encode();
+        bytes.push(rng.next_u64() as u8);
+        assert!(Request::decode(&bytes).is_err());
+        let mut bytes = random_response(&mut rng).encode();
+        bytes.push(rng.next_u64() as u8);
+        assert!(Response::decode(&bytes).is_err());
+    }
+}
+
+/// Pure SplitMix64 noise never panics the decoders. (Some buffers may
+/// decode successfully by chance — tag 0 is `Ping` — which is fine; the
+/// property is the absence of panics and hangs.)
+#[test]
+fn garbage_buffers_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0005);
+    for _ in 0..5_000 {
+        let len = rng.gen_range(0usize..256);
+        let buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let _ = Request::decode(&buf);
+        let _ = Response::decode(&buf);
+    }
+}
+
+/// Single-byte mutations of valid encodings never panic; when they decode
+/// at all, re-encoding is internally consistent (decode ∘ encode is
+/// total on whatever decode accepts).
+#[test]
+fn byte_flip_mutations_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0006);
+    for _ in 0..500 {
+        let original = random_request(&mut rng).encode();
+        if original.is_empty() {
+            continue;
+        }
+        let mut mutated = original.clone();
+        let pos = rng.gen_range(0..mutated.len());
+        mutated[pos] ^= (rng.next_u64() as u8) | 1; // always changes the byte
+        if let Ok(req) = Request::decode(&mutated) {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+}
+
+/// A length prefix past `MAX_FRAME` fails before any payload allocation:
+/// the reader sees only 4 bytes, so an absurd declared length (4 GiB-1)
+/// must error rather than attempt the allocation or block for the body.
+#[test]
+fn oversized_length_prefix_fails_before_allocating() {
+    let declared = u32::MAX;
+    let bytes = declared.to_le_bytes();
+    let mut cursor = std::io::Cursor::new(&bytes[..]);
+    match read_frame(&mut cursor) {
+        Err(ProtoError::Oversized { len, max }) => {
+            assert_eq!(len, u64::from(declared));
+            assert_eq!(max, u64::from(MAX_FRAME));
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    // All 4 prefix bytes were consumed, nothing further was read.
+    assert_eq!(cursor.position(), 4);
+}
+
+/// Frames torn at every possible byte boundary yield `Ok(None)` only at
+/// the frame boundary and a typed error everywhere else — a reader
+/// polling a dying peer can always distinguish "clean close" from "torn".
+#[test]
+fn torn_frames_are_typed_at_every_cut() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0007);
+    for _ in 0..200 {
+        let payload = random_request(&mut rng).encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for cut in 0..=wire.len() {
+            let mut cursor = std::io::Cursor::new(&wire[..cut]);
+            match read_frame(&mut cursor) {
+                Ok(None) => assert_eq!(cut, 0, "clean EOF only before any byte"),
+                Ok(Some(p)) => {
+                    assert_eq!(cut, wire.len(), "full frame only at the full length");
+                    assert_eq!(p, payload);
+                }
+                Err(ProtoError::Io(e)) => {
+                    assert!(cut > 0 && cut < wire.len());
+                    assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+                }
+                Err(other) => panic!("unexpected error at cut {cut}: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Deep random frame streams: interleave valid frames and assert the
+/// reader returns each payload intact and then a clean EOF.
+#[test]
+fn frame_streams_reassemble_in_order() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0008);
+    for _ in 0..50 {
+        let payloads: Vec<Vec<u8>> = (0..rng.gen_range(1usize..10))
+            .map(|_| random_request(&mut rng).encode())
+            .collect();
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        for p in &payloads {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&p[..]));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+}

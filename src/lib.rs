@@ -11,5 +11,6 @@ pub use fsam_ir as ir;
 pub use fsam_mssa as mssa;
 pub use fsam_pts as pts;
 pub use fsam_query as query;
+pub use fsam_server as server;
 pub use fsam_suite as suite;
 pub use fsam_threads as threads;

@@ -250,6 +250,26 @@ fn bench_export_keys_have_not_drifted() {
         ],
     );
     record_keys(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_server.json"),
+        &[
+            "program",
+            "scale",
+            "clients",
+            "batch",
+            "queries",
+            "wall_ms",
+            "qps",
+            "p50_us",
+            "p99_us",
+            "alias_hits",
+            "alias_front_hits",
+            "alias_misses",
+            "swaps",
+            "errors",
+            "peak_rss_kb",
+        ],
+    );
+    record_keys(
         concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_lint.json"),
         &[
             "program",
