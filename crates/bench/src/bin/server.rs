@@ -49,12 +49,13 @@ fn main() {
     for p in &programs {
         let r = run_one(*p, scale, clients, batch, millis, verify, do_swap);
         println!(
-            "{:<14} {:>6} clients x {:>4}/batch  {:>12.0} q/s  p50 {:>5} us  p99 {:>6} us  swaps {}  errors {}",
+            "{:<14} {:>6} clients x {:>4}/batch  {:>12.0} q/s  p50 {:>5} us  p95 {:>5} us  p99 {:>6} us  swaps {}  errors {}",
             p.name(),
             clients,
             batch,
             r.qps,
             r.p50_us,
+            r.p95_us,
             r.p99_us,
             r.swaps,
             r.errors,
@@ -105,6 +106,7 @@ struct RunRecord {
     wall_ms: f64,
     qps: f64,
     p50_us: u64,
+    p95_us: u64,
     p99_us: u64,
     alias_hits: u64,
     alias_front_hits: u64,
@@ -122,7 +124,7 @@ impl RunRecord {
             concat!(
                 "  {{\"program\": \"{}\", \"scale\": {}, \"clients\": {}, ",
                 "\"batch\": {}, \"queries\": {}, \"wall_ms\": {:.3}, ",
-                "\"qps\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, ",
+                "\"qps\": {:.0}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, ",
                 "\"alias_hits\": {}, \"alias_front_hits\": {}, ",
                 "\"alias_misses\": {}, \"swaps\": {}, \"errors\": {}, ",
                 "\"peak_rss_kb\": {}}}"
@@ -135,6 +137,7 @@ impl RunRecord {
             self.wall_ms,
             self.qps,
             self.p50_us,
+            self.p95_us,
             self.p99_us,
             self.alias_hits,
             self.alias_front_hits,
@@ -256,6 +259,7 @@ fn run_one(
         wall_ms,
         qps: queries as f64 / (wall_ms / 1e3),
         p50_us: get("p50_us"),
+        p95_us: get("p95_us"),
         p99_us: get("p99_us"),
         alias_hits: get("alias_hits"),
         alias_front_hits: get("alias_front_hits"),
@@ -294,17 +298,17 @@ fn build_slab(module: &fsam_ir::Module, target: usize) -> Vec<Query> {
 }
 
 /// Round-trips every `server.*` counter through the trace schema, so the
-/// export stays valid JSONL on the same stream the solver feeds.
+/// export stays valid JSONL on the same stream the solver feeds. The
+/// whole-export validator additionally checks the counter vocabulary and
+/// rejects duplicate names.
 fn export_trace_counters(handle: &fsam_server::ServerHandle) {
     let rec = fsam_trace::Recorder::new(256);
     {
         let span = rec.span("server");
         handle.metrics().export_trace(&span);
     }
-    for ev in rec.events() {
-        let line = fsam_trace::schema::to_jsonl_line(&ev);
-        fsam_trace::schema::validate_line(&line).expect("server.* counters are schema-valid");
-    }
+    let doc = fsam_trace::schema::export_jsonl(&rec.events());
+    fsam_trace::schema::validate_export(&doc).expect("server.* counters are schema-valid");
 }
 
 fn select_programs(spec: &str) -> Vec<Program> {

@@ -57,6 +57,28 @@ impl Query {
             other => other,
         }
     }
+
+    /// Dense kind index, the slot this query occupies in [`op_mix`]:
+    /// `PointsTo` 0, `MayAlias` 1, `AliasesOf` 2, `Mhp` 3.
+    pub fn kind_index(self) -> usize {
+        match self {
+            Query::PointsTo(_) => 0,
+            Query::MayAlias(..) => 1,
+            Query::AliasesOf(_) => 2,
+            Query::Mhp(..) => 3,
+        }
+    }
+}
+
+/// Counts a slab's queries by kind, indexed by [`Query::kind_index`]:
+/// `[points_to, may_alias, aliases_of, mhp]`. The serving layer records
+/// this as a slow-batch's op mix.
+pub fn op_mix(queries: &[Query]) -> [u64; 4] {
+    let mut mix = [0u64; 4];
+    for q in queries {
+        mix[q.kind_index()] += 1;
+    }
+    mix
 }
 
 /// The answer to a [`Query`], in the same order as the request slab.

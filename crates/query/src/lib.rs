@@ -63,5 +63,5 @@ pub mod snapshot;
 pub use cache::{CacheStats, PairCache, ShardedCache};
 pub use clients::{detect_deadlocks, detect_races, plan_instrumentation};
 pub use codec::CodecError;
-pub use engine::{Answer, Query, QueryEngine};
+pub use engine::{op_mix, Answer, Query, QueryEngine};
 pub use snapshot::{AnalysisDb, SnapshotError, FORMAT_VERSION, MAGIC};

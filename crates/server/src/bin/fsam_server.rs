@@ -26,8 +26,25 @@
 //! fsam-server --connect ADDR --reload app.fsamdb
 //! fsam-server --connect ADDR --shutdown
 //! ```
+//!
+//! Observability client modes (protocol v2 — see README § Watching a
+//! live server):
+//!
+//! ```text
+//! fsam-server --connect ADDR --metrics            # raw Prometheus text
+//! fsam-server --connect ADDR --dump-trace         # req.* JSONL to stdout
+//! fsam-server --connect ADDR --watch [SECONDS]    # refreshing summary
+//! ```
+//!
+//! `--watch` polls the `MetricsText` op (default every 2 s) and redraws a
+//! one-screen summary: rolling 1s/10s/60s/lifetime latency percentiles,
+//! per-op request counts and the slow-batch log. `--frames N` stops after
+//! N refreshes (for scripts and tests). `--dump-trace` prints the
+//! server's sampled per-request trace (enable sampling by starting the
+//! daemon with `FSAM_TRACE_SAMPLE=1/N`).
 
 use std::io::Write as _;
+use std::time::Duration;
 
 use fsam::Fsam;
 use fsam_ir::StmtId;
@@ -133,12 +150,152 @@ fn run_client(addr: &str) {
         let bytes = std::fs::read(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
         let (vars, objects) = client.reload(&bytes).unwrap_or_else(|e| or_die(e));
         println!("reloaded: {vars} vars, {objects} objects");
+    } else if has_flag("--metrics") {
+        print!("{}", client.metrics_text().unwrap_or_else(|e| or_die(e)));
+    } else if has_flag("--dump-trace") {
+        let (jsonl, recorded, dropped) = client.dump_trace().unwrap_or_else(|e| or_die(e));
+        print!("{jsonl}");
+        eprintln!("{recorded} events recorded, {dropped} dropped");
+        if recorded == 0 {
+            eprintln!("(empty trace? start the daemon with FSAM_TRACE_SAMPLE=1/N)");
+        }
+    } else if has_flag("--watch") {
+        let interval = arg_value("--watch").unwrap_or(2.0).max(0.05);
+        let frames = arg_str("--frames").and_then(|v| v.parse::<u64>().ok());
+        let mut frame = 0u64;
+        let mut out = std::io::stdout();
+        loop {
+            let text = client.metrics_text().unwrap_or_else(|e| or_die(e));
+            frame += 1;
+            // Clear + home, then one screenful: terminals repaint in
+            // place, pipes (and the e2e test) see concatenated frames.
+            // A closed pipe (`--watch | head`) ends the watch, not the
+            // world.
+            let screen = format!("\x1b[2J\x1b[H{}", render_watch(addr, &text, frame));
+            if out.write_all(screen.as_bytes()).is_err() || out.flush().is_err() {
+                break;
+            }
+            if frames.is_some_and(|f| frame >= f) {
+                break;
+            }
+            std::thread::sleep(Duration::from_secs_f64(interval));
+        }
     } else if has_flag("--shutdown") {
         client.shutdown().unwrap_or_else(|e| or_die(e));
         println!("server shutting down");
     } else {
-        die("pass one of --ping --stats --pt --may-alias --mhp --diags --reload --shutdown");
+        die(
+            "pass one of --ping --stats --pt --may-alias --mhp --diags --reload \
+             --metrics --dump-trace --watch --shutdown",
+        );
     }
+}
+
+/// The value of the exposition sample with this exact key (family plus
+/// rendered labels), if present.
+fn prom_value(text: &str, key: &str) -> Option<String> {
+    text.lines().find_map(|l| {
+        let (k, v) = l.rsplit_once(' ')?;
+        (k == key).then(|| v.to_string())
+    })
+}
+
+/// Samples of `family`, as `(labels, value)` pairs in exposition order.
+fn prom_family<'a>(text: &'a str, family: &str) -> Vec<(&'a str, &'a str)> {
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(family)?.strip_prefix('{')?;
+            let (labels, v) = rest.rsplit_once(' ')?;
+            Some((labels.strip_suffix('}')?, v))
+        })
+        .collect()
+}
+
+/// One label's value out of a rendered `k="v",…` label set.
+fn label<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    labels
+        .split(',')
+        .find_map(|kv| kv.strip_prefix(key)?.strip_prefix("=\""))
+        .and_then(|v| v.strip_suffix('"'))
+}
+
+/// Renders one `--watch` screen from a `MetricsText` exposition. Pure
+/// text-in/text-out so it stays testable without a terminal.
+fn render_watch(addr: &str, text: &str, frame: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(1024);
+    let get = |key: &str| prom_value(text, key).unwrap_or_else(|| "?".into());
+    let _ = writeln!(
+        out,
+        "fsam-server {addr} — up {}s · frame {frame}",
+        get("fsam_server_uptime_seconds")
+    );
+    let _ = writeln!(
+        out,
+        "connections {} · frames {} · errors {} · swaps {} · vars {} · objects {} · diags {}",
+        get("fsam_server_connections_total"),
+        get("fsam_server_frames_total"),
+        get("fsam_server_errors_total"),
+        get("fsam_server_swaps_total"),
+        get("fsam_server_vars"),
+        get("fsam_server_objects"),
+        get("fsam_server_diags"),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "window", "batches", "queries", "p50(us)", "p95(us)", "p99(us)", "max(us)"
+    );
+    for w in ["1s", "10s", "60s", "life"] {
+        let q = |quantile: &str| {
+            get(&format!(
+                "fsam_server_batch_latency_us{{window=\"{w}\",quantile=\"{quantile}\"}}"
+            ))
+        };
+        let _ = writeln!(
+            out,
+            "{w:<8} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9}",
+            get(&format!("fsam_server_window_batches{{window=\"{w}\"}}")),
+            get(&format!("fsam_server_window_queries{{window=\"{w}\"}}")),
+            q("0.5"),
+            q("0.95"),
+            q("0.99"),
+            get(&format!(
+                "fsam_server_batch_latency_max_us{{window=\"{w}\"}}"
+            )),
+        );
+    }
+    let ops: Vec<String> = prom_family(text, "fsam_server_requests_total")
+        .into_iter()
+        .filter(|(_, v)| *v != "0")
+        .filter_map(|(labels, v)| Some(format!("{}={v}", label(labels, "op")?)))
+        .collect();
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "requests: {}",
+        if ops.is_empty() {
+            "(none yet)".into()
+        } else {
+            ops.join("  ")
+        }
+    );
+    let slow = prom_family(text, "fsam_server_slow_batch_us");
+    let _ = writeln!(out, "slowest batches:");
+    if slow.is_empty() {
+        let _ = writeln!(out, "  (none yet)");
+    }
+    for (labels, v) in slow.iter().take(4) {
+        let _ = writeln!(
+            out,
+            "  #{} req {} · {} queries · {v} us",
+            label(labels, "rank").unwrap_or("?"),
+            label(labels, "req").unwrap_or("?"),
+            label(labels, "queries").unwrap_or("?"),
+        );
+    }
+    out
 }
 
 fn resolve(client: &mut Client, func: &str, var: &str) -> fsam_ir::VarId {
@@ -158,7 +315,9 @@ fn split_name(spec: &str) -> (&str, &str) {
 
 /// The operand after the last flag's value (for two-operand ops).
 fn trailing_operand() -> Option<String> {
-    std::env::args().next_back().filter(|a| !a.starts_with("--"))
+    std::env::args()
+        .next_back()
+        .filter(|a| !a.starts_with("--"))
 }
 
 fn die(msg: &str) -> ! {

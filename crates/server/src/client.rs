@@ -107,6 +107,53 @@ impl Client {
         }
     }
 
+    /// Ships a query slab carrying a trace context (protocol v2). Answers
+    /// are identical to [`Client::query_many`]; when the server samples
+    /// this request, its `req.*` trace events carry `ctx` so the two
+    /// timelines can be joined.
+    pub fn query_many_traced(
+        &mut self,
+        ctx: u64,
+        queries: &[Query],
+    ) -> Result<Vec<Answer>, ProtoError> {
+        match self.call(&Request::TracedBatch {
+            ctx,
+            queries: queries.to_vec(),
+        })? {
+            Response::Answers(answers) if answers.len() == queries.len() => Ok(answers),
+            Response::Answers(_) => Err(ProtoError::Unexpected {
+                expected: "one answer per query",
+            }),
+            _ => Err(ProtoError::Unexpected {
+                expected: "Answers",
+            }),
+        }
+    }
+
+    /// Dumps the server's recorded `req.*` trace ring (protocol v2):
+    /// schema-valid JSONL plus the ring's `(recorded, dropped)` counters.
+    pub fn dump_trace(&mut self) -> Result<(String, u64, u64), ProtoError> {
+        match self.call(&Request::DumpTrace)? {
+            Response::TraceDump {
+                jsonl,
+                recorded,
+                dropped,
+            } => Ok((jsonl, recorded, dropped)),
+            _ => Err(ProtoError::Unexpected {
+                expected: "TraceDump",
+            }),
+        }
+    }
+
+    /// The Prometheus-style text exposition of the serving metrics
+    /// (protocol v2).
+    pub fn metrics_text(&mut self) -> Result<String, ProtoError> {
+        match self.call(&Request::MetricsText)? {
+            Response::Text(text) => Ok(text),
+            _ => Err(ProtoError::Unexpected { expected: "Text" }),
+        }
+    }
+
     /// The server's named counters (`uptime_us`, `queries`, `p99_us`…).
     pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ProtoError> {
         match self.call(&Request::Stats)? {

@@ -19,8 +19,14 @@
 //! * `Ping` / `Stats` / `Shutdown` control ops make the daemon
 //!   health-checkable and stoppable in-band — no signal handling in
 //!   tests or CI.
-//! * Serving counters (qps, cache hit rates, p50/p99 latency, swap
-//!   count) export as `server.*` through `fsam-trace` ([`Metrics`]).
+//! * Serving counters (qps, cache hit rates, latency percentiles, swap
+//!   count) export as `server.*` through `fsam-trace` ([`Metrics`]),
+//!   over rolling 1s/10s/60s windows as well as process lifetime.
+//! * The observability plane (protocol v2): sampled per-request `req.*`
+//!   phase traces dumped in-band (`DumpTrace`), a slow-query log riding
+//!   the `Stats` op, a Prometheus-style text exposition (`MetricsText`),
+//!   and a `--watch` live view in the shipped binary — see README
+//!   § Watching a live server.
 //!
 //! ## Example: serve and query in one process
 //!
@@ -69,5 +75,5 @@ pub mod server;
 
 pub use client::Client;
 pub use metrics::Metrics;
-pub use proto::{ProtoError, Request, Response, WireDiag, MAX_FRAME};
-pub use server::{wire_diags, Server, ServerHandle, ServerState};
+pub use proto::{ProtoError, Request, Response, WireDiag, MAX_FRAME, PROTO_VERSION};
+pub use server::{wire_diags, Server, ServerConfig, ServerHandle, ServerState};

@@ -27,10 +27,26 @@
 //! | 5  | [`Request::Diags`] | [`Response::Diags`] — lint diagnostics |
 //! | 6  | [`Request::Resolve`] — name → id | [`Response::Resolved`] |
 //! | 7  | [`Request::PtNames`] — names of `pt(v)` | [`Response::Names`] |
+//! | 8  | [`Request::TracedBatch`] — a [`Query`] slab + trace context | [`Response::Answers`] |
+//! | 9  | [`Request::DumpTrace`] | [`Response::TraceDump`] — `req.*` JSONL |
+//! | 10 | [`Request::MetricsText`] | [`Response::Text`] — Prometheus exposition |
 //!
 //! Any request can instead be answered with [`Response::Error`] (tag 255):
 //! the server stays up, the connection stays usable, and the client
 //! surfaces the message as [`ProtoError::Remote`].
+//!
+//! # Versioning ([`PROTO_VERSION`])
+//!
+//! The protocol evolves by **adding tags only** — see DESIGN §1.8 for the
+//! full rules. In short: an existing tag's payload layout is frozen
+//! forever; new capabilities get new request/response tags; a peer that
+//! receives a tag it does not know answers in-band
+//! ([`Response::Error`] / [`ProtoError::UnknownTag`]) on an intact frame
+//! boundary, so mixed-version pairs degrade gracefully instead of
+//! desyncing. Version 1 clients therefore keep working against a version
+//! 2 server unchanged (they simply never send tags 8–10), and a version 2
+//! client talking to a version 1 server sees a typed in-band error for
+//! the new ops while every version 1 op keeps answering.
 
 use std::io::{Read, Write};
 
@@ -44,6 +60,12 @@ use fsam_query::{Answer, CodecError, Query};
 /// enough that a garbage length prefix cannot provoke a gigabyte
 /// allocation.
 pub const MAX_FRAME: u32 = 1 << 26;
+
+/// Protocol vocabulary version. Bumped when tags are **added** (the only
+/// permitted evolution — existing tag layouts are frozen; see the module
+/// docs). Version 2 added the observability plane: trace-context batches
+/// (tag 8), trace dumps (tag 9) and the text metrics exposition (tag 10).
+pub const PROTO_VERSION: u32 = 2;
 
 /// Why a frame or message could not be read, written or decoded.
 #[derive(Debug)]
@@ -216,6 +238,22 @@ pub enum Request {
         /// Variable name.
         var: String,
     },
+    /// A query slab carrying the client's trace context (v2). Answered
+    /// exactly like [`Request::Batch`]; when request sampling is on, the
+    /// server's `req.*` trace events carry `ctx` so client and server
+    /// timelines correlate.
+    TracedBatch {
+        /// Opaque client-chosen trace context, echoed into sampled
+        /// `req.*` events.
+        ctx: u64,
+        /// The query slab, answered in order.
+        queries: Vec<Query>,
+    },
+    /// Dump the server's recorded `req.*` trace ring as schema-valid
+    /// JSONL (v2).
+    DumpTrace,
+    /// The Prometheus-style text exposition of the serving metrics (v2).
+    MetricsText,
 }
 
 /// One server → client message.
@@ -242,6 +280,17 @@ pub enum Response {
     Resolved(Option<VarId>),
     /// `pt_names` result (`None` for an unknown name).
     Names(Option<Vec<String>>),
+    /// A text document (the `MetricsText` exposition) (v2).
+    Text(String),
+    /// The recorded per-request trace (v2).
+    TraceDump {
+        /// Schema-valid JSONL, one `req.*` event per line.
+        jsonl: String,
+        /// Events currently held in the ring.
+        recorded: u64,
+        /// Events discarded because the ring was full.
+        dropped: u64,
+    },
     /// The request failed server-side; connection stays usable.
     Error(String),
 }
@@ -345,6 +394,16 @@ impl Request {
                 w.put_str(func);
                 w.put_str(var);
             }
+            Request::TracedBatch { ctx, queries } => {
+                w.put_u8(8);
+                w.put_u64(*ctx);
+                w.put_u32(u32::try_from(queries.len()).expect("batch too large"));
+                for q in queries {
+                    put_query(&mut w, q);
+                }
+            }
+            Request::DumpTrace => w.put_u8(9),
+            Request::MetricsText => w.put_u8(10),
         }
         w.finish()
     }
@@ -377,6 +436,17 @@ impl Request {
                 func: r.str()?,
                 var: r.str()?,
             },
+            8 => {
+                let ctx = r.u64()?;
+                let count = r.read_count(5)?;
+                let mut queries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    queries.push(read_query(&mut r)?);
+                }
+                Request::TracedBatch { ctx, queries }
+            }
+            9 => Request::DumpTrace,
+            10 => Request::MetricsText,
             tag => {
                 return Err(ProtoError::UnknownTag {
                     what: "request",
@@ -449,6 +519,20 @@ impl Response {
                     None => w.put_u8(0),
                 }
             }
+            Response::Text(text) => {
+                w.put_u8(8);
+                w.put_str(text);
+            }
+            Response::TraceDump {
+                jsonl,
+                recorded,
+                dropped,
+            } => {
+                w.put_u8(9);
+                w.put_str(jsonl);
+                w.put_u64(*recorded);
+                w.put_u64(*dropped);
+            }
             Response::Error(msg) => {
                 w.put_u8(255);
                 w.put_str(msg);
@@ -518,6 +602,12 @@ impl Response {
                     Some(names)
                 }
             }),
+            8 => Response::Text(r.str()?),
+            9 => Response::TraceDump {
+                jsonl: r.str()?,
+                recorded: r.u64()?,
+                dropped: r.u64()?,
+            },
             255 => Response::Error(r.str()?),
             tag => {
                 return Err(ProtoError::UnknownTag {
@@ -594,6 +684,15 @@ mod tests {
                 func: "main".into(),
                 var: "p".into(),
             },
+            Request::TracedBatch {
+                ctx: 0xdead_beef_cafe_f00d,
+                queries: vec![
+                    Query::PointsTo(VarId::new(7)),
+                    Query::Mhp(StmtId::new(4), StmtId::new(5)),
+                ],
+            },
+            Request::DumpTrace,
+            Request::MetricsText,
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -626,6 +725,12 @@ mod tests {
             Response::Resolved(None),
             Response::Names(Some(vec!["x".into(), "y".into()])),
             Response::Names(None),
+            Response::Text("# TYPE fsam_server_queries_total counter\n".into()),
+            Response::TraceDump {
+                jsonl: "{\"type\":\"event\",\"name\":\"req.engine\"}\n".into(),
+                recorded: 12,
+                dropped: 3,
+            },
             Response::Error("nope".into()),
         ];
         for resp in resps {

@@ -14,8 +14,16 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(args: &[&str]) -> Daemon {
+        Daemon::spawn_env(args, &[])
+    }
+
+    /// Spawn with extra environment variables on the child — the safe way
+    /// to exercise `FSAM_TRACE_SAMPLE` (no process-global `set_var` races
+    /// with parallel tests).
+    fn spawn_env(args: &[&str], envs: &[(&str, &str)]) -> Daemon {
         let mut child = Command::new(env!("CARGO_BIN_EXE_fsam-server"))
             .args(args)
+            .envs(envs.iter().copied())
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -70,6 +78,71 @@ fn daemon_serves_a_suite_program_and_stops_in_band() {
     client2.ping().unwrap();
 
     // In-band stop; the process must exit without signals.
+    client.shutdown().unwrap();
+    let status = daemon.child.wait().unwrap();
+    assert!(status.success(), "daemon exited with {status}");
+}
+
+/// Runs the binary in client mode and returns its stdout; the invocation
+/// must succeed.
+fn client_bin(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fsam-server"))
+        .args(args)
+        .output()
+        .expect("run fsam-server client");
+    assert!(
+        out.status.success(),
+        "client {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("client stdout is UTF-8")
+}
+
+#[test]
+fn watch_metrics_and_dump_trace_work_against_a_live_daemon() {
+    let mut daemon = Daemon::spawn_env(
+        &[
+            "--program",
+            "word_count",
+            "--scale",
+            "0.05",
+            "--addr",
+            "127.0.0.1:0",
+        ],
+        &[("FSAM_TRACE_SAMPLE", "1/1")],
+    );
+    let addr = daemon.addr.clone();
+
+    // Drive a little load so every surface has data: ids are arbitrary
+    // (unknown vars answer the empty set), the traffic is what matters.
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    let slab: Vec<_> = (0..64)
+        .map(|i| fsam_query::Query::PointsTo(fsam_ir::VarId::new(i)))
+        .collect();
+    for _ in 0..5 {
+        client.query_many(&slab).unwrap();
+    }
+
+    // --metrics: the raw exposition, structurally intact.
+    let text = client_bin(&["--connect", &addr, "--metrics"]);
+    assert!(text.starts_with("# TYPE fsam_server_uptime_seconds gauge"));
+    assert!(text.contains("fsam_server_requests_total{op=\"batch\"} 5"));
+    assert!(text.contains("fsam_server_queries_total 320"));
+    assert!(text.contains("# TYPE fsam_server_slow_batch_us gauge"));
+
+    // --dump-trace: schema-valid req.* JSONL (sampling is 1/1).
+    let jsonl = client_bin(&["--connect", &addr, "--dump-trace"]);
+    fsam_trace::schema::validate_export(&jsonl).expect("dump must be schema-valid");
+    assert!(jsonl.contains("\"name\":\"req.engine\""), "{jsonl}");
+
+    // --watch: two refreshing frames of the one-screen summary.
+    let watch = client_bin(&["--connect", &addr, "--watch", "0.05", "--frames", "2"]);
+    assert!(watch.contains(&format!("fsam-server {addr}")));
+    assert!(watch.contains("window"));
+    assert!(watch.contains("batch=5"));
+    assert!(watch.contains("slowest batches:"));
+    assert!(watch.contains("frame 1") && watch.contains("frame 2"));
+
     client.shutdown().unwrap();
     let status = daemon.child.wait().unwrap();
     assert!(status.success(), "daemon exited with {status}");

@@ -1,0 +1,295 @@
+//! End-to-end tests for the observability plane: the `MetricsText`
+//! exposition's structural invariants, traced batches round-tripping
+//! through `DumpTrace` schema-valid, the sampling knob, and the
+//! slow-query log riding the `Stats` op.
+
+use std::collections::{HashMap, HashSet};
+
+use fsam::Fsam;
+use fsam_ir::parse::parse_module;
+use fsam_query::{Query, QueryEngine};
+use fsam_server::{Client, Server, ServerConfig, ServerHandle, ServerState};
+
+const SRC: &str = r#"
+    global x
+    global y
+    global z
+    func foo() {
+    entry:
+      p2 = &x
+      q = &y
+      store p2, q
+      ret
+    }
+    func main() {
+    entry:
+      p = &x
+      r = &z
+      t = fork foo()
+      store p, r
+      c = load p
+      ret
+    }
+"#;
+
+fn spawn(config: ServerConfig) -> (Vec<Query>, ServerHandle) {
+    let m = parse_module(SRC).unwrap();
+    let fsam = Fsam::analyze(&m);
+    let engine = QueryEngine::from_fsam(&m, &fsam);
+    let vars: Vec<_> = m.var_ids().collect();
+    let mut slab = Vec::new();
+    for &p in &vars {
+        slab.push(Query::PointsTo(p));
+        for &q in &vars {
+            slab.push(Query::MayAlias(p, q));
+        }
+    }
+    let handle = Server::spawn_with(ServerState::new(engine), "127.0.0.1:0", config).unwrap();
+    (slab, handle)
+}
+
+/// Splits an exposition into its `# TYPE`-declared family names and its
+/// samples (exact key including labels → numeric value).
+fn parse_exposition(text: &str) -> (HashSet<String>, HashMap<String, f64>) {
+    let mut declared = HashSet::new();
+    let mut samples = HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split(' ').next().unwrap().to_string();
+            declared.insert(family);
+        } else if !line.is_empty() {
+            let (key, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("sample line {line:?} has no value");
+            });
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric value in {line:?}"));
+            assert!(
+                samples.insert(key.to_string(), value).is_none(),
+                "duplicate sample key {key:?}"
+            );
+        }
+    }
+    (declared, samples)
+}
+
+/// The family of a sample key: everything before the label set.
+fn family_of(key: &str) -> &str {
+    key.split(['{', ' ']).next().unwrap()
+}
+
+#[test]
+fn metrics_text_exposition_is_structurally_valid() {
+    let (slab, handle) = spawn(ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for _ in 0..20 {
+        client.query_many(&slab).unwrap();
+    }
+
+    let first = client.metrics_text().unwrap();
+    let (declared, samples) = parse_exposition(&first);
+
+    // Every sample's family is declared with a `# TYPE` line.
+    for key in samples.keys() {
+        assert!(
+            declared.contains(family_of(key)),
+            "sample {key:?} has no # TYPE declaration"
+        );
+    }
+    // The core families are all present.
+    for family in [
+        "fsam_server_uptime_seconds",
+        "fsam_server_connections_total",
+        "fsam_server_frames_total",
+        "fsam_server_batches_total",
+        "fsam_server_queries_total",
+        "fsam_server_errors_total",
+        "fsam_server_swaps_total",
+        "fsam_server_requests_total",
+        "fsam_server_batch_latency_us",
+        "fsam_server_batch_latency_max_us",
+        "fsam_server_window_batches",
+        "fsam_server_window_queries",
+        "fsam_server_slow_batch_us",
+        "fsam_server_vars",
+        "fsam_server_objects",
+        "fsam_server_diags",
+    ] {
+        assert!(declared.contains(family), "missing family {family}");
+    }
+
+    // Percentiles are ordered within every window, and below the max.
+    for w in ["1s", "10s", "60s", "life"] {
+        let q = |quantile: &str| {
+            samples
+                [&format!("fsam_server_batch_latency_us{{window=\"{w}\",quantile=\"{quantile}\"}}")]
+        };
+        let max = samples[&format!("fsam_server_batch_latency_max_us{{window=\"{w}\"}}")];
+        assert!(
+            q("0.5") <= q("0.95") && q("0.95") <= q("0.99"),
+            "window {w}: p50 {} p95 {} p99 {} out of order",
+            q("0.5"),
+            q("0.95"),
+            q("0.99")
+        );
+        assert!(q("0.99") <= max, "window {w}: p99 above max");
+    }
+
+    // Lifetime batch/query totals bound every window's.
+    let life_batches = samples["fsam_server_batches_total"];
+    for w in ["1s", "10s", "60s"] {
+        assert!(samples[&format!("fsam_server_window_batches{{window=\"{w}\"}}")] <= life_batches);
+    }
+    assert_eq!(life_batches, 20.0);
+    assert_eq!(
+        samples["fsam_server_queries_total"],
+        (20 * slab.len()) as f64
+    );
+
+    // The batch op was counted; the metrics_text op counts itself.
+    assert_eq!(samples["fsam_server_requests_total{op=\"batch\"}"], 20.0);
+    assert!(samples["fsam_server_requests_total{op=\"metrics_text\"}"] >= 1.0);
+
+    // Counters are monotone across scrapes.
+    client.query_many(&slab).unwrap();
+    let second = client.metrics_text().unwrap();
+    let (_, later) = parse_exposition(&second);
+    for (key, &before) in &samples {
+        if family_of(key).ends_with("_total") {
+            let after = later[key];
+            assert!(after >= before, "counter {key} went backwards");
+        }
+    }
+    assert_eq!(later["fsam_server_batches_total"], 21.0);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn traced_batches_round_trip_through_dump_trace_schema_valid() {
+    let config = ServerConfig {
+        sample: 1, // trace every batch
+        ..ServerConfig::default()
+    };
+    let (slab, handle) = spawn(config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let ctx = 0x00c0_ffee_0000_cafe_u64;
+    let plain = client.query_many(&slab).unwrap();
+    let traced = client.query_many_traced(ctx, &slab).unwrap();
+    assert_eq!(plain, traced, "trace context must not change answers");
+
+    let (jsonl, recorded, dropped) = client.dump_trace().unwrap();
+    assert!(recorded > 0, "sampling on, but nothing recorded");
+    assert_eq!(dropped, 0);
+    assert_eq!(jsonl.lines().count() as u64, recorded);
+
+    // The dump is schema-valid under the strict whole-export validator.
+    fsam_trace::schema::validate_export(&jsonl).expect("dump must be schema-valid");
+
+    // All four request phases are present, and the traced batch's ctx
+    // made it into its events.
+    for phase in ["req.decode", "req.queue", "req.engine", "req.encode"] {
+        assert!(
+            jsonl.contains(&format!("\"name\":\"{phase}\"")),
+            "missing {phase} in dump:\n{jsonl}"
+        );
+    }
+    let ctx_field = format!("\"ctx\":{ctx}");
+    assert!(
+        jsonl.contains(&ctx_field),
+        "client ctx {ctx} not in dump:\n{jsonl}"
+    );
+
+    // Parsed back, every req.* event carries the batch size.
+    for line in jsonl.lines() {
+        let ev = fsam_trace::schema::parse_line(line).unwrap();
+        if let fsam_trace::Event::Point { name, fields, .. } = ev {
+            assert!(name.starts_with("req."), "unexpected event {name}");
+            let queries = fields
+                .iter()
+                .find(|(k, _)| k == "queries")
+                .expect("queries field");
+            assert_eq!(queries.1, fsam_trace::FieldValue::U64(slab.len() as u64));
+        }
+    }
+
+    // The server-side ring is the same data the wire op serves.
+    assert_eq!(handle.trace().recorded() as u64, recorded);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn sampling_off_keeps_the_trace_ring_empty() {
+    let (slab, handle) = spawn(ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Traced batches still answer (the v2 op does not depend on the
+    // sampling knob) but record nothing.
+    let answers = client.query_many_traced(7, &slab).unwrap();
+    assert_eq!(answers.len(), slab.len());
+    let (jsonl, recorded, dropped) = client.dump_trace().unwrap();
+    assert_eq!((jsonl.as_str(), recorded, dropped), ("", 0, 0));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn slow_query_log_rides_the_stats_op() {
+    let (slab, handle) = spawn(ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Batches of distinct sizes so entries are distinguishable.
+    for take in [slab.len(), slab.len() / 2, 1] {
+        client.query_many(&slab[..take]).unwrap();
+    }
+
+    let stats = client.stats().unwrap();
+    let get = |k: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == k)
+            .unwrap_or_else(|| panic!("missing stat {k}"))
+            .1
+    };
+
+    // Every recorded batch is in the log (only 3 ran), ordered worst
+    // first, with a consistent op mix.
+    let mut sizes = Vec::new();
+    let mut prev_us = u64::MAX;
+    for i in 0..3 {
+        let us = get(&format!("slow.{i}.us"));
+        assert!(us <= prev_us, "slow log not sorted worst-first");
+        prev_us = us;
+        let queries = get(&format!("slow.{i}.queries"));
+        let mix: u64 = ["points_to", "may_alias", "aliases_of", "mhp"]
+            .iter()
+            .map(|k| get(&format!("slow.{i}.{k}")))
+            .sum();
+        assert_eq!(mix, queries, "op mix must sum to the batch size");
+        assert_ne!(get(&format!("slow.{i}.req_id")), 0, "req id assigned");
+        sizes.push(queries);
+    }
+    sizes.sort_unstable();
+    assert_eq!(
+        sizes,
+        vec![1, (slab.len() / 2) as u64, slab.len() as u64],
+        "all three batches present"
+    );
+    assert!(!stats.iter().any(|(n, _)| n == "slow.3.us"));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// Old-tag requests and the version constant: a v1 client's vocabulary
+/// still works against this server (the e2e above), and the new ops are
+/// marked as the v2 additions.
+#[test]
+fn protocol_version_is_bumped() {
+    assert_eq!(fsam_server::PROTO_VERSION, 2);
+}

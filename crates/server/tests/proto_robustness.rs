@@ -49,7 +49,7 @@ fn random_answer(rng: &mut SmallRng) -> Answer {
 }
 
 fn random_request(rng: &mut SmallRng) -> Request {
-    match rng.gen_range(0u32..8) {
+    match rng.gen_range(0u32..11) {
         0 => Request::Ping,
         1 => Request::Batch(
             (0..rng.gen_range(0usize..32))
@@ -70,15 +70,23 @@ fn random_request(rng: &mut SmallRng) -> Request {
             func: random_string(rng, 12),
             var: random_string(rng, 12),
         },
-        _ => Request::PtNames {
+        7 => Request::PtNames {
             func: random_string(rng, 12),
             var: random_string(rng, 12),
         },
+        8 => Request::TracedBatch {
+            ctx: rng.next_u64(),
+            queries: (0..rng.gen_range(0usize..32))
+                .map(|_| random_query(rng))
+                .collect(),
+        },
+        9 => Request::DumpTrace,
+        _ => Request::MetricsText,
     }
 }
 
 fn random_response(rng: &mut SmallRng) -> Response {
-    match rng.gen_range(0u32..9) {
+    match rng.gen_range(0u32..11) {
         0 => Response::Pong,
         1 => Response::Answers(
             (0..rng.gen_range(0usize..32))
@@ -119,6 +127,12 @@ fn random_response(rng: &mut SmallRng) -> Response {
         } else {
             None
         }),
+        8 => Response::Text(random_string(rng, 120)),
+        9 => Response::TraceDump {
+            jsonl: random_string(rng, 120),
+            recorded: rng.next_u64(),
+            dropped: rng.next_u64(),
+        },
         _ => Response::Error(random_string(rng, 40)),
     }
 }

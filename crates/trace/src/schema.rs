@@ -233,6 +233,131 @@ pub fn validate_line(line: &str) -> Result<(), String> {
     }
 }
 
+/// The serving-plane counter vocabulary: request ops the `fsam-server`
+/// daemon counts individually. Kept in sync with
+/// `fsam_server::metrics::OP_NAMES` (a test over there cross-checks every
+/// exported key against this validator).
+const SERVER_OPS: [&str; 10] = [
+    "ping",
+    "batch",
+    "stats",
+    "reload",
+    "shutdown",
+    "diags",
+    "resolve",
+    "pt_names",
+    "dump_trace",
+    "metrics_text",
+];
+
+/// Lifetime counter suffixes exported as `server.<suffix>`.
+const SERVER_LIFETIME: [&str; 11] = [
+    "uptime_us",
+    "connections",
+    "frames",
+    "batches",
+    "queries",
+    "errors",
+    "swaps",
+    "p50_us",
+    "p95_us",
+    "p99_us",
+    "max_us",
+];
+
+/// Per-window counter suffixes exported as `server.w<N>s_<suffix>`.
+const SERVER_WINDOW_SUFFIXES: [&str; 6] =
+    ["batches", "queries", "p50_us", "p95_us", "p99_us", "max_us"];
+
+/// The rolling windows the daemon exposes, as `w<N>s` name prefixes.
+const SERVER_WINDOWS: [&str; 3] = ["w1s", "w10s", "w60s"];
+
+/// Whether `name` is a known `server.*` counter: a lifetime total, a
+/// per-op request count (`server.op_<op>`), or a windowed key
+/// (`server.w{1,10,60}s_<suffix>` with the same suffix/op vocabulary).
+/// Names without the `server.` prefix are not this validator's business
+/// and answer `false`.
+pub fn known_server_counter(name: &str) -> bool {
+    let Some(suffix) = name.strip_prefix("server.") else {
+        return false;
+    };
+    let known_suffix = |s: &str| {
+        SERVER_LIFETIME.contains(&s)
+            || s.strip_prefix("op_")
+                .is_some_and(|op| SERVER_OPS.contains(&op))
+    };
+    if known_suffix(suffix) {
+        return true;
+    }
+    SERVER_WINDOWS.iter().any(|w| {
+        suffix
+            .strip_prefix(w)
+            .and_then(|rest| rest.strip_prefix('_'))
+            .is_some_and(|rest| SERVER_WINDOW_SUFFIXES.contains(&rest) || known_suffix(rest))
+    })
+}
+
+/// Whether `name` is a known `req.*` per-request event: one of the four
+/// request phases the daemon samples (decode, queue, engine, encode).
+/// Names without the `req.` prefix answer `false`.
+pub fn known_req_event(name: &str) -> bool {
+    matches!(
+        name,
+        "req.decode" | "req.queue" | "req.engine" | "req.encode"
+    )
+}
+
+/// Validates a whole JSONL export, stricter than per-line validation:
+///
+/// * every line must pass [`validate_line`];
+/// * counter names in the `server.*` namespace must be in the known
+///   vocabulary ([`known_server_counter`]), and event names in the
+///   `req.*` namespace must be known request phases carrying a numeric
+///   `req` id and `us` duration ([`known_req_event`]);
+/// * a counter name may appear **once** per span within the export —
+///   duplicates used to be silently last-write-wins in consumers, now
+///   they are a validation error.
+pub fn validate_export(doc: &str) -> Result<(), String> {
+    let mut seen: std::collections::HashSet<(String, Option<u64>)> =
+        std::collections::HashSet::new();
+    for (i, line) in doc.lines().enumerate() {
+        let fail = |msg: String| format!("line {}: {msg}", i + 1);
+        validate_line(line).map_err(&fail)?;
+        match parse_line(line).map_err(&fail)? {
+            Event::Counter { name, span, .. } => {
+                if name.starts_with("server.") && !known_server_counter(&name) {
+                    return Err(fail(format!("unknown server.* counter {name:?}")));
+                }
+                if !seen.insert((name.to_string(), span)) {
+                    return Err(fail(format!(
+                        "duplicate counter {name:?} in span {span:?} (an export must \
+                         carry one reading per counter per span)"
+                    )));
+                }
+            }
+            Event::Point { name, fields, .. } => {
+                if name.starts_with("req.") {
+                    if !known_req_event(&name) {
+                        return Err(fail(format!("unknown req.* event {name:?}")));
+                    }
+                    for key in ["req", "us"] {
+                        let ok = fields
+                            .iter()
+                            .any(|(k, v)| k == key && matches!(v, FieldValue::U64(_)));
+                        if !ok {
+                            return Err(fail(format!(
+                                "req.* event {name:?} is missing numeric field {key:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+            Event::Span { .. } => {}
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +418,85 @@ mod tests {
         ] {
             assert!(validate_line(bad).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn server_counter_vocabulary_is_checked() {
+        for good in [
+            "server.uptime_us",
+            "server.queries",
+            "server.p95_us",
+            "server.max_us",
+            "server.op_batch",
+            "server.op_metrics_text",
+            "server.w1s_p99_us",
+            "server.w10s_batches",
+            "server.w60s_op_ping",
+        ] {
+            assert!(known_server_counter(good), "rejected {good}");
+        }
+        for bad in [
+            "server.p97_us",        // not an exposed percentile
+            "server.op_frobnicate", // unknown op
+            "server.w2s_p50_us",    // not an exposed window
+            "server.w1s_",          // empty suffix
+            "server.",              // empty name
+            "solve.strong_updates", // different namespace: not ours to judge
+        ] {
+            assert!(!known_server_counter(bad), "accepted {bad}");
+        }
+        assert!(known_req_event("req.engine"));
+        assert!(!known_req_event("req.teleport"));
+        assert!(!known_req_event("decode"));
+    }
+
+    #[test]
+    fn export_validation_rejects_duplicates_and_unknown_keys() {
+        // A well-formed export: distinct counters, known req.* event.
+        let good = concat!(
+            r#"{"type":"counter","name":"server.queries","value":3,"span":1}"#,
+            "\n",
+            r#"{"type":"counter","name":"server.w10s_p95_us","value":7,"span":1}"#,
+            "\n",
+            r#"{"type":"counter","name":"server.queries","value":3,"span":2}"#,
+            "\n",
+            r#"{"type":"event","name":"req.engine","span":null,"at_us":5,"fields":{"req":9,"us":120}}"#,
+            "\n",
+        );
+        validate_export(good).expect("good export");
+
+        // Same counter twice in the same span: rejected, not
+        // last-write-wins.
+        let dup = concat!(
+            r#"{"type":"counter","name":"server.queries","value":3,"span":1}"#,
+            "\n",
+            r#"{"type":"counter","name":"server.queries","value":4,"span":1}"#,
+            "\n",
+        );
+        let err = validate_export(dup).unwrap_err();
+        assert!(err.contains("duplicate counter"), "{err}");
+
+        // Unknown server.* key.
+        let unknown = r#"{"type":"counter","name":"server.p97_us","value":1,"span":null}"#;
+        let err = validate_export(unknown).unwrap_err();
+        assert!(err.contains("unknown server.* counter"), "{err}");
+
+        // Unknown req.* event name, and a known one missing its fields.
+        let bad_req = r#"{"type":"event","name":"req.warp","span":null,"at_us":0,"fields":{}}"#;
+        assert!(validate_export(bad_req)
+            .unwrap_err()
+            .contains("unknown req.* event"));
+        let no_us =
+            r#"{"type":"event","name":"req.decode","span":null,"at_us":0,"fields":{"req":1}}"#;
+        assert!(validate_export(no_us).unwrap_err().contains("\"us\""));
+
+        // Line numbers point at the offender.
+        let mixed = concat!(
+            r#"{"type":"counter","name":"n","value":1,"span":null}"#,
+            "\n",
+            "not json\n",
+        );
+        assert!(validate_export(mixed).unwrap_err().starts_with("line 2:"));
     }
 
     #[test]

@@ -260,6 +260,7 @@ fn bench_export_keys_have_not_drifted() {
             "wall_ms",
             "qps",
             "p50_us",
+            "p95_us",
             "p99_us",
             "alias_hits",
             "alias_front_hits",
