@@ -336,7 +336,22 @@ impl<'m> Solver<'m> {
                         }
                     }
                 }
-                StmtKind::Join { .. } | StmtKind::Lock { .. } | StmtKind::Unlock { .. } => {}
+                // Sync intrinsics add no points-to constraints: condvar,
+                // barrier and atomic operands are uses of already-defined
+                // pointers, and atomic cells hold sync-only scalars — the
+                // AtomicLoad/AtomicRmw destinations have empty points-to by
+                // IR contract (DESIGN §1.9).
+                StmtKind::Join { .. }
+                | StmtKind::Lock { .. }
+                | StmtKind::Unlock { .. }
+                | StmtKind::Signal { .. }
+                | StmtKind::Wait { .. }
+                | StmtKind::Broadcast { .. }
+                | StmtKind::BarrierInit { .. }
+                | StmtKind::BarrierWait { .. }
+                | StmtKind::AtomicLoad { .. }
+                | StmtKind::AtomicStore { .. }
+                | StmtKind::AtomicRmw { .. } => {}
             }
         }
     }

@@ -9,8 +9,9 @@
 //! For every suite program, the full FSAM configuration runs once, the
 //! default `fsam-lint` registry runs over it through a query engine, and
 //! one record per program is exported: the staged reducer's candidate
-//! funnel (total → after shared-filter → after MHP → after lockset →
-//! confirmed), the grouped diagnostic counts, per-checker diagnostic
+//! funnel (total → after shared-filter → after MHP → after
+//! happens-before → after lockset → confirmed), the grouped diagnostic
+//! counts, per-checker diagnostic
 //! counts, the streamed SARIF size (with the severity-ranked cap's
 //! overflow count), the process's peak RSS, and the lint wall time
 //! (engine capture + checkers + both renderers). The funnel and the
@@ -66,6 +67,7 @@ fn main() {
             concat!(
                 "  {{\"program\": \"{}\", \"scale\": {}, ",
                 "\"candidates\": {}, \"after_shared\": {}, \"after_mhp\": {}, ",
+                "\"after_hb\": {}, \"killed_hb\": {}, ",
                 "\"after_lockset\": {}, \"confirmed\": {}, ",
                 "\"confirmed_groups\": {}, \"hb_groups\": {}, ",
                 "\"races\": {}, \"deadlocks\": {}, \"double_acquires\": {}, ",
@@ -78,6 +80,8 @@ fn main() {
             stats.candidates,
             stats.after_shared(),
             stats.after_mhp(),
+            stats.after_hb(),
+            stats.killed_hb,
             stats.after_lockset(),
             stats.confirmed,
             stats.confirmed_groups,
@@ -97,11 +101,12 @@ fn main() {
         .expect("write to string");
         records.push(r);
         println!(
-            "{:<14} {:>9} candidates -> {:>7} shared -> {:>6} mhp -> {:>5} lockset -> {:>4} confirmed ({:>3} groups)  {:>9} sarif B  ({:>8.1} ms)",
+            "{:<14} {:>9} candidates -> {:>7} shared -> {:>6} mhp -> {:>6} hb -> {:>5} lockset -> {:>4} confirmed ({:>3} groups)  {:>9} sarif B  ({:>8.1} ms)",
             p.name(),
             stats.candidates,
             stats.after_shared(),
             stats.after_mhp(),
+            stats.after_hb(),
             stats.after_lockset(),
             stats.confirmed,
             stats.confirmed_groups,

@@ -7,7 +7,7 @@
 //!
 //! For every suite program, the full FSAM configuration runs once through
 //! a single-threaded [`Pipeline`] with an attached [`Recorder`], and one
-//! record per program is exported: the seven phase times, the sparse
+//! record per program is exported: the eight phase times, the sparse
 //! solver's worklist counters *as carried by the trace stream* (not read
 //! off the result struct — the point is that the stream is
 //! self-sufficient), the value-flow phase's pruning counters, and the
@@ -105,7 +105,7 @@ fn main() {
             concat!(
                 "  {{\"program\": \"{}\", \"scale\": {}, ",
                 "\"pre_analysis_us\": {}, \"thread_model_us\": {}, \"svfg_us\": {}, ",
-                "\"interleaving_us\": {}, \"lock_us\": {}, \"value_flow_us\": {}, ",
+                "\"interleaving_us\": {}, \"hb_us\": {}, \"lock_us\": {}, \"value_flow_us\": {}, ",
                 "\"sparse_solve_us\": {}, \"total_us\": {}, ",
                 "\"worklist_items\": {}, \"delta_items\": {}, \"recompute_items\": {}, ",
                 "\"strong_updates\": {}, \"weak_updates\": {}, \"peak_pts_bytes\": {}, ",
@@ -120,6 +120,7 @@ fn main() {
             us(run.times.thread_model),
             us(run.times.svfg),
             us(run.times.interleaving),
+            us(run.times.hb),
             us(run.times.lock),
             us(run.times.value_flow),
             us(run.times.sparse_solve),

@@ -455,7 +455,19 @@ impl<'a> Analysis<'a> {
                         self.flow_into(&out, icfg.entry(callee));
                     }
                 }
-                StmtKind::Join { .. } | StmtKind::Lock { .. } | StmtKind::Unlock { .. } => {}
+                // Sync intrinsics don't touch pointer memory; atomic dsts
+                // have empty points-to by IR contract (DESIGN §1.9).
+                StmtKind::Join { .. }
+                | StmtKind::Lock { .. }
+                | StmtKind::Unlock { .. }
+                | StmtKind::Signal { .. }
+                | StmtKind::Wait { .. }
+                | StmtKind::Broadcast { .. }
+                | StmtKind::BarrierInit { .. }
+                | StmtKind::BarrierWait { .. }
+                | StmtKind::AtomicLoad { .. }
+                | StmtKind::AtomicStore { .. }
+                | StmtKind::AtomicRmw { .. } => {}
             }
         }
 

@@ -29,6 +29,7 @@ use fsam_ir::{Module, VarId};
 use fsam_mssa::Svfg;
 use fsam_pts::MemoryMeter;
 use fsam_threads::flow::precompute_contexts;
+use fsam_threads::hb::HbFacts;
 use fsam_threads::interleave::Interleaving;
 use fsam_threads::lock::LockAnalysis;
 use fsam_threads::mhp::MhpBackend;
@@ -53,6 +54,10 @@ pub struct PhaseConfig {
     /// §3.3.3 lock analysis; when off, no non-interference filtering
     /// (*No-Lock*).
     pub lock: bool,
+    /// Vector-clock happens-before analysis (DESIGN §1.9); when off, the
+    /// run carries an empty [`HbFacts`] and no MHP refinement or lint
+    /// `killed_hb` filtering happens (*No-HB*, the `--no-hb` knob).
+    pub hb: bool,
 }
 
 impl Default for PhaseConfig {
@@ -61,6 +66,7 @@ impl Default for PhaseConfig {
             interleaving: true,
             value_flow: true,
             lock: true,
+            hb: true,
         }
     }
 }
@@ -94,6 +100,15 @@ impl PhaseConfig {
             ..Self::default()
         }
     }
+
+    /// The *No-HB* ablation: happens-before ordering is not computed, so
+    /// condvar/barrier/atomic synchronization kills nothing downstream.
+    pub fn no_hb() -> Self {
+        PhaseConfig {
+            hb: false,
+            ..Self::default()
+        }
+    }
 }
 
 /// Wall-clock time of each pipeline phase.
@@ -107,6 +122,8 @@ pub struct PhaseTimes {
     pub svfg: Duration,
     /// Interleaving (or PCG) analysis.
     pub interleaving: Duration,
+    /// Happens-before (vector clock) analysis.
+    pub hb: Duration,
     /// Lock analysis.
     pub lock: Duration,
     /// Value-flow analysis + edge insertion.
@@ -122,6 +139,7 @@ impl PhaseTimes {
             + self.thread_model
             + self.svfg
             + self.interleaving
+            + self.hb
             + self.lock
             + self.value_flow
             + self.sparse_solve
@@ -148,6 +166,8 @@ pub struct StageBuildCounts {
     pub interleaving: usize,
     /// PCG fallback builds.
     pub pcg: usize,
+    /// Happens-before analysis builds.
+    pub hb: usize,
     /// Lock analysis builds.
     pub lock: usize,
     /// Whether the interleaving and lock analyses were scheduled
@@ -169,6 +189,7 @@ struct StageCounters {
     svfg: AtomicUsize,
     interleaving: AtomicUsize,
     pcg: AtomicUsize,
+    hb: AtomicUsize,
     lock: AtomicUsize,
     parallel_interference: AtomicBool,
 }
@@ -202,6 +223,7 @@ pub struct Pipeline<'m> {
     /// every run and client.
     rel_inter: OnceLock<Arc<MhpRelation>>,
     rel_pcg: OnceLock<Arc<MhpRelation>>,
+    hb: OnceLock<Stage<HbFacts>>,
     lock: OnceLock<Stage<LockAnalysis>>,
     counts: StageCounters,
     trace: Arc<Recorder>,
@@ -225,6 +247,7 @@ impl<'m> Pipeline<'m> {
             pcg: OnceLock::new(),
             rel_inter: OnceLock::new(),
             rel_pcg: OnceLock::new(),
+            hb: OnceLock::new(),
             lock: OnceLock::new(),
             counts: StageCounters::default(),
             trace: Arc::new(Recorder::disabled()),
@@ -276,6 +299,7 @@ impl<'m> Pipeline<'m> {
             svfg: self.counts.svfg.load(Ordering::Relaxed),
             interleaving: self.counts.interleaving.load(Ordering::Relaxed),
             pcg: self.counts.pcg.load(Ordering::Relaxed),
+            hb: self.counts.hb.load(Ordering::Relaxed),
             lock: self.counts.lock.load(Ordering::Relaxed),
             parallel_interference: self.counts.parallel_interference.load(Ordering::Relaxed),
         }
@@ -375,6 +399,22 @@ impl<'m> Pipeline<'m> {
         }))
     }
 
+    /// The happens-before analysis (DESIGN §1.9), built on first demand.
+    /// Modules without sync intrinsics gate to `HbFacts::empty()` inside
+    /// the build, so this stage is effectively free on pre-HB programs.
+    fn hb_stage(&self) -> &Stage<HbFacts> {
+        self.hb.get_or_init(|| {
+            let (pre, _) = self.pre_stage();
+            let (_, tm, _) = self.cfg_stage();
+            self.counts.hb.fetch_add(1, Ordering::Relaxed);
+            let span = self.trace.span("stage.hb");
+            let t0 = Instant::now();
+            let hb = HbFacts::build(self.module, pre, tm);
+            hb.export_trace(&span);
+            (Arc::new(hb), t0.elapsed())
+        })
+    }
+
     fn lock_stage(&self) -> &Stage<LockAnalysis> {
         self.lock.get_or_init(|| {
             let (pre, _) = self.pre_stage();
@@ -438,6 +478,7 @@ impl<'m> Pipeline<'m> {
                     FieldValue::U64(config.value_flow.into()),
                 ),
                 ("lock".into(), FieldValue::U64(config.lock.into())),
+                ("hb".into(), FieldValue::U64(config.hb.into())),
             ],
         );
 
@@ -466,6 +507,14 @@ impl<'m> Pipeline<'m> {
         };
 
         let mhp_rel = self.relation_stage(&mhp);
+
+        let hb = if config.hb {
+            let (hb, d) = self.hb_stage();
+            times.hb = *d;
+            Arc::clone(hb)
+        } else {
+            Arc::new(HbFacts::empty())
+        };
 
         let lock = config.lock.then(|| {
             let (lock, d) = self.lock_stage();
@@ -526,6 +575,7 @@ impl<'m> Pipeline<'m> {
             svfg,
             mhp,
             mhp_rel,
+            hb,
             lock,
             ctxs: Arc::clone(ctxs),
             vf_stats: vf.stats,
@@ -556,6 +606,9 @@ impl<'m> Pipeline<'m> {
         }
         if need_pcg {
             let _ = self.pcg_stage();
+        }
+        if configs.iter().any(|c| c.hb) {
+            let _ = self.hb_stage();
         }
         thread::scope(|s| {
             let handles: Vec<_> = configs
@@ -613,6 +666,11 @@ pub struct Fsam {
     /// The same backend factored into region×region bitmatrix form —
     /// statement-level MHP as two region lookups and one bit test.
     pub mhp_rel: Arc<MhpRelation>,
+    /// The vector-clock happens-before facts (empty under *No-HB* or when
+    /// the module has no sync intrinsics). `mhp_rel` stays the raw MHP —
+    /// consumers combine the two: a pair truly races only when MHP holds
+    /// and HB does not order it.
+    pub hb: Arc<HbFacts>,
     /// The lock analysis (present unless *No-Lock*).
     pub lock: Option<Arc<LockAnalysis>>,
     /// The shared (frozen) context table.
@@ -651,12 +709,20 @@ impl Fsam {
             .unwrap_or_else(|| panic!("no variable {func}::{var}"))
     }
 
+    /// Statement-level MHP refined by happens-before: the pair may race
+    /// only if the raw MHP relation says it can interleave *and* no
+    /// condvar/barrier/atomic synchronization chain orders it.
+    pub fn mhp_refined(&self, s1: fsam_ir::StmtId, s2: fsam_ir::StmtId) -> bool {
+        self.mhp_rel.mhp_stmt_refined(s1, s2, &self.hb)
+    }
+
     /// Memory held by analysis state, broken down by category (the Table 2
     /// memory column).
     pub fn memory(&self) -> MemoryMeter {
         let mut m = MemoryMeter::new();
         m.add("pre-analysis", self.pre.pts_bytes());
         m.add("sparse-points-to", self.result.pts_bytes());
+        m.add("hb-facts", self.hb.heap_bytes());
         m
     }
 
@@ -692,6 +758,13 @@ impl Fsam {
             "PCG"
         };
         let _ = writeln!(out, "  MHP ({mhp_kind}): {:>8.2?}", self.times.interleaving);
+        let _ = writeln!(
+            out,
+            "  happens-before:{:>10.2?}  ({} regions, {} chain events)",
+            self.times.hb,
+            self.hb.region_count(),
+            self.hb.chain_event_count()
+        );
         let _ = writeln!(
             out,
             "  lock analysis: {:>10.2?}  ({} spans)",
@@ -1044,6 +1117,7 @@ mod tests {
                 svfg: 1,
                 interleaving: 1,
                 pcg: 1,
+                hb: 1,
                 lock: 1,
                 parallel_interference: true,
             }
@@ -1076,7 +1150,7 @@ mod tests {
         );
     }
 
-    /// `PhaseTimes::total` is the sum of all seven phases, and the empty
+    /// `PhaseTimes::total` is the sum of all eight phases, and the empty
     /// value totals zero.
     #[test]
     fn phase_times_total_sums_every_phase() {
@@ -1085,11 +1159,12 @@ mod tests {
             thread_model: Duration::from_millis(2),
             svfg: Duration::from_millis(4),
             interleaving: Duration::from_millis(8),
+            hb: Duration::from_millis(128),
             lock: Duration::from_millis(16),
             value_flow: Duration::from_millis(32),
             sparse_solve: Duration::from_millis(64),
         };
-        assert_eq!(t.total(), Duration::from_millis(127));
+        assert_eq!(t.total(), Duration::from_millis(255));
         assert_eq!(PhaseTimes::default().total(), Duration::ZERO);
     }
 

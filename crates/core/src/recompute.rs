@@ -270,10 +270,20 @@ impl<'a> Solver<'a> {
                         }
                     }
                 }
+                // Sync intrinsics don't touch pointer memory; atomic dsts
+                // have empty points-to by IR contract (DESIGN §1.9).
                 StmtKind::Store { .. }
                 | StmtKind::Join { .. }
                 | StmtKind::Lock { .. }
-                | StmtKind::Unlock { .. } => {}
+                | StmtKind::Unlock { .. }
+                | StmtKind::Signal { .. }
+                | StmtKind::Wait { .. }
+                | StmtKind::Broadcast { .. }
+                | StmtKind::BarrierInit { .. }
+                | StmtKind::BarrierWait { .. }
+                | StmtKind::AtomicLoad { .. }
+                | StmtKind::AtomicStore { .. }
+                | StmtKind::AtomicRmw { .. } => {}
             }
         }
     }

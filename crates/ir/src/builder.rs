@@ -440,6 +440,64 @@ impl<'m> FunctionBuilder<'m> {
         self.push(StmtKind::Unlock { lock })
     }
 
+    /// `signal cond` — `pthread_cond_signal` under FIR's sticky-event
+    /// semantics (see [`StmtKind::Signal`]).
+    pub fn signal(&mut self, cond: VarId) -> StmtId {
+        self.push(StmtKind::Signal { cond })
+    }
+
+    /// `wait cond` — blocks until the condvar event has been published.
+    pub fn wait(&mut self, cond: VarId) -> StmtId {
+        self.push(StmtKind::Wait { cond })
+    }
+
+    /// `broadcast cond` — `pthread_cond_broadcast` (sticky: same effect as
+    /// signal on the abstract event state).
+    pub fn broadcast(&mut self, cond: VarId) -> StmtId {
+        self.push(StmtKind::Broadcast { cond })
+    }
+
+    /// `barrier_init bar, count` — `pthread_barrier_init`.
+    pub fn barrier_init(&mut self, bar: VarId, count: u32) -> StmtId {
+        self.push(StmtKind::BarrierInit { bar, count })
+    }
+
+    /// `barrier_wait bar` — `pthread_barrier_wait`.
+    pub fn barrier_wait(&mut self, bar: VarId) -> StmtId {
+        self.push(StmtKind::BarrierWait { bar })
+    }
+
+    /// `dst = atomic_load ptr` with the given memory order.
+    pub fn atomic_load(&mut self, dst: &str, ptr: VarId, order: crate::stmt::MemOrder) -> VarId {
+        let dst = self.named(dst);
+        self.push(StmtKind::AtomicLoad { dst, ptr, order });
+        dst
+    }
+
+    /// `atomic_store ptr, val` with the given memory order.
+    pub fn atomic_store(&mut self, ptr: VarId, val: VarId, order: crate::stmt::MemOrder) -> StmtId {
+        self.push(StmtKind::AtomicStore { ptr, val, order })
+    }
+
+    /// `dst = atomic_rmw ptr, val` — FIR's blocking swap-when-set intrinsic
+    /// (see [`StmtKind::AtomicRmw`]) with the given memory order.
+    pub fn atomic_rmw(
+        &mut self,
+        dst: &str,
+        ptr: VarId,
+        val: VarId,
+        order: crate::stmt::MemOrder,
+    ) -> VarId {
+        let dst = self.named(dst);
+        self.push(StmtKind::AtomicRmw {
+            dst,
+            ptr,
+            val,
+            order,
+        });
+        dst
+    }
+
     // ---- terminators ------------------------------------------------------
 
     fn set_term(&mut self, term: Terminator) {

@@ -21,7 +21,7 @@
 //!   so different seeds explore different interleavings;
 //! * execution is deterministic for a given seed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::rng::SmallRng;
 
@@ -132,6 +132,14 @@ enum ThreadState {
     JoiningSite(StmtId),
     /// Waiting for a lock.
     Locking(Addr),
+    /// Waiting for a condvar event to be published (`wait`). FIR condvars
+    /// are sticky events: a signal permanently readies the condvar, so
+    /// there are no lost wakeups (see [`StmtKind::Signal`]).
+    WaitingCond(Addr),
+    /// Parked in a barrier until the arrival count reaches the init count.
+    InBarrier(Addr),
+    /// Blocked in `atomic_rmw` until the cell is published nonzero.
+    AtomicBlocked(Addr),
     Finished,
 }
 
@@ -147,6 +155,13 @@ struct Interp<'m> {
     rng: SmallRng,
     memory: HashMap<Addr, Value>,
     locks_held: HashMap<Addr, usize>, // lock addr -> owner thread index
+    /// Condvars that have been signalled or broadcast (sticky events).
+    events: HashSet<Addr>,
+    /// Barrier state: addr -> (init count, arrivals this phase).
+    barriers: HashMap<Addr, (u32, u32)>,
+    /// Atomic cells holding a nonzero sync token (`atomic_store` always
+    /// publishes nonzero; see [`StmtKind::AtomicStore`]).
+    atomic_set: HashSet<Addr>,
     threads: Vec<Thread>,
     next_instance: u32,
     config: InterpConfig,
@@ -160,6 +175,9 @@ impl<'m> Interp<'m> {
             rng: SmallRng::seed_from_u64(config.seed),
             memory: HashMap::new(),
             locks_held: HashMap::new(),
+            events: HashSet::new(),
+            barriers: HashMap::new(),
+            atomic_set: HashSet::new(),
             threads: Vec::new(),
             next_instance: 1,
             config,
@@ -258,6 +276,12 @@ impl<'m> Interp<'m> {
                         e.insert(i);
                         self.threads[i].state = ThreadState::Runnable;
                     }
+                }
+                ThreadState::WaitingCond(addr) if self.events.contains(&addr) => {
+                    self.threads[i].state = ThreadState::Runnable;
+                }
+                ThreadState::AtomicBlocked(addr) if self.atomic_set.contains(&addr) => {
+                    self.threads[i].state = ThreadState::Runnable;
                 }
                 _ => {}
             }
@@ -481,6 +505,74 @@ impl<'m> Interp<'m> {
                     }
                 }
             }
+            StmtKind::Signal { cond } | StmtKind::Broadcast { cond } => {
+                // Sticky event: signal and broadcast are dynamically
+                // identical — the condvar stays ready forever after.
+                let frame = self.threads[tid].stack.last().expect("frame");
+                if let Value::Ptr(a) = self.eval(frame, cond) {
+                    self.events.insert(a);
+                }
+            }
+            StmtKind::Wait { cond } => {
+                let frame = self.threads[tid].stack.last().expect("frame");
+                if let Value::Ptr(a) = self.eval(frame, cond) {
+                    if !self.events.contains(&a) {
+                        self.threads[tid].state = ThreadState::WaitingCond(a);
+                    }
+                }
+            }
+            StmtKind::BarrierInit { bar, count } => {
+                let frame = self.threads[tid].stack.last().expect("frame");
+                if let Value::Ptr(a) = self.eval(frame, bar) {
+                    self.barriers.insert(a, (count, 0));
+                }
+            }
+            StmtKind::BarrierWait { bar } => {
+                let frame = self.threads[tid].stack.last().expect("frame");
+                if let Value::Ptr(a) = self.eval(frame, bar) {
+                    // Waiting on an uninitialised barrier falls through (the
+                    // verifier reports that statically).
+                    if let Some(&(count, arrived)) = self.barriers.get(&a) {
+                        let arrived = arrived + 1;
+                        if arrived >= count {
+                            // Phase complete: release everyone, reset phase.
+                            self.barriers.insert(a, (count, 0));
+                            for t in &mut self.threads {
+                                if matches!(t.state, ThreadState::InBarrier(b) if b == a) {
+                                    t.state = ThreadState::Runnable;
+                                }
+                            }
+                        } else {
+                            self.barriers.insert(a, (count, arrived));
+                            self.threads[tid].state = ThreadState::InBarrier(a);
+                        }
+                    }
+                }
+            }
+            StmtKind::AtomicLoad { dst, .. } => {
+                // Atomic cells hold sync-only scalars, never pointers.
+                self.set(tid, dst, Value::Opaque);
+            }
+            StmtKind::AtomicStore { ptr, .. } => {
+                let frame = self.threads[tid].stack.last().expect("frame");
+                if let Value::Ptr(a) = self.eval(frame, ptr) {
+                    self.atomic_set.insert(a);
+                }
+            }
+            StmtKind::AtomicRmw { dst, ptr, .. } => {
+                let frame = self.threads[tid].stack.last().expect("frame");
+                match self.eval(frame, ptr) {
+                    Value::Ptr(a) if !self.atomic_set.contains(&a) => {
+                        // Cell not yet published: re-execute this statement
+                        // once a store sets it.
+                        self.threads[tid].stack.last_mut().expect("frame").pos -= 1;
+                        self.threads[tid].state = ThreadState::AtomicBlocked(a);
+                    }
+                    // Swap writes another nonzero token, so the cell stays
+                    // set — consistent with the sticky abstraction.
+                    _ => self.set(tid, dst, Value::Opaque),
+                }
+            }
         }
     }
 
@@ -697,6 +789,120 @@ mod tests {
         );
         // Some seeds deadlock (ABBA); the scheduler must stop either way.
         let _ = obs.completed;
+        assert!(obs.steps < 20_000);
+    }
+
+    #[test]
+    fn signal_wait_orders_producer_before_consumer() {
+        let src = r#"
+            global c
+            global buf
+            global data
+            func producer() {
+            entry:
+              b = &buf
+              d = &data
+              store b, d
+              cv = &c
+              signal cv
+              ret
+            }
+            func main() {
+            entry:
+              cv = &c
+              t = fork producer()
+              wait cv
+              b = &buf
+              v = load b
+              join t
+              ret
+            }
+        "#;
+        for seed in 0..40 {
+            let (m, obs) = observe(src, seed);
+            assert!(obs.completed, "seed {seed} did not complete");
+            // The wait gates the load behind the publish on EVERY schedule.
+            assert_eq!(observed(&m, &obs, "main", "v"), vec!["data"], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        let src = r#"
+            global b
+            global g
+            global d
+            func worker() {
+            entry:
+              p = &g
+              q = &d
+              store p, q
+              bp = &b
+              barrier_wait bp
+              ret
+            }
+            func main() {
+            entry:
+              bp = &b
+              barrier_init bp, 2
+              t = fork worker()
+              barrier_wait bp
+              p = &g
+              v = load p
+              join t
+              ret
+            }
+        "#;
+        for seed in 0..40 {
+            let (m, obs) = observe(src, seed);
+            assert!(obs.completed, "seed {seed} did not complete");
+            assert_eq!(observed(&m, &obs, "main", "v"), vec!["d"], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn blocking_rmw_orders_release_store_before_read() {
+        let src = r#"
+            global flag
+            global g
+            global d
+            func init() {
+            entry:
+              p = &g
+              q = &d
+              store p, q
+              f = &flag
+              tok = alloc "tok"
+              atomic_store f, tok, rel
+              ret
+            }
+            func main() {
+            entry:
+              f = &flag
+              t = fork init()
+              tok2 = alloc "tok2"
+              w = atomic_rmw f, tok2, acq
+              p = &g
+              v = load p
+              join t
+              ret
+            }
+        "#;
+        for seed in 0..40 {
+            let (m, obs) = observe(src, seed);
+            assert!(obs.completed, "seed {seed} did not complete");
+            assert_eq!(observed(&m, &obs, "main", "v"), vec!["d"], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unsignalled_wait_stops_without_hanging() {
+        // (Rejected by the verifier; the interpreter must still terminate.)
+        let (_, obs) = observe(
+            "global c\nfunc main() {\nentry:\n  cv = &c\n  wait cv\n  ret\n}",
+            3,
+        );
+        assert!(!obs.completed);
         assert!(obs.steps < 20_000);
     }
 

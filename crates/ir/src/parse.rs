@@ -19,12 +19,18 @@
 //!          | 'store' NAME ',' NAME
 //!          | 'call' callee '(' args? ')'
 //!          | 'join' NAME | 'lock' NAME | 'unlock' NAME
+//!          | 'signal' NAME | 'wait' NAME | 'broadcast' NAME
+//!          | 'barrier_init' NAME ',' INT | 'barrier_wait' NAME
+//!          | 'atomic_store' NAME ',' NAME order?
 //! rhs     := '&' NAME | 'alloc' STRING? | 'load' NAME
 //!          | 'gep' NAME ',' INT
 //!          | 'phi' '[' NAME ':' NAME (',' NAME ':' NAME)* ']'
 //!          | 'call' callee '(' args? ')'
 //!          | 'fork' callee '(' NAME? ')'
+//!          | 'atomic_load' NAME order?
+//!          | 'atomic_rmw' NAME ',' NAME order?
 //!          | NAME
+//! order   := ',' ('acq' | 'rel' | 'acqrel')
 //! term    := 'br' NAME | 'br' ('?' | NAME) ',' NAME ',' NAME | 'ret' NAME?
 //! callee  := NAME | '*' NAME
 //! ```
@@ -314,8 +320,31 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "global", "array", "extern", "func", "local", "store", "call", "join", "lock", "unlock",
-    "alloc", "load", "gep", "phi", "fork", "br", "ret",
+    "global",
+    "array",
+    "extern",
+    "func",
+    "local",
+    "store",
+    "call",
+    "join",
+    "lock",
+    "unlock",
+    "alloc",
+    "load",
+    "gep",
+    "phi",
+    "fork",
+    "br",
+    "ret",
+    "signal",
+    "wait",
+    "broadcast",
+    "barrier_init",
+    "barrier_wait",
+    "atomic_load",
+    "atomic_store",
+    "atomic_rmw",
 ];
 
 struct Parser {
@@ -708,6 +737,26 @@ impl BodyCtx<'_, '_> {
         self.f.at_line(line);
     }
 
+    /// Parses the optional trailing memory-order of an atomic statement:
+    /// `, acq` / `, rel` / `, acqrel`, defaulting to relaxed when absent.
+    /// Statements never begin with `,`, so a trailing comma unambiguously
+    /// introduces an order token.
+    fn opt_order(&mut self) -> Result<crate::stmt::MemOrder, ParseError> {
+        use crate::stmt::MemOrder;
+        if !matches!(self.peek(), Tok::Punct(',')) {
+            return Ok(MemOrder::Relaxed);
+        }
+        self.bump();
+        match self.bump() {
+            Tok::Name(n) if n == "acq" => Ok(MemOrder::Acquire),
+            Tok::Name(n) if n == "rel" => Ok(MemOrder::Release),
+            Tok::Name(n) if n == "acqrel" => Ok(MemOrder::AcqRel),
+            other => Err(self.error(format!(
+                "expected memory order `acq`, `rel` or `acqrel`, found {other:?}"
+            ))),
+        }
+    }
+
     fn block_body(&mut self) -> Result<(), ParseError> {
         loop {
             self.tag_line();
@@ -808,6 +857,54 @@ impl BodyCtx<'_, '_> {
                     let l = self.f.named(&l);
                     self.f.unlock(l);
                 }
+                Tok::Name(n) if n == "signal" => {
+                    self.bump();
+                    let c = self.name()?;
+                    let c = self.f.named(&c);
+                    self.f.signal(c);
+                }
+                Tok::Name(n) if n == "wait" => {
+                    self.bump();
+                    let c = self.name()?;
+                    let c = self.f.named(&c);
+                    self.f.wait(c);
+                }
+                Tok::Name(n) if n == "broadcast" => {
+                    self.bump();
+                    let c = self.name()?;
+                    let c = self.f.named(&c);
+                    self.f.broadcast(c);
+                }
+                Tok::Name(n) if n == "barrier_init" => {
+                    self.bump();
+                    let b = self.name()?;
+                    self.eat_punct(',')?;
+                    let count = match self.bump() {
+                        Tok::Int(i) => i,
+                        other => {
+                            return Err(
+                                self.error(format!("expected barrier count, found {other:?}"))
+                            )
+                        }
+                    };
+                    let b = self.f.named(&b);
+                    self.f.barrier_init(b, count);
+                }
+                Tok::Name(n) if n == "barrier_wait" => {
+                    self.bump();
+                    let b = self.name()?;
+                    let b = self.f.named(&b);
+                    self.f.barrier_wait(b);
+                }
+                Tok::Name(n) if n == "atomic_store" => {
+                    self.bump();
+                    let p = self.name()?;
+                    self.eat_punct(',')?;
+                    let v = self.name()?;
+                    let order = self.opt_order()?;
+                    let (p, v) = (self.f.named(&p), self.f.named(&v));
+                    self.f.atomic_store(p, v, order);
+                }
                 Tok::Name(_) => {
                     // Either `label:` (end of this block) or `dst = rhs`.
                     if self.peek2() == &Tok::Punct(':') {
@@ -903,6 +1000,22 @@ impl BodyCtx<'_, '_> {
                         self.f.call_indirect(Some(dst), v, &args);
                     }
                 }
+            }
+            Tok::Name(n) if n == "atomic_load" => {
+                self.bump();
+                let p = self.name()?;
+                let order = self.opt_order()?;
+                let p = self.f.named(&p);
+                self.f.atomic_load(dst, p, order);
+            }
+            Tok::Name(n) if n == "atomic_rmw" => {
+                self.bump();
+                let p = self.name()?;
+                self.eat_punct(',')?;
+                let v = self.name()?;
+                let order = self.opt_order()?;
+                let (p, v) = (self.f.named(&p), self.f.named(&v));
+                self.f.atomic_rmw(dst, p, v, order);
             }
             Tok::Name(n) if n == "fork" => {
                 self.bump();
@@ -1066,6 +1179,80 @@ mod tests {
             .filter(|(_, s)| matches!(s.kind, StmtKind::Lock { .. }))
             .count();
         assert_eq!(locks, 1);
+    }
+
+    #[test]
+    fn parse_sync_intrinsics_roundtrip() {
+        let src = r#"
+            global c
+            global b
+            global flag
+            func worker() {
+            entry:
+              cv = &c
+              wait cv
+              bp = &b
+              barrier_wait bp
+              fp = &flag
+              one = alloc "tok"
+              v = atomic_rmw fp, one, acq
+              ret
+            }
+            func main() {
+            entry:
+              cv = &c
+              signal cv
+              broadcast cv
+              bp = &b
+              barrier_init bp, 2
+              barrier_wait bp
+              fp = &flag
+              tok = alloc "tok"
+              atomic_store fp, tok, rel
+              relaxed = atomic_load fp
+              acd = atomic_load fp, acq
+              both = atomic_rmw fp, tok, acqrel
+              t = fork worker()
+              join t
+              ret
+            }
+        "#;
+        let m1 = parse_module(src).unwrap();
+        verify_module(&m1).unwrap();
+        use crate::stmt::MemOrder;
+        let mut orders = Vec::new();
+        for (_, s) in m1.stmts() {
+            match &s.kind {
+                StmtKind::AtomicLoad { order, .. }
+                | StmtKind::AtomicStore { order, .. }
+                | StmtKind::AtomicRmw { order, .. } => orders.push(*order),
+                _ => {}
+            }
+        }
+        assert_eq!(
+            orders,
+            vec![
+                MemOrder::Acquire, // worker rmw
+                MemOrder::Release, // main store
+                MemOrder::Relaxed, // main relaxed load
+                MemOrder::Acquire, // main acq load
+                MemOrder::AcqRel,  // main acqrel rmw
+            ]
+        );
+        let sync = m1.stmts().filter(|(_, s)| s.is_sync_intrinsic()).count();
+        assert_eq!(sync, 11);
+        let printed = crate::print::module_to_string(&m1);
+        let m2 =
+            parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        verify_module(&m2).unwrap();
+        assert_eq!(printed, crate::print::module_to_string(&m2));
+    }
+
+    #[test]
+    fn bad_memory_order_is_rejected() {
+        let src = "global f\nfunc main() {\nentry:\n  p = &f\n  q = alloc\n  atomic_store p, q, sequential\n  ret\n}";
+        let err = parse_module(src).unwrap_err();
+        assert!(err.message.contains("memory order"), "{err}");
     }
 
     #[test]

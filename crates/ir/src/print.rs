@@ -145,6 +145,50 @@ pub fn stmt_to_string(m: &Module, id: StmtId) -> String {
         StmtKind::Join { handle } => format!("join {}", var(m, *handle)),
         StmtKind::Lock { lock } => format!("lock {}", var(m, *lock)),
         StmtKind::Unlock { lock } => format!("unlock {}", var(m, *lock)),
+        StmtKind::Signal { cond } => format!("signal {}", var(m, *cond)),
+        StmtKind::Wait { cond } => format!("wait {}", var(m, *cond)),
+        StmtKind::Broadcast { cond } => format!("broadcast {}", var(m, *cond)),
+        StmtKind::BarrierInit { bar, count } => {
+            format!("barrier_init {}, {}", var(m, *bar), count)
+        }
+        StmtKind::BarrierWait { bar } => format!("barrier_wait {}", var(m, *bar)),
+        StmtKind::AtomicLoad { dst, ptr, order } => format!(
+            "{} = atomic_load {}{}",
+            var(m, *dst),
+            var(m, *ptr),
+            order_suffix(*order)
+        ),
+        StmtKind::AtomicStore { ptr, val, order } => format!(
+            "atomic_store {}, {}{}",
+            var(m, *ptr),
+            var(m, *val),
+            order_suffix(*order)
+        ),
+        StmtKind::AtomicRmw {
+            dst,
+            ptr,
+            val,
+            order,
+        } => format!(
+            "{} = atomic_rmw {}, {}{}",
+            var(m, *dst),
+            var(m, *ptr),
+            var(m, *val),
+            order_suffix(*order)
+        ),
+    }
+}
+
+/// The textual ordering suffix of an atomic statement: empty for relaxed,
+/// `, acq` / `, rel` / `, acqrel` otherwise (round-trips through the
+/// parser's optional trailing order token).
+fn order_suffix(order: crate::stmt::MemOrder) -> &'static str {
+    use crate::stmt::MemOrder;
+    match order {
+        MemOrder::Relaxed => "",
+        MemOrder::Acquire => ", acq",
+        MemOrder::Release => ", rel",
+        MemOrder::AcqRel => ", acqrel",
     }
 }
 

@@ -28,6 +28,35 @@ impl Callee {
     }
 }
 
+/// Memory ordering of an atomic intrinsic. The analyses only distinguish
+/// whether an operation *releases* (publishes the thread's prior work) or
+/// *acquires* (receives a publisher's prior work); `Relaxed` does neither
+/// and `AcqRel` does both.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum MemOrder {
+    /// No synchronization: the access is atomic but orders nothing.
+    #[default]
+    Relaxed,
+    /// Acquire: reads-from edges carry the publisher's prior work here.
+    Acquire,
+    /// Release: the thread's prior work is published to later acquirers.
+    Release,
+    /// Both acquire and release (the RMW default in real code).
+    AcqRel,
+}
+
+impl MemOrder {
+    /// Whether this ordering has acquire semantics.
+    pub fn is_acquire(self) -> bool {
+        matches!(self, MemOrder::Acquire | MemOrder::AcqRel)
+    }
+
+    /// Whether this ordering has release semantics.
+    pub fn is_release(self) -> bool {
+        matches!(self, MemOrder::Release | MemOrder::AcqRel)
+    }
+}
+
 /// One incoming arm of a [`StmtKind::Phi`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct PhiArm {
@@ -79,6 +108,48 @@ pub enum StmtKind {
     Lock { lock: VarId },
     /// `unlock l` — `pthread_mutex_unlock`.
     Unlock { lock: VarId },
+    /// `signal c` — `pthread_cond_signal` on the event objects `c` points
+    /// to. FIR condvars are *sticky events*: a signal permanently readies
+    /// the event, so signals are never lost (DESIGN §1.9).
+    Signal { cond: VarId },
+    /// `wait c` — `pthread_cond_wait`: blocks until some signal/broadcast
+    /// on an aliasing event has executed.
+    Wait { cond: VarId },
+    /// `broadcast c` — `pthread_cond_broadcast` (dynamically identical to
+    /// `signal` under sticky-event semantics; kept for source fidelity).
+    Broadcast { cond: VarId },
+    /// `barrier_init b, count` — initializes the barrier objects `b` points
+    /// to for `count` participants.
+    BarrierInit { bar: VarId, count: u32 },
+    /// `barrier_wait b` — blocks until `count` participants have arrived,
+    /// then releases the phase.
+    BarrierWait { bar: VarId },
+    /// `dst = atomic_load ptr[, order]` — atomically reads the cell. Atomic
+    /// cells hold synchronization scalars, never pointers: `dst`'s
+    /// points-to set is empty by IR contract (DESIGN §1.9).
+    AtomicLoad {
+        dst: VarId,
+        ptr: VarId,
+        order: MemOrder,
+    },
+    /// `atomic_store ptr, val[, order]` — atomically sets the cell
+    /// (non-zero). The stored value is a synchronization scalar, not a
+    /// tracked pointer.
+    AtomicStore {
+        ptr: VarId,
+        val: VarId,
+        order: MemOrder,
+    },
+    /// `dst = atomic_rmw ptr, val[, order]` — the blocking
+    /// read-modify-write idiom: waits until the cell is non-zero, then
+    /// swaps in `val` and returns the old scalar (models a futex-style
+    /// spin-until-set in one statement, DESIGN §1.9).
+    AtomicRmw {
+        dst: VarId,
+        ptr: VarId,
+        val: VarId,
+        order: MemOrder,
+    },
 }
 
 /// A statement together with its location in the module.
@@ -101,12 +172,20 @@ impl Stmt {
             | StmtKind::Phi { dst, .. }
             | StmtKind::Load { dst, .. }
             | StmtKind::Gep { dst, .. }
-            | StmtKind::Fork { dst, .. } => Some(*dst),
+            | StmtKind::Fork { dst, .. }
+            | StmtKind::AtomicLoad { dst, .. }
+            | StmtKind::AtomicRmw { dst, .. } => Some(*dst),
             StmtKind::Call { dst, .. } => *dst,
             StmtKind::Store { .. }
             | StmtKind::Join { .. }
             | StmtKind::Lock { .. }
-            | StmtKind::Unlock { .. } => None,
+            | StmtKind::Unlock { .. }
+            | StmtKind::Signal { .. }
+            | StmtKind::Wait { .. }
+            | StmtKind::Broadcast { .. }
+            | StmtKind::BarrierInit { .. }
+            | StmtKind::BarrierWait { .. }
+            | StmtKind::AtomicStore { .. } => None,
         }
     }
 
@@ -138,6 +217,15 @@ impl Stmt {
             }
             StmtKind::Join { handle } => out.push(*handle),
             StmtKind::Lock { lock } | StmtKind::Unlock { lock } => out.push(*lock),
+            StmtKind::Signal { cond } | StmtKind::Wait { cond } | StmtKind::Broadcast { cond } => {
+                out.push(*cond)
+            }
+            StmtKind::BarrierInit { bar, .. } | StmtKind::BarrierWait { bar } => out.push(*bar),
+            StmtKind::AtomicLoad { ptr, .. } => out.push(*ptr),
+            StmtKind::AtomicStore { ptr, val, .. } | StmtKind::AtomicRmw { ptr, val, .. } => {
+                out.push(*ptr);
+                out.push(*val);
+            }
         }
     }
 
@@ -159,6 +247,23 @@ impl Stmt {
     /// can participate in thread interference.
     pub fn is_memory_access(&self) -> bool {
         matches!(self.kind, StmtKind::Load { .. } | StmtKind::Store { .. })
+    }
+
+    /// Whether this is one of the synchronization intrinsics the
+    /// happens-before analysis reasons about (beyond fork/join/lock):
+    /// condvar signal/wait/broadcast, barriers, and atomics.
+    pub fn is_sync_intrinsic(&self) -> bool {
+        matches!(
+            self.kind,
+            StmtKind::Signal { .. }
+                | StmtKind::Wait { .. }
+                | StmtKind::Broadcast { .. }
+                | StmtKind::BarrierInit { .. }
+                | StmtKind::BarrierWait { .. }
+                | StmtKind::AtomicLoad { .. }
+                | StmtKind::AtomicStore { .. }
+                | StmtKind::AtomicRmw { .. }
+        )
     }
 }
 
@@ -259,6 +364,42 @@ mod tests {
         assert_eq!(s.def(), Some(VarId::new(0)));
         assert_eq!(s.uses(), vec![VarId::new(5)]);
         assert!(!s.is_call());
+    }
+
+    #[test]
+    fn sync_intrinsics_def_use_and_predicates() {
+        let wait = stmt(StmtKind::Wait {
+            cond: VarId::new(3),
+        });
+        assert_eq!(wait.def(), None);
+        assert_eq!(wait.uses(), vec![VarId::new(3)]);
+        assert!(wait.is_sync_intrinsic());
+        assert!(!wait.is_memory_access());
+
+        let rmw = stmt(StmtKind::AtomicRmw {
+            dst: VarId::new(0),
+            ptr: VarId::new(1),
+            val: VarId::new(2),
+            order: MemOrder::Acquire,
+        });
+        assert_eq!(rmw.def(), Some(VarId::new(0)));
+        assert_eq!(rmw.uses(), vec![VarId::new(1), VarId::new(2)]);
+        assert!(rmw.is_sync_intrinsic());
+        assert!(
+            !rmw.is_memory_access(),
+            "atomics are sync, not interference"
+        );
+
+        let st = stmt(StmtKind::AtomicStore {
+            ptr: VarId::new(1),
+            val: VarId::new(2),
+            order: MemOrder::Release,
+        });
+        assert_eq!(st.def(), None);
+        assert!(MemOrder::Release.is_release() && !MemOrder::Release.is_acquire());
+        assert!(MemOrder::AcqRel.is_release() && MemOrder::AcqRel.is_acquire());
+        assert!(!MemOrder::Relaxed.is_release() && !MemOrder::Relaxed.is_acquire());
+        assert!(st.is_sync_intrinsic());
     }
 
     #[test]

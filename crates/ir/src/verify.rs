@@ -6,13 +6,13 @@
 //! uses, phis are grouped at block heads with one arm per predecessor, and
 //! direct calls pass the right number of arguments.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::dom::DomTree;
-use crate::ids::{BlockId, FuncId, StmtId, VarId};
-use crate::module::Module;
-use crate::stmt::{Callee, StmtKind};
+use crate::ids::{BlockId, FuncId, ObjId, StmtId, VarId};
+use crate::module::{Function, Module};
+use crate::stmt::{Callee, StmtKind, Terminator};
 
 /// A well-formedness violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +42,9 @@ pub enum VerifyErrorKind {
     VarScope,
     /// No `main` function.
     NoEntry,
+    /// Misuse of a synchronization intrinsic: `wait` on an object that is
+    /// never signalled, or `barrier_wait` with no reaching `barrier_init`.
+    Sync,
 }
 
 impl fmt::Display for VerifyError {
@@ -274,11 +277,165 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
         }
     }
 
+    sync_checks(module, &defs, &mut errors);
+
     if errors.is_empty() {
         Ok(())
     } else {
         Err(errors)
     }
+}
+
+/// Condvar/barrier discipline (DESIGN §1.9): a `wait` whose condvar is never
+/// the target of any `signal`/`broadcast` in the module would block forever,
+/// and a `barrier_wait` needs a `barrier_init` that can actually have run.
+/// Only operands resolvable through `Addr`/`Copy` chains are checked — a
+/// condvar pointer that flows through memory, a phi or a call boundary is
+/// out of reach for a structural check and is skipped rather than
+/// misreported.
+fn sync_checks(module: &Module, defs: &HashMap<VarId, Vec<StmtId>>, errors: &mut Vec<VerifyError>) {
+    let mut signal_roots: HashSet<ObjId> = HashSet::new();
+    let mut init_sites: Vec<(StmtId, ObjId)> = Vec::new();
+    for (sid, stmt) in module.stmts() {
+        match &stmt.kind {
+            StmtKind::Signal { cond } | StmtKind::Broadcast { cond } => {
+                if let Some(o) = resolve_root(module, defs, *cond) {
+                    signal_roots.insert(o);
+                }
+            }
+            StmtKind::BarrierInit { bar, .. } => {
+                if let Some(o) = resolve_root(module, defs, *bar) {
+                    init_sites.push((sid, o));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (sid, stmt) in module.stmts() {
+        match &stmt.kind {
+            StmtKind::Wait { cond } => {
+                let Some(obj) = resolve_root(module, defs, *cond) else {
+                    continue;
+                };
+                if !signal_roots.contains(&obj) {
+                    errors.push(VerifyError {
+                        func: Some(stmt.func),
+                        stmt: Some(sid),
+                        kind: VerifyErrorKind::Sync,
+                        message: format!(
+                            "wait on `{}`, which no signal/broadcast in the module targets",
+                            module.obj(obj).name
+                        ),
+                    });
+                }
+            }
+            StmtKind::BarrierWait { bar } => {
+                let Some(obj) = resolve_root(module, defs, *bar) else {
+                    continue;
+                };
+                let inits: Vec<StmtId> = init_sites
+                    .iter()
+                    .filter(|&&(_, o)| o == obj)
+                    .map(|&(s, _)| s)
+                    .collect();
+                if inits.is_empty() {
+                    errors.push(VerifyError {
+                        func: Some(stmt.func),
+                        stmt: Some(sid),
+                        kind: VerifyErrorKind::Sync,
+                        message: format!(
+                            "barrier_wait on `{}` with no barrier_init in the module",
+                            module.obj(obj).name
+                        ),
+                    });
+                    continue;
+                }
+                // When every init of this barrier lives in the waiting
+                // function, at least one must be able to reach the wait
+                // along the CFG; inits in other functions may reach it
+                // through calls/forks and are given the benefit of the doubt.
+                if inits.iter().any(|&i| module.stmt(i).func != stmt.func) {
+                    continue;
+                }
+                let func = module.func(stmt.func);
+                let reached = inits
+                    .iter()
+                    .any(|&i| init_reaches_wait(module, func, i, sid));
+                if !reached {
+                    errors.push(VerifyError {
+                        func: Some(stmt.func),
+                        stmt: Some(sid),
+                        kind: VerifyErrorKind::Sync,
+                        message: format!(
+                            "no barrier_init of `{}` reaches this barrier_wait",
+                            module.obj(obj).name
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Resolves a variable to the object whose address it holds, following
+/// intra-function `Copy` chains back to an `Addr` definition. Returns
+/// `None` for anything data-dependent (loads, phis, geps, call results,
+/// parameters).
+fn resolve_root(
+    module: &Module,
+    defs: &HashMap<VarId, Vec<StmtId>>,
+    mut var: VarId,
+) -> Option<ObjId> {
+    // Bounded walk: guards against malformed cyclic copy chains, which the
+    // SSA checks report separately.
+    for _ in 0..=module.var_count() {
+        let [d] = defs.get(&var)?.as_slice() else {
+            return None;
+        };
+        match &module.stmt(*d).kind {
+            StmtKind::Addr { obj, .. } => return Some(*obj),
+            StmtKind::Copy { src, .. } => var = *src,
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn block_successors(func: &Function, b: BlockId) -> Vec<BlockId> {
+    match func.blocks[b].term {
+        Terminator::Jump(t) => vec![t],
+        Terminator::Branch(t, e) => vec![t, e],
+        Terminator::Ret(_) => Vec::new(),
+    }
+}
+
+/// Whether `init` can execute before `wait` on some CFG path: same block
+/// with init first, or the wait's block is CFG-reachable from the init's.
+fn init_reaches_wait(module: &Module, func: &Function, init: StmtId, wait: StmtId) -> bool {
+    let (ib, wb) = (module.stmt(init).block, module.stmt(wait).block);
+    if ib == wb {
+        let stmts = &func.blocks[ib].stmts;
+        let ip = stmts.iter().position(|&s| s == init);
+        let wp = stmts.iter().position(|&s| s == wait);
+        if ip < wp {
+            return true;
+        }
+        // Otherwise the init might still loop back around to the wait.
+    }
+    let mut seen = vec![false; func.blocks.len()];
+    let mut work = block_successors(func, ib);
+    while let Some(b) = work.pop() {
+        if seen[b.index()] {
+            continue;
+        }
+        seen[b.index()] = true;
+        if b == wb {
+            return true;
+        }
+        work.extend(block_successors(func, b));
+    }
+    false
 }
 
 enum UsePoint {
@@ -457,6 +614,120 @@ mod tests {
         f.finish();
         let errs = verify_module(&mb.build()).unwrap_err();
         assert!(errs.iter().any(|e| e.kind == VerifyErrorKind::NoEntry));
+    }
+
+    #[test]
+    fn wait_without_signal_is_rejected() {
+        let mut mb = ModuleBuilder::new();
+        let c = mb.global("c");
+        let mut f = mb.func("main", &[]);
+        let cv = f.addr("cv", c);
+        f.wait(cv);
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == VerifyErrorKind::Sync && e.message.contains("wait on")));
+    }
+
+    #[test]
+    fn wait_with_signal_elsewhere_passes() {
+        let mut mb = ModuleBuilder::new();
+        let c = mb.global("c");
+        let worker = mb.declare_func("worker", &[]);
+        let mut f = mb.define_func(worker);
+        let cv = f.addr("cv", c);
+        f.signal(cv);
+        f.ret(None);
+        f.finish();
+        let mut f = mb.func("main", &[]);
+        let cv = f.addr("cv", c);
+        let cv2 = f.copy("cv2", cv); // through a copy chain
+        let _t = f.fork("t", worker, None);
+        f.wait(cv2);
+        f.ret(None);
+        f.finish();
+        verify_module(&mb.build()).unwrap();
+    }
+
+    #[test]
+    fn broadcast_also_satisfies_wait() {
+        let mut mb = ModuleBuilder::new();
+        let c = mb.global("c");
+        let mut f = mb.func("main", &[]);
+        let cv = f.addr("cv", c);
+        f.broadcast(cv);
+        f.wait(cv);
+        f.ret(None);
+        f.finish();
+        verify_module(&mb.build()).unwrap();
+    }
+
+    #[test]
+    fn barrier_wait_without_init_is_rejected() {
+        let mut mb = ModuleBuilder::new();
+        let b = mb.global("b");
+        let mut f = mb.func("main", &[]);
+        let bp = f.addr("bp", b);
+        f.barrier_wait(bp);
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == VerifyErrorKind::Sync && e.message.contains("no barrier_init")));
+    }
+
+    #[test]
+    fn barrier_init_after_wait_does_not_reach() {
+        let mut mb = ModuleBuilder::new();
+        let b = mb.global("b");
+        let mut f = mb.func("main", &[]);
+        let bp = f.addr("bp", b);
+        f.barrier_wait(bp);
+        f.barrier_init(bp, 2); // too late: init follows the wait
+        f.ret(None);
+        f.finish();
+        let errs = verify_module(&mb.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == VerifyErrorKind::Sync && e.message.contains("reaches")));
+    }
+
+    #[test]
+    fn barrier_init_reaching_wait_passes() {
+        let mut mb = ModuleBuilder::new();
+        let b = mb.global("b");
+        let worker = mb.declare_func("worker", &[]);
+        let mut f = mb.define_func(worker);
+        let bp = f.addr("bp", b);
+        f.barrier_wait(bp); // init lives in main: benefit of the doubt
+        f.ret(None);
+        f.finish();
+        let mut f = mb.func("main", &[]);
+        let bp = f.addr("bp", b);
+        f.barrier_init(bp, 2);
+        let _t = f.fork("t", worker, None);
+        f.barrier_wait(bp);
+        f.ret(None);
+        f.finish();
+        verify_module(&mb.build()).unwrap();
+    }
+
+    #[test]
+    fn unresolvable_sync_operand_is_skipped() {
+        // A condvar pointer loaded from memory can't be structurally
+        // resolved; the check must stay silent rather than misreport.
+        let mut mb = ModuleBuilder::new();
+        let slot = mb.global("slot");
+        let mut f = mb.func("main", &[]);
+        let sp = f.addr("sp", slot);
+        let cv = f.load("cv", sp);
+        f.wait(cv);
+        f.ret(None);
+        f.finish();
+        verify_module(&mb.build()).unwrap();
     }
 
     #[test]

@@ -373,10 +373,12 @@ impl Checker for LocksetInconsistency {
 }
 
 /// `FL0005` — racy-init near-misses: pairs that are parallel, unlocked
-/// and Andersen-aliased, but whose alias the flow-sensitive propagation
-/// refutes — typically an initialization published before the fork (the
-/// value the access sees is ordered by fork/join value-flow, not by a
-/// lock).
+/// and Andersen-aliased, but refuted either by a must-happens-before
+/// synchronization chain (condvar/barrier/release-acquire atomics,
+/// DESIGN §1.9) or by the flow-sensitive propagation — typically an
+/// initialization published before the fork or handed off through a
+/// signal/flag, ordered by synchronization or value-flow, not by a
+/// lock.
 pub struct RacyInit;
 
 impl Checker for RacyInit {
@@ -387,7 +389,7 @@ impl Checker for RacyInit {
         "racy-init"
     }
     fn description(&self) -> &'static str {
-        "an Andersen-level race candidate refuted by flow-sensitive propagation"
+        "an Andersen-level race candidate refuted by happens-before ordering or flow-sensitive propagation"
     }
     fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
         for group in &cx.reduction().hb_protected {
@@ -397,10 +399,11 @@ impl Checker for RacyInit {
                 code: self.code(),
                 severity: Severity::Note,
                 message: format!(
-                    "race candidate on `{obj}` refuted by flow-sensitive analysis: write at {} \
-                     and access at {} may run in parallel without a common lock, but the \
-                     flow-sensitive points-to sets prove they never alias `{obj}` together \
-                     (protected by fork/join value ordering, not by a lock){}",
+                    "race candidate on `{obj}` refuted: write at {} and access at {} may \
+                     interleave without a common lock, but a must-happens-before \
+                     synchronization chain (condvar/barrier/atomic) or the flow-sensitive \
+                     points-to sets prove they cannot race on `{obj}` \
+                     (protected by synchronization or value ordering, not by a lock){}",
                     cx.module.describe_stmt(pair.store),
                     cx.module.describe_stmt(pair.access),
                     more_instances(group),

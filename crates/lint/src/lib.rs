@@ -14,7 +14,7 @@
 //! | `FL0002` | `lock-order`            | ABBA inversions and longer lock-order cycles |
 //! | `FL0003` | `double-acquire`        | re-acquiring a non-reentrant lock (self-deadlock) |
 //! | `FL0004` | `lockset-inconsistency` | a lock held on some but not all paths to a function exit |
-//! | `FL0005` | `racy-init`             | Andersen-level race candidates refuted flow-sensitively |
+//! | `FL0005` | `racy-init`             | Andersen-level race candidates refuted by HB sync or flow-sensitively |
 //!
 //! The race-shaped checkers share one [staged reducer](reduce) that cuts
 //! the O(n²) access-pair space with cheap filters (thread-escape, MHP,

@@ -16,9 +16,16 @@
 //!    [`MhpRelation`](fsam_threads::MhpRelation) once; every pair is then
 //!    one bit test — no batched pair slab, no memo table, no pair set
 //!    materialized;
-//! 4. **lockset** — drop pairs whose every parallel instance pair holds a
+//! 4. **happens-before** — drop pairs must-ordered by condvar, barrier,
+//!    or release→acquire atomic synchronization
+//!    ([`HbFacts`](fsam_threads::hb::HbFacts), DESIGN §1.9): the same
+//!    region-lookup-plus-bit-test shape as MHP. Killed pairs fold into the
+//!    `hb_protected` (FL0005) groups — they are genuinely synchronized,
+//!    not races — and never reach the lockset memo or any flow-sensitive
+//!    alias query;
+//! 5. **lockset** — drop pairs whose every parallel instance pair holds a
 //!    common lock ([`fsam::racy_instances`]), memoised per statement pair;
-//! 5. **alias confirm** — the flow-sensitive check: the object must be in
+//! 6. **alias confirm** — the flow-sensitive check: the object must be in
 //!    *both* accessors' flow-sensitive points-to sets. Each site resolves
 //!    to its interned points-to *class* (the hash-consed [`PtsRef`] of its
 //!    set) once, and membership is memoised per `(class, object)` — two
@@ -90,6 +97,9 @@ pub struct ReductionStats {
     pub killed_shared: u64,
     /// Killed by the statement-level may-happen-in-parallel filter.
     pub killed_mhp: u64,
+    /// Killed because condvar/barrier/atomic synchronization must-orders
+    /// the pair (these also become [`Reduction::hb_protected`] groups).
+    pub killed_hb: u64,
     /// Killed because every parallel instance pair holds a common lock.
     pub killed_lockset: u64,
     /// Killed by the flow-sensitive alias confirmation (these become the
@@ -116,10 +126,15 @@ impl ReductionStats {
         self.after_shared() - self.killed_mhp
     }
 
+    /// Candidates alive after the happens-before filter.
+    pub fn after_hb(&self) -> u64 {
+        self.after_mhp() - self.killed_hb
+    }
+
     /// Candidates alive after the lockset filter — exactly the pairs that
     /// reach the flow-sensitive alias confirmation.
     pub fn after_lockset(&self) -> u64 {
-        self.after_mhp() - self.killed_lockset
+        self.after_hb() - self.killed_lockset
     }
 }
 
@@ -131,9 +146,11 @@ pub struct Reduction {
     /// union of their instances is result-identical to the classic
     /// enumerating detector.
     pub confirmed: Vec<RaceGroup>,
-    /// Groups killed only by the final alias confirmation: parallel,
-    /// unlocked, Andersen-aliased — but the flow-sensitive points-to sets
-    /// refute the alias. Sorted by object.
+    /// Groups killed by the happens-before stage (must-ordered by
+    /// condvar/barrier/atomic sync) or by the final alias confirmation
+    /// (parallel, unlocked, Andersen-aliased — but the flow-sensitive
+    /// points-to sets refute the alias). Sorted by object; instance counts
+    /// sum to `killed_hb + killed_alias`.
     pub hb_protected: Vec<RaceGroup>,
     /// The per-stage funnel.
     pub stats: ReductionStats,
@@ -233,7 +250,29 @@ pub fn reduce(
                     stats.killed_mhp += 1;
                     continue;
                 }
-                // Stage 4 — lockset: some parallel instance pair must
+                // Stage 4 — happens-before: a must-ordered pair is
+                // synchronized, not racy. Same bit-test shape as MHP; the
+                // pair folds into the FL0005 group and skips both the
+                // lockset memo and the alias confirmation.
+                if fsam.hb.ordered_stmt(s, a) {
+                    stats.killed_hb += 1;
+                    match &mut hb_group {
+                        Some(g) => g.instances += 1,
+                        None => {
+                            hb_group = Some(RaceGroup {
+                                obj: o,
+                                rep: RacePair {
+                                    store: s,
+                                    access: a,
+                                    obj: o,
+                                },
+                                instances: 1,
+                            })
+                        }
+                    }
+                    continue;
+                }
+                // Stage 5 — lockset: some parallel instance pair must
                 // lack a common lock.
                 let racy = *racy_memo
                     .entry((s, a))
@@ -242,7 +281,7 @@ pub fn reduce(
                     stats.killed_lockset += 1;
                     continue;
                 }
-                // Stage 5 — flow-sensitive alias confirmation.
+                // Stage 6 — flow-sensitive alias confirmation.
                 let slot = if fs_has(s, o) && fs_has(a, o) {
                     &mut conf_group
                 } else {
@@ -279,6 +318,7 @@ pub fn reduce(
     recorder.counter(None, "lint.candidates", stats.candidates);
     recorder.counter(None, "lint.killed_shared", stats.killed_shared);
     recorder.counter(None, "lint.killed_mhp", stats.killed_mhp);
+    recorder.counter(None, "lint.killed_hb", stats.killed_hb);
     recorder.counter(None, "lint.killed_lockset", stats.killed_lockset);
     recorder.counter(None, "lint.killed_alias", stats.killed_alias);
     recorder.counter(None, "lint.confirmed", stats.confirmed);

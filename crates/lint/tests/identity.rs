@@ -67,6 +67,11 @@ fn reference_races(module: &Module, fsam: &Fsam) -> Vec<(StmtId, StmtId, MemId)>
                 if !fsam.mhp_rel.mhp_stmt(s, a) {
                     continue;
                 }
+                // Pairs must-ordered by condvar/barrier/atomic sync are
+                // synchronized, not racy (DESIGN §1.9).
+                if fsam.hb.ordered_stmt(s, a) {
+                    continue;
+                }
                 if fsam::racy_instances(fsam, oracle, s, a) {
                     races.push((s, a, o));
                 }
@@ -198,7 +203,8 @@ fn reduction_funnel_is_coherent_on_every_suite_program() {
         let s = cx.reduction().stats;
         assert!(s.after_shared() <= s.candidates, "{}: {s:?}", p.name());
         assert!(s.after_mhp() <= s.after_shared(), "{}: {s:?}", p.name());
-        assert!(s.after_lockset() <= s.after_mhp(), "{}: {s:?}", p.name());
+        assert!(s.after_hb() <= s.after_mhp(), "{}: {s:?}", p.name());
+        assert!(s.after_lockset() <= s.after_hb(), "{}: {s:?}", p.name());
         assert_eq!(
             s.after_lockset() - s.killed_alias,
             s.confirmed,
@@ -216,12 +222,12 @@ fn reduction_funnel_is_coherent_on_every_suite_program() {
         );
         assert_eq!(
             red.hb_protected.iter().map(|g| g.instances).sum::<u64>(),
-            s.killed_alias,
-            "{}: every alias kill lands in an FL0005 group",
+            s.killed_hb + s.killed_alias,
+            "{}: every HB and alias kill lands in an FL0005 group",
             p.name()
         );
         assert!(
-            s.confirmed_groups <= s.confirmed && s.hb_groups <= s.killed_alias,
+            s.confirmed_groups <= s.confirmed && s.hb_groups <= s.killed_hb + s.killed_alias,
             "{}: grouping never invents findings: {s:?}",
             p.name()
         );

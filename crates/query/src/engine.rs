@@ -12,8 +12,10 @@
 //! * `aliases_of(o)` — the precomputed reverse index object → variables,
 //! * `mhp(s1, s2)` — the statement-level may-happen-in-parallel relation,
 //!   answered from an [`MhpRelation`] factored out of the frozen
-//!   [`MhpFacts`] at construction: two region lookups and one bit test,
-//!   no per-pair memoisation needed because no per-pair work remains.
+//!   [`MhpFacts`] at construction and refined by the snapshot's
+//!   happens-before facts: two region lookups and one bit test per
+//!   relation, no per-pair memoisation needed because no per-pair work
+//!   remains.
 //!
 //! Batched lookups go through [`QueryEngine::query_many`], which
 //! normalises and deduplicates the slab before touching the cache so a
@@ -175,9 +177,19 @@ impl QueryEngine {
     }
 
     /// Whether `s1` and `s2` may happen in parallel — two region lookups
-    /// and one bit test on the factored [`MhpRelation`]. Symmetric.
+    /// and one bit test on the factored [`MhpRelation`], refined by the
+    /// snapshot's happens-before facts: a pair must-ordered by a
+    /// condvar/barrier/atomic synchronization chain answers `false` even
+    /// when the raw interleaving relation allows it. Symmetric. On a
+    /// snapshot without sync intrinsics the HB facts are empty and this
+    /// is bit-identical to the raw relation.
     pub fn mhp(&self, s1: StmtId, s2: StmtId) -> bool {
-        self.rel.mhp_stmt(s1, s2)
+        self.rel.mhp_stmt_refined(s1, s2, self.db.hb())
+    }
+
+    /// The snapshot's happens-before facts (factored region form).
+    pub fn hb(&self) -> &fsam_threads::hb::HbFacts {
+        self.db.hb()
     }
 
     /// The factored statement-level MHP relation backing
@@ -291,6 +303,15 @@ impl QueryEngine {
             self.rel.parallel_bits(),
             self.rel.matrix_bits(),
         );
+        let hb = self.db.hb();
+        let _ = writeln!(
+            out,
+            "  hb    factored: {} stmts -> {} regions, {}/{} ordered bits set",
+            hb.stmt_count(),
+            hb.region_count(),
+            hb.ordered_bits(),
+            hb.matrix_bits(),
+        );
         out
     }
 
@@ -307,6 +328,7 @@ impl QueryEngine {
         span.counter("query.alias.misses", alias.misses);
         span.counter("query.alias.entries", alias.entries as u64);
         self.rel.export_trace(span);
+        self.db.hb().export_trace(span);
     }
 
     /// Approximate heap held by the engine, by category: the snapshot
@@ -321,6 +343,7 @@ impl QueryEngine {
         );
         m.add("query-cache", self.alias_cache.heap_bytes());
         m.add("mhp-relation", self.rel.heap_bytes());
+        m.add("hb-facts", self.db.hb().heap_bytes());
         m
     }
 }

@@ -10,6 +10,8 @@
 //!   [`SparseResult`],
 //! * the statement-level MHP facts exported by the thread phase
 //!   ([`MhpFacts`]),
+//! * the factored happens-before facts ([`HbFacts`]) refining `mhp`
+//!   answers by must-ordering (condvar/barrier/atomic chains),
 //! * the module's name tables (per-variable `(function, name)` pairs and
 //!   per-object display names), so queries by name and [`Race`]-style
 //!   rendering survive the module itself.
@@ -28,7 +30,8 @@
 //! [`SnapshotError`], never a panic: the payload decoder is bounds-checked
 //! ([`crate::codec`]) and the rebuilt tables are re-validated by
 //! [`PtsPool::from_sets`], [`SparseResult::from_tables`] and
-//! [`MhpFacts`]'s `from_*_parts` constructors.
+//! [`MhpFacts`]'s `from_*_parts` constructors and
+//! [`HbFacts::from_parts`].
 //!
 //! [`Race`]: fsam::Race
 
@@ -38,6 +41,7 @@ use fsam::solver::SolverStats;
 use fsam::{Fsam, SparseResult};
 use fsam_ir::{Module, StmtId, VarId};
 use fsam_pts::{MemId, PtsPool, PtsSet};
+use fsam_threads::hb::HbFacts;
 use fsam_threads::MhpFacts;
 
 use crate::codec::{fnv1a, CodecError, Reader, Writer};
@@ -45,8 +49,11 @@ use crate::codec::{fnv1a, CodecError, Reader, Writer};
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 8] = *b"FSAMQDB\0";
 
-/// The format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build reads and writes. Version 2 added the
+/// happens-before section (factored [`HbFacts`]) between the MHP facts
+/// and the name tables; version-1 files are rejected with a typed
+/// [`SnapshotError::Version`], never misread.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be saved or loaded.
 #[derive(Debug)]
@@ -124,6 +131,7 @@ impl From<CodecError> for SnapshotError {
 pub struct AnalysisDb {
     result: SparseResult,
     mhp: MhpFacts,
+    hb: HbFacts,
     /// `(function name, variable name)` per [`VarId::index`].
     var_names: Vec<(String, String)>,
     /// Display name per [`MemId::index`].
@@ -138,6 +146,7 @@ impl PartialEq for AnalysisDb {
         // `aliased_by` is derived from the other fields.
         self.result == other.result
             && self.mhp == other.mhp
+            && self.hb == other.hb
             && self.var_names == other.var_names
             && self.obj_names == other.obj_names
     }
@@ -149,6 +158,7 @@ impl AnalysisDb {
     pub fn new(
         result: SparseResult,
         mhp: MhpFacts,
+        hb: HbFacts,
         var_names: Vec<(String, String)>,
         obj_names: Vec<String>,
     ) -> Result<AnalysisDb, SnapshotError> {
@@ -179,6 +189,7 @@ impl AnalysisDb {
         Ok(AnalysisDb {
             result,
             mhp,
+            hb,
             var_names,
             obj_names,
             aliased_by,
@@ -214,8 +225,14 @@ impl AnalysisDb {
             .mem_ids()
             .map(|m| objects.display_name(module, m))
             .collect();
-        AnalysisDb::new(result, fsam.mhp.export_facts(), var_names, obj_names)
-            .expect("a captured run is internally consistent")
+        AnalysisDb::new(
+            result,
+            fsam.mhp.export_facts(),
+            (*fsam.hb).clone(),
+            var_names,
+            obj_names,
+        )
+        .expect("a captured run is internally consistent")
     }
 
     /// The frozen points-to tables.
@@ -226,6 +243,11 @@ impl AnalysisDb {
     /// The frozen statement-level MHP facts.
     pub fn mhp(&self) -> &MhpFacts {
         &self.mhp
+    }
+
+    /// The frozen happens-before facts (factored region form).
+    pub fn hb(&self) -> &HbFacts {
+        &self.hb
     }
 
     /// `(function name, variable name)` per variable.
@@ -260,7 +282,7 @@ impl AnalysisDb {
             .map(|v| v.capacity() * std::mem::size_of::<VarId>())
             .sum::<usize>()
             + self.aliased_by.capacity() * std::mem::size_of::<Vec<VarId>>();
-        self.result.pts_bytes() + names + index
+        self.result.pts_bytes() + names + index + self.hb.heap_bytes()
     }
 
     // ---- serialization ----------------------------------------------------
@@ -333,6 +355,20 @@ impl AnalysisDb {
                 }
             }
         }
+        // Happens-before facts (factored region form; `words` is derived
+        // from the region count on load, never stored).
+        let hb_entries = self.hb.entries();
+        w.put_u32(u32::try_from(hb_entries.len()).expect("too many HB entries"));
+        for (stmt, region) in &hb_entries {
+            w.put_u32(*stmt);
+            w.put_u32(*region);
+        }
+        w.put_u32(u32::try_from(self.hb.region_count()).expect("too many HB regions"));
+        for &word in self.hb.bit_words() {
+            w.put_u64(word);
+        }
+        w.put_u32(self.hb.thread_count());
+        w.put_u32(self.hb.chain_event_count());
         // Name tables.
         w.put_u32(u32::try_from(self.var_names.len()).expect("too many variables"));
         for (func, var) in &self.var_names {
@@ -477,6 +513,37 @@ impl AnalysisDb {
             }
         }
         .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        // Happens-before facts.
+        let hb_entry_count = r.read_count(8)?;
+        let mut hb_entries = Vec::with_capacity(hb_entry_count);
+        for _ in 0..hb_entry_count {
+            let stmt = r.u32()?;
+            let region = r.u32()?;
+            hb_entries.push((stmt, region));
+        }
+        let hb_regions = r.u32()?;
+        let hb_words = (hb_regions as usize).div_ceil(64);
+        let hb_word_count = (hb_regions as usize).saturating_mul(hb_words);
+        if hb_word_count.saturating_mul(8) > r.remaining() {
+            return Err(SnapshotError::Malformed(format!(
+                "HB bitmatrix of {hb_word_count} words exceeds the payload"
+            )));
+        }
+        let mut hb_bits = Vec::with_capacity(hb_word_count);
+        for _ in 0..hb_word_count {
+            hb_bits.push(r.u64()?);
+        }
+        let hb_threads = r.u32()?;
+        let hb_chain_events = r.u32()?;
+        let hb = HbFacts::from_parts(
+            hb_entries,
+            hb_regions,
+            u32::try_from(hb_words).expect("word count fits u32"),
+            hb_bits,
+            hb_threads,
+            hb_chain_events,
+        )
+        .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
         // Name tables.
         let var_count = r.read_count(8)?;
         let mut var_names = Vec::with_capacity(var_count);
@@ -491,7 +558,7 @@ impl AnalysisDb {
             obj_names.push(r.str()?);
         }
         r.finish()?;
-        AnalysisDb::new(result, mhp, var_names, obj_names)
+        AnalysisDb::new(result, mhp, hb, var_names, obj_names)
     }
 
     /// Writes the snapshot to `path` (atomically enough for tests: a plain

@@ -24,10 +24,12 @@ pub mod mill;
 pub mod programs;
 pub mod scale;
 pub mod stats;
+pub mod sync;
 
 pub use programs::Program;
 pub use scale::Scale;
 pub use stats::{table1, ProgramStats};
+pub use sync::SyncProgram;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,440 @@
+//! Synchronization micro-benchmarks with asserted race/no-race ground
+//! truth, feeding the happens-before stage's end-to-end tests.
+//!
+//! The Table 1 programs ([`crate::Program`]) synchronize exclusively with
+//! fork/join and locks, so the HB stage (DESIGN §1.9) is an identity on
+//! them. The three [`SyncProgram`]s here are the classic shapes that only
+//! condvar / barrier / release-acquire ordering can prove race-free:
+//!
+//! * **producer/consumer** — the producer publishes shared cells and
+//!   signals a condvar; consumers wait before reading. Every
+//!   store→load pair is MHP-parallel and unlocked, yet ordered by the
+//!   signal→wait edge.
+//! * **barrier-phased** — a writer fills shared cells in phase 1; readers
+//!   read them in phase 2, separated by one `barrier_wait` per
+//!   participant (`barrier_init` count equals the participant count).
+//! * **double-checked-init** — an initializer thread fills shared cells
+//!   and release-stores a flag; consumers probe the flag with a relaxed
+//!   `atomic_load` (the "fast path"), then acquire it with a blocking
+//!   `atomic_rmw` before reading — the release→acquire chain carries the
+//!   initializer's writes.
+//!
+//! Ground truth: the plain form of each program has **zero** races — every
+//! candidate pair is must-ordered — while
+//! [`generate_with`](SyncProgram::generate_with)`(scale, true)` adds one
+//! *rogue* thread that touches the data without synchronizing, seeding a
+//! real race on the [`bug_object`](SyncProgram::bug_object) cell. Running
+//! the lint funnel with `PhaseConfig::no_hb()` must resurface the ordered
+//! pairs even in the plain form: that ablation is what pins the HB stage's
+//! contribution (tests/soundness.rs).
+
+use fsam_ir::builder::ModuleBuilder;
+use fsam_ir::stmt::MemOrder;
+use fsam_ir::{FuncId, Module, ObjId};
+
+use crate::mill::{mixed_body, Mill};
+use crate::scale::Scale;
+
+/// Shared data cells per program: small enough that the flow-sensitive
+/// sets stay exact, large enough to form several race-candidate groups.
+const CELLS: usize = 4;
+
+/// The three synchronization micro-benchmarks (module docs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SyncProgram {
+    ProducerConsumer,
+    BarrierPhased,
+    DoubleCheckedInit,
+}
+
+impl SyncProgram {
+    /// All three programs.
+    pub fn all() -> [SyncProgram; 3] {
+        [
+            SyncProgram::ProducerConsumer,
+            SyncProgram::BarrierPhased,
+            SyncProgram::DoubleCheckedInit,
+        ]
+    }
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncProgram::ProducerConsumer => "producer_consumer",
+            SyncProgram::BarrierPhased => "barrier_phased",
+            SyncProgram::DoubleCheckedInit => "double_checked_init",
+        }
+    }
+
+    /// The synchronization idiom the program exercises.
+    pub fn description(self) -> &'static str {
+        match self {
+            SyncProgram::ProducerConsumer => "condvar hand-off: store, signal / wait, load",
+            SyncProgram::BarrierPhased => "barrier-separated write phase and read phase",
+            SyncProgram::DoubleCheckedInit => "release-store flag / acquire-RMW before reads",
+        }
+    }
+
+    /// Prefix of the shared globals the seeded bug races on (the rogue
+    /// thread reads `<bug_object>0` … without synchronizing).
+    pub fn bug_object(self) -> &'static str {
+        match self {
+            SyncProgram::ProducerConsumer => "pc_data",
+            SyncProgram::BarrierPhased => "bp_data",
+            SyncProgram::DoubleCheckedInit => "dci_data",
+        }
+    }
+
+    /// Generates the synchronized (race-free) form.
+    pub fn generate(self, scale: Scale) -> Module {
+        self.generate_with(scale, false)
+    }
+
+    /// Generates the program; with `seed_bug` a rogue thread reads the
+    /// shared cells without synchronizing, making the ground truth racy.
+    pub fn generate_with(self, scale: Scale, seed_bug: bool) -> Module {
+        match self {
+            SyncProgram::ProducerConsumer => producer_consumer(scale, 0x5EED_1001, seed_bug),
+            SyncProgram::BarrierPhased => barrier_phased(scale, 0x5EED_1002, seed_bug),
+            SyncProgram::DoubleCheckedInit => double_checked_init(scale, 0x5EED_1003, seed_bug),
+        }
+    }
+}
+
+/// Per-function churn budget. The micro-benchmarks stay small — the point
+/// is the synchronization skeleton, not statement volume — but still
+/// scale so the funnel numbers move with `--scale`.
+fn churn_budget(scale: Scale) -> usize {
+    scale.at_least(4800 / 8, 48)
+}
+
+/// Worker-thread count (threads beyond the distinguished writer).
+fn fan_out(scale: Scale) -> usize {
+    (churn_budget(scale) / 200).clamp(2, 6)
+}
+
+/// Declares the shared cells `"<prefix><i>"`.
+fn data_cells(mb: &mut ModuleBuilder, prefix: &str) -> Vec<ObjId> {
+    (0..CELLS)
+        .map(|i| mb.global(&format!("{prefix}{i}")))
+        .collect()
+}
+
+/// Emits direct stores into every cell (`store &cell_i, &cell_j`): the
+/// published values are shared-sourced, so the flow-sensitive sets stay
+/// tight and every store forms a race candidate with every parallel load.
+fn write_cells(f: &mut fsam_ir::builder::FunctionBuilder<'_>, tag: &str, cells: &[ObjId]) {
+    for (i, &c) in cells.iter().enumerate() {
+        let p = f.addr(&format!("{tag}_wp{i}"), c);
+        let v = f.addr(&format!("{tag}_wv{i}"), cells[(i + 1) % cells.len()]);
+        f.store(p, v);
+    }
+}
+
+/// Emits direct loads of every cell.
+fn read_cells(f: &mut fsam_ir::builder::FunctionBuilder<'_>, tag: &str, cells: &[ObjId]) {
+    for (i, &c) in cells.iter().enumerate() {
+        let p = f.addr(&format!("{tag}_rp{i}"), c);
+        f.load(&format!("{tag}_rv{i}"), p);
+    }
+}
+
+/// Thread-private tail work after the synchronization skeleton. Shared
+/// pools are left empty on purpose: the mill must not emit stray shared
+/// writes that would race outside the asserted ground truth.
+fn private_tail(
+    f: &mut fsam_ir::builder::FunctionBuilder<'_>,
+    tag: &str,
+    budget: usize,
+    seed: u64,
+) {
+    let local = f.local(&format!("{tag}_buf"));
+    let mut mill = Mill::new(f, Vec::new(), vec![local], seed, tag);
+    mixed_body(&mut mill, budget, seed ^ 0xC0FFEE);
+}
+
+/// A thread that reads the cells with no synchronization at all — the
+/// seeded bug shared by all three programs.
+fn rogue_reader(
+    mb: &mut ModuleBuilder,
+    tag: &str,
+    cells: &[ObjId],
+    budget: usize,
+    seed: u64,
+) -> FuncId {
+    let id = mb.declare_func(&format!("{tag}_rogue"), &[]);
+    let mut f = mb.define_func(id);
+    read_cells(&mut f, "rg", cells);
+    private_tail(&mut f, "rg", budget / 2, seed);
+    f.ret(None);
+    f.finish();
+    id
+}
+
+/// Forks `workers` plus an optional rogue, then joins everything, each at
+/// its own statement (multi-forked threads would leave the must-sync
+/// chain, DESIGN §1.9).
+fn fork_join_main(mb: &mut ModuleBuilder, workers: &[FuncId], rogue: Option<FuncId>) {
+    let mut f = mb.func("main", &[]);
+    let mut handles = Vec::new();
+    for (i, &w) in workers.iter().enumerate() {
+        handles.push(f.fork(&format!("t{i}"), w, None));
+    }
+    if let Some(r) = rogue {
+        handles.push(f.fork("t_rogue", r, None));
+    }
+    for h in handles {
+        f.join(h);
+    }
+    f.ret(None);
+    f.finish();
+}
+
+/// Producer/consumer: one producer stores the cells and signals; each
+/// consumer waits before reading.
+fn producer_consumer(scale: Scale, seed: u64, seed_bug: bool) -> Module {
+    let budget = churn_budget(scale);
+    let consumers = fan_out(scale);
+    let mut mb = ModuleBuilder::new();
+    let cells = data_cells(&mut mb, "pc_data");
+    let cond = mb.global("pc_cond");
+
+    let producer = mb.declare_func("producer", &[]);
+    {
+        let mut f = mb.define_func(producer);
+        write_cells(&mut f, "pr", &cells);
+        let c = f.addr("pr_cond", cond);
+        f.signal(c);
+        private_tail(&mut f, "pr", budget / 2, seed);
+        f.ret(None);
+        f.finish();
+    }
+
+    let consumer = mb.declare_func("consumer", &[]);
+    {
+        let mut f = mb.define_func(consumer);
+        let c = f.addr("co_cond", cond);
+        f.wait(c);
+        read_cells(&mut f, "co", &cells);
+        private_tail(&mut f, "co", budget / consumers.max(1), seed ^ 1);
+        f.ret(None);
+        f.finish();
+    }
+
+    let rogue = seed_bug.then(|| rogue_reader(&mut mb, "pc", &cells, budget, seed ^ 2));
+    let workers: Vec<FuncId> = std::iter::once(producer)
+        .chain(std::iter::repeat_n(consumer, consumers))
+        .collect();
+    fork_join_main(&mut mb, &workers, rogue);
+    mb.build()
+}
+
+/// Barrier-phased: the writer fills the cells in phase 1; readers read in
+/// phase 2. `barrier_init`'s count equals the participant-thread count
+/// (writer + readers), the validity condition of DESIGN §1.9.
+fn barrier_phased(scale: Scale, seed: u64, seed_bug: bool) -> Module {
+    let budget = churn_budget(scale);
+    let readers = fan_out(scale);
+    let mut mb = ModuleBuilder::new();
+    let cells = data_cells(&mut mb, "bp_data");
+    let bar = mb.global("bp_bar");
+
+    let writer = mb.declare_func("phase_writer", &[]);
+    {
+        let mut f = mb.define_func(writer);
+        write_cells(&mut f, "wr", &cells);
+        let b = f.addr("wr_bar", bar);
+        f.barrier_wait(b);
+        private_tail(&mut f, "wr", budget / 2, seed);
+        f.ret(None);
+        f.finish();
+    }
+
+    let reader = mb.declare_func("phase_reader", &[]);
+    {
+        let mut f = mb.define_func(reader);
+        let b = f.addr("rd_bar", bar);
+        f.barrier_wait(b);
+        read_cells(&mut f, "rd", &cells);
+        private_tail(&mut f, "rd", budget / readers.max(1), seed ^ 1);
+        f.ret(None);
+        f.finish();
+    }
+
+    let rogue = seed_bug.then(|| rogue_reader(&mut mb, "bp", &cells, budget, seed ^ 2));
+    // The rogue never waits, so it is not a barrier participant and the
+    // group stays valid even in the buggy form.
+    let participants = 1 + readers;
+    let mut f = mb.func("main", &[]);
+    let b = f.addr("mn_bar", bar);
+    f.barrier_init(
+        b,
+        u32::try_from(participants).expect("participant count fits u32"),
+    );
+    let mut handles = vec![f.fork("t_writer", writer, None)];
+    for i in 0..readers {
+        handles.push(f.fork(&format!("t_reader{i}"), reader, None));
+    }
+    if let Some(r) = rogue {
+        handles.push(f.fork("t_rogue", r, None));
+    }
+    for h in handles {
+        f.join(h);
+    }
+    f.ret(None);
+    f.finish();
+    mb.build()
+}
+
+/// Double-checked init: the initializer fills the cells and
+/// release-stores the flag; consumers probe it relaxed, then acquire it
+/// with the blocking RMW before reading.
+fn double_checked_init(scale: Scale, seed: u64, seed_bug: bool) -> Module {
+    let budget = churn_budget(scale);
+    let consumers = fan_out(scale);
+    let mut mb = ModuleBuilder::new();
+    let cells = data_cells(&mut mb, "dci_data");
+    let flag = mb.global("dci_flag");
+
+    let init = mb.declare_func("initializer", &[]);
+    {
+        let mut f = mb.define_func(init);
+        write_cells(&mut f, "in", &cells);
+        let fp = f.addr("in_flag", flag);
+        let v = f.addr("in_set", flag);
+        f.atomic_store(fp, v, MemOrder::Release);
+        private_tail(&mut f, "in", budget / 2, seed);
+        f.ret(None);
+        f.finish();
+    }
+
+    let consumer = mb.declare_func("dci_consumer", &[]);
+    {
+        let mut f = mb.define_func(consumer);
+        let fp = f.addr("dc_flag", flag);
+        // Fast path: a relaxed probe orders nothing (and must not be
+        // enough for the reads below — that is exactly the rogue's bug).
+        f.atomic_load("dc_probe", fp, MemOrder::Relaxed);
+        let v = f.addr("dc_set", flag);
+        f.atomic_rmw("dc_got", fp, v, MemOrder::Acquire);
+        read_cells(&mut f, "dc", &cells);
+        private_tail(&mut f, "dc", budget / consumers.max(1), seed ^ 1);
+        f.ret(None);
+        f.finish();
+    }
+
+    let rogue = seed_bug.then(|| {
+        let id = mb.declare_func("dci_rogue", &[]);
+        let mut f = mb.define_func(id);
+        let fp = f.addr("rg_flag", flag);
+        // The double-checked-init anti-pattern: trusting the relaxed
+        // fast-path probe and skipping the acquire.
+        f.atomic_load("rg_probe", fp, MemOrder::Relaxed);
+        read_cells(&mut f, "rg", &cells);
+        private_tail(&mut f, "rg", budget / 2, seed ^ 2);
+        f.ret(None);
+        f.finish();
+        id
+    });
+    let workers: Vec<FuncId> = std::iter::once(init)
+        .chain(std::iter::repeat_n(consumer, consumers))
+        .collect();
+    fork_join_main(&mut mb, &workers, rogue);
+    mb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsam_ir::verify::verify_module;
+    use fsam_ir::StmtKind;
+
+    #[test]
+    fn sync_programs_generate_valid_modules() {
+        for p in SyncProgram::all() {
+            for bug in [false, true] {
+                let m = p.generate_with(Scale::SMOKE, bug);
+                verify_module(&m).unwrap_or_else(|e| {
+                    panic!(
+                        "{} (bug={bug}) is ill-formed: {:?}",
+                        p.name(),
+                        &e[..e.len().min(3)]
+                    )
+                });
+                assert!(m.entry().is_some(), "{} has no main", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for p in SyncProgram::all() {
+            let a = p.generate(Scale::SMOKE).to_string();
+            let b = p.generate(Scale::SMOKE).to_string();
+            assert_eq!(a, b, "{} generation not deterministic", p.name());
+        }
+    }
+
+    #[test]
+    fn each_program_carries_its_advertised_intrinsics() {
+        let has = |p: SyncProgram, pred: fn(&StmtKind) -> bool| {
+            p.generate(Scale::SMOKE).stmts().any(|(_, s)| pred(&s.kind))
+        };
+        assert!(has(SyncProgram::ProducerConsumer, |k| matches!(
+            k,
+            StmtKind::Signal { .. }
+        )));
+        assert!(has(SyncProgram::ProducerConsumer, |k| matches!(
+            k,
+            StmtKind::Wait { .. }
+        )));
+        assert!(has(SyncProgram::BarrierPhased, |k| matches!(
+            k,
+            StmtKind::BarrierInit { .. }
+        )));
+        assert!(has(SyncProgram::BarrierPhased, |k| matches!(
+            k,
+            StmtKind::BarrierWait { .. }
+        )));
+        assert!(has(SyncProgram::DoubleCheckedInit, |k| matches!(
+            k,
+            StmtKind::AtomicStore {
+                order: MemOrder::Release,
+                ..
+            }
+        )));
+        assert!(has(SyncProgram::DoubleCheckedInit, |k| matches!(
+            k,
+            StmtKind::AtomicRmw {
+                order: MemOrder::Acquire,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn seeded_bug_adds_a_rogue_thread() {
+        for p in SyncProgram::all() {
+            let plain = p.generate_with(Scale::SMOKE, false);
+            let buggy = p.generate_with(Scale::SMOKE, true);
+            let forks = |m: &Module| {
+                m.stmts()
+                    .filter(|(_, s)| matches!(s.kind, StmtKind::Fork { .. }))
+                    .count()
+            };
+            assert_eq!(forks(&buggy), forks(&plain) + 1, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn scale_grows_sync_programs() {
+        let s1 = SyncProgram::ProducerConsumer
+            .generate(Scale(0.05))
+            .stmt_count();
+        let s2 = SyncProgram::ProducerConsumer
+            .generate(Scale(0.5))
+            .stmt_count();
+        assert!(s2 > s1, "scale 0.5 ({s2}) vs 0.05 ({s1})");
+    }
+}

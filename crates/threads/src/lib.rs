@@ -13,6 +13,7 @@
 
 pub mod facts;
 pub mod flow;
+pub mod hb;
 pub mod interleave;
 pub mod lock;
 pub mod mhp;
@@ -22,6 +23,7 @@ pub mod shared;
 pub mod valueflow;
 
 pub use facts::{FactsError, MhpFacts};
+pub use hb::{HbError, HbFacts, VecClock};
 pub use interleave::{Interleaving, ThreadSet};
 pub use lock::LockAnalysis;
 pub use mhp::{MhpBackend, MhpOracle, ProcMhp};

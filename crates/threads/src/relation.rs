@@ -133,6 +133,14 @@ impl MhpRelation {
         }
     }
 
+    /// [`mhp_stmt`](MhpRelation::mhp_stmt) refined by happens-before: a
+    /// pair may race only if it can interleave *and* no synchronization
+    /// chain must-orders it. With empty `hb` facts (no sync intrinsics, or
+    /// the *No-HB* ablation) this is bit-identical to the raw relation.
+    pub fn mhp_stmt_refined(&self, s1: StmtId, s2: StmtId, hb: &crate::hb::HbFacts) -> bool {
+        self.mhp_stmt(s1, s2) && !hb.ordered_stmt(s1, s2)
+    }
+
     /// Number of regions (distinct MHP-equivalence keys).
     pub fn region_count(&self) -> usize {
         self.regions

@@ -297,6 +297,54 @@ pub fn known_server_counter(name: &str) -> bool {
     })
 }
 
+/// The happens-before stage's counter vocabulary: the factored
+/// `HbFacts` shape the pipeline's `stage.hb` span exports. Kept in
+/// sync with `fsam_threads::hb::HbFacts::export_trace` (a pipeline test
+/// cross-checks every exported key against this validator).
+const HB_COUNTERS: [&str; 6] = [
+    "regions",
+    "region_stmts",
+    "matrix_bits",
+    "ordered_bits",
+    "threads",
+    "chain_events",
+];
+
+/// The lint reducer's counter vocabulary: the staged funnel
+/// (`lint.candidates` through `lint.confirmed`), the grouped outputs,
+/// the alias-class memo, and the registry totals. Kept in sync with
+/// `fsam_lint`'s `reduce.rs`/`checkers.rs` exports.
+const LINT_COUNTERS: [&str; 13] = [
+    "candidates",
+    "killed_shared",
+    "killed_mhp",
+    "killed_hb",
+    "killed_lockset",
+    "killed_alias",
+    "confirmed",
+    "confirmed_groups",
+    "hb_groups",
+    "alias_classes",
+    "class_probes",
+    "diagnostics",
+    "suppressed",
+];
+
+/// Whether `name` is a known `hb.*` counter (the happens-before stage's
+/// factored-form evidence). Names without the `hb.` prefix are not this
+/// validator's business and answer `false`.
+pub fn known_hb_counter(name: &str) -> bool {
+    name.strip_prefix("hb.")
+        .is_some_and(|s| HB_COUNTERS.contains(&s))
+}
+
+/// Whether `name` is a known `lint.*` counter (the reducer funnel and
+/// registry totals). Names without the `lint.` prefix answer `false`.
+pub fn known_lint_counter(name: &str) -> bool {
+    name.strip_prefix("lint.")
+        .is_some_and(|s| LINT_COUNTERS.contains(&s))
+}
+
 /// Whether `name` is a known `req.*` per-request event: one of the four
 /// request phases the daemon samples (decode, queue, engine, encode).
 /// Names without the `req.` prefix answer `false`.
@@ -310,10 +358,11 @@ pub fn known_req_event(name: &str) -> bool {
 /// Validates a whole JSONL export, stricter than per-line validation:
 ///
 /// * every line must pass [`validate_line`];
-/// * counter names in the `server.*` namespace must be in the known
-///   vocabulary ([`known_server_counter`]), and event names in the
-///   `req.*` namespace must be known request phases carrying a numeric
-///   `req` id and `us` duration ([`known_req_event`]);
+/// * counter names in the `server.*`, `hb.*` and `lint.*` namespaces
+///   must be in their known vocabularies ([`known_server_counter`],
+///   [`known_hb_counter`], [`known_lint_counter`]), and event names in
+///   the `req.*` namespace must be known request phases carrying a
+///   numeric `req` id and `us` duration ([`known_req_event`]);
 /// * a counter name may appear **once** per span within the export —
 ///   duplicates used to be silently last-write-wins in consumers, now
 ///   they are a validation error.
@@ -327,6 +376,12 @@ pub fn validate_export(doc: &str) -> Result<(), String> {
             Event::Counter { name, span, .. } => {
                 if name.starts_with("server.") && !known_server_counter(&name) {
                     return Err(fail(format!("unknown server.* counter {name:?}")));
+                }
+                if name.starts_with("hb.") && !known_hb_counter(&name) {
+                    return Err(fail(format!("unknown hb.* counter {name:?}")));
+                }
+                if name.starts_with("lint.") && !known_lint_counter(&name) {
+                    return Err(fail(format!("unknown lint.* counter {name:?}")));
                 }
                 if !seen.insert((name.to_string(), span)) {
                     return Err(fail(format!(
@@ -448,6 +503,42 @@ mod tests {
         assert!(known_req_event("req.engine"));
         assert!(!known_req_event("req.teleport"));
         assert!(!known_req_event("decode"));
+    }
+
+    #[test]
+    fn hb_and_lint_counter_vocabularies_are_checked() {
+        for good in [
+            "hb.regions",
+            "hb.ordered_bits",
+            "hb.chain_events",
+            "lint.candidates",
+            "lint.killed_hb",
+            "lint.hb_groups",
+        ] {
+            assert!(
+                known_hb_counter(good) || known_lint_counter(good),
+                "rejected {good}"
+            );
+        }
+        for bad in [
+            "hb.pairs",             // HB never enumerates pairs
+            "hb.",                  // empty suffix
+            "lint.killed_teleport", // unknown funnel stage
+            "mhp.regions",          // different namespace: not ours to judge
+        ] {
+            assert!(
+                !known_hb_counter(bad) && !known_lint_counter(bad),
+                "accepted {bad}"
+            );
+        }
+        let unknown = r#"{"type":"counter","name":"hb.pairs","value":1,"span":null}"#;
+        assert!(validate_export(unknown)
+            .unwrap_err()
+            .contains("unknown hb.* counter"));
+        let unknown = r#"{"type":"counter","name":"lint.bogus","value":1,"span":null}"#;
+        assert!(validate_export(unknown)
+            .unwrap_err()
+            .contains("unknown lint.* counter"));
     }
 
     #[test]

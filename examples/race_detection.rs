@@ -72,10 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let stats = cx.reduction().stats;
     println!(
-        "reducer funnel: {} candidates -> {} shared -> {} MHP -> {} lockset -> {} confirmed",
+        "reducer funnel: {} candidates -> {} shared -> {} MHP -> {} HB -> {} lockset -> {} confirmed",
         stats.candidates,
         stats.after_shared(),
         stats.after_mhp(),
+        stats.after_hb(),
         stats.after_lockset(),
         stats.confirmed,
     );

@@ -13,7 +13,7 @@
 use fsam::{nonsparse, Fsam, NonSparseOutcome, PhaseConfig};
 use fsam_ir::rng::SmallRng;
 use fsam_ir::Module;
-use fsam_suite::{Program, Scale};
+use fsam_suite::{Program, Scale, SyncProgram};
 use fsam_threads::mhp::MhpOracle;
 
 fn check_soundness_chain(module: &Module) {
@@ -71,6 +71,7 @@ fn suite_ablations_over_approximate() {
             PhaseConfig::no_interleaving(),
             PhaseConfig::no_value_flow(),
             PhaseConfig::no_lock(),
+            PhaseConfig::no_hb(),
         ] {
             let ablated = Fsam::analyze_with(&module, cfg);
             for v in module.var_ids() {
@@ -120,6 +121,77 @@ fn race_detection_runs_on_the_suite() {
                 "race on a thread-private object: {r:?}"
             );
         }
+    }
+}
+
+// --------------------------------------------- happens-before end-to-end --
+
+/// Runs the default lint registry and returns (reducer stats, FL0001
+/// diagnostic count).
+fn lint_funnel(module: &Module, cfg: PhaseConfig) -> (fsam_lint::ReductionStats, usize) {
+    let fsam = Fsam::analyze_with(module, cfg);
+    let engine = fsam_query::QueryEngine::from_fsam(module, &fsam);
+    let cx = fsam_lint::LintContext::new(module, &fsam, &engine);
+    let report = fsam_lint::Registry::with_default_checkers().run(&cx);
+    (cx.reduction().stats, report.count_of("FL0001"))
+}
+
+/// The HB stage's end-to-end contract on the synchronization
+/// micro-benchmarks: with HB enabled every condvar/barrier/atomic-ordered
+/// candidate dies before the alias stage (zero FL0001 groups, nonzero
+/// `killed_hb`); with the *No-HB* ablation the same pairs resurface as
+/// confirmed races.
+#[test]
+fn sync_programs_are_race_free_with_hb_and_racy_without() {
+    for p in SyncProgram::all() {
+        let module = p.generate(Scale::SMOKE);
+
+        let (stats, fl1) = lint_funnel(&module, PhaseConfig::full());
+        assert_eq!(
+            fl1,
+            0,
+            "{}: the synchronized form must report no races",
+            p.name()
+        );
+        assert_eq!(stats.confirmed, 0, "{}: {stats:?}", p.name());
+        assert!(
+            stats.killed_hb > 0,
+            "{}: the ordered candidates must be killed by HB, not upstream: {stats:?}",
+            p.name()
+        );
+
+        let (ablated, fl1_ablated) = lint_funnel(&module, PhaseConfig::no_hb());
+        assert!(
+            fl1_ablated > 0 && ablated.confirmed > 0,
+            "{}: ablating HB must resurface the ordered pairs: {ablated:?}",
+            p.name()
+        );
+        assert_eq!(ablated.killed_hb, 0, "{}: {ablated:?}", p.name());
+    }
+}
+
+/// The seeded-bug forms stay racy even with HB enabled: the rogue thread
+/// reads the cells without synchronizing, and the diagnostic names them.
+#[test]
+fn sync_programs_with_seeded_bug_stay_racy_under_hb() {
+    for p in SyncProgram::all() {
+        let module = p.generate_with(Scale::SMOKE, true);
+        let fsam = Fsam::analyze(&module);
+        let engine = fsam_query::QueryEngine::from_fsam(&module, &fsam);
+        let cx = fsam_lint::LintContext::new(&module, &fsam, &engine);
+        let report = fsam_lint::Registry::with_default_checkers().run(&cx);
+        let races: Vec<_> = report.with_code("FL0001").collect();
+        assert!(
+            !races.is_empty(),
+            "{}: the seeded race must survive HB",
+            p.name()
+        );
+        assert!(
+            races.iter().any(|d| d.message.contains(p.bug_object())),
+            "{}: no reported race names `{}`: {races:?}",
+            p.name(),
+            p.bug_object()
+        );
     }
 }
 

@@ -228,6 +228,7 @@ fn bench_export_keys_have_not_drifted() {
             "thread_model_us",
             "svfg_us",
             "interleaving_us",
+            "hb_us",
             "lock_us",
             "value_flow_us",
             "sparse_solve_us",
@@ -278,6 +279,8 @@ fn bench_export_keys_have_not_drifted() {
             "candidates",
             "after_shared",
             "after_mhp",
+            "after_hb",
+            "killed_hb",
             "after_lockset",
             "confirmed",
             "confirmed_groups",
@@ -332,6 +335,7 @@ fn factored_mhp_and_lint_dedup_counters_are_exported() {
         Some(s.confirmed_groups)
     );
     assert_eq!(counter(&events, "lint.hb_groups"), Some(s.hb_groups));
+    assert_eq!(counter(&events, "lint.killed_hb"), Some(s.killed_hb));
     let classes = counter(&events, "lint.alias_classes").expect("lint.alias_classes");
     let probes = counter(&events, "lint.class_probes").expect("lint.class_probes");
     assert!(
@@ -339,10 +343,10 @@ fn factored_mhp_and_lint_dedup_counters_are_exported() {
         "accessed pointers intern to at least one class"
     );
     assert!(
-        probes <= s.after_lockset() * 2,
-        "memoised membership never exceeds two probes per surviving pair: \
-         {probes} probes, {classes} classes, {} pairs",
-        s.after_lockset()
+        probes <= s.after_hb() * 2,
+        "memoised membership never exceeds two probes per pair entering the \
+         lockset stage: {probes} probes, {classes} classes, {} pairs",
+        s.after_hb()
     );
 }
 
